@@ -1,0 +1,64 @@
+//! **A1/A2** — ablation benches for the design choices DESIGN.md calls
+//! out:
+//!
+//! * A1 (`gain_weights`): sensitivity of Algorithm 1 to the gain-weight
+//!   triple of Def. 3.11 — the paper fixes (3, 15, 1); we also measure a
+//!   flat (1, 1, 1) and a freshness-free (3, 0, 1) variant. The metric
+//!   that matters is reported via the merge result's variable count in
+//!   the accompanying `ablation_quality` console output.
+//! * A2 (`numiter`): cost of the diversification loop of Algorithm 1 as
+//!   `numIter` grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use questpro_core::{merge_pair, GainWeights, GreedyConfig, PatternGraph};
+use questpro_data::{erdos_example_set, erdos_ontology};
+
+fn bench_ablation(c: &mut Criterion) {
+    let erdos = erdos_ontology();
+    let examples = erdos_example_set(&erdos);
+    let g1 = PatternGraph::from_explanation(&erdos, &examples.explanations()[0]);
+    let g4 = PatternGraph::from_explanation(&erdos, &examples.explanations()[3]);
+
+    // A1: gain-weight variants. Also report the inferred-query quality
+    // (variable count) once per variant, outside the timed loop.
+    let variants: &[(&str, GainWeights)] = &[
+        ("paper_3_15_1", GainWeights::paper()),
+        ("flat_1_1_1", GainWeights::new(1.0, 1.0, 1.0)),
+        ("no_freshness_3_0_1", GainWeights::new(3.0, 0.0, 1.0)),
+        ("no_neighbor_3_15_0", GainWeights::new(3.0, 15.0, 0.0)),
+    ];
+    let mut g = c.benchmark_group("gain_weights");
+    for (name, w) in variants {
+        let cfg = GreedyConfig {
+            weights: *w,
+            ..Default::default()
+        };
+        let vars = merge_pair(&g1, &g4, &cfg)
+            .map(|o| o.query.generalization_vars())
+            .map(|v| v.to_string())
+            .unwrap_or_else(|| "none".to_string());
+        eprintln!("ablation_quality gain_weights/{name}: merged-query vars = {vars}");
+        g.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
+            b.iter(|| black_box(merge_pair(&g1, &g4, cfg).is_some()))
+        });
+    }
+    g.finish();
+
+    // A2: numIter sweep.
+    let mut g = c.benchmark_group("numiter");
+    for num_iter in [1usize, 2, 4, 8] {
+        let cfg = GreedyConfig {
+            num_iter,
+            ..Default::default()
+        };
+        g.bench_with_input(BenchmarkId::from_parameter(num_iter), &cfg, |b, cfg| {
+            b.iter(|| black_box(merge_pair(&g1, &g4, cfg).is_some()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! **M5** — microbenches of the interactive stage: disequality
+//! inference, Algorithm 3's candidate elimination (with the result-set
+//! cache), and a full session on the running example.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use questpro_core::{infer_top_k, with_all_diseqs, TopKConfig};
+use questpro_data::{erdos_example_set, erdos_ontology};
+use questpro_feedback::{choose_query, run_session, FeedbackConfig, SessionConfig, TargetOracle};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_feedback(c: &mut Criterion) {
+    let ont = erdos_ontology();
+    let examples = erdos_example_set(&ont);
+    let (candidates, _) = infer_top_k(
+        &ont,
+        &examples,
+        &TopKConfig {
+            k: 4,
+            ..Default::default()
+        },
+    );
+    let intended = candidates[0].clone();
+
+    let mut g = c.benchmark_group("feedback");
+    g.bench_function("diseq_inference", |b| {
+        b.iter(|| black_box(with_all_diseqs(&ont, &candidates[0], &examples).diseq_count()))
+    });
+    g.bench_function("choose_query_k4", |b| {
+        b.iter(|| {
+            let mut oracle = TargetOracle::new(intended.clone());
+            let mut rng = StdRng::seed_from_u64(5);
+            black_box(
+                choose_query(
+                    &ont,
+                    &candidates,
+                    &examples,
+                    &mut oracle,
+                    &mut rng,
+                    &FeedbackConfig::default(),
+                )
+                .chosen_index,
+            )
+        })
+    });
+    g.bench_function("full_session_erdos", |b| {
+        b.iter(|| {
+            let mut oracle = TargetOracle::new(intended.clone());
+            let mut rng = StdRng::seed_from_u64(5);
+            let cfg = SessionConfig {
+                refine: true,
+                ..Default::default()
+            };
+            black_box(
+                run_session(&ont, &examples, &mut oracle, &mut rng, &cfg)
+                    .selection_transcript
+                    .len(),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_feedback);
+criterion_main!(benches);

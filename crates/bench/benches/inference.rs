@@ -1,0 +1,83 @@
+//! **M3/M4** — microbenches of the inference pipeline: a pairwise merge
+//! (Algorithm 1), full union inference (Algorithm 2), and top-k over the
+//! running example and representative workload queries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use questpro_bench::Worlds;
+use questpro_core::{
+    find_consistent_union, infer_top_k, merge_pair, GreedyConfig, PatternGraph, TopKConfig,
+    UnionConfig,
+};
+use questpro_data::{erdos_example_set, erdos_ontology, sp2b_workload};
+use questpro_engine::sample_example_set;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_inference(c: &mut Criterion) {
+    let erdos = erdos_ontology();
+    let examples = erdos_example_set(&erdos);
+    let g1 = PatternGraph::from_explanation(&erdos, &examples.explanations()[0]);
+    let g4 = PatternGraph::from_explanation(&erdos, &examples.explanations()[3]);
+
+    let mut g = c.benchmark_group("inference");
+    g.bench_function("merge_pair_chains", |b| {
+        b.iter(|| black_box(merge_pair(&g1, &g4, &GreedyConfig::default()).is_some()))
+    });
+    g.bench_function("algorithm2_erdos", |b| {
+        b.iter(|| {
+            black_box(find_consistent_union(
+                &erdos,
+                &examples,
+                &UnionConfig::default(),
+            ))
+        })
+    });
+    g.bench_function("top3_erdos", |b| {
+        b.iter(|| {
+            black_box(infer_top_k(
+                &erdos,
+                &examples,
+                &TopKConfig {
+                    k: 3,
+                    ..Default::default()
+                },
+            ))
+        })
+    });
+    g.finish();
+
+    // Top-k on a real workload query, varying the number of explanations
+    // (the E2/E3 axis, as a microbench).
+    let worlds = Worlds::generate();
+    let q8a = sp2b_workload()
+        .into_iter()
+        .find(|w| w.id == "q8a")
+        .expect("q8a in catalog")
+        .query;
+    let mut g = c.benchmark_group("topk_q8a_by_explanations");
+    for n in [2usize, 4, 7] {
+        let mut rng = StdRng::seed_from_u64(0xbe);
+        let ex = sample_example_set(&worlds.sp2b, &q8a, n, &mut rng, 6);
+        if ex.len() < 2 {
+            continue;
+        }
+        g.bench_with_input(BenchmarkId::from_parameter(n), &ex, |b, ex| {
+            b.iter(|| {
+                black_box(infer_top_k(
+                    &worlds.sp2b,
+                    ex,
+                    &TopKConfig {
+                        k: 3,
+                        ..Default::default()
+                    },
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_inference);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! **M1/M2** — microbenches of the evaluation substrate: match
+//! enumeration, result-set evaluation, provenance computation, and the
+//! onto consistency check.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use questpro_data::{erdos_example_set, erdos_ontology, generate_sp2b, sp2b_workload, Sp2bConfig};
+use questpro_engine::{consistent_with_explanation, evaluate, provenance_of, Matcher};
+use questpro_query::fixtures::erdos_q1;
+
+fn bench_matching(c: &mut Criterion) {
+    let erdos = erdos_ontology();
+    let q1 = erdos_q1();
+    let sp2b = generate_sp2b(&Sp2bConfig::default());
+    let q8a = sp2b_workload()
+        .into_iter()
+        .find(|w| w.id == "q8a")
+        .expect("q8a in catalog")
+        .query
+        .into_branches()
+        .remove(0);
+    let q2 = sp2b_workload()
+        .into_iter()
+        .find(|w| w.id == "q2")
+        .expect("q2 in catalog")
+        .query
+        .into_branches()
+        .remove(0);
+
+    let mut g = c.benchmark_group("matching");
+    g.bench_function("count_q1_erdos", |b| {
+        b.iter(|| black_box(Matcher::new(&erdos, &q1).count()))
+    });
+    g.bench_function("evaluate_q8a_sp2b", |b| {
+        b.iter(|| black_box(evaluate(&sp2b, &q8a).len()))
+    });
+    g.bench_function("evaluate_q2_sp2b", |b| {
+        b.iter(|| black_box(evaluate(&sp2b, &q2).len()))
+    });
+    let erdos_res = *evaluate(&sp2b, &q8a)
+        .iter()
+        .next()
+        .expect("q8a has results");
+    g.bench_function("provenance_q8a_one_result", |b| {
+        b.iter(|| black_box(provenance_of(&sp2b, &q8a, erdos_res, Some(8)).len()))
+    });
+    g.finish();
+
+    // A5: the edge-ordering heuristic — identical results, different
+    // search cost.
+    let mut g = c.benchmark_group("ordering");
+    g.bench_function("most_constrained_first_q2", |b| {
+        b.iter(|| black_box(Matcher::new(&sp2b, &q2).count()))
+    });
+    g.bench_function("sequential_q2", |b| {
+        b.iter(|| black_box(Matcher::new(&sp2b, &q2).sequential_order().count()))
+    });
+    g.finish();
+
+    let examples = erdos_example_set(&erdos);
+    let e1 = &examples.explanations()[0];
+    let mut g = c.benchmark_group("consistency");
+    g.bench_function("onto_check_q1_vs_e1", |b| {
+        b.iter(|| black_box(consistent_with_explanation(&erdos, &q1, e1)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_matching);
+criterion_main!(benches);

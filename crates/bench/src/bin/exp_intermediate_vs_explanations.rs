@@ -1,0 +1,69 @@
+//! **E3** — Figures 6a (SP2B) and 6b (BSBM): number of intermediate
+//! queries considered (Algorithm 1 calls inside Algorithm 2) as a
+//! function of the number of explanations, with k fixed to 5.
+//!
+//! Paper-reported shape: monotone growth, reaching >260 intermediate
+//! queries at 14 explanations for BSBM q2v0.
+//!
+//! Run with: `cargo run --release -p questpro-bench --bin exp_intermediate_vs_explanations`
+
+use questpro_bench::{automatic_workload, parallel_map, Table, Worlds};
+use questpro_core::{infer_top_k, TopKConfig};
+use questpro_data::OntologyKind;
+use questpro_engine::sample_example_set;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const K: usize = 5;
+const EXPLANATION_COUNTS: [usize; 7] = [2, 4, 6, 8, 10, 12, 14];
+
+fn main() {
+    let worlds = Worlds::generate();
+    let cfg = TopKConfig {
+        k: K,
+        ..Default::default()
+    };
+
+    let rows = parallel_map(automatic_workload(), |w| {
+        let ont = worlds.for_kind(w.kind);
+        let mut cells = vec![w.id.to_string()];
+        for &n in &EXPLANATION_COUNTS {
+            let mut rng = StdRng::seed_from_u64(0xf16a + n as u64);
+            let examples = sample_example_set(ont, &w.query, n, &mut rng, 6);
+            if examples.len() < 2 {
+                cells.push("—".to_string());
+                continue;
+            }
+            let (_, stats) = infer_top_k(ont, &examples, &cfg);
+            // The Figure 6 metric counts *considered* intermediate
+            // queries; the merge cache only saves recomputation.
+            cells.push(format!(
+                "{} ({}c)",
+                stats.algorithm1_calls, stats.merge_cache_hits
+            ));
+        }
+        (w.kind, cells)
+    });
+
+    for (kind, figure) in [
+        (OntologyKind::Sp2b, "Figure 6a (SP2B)"),
+        (OntologyKind::Bsbm, "Figure 6b (BSBM)"),
+    ] {
+        let mut headers: Vec<String> = vec!["query".to_string()];
+        headers.extend(EXPLANATION_COUNTS.iter().map(|n| format!("{n} expl.")));
+        let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+        let mut t = Table::new(
+            format!("E3 — {figure}: intermediate queries vs explanations (k={K})"),
+            &header_refs,
+        );
+        for (k, cells) in &rows {
+            if *k == kind {
+                t.row(cells.clone());
+            }
+        }
+        println!("{}", t.to_markdown());
+    }
+    println!(
+        "Paper shape to check: counts grow with the number of explanations; q2v0 peaks highest."
+    );
+}

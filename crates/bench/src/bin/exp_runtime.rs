@@ -1,0 +1,115 @@
+//! **E2** — Section VI-B runtime paragraph: execution time of the top-k
+//! algorithm (k = 3) for 7 explanations, per workload query.
+//!
+//! Paper-reported shape: generally under 0.5 s, with outliers SP2B q12a
+//! (≈1.34 s) and BSBM q2v0 (≈5.8 s) — q2v0 is the largest pattern (11
+//! edges), so it should remain the slowest here as well.
+//!
+//! Run with: `cargo run --release -p questpro-bench --bin exp_runtime`
+
+use std::time::Instant;
+
+use questpro_bench::{automatic_workload, median, parallel_map, Table, Worlds};
+use questpro_core::{infer_top_k, TopKConfig};
+use questpro_engine::sample_example_set;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const TRIALS: u64 = 5;
+const EXPLANATIONS: usize = 7;
+
+fn main() {
+    let worlds = Worlds::generate();
+    let cfg = TopKConfig {
+        k: 3,
+        ..Default::default()
+    };
+
+    let mut rows = parallel_map(automatic_workload(), |w| {
+        let ont = worlds.for_kind(w.kind);
+        let mut times_ms = Vec::new();
+        let mut calls = Vec::new();
+        for t in 0..TRIALS {
+            let mut rng = StdRng::seed_from_u64(0xe2 + t);
+            let examples = sample_example_set(ont, &w.query, EXPLANATIONS, &mut rng, 6);
+            if examples.len() < 2 {
+                continue;
+            }
+            let start = Instant::now();
+            let (_, stats) = infer_top_k(ont, &examples, &cfg);
+            times_ms.push(start.elapsed().as_secs_f64() * 1e3);
+            calls.push(stats.algorithm1_calls as f64);
+        }
+        let med = median(times_ms.clone());
+        (
+            med,
+            vec![
+                w.id.to_string(),
+                format!("{:?}", w.kind),
+                format!("{med:.2}"),
+                format!("{:.2}", times_ms.iter().cloned().fold(0.0_f64, f64::max)),
+                format!("{:.0}", median(calls)),
+            ],
+        )
+    });
+    rows.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite times"));
+
+    let mut t = Table::new(
+        "E2 — top-k inference runtime (k=3, 7 explanations, median of 5 trials)",
+        &[
+            "query",
+            "world",
+            "median ms",
+            "max ms",
+            "median Alg.1 calls",
+        ],
+    );
+    for (_, r) in rows {
+        t.row(r);
+    }
+    println!("{}", t.to_markdown());
+
+    // The runtime *series* over the number of explanations (the paper's
+    // "execution times … for an increasing number of explanations and a
+    // fixed k = 3").
+    let counts = [2usize, 4, 6, 8, 10, 12, 14];
+    let series = parallel_map(automatic_workload(), |w| {
+        let ont = worlds.for_kind(w.kind);
+        let mut cells = vec![w.id.to_string()];
+        for &n in &counts {
+            let mut times = Vec::new();
+            for t in 0..3u64 {
+                let mut rng = StdRng::seed_from_u64(0xe27 + t);
+                let examples = sample_example_set(ont, &w.query, n, &mut rng, 6);
+                if examples.len() < 2 {
+                    continue;
+                }
+                let start = Instant::now();
+                let _ = infer_top_k(ont, &examples, &cfg);
+                times.push(start.elapsed().as_secs_f64() * 1e3);
+            }
+            cells.push(if times.is_empty() {
+                "—".to_string()
+            } else {
+                format!("{:.1}", median(times))
+            });
+        }
+        cells
+    });
+    let mut headers = vec!["query".to_string()];
+    headers.extend(counts.iter().map(|n| format!("{n} expl. (ms)")));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut ts = Table::new(
+        "E2 — runtime vs number of explanations (k=3, median of 3 trials)",
+        &header_refs,
+    );
+    for r in series {
+        ts.row(r);
+    }
+    println!("{}", ts.to_markdown());
+    println!(
+        "Paper shape to check: q2v0 slowest by a wide margin (≈5.8 s at 7 explanations \
+         in the paper), q12a the SP2B outlier; runtimes grow superlinearly with the \
+         number of explanations; everything else well under the paper's 500 ms."
+    );
+}

@@ -1,0 +1,345 @@
+//! Hand-rolled argument parsing (no external dependencies).
+//!
+//! Grammar: `questpro <subcommand> [--flag value]...`. Every flag takes
+//! exactly one value except boolean switches (`--diseqs`, `--refine`).
+
+use crate::error::CliError;
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+questpro — interactive inference of SPARQL queries using provenance
+
+USAGE:
+  questpro generate --world <erdos|sp2b|bsbm|movies> --out FILE [--seed N]
+  questpro eval     --ontology FILE --query FILE [--provenance VALUE]
+                    [--polynomial] [--limit N]
+  questpro infer    --ontology FILE --examples FILE [--k N] [--w1 F] [--w2 F]
+                    [--diseqs] [--optional] [--minimize]
+  questpro sample   --ontology FILE --query FILE [-n N] [--seed N]
+                    [--result VALUE]   (explanations for one chosen result)
+  questpro explore  --ontology FILE --node VALUE [--depth N]
+  questpro session  --ontology FILE --examples FILE [--target FILE]
+                    [--k N] [--seed N] [--refine]
+                    (without --target the questions are asked on stdin)
+  questpro diagnose --ontology FILE --examples FILE
+
+FILES:
+  ontology  — triple text format (`src pred dst`, `@type value Type`)
+  examples  — explanation blocks (`dis <value>` + edges, blank-line separated)
+  query     — SPARQL dialect (`SELECT ?x WHERE { ... }` [UNION ...])
+";
+
+/// A parsed subcommand.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `questpro generate`.
+    Generate(GenerateArgs),
+    /// `questpro eval`.
+    Eval(EvalArgs),
+    /// `questpro infer`.
+    Infer(InferArgs),
+    /// `questpro sample`.
+    Sample(SampleArgs),
+    /// `questpro session`.
+    Session(SessionArgs),
+    /// `questpro diagnose`.
+    Diagnose(DiagnoseArgs),
+    /// `questpro explore`.
+    Explore(ExploreArgs),
+}
+
+/// Arguments of `questpro generate`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenerateArgs {
+    /// Which world to generate.
+    pub world: String,
+    /// Output path.
+    pub out: String,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+/// Arguments of `questpro eval`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalArgs {
+    /// Ontology path.
+    pub ontology: String,
+    /// Query path.
+    pub query: String,
+    /// Value whose provenance should be printed, if any.
+    pub provenance: Option<String>,
+    /// Bound on the number of provenance graphs printed.
+    pub limit: usize,
+    /// Print semiring provenance polynomials instead of graphs.
+    pub polynomial: bool,
+}
+
+/// Arguments of `questpro infer`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InferArgs {
+    /// Ontology path.
+    pub ontology: String,
+    /// Examples path.
+    pub examples: String,
+    /// Beam width / number of candidates.
+    pub k: usize,
+    /// Generalization weight w1 (variables).
+    pub w1: f64,
+    /// Generalization weight w2 (branches).
+    pub w2: f64,
+    /// Whether to augment candidates with inferred disequalities.
+    pub diseqs: bool,
+    /// Whether to tolerate shape mismatches via OPTIONAL edges.
+    pub optional: bool,
+    /// Whether to core-minimize candidates before printing.
+    pub minimize: bool,
+}
+
+/// Arguments of `questpro sample`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SampleArgs {
+    /// Ontology path.
+    pub ontology: String,
+    /// Target query path.
+    pub query: String,
+    /// Number of explanations to sample.
+    pub n: usize,
+    /// Sampling seed.
+    pub seed: u64,
+    /// Compile explanations for this specific result value instead of
+    /// sampling results (the paper's user flow: pick the output example,
+    /// let the system offer its possible explanations).
+    pub result: Option<String>,
+}
+
+/// Arguments of `questpro explore`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExploreArgs {
+    /// Ontology path.
+    pub ontology: String,
+    /// Value of the node whose neighborhood to display.
+    pub node: String,
+    /// Neighborhood radius (the paper's 1-neighborhood browser).
+    pub depth: usize,
+}
+
+/// Arguments of `questpro session`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionArgs {
+    /// Ontology path.
+    pub ontology: String,
+    /// Examples path.
+    pub examples: String,
+    /// Target query path (drives the simulated oracle); `None` means
+    /// interactive: questions are asked on the terminal.
+    pub target: Option<String>,
+    /// Beam width.
+    pub k: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Whether to run disequality refinement.
+    pub refine: bool,
+}
+
+/// Arguments of `questpro diagnose`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiagnoseArgs {
+    /// Ontology path.
+    pub ontology: String,
+    /// Examples path.
+    pub examples: String,
+}
+
+/// Parses a full argument vector (excluding the program name).
+///
+/// # Errors
+/// Returns [`CliError::Usage`] with a helpful message on any problem.
+pub fn parse(argv: &[String]) -> Result<Command, CliError> {
+    let Some((sub, rest)) = argv.split_first() else {
+        return Err(CliError::Usage(format!("missing subcommand\n\n{USAGE}")));
+    };
+    let flags = Flags::parse(rest)?;
+    match sub.as_str() {
+        "generate" => Ok(Command::Generate(GenerateArgs {
+            world: flags.require("world")?,
+            out: flags.require("out")?,
+            seed: flags.num("seed", 0)?,
+        })),
+        "eval" => Ok(Command::Eval(EvalArgs {
+            ontology: flags.require("ontology")?,
+            query: flags.require("query")?,
+            provenance: flags.get("provenance"),
+            limit: flags.num("limit", 8)? as usize,
+            polynomial: flags.switch("polynomial"),
+        })),
+        "infer" => Ok(Command::Infer(InferArgs {
+            ontology: flags.require("ontology")?,
+            examples: flags.require("examples")?,
+            k: flags.num("k", 3)? as usize,
+            w1: flags.float("w1", 2.0)?,
+            w2: flags.float("w2", 5.0)?,
+            diseqs: flags.switch("diseqs"),
+            optional: flags.switch("optional"),
+            minimize: flags.switch("minimize"),
+        })),
+        "sample" => Ok(Command::Sample(SampleArgs {
+            ontology: flags.require("ontology")?,
+            query: flags.require("query")?,
+            n: flags.num("n", 3)? as usize,
+            seed: flags.num("seed", 0)?,
+            result: flags.get("result"),
+        })),
+        "session" => Ok(Command::Session(SessionArgs {
+            ontology: flags.require("ontology")?,
+            examples: flags.require("examples")?,
+            target: flags.get("target"),
+            k: flags.num("k", 3)? as usize,
+            seed: flags.num("seed", 0)?,
+            refine: flags.switch("refine"),
+        })),
+        "diagnose" => Ok(Command::Diagnose(DiagnoseArgs {
+            ontology: flags.require("ontology")?,
+            examples: flags.require("examples")?,
+        })),
+        "explore" => Ok(Command::Explore(ExploreArgs {
+            ontology: flags.require("ontology")?,
+            node: flags.require("node")?,
+            depth: flags.num("depth", 1)? as usize,
+        })),
+        "help" | "--help" | "-h" => Err(CliError::Usage(USAGE.to_string())),
+        other => Err(CliError::Usage(format!(
+            "unknown subcommand {other:?}\n\n{USAGE}"
+        ))),
+    }
+}
+
+/// Flag map with typed accessors.
+struct Flags {
+    pairs: Vec<(String, Option<String>)>,
+}
+
+/// Boolean switches that take no value.
+const SWITCHES: &[&str] = &["diseqs", "refine", "optional", "minimize", "polynomial"];
+
+impl Flags {
+    fn parse(rest: &[String]) -> Result<Self, CliError> {
+        let mut pairs = Vec::new();
+        let mut it = rest.iter().peekable();
+        while let Some(tok) = it.next() {
+            let name = tok
+                .strip_prefix("--")
+                .or_else(|| tok.strip_prefix('-').filter(|s| !s.is_empty()))
+                .ok_or_else(|| CliError::Usage(format!("expected a --flag, found {tok:?}")))?;
+            if SWITCHES.contains(&name) {
+                pairs.push((name.to_string(), None));
+            } else {
+                let value = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage(format!("flag --{name} needs a value")))?;
+                pairs.push((name.to_string(), Some(value.clone())));
+            }
+        }
+        Ok(Self { pairs })
+    }
+
+    fn get(&self, name: &str) -> Option<String> {
+        self.pairs
+            .iter()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.clone())
+    }
+
+    fn switch(&self, name: &str) -> bool {
+        self.pairs.iter().any(|(n, _)| n == name)
+    }
+
+    fn require(&self, name: &str) -> Result<String, CliError> {
+        self.get(name)
+            .ok_or_else(|| CliError::Usage(format!("missing required flag --{name}")))
+    }
+
+    fn num(&self, name: &str, default: u64) -> Result<u64, CliError> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError::Usage(format!("--{name} expects an integer, got {v:?}"))),
+        }
+    }
+
+    fn float(&self, name: &str, default: f64) -> Result<f64, CliError> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError::Usage(format!("--{name} expects a number, got {v:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_generate() {
+        let cmd = parse(&argv("generate --world sp2b --out w.triples --seed 7")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Generate(GenerateArgs {
+                world: "sp2b".into(),
+                out: "w.triples".into(),
+                seed: 7,
+            })
+        );
+    }
+
+    #[test]
+    fn parses_infer_with_defaults_and_switch() {
+        let cmd = parse(&argv("infer --ontology o --examples e --diseqs")).unwrap();
+        match cmd {
+            Command::Infer(i) => {
+                assert_eq!(i.k, 3);
+                assert_eq!(i.w1, 2.0);
+                assert!(i.diseqs);
+                assert!(!i.optional);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_required_flag_is_reported() {
+        let err = parse(&argv("eval --ontology o")).unwrap_err();
+        assert!(err.to_string().contains("--query"));
+    }
+
+    #[test]
+    fn unknown_subcommand_shows_usage() {
+        let err = parse(&argv("frobnicate")).unwrap_err();
+        assert!(err.to_string().contains("unknown subcommand"));
+        assert!(err.to_string().contains("USAGE"));
+    }
+
+    #[test]
+    fn flag_without_value_is_reported() {
+        let err = parse(&argv("eval --ontology")).unwrap_err();
+        assert!(err.to_string().contains("needs a value"));
+    }
+
+    #[test]
+    fn bad_number_is_reported() {
+        let err = parse(&argv("infer --ontology o --examples e --k many")).unwrap_err();
+        assert!(err.to_string().contains("integer"));
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let err = parse(&argv("help")).unwrap_err();
+        assert!(err.to_string().contains("questpro generate"));
+    }
+}

@@ -1,0 +1,498 @@
+//! Implementations of the CLI subcommands.
+//!
+//! Every command is a pure function from parsed arguments to output
+//! text; file IO goes through the [`io`] helpers so failures carry their
+//! paths.
+
+pub mod io {
+    //! File-reading helpers shared by the subcommands.
+
+    use questpro_graph::{triples, ExampleSet, Ontology};
+    use questpro_query::{sparql, UnionQuery};
+
+    use crate::error::CliError;
+
+    /// Reads and parses an ontology from the triple text format.
+    pub fn load_ontology(path: &str) -> Result<Ontology, CliError> {
+        let text = std::fs::read_to_string(path).map_err(|e| CliError::io(path, e))?;
+        triples::parse(&text).map_err(CliError::input)
+    }
+
+    /// Reads and parses a (union) query in the SPARQL dialect.
+    pub fn load_query(path: &str) -> Result<UnionQuery, CliError> {
+        let text = std::fs::read_to_string(path).map_err(|e| CliError::io(path, e))?;
+        sparql::parse_union(&text).map_err(CliError::input)
+    }
+
+    /// Reads and parses an example-set against an ontology.
+    pub fn load_examples(path: &str, ont: &Ontology) -> Result<ExampleSet, CliError> {
+        let text = std::fs::read_to_string(path).map_err(|e| CliError::io(path, e))?;
+        let set = questpro_graph::exformat::parse_examples(ont, &text).map_err(CliError::input)?;
+        if set.is_empty() {
+            return Err(CliError::Input(format!("{path} contains no explanations")));
+        }
+        Ok(set)
+    }
+}
+
+pub mod generate {
+    //! `questpro generate` — write a synthetic world to disk.
+
+    use questpro_data::{
+        generate_bsbm, generate_movies, generate_sp2b, BsbmConfig, MoviesConfig, Sp2bConfig,
+    };
+    use questpro_graph::triples;
+
+    use crate::args::GenerateArgs;
+    use crate::error::CliError;
+
+    /// Runs the command.
+    pub fn run(args: &GenerateArgs) -> Result<String, CliError> {
+        let ont = match args.world.as_str() {
+            "erdos" => questpro_data::erdos_ontology(),
+            "sp2b" => generate_sp2b(&Sp2bConfig {
+                seed: args.seed,
+                ..Default::default()
+            }),
+            "bsbm" => generate_bsbm(&BsbmConfig {
+                seed: args.seed,
+                ..Default::default()
+            }),
+            "movies" => generate_movies(&MoviesConfig {
+                seed: args.seed,
+                ..Default::default()
+            }),
+            other => {
+                return Err(CliError::Usage(format!(
+                    "unknown world {other:?} (expected erdos|sp2b|bsbm|movies)"
+                )))
+            }
+        };
+        let text = triples::serialize(&ont);
+        std::fs::write(&args.out, text).map_err(|e| CliError::io(&args.out, e))?;
+        let mut out = format!(
+            "wrote {} ({} nodes, {} edges)\n",
+            args.out,
+            ont.node_count(),
+            ont.edge_count()
+        );
+        for (ty, count) in ont.type_histogram() {
+            out.push_str(&format!("  {count:>6}  {ty}\n"));
+        }
+        Ok(out)
+    }
+}
+
+pub mod eval {
+    //! `questpro eval` — evaluate a query, optionally with provenance.
+
+    use std::fmt::Write as _;
+
+    use questpro_engine::{evaluate_union, polynomial_of_union, provenance_of_union};
+
+    use crate::args::EvalArgs;
+    use crate::commands::io;
+    use crate::error::CliError;
+
+    /// Runs the command.
+    pub fn run(args: &EvalArgs) -> Result<String, CliError> {
+        let ont = io::load_ontology(&args.ontology)?;
+        let query = io::load_query(&args.query)?;
+        let mut out = String::new();
+        let results = evaluate_union(&ont, &query);
+        let _ = writeln!(out, "{} result(s):", results.len());
+        for &r in &results {
+            let _ = writeln!(out, "  {}", ont.value_str(r));
+        }
+        if let Some(value) = &args.provenance {
+            let node = ont
+                .node_by_value(value)
+                .ok_or_else(|| CliError::Input(format!("no node with value {value:?}")))?;
+            if !results.contains(&node) {
+                return Err(CliError::Unsatisfiable(format!(
+                    "{value} is not a result of the query"
+                )));
+            }
+            if args.polynomial {
+                let p = polynomial_of_union(&ont, &query, node, Some(args.limit.max(1)));
+                let _ = writeln!(
+                    out,
+                    "\nprovenance polynomial of {value} ({} monomial(s), limit {}):",
+                    p.len(),
+                    args.limit
+                );
+                let _ = writeln!(out, "{}", p.describe(&ont));
+            } else {
+                let graphs = provenance_of_union(&ont, &query, node, Some(args.limit.max(1)));
+                let _ = writeln!(
+                    out,
+                    "\nprovenance of {value} ({} graph(s), limit {}):",
+                    graphs.len(),
+                    args.limit
+                );
+                for (i, g) in graphs.iter().enumerate() {
+                    let _ = writeln!(out, "--- graph {} ---", i + 1);
+                    let _ = writeln!(out, "{}", g.describe(&ont));
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+pub mod infer {
+    //! `questpro infer` — top-k query inference from explanations.
+
+    use std::fmt::Write as _;
+
+    use questpro_core::{infer_top_k, with_all_diseqs, GreedyConfig, TopKConfig};
+    use questpro_query::GeneralizationWeights;
+
+    use crate::args::InferArgs;
+    use crate::commands::io;
+    use crate::error::CliError;
+
+    /// Runs the command.
+    pub fn run(args: &InferArgs) -> Result<String, CliError> {
+        let ont = io::load_ontology(&args.ontology)?;
+        let examples = io::load_examples(&args.examples, &ont)?;
+        let weights = GeneralizationWeights::new(args.w1, args.w2);
+        let cfg = TopKConfig {
+            k: args.k.max(1),
+            weights,
+            greedy: GreedyConfig {
+                allow_optional: args.optional,
+                ..Default::default()
+            },
+        };
+        let (mut candidates, stats) = infer_top_k(&ont, &examples, &cfg);
+        if args.minimize {
+            use questpro_query::UnionQuery;
+            candidates = candidates
+                .into_iter()
+                .map(|u| {
+                    UnionQuery::new(u.branches().iter().map(questpro_engine::minimize).collect())
+                        .expect("branch count unchanged")
+                })
+                .collect();
+        }
+        if candidates.is_empty() {
+            return Err(CliError::Unsatisfiable(
+                "no consistent query found for the example-set".to_string(),
+            ));
+        }
+        let mut out = String::new();
+        for (i, q) in candidates.iter().enumerate() {
+            let q = if args.diseqs {
+                with_all_diseqs(&ont, q, &examples)
+            } else {
+                q.clone()
+            };
+            let _ = writeln!(
+                out,
+                "# candidate {} — cost {:.1} ({} branch(es), {} var(s){})",
+                i + 1,
+                q.cost(weights),
+                q.len(),
+                q.total_vars(),
+                if args.diseqs {
+                    format!(", {} diseq(s)", q.diseq_count())
+                } else {
+                    String::new()
+                }
+            );
+            let _ = writeln!(out, "{q}\n");
+        }
+        let _ = writeln!(
+            out,
+            "# explored {} intermediate queries in {} round(s)",
+            stats.algorithm1_calls, stats.rounds
+        );
+        Ok(out)
+    }
+}
+
+pub mod sample {
+    //! `questpro sample` — draw an example-set from a target query.
+
+    use questpro_engine::sample_example_set;
+    use questpro_graph::exformat;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    use crate::args::SampleArgs;
+    use crate::commands::io;
+    use crate::error::CliError;
+
+    /// Runs the command.
+    pub fn run(args: &SampleArgs) -> Result<String, CliError> {
+        let ont = io::load_ontology(&args.ontology)?;
+        let query = io::load_query(&args.query)?;
+        if let Some(value) = &args.result {
+            // Compile explanations for one chosen output example (the
+            // paper's user flow through the ontology visualizer).
+            let node = ont
+                .node_by_value(value)
+                .ok_or_else(|| CliError::Input(format!("no node with value {value:?}")))?;
+            let graphs =
+                questpro_engine::provenance_of_union(&ont, &query, node, Some(args.n.max(1)));
+            if graphs.is_empty() {
+                return Err(CliError::Unsatisfiable(format!(
+                    "{value} is not a result of the query (no explanations to compile)"
+                )));
+            }
+            let set: questpro_graph::ExampleSet = graphs
+                .into_iter()
+                .map(|g| {
+                    questpro_graph::Explanation::new(g, node)
+                        .expect("a provenance image contains its result")
+                })
+                .collect();
+            return Ok(exformat::serialize_examples(&ont, &set));
+        }
+        let mut rng = StdRng::seed_from_u64(args.seed);
+        let set = sample_example_set(&ont, &query, args.n.max(1), &mut rng, 8);
+        if set.is_empty() {
+            return Err(CliError::Unsatisfiable(
+                "the query has no results to sample from".to_string(),
+            ));
+        }
+        Ok(exformat::serialize_examples(&ont, &set))
+    }
+}
+
+pub mod session {
+    //! `questpro session` — the full pipeline, with either a simulated
+    //! oracle (from a `--target` query file) or an interactive user
+    //! answering yes/no questions on the terminal.
+
+    use std::fmt::Write as _;
+    use std::io::{BufRead, Write};
+
+    use questpro_core::TopKConfig;
+    use questpro_engine::evaluate_union;
+    use questpro_feedback::{run_session, Oracle, SessionConfig, TargetOracle};
+    use questpro_graph::{NodeId, Ontology, Subgraph};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    use crate::args::SessionArgs;
+    use crate::commands::io;
+    use crate::error::CliError;
+
+    /// An oracle that asks a human: prints the question to `prompt` and
+    /// reads `y`/`n` answers from `answers` (empty input counts as no).
+    pub struct PromptOracle<'a> {
+        answers: &'a mut dyn BufRead,
+        prompt: &'a mut dyn Write,
+    }
+
+    impl<'a> PromptOracle<'a> {
+        /// Creates a prompt-backed oracle.
+        pub fn new(answers: &'a mut dyn BufRead, prompt: &'a mut dyn Write) -> Self {
+            Self { answers, prompt }
+        }
+    }
+
+    impl Oracle for PromptOracle<'_> {
+        fn accept(&mut self, ont: &Ontology, res: NodeId, provenance: &Subgraph) -> bool {
+            let _ = writeln!(
+                self.prompt,
+                "\nShould {} be in your results? Because:\n{}\n[y/N] ",
+                ont.value_str(res),
+                provenance.describe(ont)
+            );
+            let _ = self.prompt.flush();
+            let mut line = String::new();
+            if self.answers.read_line(&mut line).is_err() {
+                return false;
+            }
+            matches!(line.trim(), "y" | "Y" | "yes" | "Yes")
+        }
+    }
+
+    /// Runs the command against stdin/stderr for interactive questions.
+    pub fn run(args: &SessionArgs) -> Result<String, CliError> {
+        let stdin = std::io::stdin();
+        let mut answers = stdin.lock();
+        let mut prompt = std::io::stderr();
+        run_with_io(args, &mut answers, &mut prompt)
+    }
+
+    /// Runs the command with explicit question/answer streams (used by
+    /// tests; `run` wires stdin/stderr).
+    pub fn run_with_io(
+        args: &SessionArgs,
+        answers: &mut dyn BufRead,
+        prompt: &mut dyn Write,
+    ) -> Result<String, CliError> {
+        let ont = io::load_ontology(&args.ontology)?;
+        let examples = io::load_examples(&args.examples, &ont)?;
+        let target = args.target.as_deref().map(io::load_query).transpose()?;
+        let mut rng = StdRng::seed_from_u64(args.seed);
+        let cfg = SessionConfig {
+            topk: TopKConfig {
+                k: args.k.max(1),
+                ..Default::default()
+            },
+            refine: args.refine,
+            ..Default::default()
+        };
+        let result = match &target {
+            Some(t) => {
+                let mut oracle = TargetOracle::new(t.clone());
+                run_session(&ont, &examples, &mut oracle, &mut rng, &cfg)
+            }
+            None => {
+                let mut oracle = PromptOracle::new(answers, prompt);
+                run_session(&ont, &examples, &mut oracle, &mut rng, &cfg)
+            }
+        };
+        let mut out = String::new();
+        let _ = writeln!(out, "# {} candidate(s) inferred", result.candidates.len());
+        for rec in &result.selection_transcript {
+            let _ = writeln!(
+                out,
+                "\nquestion: include {}?\n{}\nanswer: {}",
+                ont.value_str(rec.result),
+                rec.provenance.describe(&ont),
+                if rec.answer { "yes" } else { "no" }
+            );
+        }
+        let _ = writeln!(
+            out,
+            "\n# {} selection question(s), {} refinement question(s)",
+            result.selection_transcript.len(),
+            result.refinement_questions
+        );
+        let _ = writeln!(out, "\n{}", result.query);
+        if let Some(t) = &target {
+            let same = evaluate_union(&ont, &result.query) == evaluate_union(&ont, t);
+            let _ = writeln!(
+                out,
+                "\n# target semantics {}",
+                if same {
+                    "REACHED"
+                } else {
+                    "NOT reached (try more examples)"
+                }
+            );
+        }
+        Ok(out)
+    }
+}
+
+pub mod diagnose {
+    //! `questpro diagnose` — flag suspect explanations.
+
+    use std::fmt::Write as _;
+
+    use questpro_core::{diagnose_examples, GreedyConfig, Suspicion};
+
+    use crate::args::DiagnoseArgs;
+    use crate::commands::io;
+    use crate::error::CliError;
+
+    /// Runs the command.
+    pub fn run(args: &DiagnoseArgs) -> Result<String, CliError> {
+        let ont = io::load_ontology(&args.ontology)?;
+        let examples = io::load_examples(&args.examples, &ont)?;
+        let diagnoses = diagnose_examples(&ont, &examples, &GreedyConfig::default());
+        let mut out = String::new();
+        for d in &diagnoses {
+            let ex = &examples.explanations()[d.index];
+            let _ = writeln!(
+                out,
+                "explanation {} (dis {}): {:?} — merges with {} other(s){}",
+                d.index + 1,
+                ont.value_str(ex.distinguished()),
+                d.suspicion,
+                d.mergeable_with,
+                d.best_merge_vars
+                    .map(|v| format!(", best merge uses {v} var(s)"))
+                    .unwrap_or_default()
+            );
+        }
+        let suspects = diagnoses
+            .iter()
+            .filter(|d| d.suspicion != Suspicion::Clean)
+            .count();
+        let _ = writeln!(
+            out,
+            "\n{} suspect explanation(s) out of {}",
+            suspects,
+            diagnoses.len()
+        );
+        Ok(out)
+    }
+}
+
+pub mod explore {
+    //! `questpro explore` — the terminal rendition of the paper's
+    //! ontology visualizer: print a node's k-neighborhood so users can
+    //! formulate explanation files by hand.
+
+    use std::collections::BTreeSet;
+    use std::fmt::Write as _;
+
+    use questpro_graph::NodeId;
+
+    use crate::args::ExploreArgs;
+    use crate::commands::io;
+    use crate::error::CliError;
+
+    /// Runs the command.
+    pub fn run(args: &ExploreArgs) -> Result<String, CliError> {
+        let ont = io::load_ontology(&args.ontology)?;
+        let start = ont
+            .node_by_value(&args.node)
+            .ok_or_else(|| CliError::Input(format!("no node with value {:?}", args.node)))?;
+        let mut out = String::new();
+        let ty = ont
+            .node_type(start)
+            .map(|t| format!(" ({})", ont.type_str(t)))
+            .unwrap_or_default();
+        let _ = writeln!(out, "{}{}", args.node, ty);
+        let mut frontier: BTreeSet<NodeId> = BTreeSet::from([start]);
+        let mut seen = frontier.clone();
+        for depth in 1..=args.depth.max(1) {
+            let mut next: BTreeSet<NodeId> = BTreeSet::new();
+            let mut lines: Vec<String> = Vec::new();
+            for &n in &frontier {
+                for &e in ont.out_edges(n) {
+                    let d = ont.edge(e);
+                    lines.push(format!(
+                        "  {} -{}-> {}",
+                        ont.value_str(d.src),
+                        ont.pred_str(d.pred),
+                        ont.value_str(d.dst)
+                    ));
+                    next.insert(d.dst);
+                }
+                for &e in ont.in_edges(n) {
+                    let d = ont.edge(e);
+                    lines.push(format!(
+                        "  {} -{}-> {}",
+                        ont.value_str(d.src),
+                        ont.pred_str(d.pred),
+                        ont.value_str(d.dst)
+                    ));
+                    next.insert(d.src);
+                }
+            }
+            lines.sort();
+            lines.dedup();
+            let _ = writeln!(out, "-- depth {depth} ({} edge(s)) --", lines.len());
+            for l in lines {
+                let _ = writeln!(out, "{l}");
+            }
+            next.retain(|n| !seen.contains(n));
+            seen.extend(next.iter().copied());
+            frontier = next;
+            if frontier.is_empty() {
+                break;
+            }
+        }
+        Ok(out)
+    }
+}

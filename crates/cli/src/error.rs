@@ -1,0 +1,68 @@
+//! CLI error type: every failure a command can report.
+
+use std::fmt;
+
+/// Errors surfaced to the CLI user with a non-zero exit code.
+#[derive(Debug)]
+pub enum CliError {
+    /// Command-line arguments were malformed; includes usage help.
+    Usage(String),
+    /// A file could not be read or written.
+    Io {
+        /// The path involved.
+        path: String,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// An ontology / example / query file failed to parse or validate.
+    Input(String),
+    /// The request is well-formed but unsatisfiable (e.g. no consistent
+    /// query exists for the example-set).
+    Unsatisfiable(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "usage error: {msg}"),
+            CliError::Io { path, source } => write!(f, "io error on {path}: {source}"),
+            CliError::Input(msg) => write!(f, "input error: {msg}"),
+            CliError::Unsatisfiable(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl CliError {
+    /// Wraps an io error with its path.
+    pub fn io(path: &str, source: std::io::Error) -> Self {
+        CliError::Io {
+            path: path.to_string(),
+            source,
+        }
+    }
+
+    /// Wraps any displayable parse/validation error.
+    pub fn input(e: impl fmt::Display) -> Self {
+        CliError::Input(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(CliError::Usage("bad flag".into())
+            .to_string()
+            .contains("bad flag"));
+        assert!(CliError::input("oops").to_string().contains("oops"));
+        let e = CliError::io(
+            "x.triples",
+            std::io::Error::new(std::io::ErrorKind::NotFound, "gone"),
+        );
+        assert!(e.to_string().contains("x.triples"));
+    }
+}

@@ -1,0 +1,39 @@
+//! The `questpro` command-line interface.
+//!
+//! Everything a downstream user needs to drive QuestPro-RS from a shell:
+//!
+//! ```text
+//! questpro generate --world sp2b --out world.triples
+//! questpro sample   --ontology world.triples --query q.sparql -n 3 > ex.txt
+//! questpro infer    --ontology world.triples --examples ex.txt --k 3
+//! questpro eval     --ontology world.triples --query q.sparql
+//! questpro session  --ontology world.triples --examples ex.txt --target q.sparql
+//! ```
+//!
+//! The library half ([`run`]) is a pure function from parsed arguments
+//! to output text, so the whole CLI is unit-testable without spawning
+//! processes; `main.rs` only parses `std::env::args` and prints.
+
+pub mod args;
+pub mod commands;
+pub mod error;
+
+pub use args::Command;
+pub use error::CliError;
+
+/// Executes a parsed command, returning its stdout text.
+///
+/// # Errors
+/// Returns a [`CliError`] describing bad input files, malformed
+/// queries/examples, or unsatisfiable requests.
+pub fn run(cmd: Command) -> Result<String, CliError> {
+    match cmd {
+        Command::Generate(g) => commands::generate::run(&g),
+        Command::Eval(e) => commands::eval::run(&e),
+        Command::Infer(i) => commands::infer::run(&i),
+        Command::Sample(s) => commands::sample::run(&s),
+        Command::Session(s) => commands::session::run(&s),
+        Command::Diagnose(d) => commands::diagnose::run(&d),
+        Command::Explore(e) => commands::explore::run(&e),
+    }
+}

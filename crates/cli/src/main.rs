@@ -1,0 +1,17 @@
+//! The `questpro` binary: parse argv, dispatch, print, exit.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match questpro_cli::args::parse(&argv).and_then(questpro_cli::run) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,328 @@
+//! End-to-end CLI flow: generate → sample → infer → eval → session,
+//! exercising the command functions on real files in a temp directory.
+
+use std::path::PathBuf;
+
+use questpro_cli::args::{parse, Command};
+use questpro_cli::run;
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let dir =
+            std::env::temp_dir().join(format!("questpro-cli-test-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        Self(dir)
+    }
+
+    fn path(&self, name: &str) -> String {
+        self.0.join(name).to_string_lossy().into_owned()
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn cmd(parts: &[&str]) -> Command {
+    let argv: Vec<String> = parts.iter().map(|s| s.to_string()).collect();
+    parse(&argv).expect("arguments parse")
+}
+
+#[test]
+fn full_pipeline_through_the_cli() {
+    let tmp = TempDir::new("pipeline");
+    let world = tmp.path("world.triples");
+    let query = tmp.path("target.sparql");
+    let examples = tmp.path("examples.txt");
+
+    // generate
+    let out = run(cmd(&["generate", "--world", "erdos", "--out", &world])).expect("generate");
+    assert!(out.contains("nodes"));
+
+    // hand-write the target query: co-authors of Erdos.
+    std::fs::write(&query, "SELECT ?x WHERE { ?p :wb ?x . ?p :wb :Erdos . }\n")
+        .expect("write query");
+
+    // sample explanations from the target
+    let sampled = run(cmd(&[
+        "sample",
+        "--ontology",
+        &world,
+        "--query",
+        &query,
+        "-n",
+        "3",
+        "--seed",
+        "5",
+    ]))
+    .expect("sample");
+    assert!(sampled.contains("dis "));
+    std::fs::write(&examples, &sampled).expect("write examples");
+
+    // infer from the sampled explanations
+    let inferred = run(cmd(&[
+        "infer",
+        "--ontology",
+        &world,
+        "--examples",
+        &examples,
+        "--k",
+        "3",
+        "--diseqs",
+    ]))
+    .expect("infer");
+    assert!(inferred.contains("SELECT ?"));
+    assert!(inferred.contains("candidate 1"));
+
+    // eval the target with provenance for a known result
+    let eval = run(cmd(&[
+        "eval",
+        "--ontology",
+        &world,
+        "--query",
+        &query,
+        "--provenance",
+        "Carol",
+    ]))
+    .expect("eval");
+    assert!(eval.contains("result(s):"));
+    assert!(eval.contains("provenance of Carol"));
+    assert!(eval.contains("paper3 -wb-> Carol"));
+
+    // full session with the target as oracle
+    let session = run(cmd(&[
+        "session",
+        "--ontology",
+        &world,
+        "--examples",
+        &examples,
+        "--target",
+        &query,
+        "--refine",
+    ]))
+    .expect("session");
+    assert!(session.contains("target semantics REACHED"), "{session}");
+}
+
+#[test]
+fn eval_reports_non_results() {
+    let tmp = TempDir::new("nonresult");
+    let world = tmp.path("world.triples");
+    let query = tmp.path("q.sparql");
+    run(cmd(&["generate", "--world", "erdos", "--out", &world])).expect("generate");
+    std::fs::write(&query, "SELECT ?x WHERE { ?p :wb ?x . ?p :wb :Erdos . }").unwrap();
+    let err = run(cmd(&[
+        "eval",
+        "--ontology",
+        &world,
+        "--query",
+        &query,
+        "--provenance",
+        "paper1",
+    ]))
+    .expect_err("paper1 is not a result");
+    assert!(err.to_string().contains("not a result"));
+}
+
+#[test]
+fn missing_files_are_reported_with_paths() {
+    let err = run(cmd(&[
+        "eval",
+        "--ontology",
+        "/nonexistent/world.triples",
+        "--query",
+        "whatever.sparql",
+    ]))
+    .expect_err("missing ontology");
+    assert!(err.to_string().contains("/nonexistent/world.triples"));
+}
+
+#[test]
+fn malformed_examples_are_reported() {
+    let tmp = TempDir::new("badex");
+    let world = tmp.path("world.triples");
+    let examples = tmp.path("bad.txt");
+    run(cmd(&["generate", "--world", "erdos", "--out", &world])).expect("generate");
+    std::fs::write(&examples, "paper1 wb Alice\n").unwrap();
+    let err = run(cmd(&[
+        "infer",
+        "--ontology",
+        &world,
+        "--examples",
+        &examples,
+    ]))
+    .expect_err("edges before dis line");
+    assert!(err.to_string().contains("dis"));
+}
+
+#[test]
+fn unmergeable_examples_still_yield_a_union() {
+    // Explanations with different predicate sets cannot merge into one
+    // simple query, but the trivial union is always consistent — infer
+    // must succeed with separate branches.
+    let tmp = TempDir::new("unmergeable");
+    let world = tmp.path("world.triples");
+    std::fs::write(&world, "a p b\nc q d\n").unwrap();
+    let examples = tmp.path("ex.txt");
+    std::fs::write(&examples, "dis b\na p b\n\ndis d\nc q d\n").unwrap();
+    let out = run(cmd(&[
+        "infer",
+        "--ontology",
+        &world,
+        "--examples",
+        &examples,
+    ]))
+    .expect("trivial union works");
+    assert!(out.contains("UNION"));
+}
+
+#[test]
+fn diagnose_flags_suspect_blocks() {
+    let tmp = TempDir::new("diagnose");
+    let world = tmp.path("world.triples");
+    let examples = tmp.path("ex.txt");
+    run(cmd(&["generate", "--world", "erdos", "--out", &world])).expect("generate");
+    // Two clean co-author explanations plus one bare-node suspect.
+    std::fs::write(
+        &examples,
+        "dis Carol\npaper3 wb Carol\npaper3 wb Erdos\n\n\
+         dis Dave\npaper4 wb Dave\npaper4 wb Erdos\n\n\
+         dis Solo\n",
+    )
+    .unwrap();
+    let out = run(cmd(&[
+        "diagnose",
+        "--ontology",
+        &world,
+        "--examples",
+        &examples,
+    ]))
+    .expect("diagnose");
+    assert!(out.contains("ShapeMismatch"), "{out}");
+    assert!(out.contains("1 suspect explanation(s) out of 3"), "{out}");
+}
+
+#[test]
+fn interactive_session_reads_answers_from_the_stream() {
+    use questpro_cli::args::SessionArgs;
+    use questpro_cli::commands::session::run_with_io;
+    use std::io::Cursor;
+
+    let tmp = TempDir::new("interactive");
+    let world = tmp.path("world.triples");
+    let examples = tmp.path("ex.txt");
+    run(cmd(&["generate", "--world", "erdos", "--out", &world])).expect("generate");
+    std::fs::write(
+        &examples,
+        "dis Carol\npaper3 wb Carol\npaper3 wb Erdos\n\n\
+         dis Dave\npaper4 wb Dave\npaper4 wb Erdos\n",
+    )
+    .unwrap();
+    let args = SessionArgs {
+        ontology: world,
+        examples,
+        target: None,
+        k: 3,
+        seed: 7,
+        refine: true,
+    };
+    // Answer "no" to everything: the most specific surviving candidate
+    // wins and all questions are consumed from the stream.
+    let mut answers = Cursor::new(b"n\nn\nn\nn\nn\nn\nn\nn\n".to_vec());
+    let mut prompt = Vec::new();
+    let out = run_with_io(&args, &mut answers, &mut prompt).expect("interactive session");
+    assert!(out.contains("candidate(s) inferred"), "{out}");
+    assert!(out.contains("SELECT ?"), "{out}");
+    // No target ⇒ no target-semantics verdict line.
+    assert!(!out.contains("target semantics"));
+    let prompt_text = String::from_utf8(prompt).unwrap();
+    if out.contains("question:") {
+        assert!(prompt_text.contains("[y/N]"), "{prompt_text}");
+    }
+}
+
+#[test]
+fn eval_prints_provenance_polynomials() {
+    let tmp = TempDir::new("poly");
+    let world = tmp.path("world.triples");
+    let query = tmp.path("q.sparql");
+    run(cmd(&["generate", "--world", "erdos", "--out", &world])).expect("generate");
+    std::fs::write(&query, "SELECT ?x WHERE { ?p :wb ?x . ?p :wb :Erdos . }").unwrap();
+    let out = run(cmd(&[
+        "eval",
+        "--ontology",
+        &world,
+        "--query",
+        &query,
+        "--provenance",
+        "Carol",
+        "--polynomial",
+    ]))
+    .expect("eval with polynomial");
+    assert!(out.contains("provenance polynomial of Carol"), "{out}");
+    assert!(out.contains("paper3 -wb-> Carol"), "{out}");
+    assert!(out.contains(" · "), "{out}");
+}
+
+#[test]
+fn explore_shows_the_neighborhood() {
+    let tmp = TempDir::new("explore");
+    let world = tmp.path("world.triples");
+    run(cmd(&["generate", "--world", "erdos", "--out", &world])).expect("generate");
+    let out = run(cmd(&[
+        "explore",
+        "--ontology",
+        &world,
+        "--node",
+        "Carol",
+        "--depth",
+        "2",
+    ]))
+    .expect("explore");
+    assert!(out.starts_with("Carol (Author)"), "{out}");
+    assert!(out.contains("-- depth 1"), "{out}");
+    assert!(out.contains("paper3 -wb-> Carol"), "{out}");
+    // Depth 2 expands Carol's papers to her co-authors.
+    assert!(out.contains("-- depth 2"), "{out}");
+    assert!(out.contains("paper3 -wb-> Erdos"), "{out}");
+    assert!(out.contains("paper2 -wb-> Bob"), "{out}");
+}
+
+#[test]
+fn sample_result_compiles_explanations_for_one_example() {
+    let tmp = TempDir::new("sampleresult");
+    let world = tmp.path("world.triples");
+    let query = tmp.path("q.sparql");
+    run(cmd(&["generate", "--world", "erdos", "--out", &world])).expect("generate");
+    std::fs::write(&query, "SELECT ?x WHERE { ?p :wb ?x . ?p :wb :Erdos . }").unwrap();
+    let out = run(cmd(&[
+        "sample",
+        "--ontology",
+        &world,
+        "--query",
+        &query,
+        "--result",
+        "Carol",
+        "-n",
+        "4",
+    ]))
+    .expect("sample --result");
+    assert!(out.contains("dis Carol"), "{out}");
+    assert!(out.contains("paper3 wb Carol"), "{out}");
+    // A non-result is reported cleanly.
+    let err = run(cmd(&[
+        "sample",
+        "--ontology",
+        &world,
+        "--query",
+        &query,
+        "--result",
+        "Solo",
+    ]))
+    .expect_err("Solo is not a co-author of Erdos");
+    assert!(err.to_string().contains("not a result"), "{err}");
+}

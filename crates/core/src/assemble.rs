@@ -1,0 +1,312 @@
+//! `BuildQuery`: assembling the minimum-variable consistent query from a
+//! complete relation (Proposition 3.10, operations of Definition 3.7).
+//!
+//! Each chosen pair `(e1, e2)` contributes one query edge (operation 1).
+//! The query's **nodes** are the equivalence classes of endpoint pairs
+//! `(endpoint-in-G1, endpoint-in-G2)`: two query-edge endpoints are the
+//! same node exactly when both their G1 components and their G2
+//! components coincide — the maximal application of operation 3, which
+//! is always consistency-preserving (the two projections stay onto
+//! homomorphisms) and never increases the variable count. A class whose
+//! two components carry the *same constant* becomes that constant
+//! (operation 4, also applied maximally); all other classes get fresh
+//! variables.
+//!
+//! The projected node is the class of the distinguished pair
+//! `(dis(G1), dis(G2))` (operation 2); condition 4 of Def. 3.6
+//! guarantees the class exists. It is forced to be a variable even when
+//! both distinguished nodes carry the same constant, because the paper's
+//! query model requires a variable projected node.
+//!
+//! **OPTIONAL extension** (the paper's future work): edges left
+//! unpaired by the relation — input edges that are already optional,
+//! and, in optional-tolerant mode, required edges whose predicate has no
+//! counterpart on the other side — are carried into the merged query as
+//! OPTIONAL edges. Their endpoints reuse an existing class that shares
+//! the same one-sided coordinate when one exists (keeping the pattern
+//! connected), and otherwise become one-sided classes labeled by their
+//! own graph's node label. Consistency is preserved in both directions:
+//! toward the edge's own side the optional edge maps onto the leftover
+//! it came from (covering it), toward the other side it is skipped.
+
+use std::collections::HashMap;
+
+use questpro_query::{QueryBuilder, QueryNodeId, SimpleQuery};
+
+use crate::pattern::{PLabel, PatternGraph};
+
+/// Builds the minimum-variable consistent simple query for a complete
+/// relation over `(g1, g2)`. Optional input edges are carried over as
+/// OPTIONAL; unpaired *required* edges are ignored (the relation is
+/// assumed complete — validate with
+/// [`crate::relation::is_complete_relation`] for untrusted input).
+pub fn build_query(g1: &PatternGraph, g2: &PatternGraph, pairs: &[(usize, usize)]) -> SimpleQuery {
+    assemble(g1, g2, pairs, false)
+}
+
+/// Like [`build_query`], but also carries unpaired **required** edges as
+/// OPTIONAL edges — the optional-tolerant merge used when the two sides
+/// have different predicate shapes.
+pub fn build_query_with_optionals(
+    g1: &PatternGraph,
+    g2: &PatternGraph,
+    pairs: &[(usize, usize)],
+) -> SimpleQuery {
+    assemble(g1, g2, pairs, true)
+}
+
+struct Classes {
+    by_pair: HashMap<(u32, u32), QueryNodeId>,
+    first_by_left: HashMap<u32, QueryNodeId>,
+    first_by_right: HashMap<u32, QueryNodeId>,
+}
+
+impl Classes {
+    fn pair_node(
+        &mut self,
+        b: &mut QueryBuilder,
+        g1: &PatternGraph,
+        g2: &PatternGraph,
+        key: (u32, u32),
+    ) -> QueryNodeId {
+        if let Some(&n) = self.by_pair.get(&key) {
+            return n;
+        }
+        let n = match (g1.label(key.0), g2.label(key.1)) {
+            (PLabel::Const(x), PLabel::Const(y)) if x == y => b.constant(x),
+            _ => b.fresh_var(),
+        };
+        self.register(key, n);
+        n
+    }
+
+    fn register(&mut self, key: (u32, u32), n: QueryNodeId) {
+        self.by_pair.insert(key, n);
+        self.first_by_left.entry(key.0).or_insert(n);
+        self.first_by_right.entry(key.1).or_insert(n);
+    }
+
+    fn left_node(&mut self, b: &mut QueryBuilder, g1: &PatternGraph, u: u32) -> QueryNodeId {
+        if let Some(&n) = self.first_by_left.get(&u) {
+            return n;
+        }
+        let n = match g1.label(u) {
+            PLabel::Const(c) => b.constant(c),
+            PLabel::Var => b.fresh_var(),
+        };
+        self.first_by_left.insert(u, n);
+        n
+    }
+
+    fn right_node(&mut self, b: &mut QueryBuilder, g2: &PatternGraph, v: u32) -> QueryNodeId {
+        if let Some(&n) = self.first_by_right.get(&v) {
+            return n;
+        }
+        let n = match g2.label(v) {
+            PLabel::Const(c) => b.constant(c),
+            PLabel::Var => b.fresh_var(),
+        };
+        self.first_by_right.insert(v, n);
+        n
+    }
+}
+
+fn assemble(
+    g1: &PatternGraph,
+    g2: &PatternGraph,
+    pairs: &[(usize, usize)],
+    carry_required_leftovers: bool,
+) -> SimpleQuery {
+    let mut b = SimpleQuery::builder();
+    let dis_key = (g1.dis(), g2.dis());
+    // The projected class must be a variable, created first so its name
+    // is stable.
+    let proj = b.var("x");
+    b.project(proj);
+    let mut classes = Classes {
+        by_pair: HashMap::new(),
+        first_by_left: HashMap::new(),
+        first_by_right: HashMap::new(),
+    };
+    classes.register(dis_key, proj);
+
+    for &(e1, e2) in pairs {
+        let ed1 = &g1.edges()[e1];
+        let ed2 = &g2.edges()[e2];
+        debug_assert_eq!(ed1.pred, ed2.pred, "relation pairs share predicates");
+        let s = classes.pair_node(&mut b, g1, g2, (ed1.src, ed2.src));
+        let t = classes.pair_node(&mut b, g1, g2, (ed1.dst, ed2.dst));
+        b.edge(s, &ed1.pred, t);
+    }
+
+    // Leftovers become OPTIONAL edges: input-optional edges always,
+    // unpaired required edges only in optional-tolerant mode.
+    let mut covered1 = vec![false; g1.edge_count()];
+    let mut covered2 = vec![false; g2.edge_count()];
+    for &(e1, e2) in pairs {
+        covered1[e1] = true;
+        covered2[e2] = true;
+    }
+    for (i, e) in g1.edges().iter().enumerate() {
+        if covered1[i] || (!e.optional && !carry_required_leftovers) {
+            continue;
+        }
+        let s = classes.left_node(&mut b, g1, e.src);
+        let t = classes.left_node(&mut b, g1, e.dst);
+        b.optional_edge(s, &e.pred, t);
+    }
+    for (i, e) in g2.edges().iter().enumerate() {
+        if covered2[i] || (!e.optional && !carry_required_leftovers) {
+            continue;
+        }
+        let s = classes.right_node(&mut b, g2, e.src);
+        let t = classes.right_node(&mut b, g2, e.dst);
+        b.optional_edge(s, &e.pred, t);
+    }
+
+    b.build()
+        .expect("relation-derived queries are always well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use questpro_engine::consistent_with_explanation;
+    use questpro_graph::{Explanation, Ontology};
+
+    /// E1, E2 of the paper's Figure 1 (both 1-chains to Erdos).
+    fn world() -> (Ontology, Explanation, Explanation) {
+        let mut b = Ontology::builder();
+        for (p, a) in [
+            ("paper3", "Carol"),
+            ("paper3", "Erdos"),
+            ("paper4", "Dave"),
+            ("paper4", "Erdos"),
+        ] {
+            b.edge(p, "wb", a).unwrap();
+        }
+        let o = b.build();
+        let e1 = Explanation::from_triples(
+            &o,
+            &[("paper3", "wb", "Carol"), ("paper3", "wb", "Erdos")],
+            "Carol",
+        )
+        .unwrap();
+        let e2 = Explanation::from_triples(
+            &o,
+            &[("paper4", "wb", "Dave"), ("paper4", "wb", "Erdos")],
+            "Dave",
+        )
+        .unwrap();
+        (o, e1, e2)
+    }
+
+    fn edge_to(g: &PatternGraph, value: &str) -> usize {
+        g.edges()
+            .iter()
+            .position(|e| g.label(e.dst).as_const() == Some(value))
+            .unwrap()
+    }
+
+    #[test]
+    fn aligned_relation_yields_shared_constant_and_joined_source() {
+        let (o, e1, e2) = world();
+        let g1 = PatternGraph::from_explanation(&o, &e1);
+        let g2 = PatternGraph::from_explanation(&o, &e2);
+        let pairs = vec![
+            (edge_to(&g1, "Carol"), edge_to(&g2, "Dave")),
+            (edge_to(&g1, "Erdos"), edge_to(&g2, "Erdos")),
+        ];
+        let q = build_query(&g1, &g2, &pairs);
+        assert_eq!(q.edge_count(), 2);
+        assert_eq!(q.var_count(), 2); // ?x and the shared paper var
+        assert_eq!(q.generalization_vars(), 1);
+        assert!(q.node_of_const("Erdos").is_some());
+        assert!(q.is_connected());
+        assert!(consistent_with_explanation(&o, &q, &e1));
+        assert!(consistent_with_explanation(&o, &q, &e2));
+    }
+
+    #[test]
+    fn cross_relation_yields_more_variables() {
+        let (o, e1, e2) = world();
+        let g1 = PatternGraph::from_explanation(&o, &e1);
+        let g2 = PatternGraph::from_explanation(&o, &e2);
+        let pairs = vec![
+            (edge_to(&g1, "Carol"), edge_to(&g2, "Dave")),
+            (edge_to(&g1, "Erdos"), edge_to(&g2, "Dave")),
+            (edge_to(&g1, "Carol"), edge_to(&g2, "Erdos")),
+        ];
+        let q = build_query(&g1, &g2, &pairs);
+        assert_eq!(q.node_of_const("Erdos"), None);
+        assert!(q.var_count() > 2);
+        assert!(consistent_with_explanation(&o, &q, &e1));
+        assert!(consistent_with_explanation(&o, &q, &e2));
+    }
+
+    #[test]
+    fn projected_class_is_variable_even_for_shared_constants() {
+        let (o, e1, _) = world();
+        let g1 = PatternGraph::from_explanation(&o, &e1);
+        let pairs = vec![(0, 0), (1, 1)];
+        let q = build_query(&g1, &g1, &pairs);
+        assert!(q.label(q.projected()).is_var());
+        assert_eq!(q.var_count(), 1);
+        assert_eq!(q.generalization_vars(), 0);
+        assert!(q.node_of_const("paper3").is_some());
+        assert!(q.node_of_const("Erdos").is_some());
+        assert!(consistent_with_explanation(&o, &q, &e1));
+    }
+
+    #[test]
+    fn duplicate_pairs_do_not_duplicate_edges() {
+        let (o, e1, e2) = world();
+        let g1 = PatternGraph::from_explanation(&o, &e1);
+        let g2 = PatternGraph::from_explanation(&o, &e2);
+        let p = (edge_to(&g1, "Carol"), edge_to(&g2, "Dave"));
+        let q = build_query(
+            &g1,
+            &g2,
+            &[p, p, (edge_to(&g1, "Erdos"), edge_to(&g2, "Erdos"))],
+        );
+        assert_eq!(q.edge_count(), 2);
+    }
+
+    #[test]
+    fn leftover_required_edges_become_optional() {
+        // E1 has a `genre`-style extra edge E2 lacks: merging with
+        // optional tolerance keeps it as OPTIONAL, anchored to the
+        // shared class via its left coordinate.
+        let mut b = Ontology::builder();
+        for (s, p, d) in [
+            ("film1", "starring", "Ann"),
+            ("film1", "genre", "Crime"),
+            ("film2", "starring", "Ben"),
+        ] {
+            b.edge(s, p, d).unwrap();
+        }
+        let o = b.build();
+        let e1 = Explanation::from_triples(
+            &o,
+            &[("film1", "starring", "Ann"), ("film1", "genre", "Crime")],
+            "Ann",
+        )
+        .unwrap();
+        let e2 = Explanation::from_triples(&o, &[("film2", "starring", "Ben")], "Ben").unwrap();
+        let g1 = PatternGraph::from_explanation(&o, &e1);
+        let g2 = PatternGraph::from_explanation(&o, &e2);
+        let star1 = g1
+            .edges()
+            .iter()
+            .position(|e| &*e.pred == "starring")
+            .unwrap();
+        let q = build_query_with_optionals(&g1, &g2, &[(star1, 0)]);
+        assert_eq!(q.required_edge_count(), 1);
+        assert_eq!(q.optional_edge_count(), 1);
+        // The optional genre edge hangs off the shared film class, so
+        // the pattern stays connected.
+        assert!(q.is_connected());
+        assert!(consistent_with_explanation(&o, &q, &e1));
+        assert!(consistent_with_explanation(&o, &q, &e2));
+    }
+}

@@ -1,0 +1,220 @@
+//! Exact minimum-variable merging, for measuring the greedy heuristic.
+//!
+//! The paper proves that finding a consistent simple query with a
+//! minimal number of variables is NP-hard (Prop. 3.5) and leaves "a
+//! theoretical analysis of the quality of our heuristic algorithms" as
+//! future work. This module provides the empirical instrument: an
+//! exhaustive search over complete relations that is exponential but
+//! feasible for small explanation pairs, so tests and benches can
+//! quantify the greedy algorithm's optimality gap.
+//!
+//! Search space: by Prop. 3.9 every consistent query stems from a
+//! complete relation, and adding pairs to a relation never removes
+//! query nodes (classes are keyed by endpoint pairs), so a
+//! minimum-variable query is reachable from a relation that is the
+//! union of a left-total map `E(G1) → E(G2)` and a right-total map
+//! `E(G2) → E(G1)` (each edge chooses one partner). We enumerate those
+//! unions — `Π |partners(e)|` over both sides — and assemble each with
+//! the minimum-variable construction of Prop. 3.10, keeping the best.
+
+use questpro_query::SimpleQuery;
+
+use crate::assemble::build_query;
+use crate::pattern::PatternGraph;
+use crate::relation::is_complete_relation;
+
+/// Result of the exhaustive search.
+#[derive(Debug, Clone)]
+pub struct ExactOutcome {
+    /// A minimum-variable consistent query (over the searched space).
+    pub query: SimpleQuery,
+    /// The relation that produced it.
+    pub relation: Vec<(usize, usize)>,
+    /// Number of relations examined.
+    pub examined: u64,
+}
+
+/// Exhaustively merges two **optional-free** pattern graphs, returning
+/// the consistent query with the fewest generalization variables.
+///
+/// Returns `None` when no consistent query exists *or* when the search
+/// space exceeds `budget` relations (use the greedy algorithm instead).
+pub fn exact_merge_pair(g1: &PatternGraph, g2: &PatternGraph, budget: u64) -> Option<ExactOutcome> {
+    if g1.has_optional() || g2.has_optional() {
+        return None;
+    }
+    if g1.edge_count() == 0 || g2.edge_count() == 0 {
+        return None;
+    }
+    // Partner lists per side.
+    let partners1: Vec<Vec<usize>> = g1
+        .edges()
+        .iter()
+        .map(|e1| {
+            g2.edges()
+                .iter()
+                .enumerate()
+                .filter(|(_, e2)| e2.pred == e1.pred)
+                .map(|(j, _)| j)
+                .collect()
+        })
+        .collect();
+    let partners2: Vec<Vec<usize>> = g2
+        .edges()
+        .iter()
+        .map(|e2| {
+            g1.edges()
+                .iter()
+                .enumerate()
+                .filter(|(_, e1)| e1.pred == e2.pred)
+                .map(|(i, _)| i)
+                .collect()
+        })
+        .collect();
+    if partners1.iter().any(Vec::is_empty) || partners2.iter().any(Vec::is_empty) {
+        return None; // predicate shapes differ — no complete relation
+    }
+    let space: u64 = partners1
+        .iter()
+        .chain(partners2.iter())
+        .try_fold(1u64, |acc, p| acc.checked_mul(p.len() as u64))?;
+    if space > budget {
+        return None;
+    }
+
+    let m1 = g1.edge_count();
+    let m2 = g2.edge_count();
+    let mut choice1 = vec![0usize; m1];
+    let mut choice2 = vec![0usize; m2];
+    let mut best: Option<ExactOutcome> = None;
+    let mut examined = 0u64;
+    loop {
+        examined += 1;
+        // Materialize the relation: f1 ∪ f2.
+        let mut pairs: Vec<(usize, usize)> = Vec::with_capacity(m1 + m2);
+        for (i, &c) in choice1.iter().enumerate() {
+            pairs.push((i, partners1[i][c]));
+        }
+        for (j, &c) in choice2.iter().enumerate() {
+            let pair = (partners2[j][c], j);
+            if !pairs.contains(&pair) {
+                pairs.push(pair);
+            }
+        }
+        if is_complete_relation(g1, g2, &pairs) {
+            let query = build_query(g1, g2, &pairs);
+            let better = best
+                .as_ref()
+                .is_none_or(|b| query.generalization_vars() < b.query.generalization_vars());
+            if better {
+                best = Some(ExactOutcome {
+                    query,
+                    relation: pairs,
+                    examined,
+                });
+            }
+        }
+        // Odometer over both choice vectors.
+        let mut advanced = false;
+        for (slot, limit) in choice1
+            .iter_mut()
+            .zip(partners1.iter().map(Vec::len))
+            .chain(choice2.iter_mut().zip(partners2.iter().map(Vec::len)))
+        {
+            *slot += 1;
+            if *slot < limit {
+                advanced = true;
+                break;
+            }
+            *slot = 0;
+        }
+        if !advanced {
+            break;
+        }
+    }
+    best.map(|mut b| {
+        b.examined = examined;
+        b
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::greedy::{merge_pair, GreedyConfig};
+    use questpro_engine::consistent_with_explanation;
+    use questpro_graph::{Explanation, Ontology};
+
+    fn world() -> (Ontology, Explanation, Explanation) {
+        let mut b = Ontology::builder();
+        for (p, a) in [
+            ("paper3", "Carol"),
+            ("paper3", "Erdos"),
+            ("paper4", "Dave"),
+            ("paper4", "Erdos"),
+        ] {
+            b.edge(p, "wb", a).unwrap();
+        }
+        let o = b.build();
+        let e1 = Explanation::from_triples(
+            &o,
+            &[("paper3", "wb", "Carol"), ("paper3", "wb", "Erdos")],
+            "Carol",
+        )
+        .unwrap();
+        let e2 = Explanation::from_triples(
+            &o,
+            &[("paper4", "wb", "Dave"), ("paper4", "wb", "Erdos")],
+            "Dave",
+        )
+        .unwrap();
+        (o, e1, e2)
+    }
+
+    #[test]
+    fn exact_finds_the_q3_merge() {
+        let (o, e1, e2) = world();
+        let g1 = PatternGraph::from_explanation(&o, &e1);
+        let g2 = PatternGraph::from_explanation(&o, &e2);
+        let out = exact_merge_pair(&g1, &g2, 1 << 20).expect("search succeeds");
+        assert_eq!(out.query.generalization_vars(), 1);
+        assert!(out.query.node_of_const("Erdos").is_some());
+        assert!(consistent_with_explanation(&o, &out.query, &e1));
+        assert!(consistent_with_explanation(&o, &out.query, &e2));
+        // 2×2 edges, all same predicate: 2^4 = 16 relations examined.
+        assert_eq!(out.examined, 16);
+    }
+
+    #[test]
+    fn greedy_matches_exact_on_the_running_example() {
+        let (o, e1, e2) = world();
+        let g1 = PatternGraph::from_explanation(&o, &e1);
+        let g2 = PatternGraph::from_explanation(&o, &e2);
+        let exact = exact_merge_pair(&g1, &g2, 1 << 20).expect("exact");
+        let greedy = merge_pair(&g1, &g2, &GreedyConfig::default()).expect("greedy");
+        assert_eq!(
+            greedy.query.generalization_vars(),
+            exact.query.generalization_vars()
+        );
+    }
+
+    #[test]
+    fn budget_overflow_returns_none() {
+        let (o, e1, _) = world();
+        let g1 = PatternGraph::from_explanation(&o, &e1);
+        assert!(exact_merge_pair(&g1, &g1, 3).is_none());
+    }
+
+    #[test]
+    fn mismatched_shapes_return_none() {
+        let mut b = Ontology::builder();
+        b.edge("a", "wb", "x").unwrap();
+        b.edge("c", "cites", "d").unwrap();
+        let o = b.build();
+        let e1 = Explanation::from_triples(&o, &[("a", "wb", "x")], "x").unwrap();
+        let e2 = Explanation::from_triples(&o, &[("c", "cites", "d")], "d").unwrap();
+        let g1 = PatternGraph::from_explanation(&o, &e1);
+        let g2 = PatternGraph::from_explanation(&o, &e2);
+        assert!(exact_merge_pair(&g1, &g2, 1 << 20).is_none());
+    }
+}

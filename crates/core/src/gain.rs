@@ -1,0 +1,203 @@
+//! The dynamic gain function of Definition 3.11.
+//!
+//! For a candidate pair `(e1, e2)` of same-predicate edges and the
+//! current partial relation `R`, the gain is a weighted sum of three
+//! criteria:
+//!
+//! * `c1` — **constant agreement**: 1 point for the sources carrying the
+//!   same constant, 1 for the targets (prefers pairing edges that will
+//!   later yield constants instead of variables);
+//! * `c2` — **freshness**: 2 if neither edge is paired yet, 1 if one is,
+//!   0 if both are (prefers extending coverage over re-pairing);
+//! * `c3` — **neighborhood**: 1 point if the source pair was already
+//!   matched by some chosen pair, 1 for the target pair (pairing edges
+//!   adjacent to already-merged nodes saves future variables).
+//!
+//! Pairs with different predicates are invalid (the paper assigns `−1`;
+//! we return `None`). The paper fixes the weights to `w1=3, w2=15, w3=1`
+//! in Section VI; [`GainWeights::default`] matches that.
+
+use crate::pattern::{PLabel, PatternGraph};
+use crate::relation::PartialRelation;
+
+/// Weights `(w1, w2, w3)` of the gain criteria.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GainWeights {
+    /// Weight of constant agreement (`c1`).
+    pub w1: f64,
+    /// Weight of freshness (`c2`).
+    pub w2: f64,
+    /// Weight of neighborhood (`c3`).
+    pub w3: f64,
+}
+
+impl GainWeights {
+    /// Creates a weight triple.
+    pub fn new(w1: f64, w2: f64, w3: f64) -> Self {
+        Self { w1, w2, w3 }
+    }
+
+    /// The paper's weights: `w1=3, w2=15, w3=1` (Section VI).
+    pub fn paper() -> Self {
+        Self::new(3.0, 15.0, 1.0)
+    }
+}
+
+impl Default for GainWeights {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// Computes the gain `G(R, e1, e2)`; `None` when the predicates differ
+/// (an invalid pair — the paper's `−1`).
+pub fn gain(
+    w: GainWeights,
+    g1: &PatternGraph,
+    g2: &PatternGraph,
+    r: &PartialRelation,
+    e1: usize,
+    e2: usize,
+) -> Option<f64> {
+    let ed1 = &g1.edges()[e1];
+    let ed2 = &g2.edges()[e2];
+    if ed1.pred != ed2.pred {
+        return None;
+    }
+    let c1 = same_const(g1.label(ed1.src), g2.label(ed2.src)) as u32
+        + same_const(g1.label(ed1.dst), g2.label(ed2.dst)) as u32;
+    let c2 = (!r.is_paired1(e1)) as u32 + (!r.is_paired2(e2)) as u32;
+    let c3 = r.sources_paired(ed1.src, ed2.src) as u32 + r.targets_paired(ed1.dst, ed2.dst) as u32;
+    Some(w.w1 * c1 as f64 + w.w2 * c2 as f64 + w.w3 * c3 as f64)
+}
+
+/// Whether two pattern labels are the *same constant*. Variables never
+/// agree — a variable endpoint always yields a fresh variable in the
+/// merged query.
+fn same_const(a: &PLabel, b: &PLabel) -> bool {
+    match (a, b) {
+        (PLabel::Const(x), PLabel::Const(y)) => x == y,
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use questpro_graph::{Explanation, Ontology};
+
+    /// E1 = Figure 1a (Alice's chain), E2 = Figure 1b (Dave's chain):
+    /// both end at Erdos.
+    fn graphs() -> (PatternGraph, PatternGraph) {
+        let mut b = Ontology::builder();
+        for (p, a) in [
+            ("paper3", "Carol"),
+            ("paper3", "Erdos"),
+            ("paper4", "Dave"),
+            ("paper4", "Erdos"),
+        ] {
+            b.edge(p, "wb", a).unwrap();
+        }
+        let o = b.build();
+        let e1 = Explanation::from_triples(
+            &o,
+            &[("paper3", "wb", "Carol"), ("paper3", "wb", "Erdos")],
+            "Carol",
+        )
+        .unwrap();
+        let e2 = Explanation::from_triples(
+            &o,
+            &[("paper4", "wb", "Dave"), ("paper4", "wb", "Erdos")],
+            "Dave",
+        )
+        .unwrap();
+        (
+            PatternGraph::from_explanation(&o, &e1),
+            PatternGraph::from_explanation(&o, &e2),
+        )
+    }
+
+    fn edge_to(g: &PatternGraph, value: &str) -> usize {
+        g.edges()
+            .iter()
+            .position(|e| g.label(e.dst).as_const() == Some(value))
+            .unwrap()
+    }
+
+    #[test]
+    fn example_3_12_arithmetic() {
+        // With R = {((paper3,Carol),(paper4,Dave))}, the pair
+        // ((paper3,Erdos),(paper4,Erdos)) gains w1·1 + w2·2 + w3·1.
+        let (g1, g2) = graphs();
+        let w = GainWeights::paper();
+        let carol = edge_to(&g1, "Carol");
+        let dave = edge_to(&g2, "Dave");
+        let erdos1 = edge_to(&g1, "Erdos");
+        let erdos2 = edge_to(&g2, "Erdos");
+        let mut r = PartialRelation::new(g1.edge_count(), g2.edge_count());
+        let g0 = gain(w, &g1, &g2, &r, carol, dave).unwrap();
+        r.push(&g1, &g2, carol, dave, g0);
+        let got = gain(w, &g1, &g2, &r, erdos1, erdos2).unwrap();
+        assert_eq!(got, 3.0 * 1.0 + 15.0 * 2.0 + 1.0 * 1.0);
+    }
+
+    #[test]
+    fn c1_counts_shared_constants() {
+        let (g1, g2) = graphs();
+        let w = GainWeights::new(1.0, 0.0, 0.0);
+        let r = PartialRelation::new(g1.edge_count(), g2.edge_count());
+        let erdos1 = edge_to(&g1, "Erdos");
+        let erdos2 = edge_to(&g2, "Erdos");
+        let carol = edge_to(&g1, "Carol");
+        let dave = edge_to(&g2, "Dave");
+        // (paper3→Erdos, paper4→Erdos): only targets agree → 1.
+        assert_eq!(gain(w, &g1, &g2, &r, erdos1, erdos2), Some(1.0));
+        // (paper3→Carol, paper4→Dave): nothing agrees → 0.
+        assert_eq!(gain(w, &g1, &g2, &r, carol, dave), Some(0.0));
+    }
+
+    #[test]
+    fn c2_penalizes_already_paired_edges() {
+        let (g1, g2) = graphs();
+        let w = GainWeights::new(0.0, 1.0, 0.0);
+        let carol = edge_to(&g1, "Carol");
+        let dave = edge_to(&g2, "Dave");
+        let erdos1 = edge_to(&g1, "Erdos");
+        let erdos2 = edge_to(&g2, "Erdos");
+        let mut r = PartialRelation::new(g1.edge_count(), g2.edge_count());
+        assert_eq!(gain(w, &g1, &g2, &r, carol, dave), Some(2.0));
+        r.push(&g1, &g2, carol, dave, 2.0);
+        assert_eq!(gain(w, &g1, &g2, &r, carol, erdos2), Some(1.0));
+        assert_eq!(gain(w, &g1, &g2, &r, carol, dave), Some(0.0));
+        let _ = (erdos1,);
+    }
+
+    #[test]
+    fn c3_rewards_matched_neighborhoods() {
+        let (g1, g2) = graphs();
+        let w = GainWeights::new(0.0, 0.0, 1.0);
+        let carol = edge_to(&g1, "Carol");
+        let dave = edge_to(&g2, "Dave");
+        let erdos1 = edge_to(&g1, "Erdos");
+        let erdos2 = edge_to(&g2, "Erdos");
+        let mut r = PartialRelation::new(g1.edge_count(), g2.edge_count());
+        assert_eq!(gain(w, &g1, &g2, &r, erdos1, erdos2), Some(0.0));
+        r.push(&g1, &g2, carol, dave, 0.0);
+        // Sources (paper3,paper4) now matched → c3 = 1.
+        assert_eq!(gain(w, &g1, &g2, &r, erdos1, erdos2), Some(1.0));
+    }
+
+    #[test]
+    fn mismatched_predicates_are_invalid() {
+        let mut b = Ontology::builder();
+        b.edge("a", "wb", "x").unwrap();
+        b.edge("a", "cites", "y").unwrap();
+        let o = b.build();
+        let e1 = Explanation::from_triples(&o, &[("a", "wb", "x")], "x").unwrap();
+        let e2 = Explanation::from_triples(&o, &[("a", "cites", "y")], "y").unwrap();
+        let g1 = PatternGraph::from_explanation(&o, &e1);
+        let g2 = PatternGraph::from_explanation(&o, &e2);
+        let r = PartialRelation::new(1, 1);
+        assert_eq!(gain(GainWeights::paper(), &g1, &g2, &r, 0, 0), None);
+    }
+}

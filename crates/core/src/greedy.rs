@@ -1,0 +1,472 @@
+//! Algorithm 1: `FindRelationGreedy`.
+//!
+//! Greedily builds a complete relation between two pattern graphs by
+//! repeatedly choosing the candidate pair with the highest *dynamic* gain
+//! (Def. 3.11), then assembles the minimum-variable query for the best
+//! relation found (Prop. 3.10). The first chosen pair is forced to be a
+//! *distinguished pair* (condition 4 of Def. 3.6), mirroring lines 10–12
+//! of the paper's pseudo-code.
+//!
+//! Diversification: iteration `i` removes the `i−1` statically-best pairs
+//! from the candidate pool before running the inner loop, so `numIter`
+//! different relations are explored.
+//!
+//! **Deviation from the paper**: the pseudo-code keeps the complete
+//! relation with the maximal *accumulated gain* (`maxGain`). Gain
+//! accumulates per chosen pair, so relations with more (redundant) pairs
+//! systematically out-score tighter ones, and the diversification loop
+//! can then prefer a strictly worse query. Since the stated objective is
+//! variable minimization and Prop. 3.10 already assembles the
+//! minimum-variable query *per relation*, we compare candidate relations
+//! by the variable count of their assembled queries, breaking ties by
+//! gain — which makes extra iterations monotonically non-harmful.
+//!
+//! Complexity is `O(numIter · (m1·m2)² )` pair-gain evaluations — the
+//! paper's bound up to the log factor of its priority queue, which a
+//! linear scan over the (small) pool replaces here.
+
+use questpro_query::SimpleQuery;
+
+use crate::assemble::{build_query, build_query_with_optionals};
+use crate::gain::{gain, GainWeights};
+use crate::pattern::PatternGraph;
+use crate::relation::{pair_touches_dis, PartialRelation};
+
+/// Configuration of Algorithm 1.
+#[derive(Debug, Clone, Copy)]
+pub struct GreedyConfig {
+    /// Gain weights (defaults to the paper's `3, 15, 1`).
+    pub weights: GainWeights,
+    /// Number of diversification iterations (`numIter`).
+    pub num_iter: usize,
+    /// Tolerate shape mismatches by carrying unpairable required edges
+    /// into the merged query as OPTIONAL edges (the paper's future-work
+    /// operator). Off by default: the strict mode is the paper's
+    /// Algorithm 1, which fails when the predicate shapes differ.
+    pub allow_optional: bool,
+}
+
+impl Default for GreedyConfig {
+    fn default() -> Self {
+        Self {
+            weights: GainWeights::paper(),
+            num_iter: 3,
+            allow_optional: false,
+        }
+    }
+}
+
+/// Outcome of a successful pairwise merge.
+#[derive(Debug, Clone)]
+pub struct MergeOutcome {
+    /// The assembled minimum-variable consistent query.
+    pub query: SimpleQuery,
+    /// The complete relation that led to it (pairs of edge indexes).
+    pub relation: Vec<(usize, usize)>,
+    /// The accumulated gain of the relation (`maxGain`).
+    pub gain: f64,
+}
+
+/// Runs Algorithm 1 on two pattern graphs.
+///
+/// Returns `None` when no complete relation exists — by Prop. 3.1 this
+/// happens exactly when the explanations cannot have a common consistent
+/// simple query (different predicate sets, or Lemma 3.2's distinguished-
+/// side test fails).
+pub fn merge_pair(
+    g1: &PatternGraph,
+    g2: &PatternGraph,
+    cfg: &GreedyConfig,
+) -> Option<MergeOutcome> {
+    // Degenerate edge-free graphs: the single-variable query merges two
+    // bare-node explanations; a bare node cannot merge with an edged one.
+    if g1.edge_count() == 0 || g2.edge_count() == 0 {
+        if g1.edge_count() == 0 && g2.edge_count() == 0 {
+            let mut b = SimpleQuery::builder();
+            let x = b.var("x");
+            b.project(x);
+            return Some(MergeOutcome {
+                query: b.build().expect("single-variable query is well-formed"),
+                relation: Vec::new(),
+                gain: 0.0,
+            });
+        }
+        return None;
+    }
+
+    // All valid pairs: same predicate, both required (optional input
+    // edges are never paired — they are carried over as-is).
+    let mut all_pairs: Vec<(usize, usize)> = Vec::new();
+    for e1 in 0..g1.edge_count() {
+        if g1.edges()[e1].optional {
+            continue;
+        }
+        for e2 in 0..g2.edge_count() {
+            if g2.edges()[e2].optional {
+                continue;
+            }
+            if g1.edges()[e1].pred == g2.edges()[e2].pred {
+                all_pairs.push((e1, e2));
+            }
+        }
+    }
+    if all_pairs.is_empty() {
+        return None;
+    }
+
+    // Static ranking (empty relation) used by the diversification step.
+    let empty = PartialRelation::for_graphs(g1, g2);
+    let w = cfg.weights;
+    let mut ranked = all_pairs.clone();
+    ranked.sort_by(|&(a1, a2), &(b1, b2)| {
+        let ga = gain(w, g1, g2, &empty, a1, a2).expect("valid pair");
+        let gb = gain(w, g1, g2, &empty, b1, b2).expect("valid pair");
+        gb.partial_cmp(&ga)
+            .expect("gains are finite")
+            .then((b1, b2).cmp(&(a1, a2)))
+    });
+
+    let mut best: Option<MergeOutcome> = None;
+    for i in 0..cfg.num_iter.max(1) {
+        // Remove the i statically-best pairs for diversification.
+        if i >= ranked.len() {
+            break;
+        }
+        let removed: &[(usize, usize)] = &ranked[..i];
+        let mut available: Vec<(usize, usize)> = all_pairs
+            .iter()
+            .copied()
+            .filter(|p| !removed.contains(p))
+            .collect();
+
+        let mut rel = PartialRelation::for_graphs(g1, g2);
+        while !rel.all_paired() && !available.is_empty() {
+            // The first pick must be a distinguished pair.
+            let need_dis = !rel.has_dis_pair();
+            let pick = available
+                .iter()
+                .enumerate()
+                .filter(|&(_, &(e1, e2))| !need_dis || pair_touches_dis(g1, g2, e1, e2))
+                .map(|(idx, &(e1, e2))| {
+                    let g = gain(w, g1, g2, &rel, e1, e2).expect("valid pair");
+                    (idx, e1, e2, g)
+                })
+                .max_by(|a, b| a.3.partial_cmp(&b.3).expect("finite gains"));
+            let Some((idx, e1, e2, g)) = pick else {
+                break; // no distinguished pair available
+            };
+            available.swap_remove(idx);
+            rel.push(g1, g2, e1, e2, g);
+        }
+        let acceptable = rel.has_dis_pair() && (rel.all_paired() || cfg.allow_optional);
+        if acceptable {
+            let query = if cfg.allow_optional {
+                build_query_with_optionals(g1, g2, rel.pairs())
+            } else {
+                build_query(g1, g2, rel.pairs())
+            };
+            let better = match &best {
+                None => true,
+                Some(b) => {
+                    let (vb, va) = (b.query.generalization_vars(), query.generalization_vars());
+                    va < vb || (va == vb && rel.total_gain() > b.gain)
+                }
+            };
+            if better {
+                best = Some(MergeOutcome {
+                    relation: rel.pairs().to_vec(),
+                    gain: rel.total_gain(),
+                    query,
+                });
+            }
+        }
+    }
+
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use questpro_engine::{consistent_with_explanation, evaluate};
+    use questpro_graph::{Explanation, Ontology};
+    use questpro_query::fixtures::erdos_q1;
+    use questpro_query::iso::isomorphic;
+
+    /// The full running example: Figure 1's ontology fragment with the
+    /// chains of Alice (via Bob, Carol) and Dave.
+    fn world() -> (Ontology, Vec<Explanation>) {
+        let mut b = Ontology::builder();
+        for (p, a) in [
+            ("paper1", "Alice"),
+            ("paper1", "Bob"),
+            ("paper2", "Bob"),
+            ("paper2", "Carol"),
+            ("paper3", "Carol"),
+            ("paper3", "Erdos"),
+            ("paper4", "Dave"),
+            ("paper4", "Erdos"),
+            // Felix's 3-chain (E3-style) for n-ary tests.
+            ("paper5", "Felix"),
+            ("paper5", "Gina"),
+            ("paper6", "Gina"),
+            ("paper6", "Hank"),
+            ("paper7", "Hank"),
+            ("paper7", "Erdos"),
+        ] {
+            b.edge(p, "wb", a).unwrap();
+        }
+        let o = b.build();
+        let e1 = Explanation::from_triples(
+            &o,
+            &[
+                ("paper1", "wb", "Alice"),
+                ("paper1", "wb", "Bob"),
+                ("paper2", "wb", "Bob"),
+                ("paper2", "wb", "Carol"),
+                ("paper3", "wb", "Carol"),
+                ("paper3", "wb", "Erdos"),
+            ],
+            "Alice",
+        )
+        .unwrap();
+        let e2 = Explanation::from_triples(
+            &o,
+            &[("paper3", "wb", "Carol"), ("paper3", "wb", "Erdos")],
+            "Carol",
+        )
+        .unwrap();
+        let e3 = Explanation::from_triples(
+            &o,
+            &[("paper4", "wb", "Dave"), ("paper4", "wb", "Erdos")],
+            "Dave",
+        )
+        .unwrap();
+        let e4 = Explanation::from_triples(
+            &o,
+            &[
+                ("paper5", "wb", "Felix"),
+                ("paper5", "wb", "Gina"),
+                ("paper6", "wb", "Gina"),
+                ("paper6", "wb", "Hank"),
+                ("paper7", "wb", "Hank"),
+                ("paper7", "wb", "Erdos"),
+            ],
+            "Felix",
+        )
+        .unwrap();
+        (o, vec![e1, e2, e3, e4])
+    }
+
+    #[test]
+    fn merging_the_two_short_chains_recovers_q3() {
+        // E2 (Carol) + E3 (Dave): both are "co-author of Erdos" shapes.
+        // The merge should produce ?p -wb-> ?x, ?p -wb-> :Erdos (the
+        // paper's Q3 in Figure 4a).
+        let (o, exs) = world();
+        let g1 = PatternGraph::from_explanation(&o, &exs[1]);
+        let g2 = PatternGraph::from_explanation(&o, &exs[2]);
+        let out = merge_pair(&g1, &g2, &GreedyConfig::default()).expect("merge succeeds");
+        assert_eq!(out.query.edge_count(), 2);
+        assert_eq!(out.query.generalization_vars(), 1);
+        assert!(out.query.node_of_const("Erdos").is_some());
+        assert!(consistent_with_explanation(&o, &out.query, &exs[1]));
+        assert!(consistent_with_explanation(&o, &out.query, &exs[2]));
+        // Semantically: returns exactly Erdos's co-authors.
+        let res = evaluate(&o, &out.query);
+        let mut names: Vec<_> = res.iter().map(|&n| o.value_str(n)).collect();
+        names.sort_unstable();
+        assert_eq!(names, vec!["Carol", "Dave", "Erdos", "Hank"]);
+    }
+
+    #[test]
+    fn merging_the_two_long_chains_recovers_q1_shape() {
+        // E1 (Alice) + E4 (Felix): both are 3-paper chains to Erdos; the
+        // merge should recover a connected 6-edge chain isomorphic to Q1
+        // except for the shared :Erdos constant at the far end.
+        let (o, exs) = world();
+        let g1 = PatternGraph::from_explanation(&o, &exs[0]);
+        let g2 = PatternGraph::from_explanation(&o, &exs[3]);
+        let out = merge_pair(&g1, &g2, &GreedyConfig::default()).expect("merge succeeds");
+        assert_eq!(out.query.edge_count(), 6);
+        assert!(out.query.is_connected());
+        assert!(out.query.node_of_const("Erdos").is_some());
+        assert!(consistent_with_explanation(&o, &out.query, &exs[0]));
+        assert!(consistent_with_explanation(&o, &out.query, &exs[3]));
+        // 6 variables besides the projected one minus the Erdos constant:
+        // chain has 7 nodes, one is :Erdos → 6 vars, 5 generalization.
+        assert_eq!(out.query.generalization_vars(), 5);
+    }
+
+    #[test]
+    fn incompatible_predicate_sets_fail() {
+        let mut b = Ontology::builder();
+        b.edge("a", "wb", "x").unwrap();
+        b.edge("c", "cites", "d").unwrap();
+        let o = b.build();
+        let e1 = Explanation::from_triples(&o, &[("a", "wb", "x")], "x").unwrap();
+        let e2 = Explanation::from_triples(&o, &[("c", "cites", "d")], "d").unwrap();
+        let g1 = PatternGraph::from_explanation(&o, &e1);
+        let g2 = PatternGraph::from_explanation(&o, &e2);
+        assert!(merge_pair(&g1, &g2, &GreedyConfig::default()).is_none());
+    }
+
+    #[test]
+    fn mismatched_distinguished_sides_fail() {
+        let mut b = Ontology::builder();
+        b.edge("p1", "wb", "Alice").unwrap();
+        b.edge("p2", "wb", "Bob").unwrap();
+        let o = b.build();
+        let e1 = Explanation::from_triples(&o, &[("p1", "wb", "Alice")], "Alice").unwrap();
+        let e2 = Explanation::from_triples(&o, &[("p2", "wb", "Bob")], "p2").unwrap();
+        let g1 = PatternGraph::from_explanation(&o, &e1);
+        let g2 = PatternGraph::from_explanation(&o, &e2);
+        assert!(merge_pair(&g1, &g2, &GreedyConfig::default()).is_none());
+    }
+
+    #[test]
+    fn bare_node_merges() {
+        let mut b = Ontology::builder();
+        b.edge("p1", "wb", "Alice").unwrap();
+        let o = b.build();
+        let bare1 = Explanation::from_edges(&o, [], "Alice").unwrap();
+        let bare2 = Explanation::from_edges(&o, [], "p1").unwrap();
+        let edged = Explanation::from_triples(&o, &[("p1", "wb", "Alice")], "Alice").unwrap();
+        let gb1 = PatternGraph::from_explanation(&o, &bare1);
+        let gb2 = PatternGraph::from_explanation(&o, &bare2);
+        let ge = PatternGraph::from_explanation(&o, &edged);
+        let out = merge_pair(&gb1, &gb2, &GreedyConfig::default()).expect("bare merge");
+        assert_eq!(out.query.node_count(), 1);
+        assert!(merge_pair(&gb1, &ge, &GreedyConfig::default()).is_none());
+    }
+
+    #[test]
+    fn merging_queries_composes() {
+        // Merge E1+E4 into a chain query, then merge that query with E1
+        // again: consistency with E1 and E4 must be preserved (the
+        // composition argument after Prop. 3.13).
+        let (o, exs) = world();
+        let g1 = PatternGraph::from_explanation(&o, &exs[0]);
+        let g4 = PatternGraph::from_explanation(&o, &exs[3]);
+        let chain = merge_pair(&g1, &g4, &GreedyConfig::default())
+            .unwrap()
+            .query;
+        let gq = PatternGraph::from_query(&chain);
+        let again = merge_pair(&gq, &g1, &GreedyConfig::default()).expect("query-expl merge");
+        assert!(consistent_with_explanation(&o, &again.query, &exs[0]));
+        assert!(consistent_with_explanation(&o, &again.query, &exs[3]));
+        // Merging the chain with E1 can at most lose the :Erdos constant;
+        // the shape stays a 6-edge chain similar to Q1.
+        assert_eq!(again.query.edge_count(), 6);
+        let _ = isomorphic(&again.query, &erdos_q1());
+    }
+
+    #[test]
+    fn optional_mode_merges_mismatched_shapes() {
+        // film1 has a genre edge; film2 does not. Strict Algorithm 1
+        // fails (different predicate sets, Prop. 3.1); optional-tolerant
+        // merging keeps the genre edge as OPTIONAL.
+        let mut b = Ontology::builder();
+        for (s, p, d) in [
+            ("film1", "starring", "Ann"),
+            ("film1", "genre", "Crime"),
+            ("film2", "starring", "Ben"),
+        ] {
+            b.edge(s, p, d).unwrap();
+        }
+        let o = b.build();
+        let e1 = Explanation::from_triples(
+            &o,
+            &[("film1", "starring", "Ann"), ("film1", "genre", "Crime")],
+            "Ann",
+        )
+        .unwrap();
+        let e2 = Explanation::from_triples(&o, &[("film2", "starring", "Ben")], "Ben").unwrap();
+        let g1 = PatternGraph::from_explanation(&o, &e1);
+        let g2 = PatternGraph::from_explanation(&o, &e2);
+        assert!(merge_pair(&g1, &g2, &GreedyConfig::default()).is_none());
+        let cfg = GreedyConfig {
+            allow_optional: true,
+            ..Default::default()
+        };
+        let out = merge_pair(&g1, &g2, &cfg).expect("optional merge succeeds");
+        assert_eq!(out.query.required_edge_count(), 1);
+        assert_eq!(out.query.optional_edge_count(), 1);
+        assert!(consistent_with_explanation(&o, &out.query, &e1));
+        assert!(consistent_with_explanation(&o, &out.query, &e2));
+    }
+
+    #[test]
+    fn optional_mode_carries_optionals_through_remerge() {
+        // Merge the optional-bearing query with a fresh explanation of
+        // the richer shape: optional edges survive and consistency with
+        // all three explanations holds.
+        let mut b = Ontology::builder();
+        for (s, p, d) in [
+            ("film1", "starring", "Ann"),
+            ("film1", "genre", "Crime"),
+            ("film2", "starring", "Ben"),
+            ("film3", "starring", "Cid"),
+            ("film3", "genre", "Drama"),
+        ] {
+            b.edge(s, p, d).unwrap();
+        }
+        let o = b.build();
+        let e1 = Explanation::from_triples(
+            &o,
+            &[("film1", "starring", "Ann"), ("film1", "genre", "Crime")],
+            "Ann",
+        )
+        .unwrap();
+        let e2 = Explanation::from_triples(&o, &[("film2", "starring", "Ben")], "Ben").unwrap();
+        let e3 = Explanation::from_triples(
+            &o,
+            &[("film3", "starring", "Cid"), ("film3", "genre", "Drama")],
+            "Cid",
+        )
+        .unwrap();
+        let cfg = GreedyConfig {
+            allow_optional: true,
+            ..Default::default()
+        };
+        let g1 = PatternGraph::from_explanation(&o, &e1);
+        let g2 = PatternGraph::from_explanation(&o, &e2);
+        let first = merge_pair(&g1, &g2, &cfg).expect("first merge");
+        let gq = PatternGraph::from_query(&first.query);
+        assert!(gq.has_optional());
+        let g3 = PatternGraph::from_explanation(&o, &e3);
+        let second = merge_pair(&gq, &g3, &cfg).expect("second merge");
+        assert!(second.query.optional_edge_count() >= 1);
+        for ex in [&e1, &e2, &e3] {
+            assert!(
+                consistent_with_explanation(&o, &second.query, ex),
+                "inconsistent with {}: {}",
+                o.value_str(ex.distinguished()),
+                second.query
+            );
+        }
+    }
+
+    #[test]
+    fn num_iter_only_improves_variable_count() {
+        let (o, exs) = world();
+        let g1 = PatternGraph::from_explanation(&o, &exs[0]);
+        let g2 = PatternGraph::from_explanation(&o, &exs[3]);
+        let vars_for = |num_iter: usize| {
+            merge_pair(
+                &g1,
+                &g2,
+                &GreedyConfig {
+                    num_iter,
+                    ..Default::default()
+                },
+            )
+            .unwrap()
+            .query
+            .generalization_vars()
+        };
+        // The selection criterion is primary on variables, so widening
+        // the search can only help.
+        assert!(vars_for(5) <= vars_for(1));
+    }
+}

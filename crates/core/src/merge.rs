@@ -1,0 +1,153 @@
+//! Extension of Algorithm 1 to `n` explanations (end of Section III).
+//!
+//! Runs the pairwise greedy merge on every pair of graphs in the pool,
+//! merges the pair whose complete relation has the **maximal gain**, and
+//! repeats — merging explanations with explanations, explanations with
+//! intermediate queries, and queries with queries — until one simple
+//! query remains. Consistency w.r.t. the union of the underlying
+//! example-sets is preserved by the composition-of-matches argument the
+//! paper gives after Proposition 3.13.
+
+use questpro_query::SimpleQuery;
+
+use crate::greedy::{merge_pair, GreedyConfig, MergeOutcome};
+use crate::pattern::PatternGraph;
+
+/// Result of merging `n` pattern graphs into one simple query.
+#[derive(Debug, Clone)]
+pub struct MergeAllOutcome {
+    /// The final consistent simple query.
+    pub query: SimpleQuery,
+    /// Number of Algorithm 1 invocations performed.
+    pub algorithm1_calls: usize,
+}
+
+/// Greedily merges all graphs into a single simple query.
+///
+/// Returns `None` if some pair can never be merged (no consistent simple
+/// query exists for the whole set), or if `graphs` is empty.
+pub fn merge_all(graphs: &[PatternGraph], cfg: &GreedyConfig) -> Option<MergeAllOutcome> {
+    let mut calls = 0usize;
+    let mut pool: Vec<PatternGraph> = graphs.to_vec();
+    if pool.is_empty() {
+        return None;
+    }
+    if pool.len() == 1 {
+        // A single graph merges with itself to produce its canonical
+        // consistent query (constants kept, projected node generalized).
+        let out = merge_pair(&pool[0], &pool[0], cfg)?;
+        return Some(MergeAllOutcome {
+            query: out.query,
+            algorithm1_calls: 1,
+        });
+    }
+    while pool.len() > 1 {
+        let mut best: Option<(usize, usize, MergeOutcome)> = None;
+        for i in 0..pool.len() {
+            for j in (i + 1)..pool.len() {
+                calls += 1;
+                if let Some(out) = merge_pair(&pool[i], &pool[j], cfg) {
+                    let better = match &best {
+                        None => true,
+                        Some((_, _, b)) => out.gain > b.gain,
+                    };
+                    if better {
+                        best = Some((i, j, out));
+                    }
+                }
+            }
+        }
+        let (i, j, out) = best?;
+        // Replace graphs i and j (j > i) with the merged query's graph.
+        pool.swap_remove(j);
+        pool.swap_remove(i);
+        pool.push(PatternGraph::from_query(&out.query));
+        if pool.len() == 1 {
+            return Some(MergeAllOutcome {
+                query: out.query,
+                algorithm1_calls: calls,
+            });
+        }
+    }
+    unreachable!("loop always returns when one graph remains")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use questpro_engine::consistent_with_explanation;
+    use questpro_graph::{Explanation, Ontology};
+
+    fn world() -> (Ontology, Vec<Explanation>) {
+        let mut b = Ontology::builder();
+        for (p, a) in [
+            ("paper3", "Carol"),
+            ("paper3", "Erdos"),
+            ("paper4", "Dave"),
+            ("paper4", "Erdos"),
+            ("paper8", "Iris"),
+            ("paper8", "Erdos"),
+        ] {
+            b.edge(p, "wb", a).unwrap();
+        }
+        let o = b.build();
+        let mk = |p: &str, a: &str| {
+            Explanation::from_triples(&o, &[(p, "wb", a), (p, "wb", "Erdos")], a).unwrap()
+        };
+        let exs = vec![
+            mk("paper3", "Carol"),
+            mk("paper4", "Dave"),
+            mk("paper8", "Iris"),
+        ];
+        (o, exs)
+    }
+
+    #[test]
+    fn three_way_merge_stays_consistent() {
+        let (o, exs) = world();
+        let graphs: Vec<PatternGraph> = exs
+            .iter()
+            .map(|e| PatternGraph::from_explanation(&o, e))
+            .collect();
+        let out = merge_all(&graphs, &GreedyConfig::default()).expect("merge succeeds");
+        for ex in &exs {
+            assert!(consistent_with_explanation(&o, &out.query, ex));
+        }
+        // Three co-author-of-Erdos explanations → the Q3 shape.
+        assert_eq!(out.query.edge_count(), 2);
+        assert!(out.query.node_of_const("Erdos").is_some());
+        // n=3 → first round 3 pairs, second round 1 pair.
+        assert_eq!(out.algorithm1_calls, 4);
+    }
+
+    #[test]
+    fn single_graph_produces_generalized_self_merge() {
+        let (o, exs) = world();
+        let g = PatternGraph::from_explanation(&o, &exs[0]);
+        let out = merge_all(std::slice::from_ref(&g), &GreedyConfig::default()).unwrap();
+        assert!(consistent_with_explanation(&o, &out.query, &exs[0]));
+        assert_eq!(out.algorithm1_calls, 1);
+        // Self-merge keeps all constants except the projected node.
+        assert_eq!(out.query.generalization_vars(), 0);
+    }
+
+    #[test]
+    fn unmergeable_pool_returns_none() {
+        let mut b = Ontology::builder();
+        b.edge("a", "wb", "x").unwrap();
+        b.edge("c", "cites", "d").unwrap();
+        let o = b.build();
+        let e1 = Explanation::from_triples(&o, &[("a", "wb", "x")], "x").unwrap();
+        let e2 = Explanation::from_triples(&o, &[("c", "cites", "d")], "d").unwrap();
+        let graphs = vec![
+            PatternGraph::from_explanation(&o, &e1),
+            PatternGraph::from_explanation(&o, &e2),
+        ];
+        assert!(merge_all(&graphs, &GreedyConfig::default()).is_none());
+    }
+
+    #[test]
+    fn empty_pool_returns_none() {
+        assert!(merge_all(&[], &GreedyConfig::default()).is_none());
+    }
+}

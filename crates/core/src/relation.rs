@@ -1,0 +1,281 @@
+//! Complete relations between two pattern graphs (Definition 3.6).
+//!
+//! A complete relation `R ⊆ E(G1) × E(G2)` pairs edges that a single
+//! query edge will later map to. It must (1) pair only same-predicate
+//! edges, (2)–(3) cover both edge sets, and (4) contain a pair whose
+//! sources — or targets — are the two distinguished nodes.
+//!
+//! [`PartialRelation`] is the growing relation inside Algorithm 1, with
+//! the bookkeeping the dynamic gain function needs: which edges are
+//! already paired (criterion `c2`) and which source/target node pairs
+//! have already been matched (criterion `c3`).
+
+use std::collections::HashSet;
+
+use crate::pattern::PatternGraph;
+
+/// A growing edge relation between two pattern graphs, with the
+/// incremental state used by the gain function.
+#[derive(Debug, Clone)]
+pub struct PartialRelation {
+    pairs: Vec<(usize, usize)>,
+    paired1: Vec<bool>,
+    paired2: Vec<bool>,
+    unpaired1: usize,
+    unpaired2: usize,
+    /// Source-node pairs `(src(e1), src(e2))` of chosen pairs.
+    src_pairs: HashSet<(u32, u32)>,
+    /// Target-node pairs `(dst(e1), dst(e2))` of chosen pairs.
+    tgt_pairs: HashSet<(u32, u32)>,
+    has_dis_pair: bool,
+    total_gain: f64,
+}
+
+impl PartialRelation {
+    /// An empty relation over graphs with `m1` and `m2` edges.
+    pub fn new(m1: usize, m2: usize) -> Self {
+        Self {
+            pairs: Vec::new(),
+            paired1: vec![false; m1],
+            paired2: vec![false; m2],
+            unpaired1: m1,
+            unpaired2: m2,
+            src_pairs: HashSet::new(),
+            tgt_pairs: HashSet::new(),
+            has_dis_pair: false,
+            total_gain: 0.0,
+        }
+    }
+
+    /// An empty relation over two pattern graphs where the graphs'
+    /// OPTIONAL edges are pre-marked as satisfied: completeness
+    /// (`all_paired`) only demands the *required* edges, since optional
+    /// edges are carried into the merged query as-is rather than paired.
+    pub fn for_graphs(g1: &PatternGraph, g2: &PatternGraph) -> Self {
+        let mut r = Self::new(g1.edge_count(), g2.edge_count());
+        for (i, e) in g1.edges().iter().enumerate() {
+            if e.optional {
+                r.paired1[i] = true;
+                r.unpaired1 -= 1;
+            }
+        }
+        for (i, e) in g2.edges().iter().enumerate() {
+            if e.optional {
+                r.paired2[i] = true;
+                r.unpaired2 -= 1;
+            }
+        }
+        r
+    }
+
+    /// The chosen pairs, in choice order.
+    pub fn pairs(&self) -> &[(usize, usize)] {
+        &self.pairs
+    }
+
+    /// Whether edge `e1` of the first graph is already paired.
+    pub fn is_paired1(&self, e1: usize) -> bool {
+        self.paired1[e1]
+    }
+
+    /// Whether edge `e2` of the second graph is already paired.
+    pub fn is_paired2(&self, e2: usize) -> bool {
+        self.paired2[e2]
+    }
+
+    /// Whether the source-node pair has been matched by a chosen pair.
+    pub fn sources_paired(&self, s1: u32, s2: u32) -> bool {
+        self.src_pairs.contains(&(s1, s2))
+    }
+
+    /// Whether the target-node pair has been matched by a chosen pair.
+    pub fn targets_paired(&self, t1: u32, t2: u32) -> bool {
+        self.tgt_pairs.contains(&(t1, t2))
+    }
+
+    /// Whether every edge on both sides is covered (conditions 2–3).
+    pub fn all_paired(&self) -> bool {
+        self.unpaired1 == 0 && self.unpaired2 == 0
+    }
+
+    /// Whether a distinguished pair was chosen (condition 4).
+    pub fn has_dis_pair(&self) -> bool {
+        self.has_dis_pair
+    }
+
+    /// Accumulated gain of the choices (`curGain` in Algorithm 1).
+    pub fn total_gain(&self) -> f64 {
+        self.total_gain
+    }
+
+    /// Number of chosen pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether no pair has been chosen yet.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Records the choice of `(e1, e2)` with the gain it was chosen at.
+    pub fn push(&mut self, g1: &PatternGraph, g2: &PatternGraph, e1: usize, e2: usize, gain: f64) {
+        let ed1 = &g1.edges()[e1];
+        let ed2 = &g2.edges()[e2];
+        debug_assert_eq!(ed1.pred, ed2.pred, "pairs must share a predicate");
+        if !self.paired1[e1] {
+            self.paired1[e1] = true;
+            self.unpaired1 -= 1;
+        }
+        if !self.paired2[e2] {
+            self.paired2[e2] = true;
+            self.unpaired2 -= 1;
+        }
+        self.src_pairs.insert((ed1.src, ed2.src));
+        self.tgt_pairs.insert((ed1.dst, ed2.dst));
+        if pair_touches_dis(g1, g2, e1, e2) {
+            self.has_dis_pair = true;
+        }
+        self.total_gain += gain;
+        self.pairs.push((e1, e2));
+    }
+}
+
+/// Whether the pair `(e1, e2)` satisfies Def. 3.6's condition 4: both
+/// sources, or both targets, are the distinguished nodes of their graphs.
+pub fn pair_touches_dis(g1: &PatternGraph, g2: &PatternGraph, e1: usize, e2: usize) -> bool {
+    (g1.edge_touches_dis(e1, true) && g2.edge_touches_dis(e2, true))
+        || (g1.edge_touches_dis(e1, false) && g2.edge_touches_dis(e2, false))
+}
+
+/// Validates that `pairs` forms a complete relation over `(g1, g2)`
+/// (all four conditions of Def. 3.6).
+pub fn is_complete_relation(
+    g1: &PatternGraph,
+    g2: &PatternGraph,
+    pairs: &[(usize, usize)],
+) -> bool {
+    let mut covered1 = vec![false; g1.edge_count()];
+    let mut covered2 = vec![false; g2.edge_count()];
+    let mut has_dis = false;
+    for &(e1, e2) in pairs {
+        if e1 >= g1.edge_count() || e2 >= g2.edge_count() {
+            return false;
+        }
+        if g1.edges()[e1].pred != g2.edges()[e2].pred {
+            return false;
+        }
+        covered1[e1] = true;
+        covered2[e2] = true;
+        has_dis |= pair_touches_dis(g1, g2, e1, e2);
+    }
+    has_dis && covered1.iter().all(|&c| c) && covered2.iter().all(|&c| c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use questpro_graph::{Explanation, Ontology};
+
+    fn graphs() -> (PatternGraph, PatternGraph) {
+        let mut b = Ontology::builder();
+        for (p, a) in [
+            ("paper3", "Carol"),
+            ("paper3", "Erdos"),
+            ("paper4", "Dave"),
+            ("paper4", "Erdos"),
+        ] {
+            b.edge(p, "wb", a).unwrap();
+        }
+        let o = b.build();
+        let e1 = Explanation::from_triples(
+            &o,
+            &[("paper3", "wb", "Carol"), ("paper3", "wb", "Erdos")],
+            "Carol",
+        )
+        .unwrap();
+        let e2 = Explanation::from_triples(
+            &o,
+            &[("paper4", "wb", "Dave"), ("paper4", "wb", "Erdos")],
+            "Dave",
+        )
+        .unwrap();
+        (
+            PatternGraph::from_explanation(&o, &e1),
+            PatternGraph::from_explanation(&o, &e2),
+        )
+    }
+
+    fn edge_to(g: &PatternGraph, value: &str) -> usize {
+        g.edges()
+            .iter()
+            .position(|e| g.label(e.dst).as_const() == Some(value))
+            .unwrap()
+    }
+
+    #[test]
+    fn aligned_pairs_form_complete_relation() {
+        let (g1, g2) = graphs();
+        let carol = edge_to(&g1, "Carol");
+        let erdos1 = edge_to(&g1, "Erdos");
+        let dave = edge_to(&g2, "Dave");
+        let erdos2 = edge_to(&g2, "Erdos");
+        let pairs = vec![(carol, dave), (erdos1, erdos2)];
+        assert!(is_complete_relation(&g1, &g2, &pairs));
+        // Missing coverage on one side is incomplete.
+        assert!(!is_complete_relation(&g1, &g2, &pairs[..1]));
+    }
+
+    #[test]
+    fn dis_pair_is_required() {
+        let (g1, g2) = graphs();
+        let carol = edge_to(&g1, "Carol");
+        let erdos1 = edge_to(&g1, "Erdos");
+        let dave = edge_to(&g2, "Dave");
+        let erdos2 = edge_to(&g2, "Erdos");
+        // Cross pairing: Carol-edge with Erdos-edge etc. Both sides are
+        // covered but no pair has both distinguished endpoints.
+        let pairs = vec![(carol, erdos2), (erdos1, dave)];
+        assert!(!is_complete_relation(&g1, &g2, &pairs));
+    }
+
+    #[test]
+    fn partial_relation_tracks_state() {
+        let (g1, g2) = graphs();
+        let carol = edge_to(&g1, "Carol");
+        let erdos1 = edge_to(&g1, "Erdos");
+        let dave = edge_to(&g2, "Dave");
+        let erdos2 = edge_to(&g2, "Erdos");
+
+        let mut r = PartialRelation::new(g1.edge_count(), g2.edge_count());
+        assert!(r.is_empty());
+        assert!(!r.all_paired());
+        r.push(&g1, &g2, carol, dave, 10.0);
+        assert!(r.has_dis_pair());
+        assert!(r.is_paired1(carol));
+        assert!(!r.is_paired1(erdos1));
+        // paper3/paper4 are now a matched source pair.
+        let s1 = g1.edges()[carol].src;
+        let s2 = g2.edges()[dave].src;
+        assert!(r.sources_paired(s1, s2));
+        r.push(&g1, &g2, erdos1, erdos2, 5.0);
+        assert!(r.all_paired());
+        assert_eq!(r.total_gain(), 15.0);
+        assert_eq!(r.len(), 2);
+        assert!(is_complete_relation(&g1, &g2, r.pairs()));
+    }
+
+    #[test]
+    fn repeated_edges_do_not_double_count_coverage() {
+        let (g1, g2) = graphs();
+        let carol = edge_to(&g1, "Carol");
+        let dave = edge_to(&g2, "Dave");
+        let erdos2 = edge_to(&g2, "Erdos");
+        let mut r = PartialRelation::new(g1.edge_count(), g2.edge_count());
+        r.push(&g1, &g2, carol, dave, 1.0);
+        r.push(&g1, &g2, carol, erdos2, 1.0);
+        // g2 fully covered; g1's Erdos edge still unpaired.
+        assert!(!r.all_paired());
+        assert_eq!(r.len(), 2);
+    }
+}

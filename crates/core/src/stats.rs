@@ -1,0 +1,61 @@
+//! Instrumentation counters for the inference algorithms.
+//!
+//! Figure 6 of the paper plots the "number of intermediate queries
+//! considered" — the number of times Algorithm 2 calls Algorithm 1 inside
+//! `MergeBestTwo`. [`InferenceStats`] tracks that counter plus a few
+//! companions useful for the ablation benches.
+
+/// Counters accumulated during a union / top-k inference run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InferenceStats {
+    /// Number of Algorithm 1 invocations (the Figure 6 metric).
+    pub algorithm1_calls: usize,
+    /// Number of merges actually applied to some candidate state.
+    pub merges_applied: usize,
+    /// Number of candidate states examined by the top-k beam.
+    pub states_examined: usize,
+    /// Number of `MergeBestTwo` rounds executed.
+    pub rounds: usize,
+    /// Algorithm 1 invocations answered from the pairwise merge cache
+    /// (still counted in `algorithm1_calls` — the Figure 6 metric).
+    pub merge_cache_hits: usize,
+}
+
+impl InferenceStats {
+    /// Adds another stats record into this one.
+    pub fn absorb(&mut self, other: InferenceStats) {
+        self.algorithm1_calls += other.algorithm1_calls;
+        self.merges_applied += other.merges_applied;
+        self.states_examined += other.states_examined;
+        self.rounds += other.rounds;
+        self.merge_cache_hits += other.merge_cache_hits;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_accumulates() {
+        let mut a = InferenceStats {
+            algorithm1_calls: 3,
+            merges_applied: 1,
+            states_examined: 2,
+            rounds: 1,
+            merge_cache_hits: 1,
+        };
+        a.absorb(InferenceStats {
+            algorithm1_calls: 4,
+            merges_applied: 2,
+            states_examined: 5,
+            rounds: 2,
+            merge_cache_hits: 2,
+        });
+        assert_eq!(a.algorithm1_calls, 7);
+        assert_eq!(a.merges_applied, 3);
+        assert_eq!(a.states_examined, 7);
+        assert_eq!(a.rounds, 3);
+        assert_eq!(a.merge_cache_hits, 3);
+    }
+}

@@ -1,0 +1,299 @@
+//! Top-k beam-search variant of Algorithm 2 (end of Section IV).
+//!
+//! Instead of committing to the single best merge at each round, the
+//! beam keeps the `k` lowest-cost candidate states. The first round
+//! expands the initial state into its top-k merge successors; every
+//! subsequent round expands each beam state into its top-k successors
+//! (up to `k²` candidates), pools them with the surviving parents — the
+//! paper's Example 4.4 explicitly keeps the un-mergeable
+//! `Union({Q4,E1,E3})` around — deduplicates up to isomorphism, and
+//! keeps the `k` cheapest. The loop stops when a round adds nothing new.
+//!
+//! As the paper notes, this is still a heuristic: filtering to top-k at
+//! every round does not guarantee the global top-k (the `k = 1` case is
+//! already NP-hard).
+
+use questpro_graph::{ExampleSet, Ontology};
+use questpro_query::iso::union_isomorphic;
+use questpro_query::{GeneralizationWeights, UnionQuery};
+
+use crate::greedy::GreedyConfig;
+use crate::stats::InferenceStats;
+use crate::union::{
+    apply_merge, branches_cost, initial_branches, merge_candidates, Branch, MergeCache,
+};
+
+/// Configuration of the top-k inference.
+#[derive(Debug, Clone, Copy)]
+pub struct TopKConfig {
+    /// Beam width / number of queries to return.
+    pub k: usize,
+    /// Weights of the generalization cost function `f`.
+    pub weights: GeneralizationWeights,
+    /// Configuration of the inner Algorithm 1 runs.
+    pub greedy: GreedyConfig,
+}
+
+impl Default for TopKConfig {
+    fn default() -> Self {
+        Self {
+            k: 3,
+            weights: GeneralizationWeights::default(),
+            greedy: GreedyConfig::default(),
+        }
+    }
+}
+
+struct State {
+    branches: Vec<Branch>,
+    cost: f64,
+    query: UnionQuery,
+    /// Whether this state has already been expanded in a previous round.
+    expanded: bool,
+}
+
+fn make_state(branches: Vec<Branch>, w: GeneralizationWeights) -> State {
+    let cost = branches_cost(&branches, w);
+    let query = UnionQuery::new(branches.iter().map(|b| b.query.clone()).collect())
+        .expect("states always have at least one branch");
+    State {
+        branches,
+        cost,
+        query,
+        expanded: false,
+    }
+}
+
+/// Runs the top-k inference, returning up to `k` candidate union queries
+/// ranked by ascending generalization cost, plus instrumentation.
+///
+/// Every returned query is consistent with the example-set.
+///
+/// ```
+/// use questpro_core::{infer_top_k, TopKConfig};
+/// use questpro_graph::{ExampleSet, Explanation, Ontology};
+///
+/// let mut b = Ontology::builder();
+/// b.edge("paper3", "wb", "Carol")?;
+/// b.edge("paper3", "wb", "Erdos")?;
+/// b.edge("paper4", "wb", "Dave")?;
+/// b.edge("paper4", "wb", "Erdos")?;
+/// let ont = b.build();
+/// let e1 = Explanation::from_triples(
+///     &ont, &[("paper3", "wb", "Carol"), ("paper3", "wb", "Erdos")], "Carol")?;
+/// let e2 = Explanation::from_triples(
+///     &ont, &[("paper4", "wb", "Dave"), ("paper4", "wb", "Erdos")], "Dave")?;
+/// let examples = ExampleSet::from_explanations(vec![e1, e2]);
+///
+/// let (candidates, stats) = infer_top_k(&ont, &examples, &TopKConfig::default());
+/// assert!(!candidates.is_empty());
+/// assert!(stats.algorithm1_calls > 0);
+/// // The best candidate fuses both explanations into one pattern.
+/// assert_eq!(candidates[0].len(), 1);
+/// # Ok::<(), questpro_graph::GraphError>(())
+/// ```
+pub fn infer_top_k(
+    ont: &Ontology,
+    examples: &ExampleSet,
+    cfg: &TopKConfig,
+) -> (Vec<UnionQuery>, InferenceStats) {
+    assert!(cfg.k >= 1, "k must be at least 1");
+    assert!(!examples.is_empty(), "example-set must be non-empty");
+    let mut stats = InferenceStats::default();
+    let mut cache = MergeCache::default();
+    let mut beam: Vec<State> = vec![make_state(initial_branches(ont, examples), cfg.weights)];
+
+    // Each merge reduces a state's branch count by one, so chains of
+    // merges are bounded by the number of explanations.
+    for _round in 0..=examples.len() {
+        stats.rounds += 1;
+        let mut pool: Vec<State> = Vec::new();
+        let mut any_new = false;
+        let mut successors: Vec<State> = Vec::new();
+        for state in &mut beam {
+            if state.expanded || state.branches.len() == 1 {
+                continue;
+            }
+            state.expanded = true;
+            stats.states_examined += 1;
+            let candidates =
+                merge_candidates(&state.branches, &cfg.greedy, cfg.k, &mut stats, &mut cache);
+            for cand in candidates {
+                let next = apply_merge(&state.branches, &cand);
+                successors.push(make_state(next, cfg.weights));
+            }
+        }
+        pool.append(&mut beam);
+        for s in successors {
+            if !pool.iter().any(|p| union_isomorphic(&p.query, &s.query)) {
+                stats.merges_applied += 1;
+                any_new = true;
+                pool.push(s);
+            }
+        }
+        pool.sort_by(|a, b| a.cost.partial_cmp(&b.cost).expect("finite costs"));
+        pool.truncate(cfg.k);
+        beam = pool;
+        if !any_new {
+            break;
+        }
+    }
+
+    let queries = beam.into_iter().map(|s| s.query).collect();
+    (queries, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use questpro_engine::consistent_with_examples;
+    use questpro_graph::Explanation;
+
+    /// The four Figure 1 explanations (as in `union::tests`).
+    fn world() -> (Ontology, ExampleSet) {
+        let mut b = Ontology::builder();
+        for (p, a) in [
+            ("paper1", "Alice"),
+            ("paper1", "Bob"),
+            ("paper2", "Bob"),
+            ("paper2", "Carol"),
+            ("paper3", "Carol"),
+            ("paper3", "Erdos"),
+            ("paper4", "Dave"),
+            ("paper4", "Erdos"),
+            ("paper5", "Felix"),
+            ("paper5", "Gina"),
+            ("paper6", "Gina"),
+            ("paper6", "Hank"),
+            ("paper7", "Hank"),
+            ("paper7", "Erdos"),
+        ] {
+            b.edge(p, "wb", a).unwrap();
+        }
+        let o = b.build();
+        let chain3 = |p1: &str, a1: &str, a2: &str, p2: &str, a3: &str, p3: &str, a4: &str| {
+            Explanation::from_triples(
+                &o,
+                &[
+                    (p1, "wb", a1),
+                    (p1, "wb", a2),
+                    (p2, "wb", a2),
+                    (p2, "wb", a3),
+                    (p3, "wb", a3),
+                    (p3, "wb", a4),
+                ],
+                a1,
+            )
+            .unwrap()
+        };
+        let chain1 = |p: &str, a: &str| {
+            Explanation::from_triples(&o, &[(p, "wb", a), (p, "wb", "Erdos")], a).unwrap()
+        };
+        let e1 = chain3(
+            "paper1", "Alice", "Bob", "paper2", "Carol", "paper3", "Erdos",
+        );
+        let e2 = chain1("paper3", "Carol");
+        let e3 = chain1("paper4", "Dave");
+        let e4 = chain3(
+            "paper5", "Felix", "Gina", "paper6", "Hank", "paper7", "Erdos",
+        );
+        (o, ExampleSet::from_explanations(vec![e1, e2, e3, e4]))
+    }
+
+    #[test]
+    fn returns_at_most_k_distinct_consistent_queries() {
+        let (o, examples) = world();
+        let cfg = TopKConfig {
+            k: 3,
+            weights: GeneralizationWeights::example_4_4(),
+            ..Default::default()
+        };
+        let (queries, stats) = infer_top_k(&o, &examples, &cfg);
+        assert!(!queries.is_empty());
+        assert!(queries.len() <= 3);
+        for q in &queries {
+            assert!(consistent_with_examples(&o, q, &examples));
+        }
+        // No two returned queries are isomorphic.
+        for i in 0..queries.len() {
+            for j in (i + 1)..queries.len() {
+                assert!(!union_isomorphic(&queries[i], &queries[j]));
+            }
+        }
+        assert!(stats.algorithm1_calls > 0);
+    }
+
+    #[test]
+    fn results_are_sorted_by_cost() {
+        let (o, examples) = world();
+        let cfg = TopKConfig {
+            k: 4,
+            weights: GeneralizationWeights::example_4_4(),
+            ..Default::default()
+        };
+        let (queries, _) = infer_top_k(&o, &examples, &cfg);
+        let costs: Vec<f64> = queries.iter().map(|q| q.cost(cfg.weights)).collect();
+        for w in costs.windows(2) {
+            assert!(w[0] <= w[1], "costs must be ascending: {costs:?}");
+        }
+    }
+
+    #[test]
+    fn k1_matches_algorithm_2_cost_or_better() {
+        use crate::union::{find_consistent_union, UnionConfig};
+        let (o, examples) = world();
+        let weights = GeneralizationWeights::example_4_3();
+        let (single, _) = find_consistent_union(
+            &o,
+            &examples,
+            &UnionConfig {
+                weights,
+                ..Default::default()
+            },
+        );
+        let (top1, _) = infer_top_k(
+            &o,
+            &examples,
+            &TopKConfig {
+                k: 1,
+                weights,
+                ..Default::default()
+            },
+        );
+        assert!(top1[0].cost(weights) <= single.cost(weights));
+    }
+
+    #[test]
+    fn larger_k_examines_more_intermediate_queries() {
+        let (o, examples) = world();
+        let weights = GeneralizationWeights::example_4_4();
+        let calls_for = |k: usize| {
+            let (_, stats) = infer_top_k(
+                &o,
+                &examples,
+                &TopKConfig {
+                    k,
+                    weights,
+                    ..Default::default()
+                },
+            );
+            stats.algorithm1_calls
+        };
+        // The Figure 6c/6d trend: more candidates with larger k
+        // (monotone here because expansion work only grows with beam
+        // width on this fixture).
+        assert!(calls_for(5) >= calls_for(1));
+    }
+
+    #[test]
+    fn beam_keeps_unmergeable_parents() {
+        // With one explanation the initial state is terminal and must be
+        // returned as-is.
+        let (o, examples) = world();
+        let one = ExampleSet::from_explanations(vec![examples.explanations()[0].clone()]);
+        let (queries, _) = infer_top_k(&o, &one, &TopKConfig::default());
+        assert_eq!(queries.len(), 1);
+        assert_eq!(queries[0].len(), 1);
+        assert_eq!(queries[0].total_vars(), 0);
+    }
+}

@@ -1,0 +1,257 @@
+//! The PTIME consistent-query test and construction (Proposition 3.1).
+//!
+//! A simple consistent query exists for an example-set iff
+//!
+//! 1. all explanations have the **same set of edge predicates** — an
+//!    explanation-only predicate could never be covered by an onto match
+//!    of one query into every explanation; and
+//! 2. the intersection over explanations of the predicates of edges whose
+//!    **source** is the distinguished node is non-empty, **or** the same
+//!    holds for **targets** (Lemma 3.2) — otherwise no single projected
+//!    node can reach every distinguished node.
+//!
+//! When the test passes, the *trivial* consistent query takes, for each
+//! predicate `l`, the maximum number `m` of `l`-edges in any single
+//! explanation and emits `m` disjoint fresh-variable edges, projecting an
+//! endpoint of an intersection-predicate edge (Figure 2b's `Q2`).
+//!
+//! Edge-free explanations are the degenerate case: if every explanation
+//! is a bare node, the single-variable query is consistent; if only some
+//! are, condition 1 already fails.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use questpro_query::{QueryError, SimpleQuery};
+
+use crate::pattern::PatternGraph;
+
+/// Result of the PTIME existence test.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TrivialOutcome {
+    /// A consistent simple query exists; here is the trivial one.
+    Query(SimpleQuery),
+    /// Condition 1 fails: explanations use different predicate sets.
+    LabelSetsDiffer,
+    /// Condition 2 (Lemma 3.2) fails: no shared distinguished-incident
+    /// predicate on either side.
+    NoSharedDistinguishedLabel,
+}
+
+impl TrivialOutcome {
+    /// The query, if one exists.
+    pub fn into_query(self) -> Option<SimpleQuery> {
+        match self {
+            TrivialOutcome::Query(q) => Some(q),
+            _ => None,
+        }
+    }
+}
+
+/// Runs the Proposition 3.1 test/construction over pattern graphs.
+///
+/// # Panics
+/// Panics if `graphs` is empty (an empty example-set has no well-defined
+/// trivial query).
+pub fn trivial_consistent_query(graphs: &[&PatternGraph]) -> TrivialOutcome {
+    assert!(!graphs.is_empty(), "example-set must be non-empty");
+    let first_labels = graphs[0].edge_label_set();
+    for g in &graphs[1..] {
+        if g.edge_label_set() != first_labels {
+            return TrivialOutcome::LabelSetsDiffer;
+        }
+    }
+    if first_labels.is_empty() {
+        // All explanations are bare nodes: the single-variable query.
+        let mut b = SimpleQuery::builder();
+        let x = b.var("x");
+        b.project(x);
+        return TrivialOutcome::Query(expect_built(b.build()));
+    }
+    let src_common = intersect(graphs, PatternGraph::dis_source_labels);
+    let tgt_common = intersect(graphs, PatternGraph::dis_target_labels);
+    let (proj_label, proj_is_source) = match (src_common.first(), tgt_common.first()) {
+        (Some(l), _) => (l.clone(), true),
+        (None, Some(l)) => (l.clone(), false),
+        (None, None) => return TrivialOutcome::NoSharedDistinguishedLabel,
+    };
+
+    let mut b = SimpleQuery::builder();
+    let proj = b.var("x");
+    b.project(proj);
+    let mut first_of_proj_label = true;
+    for label in &first_labels {
+        let m = graphs
+            .iter()
+            .map(|g| g.count_label(label))
+            .max()
+            .expect("graphs is non-empty");
+        for _ in 0..m {
+            // The projected node sits on one edge of the shared
+            // distinguished-incident predicate.
+            if *label == proj_label && first_of_proj_label {
+                first_of_proj_label = false;
+                let other = b.fresh_var();
+                if proj_is_source {
+                    b.edge(proj, label, other);
+                } else {
+                    b.edge(other, label, proj);
+                }
+            } else {
+                let s = b.fresh_var();
+                let t = b.fresh_var();
+                b.edge(s, label, t);
+            }
+        }
+    }
+    TrivialOutcome::Query(expect_built(b.build()))
+}
+
+fn intersect(
+    graphs: &[&PatternGraph],
+    side: impl Fn(&PatternGraph) -> BTreeSet<Arc<str>>,
+) -> Vec<Arc<str>> {
+    let mut acc = side(graphs[0]);
+    for g in &graphs[1..] {
+        let s = side(g);
+        acc.retain(|l| s.contains(l));
+    }
+    acc.into_iter().collect()
+}
+
+fn expect_built(r: Result<SimpleQuery, QueryError>) -> SimpleQuery {
+    r.expect("trivial query construction is always well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use questpro_engine::consistent_with_explanation;
+    use questpro_graph::{Explanation, Ontology};
+
+    fn world() -> (Ontology, Vec<Explanation>) {
+        let mut b = Ontology::builder();
+        for (p, a) in [
+            ("paper1", "Alice"),
+            ("paper1", "Bob"),
+            ("paper2", "Bob"),
+            ("paper2", "Carol"),
+            ("paper3", "Carol"),
+            ("paper3", "Erdos"),
+            ("paper4", "Dave"),
+            ("paper4", "Erdos"),
+        ] {
+            b.edge(p, "wb", a).unwrap();
+        }
+        let o = b.build();
+        let e1 = Explanation::from_triples(
+            &o,
+            &[
+                ("paper1", "wb", "Alice"),
+                ("paper1", "wb", "Bob"),
+                ("paper2", "wb", "Bob"),
+                ("paper2", "wb", "Carol"),
+                ("paper3", "wb", "Carol"),
+                ("paper3", "wb", "Erdos"),
+            ],
+            "Alice",
+        )
+        .unwrap();
+        let e2 = Explanation::from_triples(
+            &o,
+            &[("paper4", "wb", "Dave"), ("paper4", "wb", "Erdos")],
+            "Dave",
+        )
+        .unwrap();
+        (o, vec![e1, e2])
+    }
+
+    #[test]
+    fn builds_disjoint_edge_query_like_figure_2b() {
+        let (o, exs) = world();
+        let g1 = PatternGraph::from_explanation(&o, &exs[0]);
+        let g2 = PatternGraph::from_explanation(&o, &exs[1]);
+        let q = trivial_consistent_query(&[&g1, &g2])
+            .into_query()
+            .expect("consistent query exists");
+        // max wb count = 6 (E1), so 6 disjoint wb edges.
+        assert_eq!(q.edge_count(), 6);
+        assert!(!q.is_connected());
+        assert_eq!(q.var_count(), q.node_count());
+        // The construction is consistent with both explanations.
+        assert!(consistent_with_explanation(&o, &q, &exs[0]));
+        assert!(consistent_with_explanation(&o, &q, &exs[1]));
+    }
+
+    #[test]
+    fn distinct_label_sets_are_rejected() {
+        let mut b = Ontology::builder();
+        b.edge("a", "wb", "x").unwrap();
+        b.edge("c", "cites", "y").unwrap();
+        let o = b.build();
+        let e1 = Explanation::from_triples(&o, &[("a", "wb", "x")], "x").unwrap();
+        let e2 = Explanation::from_triples(&o, &[("c", "cites", "y")], "y").unwrap();
+        let g1 = PatternGraph::from_explanation(&o, &e1);
+        let g2 = PatternGraph::from_explanation(&o, &e2);
+        assert_eq!(
+            trivial_consistent_query(&[&g1, &g2]),
+            TrivialOutcome::LabelSetsDiffer
+        );
+    }
+
+    #[test]
+    fn lemma_3_2_rejects_mismatched_distinguished_sides() {
+        // E1 distinguishes a node that is only a wb-target; E2
+        // distinguishes a node that is only a wb-source. Neither side's
+        // intersection is non-empty → no simple consistent query.
+        let mut b = Ontology::builder();
+        b.edge("p1", "wb", "Alice").unwrap();
+        b.edge("p2", "wb", "Bob").unwrap();
+        let o = b.build();
+        let e1 = Explanation::from_triples(&o, &[("p1", "wb", "Alice")], "Alice").unwrap();
+        let e2 = Explanation::from_triples(&o, &[("p2", "wb", "Bob")], "p2").unwrap();
+        let g1 = PatternGraph::from_explanation(&o, &e1);
+        let g2 = PatternGraph::from_explanation(&o, &e2);
+        assert_eq!(
+            trivial_consistent_query(&[&g1, &g2]),
+            TrivialOutcome::NoSharedDistinguishedLabel
+        );
+    }
+
+    #[test]
+    fn all_bare_nodes_yield_single_variable_query() {
+        let mut b = Ontology::builder();
+        b.edge("p1", "wb", "Alice").unwrap();
+        let o = b.build();
+        let e1 = Explanation::from_edges(&o, [], "Alice").unwrap();
+        let e2 = Explanation::from_edges(&o, [], "p1").unwrap();
+        let g1 = PatternGraph::from_explanation(&o, &e1);
+        let g2 = PatternGraph::from_explanation(&o, &e2);
+        let q = trivial_consistent_query(&[&g1, &g2]).into_query().unwrap();
+        assert_eq!(q.node_count(), 1);
+        assert_eq!(q.edge_count(), 0);
+        assert!(consistent_with_explanation(&o, &q, &e1));
+        assert!(consistent_with_explanation(&o, &q, &e2));
+    }
+
+    #[test]
+    fn mixed_bare_and_edged_explanations_fail_condition_1() {
+        let (o, exs) = world();
+        let bare = Explanation::from_edges(&o, [], "Alice").unwrap();
+        let g1 = PatternGraph::from_explanation(&o, &exs[0]);
+        let g2 = PatternGraph::from_explanation(&o, &bare);
+        assert_eq!(
+            trivial_consistent_query(&[&g1, &g2]),
+            TrivialOutcome::LabelSetsDiffer
+        );
+    }
+
+    #[test]
+    fn single_explanation_round_trips() {
+        let (o, exs) = world();
+        let g2 = PatternGraph::from_explanation(&o, &exs[1]);
+        let q = trivial_consistent_query(&[&g2]).into_query().unwrap();
+        assert_eq!(q.edge_count(), 2);
+        assert!(consistent_with_explanation(&o, &q, &exs[1]));
+    }
+}

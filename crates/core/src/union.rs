@@ -1,0 +1,341 @@
+//! Algorithm 2: `FindConsistentUnion` (Section IV).
+//!
+//! Starts from the trivial over-fit union — one constants-only branch per
+//! explanation — and repeatedly merges the two branches whose merged
+//! query has the fewest variables (`MergeBestTwo`), as long as the
+//! generalization cost `f(Q) = w1·Σvars + w2·|Q|` (Def. 4.1) keeps
+//! decreasing.
+
+use questpro_graph::{ExampleSet, Ontology};
+use questpro_query::{GeneralizationWeights, SimpleQuery, UnionQuery};
+
+use crate::greedy::{merge_pair, GreedyConfig};
+use crate::pattern::PatternGraph;
+use crate::stats::InferenceStats;
+
+/// Configuration of Algorithm 2.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UnionConfig {
+    /// Weights of the generalization cost function `f`.
+    pub weights: GeneralizationWeights,
+    /// Configuration of the inner Algorithm 1 runs.
+    pub greedy: GreedyConfig,
+}
+
+/// One branch of the evolving union: the query, its pattern graph, and
+/// a serialization used as the merge-cache key (our SPARQL rendering is
+/// faithful, so equal keys mean equal branches).
+#[derive(Debug, Clone)]
+pub(crate) struct Branch {
+    pub(crate) graph: PatternGraph,
+    pub(crate) query: SimpleQuery,
+    pub(crate) key: std::sync::Arc<str>,
+}
+
+impl Branch {
+    pub(crate) fn from_query(query: SimpleQuery) -> Self {
+        let key: std::sync::Arc<str> = questpro_query::sparql::format_simple(&query).into();
+        Self {
+            graph: PatternGraph::from_query(&query),
+            query,
+            key,
+        }
+    }
+}
+
+/// Memo of pairwise Algorithm 1 outcomes across MergeBestTwo rounds:
+/// the branch pool barely changes between rounds (one merge replaces
+/// two branches), so most pairs recur. Failures are cached too. Cache
+/// hits still count as "intermediate queries considered" in the stats,
+/// preserving the Figure 6 metric.
+/// Cache key: the canonical texts of the two branches, ordered.
+type BranchPairKey = (std::sync::Arc<str>, std::sync::Arc<str>);
+/// Cached outcome: the merged query and its gain, or `None` for
+/// unmergeable pairs.
+type CachedMerge = Option<(SimpleQuery, f64)>;
+
+#[derive(Debug, Default)]
+pub(crate) struct MergeCache {
+    map: std::collections::HashMap<BranchPairKey, CachedMerge>,
+}
+
+impl MergeCache {
+    fn get_or_compute(
+        &mut self,
+        a: &Branch,
+        b: &Branch,
+        cfg: &GreedyConfig,
+        stats: &mut InferenceStats,
+    ) -> Option<(SimpleQuery, f64)> {
+        let key = if a.key <= b.key {
+            (a.key.clone(), b.key.clone())
+        } else {
+            (b.key.clone(), a.key.clone())
+        };
+        if let Some(hit) = self.map.get(&key) {
+            stats.merge_cache_hits += 1;
+            return hit.clone();
+        }
+        let outcome = merge_pair(&a.graph, &b.graph, cfg).map(|o| (o.query, o.gain));
+        self.map.insert(key, outcome.clone());
+        outcome
+    }
+}
+
+/// The generalization cost of a set of branches.
+pub(crate) fn branches_cost(branches: &[Branch], w: GeneralizationWeights) -> f64 {
+    let vars: usize = branches.iter().map(|b| b.query.generalization_vars()).sum();
+    w.cost(vars, branches.len())
+}
+
+/// The initial state: one trivial constants-only branch per explanation.
+pub(crate) fn initial_branches(ont: &Ontology, examples: &ExampleSet) -> Vec<Branch> {
+    examples
+        .iter()
+        .map(|ex| Branch::from_query(SimpleQuery::from_explanation(ont, ex)))
+        .collect()
+}
+
+/// Result of a `MergeBestTwo` scan: the best pair and its merged query.
+pub(crate) struct BestMerge {
+    pub(crate) i: usize,
+    pub(crate) j: usize,
+    pub(crate) query: SimpleQuery,
+}
+
+/// Scans all branch pairs with Algorithm 1 and returns the candidates
+/// sorted best-first (fewest merged-query variables, then highest gain),
+/// up to `take` of them. Increments `stats.algorithm1_calls` per pair.
+pub(crate) fn merge_candidates(
+    branches: &[Branch],
+    cfg: &GreedyConfig,
+    take: usize,
+    stats: &mut InferenceStats,
+    cache: &mut MergeCache,
+) -> Vec<BestMerge> {
+    let mut all: Vec<(usize, f64, BestMerge)> = Vec::new();
+    for i in 0..branches.len() {
+        for j in (i + 1)..branches.len() {
+            stats.algorithm1_calls += 1;
+            if let Some((query, gain)) =
+                cache.get_or_compute(&branches[i], &branches[j], cfg, stats)
+            {
+                all.push((query.generalization_vars(), gain, BestMerge { i, j, query }));
+            }
+        }
+    }
+    all.sort_by(|a, b| {
+        a.0.cmp(&b.0)
+            .then(b.1.partial_cmp(&a.1).expect("finite gains"))
+    });
+    all.into_iter().take(take).map(|(_, _, m)| m).collect()
+}
+
+/// Applies a merge to a branch vector, producing the successor state.
+pub(crate) fn apply_merge(branches: &[Branch], m: &BestMerge) -> Vec<Branch> {
+    let mut next: Vec<Branch> = Vec::with_capacity(branches.len() - 1);
+    for (idx, b) in branches.iter().enumerate() {
+        if idx != m.i && idx != m.j {
+            next.push(b.clone());
+        }
+    }
+    next.push(Branch::from_query(m.query.clone()));
+    next
+}
+
+/// Runs Algorithm 2 on an example-set, returning the inferred union and
+/// the instrumentation counters.
+///
+/// The result is always consistent with the example-set: the trivial
+/// union is, and every applied merge preserves consistency
+/// (Prop. 3.13 + the composition argument of Section III).
+///
+/// ```
+/// use questpro_core::{find_consistent_union, UnionConfig};
+/// use questpro_graph::{ExampleSet, Explanation, Ontology};
+///
+/// let mut b = Ontology::builder();
+/// b.edge("paper3", "wb", "Carol")?;
+/// b.edge("paper3", "wb", "Erdos")?;
+/// b.edge("paper4", "wb", "Dave")?;
+/// b.edge("paper4", "wb", "Erdos")?;
+/// let ont = b.build();
+/// let e1 = Explanation::from_triples(
+///     &ont, &[("paper3", "wb", "Carol"), ("paper3", "wb", "Erdos")], "Carol")?;
+/// let e2 = Explanation::from_triples(
+///     &ont, &[("paper4", "wb", "Dave"), ("paper4", "wb", "Erdos")], "Dave")?;
+/// let examples = ExampleSet::from_explanations(vec![e1, e2]);
+///
+/// let (query, _stats) = find_consistent_union(&ont, &examples, &UnionConfig::default());
+/// // One branch: ?x and :Erdos share a paper.
+/// assert_eq!(query.len(), 1);
+/// assert!(query.to_string().contains(":Erdos"));
+/// # Ok::<(), questpro_graph::GraphError>(())
+/// ```
+pub fn find_consistent_union(
+    ont: &Ontology,
+    examples: &ExampleSet,
+    cfg: &UnionConfig,
+) -> (UnionQuery, InferenceStats) {
+    assert!(!examples.is_empty(), "example-set must be non-empty");
+    let mut stats = InferenceStats::default();
+    let mut cache = MergeCache::default();
+    let mut branches = initial_branches(ont, examples);
+    let mut cost = branches_cost(&branches, cfg.weights);
+    loop {
+        stats.rounds += 1;
+        let candidates = merge_candidates(&branches, &cfg.greedy, 1, &mut stats, &mut cache);
+        let Some(best) = candidates.into_iter().next() else {
+            break;
+        };
+        let next = apply_merge(&branches, &best);
+        let next_cost = branches_cost(&next, cfg.weights);
+        if next_cost < cost {
+            branches = next;
+            cost = next_cost;
+            stats.merges_applied += 1;
+        } else {
+            break;
+        }
+    }
+    let union = UnionQuery::new(branches.into_iter().map(|b| b.query).collect())
+        .expect("non-empty example-set yields non-empty union");
+    (union, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use questpro_engine::consistent_with_examples;
+    use questpro_graph::Explanation;
+
+    /// The four explanations of Figure 1 (structurally): two 1-chains to
+    /// Erdos (Carol-like, Dave-like) and two 3-chains (Alice, Felix).
+    fn world() -> (Ontology, ExampleSet) {
+        let mut b = Ontology::builder();
+        for (p, a) in [
+            ("paper1", "Alice"),
+            ("paper1", "Bob"),
+            ("paper2", "Bob"),
+            ("paper2", "Carol"),
+            ("paper3", "Carol"),
+            ("paper3", "Erdos"),
+            ("paper4", "Dave"),
+            ("paper4", "Erdos"),
+            ("paper5", "Felix"),
+            ("paper5", "Gina"),
+            ("paper6", "Gina"),
+            ("paper6", "Hank"),
+            ("paper7", "Hank"),
+            ("paper7", "Erdos"),
+        ] {
+            b.edge(p, "wb", a).unwrap();
+        }
+        let o = b.build();
+        let e1 = Explanation::from_triples(
+            &o,
+            &[
+                ("paper1", "wb", "Alice"),
+                ("paper1", "wb", "Bob"),
+                ("paper2", "wb", "Bob"),
+                ("paper2", "wb", "Carol"),
+                ("paper3", "wb", "Carol"),
+                ("paper3", "wb", "Erdos"),
+            ],
+            "Alice",
+        )
+        .unwrap();
+        let e2 = Explanation::from_triples(
+            &o,
+            &[("paper3", "wb", "Carol"), ("paper3", "wb", "Erdos")],
+            "Carol",
+        )
+        .unwrap();
+        let e3 = Explanation::from_triples(
+            &o,
+            &[("paper4", "wb", "Dave"), ("paper4", "wb", "Erdos")],
+            "Dave",
+        )
+        .unwrap();
+        let e4 = Explanation::from_triples(
+            &o,
+            &[
+                ("paper5", "wb", "Felix"),
+                ("paper5", "wb", "Gina"),
+                ("paper6", "wb", "Gina"),
+                ("paper6", "wb", "Hank"),
+                ("paper7", "wb", "Hank"),
+                ("paper7", "wb", "Erdos"),
+            ],
+            "Felix",
+        )
+        .unwrap();
+        (o, ExampleSet::from_explanations(vec![e1, e2, e3, e4]))
+    }
+
+    #[test]
+    fn inferred_union_is_consistent() {
+        let (o, examples) = world();
+        let (q, stats) = find_consistent_union(&o, &examples, &UnionConfig::default());
+        assert!(consistent_with_examples(&o, &q, &examples));
+        assert!(stats.algorithm1_calls > 0);
+        assert!(stats.rounds >= 1);
+    }
+
+    #[test]
+    fn example_4_3_merges_the_two_short_chains() {
+        // With w1=2, w2=5 and explanations {E1, E2, E3} the paper merges
+        // the two short chains into Q3 (cost 15 → 14) and then stops
+        // (merging the long chain in would cost 17).
+        let (o, examples) = world();
+        let three = ExampleSet::from_explanations(examples.explanations()[..3].to_vec());
+        let cfg = UnionConfig {
+            weights: GeneralizationWeights::example_4_3(),
+            ..Default::default()
+        };
+        let (q, _) = find_consistent_union(&o, &three, &cfg);
+        assert_eq!(q.len(), 2);
+        // One branch is the merged Q3 with the Erdos constant; the other
+        // is E1's trivial branch (0 extra variables).
+        assert_eq!(q.total_vars(), 1);
+        assert!(consistent_with_examples(&o, &q, &three));
+    }
+
+    #[test]
+    fn heavy_branch_weight_forces_full_merge() {
+        // With a huge w2 the algorithm merges everything into one simple
+        // query (unions are expensive).
+        let (o, examples) = world();
+        let cfg = UnionConfig {
+            weights: GeneralizationWeights::new(1.0, 1000.0),
+            ..Default::default()
+        };
+        let (q, _) = find_consistent_union(&o, &examples, &cfg);
+        assert_eq!(q.len(), 1);
+        assert!(consistent_with_examples(&o, &q, &examples));
+    }
+
+    #[test]
+    fn heavy_var_weight_keeps_trivial_union() {
+        // With w1 enormous any variable is too expensive: stay trivial.
+        let (o, examples) = world();
+        let cfg = UnionConfig {
+            weights: GeneralizationWeights::new(1000.0, 1.0),
+            ..Default::default()
+        };
+        let (q, stats) = find_consistent_union(&o, &examples, &cfg);
+        assert_eq!(q.len(), examples.len());
+        assert_eq!(q.total_vars(), 0);
+        assert_eq!(stats.merges_applied, 0);
+    }
+
+    #[test]
+    fn single_explanation_yields_its_trivial_branch() {
+        let (o, examples) = world();
+        let one = ExampleSet::from_explanations(vec![examples.explanations()[1].clone()]);
+        let (q, _) = find_consistent_union(&o, &one, &UnionConfig::default());
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.total_vars(), 0);
+        assert!(consistent_with_examples(&o, &q, &one));
+    }
+}

@@ -1,0 +1,192 @@
+//! BSBM-like synthetic ontology: the Berlin SPARQL e-commerce world.
+//!
+//! Products carry a producer, one product type, and several features;
+//! vendors (with countries) publish offers for products; reviewers (with
+//! countries) write reviews with ratings. These are exactly the joins
+//! the BSBM "explore" query mix exercises, so the workload analogs in
+//! [`crate::workloads`] have the same structural envelope (1–12 edges,
+//! multiple joins) as the queries the paper ran.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use questpro_graph::Ontology;
+
+/// Scale parameters of the BSBM-like generator.
+#[derive(Debug, Clone, Copy)]
+pub struct BsbmConfig {
+    /// Number of products.
+    pub products: usize,
+    /// Number of producers.
+    pub producers: usize,
+    /// Number of product types.
+    pub types: usize,
+    /// Number of product features.
+    pub features: usize,
+    /// Features attached per product (upper bound; at least 1).
+    pub max_features_per_product: usize,
+    /// Number of vendors.
+    pub vendors: usize,
+    /// Number of offers.
+    pub offers: usize,
+    /// Number of reviews.
+    pub reviews: usize,
+    /// Number of reviewers.
+    pub reviewers: usize,
+    /// Number of countries.
+    pub countries: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for BsbmConfig {
+    fn default() -> Self {
+        Self {
+            products: 250,
+            producers: 20,
+            types: 12,
+            features: 40,
+            max_features_per_product: 4,
+            vendors: 15,
+            offers: 450,
+            reviews: 450,
+            reviewers: 90,
+            countries: 8,
+            seed: 0xb5b1,
+        }
+    }
+}
+
+/// Generates the BSBM-like ontology.
+pub fn generate_bsbm(cfg: &BsbmConfig) -> Ontology {
+    assert!(cfg.products >= 4 && cfg.countries >= 2, "scale too small");
+    let mut b = Ontology::builder();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    for c in 0..cfg.countries {
+        b.typed_node(&format!("country_{c}"), "Country")
+            .expect("fresh country");
+    }
+    // Producers and vendors take countries round-robin so every country
+    // is guaranteed to host some of each (the workload queries anchor on
+    // specific countries).
+    for p in 0..cfg.producers {
+        let name = format!("producer_{p}");
+        b.typed_node(&name, "Producer").expect("fresh producer");
+        let c = p % cfg.countries;
+        b.edge(&name, "country", &format!("country_{c}"))
+            .expect("producer country");
+    }
+    for t in 0..cfg.types {
+        b.typed_node(&format!("ptype_{t}"), "ProductType")
+            .expect("fresh type");
+    }
+    for f in 0..cfg.features {
+        b.typed_node(&format!("feature_{f}"), "Feature")
+            .expect("fresh feature");
+    }
+    for v in 0..cfg.vendors {
+        let name = format!("vendor_{v}");
+        b.typed_node(&name, "Vendor").expect("fresh vendor");
+        let c = v % cfg.countries;
+        b.edge(&name, "country", &format!("country_{c}"))
+            .expect("vendor country");
+    }
+    for r in 0..cfg.reviewers {
+        let name = format!("reviewer_{r}");
+        b.typed_node(&name, "Person").expect("fresh reviewer");
+        let c = rng.random_range(0..cfg.countries);
+        b.edge(&name, "country", &format!("country_{c}"))
+            .expect("reviewer country");
+    }
+    for r in 1..=5 {
+        b.typed_node(&format!("rating_{r}"), "Rating")
+            .expect("fresh rating");
+    }
+
+    for p in 0..cfg.products {
+        let name = format!("product_{p}");
+        b.typed_node(&name, "Product").expect("fresh product");
+        let producer = rng.random_range(0..cfg.producers);
+        b.edge(&name, "producer", &format!("producer_{producer}"))
+            .expect("product producer");
+        let t = rng.random_range(0..cfg.types);
+        b.edge(&name, "ptype", &format!("ptype_{t}"))
+            .expect("product type");
+        let nf = rng.random_range(1..=cfg.max_features_per_product.max(1));
+        for _ in 0..nf {
+            let f = rng.random_range(0..cfg.features);
+            let _ = b.edge_idempotent(&name, "feature", &format!("feature_{f}"));
+        }
+    }
+
+    for o in 0..cfg.offers {
+        let name = format!("offer_{o}");
+        b.typed_node(&name, "Offer").expect("fresh offer");
+        let p = rng.random_range(0..cfg.products);
+        b.edge(&name, "offer_product", &format!("product_{p}"))
+            .expect("offer product");
+        let v = rng.random_range(0..cfg.vendors);
+        b.edge(&name, "vendor", &format!("vendor_{v}"))
+            .expect("offer vendor");
+    }
+
+    for r in 0..cfg.reviews {
+        let name = format!("review_{r}");
+        b.typed_node(&name, "Review").expect("fresh review");
+        let p = rng.random_range(0..cfg.products);
+        b.edge(&name, "review_product", &format!("product_{p}"))
+            .expect("review product");
+        let person = rng.random_range(0..cfg.reviewers);
+        b.edge(&name, "reviewer", &format!("reviewer_{person}"))
+            .expect("review author");
+        let rating = rng.random_range(1..=5);
+        b.edge(&name, "rating", &format!("rating_{rating}"))
+            .expect("review rating");
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = BsbmConfig::default();
+        let a = generate_bsbm(&cfg);
+        let b = generate_bsbm(&cfg);
+        assert_eq!(a.node_count(), b.node_count());
+        assert_eq!(a.edge_count(), b.edge_count());
+    }
+
+    #[test]
+    fn products_are_fully_described() {
+        let o = generate_bsbm(&BsbmConfig {
+            products: 40,
+            ..Default::default()
+        });
+        let producer = o.pred_by_name("producer").unwrap();
+        let ptype = o.pred_by_name("ptype").unwrap();
+        let feature = o.pred_by_name("feature").unwrap();
+        for n in o.node_ids() {
+            let Some(t) = o.node_type(n) else { continue };
+            if o.type_str(t) == "Product" {
+                let preds: Vec<_> = o.out_edges(n).iter().map(|&e| o.edge(e).pred).collect();
+                assert!(preds.contains(&producer));
+                assert!(preds.contains(&ptype));
+                assert!(preds.contains(&feature));
+            }
+        }
+    }
+
+    #[test]
+    fn offers_and_reviews_link_products() {
+        let o = generate_bsbm(&BsbmConfig::default());
+        let offer_product = o.pred_by_name("offer_product").unwrap();
+        let review_product = o.pred_by_name("review_product").unwrap();
+        assert_eq!(o.edges_with_pred(offer_product).len(), 450);
+        assert_eq!(o.edges_with_pred(review_product).len(), 450);
+        assert!(o.validate().is_ok());
+    }
+}

@@ -1,0 +1,134 @@
+//! The paper's running example: the publications world of Figure 1.
+//!
+//! Four explanation shapes over a `wb` ("written by") ontology:
+//!
+//! * `E1` — Alice's 3-paper co-authorship chain to Erdős (Erdős №3);
+//! * `E2` — Carol's direct co-authorship with Erdős (Erdős №1);
+//! * `E3` — Dave's direct co-authorship with Erdős;
+//! * `E4` — Felix's 3-paper chain to Erdős.
+//!
+//! The ontology also holds enough extra structure (William's alternative
+//! chain, solo papers) for the feedback examples of Section V to have
+//! non-empty difference queries.
+
+use questpro_graph::{ExampleSet, Explanation, Ontology};
+
+/// Builds the running-example ontology, with `Author`/`Paper` types.
+pub fn erdos_ontology() -> Ontology {
+    let mut b = Ontology::builder();
+    let chains: &[(&str, &str, &str)] = &[
+        // E1: Alice — Bob — Carol — Erdos.
+        ("paper1", "wb", "Alice"),
+        ("paper1", "wb", "Bob"),
+        ("paper2", "wb", "Bob"),
+        ("paper2", "wb", "Carol"),
+        ("paper3", "wb", "Carol"),
+        ("paper3", "wb", "Erdos"),
+        // E2 uses paper3 (Carol—Erdos); E3: Dave — Erdos.
+        ("paper4", "wb", "Dave"),
+        ("paper4", "wb", "Erdos"),
+        // E4: Felix — Gina — Hank — Erdos.
+        ("paper5", "wb", "Felix"),
+        ("paper5", "wb", "Gina"),
+        ("paper6", "wb", "Gina"),
+        ("paper6", "wb", "Hank"),
+        ("paper7", "wb", "Hank"),
+        ("paper7", "wb", "Erdos"),
+        // William: Erdos number 2 through a path avoiding Bob/Carol.
+        ("paper8", "wb", "William"),
+        ("paper8", "wb", "Xena"),
+        ("paper9", "wb", "Xena"),
+        ("paper9", "wb", "Erdos"),
+        // Harry: another Erdos-1 author (E4-dis analog in Example 2.7).
+        ("paper10", "wb", "Harry"),
+        ("paper10", "wb", "Erdos"),
+        // A solo paper, so diseq refinement has observable differences.
+        ("paper11", "wb", "Solo"),
+    ];
+    for &(p, pred, a) in chains {
+        b.edge(p, pred, a).expect("fixture edges are unique");
+    }
+    for a in [
+        "Alice", "Bob", "Carol", "Erdos", "Dave", "Felix", "Gina", "Hank", "William", "Xena",
+        "Harry", "Solo",
+    ] {
+        b.typed_node(a, "Author").expect("consistent types");
+    }
+    for p in 1..=11 {
+        b.typed_node(&format!("paper{p}"), "Paper")
+            .expect("consistent types");
+    }
+    b.build()
+}
+
+/// The four explanations of Figure 1 over [`erdos_ontology`].
+pub fn erdos_example_set(ont: &Ontology) -> ExampleSet {
+    let e1 = Explanation::from_triples(
+        ont,
+        &[
+            ("paper1", "wb", "Alice"),
+            ("paper1", "wb", "Bob"),
+            ("paper2", "wb", "Bob"),
+            ("paper2", "wb", "Carol"),
+            ("paper3", "wb", "Carol"),
+            ("paper3", "wb", "Erdos"),
+        ],
+        "Alice",
+    )
+    .expect("E1 is well-formed");
+    let e2 = Explanation::from_triples(
+        ont,
+        &[("paper3", "wb", "Carol"), ("paper3", "wb", "Erdos")],
+        "Carol",
+    )
+    .expect("E2 is well-formed");
+    let e3 = Explanation::from_triples(
+        ont,
+        &[("paper4", "wb", "Dave"), ("paper4", "wb", "Erdos")],
+        "Dave",
+    )
+    .expect("E3 is well-formed");
+    let e4 = Explanation::from_triples(
+        ont,
+        &[
+            ("paper5", "wb", "Felix"),
+            ("paper5", "wb", "Gina"),
+            ("paper6", "wb", "Gina"),
+            ("paper6", "wb", "Hank"),
+            ("paper7", "wb", "Hank"),
+            ("paper7", "wb", "Erdos"),
+        ],
+        "Felix",
+    )
+    .expect("E4 is well-formed");
+    ExampleSet::from_explanations(vec![e1, e2, e3, e4])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ontology_shape() {
+        let o = erdos_ontology();
+        assert_eq!(o.pred_count(), 1);
+        assert!(o.node_by_value("Erdos").is_some());
+        assert!(o.validate().is_ok());
+        let erdos = o.node_by_value("Erdos").unwrap();
+        // Erdos co-authored papers 3, 4, 7, 9, 10.
+        assert_eq!(o.in_edges(erdos).len(), 5);
+        let t = o.node_type(erdos).unwrap();
+        assert_eq!(o.type_str(t), "Author");
+    }
+
+    #[test]
+    fn example_set_matches_figure_1() {
+        let o = erdos_ontology();
+        let set = erdos_example_set(&o);
+        assert_eq!(set.len(), 4);
+        let sizes: Vec<usize> = set.iter().map(Explanation::edge_count).collect();
+        assert_eq!(sizes, vec![6, 2, 2, 6]);
+        let dis: Vec<&str> = set.iter().map(|e| o.value_str(e.distinguished())).collect();
+        assert_eq!(dis, vec!["Alice", "Carol", "Dave", "Felix"]);
+    }
+}

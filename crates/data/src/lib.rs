@@ -1,0 +1,41 @@
+//! Synthetic benchmark data for QuestPro-RS.
+//!
+//! The paper evaluates on fragments of three RDF data sets — SP2B (a
+//! DBLP-style publications benchmark), BSBM (the Berlin SPARQL
+//! e-commerce benchmark), and DBpedia (movies) — sized 42 MB to 647 MB.
+//! As the paper itself notes, the fragment size only matters "to allow
+//! for enough variety for sampled output examples and explanations";
+//! this crate therefore ships **seeded synthetic generators** that
+//! reproduce the entity/relationship shapes of those data sets at
+//! configurable scale, plus the workload query catalogs the experiments
+//! run against:
+//!
+//! * [`erdos`] — the paper's running example (Figure 1): the
+//!   publications world with co-authorship chains to Erdős;
+//! * [`sp2b`] — authors, articles/inproceedings, venues, years,
+//!   citations (the SP2B shape);
+//! * [`bsbm`] — products, producers, types, features, vendors, offers,
+//!   reviews, reviewers, countries (the BSBM shape);
+//! * [`movies`] — films, actors, directors, genres, countries with
+//!   named anchor entities (Tarantino, Pulp Fiction, Kevin Bacon …) for
+//!   the Table I study queries;
+//! * [`workloads`] — the query catalogs: SP2B analogs (q2, q3a, q3b,
+//!   q6, q8a, q8b, q11, q12a), BSBM analogs (q1v0–q10v0 minus the
+//!   single-result q4v0/q7v0/q9v0, as in the paper), and the ten Table I
+//!   movie queries.
+//!
+//! All generators are deterministic given their seed.
+
+pub mod bsbm;
+pub mod erdos;
+pub mod movies;
+pub mod sp2b;
+pub mod workloads;
+
+pub use bsbm::{generate_bsbm, BsbmConfig};
+pub use erdos::{erdos_example_set, erdos_ontology};
+pub use movies::{generate_movies, MoviesConfig};
+pub use sp2b::{generate_sp2b, Sp2bConfig};
+pub use workloads::{
+    bsbm_workload, movie_workload, sp2b_workload, union_workload, OntologyKind, WorkloadQuery,
+};

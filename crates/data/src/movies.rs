@@ -1,0 +1,302 @@
+//! DBpedia-movies-like synthetic ontology for the Table I study queries.
+//!
+//! A film world with named anchor entities wired in deterministically —
+//! `Quentin_Tarantino` and his filmography (including `Pulp_Fiction`
+//! with `Uma_Thurman` and `Samuel_L_Jackson`), `Steven_Spielberg`,
+//! `Kevin_Bacon`, and films produced in `England` — so every Table I
+//! query has at least two answers regardless of the random bulk. The
+//! rest of the world is seeded random films, actors, directors, genres,
+//! and countries with DBpedia-like predicates: `starring`, `director`,
+//! `genre`, `country`, `release_year`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use questpro_graph::{Ontology, OntologyBuilder};
+
+/// Scale parameters of the movie-world generator.
+#[derive(Debug, Clone, Copy)]
+pub struct MoviesConfig {
+    /// Number of bulk films (anchors are added on top).
+    pub films: usize,
+    /// Number of bulk actors.
+    pub actors: usize,
+    /// Number of bulk directors.
+    pub directors: usize,
+    /// Number of genres.
+    pub genres: usize,
+    /// Number of countries (England is always present).
+    pub countries: usize,
+    /// Actors per film (upper bound; at least 1).
+    pub max_cast: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for MoviesConfig {
+    fn default() -> Self {
+        Self {
+            films: 180,
+            actors: 140,
+            directors: 30,
+            genres: 8,
+            countries: 6,
+            max_cast: 5,
+            seed: 0x30c1e5,
+        }
+    }
+}
+
+/// Generates the movie-world ontology.
+pub fn generate_movies(cfg: &MoviesConfig) -> Ontology {
+    assert!(cfg.films >= 10 && cfg.actors >= 10, "scale too small");
+    let mut b = Ontology::builder();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    // --- deterministic anchors ------------------------------------
+    for a in [
+        "Uma_Thurman",
+        "Samuel_L_Jackson",
+        "John_Travolta",
+        "Kevin_Bacon",
+        "Tom_Hanks",
+        "Kate_Winslet",
+    ] {
+        b.typed_node(a, "Actor").expect("anchor actor");
+    }
+    for d in [
+        "Quentin_Tarantino",
+        "Steven_Spielberg",
+        "Ridley_Scott",
+        "Mel_Brooks",
+    ] {
+        b.typed_node(d, "Director").expect("anchor director");
+    }
+    b.typed_node("England", "Country").expect("anchor country");
+    b.typed_node("USA", "Country").expect("anchor country");
+    for g in ["Crime", "Drama", "Comedy"] {
+        b.typed_node(g, "Genre").expect("anchor genre");
+    }
+
+    let anchor_films: &[(&str, &str, &[&str], &str, &str)] = &[
+        (
+            "Pulp_Fiction",
+            "Quentin_Tarantino",
+            &["Uma_Thurman", "Samuel_L_Jackson", "John_Travolta"],
+            "Crime",
+            "USA",
+        ),
+        (
+            "Kill_Bill",
+            "Quentin_Tarantino",
+            &["Uma_Thurman"],
+            "Crime",
+            "USA",
+        ),
+        (
+            "Jackie_Brown",
+            "Quentin_Tarantino",
+            &["Samuel_L_Jackson"],
+            "Crime",
+            "USA",
+        ),
+        (
+            "Saving_Private_Ryan",
+            "Steven_Spielberg",
+            &["Tom_Hanks"],
+            "Drama",
+            "USA",
+        ),
+        (
+            "The_Terminal",
+            "Steven_Spielberg",
+            &["Tom_Hanks", "Kate_Winslet"],
+            "Comedy",
+            "USA",
+        ),
+        (
+            "Apollo_13",
+            "Ridley_Scott",
+            &["Tom_Hanks", "Kevin_Bacon"],
+            "Drama",
+            "USA",
+        ),
+        (
+            "Footloose",
+            "Ridley_Scott",
+            &["Kevin_Bacon"],
+            "Drama",
+            "England",
+        ),
+        (
+            "Flatliners",
+            "Steven_Spielberg",
+            &["Kevin_Bacon", "Kate_Winslet"],
+            "Drama",
+            "England",
+        ),
+        (
+            "Titanic_Like",
+            "Ridley_Scott",
+            &["Kate_Winslet"],
+            "Drama",
+            "England",
+        ),
+    ];
+    for &(film, director, cast, genre, country) in anchor_films {
+        add_film(&mut b, film, director, cast, Some(genre), country);
+    }
+    // Directors who act in their own films (Table I query 7): Tarantino
+    // famously appears in his movies, and Mel Brooks stars in his own.
+    b.typed_node("John_Candy", "Actor").expect("anchor actor");
+    let _ = b.edge_idempotent("Pulp_Fiction", "starring", "Quentin_Tarantino");
+    let _ = b.edge_idempotent("Kill_Bill", "starring", "Quentin_Tarantino");
+    add_film(
+        &mut b,
+        "Spaceballs",
+        "Mel_Brooks",
+        &["Mel_Brooks", "John_Candy"],
+        Some("Comedy"),
+        "USA",
+    );
+
+    // --- random bulk ------------------------------------------------
+    for g in 0..cfg.genres {
+        b.typed_node(&format!("genre_{g}"), "Genre").expect("genre");
+    }
+    for c in 0..cfg.countries {
+        b.typed_node(&format!("country_{c}"), "Country")
+            .expect("country");
+    }
+    for a in 0..cfg.actors {
+        b.typed_node(&format!("actor_{a}"), "Actor").expect("actor");
+    }
+    for d in 0..cfg.directors {
+        b.typed_node(&format!("director_{d}"), "Director")
+            .expect("director");
+    }
+    for y in 1970..=2010 {
+        b.typed_node(&format!("year_{y}"), "Year").expect("year");
+    }
+    for f in 0..cfg.films {
+        let name = format!("film_{f}");
+        let director = format!("director_{}", rng.random_range(0..cfg.directors));
+        // ~15% of bulk films have no genre annotation (DBpedia-style
+        // incompleteness) — the data that motivates OPTIONAL patterns.
+        let genre = if rng.random::<f64>() < 0.85 {
+            Some(format!("genre_{}", rng.random_range(0..cfg.genres)))
+        } else {
+            None
+        };
+        let country = if rng.random::<f64>() < 0.12 {
+            "England".to_string()
+        } else {
+            format!("country_{}", rng.random_range(0..cfg.countries))
+        };
+        let ncast = rng.random_range(1..=cfg.max_cast.max(1));
+        let mut cast: Vec<String> = Vec::with_capacity(ncast);
+        for _ in 0..ncast {
+            // Occasionally cast an anchor actor so anchor neighborhoods
+            // are rich (Bacon-number chains, co-star queries).
+            if rng.random::<f64>() < 0.08 {
+                let anchors = ["Kevin_Bacon", "Uma_Thurman", "Tom_Hanks"];
+                cast.push(anchors[rng.random_range(0..anchors.len())].to_string());
+            } else {
+                cast.push(format!("actor_{}", rng.random_range(0..cfg.actors)));
+            }
+        }
+        let cast_refs: Vec<&str> = cast.iter().map(String::as_str).collect();
+        add_film(
+            &mut b,
+            &name,
+            &director,
+            &cast_refs,
+            genre.as_deref(),
+            &country,
+        );
+        let year = 1970 + rng.random_range(0..=40);
+        b.edge(&name, "release_year", &format!("year_{year}"))
+            .expect("one year per film");
+    }
+    b.build()
+}
+
+fn add_film(
+    b: &mut OntologyBuilder,
+    film: &str,
+    director: &str,
+    cast: &[&str],
+    genre: Option<&str>,
+    country: &str,
+) {
+    b.typed_node(film, "Film").expect("film node");
+    b.edge(film, "director", director).expect("one director");
+    for actor in cast {
+        let _ = b.edge_idempotent(film, "starring", actor);
+    }
+    if let Some(genre) = genre {
+        let _ = b.edge_idempotent(film, "genre", genre);
+    }
+    let _ = b.edge_idempotent(film, "country", country);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn anchors_are_present() {
+        let o = generate_movies(&MoviesConfig::default());
+        for v in [
+            "Pulp_Fiction",
+            "Quentin_Tarantino",
+            "Uma_Thurman",
+            "Kevin_Bacon",
+            "England",
+        ] {
+            assert!(o.node_by_value(v).is_some(), "missing anchor {v}");
+        }
+        let tarantino = o.node_by_value("Quentin_Tarantino").unwrap();
+        // Three anchor films are directed by Tarantino; he also stars in
+        // two of them (Table I query 7 anchor).
+        let director = o.pred_by_name("director").unwrap();
+        let directed = o
+            .in_edges(tarantino)
+            .iter()
+            .filter(|&&e| o.edge(e).pred == director)
+            .count();
+        assert_eq!(directed, 3);
+        assert_eq!(o.in_edges(tarantino).len(), 5);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate_movies(&MoviesConfig::default());
+        let b = generate_movies(&MoviesConfig::default());
+        assert_eq!(a.edge_count(), b.edge_count());
+        assert_eq!(a.node_count(), b.node_count());
+    }
+
+    #[test]
+    fn films_have_directors_and_cast() {
+        let o = generate_movies(&MoviesConfig::default());
+        let director = o.pred_by_name("director").unwrap();
+        let starring = o.pred_by_name("starring").unwrap();
+        for n in o.node_ids() {
+            let Some(t) = o.node_type(n) else { continue };
+            if o.type_str(t) == "Film" {
+                let preds: Vec<_> = o.out_edges(n).iter().map(|&e| o.edge(e).pred).collect();
+                assert!(preds.contains(&director), "{}", o.value_str(n));
+                assert!(preds.contains(&starring), "{}", o.value_str(n));
+            }
+        }
+        assert!(o.validate().is_ok());
+    }
+
+    #[test]
+    fn england_has_multiple_films() {
+        let o = generate_movies(&MoviesConfig::default());
+        let england = o.node_by_value("England").unwrap();
+        assert!(o.in_edges(england).len() >= 3);
+    }
+}

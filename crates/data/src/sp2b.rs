@@ -1,0 +1,240 @@
+//! SP2B-like synthetic ontology: a DBLP-style publications world.
+//!
+//! Entity shapes follow the SP2B benchmark the paper evaluates on:
+//! authors, articles (with journals), inproceedings (with conferences),
+//! publication years, and citations. One prolific anchor author —
+//! `Paul_Erdos` — is wired into the early articles so that the
+//! Erdős-number workload queries (`q8a`, `q8b`) always have non-trivial
+//! answers, mirroring SP2B's own famous-author queries.
+//!
+//! Author participation is skewed (quadratic transform of a uniform
+//! draw) to imitate DBLP's power-law co-authorship distribution.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use questpro_graph::{Ontology, OntologyBuilder};
+
+/// Scale and shape parameters of the SP2B-like generator.
+#[derive(Debug, Clone, Copy)]
+pub struct Sp2bConfig {
+    /// Number of authors.
+    pub authors: usize,
+    /// Number of journal articles.
+    pub articles: usize,
+    /// Number of conference papers.
+    pub inproceedings: usize,
+    /// Number of journals.
+    pub journals: usize,
+    /// Number of conferences.
+    pub conferences: usize,
+    /// Inclusive year range.
+    pub years: (u32, u32),
+    /// Maximum number of authors per paper (minimum is 1).
+    pub max_authors_per_paper: usize,
+    /// Expected number of citations per paper.
+    pub avg_citations: f64,
+    /// RNG seed; equal seeds produce identical ontologies.
+    pub seed: u64,
+}
+
+impl Default for Sp2bConfig {
+    fn default() -> Self {
+        Self {
+            authors: 300,
+            articles: 600,
+            inproceedings: 400,
+            journals: 30,
+            conferences: 25,
+            years: (1990, 2010),
+            max_authors_per_paper: 4,
+            avg_citations: 1.5,
+            seed: 0x5b2b,
+        }
+    }
+}
+
+/// Generates the SP2B-like ontology.
+pub fn generate_sp2b(cfg: &Sp2bConfig) -> Ontology {
+    assert!(cfg.authors >= 2 && cfg.articles >= 4, "scale too small");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut b = Ontology::builder();
+
+    let author_name = |i: usize| {
+        if i == 0 {
+            "Paul_Erdos".to_string()
+        } else {
+            format!("author_{i}")
+        }
+    };
+    for i in 0..cfg.authors {
+        b.typed_node(&author_name(i), "Author")
+            .expect("fresh author");
+    }
+    for j in 0..cfg.journals {
+        b.typed_node(&format!("journal_{j}"), "Journal")
+            .expect("fresh journal");
+    }
+    for c in 0..cfg.conferences {
+        b.typed_node(&format!("conference_{c}"), "Conference")
+            .expect("fresh conference");
+    }
+    for y in cfg.years.0..=cfg.years.1 {
+        b.typed_node(&format!("year_{y}"), "Year")
+            .expect("fresh year");
+    }
+
+    // Skewed author pick: quadratic transform favors low indexes.
+    let pick_author = |rng: &mut StdRng, n: usize| -> usize {
+        let r: f64 = rng.random();
+        ((r * r) * n as f64) as usize % n
+    };
+
+    let mut paper_names: Vec<String> = Vec::new();
+    for a in 0..cfg.articles {
+        let name = format!("article_{a}");
+        b.typed_node(&name, "Article").expect("fresh article");
+        attach_authors(&mut b, &mut rng, &name, cfg, a, pick_author, &author_name);
+        let j = rng.random_range(0..cfg.journals);
+        b.edge(&name, "journal", &format!("journal_{j}"))
+            .expect("article has one journal");
+        attach_year(&mut b, &mut rng, &name, cfg);
+        paper_names.push(name);
+    }
+    for p in 0..cfg.inproceedings {
+        let name = format!("inproc_{p}");
+        b.typed_node(&name, "Inproceedings").expect("fresh inproc");
+        attach_authors(
+            &mut b,
+            &mut rng,
+            &name,
+            cfg,
+            cfg.articles + p,
+            pick_author,
+            &author_name,
+        );
+        let c = rng.random_range(0..cfg.conferences);
+        b.edge(&name, "booktitle", &format!("conference_{c}"))
+            .expect("inproc has one conference");
+        attach_year(&mut b, &mut rng, &name, cfg);
+        paper_names.push(name);
+    }
+
+    // Citations: later papers cite earlier ones.
+    let total = paper_names.len();
+    for i in 1..total {
+        let mut cites = 0usize;
+        while cites < 5 && rng.random::<f64>() < cfg.avg_citations / (cites as f64 + 1.5) {
+            let target = rng.random_range(0..i);
+            if target != i {
+                let _ = b.edge_idempotent(&paper_names[i], "cites", &paper_names[target]);
+            }
+            cites += 1;
+        }
+    }
+    b.build()
+}
+
+fn attach_authors(
+    b: &mut OntologyBuilder,
+    rng: &mut StdRng,
+    paper: &str,
+    cfg: &Sp2bConfig,
+    index: usize,
+    pick_author: impl Fn(&mut StdRng, usize) -> usize,
+    author_name: &impl Fn(usize) -> String,
+) {
+    let count = rng.random_range(1..=cfg.max_authors_per_paper.max(1));
+    let mut chosen: Vec<usize> = Vec::with_capacity(count + 1);
+    // Wire the anchor author into the early papers so Erdős chains exist.
+    if index.is_multiple_of(13) {
+        chosen.push(0);
+    }
+    while chosen.len() < count {
+        let a = pick_author(rng, cfg.authors);
+        if !chosen.contains(&a) {
+            chosen.push(a);
+        }
+    }
+    for a in chosen {
+        let _ = b.edge_idempotent(paper, "creator", &author_name(a));
+    }
+}
+
+fn attach_year(b: &mut OntologyBuilder, rng: &mut StdRng, paper: &str, cfg: &Sp2bConfig) {
+    let y = rng.random_range(cfg.years.0..=cfg.years.1);
+    b.edge(paper, "year", &format!("year_{y}"))
+        .expect("paper has one year");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = Sp2bConfig::default();
+        let a = generate_sp2b(&cfg);
+        let b = generate_sp2b(&cfg);
+        assert_eq!(a.node_count(), b.node_count());
+        assert_eq!(a.edge_count(), b.edge_count());
+        // Spot-check a concrete edge correspondence.
+        for e in a.edge_ids().take(50) {
+            let d = a.edge(e);
+            let src = b.node_by_value(a.value_str(d.src)).unwrap();
+            let dst = b.node_by_value(a.value_str(d.dst)).unwrap();
+            let pred = b.pred_by_name(a.pred_str(d.pred)).unwrap();
+            assert!(b.find_edge(src, pred, dst).is_some());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate_sp2b(&Sp2bConfig::default());
+        let b = generate_sp2b(&Sp2bConfig {
+            seed: 999,
+            ..Default::default()
+        });
+        assert_ne!(a.edge_count(), b.edge_count());
+    }
+
+    #[test]
+    fn anchor_author_is_prolific() {
+        let o = generate_sp2b(&Sp2bConfig::default());
+        let erdos = o.node_by_value("Paul_Erdos").unwrap();
+        // ~(articles+inproc)/13 papers include the anchor.
+        assert!(o.in_edges(erdos).len() >= 40);
+    }
+
+    #[test]
+    fn every_paper_has_year_venue_and_author() {
+        let o = generate_sp2b(&Sp2bConfig {
+            articles: 50,
+            inproceedings: 30,
+            ..Default::default()
+        });
+        let creator = o.pred_by_name("creator").unwrap();
+        let year = o.pred_by_name("year").unwrap();
+        for n in o.node_ids() {
+            let Some(t) = o.node_type(n) else { continue };
+            let tname = o.type_str(t);
+            if tname == "Article" || tname == "Inproceedings" {
+                let preds: Vec<_> = o.out_edges(n).iter().map(|&e| o.edge(e).pred).collect();
+                assert!(preds.contains(&creator), "{} lacks creator", o.value_str(n));
+                assert!(preds.contains(&year), "{} lacks year", o.value_str(n));
+                let venue = if tname == "Article" {
+                    o.pred_by_name("journal").unwrap()
+                } else {
+                    o.pred_by_name("booktitle").unwrap()
+                };
+                assert!(preds.contains(&venue), "{} lacks venue", o.value_str(n));
+            }
+        }
+    }
+
+    #[test]
+    fn invariants_hold() {
+        let o = generate_sp2b(&Sp2bConfig::default());
+        assert!(o.validate().is_ok());
+    }
+}

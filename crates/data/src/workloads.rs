@@ -1,0 +1,650 @@
+//! Workload query catalogs for the Section VI experiments.
+//!
+//! The paper evaluates on SP2B queries 2, 3a, 3b, 6, 8a, 8b, 11, 12a and
+//! BSBM queries 1v0–10v0 (excluding 4v0, 7v0, 9v0, which return a single
+//! result and cannot provide the ≥2 explanations inference needs), plus
+//! the ten DBpedia movie queries of Table I. The originals use SPARQL
+//! features outside the paper's fragment (OPTIONAL, arithmetic FILTERs);
+//! the paper adapted them to basic graph patterns with joins, unions and
+//! disequalities, and so do these analogs: each keeps its original's
+//! structural envelope (1–12 edges, 1–12 variables, multiple joins) over
+//! the synthetic vocabularies of [`crate::sp2b`], [`crate::bsbm`] and
+//! [`crate::movies`].
+
+use questpro_query::{QueryBuilder, SimpleQuery, UnionQuery};
+
+/// Which synthetic ontology a workload query runs against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OntologyKind {
+    /// The SP2B-like publications world.
+    Sp2b,
+    /// The BSBM-like e-commerce world.
+    Bsbm,
+    /// The DBpedia-movies-like world.
+    Movies,
+}
+
+/// A named target query of the experimental workload.
+#[derive(Debug, Clone)]
+pub struct WorkloadQuery {
+    /// Paper-style identifier (`q8a`, `q2v0`, `m6`, …).
+    pub id: &'static str,
+    /// The ontology this query targets.
+    pub kind: OntologyKind,
+    /// Human-readable intent (Table I-style description).
+    pub description: &'static str,
+    /// The target query itself.
+    pub query: UnionQuery,
+}
+
+fn single(q: SimpleQuery) -> UnionQuery {
+    UnionQuery::single(q)
+}
+
+// ---------------------------------------------------------------------
+// SP2B analogs
+// ---------------------------------------------------------------------
+
+/// The SP2B workload: analogs of queries 2, 3a, 3b, 6, 8a, 8b, 11, 12a.
+pub fn sp2b_workload() -> Vec<WorkloadQuery> {
+    vec![
+        WorkloadQuery {
+            id: "q2",
+            kind: OntologyKind::Sp2b,
+            description: "articles with full metadata citing a described article",
+            query: single(sp2b_q2()),
+        },
+        WorkloadQuery {
+            id: "q3a",
+            kind: OntologyKind::Sp2b,
+            description: "articles published in 2005",
+            query: single(sp2b_q3("year", "year_2005")),
+        },
+        WorkloadQuery {
+            id: "q3b",
+            kind: OntologyKind::Sp2b,
+            description: "articles in journal_0",
+            query: single(sp2b_q3("journal", "journal_0")),
+        },
+        WorkloadQuery {
+            id: "q6",
+            kind: OntologyKind::Sp2b,
+            description: "papers whose author also published in 2000",
+            query: single(sp2b_q6()),
+        },
+        WorkloadQuery {
+            id: "q8a",
+            kind: OntologyKind::Sp2b,
+            description: "co-authors of Paul Erdos",
+            query: single(sp2b_q8a()),
+        },
+        WorkloadQuery {
+            id: "q8b",
+            kind: OntologyKind::Sp2b,
+            description: "authors with Erdos number 2",
+            query: single(sp2b_q8b()),
+        },
+        WorkloadQuery {
+            id: "q11",
+            kind: OntologyKind::Sp2b,
+            description: "all dated publications",
+            query: single(sp2b_q11()),
+        },
+        WorkloadQuery {
+            id: "q12a",
+            kind: OntologyKind::Sp2b,
+            description: "co-authors of Erdos on cited, dated papers",
+            query: single(sp2b_q12a()),
+        },
+    ]
+}
+
+fn sp2b_q2() -> SimpleQuery {
+    let mut b = QueryBuilder::new();
+    let a = b.var("article");
+    let au1 = b.var("author");
+    let j = b.var("journal");
+    let y = b.var("year");
+    let p2 = b.var("cited");
+    let au2 = b.var("cited_author");
+    let j2 = b.var("cited_journal");
+    let y2 = b.var("cited_year");
+    b.edge(a, "creator", au1)
+        .edge(a, "journal", j)
+        .edge(a, "year", y)
+        .edge(a, "cites", p2)
+        .edge(p2, "creator", au2)
+        .edge(p2, "journal", j2)
+        .edge(p2, "year", y2)
+        .project(a);
+    b.build().expect("q2 is well-formed")
+}
+
+fn sp2b_q3(pred: &str, constant: &str) -> SimpleQuery {
+    let mut b = QueryBuilder::new();
+    let a = b.var("article");
+    let au = b.var("author");
+    let c = b.constant(constant);
+    b.edge(a, pred, c).edge(a, "creator", au).project(a);
+    b.build().expect("q3 is well-formed")
+}
+
+fn sp2b_q6() -> SimpleQuery {
+    let mut b = QueryBuilder::new();
+    let p = b.var("paper");
+    let au = b.var("author");
+    let p2 = b.var("other_paper");
+    let y2000 = b.constant("year_2000");
+    let y = b.var("year");
+    b.edge(p, "year", y2000)
+        .edge(p, "creator", au)
+        .edge(p2, "creator", au)
+        .edge(p2, "year", y)
+        .project(p2);
+    b.build().expect("q6 is well-formed")
+}
+
+fn sp2b_q8a() -> SimpleQuery {
+    let mut b = QueryBuilder::new();
+    let p = b.var("paper");
+    let x = b.var("coauthor");
+    let erdos = b.constant("Paul_Erdos");
+    b.edge(p, "creator", erdos).edge(p, "creator", x).project(x);
+    b.build().expect("q8a is well-formed")
+}
+
+fn sp2b_q8b() -> SimpleQuery {
+    let mut b = QueryBuilder::new();
+    let p1 = b.var("paper1");
+    let p2 = b.var("paper2");
+    let m = b.var("middle");
+    let x = b.var("author");
+    let erdos = b.constant("Paul_Erdos");
+    b.edge(p1, "creator", erdos)
+        .edge(p1, "creator", m)
+        .edge(p2, "creator", m)
+        .edge(p2, "creator", x)
+        .project(x);
+    b.build().expect("q8b is well-formed")
+}
+
+fn sp2b_q11() -> SimpleQuery {
+    let mut b = QueryBuilder::new();
+    let p = b.var("paper");
+    let y = b.var("year");
+    b.edge(p, "year", y).project(p);
+    b.build().expect("q11 is well-formed")
+}
+
+fn sp2b_q12a() -> SimpleQuery {
+    let mut b = QueryBuilder::new();
+    let p = b.var("paper");
+    let x = b.var("coauthor");
+    let y = b.var("year");
+    let citing = b.var("citing");
+    let z = b.var("citing_author");
+    let erdos = b.constant("Paul_Erdos");
+    b.edge(p, "creator", erdos)
+        .edge(p, "creator", x)
+        .edge(p, "year", y)
+        .edge(citing, "cites", p)
+        .edge(citing, "creator", z)
+        .project(x);
+    b.build().expect("q12a is well-formed")
+}
+
+// ---------------------------------------------------------------------
+// BSBM analogs
+// ---------------------------------------------------------------------
+
+/// The BSBM workload: analogs of 1v0, 2v0, 3v0, 5v0, 6v0, 8v0, 10v0
+/// (the paper excludes 4v0, 7v0 and 9v0 as single-result queries).
+pub fn bsbm_workload() -> Vec<WorkloadQuery> {
+    vec![
+        WorkloadQuery {
+            id: "q1v0",
+            kind: OntologyKind::Bsbm,
+            description: "products of a given type with some feature",
+            query: single(bsbm_q1v0()),
+        },
+        WorkloadQuery {
+            id: "q2v0",
+            kind: OntologyKind::Bsbm,
+            description: "fully described products with offers and reviews",
+            query: single(bsbm_q2v0()),
+        },
+        WorkloadQuery {
+            id: "q3v0",
+            kind: OntologyKind::Bsbm,
+            description: "typed products from a given country's producers",
+            query: single(bsbm_q3v0()),
+        },
+        WorkloadQuery {
+            id: "q5v0",
+            kind: OntologyKind::Bsbm,
+            description: "products sharing a feature with product_0",
+            query: single(bsbm_q5v0()),
+        },
+        WorkloadQuery {
+            id: "q6v0",
+            kind: OntologyKind::Bsbm,
+            description: "products made in country_1",
+            query: single(bsbm_q6v0()),
+        },
+        WorkloadQuery {
+            id: "q8v0",
+            kind: OntologyKind::Bsbm,
+            description: "top-rated reviews of producer_0's products",
+            query: single(bsbm_q8v0()),
+        },
+        WorkloadQuery {
+            id: "q10v0",
+            kind: OntologyKind::Bsbm,
+            description: "offers of typed products from country_0 vendors",
+            query: single(bsbm_q10v0()),
+        },
+    ]
+}
+
+fn bsbm_q1v0() -> SimpleQuery {
+    let mut b = QueryBuilder::new();
+    let p = b.var("product");
+    let t = b.constant("ptype_0");
+    let f = b.var("feature");
+    b.edge(p, "ptype", t).edge(p, "feature", f).project(p);
+    b.build().expect("q1v0 is well-formed")
+}
+
+fn bsbm_q2v0() -> SimpleQuery {
+    let mut b = QueryBuilder::new();
+    let p = b.var("product");
+    let pr = b.var("producer");
+    let c1 = b.var("producer_country");
+    let t = b.var("type");
+    let f = b.var("feature");
+    let offer = b.var("offer");
+    let v = b.var("vendor");
+    let c2 = b.var("vendor_country");
+    let review = b.var("review");
+    let person = b.var("reviewer");
+    let c3 = b.var("reviewer_country");
+    let r = b.var("rating");
+    b.edge(p, "producer", pr)
+        .edge(pr, "country", c1)
+        .edge(p, "ptype", t)
+        .edge(p, "feature", f)
+        .edge(offer, "offer_product", p)
+        .edge(offer, "vendor", v)
+        .edge(v, "country", c2)
+        .edge(review, "review_product", p)
+        .edge(review, "reviewer", person)
+        .edge(person, "country", c3)
+        .edge(review, "rating", r)
+        .project(p);
+    b.build().expect("q2v0 is well-formed")
+}
+
+fn bsbm_q3v0() -> SimpleQuery {
+    let mut b = QueryBuilder::new();
+    let p = b.var("product");
+    let t = b.constant("ptype_1");
+    let f = b.var("feature");
+    let pr = b.var("producer");
+    let c = b.constant("country_0");
+    b.edge(p, "ptype", t)
+        .edge(p, "feature", f)
+        .edge(p, "producer", pr)
+        .edge(pr, "country", c)
+        .project(p);
+    b.build().expect("q3v0 is well-formed")
+}
+
+fn bsbm_q5v0() -> SimpleQuery {
+    let mut b = QueryBuilder::new();
+    let p = b.var("product");
+    let anchor = b.constant("product_0");
+    let f = b.var("feature");
+    let t = b.var("type");
+    b.edge(p, "feature", f)
+        .edge(anchor, "feature", f)
+        .edge(p, "ptype", t)
+        .project(p);
+    b.build().expect("q5v0 is well-formed")
+}
+
+fn bsbm_q6v0() -> SimpleQuery {
+    let mut b = QueryBuilder::new();
+    let p = b.var("product");
+    let pr = b.var("producer");
+    let c = b.constant("country_1");
+    b.edge(p, "producer", pr).edge(pr, "country", c).project(p);
+    b.build().expect("q6v0 is well-formed")
+}
+
+fn bsbm_q8v0() -> SimpleQuery {
+    let mut b = QueryBuilder::new();
+    let r = b.var("review");
+    let p = b.var("product");
+    let producer = b.constant("producer_0");
+    let person = b.var("reviewer");
+    let top = b.constant("rating_5");
+    b.edge(r, "review_product", p)
+        .edge(p, "producer", producer)
+        .edge(r, "reviewer", person)
+        .edge(r, "rating", top)
+        .project(r);
+    b.build().expect("q8v0 is well-formed")
+}
+
+fn bsbm_q10v0() -> SimpleQuery {
+    let mut b = QueryBuilder::new();
+    let o = b.var("offer");
+    let p = b.var("product");
+    let v = b.var("vendor");
+    let c = b.constant("country_0");
+    let pr = b.var("producer");
+    b.edge(o, "offer_product", p)
+        .edge(o, "vendor", v)
+        .edge(v, "country", c)
+        .edge(p, "producer", pr)
+        .project(o);
+    b.build().expect("q10v0 is well-formed")
+}
+
+// ---------------------------------------------------------------------
+// Union targets
+// ---------------------------------------------------------------------
+
+/// Target queries that are genuine unions (Section II-A's full query
+/// class): inference must keep separate branches — or the feedback loop
+/// must reject the over-generalized single-pattern merge.
+pub fn union_workload() -> Vec<WorkloadQuery> {
+    vec![
+        WorkloadQuery {
+            id: "u1",
+            kind: OntologyKind::Movies,
+            description: "films by Tarantino or by Spielberg",
+            query: UnionQuery::new(vec![
+                m_films_by("Quentin_Tarantino"),
+                m_films_by("Steven_Spielberg"),
+            ])
+            .expect("two branches"),
+        },
+        WorkloadQuery {
+            id: "u2",
+            kind: OntologyKind::Sp2b,
+            description: "articles in journal_0 or journal_1",
+            query: UnionQuery::new(vec![
+                sp2b_q3("journal", "journal_0"),
+                sp2b_q3("journal", "journal_1"),
+            ])
+            .expect("two branches"),
+        },
+        WorkloadQuery {
+            id: "u3",
+            kind: OntologyKind::Bsbm,
+            description: "products of ptype_0 or from country_1 producers",
+            query: UnionQuery::new(vec![bsbm_q1v0(), bsbm_q6v0()]).expect("two branches"),
+        },
+    ]
+}
+
+// ---------------------------------------------------------------------
+// Table I movie queries
+// ---------------------------------------------------------------------
+
+/// The ten Table I movie queries: five basic (m1–m5) and five more
+/// challenging (m6–m10).
+pub fn movie_workload() -> Vec<WorkloadQuery> {
+    vec![
+        WorkloadQuery {
+            id: "m1",
+            kind: OntologyKind::Movies,
+            description: "films directed by Quentin Tarantino",
+            query: single(m_films_by("Quentin_Tarantino")),
+        },
+        WorkloadQuery {
+            id: "m2",
+            kind: OntologyKind::Movies,
+            description: "actors starring in Pulp Fiction",
+            query: single(m_cast_of("Pulp_Fiction")),
+        },
+        WorkloadQuery {
+            id: "m3",
+            kind: OntologyKind::Movies,
+            description: "films starring Uma Thurman",
+            query: single(m_films_starring("Uma_Thurman")),
+        },
+        WorkloadQuery {
+            id: "m4",
+            kind: OntologyKind::Movies,
+            description: "films produced in England",
+            query: single(m_films_in("England")),
+        },
+        WorkloadQuery {
+            id: "m5",
+            kind: OntologyKind::Movies,
+            description: "actors in films directed by Steven Spielberg",
+            query: single(m_actors_for_director("Steven_Spielberg")),
+        },
+        WorkloadQuery {
+            id: "m6",
+            kind: OntologyKind::Movies,
+            description: "actors in more than one Tarantino film",
+            query: single(m_repeat_actors("Quentin_Tarantino")),
+        },
+        WorkloadQuery {
+            id: "m7",
+            kind: OntologyKind::Movies,
+            description: "directors who star in their own film",
+            query: single(m_self_directors()),
+        },
+        WorkloadQuery {
+            id: "m8",
+            kind: OntologyKind::Movies,
+            description: "co-stars of Kevin Bacon",
+            query: single(m_costars_of("Kevin_Bacon")),
+        },
+        WorkloadQuery {
+            id: "m9",
+            kind: OntologyKind::Movies,
+            description: "films by directors of Uma Thurman films",
+            query: single(m_films_by_director_of("Uma_Thurman")),
+        },
+        WorkloadQuery {
+            id: "m10",
+            kind: OntologyKind::Movies,
+            description: "actors with Bacon number 2",
+            query: single(m_bacon_number_2()),
+        },
+    ]
+}
+
+fn m_films_by(director: &str) -> SimpleQuery {
+    let mut b = QueryBuilder::new();
+    let f = b.var("film");
+    let d = b.constant(director);
+    b.edge(f, "director", d).project(f);
+    b.build().expect("m1 is well-formed")
+}
+
+fn m_cast_of(film: &str) -> SimpleQuery {
+    let mut b = QueryBuilder::new();
+    let f = b.constant(film);
+    let a = b.var("actor");
+    b.edge(f, "starring", a).project(a);
+    b.build().expect("m2 is well-formed")
+}
+
+fn m_films_starring(actor: &str) -> SimpleQuery {
+    let mut b = QueryBuilder::new();
+    let f = b.var("film");
+    let a = b.constant(actor);
+    b.edge(f, "starring", a).project(f);
+    b.build().expect("m3 is well-formed")
+}
+
+fn m_films_in(country: &str) -> SimpleQuery {
+    let mut b = QueryBuilder::new();
+    let f = b.var("film");
+    let c = b.constant(country);
+    let d = b.var("director");
+    b.edge(f, "country", c).edge(f, "director", d).project(f);
+    b.build().expect("m4 is well-formed")
+}
+
+fn m_actors_for_director(director: &str) -> SimpleQuery {
+    let mut b = QueryBuilder::new();
+    let f = b.var("film");
+    let d = b.constant(director);
+    let a = b.var("actor");
+    b.edge(f, "director", d).edge(f, "starring", a).project(a);
+    b.build().expect("m5 is well-formed")
+}
+
+fn m_repeat_actors(director: &str) -> SimpleQuery {
+    let mut b = QueryBuilder::new();
+    let f1 = b.var("film1");
+    let f2 = b.var("film2");
+    let d = b.constant(director);
+    let a = b.var("actor");
+    b.edge(f1, "director", d)
+        .edge(f1, "starring", a)
+        .edge(f2, "director", d)
+        .edge(f2, "starring", a)
+        .project(a)
+        .diseq(f1, f2);
+    b.build().expect("m6 is well-formed")
+}
+
+fn m_self_directors() -> SimpleQuery {
+    let mut b = QueryBuilder::new();
+    let f = b.var("film");
+    let d = b.var("person");
+    b.edge(f, "director", d).edge(f, "starring", d).project(d);
+    b.build().expect("m7 is well-formed")
+}
+
+fn m_costars_of(actor: &str) -> SimpleQuery {
+    let mut b = QueryBuilder::new();
+    let f = b.var("film");
+    let bacon = b.constant(actor);
+    let a = b.var("actor");
+    b.edge(f, "starring", bacon)
+        .edge(f, "starring", a)
+        .project(a)
+        .diseq(a, bacon);
+    b.build().expect("m8 is well-formed")
+}
+
+fn m_films_by_director_of(actor: &str) -> SimpleQuery {
+    let mut b = QueryBuilder::new();
+    let f = b.var("film");
+    let f2 = b.var("uma_film");
+    let d = b.var("director");
+    let a = b.constant(actor);
+    b.edge(f, "director", d)
+        .edge(f2, "director", d)
+        .edge(f2, "starring", a)
+        .project(f);
+    b.build().expect("m9 is well-formed")
+}
+
+fn m_bacon_number_2() -> SimpleQuery {
+    let mut b = QueryBuilder::new();
+    let f1 = b.var("film1");
+    let f2 = b.var("film2");
+    let bacon = b.constant("Kevin_Bacon");
+    let m = b.var("middle");
+    let x = b.var("actor");
+    b.edge(f1, "starring", bacon)
+        .edge(f1, "starring", m)
+        .edge(f2, "starring", m)
+        .edge(f2, "starring", x)
+        .project(x)
+        .diseq(m, bacon)
+        .diseq(x, bacon)
+        .diseq(x, m);
+    b.build().expect("m10 is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bsbm::{generate_bsbm, BsbmConfig};
+    use crate::movies::{generate_movies, MoviesConfig};
+    use crate::sp2b::{generate_sp2b, Sp2bConfig};
+    use questpro_engine::evaluate_union;
+    use questpro_graph::Ontology;
+
+    fn results(o: &Ontology, w: &WorkloadQuery) -> usize {
+        evaluate_union(o, &w.query).len()
+    }
+
+    #[test]
+    fn sp2b_queries_have_enough_results() {
+        let o = generate_sp2b(&Sp2bConfig::default());
+        for w in sp2b_workload() {
+            let n = results(&o, &w);
+            assert!(n >= 2, "{} returned {} results (<2)", w.id, n);
+        }
+    }
+
+    #[test]
+    fn bsbm_queries_have_enough_results() {
+        let o = generate_bsbm(&BsbmConfig::default());
+        for w in bsbm_workload() {
+            let n = results(&o, &w);
+            assert!(n >= 2, "{} returned {} results (<2)", w.id, n);
+        }
+    }
+
+    #[test]
+    fn movie_queries_have_enough_results() {
+        let o = generate_movies(&MoviesConfig::default());
+        for w in movie_workload() {
+            let n = results(&o, &w);
+            assert!(n >= 2, "{} returned {} results (<2)", w.id, n);
+        }
+    }
+
+    #[test]
+    fn workloads_respect_the_paper_envelope() {
+        // 1–12 edges and 1–12 variables per simple query (Section VI-B).
+        for w in sp2b_workload()
+            .into_iter()
+            .chain(bsbm_workload())
+            .chain(movie_workload())
+        {
+            for q in w.query.branches() {
+                assert!(
+                    (1..=12).contains(&q.edge_count()),
+                    "{}: {} edges",
+                    w.id,
+                    q.edge_count()
+                );
+                assert!(
+                    (1..=12).contains(&q.var_count()),
+                    "{}: {} vars",
+                    w.id,
+                    q.var_count()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let mut ids: Vec<&str> = sp2b_workload()
+            .into_iter()
+            .chain(bsbm_workload())
+            .chain(movie_workload())
+            .map(|w| w.id)
+            .collect();
+        let total = ids.len();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), total);
+        assert_eq!(total, 8 + 7 + 10);
+    }
+}

@@ -1,0 +1,141 @@
+//! Difference queries for the feedback stage (Section V).
+//!
+//! To distinguish candidate queries `Q_i`, `Q_j`, the paper evaluates the
+//! difference `Q_i − Q_j` *without* provenance tracking, samples one
+//! result, binds it back into `Q_i`, and only then computes provenance
+//! for that single result — avoiding the cost of provenance-tracking two
+//! full evaluations.
+
+use std::collections::BTreeSet;
+
+use rand::seq::IteratorRandom;
+use rand::Rng;
+
+use questpro_graph::{NodeId, Ontology, Subgraph};
+use questpro_query::UnionQuery;
+
+use crate::eval::{evaluate_union, provenance_of_union};
+
+/// Evaluates `a − b`: results of `a` that are not results of `b`.
+pub fn difference(ont: &Ontology, a: &UnionQuery, b: &UnionQuery) -> BTreeSet<NodeId> {
+    let ra = evaluate_union(ont, a);
+    if ra.is_empty() {
+        return ra;
+    }
+    let rb = evaluate_union(ont, b);
+    ra.difference(&rb).copied().collect()
+}
+
+/// Evaluates `a − b`, samples one result uniformly, and returns it with
+/// one provenance graph w.r.t. `a` (the witness shown to the user).
+///
+/// Returns `None` when the difference is empty. The provenance graph is
+/// sampled among the first `prov_limit` distinct images.
+pub fn difference_with_witness<R: Rng>(
+    ont: &Ontology,
+    a: &UnionQuery,
+    b: &UnionQuery,
+    rng: &mut R,
+    prov_limit: usize,
+) -> Option<(NodeId, Subgraph)> {
+    let diff = difference(ont, a, b);
+    let res = diff.into_iter().choose(rng)?;
+    let imgs = provenance_of_union(ont, a, res, Some(prov_limit.max(1)));
+    let img = imgs
+        .into_iter()
+        .choose(rng)
+        .expect("a difference result always has provenance w.r.t. `a`");
+    Some((res, img))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use questpro_query::SimpleQuery;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn world() -> Ontology {
+        let mut b = Ontology::builder();
+        for (p, a) in [
+            ("paper1", "Alice"),
+            ("paper1", "Bob"),
+            ("paper2", "Bob"),
+            ("paper2", "Erdos"),
+            ("paper3", "Carol"),
+            ("paper3", "Erdos"),
+            ("paper4", "Dave"),
+            ("paper4", "Frank"),
+        ] {
+            b.edge(p, "wb", a).unwrap();
+        }
+        b.build()
+    }
+
+    fn coauthors_of(name: &str) -> UnionQuery {
+        let mut b = SimpleQuery::builder();
+        let x = b.var("x");
+        let p = b.var("p");
+        let c = b.constant(name);
+        b.edge(p, "wb", x).edge(p, "wb", c).project(x);
+        UnionQuery::single(b.build().unwrap())
+    }
+
+    fn all_authors() -> UnionQuery {
+        let mut b = SimpleQuery::builder();
+        let x = b.var("x");
+        let p = b.var("p");
+        b.edge(p, "wb", x).project(x);
+        UnionQuery::single(b.build().unwrap())
+    }
+
+    #[test]
+    fn difference_removes_second_query_results() {
+        let o = world();
+        let diff = difference(&o, &all_authors(), &coauthors_of("Erdos"));
+        let names: Vec<_> = diff.iter().map(|&n| o.value_str(n)).collect();
+        // Co-authors of Erdos: Bob, Carol, Erdos. Everyone else remains.
+        assert_eq!(names, vec!["Alice", "Dave", "Frank"]);
+    }
+
+    #[test]
+    fn empty_difference_when_contained() {
+        let o = world();
+        let diff = difference(&o, &coauthors_of("Erdos"), &all_authors());
+        assert!(diff.is_empty());
+    }
+
+    #[test]
+    fn witness_carries_provenance_of_the_first_query() {
+        let o = world();
+        let mut rng = StdRng::seed_from_u64(7);
+        let (res, img) =
+            difference_with_witness(&o, &all_authors(), &coauthors_of("Erdos"), &mut rng, 8)
+                .expect("non-empty difference");
+        let name = o.value_str(res);
+        assert!(["Alice", "Dave", "Frank"].contains(&name));
+        // The witness image is a single wb edge producing `res`.
+        assert_eq!(img.edge_count(), 1);
+        assert!(img.describe(&o).contains(name));
+    }
+
+    #[test]
+    fn witness_is_none_on_empty_difference() {
+        let o = world();
+        let mut rng = StdRng::seed_from_u64(7);
+        assert!(
+            difference_with_witness(&o, &coauthors_of("Erdos"), &all_authors(), &mut rng, 8)
+                .is_none()
+        );
+    }
+
+    #[test]
+    fn witness_sampling_is_seed_deterministic() {
+        let o = world();
+        let a = all_authors();
+        let b = coauthors_of("Erdos");
+        let w1 = difference_with_witness(&o, &a, &b, &mut StdRng::seed_from_u64(3), 8);
+        let w2 = difference_with_witness(&o, &a, &b, &mut StdRng::seed_from_u64(3), 8);
+        assert_eq!(w1, w2);
+    }
+}

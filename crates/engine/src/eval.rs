@@ -1,0 +1,387 @@
+//! Query evaluation: result sets and provenance (Definitions 2.2–2.4).
+//!
+//! Result-set evaluation is *result-anchored*: instead of enumerating all
+//! homomorphisms (whose count can be exponential in the pattern size), we
+//! enumerate candidate images of the projected node and run an
+//! existence-check for each. Candidates come from the cheapest incident
+//! edge of the projected node, so a query anchored by a selective
+//! predicate never scans the whole ontology.
+//!
+//! Provenance evaluation enumerates homomorphisms for a *bound* result
+//! only (the paper's Section V optimization: run differences without
+//! provenance, then bind one result and track provenance just for it).
+
+use std::collections::BTreeSet;
+use std::ops::ControlFlow;
+
+use rand::seq::IteratorRandom;
+use rand::Rng;
+
+use questpro_graph::{NodeId, Ontology, Subgraph};
+use questpro_query::{SimpleQuery, UnionQuery};
+
+use crate::matcher::Matcher;
+
+/// Candidate images of the projected node, computed from its cheapest
+/// incident **required** edge (optional edges do not constrain results);
+/// `None` means "every node" (the projected node has no required edge).
+fn projected_candidates(ont: &Ontology, q: &SimpleQuery) -> Option<Vec<NodeId>> {
+    let proj = q.projected();
+    let mut best: Option<(usize, Vec<NodeId>)> = None;
+    for &ei in q.out_edges(proj) {
+        let e = &q.edges()[ei as usize];
+        if e.optional {
+            continue;
+        }
+        let Some(p) = ont.pred_by_name(&e.pred) else {
+            return Some(Vec::new());
+        };
+        let pool = ont.edges_with_pred(p);
+        if best.as_ref().is_none_or(|(n, _)| pool.len() < *n) {
+            let cands: Vec<NodeId> = pool.iter().map(|&te| ont.edge(te).src).collect();
+            best = Some((pool.len(), cands));
+        }
+    }
+    for &ei in q.in_edges(proj) {
+        let e = &q.edges()[ei as usize];
+        if e.optional {
+            continue;
+        }
+        let Some(p) = ont.pred_by_name(&e.pred) else {
+            return Some(Vec::new());
+        };
+        let pool = ont.edges_with_pred(p);
+        if best.as_ref().is_none_or(|(n, _)| pool.len() < *n) {
+            let cands: Vec<NodeId> = pool.iter().map(|&te| ont.edge(te).dst).collect();
+            best = Some((pool.len(), cands));
+        }
+    }
+    best.map(|(_, mut cands)| {
+        cands.sort_unstable();
+        cands.dedup();
+        cands
+    })
+}
+
+/// Evaluates a simple query: the set of nodes `Q(O)`.
+///
+/// ```
+/// use questpro_engine::{evaluate, provenance_of};
+/// use questpro_graph::Ontology;
+/// use questpro_query::SimpleQuery;
+///
+/// let mut b = Ontology::builder();
+/// b.edge("paper3", "wb", "Carol")?;
+/// b.edge("paper3", "wb", "Erdos")?;
+/// let ont = b.build();
+/// let mut qb = SimpleQuery::builder();
+/// let x = qb.var("x");
+/// let p = qb.var("p");
+/// let e = qb.constant("Erdos");
+/// qb.edge(p, "wb", x).edge(p, "wb", e).project(x);
+/// let q = qb.build().unwrap();
+///
+/// let results = evaluate(&ont, &q);
+/// let carol = ont.node_by_value("Carol").unwrap();
+/// assert!(results.contains(&carol));
+/// // Why Carol? The paper3 co-authorship, as a provenance graph.
+/// let images = provenance_of(&ont, &q, carol, None);
+/// assert_eq!(images.len(), 1);
+/// assert!(images[0].describe(&ont).contains("paper3 -wb-> Erdos"));
+/// # Ok::<(), questpro_graph::GraphError>(())
+/// ```
+pub fn evaluate(ont: &Ontology, q: &SimpleQuery) -> BTreeSet<NodeId> {
+    let mut out = BTreeSet::new();
+    // Result sets are determined by the required pattern; skipping the
+    // OPTIONAL extension phase makes the existence checks cheaper.
+    match projected_candidates(ont, q) {
+        Some(cands) => {
+            for v in cands {
+                if Matcher::new(ont, q)
+                    .bind(q.projected(), v)
+                    .skip_optionals()
+                    .exists()
+                {
+                    out.insert(v);
+                }
+            }
+        }
+        None => {
+            // Isolated projected node: every node extends iff the rest of
+            // the pattern matches at all — but diseqs may couple the
+            // projected node to the rest, so bind each candidate.
+            for v in ont.node_ids() {
+                if Matcher::new(ont, q)
+                    .bind(q.projected(), v)
+                    .skip_optionals()
+                    .exists()
+                {
+                    out.insert(v);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Evaluates a union query: `q1(O) ∪ … ∪ qn(O)`.
+pub fn evaluate_union(ont: &Ontology, q: &UnionQuery) -> BTreeSet<NodeId> {
+    let mut out = BTreeSet::new();
+    for branch in q.branches() {
+        out.extend(evaluate(ont, branch));
+    }
+    out
+}
+
+/// Whether the query has at least one match (i.e. a non-empty result).
+pub fn exists_match(ont: &Ontology, q: &SimpleQuery) -> bool {
+    Matcher::new(ont, q).exists()
+}
+
+/// The provenance of `res` w.r.t. a simple query: all distinct match
+/// images `μ(Q)` with `μ(projected) = res` (Def. 2.4), up to `limit`
+/// graphs if given.
+pub fn provenance_of(
+    ont: &Ontology,
+    q: &SimpleQuery,
+    res: NodeId,
+    limit: Option<usize>,
+) -> Vec<Subgraph> {
+    let mut images: BTreeSet<Subgraph> = BTreeSet::new();
+    Matcher::new(ont, q).bind(q.projected(), res).for_each(|m| {
+        images.insert(m.image(ont));
+        match limit {
+            Some(l) if images.len() >= l => ControlFlow::Break(()),
+            _ => ControlFlow::Continue(()),
+        }
+    });
+    images.into_iter().collect()
+}
+
+/// The provenance of `res` w.r.t. a union query: the union of its
+/// provenance sets over all branches that produce `res` (Section II-B).
+pub fn provenance_of_union(
+    ont: &Ontology,
+    q: &UnionQuery,
+    res: NodeId,
+    limit: Option<usize>,
+) -> Vec<Subgraph> {
+    let mut images: BTreeSet<Subgraph> = BTreeSet::new();
+    for branch in q.branches() {
+        for g in provenance_of(ont, branch, res, limit) {
+            images.insert(g);
+            if let Some(l) = limit {
+                if images.len() >= l {
+                    return images.into_iter().collect();
+                }
+            }
+        }
+    }
+    images.into_iter().collect()
+}
+
+/// Samples one `(result, provenance-graph)` pair of a simple query — the
+/// generative model of the paper's automatic experiments, where sampled
+/// results with their provenance serve as explanations.
+///
+/// Returns `None` when the query has no results. The provenance graph is
+/// drawn uniformly from the first `prov_limit` distinct images of the
+/// chosen result.
+pub fn sample_result_with_provenance<R: Rng>(
+    ont: &Ontology,
+    q: &SimpleQuery,
+    rng: &mut R,
+    prov_limit: usize,
+) -> Option<(NodeId, Subgraph)> {
+    let results = evaluate(ont, q);
+    let res = results.into_iter().choose(rng)?;
+    let images = provenance_of(ont, q, res, Some(prov_limit.max(1)));
+    let img = images.into_iter().choose(rng)?;
+    Some((res, img))
+}
+
+/// Samples an example-set for a (hidden) target union query: the
+/// generative model of the paper's automatic experiments (Section VI-B),
+/// where each explanation is a sampled result together with one of its
+/// provenance graphs.
+///
+/// Results are drawn without replacement while possible (then with
+/// replacement), so up to `count` *distinct* output examples are used.
+/// Returns fewer explanations (possibly zero) when the query has fewer
+/// results.
+pub fn sample_example_set<R: Rng>(
+    ont: &Ontology,
+    target: &UnionQuery,
+    count: usize,
+    rng: &mut R,
+    prov_limit: usize,
+) -> questpro_graph::ExampleSet {
+    use rand::seq::SliceRandom;
+    let results: Vec<NodeId> = evaluate_union(ont, target).into_iter().collect();
+    let mut order: Vec<NodeId> = results.clone();
+    order.shuffle(rng);
+    let mut set = questpro_graph::ExampleSet::new();
+    let max_attempts = count.saturating_mul(4).max(4);
+    let mut attempt = 0usize;
+    while set.len() < count && !order.is_empty() && attempt < max_attempts {
+        let res = if attempt < order.len() {
+            order[attempt]
+        } else {
+            // With replacement once distinct results are exhausted.
+            order[rng.random_range(0..order.len())]
+        };
+        attempt += 1;
+        let imgs = provenance_of_union(ont, target, res, Some(prov_limit.max(1)));
+        let Some(img) = imgs.into_iter().choose(rng) else {
+            continue;
+        };
+        let ex = questpro_graph::Explanation::new(img, res)
+            .expect("a provenance image always contains its result node");
+        set.push(ex);
+    }
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use questpro_query::fixtures::{erdos_q1, erdos_q2};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Figure 1's four-explanation world: two 2-chains and two 3-chains
+    /// to Erdős (shapes simplified but structurally faithful).
+    fn ontology() -> Ontology {
+        let mut b = Ontology::builder();
+        for (p, a) in [
+            // E1: Alice -p1- Bob -p2- Carol -p3- Erdos
+            ("paper1", "Alice"),
+            ("paper1", "Bob"),
+            ("paper2", "Bob"),
+            ("paper2", "Carol"),
+            ("paper3", "Carol"),
+            ("paper3", "Erdos"),
+            // E2: Dave -p4- Erdos (a 1-chain, used for contrast)
+            ("paper4", "Dave"),
+            ("paper4", "Erdos"),
+        ] {
+            b.edge(p, "wb", a).unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn evaluate_returns_distinct_results() {
+        let o = ontology();
+        let q = erdos_q1();
+        let res = evaluate(&o, &q);
+        // Every author and paper participating as a1 of some chain.
+        assert!(!res.is_empty());
+        let names: Vec<_> = res.iter().map(|&n| o.value_str(n)).collect();
+        assert!(names.contains(&"Alice"));
+    }
+
+    #[test]
+    fn union_evaluation_is_set_union() {
+        let o = ontology();
+        let u = UnionQuery::new(vec![erdos_q1(), erdos_q2()]).unwrap();
+        let a = evaluate(&o, &erdos_q1());
+        let b = evaluate(&o, &erdos_q2());
+        let both = evaluate_union(&o, &u);
+        assert!(a.is_subset(&both));
+        assert!(b.is_subset(&both));
+        assert_eq!(both.len(), a.union(&b).count());
+    }
+
+    #[test]
+    fn provenance_images_are_distinct_subgraphs() {
+        let o = ontology();
+        let mut b = SimpleQuery::builder();
+        let a = b.var("a");
+        let p = b.var("p");
+        let erdos = b.constant("Erdos");
+        b.edge(p, "wb", a).edge(p, "wb", erdos).project(a);
+        let q = b.build().unwrap();
+        let carol = o.node_by_value("Carol").unwrap();
+        let imgs = provenance_of(&o, &q, carol, None);
+        assert_eq!(imgs.len(), 1);
+        let img = &imgs[0];
+        assert_eq!(img.edge_count(), 2); // paper3's two wb edges
+        assert!(img.describe(&o).contains("paper3 -wb-> Carol"));
+    }
+
+    #[test]
+    fn provenance_respects_limit() {
+        let o = ontology();
+        let q = erdos_q2(); // six disjoint edges — many images
+        let alice = o.node_by_value("Alice").unwrap();
+        let imgs = provenance_of(&o, &q, alice, Some(3));
+        assert!(imgs.len() <= 3);
+        assert!(!imgs.is_empty());
+    }
+
+    #[test]
+    fn provenance_of_missing_result_is_empty() {
+        let o = ontology();
+        let q = erdos_q1();
+        let paper1 = o.node_by_value("paper1").unwrap();
+        // A paper is never the image of ?a1 (targets of wb).
+        assert!(provenance_of(&o, &q, paper1, None).is_empty());
+    }
+
+    #[test]
+    fn union_provenance_merges_branch_images() {
+        let o = ontology();
+        // Branch A: authors of paper4; Branch B: co-authors of Erdos.
+        let mut b = SimpleQuery::builder();
+        let x = b.var("x");
+        let p4 = b.constant("paper4");
+        b.edge(p4, "wb", x).project(x);
+        let qa = b.build().unwrap();
+        let mut b = SimpleQuery::builder();
+        let x = b.var("x");
+        let p = b.var("p");
+        let e = b.constant("Erdos");
+        b.edge(p, "wb", x).edge(p, "wb", e).project(x);
+        let qb = b.build().unwrap();
+        let u = UnionQuery::new(vec![qa, qb]).unwrap();
+        let dave = o.node_by_value("Dave").unwrap();
+        let imgs = provenance_of_union(&o, &u, dave, None);
+        // Dave via branch A (1 edge) and via branch B (2 edges of paper4).
+        assert_eq!(imgs.len(), 2);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_under_a_seed() {
+        let o = ontology();
+        let q = erdos_q1();
+        let mut r1 = StdRng::seed_from_u64(42);
+        let mut r2 = StdRng::seed_from_u64(42);
+        let s1 = sample_result_with_provenance(&o, &q, &mut r1, 8);
+        let s2 = sample_result_with_provenance(&o, &q, &mut r2, 8);
+        assert_eq!(s1, s2);
+        assert!(s1.is_some());
+    }
+
+    #[test]
+    fn sampling_empty_query_returns_none() {
+        let o = ontology();
+        let mut b = SimpleQuery::builder();
+        let x = b.var("x");
+        let ghost = b.constant("Ghost");
+        b.edge(ghost, "wb", x).project(x);
+        let q = b.build().unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(sample_result_with_provenance(&o, &q, &mut rng, 4).is_none());
+    }
+
+    #[test]
+    fn isolated_projected_query_returns_all_nodes() {
+        let o = ontology();
+        let mut b = SimpleQuery::builder();
+        let x = b.var("x");
+        b.project(x);
+        let q = b.build().unwrap();
+        assert_eq!(evaluate(&o, &q).len(), o.node_count());
+    }
+}

@@ -1,0 +1,1077 @@
+//! Backtracking enumeration of query matches (Definition 2.2).
+//!
+//! A *match* of a simple query `Q` into an ontology `O` is a pair of
+//! functions — on nodes and on edges — such that constants map to the
+//! node holding the same value, edges map to edges with the same
+//! predicate and compatible endpoints, and disequality constraints hold.
+//! Matches are **homomorphisms**: two query nodes may map to the same
+//! ontology node (the paper's Example 2.7 relies on this).
+//!
+//! [`Matcher`] resolves a query against an ontology once (constants →
+//! node ids, predicates → pred ids), orders the pattern edges most-
+//! constrained-first, and then backtracks. It supports four orthogonal
+//! refinements used across the system:
+//!
+//! * **bindings** ([`Matcher::bind`]) — pre-assign query nodes, used to
+//!   anchor evaluation at a candidate result and to compute the
+//!   provenance of one result (Section V's `bind(Q, res)`);
+//! * **restriction** ([`Matcher::restrict`]) — only edges of a given
+//!   subgraph may be used, which turns the ontology matcher into an
+//!   explanation matcher;
+//! * **onto tracking** ([`Matcher::onto`]) — require the image to cover
+//!   the restriction subgraph entirely, yielding the *onto* homomorphisms
+//!   that define consistency (Def. 2.6);
+//! * **OPTIONAL edges** (the paper's future-work operator) — required
+//!   edges are matched first and determine the result; each optional
+//!   edge then extends the match in every possible way, and is skipped
+//!   when it cannot match (in onto mode a skip branch is always
+//!   explored, since covering one part of an explanation can require
+//!   *not* extending into another). [`Matcher::skip_optionals`] turns
+//!   the extension phase off for result-only evaluation, where it is
+//!   semantically irrelevant.
+
+use std::ops::ControlFlow;
+
+use questpro_graph::{EdgeId, NodeId, Ontology, PredId, Subgraph};
+use questpro_query::{QueryNodeId, SimpleQuery};
+
+/// A match: images of the matched query nodes and edges.
+///
+/// Required edges and their endpoints are always matched; OPTIONAL edges
+/// (and nodes appearing only on skipped optional edges) may be `None`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Match {
+    /// Image of each query node, indexed by query node id; `None` for
+    /// nodes bound only by skipped optional edges.
+    pub nodes: Vec<Option<NodeId>>,
+    /// Image of each query edge, indexed by query edge position; `None`
+    /// for skipped optional edges.
+    pub edges: Vec<Option<EdgeId>>,
+}
+
+impl Match {
+    /// The ontology node a query node is mapped to, if it was bound.
+    pub fn node_image(&self, n: QueryNodeId) -> Option<NodeId> {
+        self.nodes[n.index()]
+    }
+
+    /// The result this match yields: the image of the projected node
+    /// (always bound — a query's projected node is never optional-only).
+    pub fn result(&self, q: &SimpleQuery) -> NodeId {
+        self.nodes[q.projected().index()].expect("projected node is always bound")
+    }
+
+    /// The provenance graph of this match: the image `μ(Q')` of the
+    /// matched sub-query (Def. 2.4), including images of isolated query
+    /// nodes.
+    pub fn image(&self, ont: &Ontology) -> Subgraph {
+        Subgraph::from_parts(
+            ont,
+            self.edges.iter().flatten().copied(),
+            self.nodes.iter().flatten().copied(),
+        )
+    }
+}
+
+/// Configurable backtracking matcher for one (query, ontology) pair.
+///
+/// ```
+/// use questpro_engine::Matcher;
+/// use questpro_graph::Ontology;
+/// use questpro_query::SimpleQuery;
+///
+/// let mut b = Ontology::builder();
+/// b.edge("paper1", "wb", "Alice")?;
+/// b.edge("paper1", "wb", "Bob")?;
+/// let ont = b.build();
+///
+/// let mut qb = SimpleQuery::builder();
+/// let a = qb.var("a");
+/// let p = qb.var("p");
+/// qb.edge(p, "wb", a).project(a);
+/// let q = qb.build().unwrap();
+///
+/// // Two homomorphisms: one per wb edge.
+/// assert_eq!(Matcher::new(&ont, &q).count(), 2);
+/// // Anchored at Alice there is exactly one.
+/// let alice = ont.node_by_value("Alice").unwrap();
+/// let m = Matcher::new(&ont, &q).bind(q.projected(), alice).first().unwrap();
+/// assert_eq!(m.result(&q), alice);
+/// # Ok::<(), questpro_graph::GraphError>(())
+/// ```
+pub struct Matcher<'a> {
+    ont: &'a Ontology,
+    q: &'a SimpleQuery,
+    /// `Some(v)` for constant query nodes resolved to an ontology node.
+    const_assign: Vec<Option<NodeId>>,
+    /// Resolved predicate of each query edge.
+    preds: Vec<PredId>,
+    /// False when a constant or a *required* predicate does not exist in
+    /// the ontology (the query then has no matches at all).
+    resolvable: bool,
+    /// Indexes of required edges.
+    required: Vec<usize>,
+    /// Indexes of optional edges with a resolvable predicate.
+    optionals: Vec<usize>,
+    /// Whether the optional extension phase runs.
+    include_optionals: bool,
+    /// Nodes with no incident edges at all (enumerated at the end).
+    enumerable: Vec<bool>,
+    /// Nodes that are always part of a match: endpoints of required
+    /// edges plus edge-free nodes. Nodes outside this set enter a match
+    /// only when one of their optional edges is matched.
+    required_scope: Vec<bool>,
+    /// Caller-provided bindings applied before the search.
+    pre_bound: Vec<(usize, NodeId)>,
+    /// Only edges/nodes of this subgraph may be used as images.
+    restrict: Option<&'a Subgraph>,
+    /// Require the image to cover the restriction subgraph (onto).
+    onto: bool,
+    /// Use plain declaration order instead of most-constrained-first
+    /// (ablation knob; see `sequential_order`).
+    sequential: bool,
+    /// Disequality partners per query node.
+    diseq_partners: Vec<Vec<usize>>,
+}
+
+impl<'a> Matcher<'a> {
+    /// Resolves `q` against `ont` and prepares a matcher.
+    pub fn new(ont: &'a Ontology, q: &'a SimpleQuery) -> Self {
+        let mut resolvable = true;
+        let mut const_assign = vec![None; q.node_count()];
+        for n in q.node_ids() {
+            if let Some(value) = q.label(n).as_const() {
+                match ont.node_by_value(value) {
+                    Some(v) => const_assign[n.index()] = Some(v),
+                    None => resolvable = false,
+                }
+            }
+        }
+        let mut preds = Vec::with_capacity(q.edge_count());
+        let mut required = Vec::new();
+        let mut optionals = Vec::new();
+        for (i, e) in q.edges().iter().enumerate() {
+            match ont.pred_by_name(&e.pred) {
+                Some(p) => {
+                    preds.push(p);
+                    if e.optional {
+                        optionals.push(i);
+                    } else {
+                        required.push(i);
+                    }
+                }
+                None => {
+                    preds.push(PredId::new(0));
+                    if e.optional {
+                        // An unresolvable optional edge simply never
+                        // matches; drop it from the extension phase.
+                    } else {
+                        resolvable = false;
+                        required.push(i);
+                    }
+                }
+            }
+        }
+        let mut enumerable = vec![true; q.node_count()];
+        let mut required_scope = vec![false; q.node_count()];
+        for e in q.edges() {
+            enumerable[e.src.index()] = false;
+            enumerable[e.dst.index()] = false;
+            if !e.optional {
+                required_scope[e.src.index()] = true;
+                required_scope[e.dst.index()] = true;
+            }
+        }
+        for (i, e) in enumerable.iter().enumerate() {
+            if *e {
+                required_scope[i] = true;
+            }
+        }
+        let mut diseq_partners = vec![Vec::new(); q.node_count()];
+        for &(a, b) in q.diseqs() {
+            diseq_partners[a.index()].push(b.index());
+            diseq_partners[b.index()].push(a.index());
+        }
+        Self {
+            ont,
+            q,
+            const_assign,
+            preds,
+            resolvable,
+            required,
+            optionals,
+            include_optionals: true,
+            enumerable,
+            required_scope,
+            pre_bound: Vec::new(),
+            restrict: None,
+            onto: false,
+            sequential: false,
+            diseq_partners,
+        }
+    }
+
+    /// Pre-binds query node `n` to ontology node `v`.
+    pub fn bind(mut self, n: QueryNodeId, v: NodeId) -> Self {
+        self.pre_bound.push((n.index(), v));
+        self
+    }
+
+    /// Restricts images to the edges and nodes of `sub`.
+    pub fn restrict(mut self, sub: &'a Subgraph) -> Self {
+        self.restrict = Some(sub);
+        self
+    }
+
+    /// Restricts to `sub` *and* requires the match image to cover every
+    /// edge and node of `sub` (an onto homomorphism).
+    pub fn onto(mut self, sub: &'a Subgraph) -> Self {
+        self.restrict = Some(sub);
+        self.onto = true;
+        self
+    }
+
+    /// Disables the OPTIONAL extension phase. Result sets are unchanged
+    /// (results are determined by the required part); only provenance
+    /// and onto checks need the extension.
+    pub fn skip_optionals(mut self) -> Self {
+        self.include_optionals = false;
+        self
+    }
+
+    /// Matches required edges in declaration order instead of
+    /// most-constrained-first. Results are identical; only the search
+    /// cost changes — this exists so the ordering heuristic can be
+    /// measured (bench `matching/ordering`).
+    pub fn sequential_order(mut self) -> Self {
+        self.sequential = true;
+        self
+    }
+
+    /// Enumerates matches, invoking `f` on each; stop early by returning
+    /// [`ControlFlow::Break`].
+    pub fn for_each(&self, mut f: impl FnMut(&Match) -> ControlFlow<()>) {
+        if !self.resolvable {
+            return;
+        }
+        // If onto is requested, a homomorphism can cover at most one
+        // restriction edge per query edge.
+        if self.onto {
+            let sub = self.restrict.expect("onto implies restrict");
+            if self.q.edge_count() < sub.edge_count() {
+                return;
+            }
+        }
+        let mut node_assign: Vec<Option<NodeId>> = self.const_assign.clone();
+        // Constants in required scope must lie inside the restriction;
+        // a constant reachable only through optional edges merely makes
+        // those optional edges unmatchable here.
+        if let Some(sub) = self.restrict {
+            for (n, v) in node_assign.iter().enumerate() {
+                if let Some(v) = v {
+                    if self.required_scope[n] && !sub.contains_node(*v) {
+                        return;
+                    }
+                }
+            }
+        }
+        for &(n, v) in &self.pre_bound {
+            match node_assign[n] {
+                Some(existing) if existing != v => return,
+                _ => {}
+            }
+            if let Some(sub) = self.restrict {
+                if !sub.contains_node(v) {
+                    return;
+                }
+            }
+            node_assign[n] = Some(v);
+        }
+        for (n, v) in node_assign.iter().enumerate() {
+            if v.is_some() && !self.diseqs_ok(&node_assign, n) {
+                return;
+            }
+        }
+        let order = self.edge_order(&node_assign);
+        let mut state = State {
+            node_assign,
+            edge_assign: vec![None; self.q.edge_count()],
+            cover: CoverTracker::new(self.restrict.filter(|_| self.onto)),
+        };
+        let _ = self.recurse(&order, 0, &mut state, &mut f);
+    }
+
+    /// The first match, if any.
+    pub fn first(&self) -> Option<Match> {
+        let mut found = None;
+        self.for_each(|m| {
+            found = Some(m.clone());
+            ControlFlow::Break(())
+        });
+        found
+    }
+
+    /// Whether any match exists.
+    pub fn exists(&self) -> bool {
+        self.first().is_some()
+    }
+
+    /// Counts all matches (use with care on large ontologies).
+    pub fn count(&self) -> u64 {
+        let mut n = 0;
+        self.for_each(|_| {
+            n += 1;
+            ControlFlow::Continue(())
+        });
+        n
+    }
+
+    // -- internals ----------------------------------------------------
+
+    /// Most-constrained-first static order over the *required* edges:
+    /// repeatedly pick the edge with the most already-bound endpoints,
+    /// breaking ties by the candidate-pool size of its predicate.
+    fn edge_order(&self, initial: &[Option<NodeId>]) -> Vec<usize> {
+        if self.sequential {
+            return self.required.clone();
+        }
+        let mut bound: Vec<bool> = initial.iter().map(Option::is_some).collect();
+        let mut remaining: Vec<usize> = self.required.clone();
+        let mut order = Vec::with_capacity(remaining.len());
+        while !remaining.is_empty() {
+            let (pos, &best) = remaining
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, &ei)| {
+                    let e = &self.q.edges()[ei];
+                    let b = bound[e.src.index()] as usize + bound[e.dst.index()] as usize;
+                    let pool = self.pool_size(self.preds[ei]);
+                    // Higher is better: more bound endpoints, smaller pool.
+                    (b, usize::MAX - pool)
+                })
+                .expect("remaining is non-empty");
+            order.push(best);
+            let e = &self.q.edges()[best];
+            bound[e.src.index()] = true;
+            bound[e.dst.index()] = true;
+            remaining.swap_remove(pos);
+        }
+        order
+    }
+
+    fn pool_size(&self, p: PredId) -> usize {
+        match self.restrict {
+            Some(sub) => sub.edge_count(),
+            None => self.ont.edges_with_pred(p).len(),
+        }
+    }
+
+    fn edge_allowed(&self, e: EdgeId) -> bool {
+        match self.restrict {
+            Some(sub) => sub.contains_edge(e),
+            None => true,
+        }
+    }
+
+    fn diseqs_ok(&self, node_assign: &[Option<NodeId>], n: usize) -> bool {
+        let v = node_assign[n].expect("checked after assignment");
+        self.diseq_partners[n]
+            .iter()
+            .all(|&m| node_assign[m] != Some(v))
+    }
+
+    /// Candidate target edges for query edge `ei` under the current
+    /// assignment, passed to `try_edge` one by one; returns `true` if at
+    /// least one candidate was structurally applicable.
+    fn recurse(
+        &self,
+        order: &[usize],
+        depth: usize,
+        state: &mut State,
+        f: &mut impl FnMut(&Match) -> ControlFlow<()>,
+    ) -> ControlFlow<()> {
+        if depth == order.len() {
+            return self.finish_isolated(0, state, f);
+        }
+        // Onto pruning: every remaining query edge (required or optional)
+        // can cover at most one still-uncovered restriction edge.
+        if let Some(uncovered) = state.cover.uncovered() {
+            let budget = (order.len() - depth)
+                + if self.include_optionals {
+                    self.optionals.len()
+                } else {
+                    0
+                };
+            if uncovered > budget {
+                return ControlFlow::Continue(());
+            }
+        }
+        let ei = order[depth];
+        self.match_edge(ei, state, &mut |s| self.recurse(order, depth + 1, s, f))
+    }
+
+    /// Tries every image of edge `ei` consistent with the current
+    /// assignment, invoking `k` for each; does not include a skip branch.
+    fn match_edge(
+        &self,
+        ei: usize,
+        state: &mut State,
+        k: &mut impl FnMut(&mut State) -> ControlFlow<()>,
+    ) -> ControlFlow<()> {
+        let qe = &self.q.edges()[ei];
+        let (s, d) = (qe.src.index(), qe.dst.index());
+        let p = self.preds[ei];
+        match (state.node_assign[s], state.node_assign[d]) {
+            (Some(ms), Some(md)) => {
+                if let Some(te) = self.ont.find_edge(ms, p, md) {
+                    if self.edge_allowed(te) {
+                        state.push_edge(ei, te);
+                        let r = k(state);
+                        state.pop_edge(ei, te);
+                        r?;
+                    }
+                }
+            }
+            (Some(ms), None) => {
+                for i in 0..self.ont.out_edges(ms).len() {
+                    let te = self.ont.out_edges(ms)[i];
+                    let ted = self.ont.edge(te);
+                    if ted.pred != p || !self.edge_allowed(te) {
+                        continue;
+                    }
+                    self.try_bind(state, k, ei, te, &[(d, ted.dst)])?;
+                }
+            }
+            (None, Some(md)) => {
+                for i in 0..self.ont.in_edges(md).len() {
+                    let te = self.ont.in_edges(md)[i];
+                    let ted = self.ont.edge(te);
+                    if ted.pred != p || !self.edge_allowed(te) {
+                        continue;
+                    }
+                    self.try_bind(state, k, ei, te, &[(s, ted.src)])?;
+                }
+            }
+            (None, None) => {
+                let pool: &[EdgeId] = self.ont.edges_with_pred(p);
+                for &te in pool {
+                    if !self.edge_allowed(te) {
+                        continue;
+                    }
+                    let ted = self.ont.edge(te);
+                    if s == d {
+                        if ted.src != ted.dst {
+                            continue;
+                        }
+                        self.try_bind(state, k, ei, te, &[(s, ted.src)])?;
+                    } else {
+                        self.try_bind(state, k, ei, te, &[(s, ted.src), (d, ted.dst)])?;
+                    }
+                }
+            }
+        }
+        ControlFlow::Continue(())
+    }
+
+    fn try_bind(
+        &self,
+        state: &mut State,
+        k: &mut impl FnMut(&mut State) -> ControlFlow<()>,
+        ei: usize,
+        te: EdgeId,
+        binds: &[(usize, NodeId)],
+    ) -> ControlFlow<()> {
+        // At most two nodes bind per edge; keep the undo list on the
+        // stack (this runs in the innermost search loop).
+        let mut bound_here = [usize::MAX; 2];
+        let mut bound_len = 0usize;
+        let mut ok = true;
+        for &(n, v) in binds {
+            match state.node_assign[n] {
+                Some(existing) => {
+                    if existing != v {
+                        ok = false;
+                        break;
+                    }
+                }
+                None => {
+                    state.node_assign[n] = Some(v);
+                    bound_here[bound_len] = n;
+                    bound_len += 1;
+                    if !self.diseqs_ok(&state.node_assign, n) {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+        }
+        let undo = |state: &mut State| {
+            for &n in &bound_here[..bound_len] {
+                state.node_assign[n] = None;
+            }
+        };
+        if ok {
+            state.push_edge(ei, te);
+            let r = k(state);
+            state.pop_edge(ei, te);
+            undo(state);
+            r?;
+        } else {
+            undo(state);
+        }
+        ControlFlow::Continue(())
+    }
+
+    /// Assigns edge-free variable nodes, then runs the optional phase.
+    fn finish_isolated(
+        &self,
+        from: usize,
+        state: &mut State,
+        f: &mut impl FnMut(&Match) -> ControlFlow<()>,
+    ) -> ControlFlow<()> {
+        let next = (from..self.q.node_count())
+            .find(|&n| self.enumerable[n] && state.node_assign[n].is_none());
+        let Some(n) = next else {
+            return self.extend_optionals(0, state, f);
+        };
+        match self.restrict {
+            Some(sub) => {
+                for i in 0..sub.nodes().len() {
+                    let v = sub.nodes()[i];
+                    self.bind_isolated_and_continue(n, v, state, f)?;
+                }
+            }
+            None => {
+                for v in self.ont.node_ids() {
+                    self.bind_isolated_and_continue(n, v, state, f)?;
+                }
+            }
+        }
+        ControlFlow::Continue(())
+    }
+
+    fn bind_isolated_and_continue(
+        &self,
+        n: usize,
+        v: NodeId,
+        state: &mut State,
+        f: &mut impl FnMut(&Match) -> ControlFlow<()>,
+    ) -> ControlFlow<()> {
+        state.node_assign[n] = Some(v);
+        let r = if self.diseqs_ok(&state.node_assign, n) {
+            self.finish_isolated(n + 1, state, f)
+        } else {
+            ControlFlow::Continue(())
+        };
+        state.node_assign[n] = None;
+        r
+    }
+
+    /// The OPTIONAL extension phase: each optional edge is matched in
+    /// every possible way; when nothing matches it is skipped. In onto
+    /// mode a skip branch is explored even when matches exist.
+    fn extend_optionals(
+        &self,
+        oi: usize,
+        state: &mut State,
+        f: &mut impl FnMut(&Match) -> ControlFlow<()>,
+    ) -> ControlFlow<()> {
+        if !self.include_optionals || oi >= self.optionals.len() {
+            return self.emit(state, f);
+        }
+        let ei = self.optionals[oi];
+        let mut matched_any = false;
+        self.match_edge(ei, state, &mut |s| {
+            matched_any = true;
+            self.extend_optionals(oi + 1, s, f)
+        })?;
+        if !matched_any || self.onto {
+            // Skip branch: the optional edge stays unmatched.
+            self.extend_optionals(oi + 1, state, f)?;
+        }
+        ControlFlow::Continue(())
+    }
+
+    fn emit(
+        &self,
+        state: &mut State,
+        f: &mut impl FnMut(&Match) -> ControlFlow<()>,
+    ) -> ControlFlow<()> {
+        // A node is in the match exactly when it is in required scope or
+        // one of its optional edges was matched; constants pre-assigned
+        // for skipped optional edges are dropped from the image.
+        let mut in_scope = self.required_scope.clone();
+        for (ei, te) in state.edge_assign.iter().enumerate() {
+            if te.is_some() {
+                let e = &self.q.edges()[ei];
+                in_scope[e.src.index()] = true;
+                in_scope[e.dst.index()] = true;
+            }
+        }
+        let scoped_nodes: Vec<Option<NodeId>> = state
+            .node_assign
+            .iter()
+            .enumerate()
+            .map(|(n, v)| if in_scope[n] { *v } else { None })
+            .collect();
+        if self.onto {
+            let sub = self.restrict.expect("onto implies restrict");
+            if state.cover.uncovered() != Some(0) {
+                return ControlFlow::Continue(());
+            }
+            // Every restriction node must be some in-scope node image.
+            for &n in sub.nodes() {
+                let covered = scoped_nodes.contains(&Some(n));
+                if !covered {
+                    return ControlFlow::Continue(());
+                }
+            }
+        }
+        let m = Match {
+            nodes: scoped_nodes,
+            edges: state.edge_assign.clone(),
+        };
+        debug_assert!(
+            self.required.iter().all(|&ei| m.edges[ei].is_some()),
+            "required edges are always matched at emit"
+        );
+        f(&m)
+    }
+}
+
+struct State {
+    node_assign: Vec<Option<NodeId>>,
+    edge_assign: Vec<Option<EdgeId>>,
+    cover: CoverTracker,
+}
+
+impl State {
+    fn push_edge(&mut self, ei: usize, te: EdgeId) {
+        self.edge_assign[ei] = Some(te);
+        self.cover.add(te);
+    }
+
+    fn pop_edge(&mut self, ei: usize, te: EdgeId) {
+        self.edge_assign[ei] = None;
+        self.cover.remove(te);
+    }
+}
+
+/// Tracks how many times each restriction edge is covered, for onto
+/// pruning. Inactive (all no-ops) when onto mode is off.
+struct CoverTracker {
+    /// Sorted restriction edges (binary-searchable), empty when inactive.
+    edges: Vec<EdgeId>,
+    counts: Vec<u32>,
+    covered: usize,
+    active: bool,
+}
+
+impl CoverTracker {
+    fn new(sub: Option<&Subgraph>) -> Self {
+        match sub {
+            Some(s) => Self {
+                edges: s.edges().to_vec(),
+                counts: vec![0; s.edge_count()],
+                covered: 0,
+                active: true,
+            },
+            None => Self {
+                edges: Vec::new(),
+                counts: Vec::new(),
+                covered: 0,
+                active: false,
+            },
+        }
+    }
+
+    fn uncovered(&self) -> Option<usize> {
+        self.active.then(|| self.edges.len() - self.covered)
+    }
+
+    fn add(&mut self, e: EdgeId) {
+        if !self.active {
+            return;
+        }
+        if let Ok(i) = self.edges.binary_search(&e) {
+            if self.counts[i] == 0 {
+                self.covered += 1;
+            }
+            self.counts[i] += 1;
+        }
+    }
+
+    fn remove(&mut self, e: EdgeId) {
+        if !self.active {
+            return;
+        }
+        if let Ok(i) = self.edges.binary_search(&e) {
+            self.counts[i] -= 1;
+            if self.counts[i] == 0 {
+                self.covered -= 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use questpro_query::fixtures::erdos_q1;
+
+    /// The running-example ontology of Figure 1a plus enough structure
+    /// for interesting matches: Alice—Bob—Carol—Erdős chains.
+    fn erdos_ontology() -> Ontology {
+        let mut b = Ontology::builder();
+        for (p, a) in [
+            ("paper1", "Alice"),
+            ("paper1", "Bob"),
+            ("paper2", "Bob"),
+            ("paper2", "Carol"),
+            ("paper3", "Carol"),
+            ("paper3", "Erdos"),
+        ] {
+            b.edge(p, "wb", a).unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn q1_matches_the_erdos_chain() {
+        let o = erdos_ontology();
+        let q = erdos_q1();
+        let m = Matcher::new(&o, &q).first().expect("Q1 matches");
+        let alice = o.node_by_value("Alice").unwrap();
+        let mut saw_alice = false;
+        Matcher::new(&o, &q).for_each(|m| {
+            if m.result(&q) == alice {
+                saw_alice = true;
+                return ControlFlow::Break(());
+            }
+            ControlFlow::Continue(())
+        });
+        assert!(saw_alice);
+        assert_eq!(m.nodes.len(), q.node_count());
+        assert_eq!(m.edges.len(), q.edge_count());
+        assert!(m.nodes.iter().all(Option::is_some));
+        assert!(m.edges.iter().all(Option::is_some));
+    }
+
+    #[test]
+    fn homomorphisms_may_fold_nodes() {
+        let mut b = SimpleQuery::builder();
+        let a1 = b.var("a1");
+        let p1 = b.var("p1");
+        let p2 = b.var("p2");
+        b.edge(p1, "wb", a1).edge(p2, "wb", a1).project(a1);
+        let q = b.build().unwrap();
+        let mut o = Ontology::builder();
+        o.edge("paperX", "wb", "Zoe").unwrap();
+        let o = o.build();
+        let m = Matcher::new(&o, &q).first().expect("folding match exists");
+        assert_eq!(m.nodes[p1.index()], m.nodes[p2.index()]);
+    }
+
+    #[test]
+    fn constants_anchor_the_search() {
+        let o = erdos_ontology();
+        let mut b = SimpleQuery::builder();
+        let a = b.var("a");
+        let p = b.var("p");
+        let erdos = b.constant("Erdos");
+        b.edge(p, "wb", a).edge(p, "wb", erdos).project(a);
+        let q = b.build().unwrap();
+        let mut results = Vec::new();
+        Matcher::new(&o, &q).for_each(|m| {
+            results.push(m.result(&q));
+            ControlFlow::Continue(())
+        });
+        let mut names: Vec<_> = results.iter().map(|&n| o.value_str(n)).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names, vec!["Carol", "Erdos"]);
+    }
+
+    #[test]
+    fn missing_constant_or_predicate_yields_no_matches() {
+        let o = erdos_ontology();
+        let mut b = SimpleQuery::builder();
+        let a = b.var("a");
+        let ghost = b.constant("Ghost");
+        b.edge(ghost, "wb", a).project(a);
+        let q = b.build().unwrap();
+        assert!(!Matcher::new(&o, &q).exists());
+
+        let mut b = SimpleQuery::builder();
+        let a = b.var("a");
+        let x = b.var("x");
+        b.edge(x, "unknown_pred", a).project(a);
+        let q = b.build().unwrap();
+        assert!(!Matcher::new(&o, &q).exists());
+    }
+
+    #[test]
+    fn diseq_rules_out_equal_assignments() {
+        let mut ob = Ontology::builder();
+        ob.edge("paper1", "wb", "Alice").unwrap();
+        let o = ob.build();
+        let mut b = SimpleQuery::builder();
+        let a1 = b.var("a1");
+        let a2 = b.var("a2");
+        let p = b.var("p");
+        b.edge(p, "wb", a1).edge(p, "wb", a2).project(a1);
+        let without = b.build().unwrap();
+        assert!(Matcher::new(&o, &without).exists());
+        let a1n = without.node_of_var("a1").unwrap();
+        let a2n = without.node_of_var("a2").unwrap();
+        let with = without.with_diseqs([(a1n, a2n)]).unwrap();
+        assert!(!Matcher::new(&o, &with).exists());
+    }
+
+    #[test]
+    fn bindings_filter_results() {
+        let o = erdos_ontology();
+        let q = erdos_q1();
+        let alice = o.node_by_value("Alice").unwrap();
+        let anchored = Matcher::new(&o, &q).bind(q.projected(), alice);
+        assert!(anchored.exists());
+        let paper1 = o.node_by_value("paper1").unwrap();
+        assert!(!Matcher::new(&o, &q).bind(q.projected(), paper1).exists());
+    }
+
+    #[test]
+    fn conflicting_bindings_yield_nothing() {
+        let o = erdos_ontology();
+        let q = erdos_q1();
+        let alice = o.node_by_value("Alice").unwrap();
+        let bob = o.node_by_value("Bob").unwrap();
+        let m = Matcher::new(&o, &q)
+            .bind(q.projected(), alice)
+            .bind(q.projected(), bob);
+        assert!(!m.exists());
+    }
+
+    #[test]
+    fn restriction_limits_images() {
+        let o = erdos_ontology();
+        let mut b = SimpleQuery::builder();
+        let a = b.var("a");
+        let p = b.var("p");
+        b.edge(p, "wb", a).project(a);
+        let q = b.build().unwrap();
+        let alice = o.node_by_value("Alice").unwrap();
+        let paper1 = o.node_by_value("paper1").unwrap();
+        let wb = o.pred_by_name("wb").unwrap();
+        let e = o.find_edge(paper1, wb, alice).unwrap();
+        let sub = Subgraph::from_edges(&o, [e]);
+        let mut results = Vec::new();
+        Matcher::new(&o, &q).restrict(&sub).for_each(|m| {
+            results.push(m.result(&q));
+            ControlFlow::Continue(())
+        });
+        assert_eq!(results, vec![alice]);
+    }
+
+    #[test]
+    fn onto_requires_full_coverage() {
+        let o = erdos_ontology();
+        let alice = o.node_by_value("Alice").unwrap();
+        let paper1 = o.node_by_value("paper1").unwrap();
+        let bob = o.node_by_value("Bob").unwrap();
+        let wb = o.pred_by_name("wb").unwrap();
+        let e1 = o.find_edge(paper1, wb, alice).unwrap();
+        let e2 = o.find_edge(paper1, wb, bob).unwrap();
+        let sub = Subgraph::from_edges(&o, [e1, e2]);
+
+        let mut b = SimpleQuery::builder();
+        let a = b.var("a");
+        let p = b.var("p");
+        b.edge(p, "wb", a).project(a);
+        let one = b.build().unwrap();
+        assert!(!Matcher::new(&o, &one).onto(&sub).exists());
+        assert!(Matcher::new(&o, &one).restrict(&sub).exists());
+
+        let mut b = SimpleQuery::builder();
+        let a1 = b.var("a1");
+        let a2 = b.var("a2");
+        let p = b.var("p");
+        b.edge(p, "wb", a1).edge(p, "wb", a2).project(a1);
+        let two = b.build().unwrap();
+        let m = Matcher::new(&o, &two)
+            .onto(&sub)
+            .first()
+            .expect("onto match");
+        let img = m.image(&o);
+        assert_eq!(img, sub);
+    }
+
+    #[test]
+    fn isolated_projected_node_scans_all_nodes() {
+        let o = erdos_ontology();
+        let mut b = SimpleQuery::builder();
+        let x = b.var("x");
+        b.project(x);
+        let q = b.build().unwrap();
+        assert_eq!(Matcher::new(&o, &q).count(), o.node_count() as u64);
+    }
+
+    #[test]
+    fn self_loop_queries_match_self_loop_edges() {
+        let mut ob = Ontology::builder();
+        ob.edge("n", "self", "n").unwrap();
+        ob.edge("n", "p", "m").unwrap();
+        let o = ob.build();
+        let mut b = SimpleQuery::builder();
+        let x = b.var("x");
+        b.edge(x, "self", x).project(x);
+        let q = b.build().unwrap();
+        let m = Matcher::new(&o, &q).first().expect("self loop matches");
+        assert_eq!(o.value_str(m.result(&q)), "n");
+        let mut b = SimpleQuery::builder();
+        let x = b.var("x");
+        b.edge(x, "p", x).project(x);
+        let q = b.build().unwrap();
+        assert!(!Matcher::new(&o, &q).exists());
+    }
+
+    #[test]
+    fn sequential_order_agrees_with_heuristic_order() {
+        let o = erdos_ontology();
+        let q = erdos_q1();
+        assert_eq!(
+            Matcher::new(&o, &q).count(),
+            Matcher::new(&o, &q).sequential_order().count()
+        );
+    }
+
+    #[test]
+    fn count_enumerates_all_homomorphisms() {
+        let mut ob = Ontology::builder();
+        ob.edge("p1", "wb", "a1").unwrap();
+        ob.edge("p1", "wb", "a2").unwrap();
+        ob.edge("p2", "wb", "a1").unwrap();
+        let o = ob.build();
+        let mut b = SimpleQuery::builder();
+        let a = b.var("a");
+        let p = b.var("p");
+        b.edge(p, "wb", a).project(a);
+        let q = b.build().unwrap();
+        assert_eq!(Matcher::new(&o, &q).count(), 3);
+    }
+
+    // ---- OPTIONAL edges ------------------------------------------------
+
+    /// Films with and without genre edges, for optional matching.
+    fn film_world() -> Ontology {
+        let mut b = Ontology::builder();
+        b.edge("film1", "starring", "Ann").unwrap();
+        b.edge("film1", "genre", "Crime").unwrap();
+        b.edge("film2", "starring", "Ben").unwrap();
+        b.build()
+    }
+
+    fn starring_with_optional_genre() -> SimpleQuery {
+        let mut b = SimpleQuery::builder();
+        let f = b.var("f");
+        let a = b.var("a");
+        let g = b.var("g");
+        b.edge(f, "starring", a)
+            .optional_edge(f, "genre", g)
+            .project(a);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn optional_edges_do_not_change_results() {
+        let o = film_world();
+        let q = starring_with_optional_genre();
+        let mut results = Vec::new();
+        Matcher::new(&o, &q).for_each(|m| {
+            results.push(o.value_str(m.result(&q)).to_string());
+            ControlFlow::Continue(())
+        });
+        results.sort();
+        assert_eq!(results, vec!["Ann", "Ben"]);
+    }
+
+    #[test]
+    fn optional_edges_extend_matches_when_possible() {
+        let o = film_world();
+        let q = starring_with_optional_genre();
+        let g = q.node_of_var("g").unwrap();
+        let crime = o.node_by_value("Crime").unwrap();
+        let ann = o.node_by_value("Ann").unwrap();
+        let ben = o.node_by_value("Ben").unwrap();
+        Matcher::new(&o, &q).for_each(|m| {
+            if m.result(&q) == ann {
+                // film1 has a genre: the optional edge must be matched.
+                assert_eq!(m.node_image(g), Some(crime));
+                assert_eq!(m.edges.iter().flatten().count(), 2);
+            } else {
+                assert_eq!(m.result(&q), ben);
+                // film2 has no genre: skipped, ?g unbound.
+                assert_eq!(m.node_image(g), None);
+                assert_eq!(m.edges.iter().flatten().count(), 1);
+            }
+            ControlFlow::Continue(())
+        });
+    }
+
+    #[test]
+    fn skip_optionals_ignores_the_extension_phase() {
+        let o = film_world();
+        let q = starring_with_optional_genre();
+        let mut count = 0;
+        Matcher::new(&o, &q).skip_optionals().for_each(|m| {
+            count += 1;
+            assert!(m.edges[1].is_none());
+            ControlFlow::Continue(())
+        });
+        assert_eq!(count, 2);
+    }
+
+    #[test]
+    fn unresolvable_optional_predicate_is_just_skipped() {
+        let o = film_world();
+        let mut b = SimpleQuery::builder();
+        let f = b.var("f");
+        let a = b.var("a");
+        let x = b.var("x");
+        b.edge(f, "starring", a)
+            .optional_edge(f, "no_such_pred", x)
+            .project(a);
+        let q = b.build().unwrap();
+        assert_eq!(Matcher::new(&o, &q).count(), 2);
+    }
+
+    #[test]
+    fn onto_with_optionals_covers_via_extension() {
+        // Explanation: film1's two edges. Query: required starring +
+        // optional genre. The optional edge must match to cover the
+        // genre edge of the explanation.
+        let o = film_world();
+        let q = starring_with_optional_genre();
+        let sub = Subgraph::from_edges(
+            &o,
+            o.edge_ids()
+                .filter(|&e| o.value_str(o.edge(e).src) == "film1"),
+        );
+        let m = Matcher::new(&o, &q)
+            .onto(&sub)
+            .first()
+            .expect("onto via optional");
+        assert_eq!(m.image(&o), sub);
+        // And a one-edge explanation (film2) is covered with the
+        // optional edge skipped.
+        let sub2 = Subgraph::from_edges(
+            &o,
+            o.edge_ids()
+                .filter(|&e| o.value_str(o.edge(e).src) == "film2"),
+        );
+        let m2 = Matcher::new(&o, &q)
+            .onto(&sub2)
+            .first()
+            .expect("onto via skip");
+        assert_eq!(m2.image(&o), sub2);
+    }
+}

@@ -1,0 +1,166 @@
+//! Query minimization: computing the core of a conjunctive pattern.
+//!
+//! Homomorphism semantics makes patterns redundant in non-obvious ways —
+//! the paper's own diseq-free Q1 chain folds onto a single `wb` edge, so
+//! five of its six edges add nothing. The classical fix is the **core**:
+//! repeatedly drop an edge whenever the stripped query still contains
+//! the original (checked with the frozen-instance homomorphism of
+//! [`crate::contain`]); the fixpoint is the unique-up-to-isomorphism
+//! minimal equivalent pattern.
+//!
+//! Minimization is exact for required-only, disequality-free queries.
+//! Disequalities break the containment test's completeness and OPTIONAL
+//! edges carry provenance semantics that edge-dropping would erase, so
+//! queries with either are returned unchanged.
+
+use questpro_query::{QueryBuilder, QueryNodeId, SimpleQuery};
+
+use crate::contain::contained_in;
+
+/// Returns an equivalent query with every redundant edge removed (the
+/// core), or a clone when the query carries disequalities or OPTIONAL
+/// edges (see module docs).
+pub fn minimize(q: &SimpleQuery) -> SimpleQuery {
+    if !q.diseqs().is_empty() || q.has_optional() {
+        return q.clone();
+    }
+    let mut current = q.clone();
+    loop {
+        let mut improved = false;
+        for drop in 0..current.edge_count() {
+            let candidate = without_edge(&current, drop);
+            // Dropping an edge only weakens the pattern, so
+            // `current ⊑ candidate` always holds; equivalence needs the
+            // other direction.
+            if contained_in(&candidate, &current) {
+                current = candidate;
+                improved = true;
+                break;
+            }
+        }
+        if !improved {
+            return current;
+        }
+    }
+}
+
+/// `q` with edge `drop` removed; nodes that become isolated are dropped
+/// too (except the projected node).
+fn without_edge(q: &SimpleQuery, drop: usize) -> SimpleQuery {
+    let mut b = QueryBuilder::new();
+    let mut mapped: Vec<Option<QueryNodeId>> = vec![None; q.node_count()];
+    let node = |b: &mut QueryBuilder, n: QueryNodeId, mapped: &mut Vec<Option<QueryNodeId>>| {
+        if let Some(m) = mapped[n.index()] {
+            return m;
+        }
+        let m = match q.label(n) {
+            questpro_query::NodeLabel::Const(c) => b.constant(c),
+            questpro_query::NodeLabel::Var(v) => b.var(v),
+        };
+        mapped[n.index()] = Some(m);
+        m
+    };
+    // The projected node always survives.
+    let proj = node(&mut b, q.projected(), &mut mapped);
+    b.project(proj);
+    for (i, e) in q.edges().iter().enumerate() {
+        if i == drop {
+            continue;
+        }
+        let s = node(&mut b, e.src, &mut mapped);
+        let d = node(&mut b, e.dst, &mut mapped);
+        b.edge(s, &e.pred, d);
+    }
+    b.build().expect("edge removal preserves well-formedness")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use questpro_query::fixtures::{erdos_q1, erdos_q2};
+    use questpro_query::iso::isomorphic;
+
+    #[test]
+    fn diseq_free_q1_minimizes_to_one_edge() {
+        let m = minimize(&erdos_q1());
+        assert_eq!(m.edge_count(), 1);
+        assert!(questpro_query::sparql::format_simple(&m).contains(":wb"));
+        // The projected variable survives as the edge target.
+        assert!(m.label(m.projected()).is_var());
+    }
+
+    #[test]
+    fn disjoint_edges_also_fold() {
+        let m = minimize(&erdos_q2());
+        assert_eq!(m.edge_count(), 1);
+    }
+
+    #[test]
+    fn anchored_patterns_are_already_minimal() {
+        let mut b = SimpleQuery::builder();
+        let x = b.var("x");
+        let p = b.var("p");
+        let e = b.constant("Erdos");
+        b.edge(p, "wb", x).edge(p, "wb", e).project(x);
+        let q = b.build().unwrap();
+        let m = minimize(&q);
+        assert!(isomorphic(&m, &q));
+    }
+
+    #[test]
+    fn redundant_generalization_of_an_anchor_is_dropped() {
+        // ?p wb ?x . ?p wb :Erdos . ?p wb ?y — the ?y edge is subsumed.
+        let mut b = SimpleQuery::builder();
+        let x = b.var("x");
+        let p = b.var("p");
+        let e = b.constant("Erdos");
+        let y = b.var("y");
+        b.edge(p, "wb", x)
+            .edge(p, "wb", e)
+            .edge(p, "wb", y)
+            .project(x);
+        let q = b.build().unwrap();
+        let m = minimize(&q);
+        assert_eq!(m.edge_count(), 2);
+        assert!(m.node_of_const("Erdos").is_some());
+    }
+
+    #[test]
+    fn diseqs_and_optionals_are_left_alone() {
+        let q1 = erdos_q1();
+        let a1 = q1.node_of_var("a1").unwrap();
+        let a2 = q1.node_of_var("a2").unwrap();
+        let with_diseq = q1.with_diseqs([(a1, a2)]).unwrap();
+        assert_eq!(minimize(&with_diseq).edge_count(), 6);
+
+        let mut b = SimpleQuery::builder();
+        let x = b.var("x");
+        let y = b.var("y");
+        let g = b.var("g");
+        b.edge(x, "starring", y)
+            .optional_edge(x, "genre", g)
+            .project(y);
+        let q = b.build().unwrap();
+        assert_eq!(minimize(&q).edge_count(), 2);
+    }
+
+    #[test]
+    fn minimization_preserves_semantics_on_data() {
+        use crate::eval::evaluate;
+        let mut ob = questpro_graph::Ontology::builder();
+        for (p, a) in [
+            ("paper1", "Alice"),
+            ("paper1", "Bob"),
+            ("paper2", "Bob"),
+            ("paper2", "Carol"),
+            ("paper3", "Carol"),
+            ("paper3", "Erdos"),
+        ] {
+            ob.edge(p, "wb", a).unwrap();
+        }
+        let o = ob.build();
+        let q = erdos_q1();
+        let m = minimize(&q);
+        assert_eq!(evaluate(&o, &q), evaluate(&o, &m));
+    }
+}

@@ -1,0 +1,356 @@
+//! Semiring provenance: polynomials over ontology edges.
+//!
+//! The paper's graph-provenance model (Def. 2.4) keeps, per result, the
+//! *set of match images*. Its companion technical report (cited as the
+//! relational/semiring variant) works instead with **provenance
+//! polynomials** in the sense of Green, Karvounarakis & Tannen: each
+//! ontology edge is an indeterminate, a match contributes the product of
+//! the edges it uses, and alternative derivations add up:
+//!
+//! ```text
+//! prov(Carol) = e3·e4  +  e3·e4·e7   →  (as a positive polynomial)
+//! ```
+//!
+//! This module computes those polynomials from the same matcher the rest
+//! of the engine uses, in the free commutative idempotent-exponent
+//! semiring (monomials are edge *sets* — using an edge twice in one
+//! match is absorbed, matching `Trio`/`B(X)`-style models and the
+//! paper's image semantics where `μ(Q)` is a set). Monomials and
+//! polynomials are canonically ordered, so equality is structural.
+//!
+//! The graph model stays primary; polynomials are a view: every monomial
+//! is exactly the edge set of one provenance image, and
+//! [`Polynomial::images`] recovers the Def. 2.4 subgraphs.
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::ops::ControlFlow;
+
+use questpro_graph::{EdgeId, NodeId, Ontology, Subgraph};
+use questpro_query::{SimpleQuery, UnionQuery};
+
+use crate::matcher::Matcher;
+
+/// A product of distinct edge indeterminates (one match's edge usage).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Monomial {
+    edges: BTreeSet<EdgeId>,
+}
+
+impl Monomial {
+    /// The monomial over the given edges (duplicates absorbed).
+    pub fn new(edges: impl IntoIterator<Item = EdgeId>) -> Self {
+        Self {
+            edges: edges.into_iter().collect(),
+        }
+    }
+
+    /// The edge indeterminates, sorted.
+    pub fn edges(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        self.edges.iter().copied()
+    }
+
+    /// Number of distinct indeterminates.
+    pub fn degree(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether this is the unit monomial (empty product).
+    pub fn is_unit(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Semiring product: union of the indeterminate sets.
+    pub fn mul(&self, other: &Monomial) -> Monomial {
+        Monomial {
+            edges: self.edges.union(&other.edges).copied().collect(),
+        }
+    }
+}
+
+/// A sum of distinct monomials: the provenance polynomial of one result.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Polynomial {
+    monomials: BTreeSet<Monomial>,
+}
+
+impl Polynomial {
+    /// The zero polynomial (no derivations).
+    pub fn zero() -> Self {
+        Self::default()
+    }
+
+    /// A polynomial from monomials (duplicates absorbed — the boolean
+    /// specialization of polynomial provenance, where multiplicities of
+    /// identical derivations collapse).
+    pub fn from_monomials(ms: impl IntoIterator<Item = Monomial>) -> Self {
+        Self {
+            monomials: ms.into_iter().collect(),
+        }
+    }
+
+    /// The monomials, canonically ordered.
+    pub fn monomials(&self) -> impl Iterator<Item = &Monomial> {
+        self.monomials.iter()
+    }
+
+    /// Number of distinct derivations.
+    pub fn len(&self) -> usize {
+        self.monomials.len()
+    }
+
+    /// Whether the polynomial is zero.
+    pub fn is_empty(&self) -> bool {
+        self.monomials.is_empty()
+    }
+
+    /// Semiring sum: union of derivation sets.
+    pub fn add(&self, other: &Polynomial) -> Polynomial {
+        Polynomial {
+            monomials: self.monomials.union(&other.monomials).cloned().collect(),
+        }
+    }
+
+    /// Semiring product: pairwise monomial products (used when composing
+    /// derivations, e.g. of a join of two sub-results).
+    pub fn mul(&self, other: &Polynomial) -> Polynomial {
+        let mut out = BTreeSet::new();
+        for a in &self.monomials {
+            for b in &other.monomials {
+                out.insert(a.mul(b));
+            }
+        }
+        Polynomial { monomials: out }
+    }
+
+    /// Evaluates the polynomial under a boolean assignment: does any
+    /// derivation survive when only `alive` edges are trusted? This is
+    /// the classic deletion-propagation question answered directly from
+    /// provenance.
+    pub fn survives(&self, alive: &dyn Fn(EdgeId) -> bool) -> bool {
+        self.monomials.iter().any(|m| m.edges().all(alive))
+    }
+
+    /// The Def. 2.4 view: each monomial as a provenance subgraph.
+    pub fn images(&self, ont: &Ontology) -> Vec<Subgraph> {
+        self.monomials
+            .iter()
+            .map(|m| Subgraph::from_edges(ont, m.edges()))
+            .collect()
+    }
+
+    /// Renders the polynomial with edge descriptions, e.g.
+    /// `(paper3 -wb-> Carol · paper3 -wb-> Erdos) + …`.
+    pub fn describe(&self, ont: &Ontology) -> String {
+        if self.monomials.is_empty() {
+            return "0".to_string();
+        }
+        self.monomials
+            .iter()
+            .map(|m| {
+                if m.is_unit() {
+                    "1".to_string()
+                } else {
+                    let factors: Vec<String> = m.edges().map(|e| ont.describe_edge(e)).collect();
+                    format!("({})", factors.join(" · "))
+                }
+            })
+            .collect::<Vec<_>>()
+            .join(" + ")
+    }
+}
+
+impl fmt::Display for Monomial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_unit() {
+            return write!(f, "1");
+        }
+        let parts: Vec<String> = self.edges.iter().map(|e| e.to_string()).collect();
+        write!(f, "{}", parts.join("·"))
+    }
+}
+
+impl fmt::Display for Polynomial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.monomials.is_empty() {
+            return write!(f, "0");
+        }
+        let parts: Vec<String> = self.monomials.iter().map(|m| m.to_string()).collect();
+        write!(f, "{}", parts.join(" + "))
+    }
+}
+
+/// The provenance polynomial of `res` w.r.t. a simple query: one
+/// monomial per distinct match edge-usage, up to `limit` monomials.
+pub fn polynomial_of(
+    ont: &Ontology,
+    q: &SimpleQuery,
+    res: NodeId,
+    limit: Option<usize>,
+) -> Polynomial {
+    let mut monomials: BTreeSet<Monomial> = BTreeSet::new();
+    Matcher::new(ont, q).bind(q.projected(), res).for_each(|m| {
+        monomials.insert(Monomial::new(m.edges.iter().flatten().copied()));
+        match limit {
+            Some(l) if monomials.len() >= l => ControlFlow::Break(()),
+            _ => ControlFlow::Continue(()),
+        }
+    });
+    Polynomial { monomials }
+}
+
+/// The provenance polynomial of `res` w.r.t. a union query: the semiring
+/// sum over branches.
+pub fn polynomial_of_union(
+    ont: &Ontology,
+    q: &UnionQuery,
+    res: NodeId,
+    limit: Option<usize>,
+) -> Polynomial {
+    let mut acc = Polynomial::zero();
+    for branch in q.branches() {
+        acc = acc.add(&polynomial_of(ont, branch, res, limit));
+        if let Some(l) = limit {
+            if acc.len() >= l {
+                break;
+            }
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::provenance_of;
+    use questpro_query::QueryBuilder;
+
+    fn world() -> Ontology {
+        let mut b = Ontology::builder();
+        for (p, a) in [
+            ("paper3", "Carol"),
+            ("paper3", "Erdos"),
+            ("paper4", "Carol"),
+            ("paper4", "Erdos"),
+            ("paper5", "Frank"),
+            ("paper5", "Gina"),
+        ] {
+            b.edge(p, "wb", a).unwrap();
+        }
+        b.build()
+    }
+
+    fn coauthors_of_erdos() -> SimpleQuery {
+        let mut b = QueryBuilder::new();
+        let x = b.var("x");
+        let p = b.var("p");
+        let e = b.constant("Erdos");
+        b.edge(p, "wb", x).edge(p, "wb", e).project(x);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn alternative_derivations_add_up() {
+        let o = world();
+        let q = coauthors_of_erdos();
+        let carol = o.node_by_value("Carol").unwrap();
+        let p = polynomial_of(&o, &q, carol, None);
+        // Carol is derivable via paper3 and via paper4: two monomials of
+        // degree 2 each.
+        assert_eq!(p.len(), 2);
+        assert!(p.monomials().all(|m| m.degree() == 2));
+        let text = p.describe(&o);
+        assert!(text.contains("paper3 -wb-> Carol"));
+        assert!(text.contains("paper4 -wb-> Carol"));
+        assert!(text.contains(" + "));
+    }
+
+    #[test]
+    fn monomials_agree_with_graph_provenance() {
+        let o = world();
+        let q = coauthors_of_erdos();
+        let carol = o.node_by_value("Carol").unwrap();
+        let poly_images: BTreeSet<Subgraph> = polynomial_of(&o, &q, carol, None)
+            .images(&o)
+            .into_iter()
+            .collect();
+        let graph_images: BTreeSet<Subgraph> =
+            provenance_of(&o, &q, carol, None).into_iter().collect();
+        assert_eq!(poly_images, graph_images);
+    }
+
+    #[test]
+    fn deletion_propagation_via_boolean_evaluation() {
+        let o = world();
+        let q = coauthors_of_erdos();
+        let carol = o.node_by_value("Carol").unwrap();
+        let p = polynomial_of(&o, &q, carol, None);
+        // Delete everything touching paper3: Carol survives via paper4.
+        let paper3 = o.node_by_value("paper3").unwrap();
+        let alive = |e: EdgeId| o.edge(e).src != paper3;
+        assert!(p.survives(&alive));
+        // Delete both papers' Erdos edges: no derivation survives.
+        let erdos = o.node_by_value("Erdos").unwrap();
+        let alive = |e: EdgeId| o.edge(e).dst != erdos;
+        assert!(!p.survives(&alive));
+    }
+
+    #[test]
+    fn zero_for_non_results() {
+        let o = world();
+        let q = coauthors_of_erdos();
+        let frank = o.node_by_value("Frank").unwrap();
+        let p = polynomial_of(&o, &q, frank, None);
+        assert!(p.is_empty());
+        assert_eq!(p.describe(&o), "0");
+        assert_eq!(p.to_string(), "0");
+    }
+
+    #[test]
+    fn semiring_laws_hold_on_samples() {
+        let o = world();
+        let q = coauthors_of_erdos();
+        let carol = o.node_by_value("Carol").unwrap();
+        let erdos_node = o.node_by_value("Erdos").unwrap();
+        let a = polynomial_of(&o, &q, carol, None);
+        let b = polynomial_of(&o, &q, erdos_node, None);
+        // Commutativity and idempotence of +.
+        assert_eq!(a.add(&b), b.add(&a));
+        assert_eq!(a.add(&a), a);
+        // Distributivity on these samples.
+        let c = Polynomial::from_monomials([Monomial::new([EdgeId::new(0)])]);
+        assert_eq!(a.add(&b).mul(&c), a.mul(&c).add(&b.mul(&c)));
+        // 1 is neutral for ·, 0 for +.
+        let one = Polynomial::from_monomials([Monomial::default()]);
+        assert_eq!(a.mul(&one), a);
+        assert_eq!(a.add(&Polynomial::zero()), a);
+    }
+
+    #[test]
+    fn union_polynomials_sum_branches() {
+        let o = world();
+        let q1 = coauthors_of_erdos();
+        let mut b = QueryBuilder::new();
+        let x = b.var("x");
+        let p5 = b.constant("paper5");
+        b.edge(p5, "wb", x).project(x);
+        let q2 = b.build().unwrap();
+        let u = UnionQuery::new(vec![q1, q2]).unwrap();
+        let carol = o.node_by_value("Carol").unwrap();
+        let p = polynomial_of_union(&o, &u, carol, None);
+        assert_eq!(p.len(), 2); // only the first branch derives Carol
+        let frank = o.node_by_value("Frank").unwrap();
+        let pf = polynomial_of_union(&o, &u, frank, None);
+        assert_eq!(pf.len(), 1);
+        assert_eq!(pf.monomials().next().unwrap().degree(), 1);
+    }
+
+    #[test]
+    fn limit_caps_monomials() {
+        let o = world();
+        let q = coauthors_of_erdos();
+        let carol = o.node_by_value("Carol").unwrap();
+        let p = polynomial_of(&o, &q, carol, Some(1));
+        assert_eq!(p.len(), 1);
+    }
+}

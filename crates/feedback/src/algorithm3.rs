@@ -1,0 +1,358 @@
+//! Algorithm 3: choosing one query via provenance-backed questions.
+//!
+//! Candidates are compared pairwise. For a pair `(Q_i, Q_j)` we evaluate
+//! the difference `Q_i^all − Q_j^no` — `Q_i` with **all** its inferred
+//! disequalities against `Q_j` with **none** — so that a user answer
+//! disqualifies every disequality-form of the losing pattern at once
+//! (Section V, "we want to ensure that users do not disqualify a query
+//! because of extra disequalities"). A sampled difference result is
+//! bound back into `Q_i^all` to obtain its provenance, and the user's
+//! yes/no removes `Q_j` or `Q_i` respectively. Pairs whose differences
+//! are empty both ways are *indistinguishable on this ontology* and are
+//! merged by keeping the earlier-ranked candidate.
+
+use std::collections::BTreeSet;
+
+use rand::seq::IteratorRandom;
+use rand::Rng;
+
+use questpro_core::with_all_diseqs;
+use questpro_engine::{evaluate_union, provenance_of_union};
+use questpro_graph::{ExampleSet, NodeId, Ontology, Subgraph};
+use questpro_query::UnionQuery;
+
+use crate::oracle::Oracle;
+
+/// Configuration of the feedback loop.
+#[derive(Debug, Clone, Copy)]
+pub struct FeedbackConfig {
+    /// How many distinct provenance graphs to enumerate when sampling a
+    /// witness.
+    pub prov_limit: usize,
+    /// Hard cap on the number of questions asked.
+    pub max_questions: usize,
+}
+
+impl Default for FeedbackConfig {
+    fn default() -> Self {
+        Self {
+            prov_limit: 8,
+            max_questions: 64,
+        }
+    }
+}
+
+/// One asked question and its answer.
+#[derive(Debug, Clone)]
+pub struct QuestionRecord {
+    /// The sampled difference result shown to the user.
+    pub result: NodeId,
+    /// The provenance graph shown alongside it.
+    pub provenance: Subgraph,
+    /// Index (into the original candidate list) of the query whose
+    /// difference produced the witness.
+    pub kept_candidate: usize,
+    /// Index of the candidate that was eliminated by the answer.
+    pub eliminated_candidate: usize,
+    /// The user's answer.
+    pub answer: bool,
+}
+
+/// Outcome of the feedback loop.
+#[derive(Debug, Clone)]
+pub struct FeedbackOutcome {
+    /// The surviving query, in its all-disequalities form.
+    pub chosen: UnionQuery,
+    /// Index of the survivor in the original candidate list.
+    pub chosen_index: usize,
+    /// Transcript of the questions asked.
+    pub transcript: Vec<QuestionRecord>,
+}
+
+/// Runs Algorithm 3 over ranked candidates (best first).
+///
+/// `examples` is the example-set the candidates were inferred from; it
+/// drives disequality inference for the `Q^all` forms.
+///
+/// # Panics
+/// Panics if `candidates` is empty.
+pub fn choose_query<O: Oracle, R: Rng>(
+    ont: &Ontology,
+    candidates: &[UnionQuery],
+    examples: &ExampleSet,
+    oracle: &mut O,
+    rng: &mut R,
+    cfg: &FeedbackConfig,
+) -> FeedbackOutcome {
+    assert!(!candidates.is_empty(), "need at least one candidate");
+    // Pre-compute both forms for every candidate.
+    let alls: Vec<UnionQuery> = candidates
+        .iter()
+        .map(|q| with_all_diseqs(ont, q, examples))
+        .collect();
+    let nones: Vec<UnionQuery> = candidates.iter().map(|q| q.without_diseqs()).collect();
+
+    // Result sets are needed repeatedly across pairs; evaluate each
+    // candidate form at most once (the paper's Section V concern about
+    // not re-running full provenance-tracked evaluations, taken one
+    // step further).
+    let mut cache = ResultCache::new(candidates.len());
+
+    // Live candidate indexes, best-ranked first.
+    let mut live: Vec<usize> = (0..candidates.len()).collect();
+    let mut transcript = Vec::new();
+
+    while live.len() > 1 && transcript.len() < cfg.max_questions {
+        // Take the two best-ranked live candidates and try both
+        // difference directions.
+        let (i, j) = (live[0], live[1]);
+        let witness = cache
+            .witness(ont, &alls, &nones, i, j, rng, cfg.prov_limit)
+            .map(|w| (i, j, w))
+            .or_else(|| {
+                cache
+                    .witness(ont, &alls, &nones, j, i, rng, cfg.prov_limit)
+                    .map(|w| (j, i, w))
+            });
+        match witness {
+            Some((keep, other, (res, prov))) => {
+                let answer = oracle.accept(ont, res, &prov);
+                let eliminated = if answer { other } else { keep };
+                transcript.push(QuestionRecord {
+                    result: res,
+                    provenance: prov,
+                    kept_candidate: if answer { keep } else { other },
+                    eliminated_candidate: eliminated,
+                    answer,
+                });
+                live.retain(|&c| c != eliminated);
+            }
+            None => {
+                // Indistinguishable on this ontology: keep the
+                // better-ranked candidate.
+                live.remove(1);
+            }
+        }
+    }
+
+    let chosen_index = live[0];
+    FeedbackOutcome {
+        chosen: alls[chosen_index].clone(),
+        chosen_index,
+        transcript,
+    }
+}
+
+/// Lazily evaluated result sets of the `Q^all` and `Q^no` candidate
+/// forms, so each is evaluated at most once across all questions.
+struct ResultCache {
+    alls: Vec<Option<BTreeSet<NodeId>>>,
+    nones: Vec<Option<BTreeSet<NodeId>>>,
+}
+
+impl ResultCache {
+    fn new(n: usize) -> Self {
+        Self {
+            alls: vec![None; n],
+            nones: vec![None; n],
+        }
+    }
+
+    /// Samples a witness of `alls[i] − nones[j]`, with its provenance
+    /// w.r.t. `alls[i]`.
+    #[allow(clippy::too_many_arguments)]
+    fn witness<R: Rng>(
+        &mut self,
+        ont: &Ontology,
+        alls: &[UnionQuery],
+        nones: &[UnionQuery],
+        i: usize,
+        j: usize,
+        rng: &mut R,
+        prov_limit: usize,
+    ) -> Option<(NodeId, Subgraph)> {
+        if self.alls[i].is_none() {
+            self.alls[i] = Some(evaluate_union(ont, &alls[i]));
+        }
+        if self.nones[j].is_none() {
+            self.nones[j] = Some(evaluate_union(ont, &nones[j]));
+        }
+        let ra = self.alls[i].as_ref().expect("just filled");
+        let rb = self.nones[j].as_ref().expect("just filled");
+        let res = ra.difference(rb).copied().choose(rng)?;
+        let img = provenance_of_union(ont, &alls[i], res, Some(prov_limit.max(1)))
+            .into_iter()
+            .choose(rng)
+            .expect("a result of Q^all has provenance w.r.t. Q^all");
+        Some((res, img))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::{ScriptedOracle, TargetOracle};
+    use questpro_graph::Explanation;
+    use questpro_query::SimpleQuery;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Ontology with Erdos co-authors and unrelated authors, plus types.
+    fn world() -> (Ontology, ExampleSet) {
+        let mut b = Ontology::builder();
+        for (p, a) in [
+            ("paper3", "Carol"),
+            ("paper3", "Erdos"),
+            ("paper4", "Dave"),
+            ("paper4", "Erdos"),
+            ("paper5", "Frank"),
+            ("paper5", "Gina"),
+        ] {
+            b.edge(p, "wb", a).unwrap();
+        }
+        for a in ["Carol", "Erdos", "Dave", "Frank", "Gina"] {
+            b.typed_node(a, "Author").unwrap();
+        }
+        for p in ["paper3", "paper4", "paper5"] {
+            b.typed_node(p, "Paper").unwrap();
+        }
+        let o = b.build();
+        let e1 = Explanation::from_triples(
+            &o,
+            &[("paper3", "wb", "Carol"), ("paper3", "wb", "Erdos")],
+            "Carol",
+        )
+        .unwrap();
+        let e2 = Explanation::from_triples(
+            &o,
+            &[("paper4", "wb", "Dave"), ("paper4", "wb", "Erdos")],
+            "Dave",
+        )
+        .unwrap();
+        (o, ExampleSet::from_explanations(vec![e1, e2]))
+    }
+
+    fn coauthors_of_erdos() -> UnionQuery {
+        let mut b = SimpleQuery::builder();
+        let x = b.var("x");
+        let p = b.var("p");
+        let e = b.constant("Erdos");
+        b.edge(p, "wb", x).edge(p, "wb", e).project(x);
+        UnionQuery::single(b.build().unwrap())
+    }
+
+    fn coauthors_of_anyone() -> UnionQuery {
+        let mut b = SimpleQuery::builder();
+        let x = b.var("x");
+        let p = b.var("p");
+        let other = b.var("other");
+        b.edge(p, "wb", x).edge(p, "wb", other).project(x);
+        UnionQuery::single(b.build().unwrap())
+    }
+
+    #[test]
+    fn oracle_steers_to_the_intended_query() {
+        let (o, examples) = world();
+        let candidates = vec![coauthors_of_anyone(), coauthors_of_erdos()];
+        // The intended query: co-authors of Erdos specifically.
+        let mut oracle = TargetOracle::new(coauthors_of_erdos());
+        let mut rng = StdRng::seed_from_u64(5);
+        let out = choose_query(
+            &o,
+            &candidates,
+            &examples,
+            &mut oracle,
+            &mut rng,
+            &FeedbackConfig::default(),
+        );
+        assert_eq!(out.chosen_index, 1);
+        assert_eq!(out.transcript.len(), 1);
+        // The question showed some result of "co-authors of anyone" that
+        // is not a co-author of Erdos (Frank or Gina), and the oracle
+        // said no.
+        let rec = &out.transcript[0];
+        assert!(!rec.answer);
+        let name = o.value_str(rec.result);
+        assert!(["Frank", "Gina"].contains(&name));
+    }
+
+    #[test]
+    fn yes_answer_keeps_the_broader_query() {
+        let (o, examples) = world();
+        let candidates = vec![coauthors_of_anyone(), coauthors_of_erdos()];
+        // Intended: all co-authors — the broader candidate.
+        let mut oracle = TargetOracle::new(coauthors_of_anyone());
+        let mut rng = StdRng::seed_from_u64(5);
+        let out = choose_query(
+            &o,
+            &candidates,
+            &examples,
+            &mut oracle,
+            &mut rng,
+            &FeedbackConfig::default(),
+        );
+        assert_eq!(out.chosen_index, 0);
+        assert!(out.transcript[0].answer);
+    }
+
+    #[test]
+    fn indistinguishable_candidates_default_to_rank() {
+        let (o, examples) = world();
+        // Two copies of the same query: both differences are empty.
+        let candidates = vec![coauthors_of_erdos(), coauthors_of_erdos()];
+        let mut oracle = ScriptedOracle::new(vec![]);
+        let mut rng = StdRng::seed_from_u64(1);
+        let out = choose_query(
+            &o,
+            &candidates,
+            &examples,
+            &mut oracle,
+            &mut rng,
+            &FeedbackConfig::default(),
+        );
+        assert_eq!(out.chosen_index, 0);
+        assert!(out.transcript.is_empty());
+    }
+
+    #[test]
+    fn single_candidate_needs_no_questions() {
+        let (o, examples) = world();
+        let candidates = vec![coauthors_of_erdos()];
+        let mut oracle = ScriptedOracle::new(vec![]);
+        let mut rng = StdRng::seed_from_u64(1);
+        let out = choose_query(
+            &o,
+            &candidates,
+            &examples,
+            &mut oracle,
+            &mut rng,
+            &FeedbackConfig::default(),
+        );
+        assert_eq!(out.chosen_index, 0);
+        assert!(out.transcript.is_empty());
+        // The chosen form carries the inferred disequalities.
+        assert!(out.chosen.diseq_count() > 0);
+    }
+
+    #[test]
+    fn question_cap_is_respected() {
+        let (o, examples) = world();
+        let candidates = vec![
+            coauthors_of_anyone(),
+            coauthors_of_erdos(),
+            UnionQuery::new(vec![
+                coauthors_of_anyone().into_branches().remove(0),
+                coauthors_of_erdos().into_branches().remove(0),
+            ])
+            .unwrap(),
+        ];
+        let mut oracle = TargetOracle::new(coauthors_of_erdos());
+        let mut rng = StdRng::seed_from_u64(2);
+        let cfg = FeedbackConfig {
+            max_questions: 1,
+            ..Default::default()
+        };
+        let out = choose_query(&o, &candidates, &examples, &mut oracle, &mut rng, &cfg);
+        assert!(out.transcript.len() <= 1);
+    }
+}

@@ -1,0 +1,244 @@
+//! User oracles: who answers the feedback questions.
+//!
+//! The paper asks human users whether a sampled result — shown **with its
+//! provenance graph** — belongs in their intended query's output. For
+//! automatic experiments we substitute simulated users:
+//!
+//! * [`TargetOracle`] — a perfectly accurate user holding a hidden target
+//!   query: it accepts a result iff the target produces it *and* the
+//!   displayed provenance contains a valid derivation of it under the
+//!   target (the "rationale" check of Example 5.3);
+//! * [`NoisyOracle`] — wraps another oracle and flips its answer with a
+//!   fixed probability (models inattentive users);
+//! * [`ScriptedOracle`] — replays a fixed list of answers (for tests and
+//!   for reproducing specific interaction traces).
+
+use std::collections::BTreeSet;
+
+use rand::Rng;
+
+use questpro_engine::{evaluate_union, Matcher};
+use questpro_graph::{NodeId, Ontology, Subgraph};
+use questpro_query::UnionQuery;
+
+/// Something that can answer a feedback question.
+pub trait Oracle {
+    /// Should `res`, justified by `provenance`, be in the intended
+    /// query's output?
+    fn accept(&mut self, ont: &Ontology, res: NodeId, provenance: &Subgraph) -> bool;
+}
+
+/// A correct simulated user holding a hidden target query.
+#[derive(Debug, Clone)]
+pub struct TargetOracle {
+    target: UnionQuery,
+    results: Option<BTreeSet<NodeId>>,
+    /// When true (default), the shown provenance must contain a valid
+    /// target derivation of the result; when false, membership of the
+    /// result alone decides.
+    pub check_provenance: bool,
+}
+
+impl TargetOracle {
+    /// Creates an oracle for `target`.
+    pub fn new(target: UnionQuery) -> Self {
+        Self {
+            target,
+            results: None,
+            check_provenance: true,
+        }
+    }
+
+    /// An oracle that only checks result membership, ignoring the shown
+    /// provenance.
+    pub fn results_only(target: UnionQuery) -> Self {
+        Self {
+            target,
+            results: None,
+            check_provenance: false,
+        }
+    }
+
+    /// The hidden target query.
+    pub fn target(&self) -> &UnionQuery {
+        &self.target
+    }
+
+    fn results(&mut self, ont: &Ontology) -> &BTreeSet<NodeId> {
+        if self.results.is_none() {
+            self.results = Some(evaluate_union(ont, &self.target));
+        }
+        self.results.as_ref().expect("just computed")
+    }
+}
+
+impl Oracle for TargetOracle {
+    fn accept(&mut self, ont: &Ontology, res: NodeId, provenance: &Subgraph) -> bool {
+        if !self.results(ont).contains(&res) {
+            return false;
+        }
+        if !self.check_provenance {
+            return true;
+        }
+        // The rationale must demonstrate membership: some target branch
+        // matches inside the displayed subgraph and yields `res`.
+        self.target.branches().iter().any(|branch| {
+            Matcher::new(ont, branch)
+                .bind(branch.projected(), res)
+                .restrict(provenance)
+                .exists()
+        })
+    }
+}
+
+/// Wraps an oracle, flipping its answers with probability `error_rate`.
+pub struct NoisyOracle<O, R> {
+    inner: O,
+    rng: R,
+    /// Probability in `[0, 1]` of flipping each answer.
+    pub error_rate: f64,
+    /// Number of answers that were flipped.
+    pub flips: usize,
+}
+
+impl<O: Oracle, R: Rng> NoisyOracle<O, R> {
+    /// Creates a noisy wrapper.
+    pub fn new(inner: O, rng: R, error_rate: f64) -> Self {
+        Self {
+            inner,
+            rng,
+            error_rate,
+            flips: 0,
+        }
+    }
+}
+
+impl<O: Oracle, R: Rng> Oracle for NoisyOracle<O, R> {
+    fn accept(&mut self, ont: &Ontology, res: NodeId, provenance: &Subgraph) -> bool {
+        let honest = self.inner.accept(ont, res, provenance);
+        if self.rng.random_bool(self.error_rate.clamp(0.0, 1.0)) {
+            self.flips += 1;
+            !honest
+        } else {
+            honest
+        }
+    }
+}
+
+/// Replays a fixed sequence of answers; panics when exhausted.
+#[derive(Debug, Clone)]
+pub struct ScriptedOracle {
+    answers: Vec<bool>,
+    next: usize,
+}
+
+impl ScriptedOracle {
+    /// Creates an oracle that will return `answers` in order.
+    pub fn new(answers: Vec<bool>) -> Self {
+        Self { answers, next: 0 }
+    }
+
+    /// How many answers were consumed.
+    pub fn asked(&self) -> usize {
+        self.next
+    }
+}
+
+impl Oracle for ScriptedOracle {
+    fn accept(&mut self, _ont: &Ontology, _res: NodeId, _prov: &Subgraph) -> bool {
+        let a = *self
+            .answers
+            .get(self.next)
+            .expect("scripted oracle ran out of answers");
+        self.next += 1;
+        a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use questpro_query::SimpleQuery;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn world() -> Ontology {
+        let mut b = Ontology::builder();
+        for (p, a) in [
+            ("paper3", "Carol"),
+            ("paper3", "Erdos"),
+            ("paper4", "Dave"),
+            ("paper4", "Frank"),
+        ] {
+            b.edge(p, "wb", a).unwrap();
+        }
+        b.build()
+    }
+
+    fn coauthors_of_erdos() -> UnionQuery {
+        let mut b = SimpleQuery::builder();
+        let x = b.var("x");
+        let p = b.var("p");
+        let e = b.constant("Erdos");
+        b.edge(p, "wb", x).edge(p, "wb", e).project(x);
+        UnionQuery::single(b.build().unwrap())
+    }
+
+    #[test]
+    fn target_oracle_accepts_members_with_valid_provenance() {
+        let o = world();
+        let mut oracle = TargetOracle::new(coauthors_of_erdos());
+        let carol = o.node_by_value("Carol").unwrap();
+        // Provenance: paper3's two edges — a valid derivation.
+        let sub = Subgraph::from_edges(&o, o.edge_ids().take(2));
+        assert!(oracle.accept(&o, carol, &sub));
+    }
+
+    #[test]
+    fn target_oracle_rejects_non_members() {
+        let o = world();
+        let mut oracle = TargetOracle::new(coauthors_of_erdos());
+        let frank = o.node_by_value("Frank").unwrap();
+        let sub = Subgraph::from_edges(&o, o.edge_ids());
+        assert!(!oracle.accept(&o, frank, &sub));
+    }
+
+    #[test]
+    fn target_oracle_rejects_wrong_rationale() {
+        let o = world();
+        let mut oracle = TargetOracle::new(coauthors_of_erdos());
+        let carol = o.node_by_value("Carol").unwrap();
+        // Provenance showing only paper4's edges: no derivation of Carol.
+        let paper4_edges: Vec<_> = o
+            .edge_ids()
+            .filter(|&e| o.value_str(o.edge(e).src) == "paper4")
+            .collect();
+        let sub = Subgraph::from_edges(&o, paper4_edges);
+        assert!(!oracle.accept(&o, carol, &sub));
+        // A results-only oracle accepts regardless of the rationale.
+        let mut lax = TargetOracle::results_only(coauthors_of_erdos());
+        assert!(lax.accept(&o, carol, &sub));
+    }
+
+    #[test]
+    fn noisy_oracle_flips_at_rate_one() {
+        let o = world();
+        let inner = TargetOracle::new(coauthors_of_erdos());
+        let mut noisy = NoisyOracle::new(inner, StdRng::seed_from_u64(1), 1.0);
+        let carol = o.node_by_value("Carol").unwrap();
+        let sub = Subgraph::from_edges(&o, o.edge_ids().take(2));
+        assert!(!noisy.accept(&o, carol, &sub)); // flipped
+        assert_eq!(noisy.flips, 1);
+    }
+
+    #[test]
+    fn scripted_oracle_replays() {
+        let o = world();
+        let carol = o.node_by_value("Carol").unwrap();
+        let sub = Subgraph::single_node(carol);
+        let mut s = ScriptedOracle::new(vec![true, false]);
+        assert!(s.accept(&o, carol, &sub));
+        assert!(!s.accept(&o, carol, &sub));
+        assert_eq!(s.asked(), 2);
+    }
+}

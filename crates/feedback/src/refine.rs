@@ -1,0 +1,185 @@
+//! Disequality refinement (end of Section V).
+//!
+//! Once a query *pattern* has been chosen, the user may still want fewer
+//! disequalities than `Q^all` carries. Following the paper: keep a
+//! current query `Q_j` (initially all disequalities); repeatedly build
+//! `Q_i` by dropping one not-yet-approved disequality and evaluate
+//! `Q_i − Q_j`. A non-empty difference yields a provenance-backed
+//! question — "yes, include these" drops the disequality permanently,
+//! "no" approves it and it is never asked about again. Disequalities
+//! whose removal makes no observable difference on this ontology are
+//! kept (they are harmless here; the paper escalates to removing pairs,
+//! triples, …, which we bound by the same observation: an unobservable
+//! disequality cannot be refuted by any difference question).
+
+use rand::Rng;
+
+use questpro_engine::difference_with_witness;
+use questpro_graph::Ontology;
+use questpro_query::{QueryNodeId, UnionQuery};
+
+use crate::algorithm3::FeedbackConfig;
+use crate::oracle::Oracle;
+
+/// Refines the disequalities of `q` (typically a `Q^all`) by querying the
+/// user; returns the refined query and the number of questions asked.
+pub fn refine_diseqs<O: Oracle, R: Rng>(
+    ont: &Ontology,
+    q: &UnionQuery,
+    oracle: &mut O,
+    rng: &mut R,
+    cfg: &FeedbackConfig,
+) -> (UnionQuery, usize) {
+    let mut current = q.clone();
+    let mut questions = 0usize;
+    // Approved (branch, pair) combinations we must not ask about again.
+    let mut approved: Vec<(usize, (QueryNodeId, QueryNodeId))> = Vec::new();
+
+    loop {
+        let mut progressed = false;
+        'scan: for b in 0..current.len() {
+            let diseqs: Vec<_> = current.branches()[b].diseqs().to_vec();
+            for &pair in &diseqs {
+                if questions >= cfg.max_questions {
+                    return (current, questions);
+                }
+                if approved.contains(&(b, pair)) {
+                    continue;
+                }
+                let candidate = drop_diseq(&current, b, pair);
+                match difference_with_witness(ont, &candidate, &current, rng, cfg.prov_limit) {
+                    Some((res, prov)) => {
+                        questions += 1;
+                        if oracle.accept(ont, res, &prov) {
+                            // The user wants the extra results: drop it.
+                            current = candidate;
+                            progressed = true;
+                            break 'scan;
+                        }
+                        approved.push((b, pair));
+                    }
+                    None => {
+                        // Unobservable on this ontology: keep silently.
+                        approved.push((b, pair));
+                    }
+                }
+            }
+        }
+        if !progressed {
+            return (current, questions);
+        }
+    }
+}
+
+/// `q` with one disequality removed from branch `b`.
+fn drop_diseq(q: &UnionQuery, b: usize, pair: (QueryNodeId, QueryNodeId)) -> UnionQuery {
+    let branches = q
+        .branches()
+        .iter()
+        .enumerate()
+        .map(|(idx, branch)| {
+            if idx == b {
+                let remaining = branch.diseqs().iter().copied().filter(|&d| d != pair);
+                branch
+                    .with_diseqs(remaining)
+                    .expect("removing a disequality keeps the query valid")
+            } else {
+                branch.clone()
+            }
+        })
+        .collect();
+    UnionQuery::new(branches).expect("branch count unchanged")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::TargetOracle;
+    use questpro_query::SimpleQuery;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn world() -> Ontology {
+        let mut b = Ontology::builder();
+        for (p, a) in [
+            ("paper3", "Carol"),
+            ("paper3", "Erdos"),
+            ("paperS", "Solo"), // Solo's only co-author is Solo himself
+        ] {
+            b.edge(p, "wb", a).unwrap();
+        }
+        for a in ["Carol", "Erdos", "Solo"] {
+            b.typed_node(a, "Author").unwrap();
+        }
+        for p in ["paper3", "paperS"] {
+            b.typed_node(p, "Paper").unwrap();
+        }
+        b.build()
+    }
+
+    /// `?p wb ?x . ?p wb ?other` with optional diseq x != other.
+    fn coauthor(with_diseq: bool) -> UnionQuery {
+        let mut b = SimpleQuery::builder();
+        let x = b.var("x");
+        let p = b.var("p");
+        let other = b.var("other");
+        b.edge(p, "wb", x).edge(p, "wb", other).project(x);
+        if with_diseq {
+            b.diseq(x, other);
+        }
+        UnionQuery::single(b.build().unwrap())
+    }
+
+    #[test]
+    fn wanted_diseq_is_kept() {
+        // Target: strict co-authors (x != other). Removing the diseq
+        // would add Solo (solo paper); the oracle rejects that, so the
+        // diseq is approved and kept.
+        let o = world();
+        let mut oracle = TargetOracle::new(coauthor(true));
+        let mut rng = StdRng::seed_from_u64(1);
+        let (refined, questions) = refine_diseqs(
+            &o,
+            &coauthor(true),
+            &mut oracle,
+            &mut rng,
+            &FeedbackConfig::default(),
+        );
+        assert_eq!(refined.diseq_count(), 1);
+        assert_eq!(questions, 1);
+    }
+
+    #[test]
+    fn unwanted_diseq_is_dropped() {
+        // Target: all co-author pairs including solo papers. The diseq's
+        // extra exclusion is unwanted → dropped after one question.
+        let o = world();
+        let mut oracle = TargetOracle::new(coauthor(false));
+        let mut rng = StdRng::seed_from_u64(1);
+        let (refined, questions) = refine_diseqs(
+            &o,
+            &coauthor(true),
+            &mut oracle,
+            &mut rng,
+            &FeedbackConfig::default(),
+        );
+        assert_eq!(refined.diseq_count(), 0);
+        assert_eq!(questions, 1);
+    }
+
+    #[test]
+    fn diseq_free_query_asks_nothing() {
+        let o = world();
+        let mut oracle = TargetOracle::new(coauthor(false));
+        let mut rng = StdRng::seed_from_u64(1);
+        let (refined, questions) = refine_diseqs(
+            &o,
+            &coauthor(false),
+            &mut oracle,
+            &mut rng,
+            &FeedbackConfig::default(),
+        );
+        assert_eq!(refined.diseq_count(), 0);
+        assert_eq!(questions, 0);
+    }
+}

@@ -1,0 +1,101 @@
+//! Error types for ontology construction and parsing.
+
+use std::fmt;
+
+/// Errors raised while building or parsing an ontology.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// Two nodes were declared with the same value; `L_V` must be
+    /// one-to-one (Section II-A of the paper).
+    DuplicateValue {
+        /// The offending value string.
+        value: String,
+    },
+    /// A parallel edge with the same predicate already connects the same
+    /// ordered pair of nodes.
+    DuplicateEdge {
+        /// Source node value.
+        src: String,
+        /// Predicate label.
+        pred: String,
+        /// Target node value.
+        dst: String,
+    },
+    /// A node was re-declared with a conflicting type annotation.
+    ConflictingType {
+        /// The node's value string.
+        value: String,
+        /// The type it already has.
+        existing: String,
+        /// The conflicting new type.
+        requested: String,
+    },
+    /// A referenced node id/value does not exist in the ontology.
+    UnknownNode {
+        /// Human-readable description of the missing node.
+        what: String,
+    },
+    /// A line in the triple text format could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::DuplicateValue { value } => {
+                write!(f, "duplicate node value {value:?}: L_V must be one-to-one")
+            }
+            GraphError::DuplicateEdge { src, pred, dst } => write!(
+                f,
+                "duplicate edge ({src:?} -{pred:?}-> {dst:?}): parallel edges must have distinct predicates"
+            ),
+            GraphError::ConflictingType {
+                value,
+                existing,
+                requested,
+            } => write!(
+                f,
+                "node {value:?} already typed {existing:?}, cannot retype as {requested:?}"
+            ),
+            GraphError::UnknownNode { what } => write!(f, "unknown node: {what}"),
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = GraphError::DuplicateValue {
+            value: "Alice".into(),
+        };
+        assert!(e.to_string().contains("Alice"));
+        assert!(e.to_string().contains("one-to-one"));
+
+        let e = GraphError::DuplicateEdge {
+            src: "paper1".into(),
+            pred: "wb".into(),
+            dst: "Alice".into(),
+        };
+        assert!(e.to_string().contains("paper1"));
+        assert!(e.to_string().contains("wb"));
+
+        let e = GraphError::Parse {
+            line: 12,
+            message: "expected 3 fields".into(),
+        };
+        assert!(e.to_string().contains("line 12"));
+    }
+}

@@ -1,0 +1,235 @@
+//! A line-oriented text format for example-sets.
+//!
+//! This is the file format the `questpro` CLI reads explanations from.
+//! An example-set is a sequence of explanation blocks separated by blank
+//! lines; each block starts with its distinguished node and lists the
+//! explanation's edges (which must exist in the ontology):
+//!
+//! ```text
+//! # co-author examples
+//! dis Carol
+//! paper3 wb Carol
+//! paper3 wb Erdos
+//!
+//! dis Dave
+//! paper4 wb Dave
+//! paper4 wb Erdos
+//! ```
+//!
+//! A block may consist of just the `dis` line (a bare-node explanation).
+
+use crate::error::GraphError;
+use crate::explanation::{ExampleSet, Explanation};
+use crate::ontology::Ontology;
+use crate::subgraph::Subgraph;
+
+/// Parses an example-set against an ontology.
+///
+/// # Errors
+/// Returns a [`GraphError::Parse`] with a 1-based line number for
+/// malformed lines, and [`GraphError::UnknownNode`] when a referenced
+/// value, predicate, or edge is missing from the ontology.
+pub fn parse_examples(ont: &Ontology, text: &str) -> Result<ExampleSet, GraphError> {
+    let mut set = ExampleSet::new();
+    let mut dis: Option<String> = None;
+    let mut edges: Vec<crate::ids::EdgeId> = Vec::new();
+    let mut flush =
+        |dis: &mut Option<String>, edges: &mut Vec<crate::ids::EdgeId>| -> Result<(), GraphError> {
+            if let Some(d) = dis.take() {
+                let ex = Explanation::from_edges(ont, edges.drain(..), &d)?;
+                set.push(ex);
+            } else if !edges.is_empty() {
+                return Err(GraphError::Parse {
+                    line: 0,
+                    message: "explanation block has edges but no `dis` line".to_string(),
+                });
+            }
+            Ok(())
+        };
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.starts_with('#') {
+            continue;
+        }
+        if line.is_empty() {
+            flush(&mut dis, &mut edges).map_err(|e| at_line(e, i + 1))?;
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        match fields.as_slice() {
+            ["dis", value] => {
+                if dis.is_some() {
+                    return Err(GraphError::Parse {
+                        line: i + 1,
+                        message: "second `dis` line in one block (missing blank line?)".to_string(),
+                    });
+                }
+                dis = Some((*value).to_string());
+            }
+            [src, pred, dst] => {
+                let e = resolve_edge(ont, src, pred, dst).map_err(|e| at_line(e, i + 1))?;
+                edges.push(e);
+            }
+            _ => {
+                return Err(GraphError::Parse {
+                    line: i + 1,
+                    message: "expected `dis <value>` or `<src> <pred> <dst>`".to_string(),
+                })
+            }
+        }
+    }
+    flush(&mut dis, &mut edges)?;
+    Ok(set)
+}
+
+fn at_line(e: GraphError, line: usize) -> GraphError {
+    match e {
+        GraphError::Parse { message, .. } => GraphError::Parse { line, message },
+        other => other,
+    }
+}
+
+fn resolve_edge(
+    ont: &Ontology,
+    src: &str,
+    pred: &str,
+    dst: &str,
+) -> Result<crate::ids::EdgeId, GraphError> {
+    let s = ont
+        .node_by_value(src)
+        .ok_or_else(|| GraphError::UnknownNode {
+            what: format!("no node with value {src:?}"),
+        })?;
+    let d = ont
+        .node_by_value(dst)
+        .ok_or_else(|| GraphError::UnknownNode {
+            what: format!("no node with value {dst:?}"),
+        })?;
+    let p = ont
+        .pred_by_name(pred)
+        .ok_or_else(|| GraphError::UnknownNode {
+            what: format!("no predicate {pred:?}"),
+        })?;
+    ont.find_edge(s, p, d)
+        .ok_or_else(|| GraphError::UnknownNode {
+            what: format!("no edge {src} -{pred}-> {dst} in the ontology"),
+        })
+}
+
+/// Serializes an example-set back to the text format.
+pub fn serialize_examples(ont: &Ontology, set: &ExampleSet) -> String {
+    let mut out = String::new();
+    for (i, ex) in set.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        out.push_str("dis ");
+        out.push_str(ont.value_str(ex.distinguished()));
+        out.push('\n');
+        for &e in ex.edges() {
+            let d = ont.edge(e);
+            out.push_str(ont.value_str(d.src));
+            out.push(' ');
+            out.push_str(ont.pred_str(d.pred));
+            out.push(' ');
+            out.push_str(ont.value_str(d.dst));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Serializes a single explanation as one block.
+pub fn serialize_explanation(ont: &Ontology, ex: &Explanation) -> String {
+    let set = ExampleSet::from_explanations(vec![Explanation::new(
+        Subgraph::from_parts(ont, ex.edges().iter().copied(), [ex.distinguished()]),
+        ex.distinguished(),
+    )
+    .expect("copying an explanation preserves validity")]);
+    serialize_examples(ont, &set)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixture() -> Ontology {
+        let mut b = Ontology::builder();
+        b.edge("paper3", "wb", "Carol").unwrap();
+        b.edge("paper3", "wb", "Erdos").unwrap();
+        b.edge("paper4", "wb", "Dave").unwrap();
+        b.edge("paper4", "wb", "Erdos").unwrap();
+        b.build()
+    }
+
+    const SAMPLE: &str = "\
+# two explanations
+dis Carol
+paper3 wb Carol
+paper3 wb Erdos
+
+dis Dave
+paper4 wb Dave
+paper4 wb Erdos
+";
+
+    #[test]
+    fn parses_blocks() {
+        let o = fixture();
+        let set = parse_examples(&o, SAMPLE).unwrap();
+        assert_eq!(set.len(), 2);
+        assert_eq!(o.value_str(set.explanations()[0].distinguished()), "Carol");
+        assert_eq!(set.explanations()[1].edge_count(), 2);
+    }
+
+    #[test]
+    fn round_trips() {
+        let o = fixture();
+        let set = parse_examples(&o, SAMPLE).unwrap();
+        let text = serialize_examples(&o, &set);
+        let back = parse_examples(&o, &text).unwrap();
+        assert_eq!(back, set);
+    }
+
+    #[test]
+    fn bare_node_blocks_are_allowed() {
+        let o = fixture();
+        let set = parse_examples(&o, "dis Erdos\n").unwrap();
+        assert_eq!(set.len(), 1);
+        assert_eq!(set.explanations()[0].edge_count(), 0);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let o = fixture();
+        let err = parse_examples(&o, "dis Carol\nbroken line here extra\n").unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 2, .. }), "{err}");
+        let err = parse_examples(&o, "dis Carol\ndis Dave\n").unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 2, .. }));
+    }
+
+    #[test]
+    fn edges_without_dis_are_rejected() {
+        let o = fixture();
+        let err = parse_examples(&o, "paper3 wb Carol\n").unwrap_err();
+        assert!(err.to_string().contains("no `dis`"));
+    }
+
+    #[test]
+    fn unknown_edges_are_rejected() {
+        let o = fixture();
+        let err = parse_examples(&o, "dis Carol\npaper3 wb Dave\n").unwrap_err();
+        assert!(matches!(err, GraphError::UnknownNode { .. }));
+        let err = parse_examples(&o, "dis Ghost\n").unwrap_err();
+        assert!(matches!(err, GraphError::UnknownNode { .. }));
+    }
+
+    #[test]
+    fn serialize_single_explanation() {
+        let o = fixture();
+        let set = parse_examples(&o, SAMPLE).unwrap();
+        let text = serialize_explanation(&o, &set.explanations()[0]);
+        assert!(text.starts_with("dis Carol\n"));
+        assert_eq!(text.lines().count(), 3);
+    }
+}

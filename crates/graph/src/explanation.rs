@@ -1,0 +1,257 @@
+//! Explanations and example-sets (Definition 2.5).
+//!
+//! An **explanation** is a subgraph of the ontology together with a
+//! *distinguished node*: the output example the user expects, with the
+//! rest of the subgraph describing why the user chose it. The same
+//! distinguished node may appear in several explanations. A set of
+//! explanations is an **example-set**, the input to query inference.
+
+use crate::error::GraphError;
+use crate::ids::{EdgeId, NodeId};
+use crate::ontology::Ontology;
+use crate::subgraph::Subgraph;
+
+/// A subgraph of the ontology with a distinguished node (Def. 2.5).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Explanation {
+    sub: Subgraph,
+    dis: NodeId,
+}
+
+impl Explanation {
+    /// Wraps `sub` with distinguished node `dis`.
+    ///
+    /// # Errors
+    /// Fails if `dis` is not a node of `sub`.
+    pub fn new(sub: Subgraph, dis: NodeId) -> Result<Self, GraphError> {
+        if !sub.contains_node(dis) {
+            return Err(GraphError::UnknownNode {
+                what: format!("distinguished node {dis} is not in the explanation subgraph"),
+            });
+        }
+        Ok(Self { sub, dis })
+    }
+
+    /// Builds an explanation directly from ontology edges and the
+    /// distinguished node's value string.
+    ///
+    /// # Errors
+    /// Fails if the value is unknown or not an endpoint of the edges.
+    pub fn from_edges(
+        ont: &Ontology,
+        edges: impl IntoIterator<Item = EdgeId>,
+        dis_value: &str,
+    ) -> Result<Self, GraphError> {
+        let dis = ont
+            .node_by_value(dis_value)
+            .ok_or_else(|| GraphError::UnknownNode {
+                what: format!("no node with value {dis_value:?}"),
+            })?;
+        let sub = Subgraph::from_parts(ont, edges, [dis]);
+        Self::new(sub, dis)
+    }
+
+    /// Builds an explanation from `(src, pred, dst)` value triples; every
+    /// triple must name an existing ontology edge.
+    ///
+    /// # Errors
+    /// Fails if a value or an edge is missing from the ontology.
+    pub fn from_triples(
+        ont: &Ontology,
+        triples: &[(&str, &str, &str)],
+        dis_value: &str,
+    ) -> Result<Self, GraphError> {
+        let mut edges = Vec::with_capacity(triples.len());
+        for &(s, p, d) in triples {
+            let src = ont
+                .node_by_value(s)
+                .ok_or_else(|| GraphError::UnknownNode {
+                    what: format!("no node with value {s:?}"),
+                })?;
+            let dst = ont
+                .node_by_value(d)
+                .ok_or_else(|| GraphError::UnknownNode {
+                    what: format!("no node with value {d:?}"),
+                })?;
+            let pred = ont.pred_by_name(p).ok_or_else(|| GraphError::UnknownNode {
+                what: format!("no predicate {p:?}"),
+            })?;
+            let e = ont
+                .find_edge(src, pred, dst)
+                .ok_or_else(|| GraphError::UnknownNode {
+                    what: format!("no edge {s} -{p}-> {d}"),
+                })?;
+            edges.push(e);
+        }
+        Self::from_edges(ont, edges, dis_value)
+    }
+
+    /// The underlying subgraph.
+    pub fn subgraph(&self) -> &Subgraph {
+        &self.sub
+    }
+
+    /// The distinguished node (the output example).
+    pub fn distinguished(&self) -> NodeId {
+        self.dis
+    }
+
+    /// Edges of the explanation.
+    pub fn edges(&self) -> &[EdgeId] {
+        self.sub.edges()
+    }
+
+    /// Nodes of the explanation.
+    pub fn nodes(&self) -> &[NodeId] {
+        self.sub.nodes()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.sub.edge_count()
+    }
+
+    /// Renders the explanation for display, marking the distinguished
+    /// node.
+    pub fn describe(&self, ont: &Ontology) -> String {
+        format!(
+            "distinguished: {}\n{}",
+            ont.value_str(self.dis),
+            self.sub.describe(ont)
+        )
+    }
+}
+
+/// An ordered collection of explanations (the paper's *example-set*).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExampleSet {
+    explanations: Vec<Explanation>,
+}
+
+impl ExampleSet {
+    /// Creates an empty example-set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an example-set from explanations.
+    pub fn from_explanations(explanations: Vec<Explanation>) -> Self {
+        Self { explanations }
+    }
+
+    /// Appends an explanation.
+    pub fn push(&mut self, e: Explanation) {
+        self.explanations.push(e);
+    }
+
+    /// The explanations, in insertion order.
+    pub fn explanations(&self) -> &[Explanation] {
+        &self.explanations
+    }
+
+    /// Number of explanations.
+    pub fn len(&self) -> usize {
+        self.explanations.len()
+    }
+
+    /// Whether the example-set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.explanations.is_empty()
+    }
+
+    /// Iterates over the explanations.
+    pub fn iter(&self) -> impl Iterator<Item = &Explanation> {
+        self.explanations.iter()
+    }
+
+    /// The distinct distinguished nodes across all explanations.
+    pub fn distinguished_nodes(&self) -> Vec<NodeId> {
+        let mut v: Vec<NodeId> = self
+            .explanations
+            .iter()
+            .map(|e| e.distinguished())
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+}
+
+impl IntoIterator for ExampleSet {
+    type Item = Explanation;
+    type IntoIter = std::vec::IntoIter<Explanation>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.explanations.into_iter()
+    }
+}
+
+impl FromIterator<Explanation> for ExampleSet {
+    fn from_iter<T: IntoIterator<Item = Explanation>>(iter: T) -> Self {
+        Self {
+            explanations: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixture() -> Ontology {
+        let mut b = Ontology::builder();
+        b.edge("p1", "wb", "Alice").unwrap();
+        b.edge("p1", "wb", "Bob").unwrap();
+        b.edge("p2", "wb", "Bob").unwrap();
+        b.edge("p2", "wb", "Erdos").unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn from_triples_resolves_edges() {
+        let o = fixture();
+        let ex =
+            Explanation::from_triples(&o, &[("p1", "wb", "Alice"), ("p1", "wb", "Bob")], "Alice")
+                .unwrap();
+        assert_eq!(ex.edge_count(), 2);
+        assert_eq!(o.value_str(ex.distinguished()), "Alice");
+        assert!(ex.describe(&o).contains("distinguished: Alice"));
+    }
+
+    #[test]
+    fn distinguished_must_be_member() {
+        let o = fixture();
+        let sub = Subgraph::from_edges(&o, [EdgeId::new(0)]); // p1,Alice
+        let erdos = o.node_by_value("Erdos").unwrap();
+        assert!(Explanation::new(sub, erdos).is_err());
+    }
+
+    #[test]
+    fn from_triples_rejects_missing_edge() {
+        let o = fixture();
+        let err = Explanation::from_triples(&o, &[("p1", "wb", "Erdos")], "Erdos").unwrap_err();
+        assert!(err.to_string().contains("no edge"));
+        let err = Explanation::from_triples(&o, &[("pX", "wb", "Alice")], "Alice").unwrap_err();
+        assert!(err.to_string().contains("pX"));
+    }
+
+    #[test]
+    fn single_node_explanation_is_allowed() {
+        let o = fixture();
+        let ex = Explanation::from_edges(&o, [], "Bob").unwrap();
+        assert_eq!(ex.edge_count(), 0);
+        assert_eq!(ex.nodes().len(), 1);
+    }
+
+    #[test]
+    fn example_set_tracks_distinguished_nodes() {
+        let o = fixture();
+        let e1 = Explanation::from_triples(&o, &[("p1", "wb", "Alice")], "Alice").unwrap();
+        let e2 = Explanation::from_triples(&o, &[("p2", "wb", "Erdos")], "Erdos").unwrap();
+        let e3 = Explanation::from_triples(&o, &[("p1", "wb", "Alice")], "Alice").unwrap();
+        let set: ExampleSet = [e1, e2, e3].into_iter().collect();
+        assert_eq!(set.len(), 3);
+        assert_eq!(set.distinguished_nodes().len(), 2);
+        assert!(!set.is_empty());
+    }
+}

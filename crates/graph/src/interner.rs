@@ -1,0 +1,126 @@
+//! String interning for node values, edge predicates, and node types.
+//!
+//! The ontology stores each distinct string once and refers to it by a
+//! dense `u32` index. Interning keeps the hot matching loops of the query
+//! engine free of string comparisons: label equality is integer equality.
+
+use std::collections::HashMap;
+
+/// A dense string interner.
+///
+/// Strings are assigned consecutive `u32` indexes in insertion order.
+/// Lookup by string is `O(1)` average (hash map), lookup by index is a
+/// direct array access.
+#[derive(Debug, Default, Clone)]
+pub struct Interner {
+    strings: Vec<Box<str>>,
+    index: HashMap<Box<str>, u32>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty interner with capacity for `cap` strings.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            strings: Vec::with_capacity(cap),
+            index: HashMap::with_capacity(cap),
+        }
+    }
+
+    /// Interns `s`, returning its index; re-interning returns the same
+    /// index without allocating.
+    pub fn intern(&mut self, s: &str) -> u32 {
+        if let Some(&i) = self.index.get(s) {
+            return i;
+        }
+        let i = u32::try_from(self.strings.len()).expect("interner overflow");
+        let boxed: Box<str> = s.into();
+        self.strings.push(boxed.clone());
+        self.index.insert(boxed, i);
+        i
+    }
+
+    /// Returns the index of `s` if it was interned before.
+    pub fn get(&self, s: &str) -> Option<u32> {
+        self.index.get(s).copied()
+    }
+
+    /// Resolves an index back to its string.
+    ///
+    /// # Panics
+    /// Panics if `i` was not produced by this interner.
+    pub fn resolve(&self, i: u32) -> &str {
+        &self.strings[i as usize]
+    }
+
+    /// Resolves an index if it is in range.
+    pub fn try_resolve(&self, i: u32) -> Option<&str> {
+        self.strings.get(i as usize).map(|s| &**s)
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// Whether the interner holds no strings.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+
+    /// Iterates over `(index, string)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &str)> {
+        self.strings
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i as u32, &**s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut it = Interner::new();
+        let a = it.intern("wb");
+        let b = it.intern("cites");
+        let a2 = it.intern("wb");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(it.len(), 2);
+    }
+
+    #[test]
+    fn resolve_round_trips() {
+        let mut it = Interner::new();
+        let i = it.intern("Erdos");
+        assert_eq!(it.resolve(i), "Erdos");
+        assert_eq!(it.get("Erdos"), Some(i));
+        assert_eq!(it.get("Alice"), None);
+        assert_eq!(it.try_resolve(i), Some("Erdos"));
+        assert_eq!(it.try_resolve(i + 1), None);
+    }
+
+    #[test]
+    fn indexes_are_dense_and_ordered() {
+        let mut it = Interner::new();
+        for (expect, s) in ["a", "b", "c"].iter().enumerate() {
+            assert_eq!(it.intern(s), expect as u32);
+        }
+        let collected: Vec<_> = it.iter().map(|(_, s)| s.to_string()).collect();
+        assert_eq!(collected, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn empty_interner_reports_empty() {
+        let it = Interner::new();
+        assert!(it.is_empty());
+        assert_eq!(it.len(), 0);
+    }
+}

@@ -1,0 +1,535 @@
+//! The ontology database: an immutable, index-rich labeled multigraph.
+//!
+//! Construction goes through [`OntologyBuilder`], which enforces the two
+//! model invariants of Section II-A:
+//!
+//! 1. node values are globally unique (`L_V` is one-to-one);
+//! 2. parallel edges between the same ordered node pair carry distinct
+//!    predicates.
+//!
+//! Once built, an [`Ontology`] is immutable and exposes the indexes the
+//! query engine needs: per-node in/out adjacency, a per-predicate edge
+//! list, and value→node lookup.
+
+use std::collections::HashMap;
+
+use crate::error::GraphError;
+use crate::ids::{EdgeId, NodeId, PredId, TypeId, ValueId};
+use crate::interner::Interner;
+
+/// Per-node payload: the node's unique value and optional type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeData {
+    /// Interned node value (the image of `L_V`).
+    pub value: ValueId,
+    /// Optional node type (used for disequality inference, Section V).
+    pub ty: Option<TypeId>,
+}
+
+/// Per-edge payload: source, target, and predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdgeData {
+    /// Source node.
+    pub src: NodeId,
+    /// Target node.
+    pub dst: NodeId,
+    /// Interned edge predicate (the image of `L_E`).
+    pub pred: PredId,
+}
+
+/// An immutable ontology graph with lookup indexes.
+///
+/// ```
+/// use questpro_graph::Ontology;
+///
+/// let mut b = Ontology::builder();
+/// b.edge("paper1", "wb", "Alice")?;
+/// b.typed_node("Alice", "Author")?;
+/// let ont = b.build();
+///
+/// let alice = ont.node_by_value("Alice").unwrap();
+/// assert_eq!(ont.value_str(alice), "Alice");
+/// assert_eq!(ont.type_str(ont.node_type(alice).unwrap()), "Author");
+/// assert_eq!(ont.in_edges(alice).len(), 1);
+/// # Ok::<(), questpro_graph::GraphError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Ontology {
+    values: Interner,
+    preds: Interner,
+    types: Interner,
+    nodes: Vec<NodeData>,
+    edges: Vec<EdgeData>,
+    out: Vec<Vec<EdgeId>>,
+    inc: Vec<Vec<EdgeId>>,
+    by_pred: Vec<Vec<EdgeId>>,
+    value_to_node: HashMap<ValueId, NodeId>,
+}
+
+impl Ontology {
+    /// Starts building an ontology.
+    pub fn builder() -> OntologyBuilder {
+        OntologyBuilder::new()
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Number of distinct predicates.
+    pub fn pred_count(&self) -> usize {
+        self.preds.len()
+    }
+
+    /// Iterates over all node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len() as u32).map(NodeId::new)
+    }
+
+    /// Iterates over all edge ids.
+    pub fn edge_ids(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        (0..self.edges.len() as u32).map(EdgeId::new)
+    }
+
+    /// Payload of node `n`.
+    #[inline]
+    pub fn node(&self, n: NodeId) -> NodeData {
+        self.nodes[n.index()]
+    }
+
+    /// Payload of edge `e`.
+    #[inline]
+    pub fn edge(&self, e: EdgeId) -> EdgeData {
+        self.edges[e.index()]
+    }
+
+    /// The value string of node `n`.
+    pub fn value_str(&self, n: NodeId) -> &str {
+        self.values.resolve(self.nodes[n.index()].value.raw())
+    }
+
+    /// The predicate string of edge `e`.
+    pub fn pred_str_of(&self, e: EdgeId) -> &str {
+        self.preds.resolve(self.edges[e.index()].pred.raw())
+    }
+
+    /// Resolves a predicate id to its string.
+    pub fn pred_str(&self, p: PredId) -> &str {
+        self.preds.resolve(p.raw())
+    }
+
+    /// Resolves a type id to its string.
+    pub fn type_str(&self, t: TypeId) -> &str {
+        self.types.resolve(t.raw())
+    }
+
+    /// Resolves a value id to its string.
+    pub fn value_of(&self, v: ValueId) -> &str {
+        self.values.resolve(v.raw())
+    }
+
+    /// The type of node `n`, if declared.
+    pub fn node_type(&self, n: NodeId) -> Option<TypeId> {
+        self.nodes[n.index()].ty
+    }
+
+    /// Finds the node holding `value`, if any (values are unique).
+    pub fn node_by_value(&self, value: &str) -> Option<NodeId> {
+        let v = self.values.get(value)?;
+        self.value_to_node.get(&ValueId::new(v)).copied()
+    }
+
+    /// Finds the predicate id of `pred`, if any edge uses it.
+    pub fn pred_by_name(&self, pred: &str) -> Option<PredId> {
+        self.preds.get(pred).map(PredId::new)
+    }
+
+    /// Finds the type id of `ty`, if declared on any node.
+    pub fn type_by_name(&self, ty: &str) -> Option<TypeId> {
+        self.types.get(ty).map(TypeId::new)
+    }
+
+    /// Outgoing edges of node `n`.
+    #[inline]
+    pub fn out_edges(&self, n: NodeId) -> &[EdgeId] {
+        &self.out[n.index()]
+    }
+
+    /// Incoming edges of node `n`.
+    #[inline]
+    pub fn in_edges(&self, n: NodeId) -> &[EdgeId] {
+        &self.inc[n.index()]
+    }
+
+    /// All edges labeled with predicate `p`.
+    #[inline]
+    pub fn edges_with_pred(&self, p: PredId) -> &[EdgeId] {
+        self.by_pred
+            .get(p.index())
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Degree (in + out) of node `n`.
+    pub fn degree(&self, n: NodeId) -> usize {
+        self.out[n.index()].len() + self.inc[n.index()].len()
+    }
+
+    /// Finds the unique edge `src -pred-> dst`, if present.
+    pub fn find_edge(&self, src: NodeId, pred: PredId, dst: NodeId) -> Option<EdgeId> {
+        self.out[src.index()].iter().copied().find(|&e| {
+            let d = self.edges[e.index()];
+            d.dst == dst && d.pred == pred
+        })
+    }
+
+    /// Access to the value interner (read-only).
+    pub fn values(&self) -> &Interner {
+        &self.values
+    }
+
+    /// Access to the predicate interner (read-only).
+    pub fn preds(&self) -> &Interner {
+        &self.preds
+    }
+
+    /// Access to the type interner (read-only).
+    pub fn types(&self) -> &Interner {
+        &self.types
+    }
+
+    /// Per-type node counts, sorted descending (untyped nodes under
+    /// `(none)`); the summary the CLI prints after `generate`.
+    pub fn type_histogram(&self) -> Vec<(String, usize)> {
+        let mut counts: HashMap<String, usize> = HashMap::new();
+        for n in self.node_ids() {
+            let key = match self.node_type(n) {
+                Some(t) => self.type_str(t).to_string(),
+                None => "(none)".to_string(),
+            };
+            *counts.entry(key).or_insert(0) += 1;
+        }
+        let mut out: Vec<(String, usize)> = counts.into_iter().collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        out
+    }
+
+    /// Renders edge `e` as `src -pred-> dst` with value strings.
+    pub fn describe_edge(&self, e: EdgeId) -> String {
+        let d = self.edge(e);
+        format!(
+            "{} -{}-> {}",
+            self.value_str(d.src),
+            self.pred_str(d.pred),
+            self.value_str(d.dst)
+        )
+    }
+
+    /// Verifies the structural invariants; used by tests and debug builds.
+    ///
+    /// Returns the first violated invariant, if any.
+    pub fn validate(&self) -> Result<(), GraphError> {
+        let mut seen_values: HashMap<ValueId, NodeId> = HashMap::new();
+        for n in self.node_ids() {
+            let v = self.node(n).value;
+            if let Some(prev) = seen_values.insert(v, n) {
+                let _ = prev;
+                return Err(GraphError::DuplicateValue {
+                    value: self.value_of(v).to_string(),
+                });
+            }
+        }
+        let mut seen_edges: HashMap<(NodeId, PredId, NodeId), EdgeId> = HashMap::new();
+        for e in self.edge_ids() {
+            let d = self.edge(e);
+            if seen_edges.insert((d.src, d.pred, d.dst), e).is_some() {
+                return Err(GraphError::DuplicateEdge {
+                    src: self.value_str(d.src).to_string(),
+                    pred: self.pred_str(d.pred).to_string(),
+                    dst: self.value_str(d.dst).to_string(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Incrementally constructs an [`Ontology`] while enforcing its invariants.
+///
+/// Nodes are created on demand by [`OntologyBuilder::node`] /
+/// [`OntologyBuilder::edge`]; declaring the same value twice returns the
+/// same node. Types may be attached at any time before [`build`].
+///
+/// [`build`]: OntologyBuilder::build
+#[derive(Debug, Default)]
+pub struct OntologyBuilder {
+    values: Interner,
+    preds: Interner,
+    types: Interner,
+    nodes: Vec<NodeData>,
+    edges: Vec<EdgeData>,
+    edge_set: HashMap<(NodeId, PredId, NodeId), EdgeId>,
+    value_to_node: HashMap<ValueId, NodeId>,
+}
+
+impl OntologyBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the node holding `value`, creating it if needed.
+    pub fn node(&mut self, value: &str) -> NodeId {
+        let v = ValueId::new(self.values.intern(value));
+        if let Some(&n) = self.value_to_node.get(&v) {
+            return n;
+        }
+        let n = NodeId::from_usize(self.nodes.len());
+        self.nodes.push(NodeData { value: v, ty: None });
+        self.value_to_node.insert(v, n);
+        n
+    }
+
+    /// Returns the node holding `value` and tags it with type `ty`.
+    ///
+    /// # Errors
+    /// Fails if the node already carries a different type.
+    pub fn typed_node(&mut self, value: &str, ty: &str) -> Result<NodeId, GraphError> {
+        let n = self.node(value);
+        let t = TypeId::new(self.types.intern(ty));
+        match self.nodes[n.index()].ty {
+            None => {
+                self.nodes[n.index()].ty = Some(t);
+                Ok(n)
+            }
+            Some(existing) if existing == t => Ok(n),
+            Some(existing) => Err(GraphError::ConflictingType {
+                value: value.to_string(),
+                existing: self.types.resolve(existing.raw()).to_string(),
+                requested: ty.to_string(),
+            }),
+        }
+    }
+
+    /// Adds the edge `src -pred-> dst` (creating missing nodes), returning
+    /// its id.
+    ///
+    /// # Errors
+    /// Fails if an identical edge already exists (parallel edges must have
+    /// distinct predicates).
+    pub fn edge(&mut self, src: &str, pred: &str, dst: &str) -> Result<EdgeId, GraphError> {
+        let s = self.node(src);
+        let d = self.node(dst);
+        self.edge_ids_internal(s, pred, d)
+    }
+
+    /// Adds an edge between existing node ids.
+    ///
+    /// # Errors
+    /// Fails on duplicate edges.
+    pub fn edge_between(
+        &mut self,
+        src: NodeId,
+        pred: &str,
+        dst: NodeId,
+    ) -> Result<EdgeId, GraphError> {
+        self.edge_ids_internal(src, pred, dst)
+    }
+
+    fn edge_ids_internal(
+        &mut self,
+        src: NodeId,
+        pred: &str,
+        dst: NodeId,
+    ) -> Result<EdgeId, GraphError> {
+        let p = PredId::new(self.preds.intern(pred));
+        if self.edge_set.contains_key(&(src, p, dst)) {
+            return Err(GraphError::DuplicateEdge {
+                src: self
+                    .values
+                    .resolve(self.nodes[src.index()].value.raw())
+                    .to_string(),
+                pred: pred.to_string(),
+                dst: self
+                    .values
+                    .resolve(self.nodes[dst.index()].value.raw())
+                    .to_string(),
+            });
+        }
+        let e = EdgeId::from_usize(self.edges.len());
+        self.edges.push(EdgeData { src, dst, pred: p });
+        self.edge_set.insert((src, p, dst), e);
+        Ok(e)
+    }
+
+    /// Adds an edge if it is not already present, returning its id either
+    /// way. Convenient for generators that may emit duplicates.
+    pub fn edge_idempotent(&mut self, src: &str, pred: &str, dst: &str) -> EdgeId {
+        let s = self.node(src);
+        let d = self.node(dst);
+        let p = PredId::new(self.preds.intern(pred));
+        if let Some(&e) = self.edge_set.get(&(s, p, d)) {
+            return e;
+        }
+        let e = EdgeId::from_usize(self.edges.len());
+        self.edges.push(EdgeData {
+            src: s,
+            dst: d,
+            pred: p,
+        });
+        self.edge_set.insert((s, p, d), e);
+        e
+    }
+
+    /// Number of nodes added so far.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges added so far.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Finalizes the ontology, computing all indexes.
+    pub fn build(self) -> Ontology {
+        let n = self.nodes.len();
+        let mut out: Vec<Vec<EdgeId>> = vec![Vec::new(); n];
+        let mut inc: Vec<Vec<EdgeId>> = vec![Vec::new(); n];
+        let mut by_pred: Vec<Vec<EdgeId>> = vec![Vec::new(); self.preds.len()];
+        for (i, d) in self.edges.iter().enumerate() {
+            let e = EdgeId::from_usize(i);
+            out[d.src.index()].push(e);
+            inc[d.dst.index()].push(e);
+            by_pred[d.pred.index()].push(e);
+        }
+        Ontology {
+            values: self.values,
+            preds: self.preds,
+            types: self.types,
+            nodes: self.nodes,
+            edges: self.edges,
+            out,
+            inc,
+            by_pred,
+            value_to_node: self.value_to_node,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Ontology {
+        let mut b = Ontology::builder();
+        b.edge("paper1", "wb", "Alice").unwrap();
+        b.edge("paper1", "wb", "Bob").unwrap();
+        b.edge("paper2", "wb", "Bob").unwrap();
+        b.edge("paper2", "cites", "paper1").unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn builder_dedupes_nodes_by_value() {
+        let o = tiny();
+        assert_eq!(o.node_count(), 4);
+        assert_eq!(o.edge_count(), 4);
+        assert_eq!(o.pred_count(), 2);
+    }
+
+    #[test]
+    fn duplicate_edges_are_rejected() {
+        let mut b = Ontology::builder();
+        b.edge("a", "p", "b").unwrap();
+        let err = b.edge("a", "p", "b").unwrap_err();
+        assert!(matches!(err, GraphError::DuplicateEdge { .. }));
+        // Distinct predicate between the same nodes is fine.
+        b.edge("a", "q", "b").unwrap();
+    }
+
+    #[test]
+    fn edge_idempotent_returns_existing_id() {
+        let mut b = Ontology::builder();
+        let e1 = b.edge_idempotent("a", "p", "b");
+        let e2 = b.edge_idempotent("a", "p", "b");
+        assert_eq!(e1, e2);
+        assert_eq!(b.edge_count(), 1);
+    }
+
+    #[test]
+    fn adjacency_indexes_are_consistent() {
+        let o = tiny();
+        let paper1 = o.node_by_value("paper1").unwrap();
+        let bob = o.node_by_value("Bob").unwrap();
+        assert_eq!(o.out_edges(paper1).len(), 2);
+        assert_eq!(o.in_edges(paper1).len(), 1); // cites
+        assert_eq!(o.in_edges(bob).len(), 2);
+        assert_eq!(o.degree(bob), 2);
+        let wb = o.pred_by_name("wb").unwrap();
+        assert_eq!(o.edges_with_pred(wb).len(), 3);
+    }
+
+    #[test]
+    fn find_edge_locates_unique_edge() {
+        let o = tiny();
+        let paper2 = o.node_by_value("paper2").unwrap();
+        let paper1 = o.node_by_value("paper1").unwrap();
+        let cites = o.pred_by_name("cites").unwrap();
+        let e = o.find_edge(paper2, cites, paper1).unwrap();
+        assert_eq!(o.describe_edge(e), "paper2 -cites-> paper1");
+        let wb = o.pred_by_name("wb").unwrap();
+        assert!(o.find_edge(paper2, wb, paper1).is_none());
+    }
+
+    #[test]
+    fn typed_nodes_enforce_single_type() {
+        let mut b = Ontology::builder();
+        b.typed_node("Alice", "Author").unwrap();
+        b.typed_node("Alice", "Author").unwrap(); // same type ok
+        let err = b.typed_node("Alice", "Paper").unwrap_err();
+        assert!(matches!(err, GraphError::ConflictingType { .. }));
+        let o = b.build();
+        let alice = o.node_by_value("Alice").unwrap();
+        let t = o.node_type(alice).unwrap();
+        assert_eq!(o.type_str(t), "Author");
+    }
+
+    #[test]
+    fn validate_accepts_well_formed_graph() {
+        assert!(tiny().validate().is_ok());
+    }
+
+    #[test]
+    fn type_histogram_counts_types() {
+        let mut b = Ontology::builder();
+        b.typed_node("Alice", "Author").unwrap();
+        b.typed_node("Bob", "Author").unwrap();
+        b.typed_node("paper1", "Paper").unwrap();
+        b.node("untyped");
+        let o = b.build();
+        let hist = o.type_histogram();
+        assert_eq!(
+            hist,
+            vec![
+                ("Author".to_string(), 2),
+                ("(none)".to_string(), 1),
+                ("Paper".to_string(), 1),
+            ]
+        );
+    }
+
+    #[test]
+    fn lookups_fail_gracefully() {
+        let o = tiny();
+        assert!(o.node_by_value("nobody").is_none());
+        assert!(o.pred_by_name("nope").is_none());
+        assert!(o.type_by_name("nope").is_none());
+    }
+}

@@ -1,0 +1,242 @@
+//! Canonical subgraphs of an ontology.
+//!
+//! A [`Subgraph`] is a set of edges plus a set of nodes of one ontology,
+//! held in sorted, deduplicated id vectors. Two uses in the paper map to
+//! this type:
+//!
+//! * **provenance graphs** (Def. 2.4): the image `μ(Q)` of a match is the
+//!   subgraph formed by the matched edges and nodes;
+//! * **explanations** (Def. 2.5): user-drawn subgraphs wrapped by
+//!   [`crate::Explanation`].
+//!
+//! The canonical representation makes equality, hashing, and set-of-
+//! provenance-graphs deduplication cheap. Because node values are unique
+//! in the ontology, two subgraphs of the same ontology are isomorphic in
+//! the paper's sense iff they are equal as id sets, which is what `Eq`
+//! compares.
+
+use std::collections::BTreeSet;
+
+use crate::ids::{EdgeId, NodeId};
+use crate::ontology::Ontology;
+
+/// A canonical (sorted, deduplicated) set of edges and nodes of one
+/// ontology.
+///
+/// The node set always contains every endpoint of every edge and may
+/// additionally contain isolated nodes (e.g. an explanation that consists
+/// of just a distinguished node).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Subgraph {
+    edges: Vec<EdgeId>,
+    nodes: Vec<NodeId>,
+}
+
+impl Subgraph {
+    /// Builds a subgraph from arbitrary edge ids (deduplicated); the node
+    /// set is the set of endpoints.
+    pub fn from_edges(ont: &Ontology, edges: impl IntoIterator<Item = EdgeId>) -> Self {
+        let edge_set: BTreeSet<EdgeId> = edges.into_iter().collect();
+        let mut node_set: BTreeSet<NodeId> = BTreeSet::new();
+        for &e in &edge_set {
+            let d = ont.edge(e);
+            node_set.insert(d.src);
+            node_set.insert(d.dst);
+        }
+        Self {
+            edges: edge_set.into_iter().collect(),
+            nodes: node_set.into_iter().collect(),
+        }
+    }
+
+    /// Builds a subgraph from edges plus extra (possibly isolated) nodes.
+    pub fn from_parts(
+        ont: &Ontology,
+        edges: impl IntoIterator<Item = EdgeId>,
+        extra_nodes: impl IntoIterator<Item = NodeId>,
+    ) -> Self {
+        let mut sg = Self::from_edges(ont, edges);
+        let mut node_set: BTreeSet<NodeId> = sg.nodes.iter().copied().collect();
+        node_set.extend(extra_nodes);
+        sg.nodes = node_set.into_iter().collect();
+        sg
+    }
+
+    /// A subgraph holding a single isolated node.
+    pub fn single_node(node: NodeId) -> Self {
+        Self {
+            edges: Vec::new(),
+            nodes: vec![node],
+        }
+    }
+
+    /// The sorted edge ids.
+    pub fn edges(&self) -> &[EdgeId] {
+        &self.edges
+    }
+
+    /// The sorted node ids (endpoints plus any isolated nodes).
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the subgraph has no nodes at all.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Whether edge `e` belongs to the subgraph.
+    pub fn contains_edge(&self, e: EdgeId) -> bool {
+        self.edges.binary_search(&e).is_ok()
+    }
+
+    /// Whether node `n` belongs to the subgraph.
+    pub fn contains_node(&self, n: NodeId) -> bool {
+        self.nodes.binary_search(&n).is_ok()
+    }
+
+    /// Set-union of two subgraphs of the same ontology.
+    pub fn union(&self, other: &Subgraph) -> Subgraph {
+        let edges: BTreeSet<EdgeId> = self
+            .edges
+            .iter()
+            .chain(other.edges.iter())
+            .copied()
+            .collect();
+        let nodes: BTreeSet<NodeId> = self
+            .nodes
+            .iter()
+            .chain(other.nodes.iter())
+            .copied()
+            .collect();
+        Subgraph {
+            edges: edges.into_iter().collect(),
+            nodes: nodes.into_iter().collect(),
+        }
+    }
+
+    /// Edges of the subgraph whose source or target is `n`.
+    pub fn incident_edges<'a>(
+        &'a self,
+        ont: &'a Ontology,
+        n: NodeId,
+    ) -> impl Iterator<Item = EdgeId> + 'a {
+        self.edges.iter().copied().filter(move |&e| {
+            let d = ont.edge(e);
+            d.src == n || d.dst == n
+        })
+    }
+
+    /// Renders the subgraph as one `src -pred-> dst` line per edge
+    /// (sorted), listing isolated nodes afterwards. This is the textual
+    /// stand-in for the paper's d3 provenance visualizer.
+    pub fn describe(&self, ont: &Ontology) -> String {
+        let mut lines: Vec<String> = self.edges.iter().map(|&e| ont.describe_edge(e)).collect();
+        for &n in &self.nodes {
+            let isolated = !self.edges.iter().any(|&e| {
+                let d = ont.edge(e);
+                d.src == n || d.dst == n
+            });
+            if isolated {
+                lines.push(format!("{} (isolated)", ont.value_str(n)));
+            }
+        }
+        lines.join("\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixture() -> Ontology {
+        let mut b = Ontology::builder();
+        b.edge("p1", "wb", "Alice").unwrap();
+        b.edge("p1", "wb", "Bob").unwrap();
+        b.edge("p2", "wb", "Bob").unwrap();
+        b.edge("p2", "cites", "p1").unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn from_edges_collects_endpoints_sorted() {
+        let o = fixture();
+        let e0 = EdgeId::new(0);
+        let e3 = EdgeId::new(3);
+        let sg = Subgraph::from_edges(&o, [e3, e0, e0]);
+        assert_eq!(sg.edges(), &[e0, e3]);
+        assert_eq!(sg.edge_count(), 2);
+        // endpoints: p1, Alice, p2
+        assert_eq!(sg.node_count(), 3);
+        assert!(sg.contains_edge(e0));
+        assert!(!sg.contains_edge(EdgeId::new(1)));
+    }
+
+    #[test]
+    fn equality_is_canonical() {
+        let o = fixture();
+        let a = Subgraph::from_edges(&o, [EdgeId::new(1), EdgeId::new(2)]);
+        let b = Subgraph::from_edges(&o, [EdgeId::new(2), EdgeId::new(1)]);
+        assert_eq!(a, b);
+        use std::collections::HashSet;
+        let set: HashSet<Subgraph> = [a, b].into_iter().collect();
+        assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn union_merges_both_sides() {
+        let o = fixture();
+        let a = Subgraph::from_edges(&o, [EdgeId::new(0)]);
+        let b = Subgraph::from_edges(&o, [EdgeId::new(3)]);
+        let u = a.union(&b);
+        assert_eq!(u.edge_count(), 2);
+        assert!(u.contains_edge(EdgeId::new(0)));
+        assert!(u.contains_edge(EdgeId::new(3)));
+    }
+
+    #[test]
+    fn single_node_subgraph_is_isolated() {
+        let o = fixture();
+        let alice = o.node_by_value("Alice").unwrap();
+        let sg = Subgraph::single_node(alice);
+        assert_eq!(sg.edge_count(), 0);
+        assert_eq!(sg.node_count(), 1);
+        assert!(sg.contains_node(alice));
+        assert!(sg.describe(&o).contains("isolated"));
+    }
+
+    #[test]
+    fn from_parts_keeps_extra_nodes() {
+        let o = fixture();
+        let bob = o.node_by_value("Bob").unwrap();
+        let sg = Subgraph::from_parts(&o, [EdgeId::new(0)], [bob]);
+        assert!(sg.contains_node(bob));
+        assert_eq!(sg.node_count(), 3); // p1, Alice, Bob
+    }
+
+    #[test]
+    fn incident_edges_filters_by_endpoint() {
+        let o = fixture();
+        let sg = Subgraph::from_edges(&o, o.edge_ids());
+        let bob = o.node_by_value("Bob").unwrap();
+        let incident: Vec<_> = sg.incident_edges(&o, bob).collect();
+        assert_eq!(incident.len(), 2);
+    }
+
+    #[test]
+    fn describe_lists_each_edge() {
+        let o = fixture();
+        let sg = Subgraph::from_edges(&o, [EdgeId::new(3)]);
+        assert_eq!(sg.describe(&o), "p2 -cites-> p1");
+    }
+}

@@ -1,0 +1,168 @@
+//! A line-oriented text format for ontologies.
+//!
+//! This is the repository's stand-in for RDF serialization: enough to
+//! persist and reload the synthetic benchmark ontologies and to write
+//! small fixtures by hand.
+//!
+//! Grammar (one item per line):
+//!
+//! ```text
+//! # comment — ignored, as are blank lines
+//! @type <value> <TypeName>      declares the type of a node
+//! <src> <pred> <dst>            declares an edge
+//! ```
+//!
+//! Tokens are whitespace-separated and therefore must not contain
+//! whitespace themselves; the synthetic generators use `snake_case`
+//! identifiers so this is never a constraint in practice.
+
+use crate::error::GraphError;
+use crate::ontology::{Ontology, OntologyBuilder};
+
+/// Parses an ontology from the triple text format.
+///
+/// # Errors
+/// Returns a [`GraphError::Parse`] with a 1-based line number on
+/// malformed lines, and the underlying builder error on invariant
+/// violations (duplicate edges, conflicting types).
+pub fn parse(text: &str) -> Result<Ontology, GraphError> {
+    let mut b = OntologyBuilder::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut fields = line.split_whitespace();
+        let first = fields.next().expect("non-empty line has a first token");
+        if first == "@type" {
+            let value = fields.next();
+            let ty = fields.next();
+            match (value, ty, fields.next()) {
+                (Some(v), Some(t), None) => {
+                    b.typed_node(v, t)?;
+                }
+                _ => {
+                    return Err(GraphError::Parse {
+                        line: i + 1,
+                        message: "expected `@type <value> <TypeName>`".to_string(),
+                    })
+                }
+            }
+        } else {
+            let pred = fields.next();
+            let dst = fields.next();
+            match (pred, dst, fields.next()) {
+                (Some(p), Some(d), None) => {
+                    b.edge(first, p, d)?;
+                }
+                _ => {
+                    return Err(GraphError::Parse {
+                        line: i + 1,
+                        message: "expected `<src> <pred> <dst>`".to_string(),
+                    })
+                }
+            }
+        }
+    }
+    Ok(b.build())
+}
+
+/// Serializes an ontology to the triple text format.
+///
+/// Edges come first in id order, then `@type` declarations in node id
+/// order; `parse(serialize(o))` reconstructs an ontology with identical
+/// structure (ids may be renumbered for nodes that only appear in type
+/// declarations).
+pub fn serialize(ont: &Ontology) -> String {
+    let mut out = String::new();
+    for e in ont.edge_ids() {
+        let d = ont.edge(e);
+        out.push_str(ont.value_str(d.src));
+        out.push(' ');
+        out.push_str(ont.pred_str(d.pred));
+        out.push(' ');
+        out.push_str(ont.value_str(d.dst));
+        out.push('\n');
+    }
+    for n in ont.node_ids() {
+        if let Some(t) = ont.node_type(n) {
+            out.push_str("@type ");
+            out.push_str(ont.value_str(n));
+            out.push(' ');
+            out.push_str(ont.type_str(t));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# publications fixture
+paper1 wb Alice
+paper1 wb Bob
+
+paper2 wb Bob
+@type Alice Author
+@type paper1 Paper
+";
+
+    #[test]
+    fn parses_edges_comments_and_types() {
+        let o = parse(SAMPLE).unwrap();
+        assert_eq!(o.edge_count(), 3);
+        assert_eq!(o.node_count(), 4);
+        let alice = o.node_by_value("Alice").unwrap();
+        assert_eq!(o.type_str(o.node_type(alice).unwrap()), "Author");
+        let bob = o.node_by_value("Bob").unwrap();
+        assert!(o.node_type(bob).is_none());
+    }
+
+    #[test]
+    fn round_trips_through_serialize() {
+        let o = parse(SAMPLE).unwrap();
+        let text = serialize(&o);
+        let o2 = parse(&text).unwrap();
+        assert_eq!(o2.edge_count(), o.edge_count());
+        assert_eq!(o2.node_count(), o.node_count());
+        let alice = o2.node_by_value("Alice").unwrap();
+        assert_eq!(o2.type_str(o2.node_type(alice).unwrap()), "Author");
+        // Edge structure is preserved exactly.
+        for e in o.edge_ids() {
+            let d = o.edge(e);
+            let src = o2.node_by_value(o.value_str(d.src)).unwrap();
+            let dst = o2.node_by_value(o.value_str(d.dst)).unwrap();
+            let pred = o2.pred_by_name(o.pred_str(d.pred)).unwrap();
+            assert!(o2.find_edge(src, pred, dst).is_some());
+        }
+    }
+
+    #[test]
+    fn reports_line_numbers_on_malformed_input() {
+        let err = parse("a wb b\nbad line with too many tokens here\n").unwrap_err();
+        match err {
+            GraphError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other}"),
+        }
+        let err = parse("@type onlyvalue\n").unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn propagates_builder_errors() {
+        let err = parse("a wb b\na wb b\n").unwrap_err();
+        assert!(matches!(err, GraphError::DuplicateEdge { .. }));
+        let err = parse("@type x A\n@type x B\n").unwrap_err();
+        assert!(matches!(err, GraphError::ConflictingType { .. }));
+    }
+
+    #[test]
+    fn empty_input_builds_empty_ontology() {
+        let o = parse("\n# nothing\n").unwrap();
+        assert_eq!(o.node_count(), 0);
+        assert_eq!(o.edge_count(), 0);
+    }
+}

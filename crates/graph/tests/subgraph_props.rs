@@ -1,0 +1,85 @@
+//! Property tests for the canonical subgraph algebra.
+
+use proptest::prelude::*;
+use questpro_graph::{EdgeId, Ontology, Subgraph};
+
+fn arb_edges() -> impl Strategy<Value = Vec<(u8, u8, u8)>> {
+    proptest::collection::btree_set((0u8..8, 0u8..2, 0u8..8), 1..20)
+        .prop_map(|s| s.into_iter().collect())
+}
+
+fn build(edges: &[(u8, u8, u8)]) -> Ontology {
+    let mut b = Ontology::builder();
+    for &(s, p, d) in edges {
+        let pred = if p == 0 { "p" } else { "q" };
+        b.edge(&format!("n{s}"), pred, &format!("n{d}"))
+            .expect("unique");
+    }
+    b.build()
+}
+
+fn pick(ont: &Ontology, mask: u32) -> Subgraph {
+    let chosen = ont
+        .edge_ids()
+        .enumerate()
+        .filter(|(i, _)| mask & (1 << (i % 20)) != 0)
+        .map(|(_, e)| e);
+    Subgraph::from_edges(ont, chosen)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Union is commutative, associative, idempotent, with ∅ neutral.
+    #[test]
+    fn union_is_a_semilattice(edges in arb_edges(), m1 in any::<u32>(), m2 in any::<u32>(), m3 in any::<u32>()) {
+        let o = build(&edges);
+        let (a, b, c) = (pick(&o, m1), pick(&o, m2), pick(&o, m3));
+        prop_assert_eq!(a.union(&b), b.union(&a));
+        prop_assert_eq!(a.union(&b).union(&c), a.union(&b.union(&c)));
+        prop_assert_eq!(a.union(&a), a.clone());
+        let empty = Subgraph::from_edges(&o, std::iter::empty::<EdgeId>());
+        prop_assert_eq!(a.union(&empty), a);
+    }
+
+    /// Node sets always cover edge endpoints; membership agrees with
+    /// construction.
+    #[test]
+    fn endpoints_are_always_members(edges in arb_edges(), m in any::<u32>()) {
+        let o = build(&edges);
+        let sg = pick(&o, m);
+        for &e in sg.edges() {
+            let d = o.edge(e);
+            prop_assert!(sg.contains_node(d.src));
+            prop_assert!(sg.contains_node(d.dst));
+        }
+        for e in o.edge_ids() {
+            prop_assert_eq!(sg.contains_edge(e), sg.edges().contains(&e));
+        }
+    }
+
+    /// `incident_edges` partitions exactly the edges touching the node.
+    #[test]
+    fn incident_edges_are_exact(edges in arb_edges(), m in any::<u32>()) {
+        let o = build(&edges);
+        let sg = pick(&o, m);
+        for n in o.node_ids() {
+            let incident: Vec<_> = sg.incident_edges(&o, n).collect();
+            for &e in sg.edges() {
+                let d = o.edge(e);
+                let touches = d.src == n || d.dst == n;
+                prop_assert_eq!(incident.contains(&e), touches);
+            }
+        }
+    }
+
+    /// Serialization of the ontology commutes with subgraph description:
+    /// describing a subgraph never panics and mentions every edge.
+    #[test]
+    fn describe_mentions_every_edge(edges in arb_edges(), m in any::<u32>()) {
+        let o = build(&edges);
+        let sg = pick(&o, m);
+        let text = sg.describe(&o);
+        prop_assert_eq!(text.lines().count(), sg.edge_count());
+    }
+}

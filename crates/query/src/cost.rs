@@ -1,0 +1,74 @@
+//! The minimum-generalization cost function (Definition 4.1).
+//!
+//! `f(Q) = w1 · Σ_{q∈Q} vars(q) + w2 · |Q|` balances per-branch
+//! generality (more variables = looser fit) against the number of union
+//! branches (more branches = over-fit). The paper's worked examples use
+//! `(w1, w2) = (2, 5)` (Example 4.3) and `(1, 7)` (Example 4.4).
+
+/// Weights for the generalization cost function of Definition 4.1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GeneralizationWeights {
+    /// Weight of the total variable count.
+    pub w1: f64,
+    /// Weight of the number of union branches.
+    pub w2: f64,
+}
+
+impl GeneralizationWeights {
+    /// Creates a weight pair.
+    pub fn new(w1: f64, w2: f64) -> Self {
+        Self { w1, w2 }
+    }
+
+    /// The weights of the paper's Example 4.3: `(2, 5)`.
+    pub fn example_4_3() -> Self {
+        Self::new(2.0, 5.0)
+    }
+
+    /// The weights of the paper's Example 4.4: `(1, 7)`.
+    pub fn example_4_4() -> Self {
+        Self::new(1.0, 7.0)
+    }
+
+    /// Evaluates `f` on raw counts.
+    pub fn cost(&self, total_vars: usize, branches: usize) -> f64 {
+        self.w1 * total_vars as f64 + self.w2 * branches as f64
+    }
+}
+
+impl Default for GeneralizationWeights {
+    /// Defaults to the Example 4.3 weights `(2, 5)`.
+    fn default() -> Self {
+        Self::example_4_3()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_example_4_3_arithmetic() {
+        let w = GeneralizationWeights::example_4_3();
+        assert_eq!(w.cost(0, 3), 15.0); // Union(E1,E2,E3)
+        assert_eq!(w.cost(2, 2), 14.0); // Union(Q3, E2)
+        assert_eq!(w.cost(6, 1), 17.0); // Q1 alone
+    }
+
+    #[test]
+    fn matches_example_4_4_arithmetic() {
+        let w = GeneralizationWeights::example_4_4();
+        assert_eq!(w.cost(0, 4), 28.0); // four separate explanations
+        assert_eq!(w.cost(2, 3), 23.0); // Union(Q3, E2, E4)
+        assert_eq!(w.cost(6, 1), 13.0); // Q1
+        assert_eq!(w.cost(4, 2), 18.0); // Union(Q3, Q4)
+    }
+
+    #[test]
+    fn default_is_example_4_3() {
+        assert_eq!(
+            GeneralizationWeights::default(),
+            GeneralizationWeights::example_4_3()
+        );
+    }
+}

@@ -1,0 +1,67 @@
+//! Errors for query construction and parsing.
+
+use std::fmt;
+
+/// Errors raised while building or parsing queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// The projected node was never set or is not a variable.
+    InvalidProjection {
+        /// Description of the problem.
+        message: String,
+    },
+    /// A disequality references a non-variable or a missing node.
+    InvalidDisequality {
+        /// Description of the problem.
+        message: String,
+    },
+    /// A node id does not belong to this query.
+    UnknownNode {
+        /// Description of the missing node.
+        message: String,
+    },
+    /// SPARQL text could not be parsed.
+    Parse {
+        /// Byte offset in the input where the error was detected.
+        at: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// A union query must have at least one branch.
+    EmptyUnion,
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::InvalidProjection { message } => {
+                write!(f, "invalid projection: {message}")
+            }
+            QueryError::InvalidDisequality { message } => {
+                write!(f, "invalid disequality: {message}")
+            }
+            QueryError::UnknownNode { message } => write!(f, "unknown query node: {message}"),
+            QueryError::Parse { at, message } => {
+                write!(f, "SPARQL parse error at byte {at}: {message}")
+            }
+            QueryError::EmptyUnion => write!(f, "a union query needs at least one branch"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_describe_the_problem() {
+        let e = QueryError::Parse {
+            at: 10,
+            message: "expected `}`".into(),
+        };
+        assert!(e.to_string().contains("byte 10"));
+        assert!(QueryError::EmptyUnion.to_string().contains("at least one"));
+    }
+}

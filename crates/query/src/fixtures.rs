@@ -1,0 +1,71 @@
+//! Shared query fixtures from the paper's running example (Figures 2, 4).
+//!
+//! These are used by tests and examples across the workspace; they are
+//! part of the public API so downstream crates can exercise the exact
+//! queries the paper discusses.
+
+use crate::simple::SimpleQuery;
+
+/// `Q1` from Figure 2a: authors with Erdős number 2 — a length-2
+/// co-authorship chain `?a1 —p1— ?a2 —p2— ?a3 —p3— ?a4` projected on
+/// `?a1` (7 variables, 6 of which count for generalization cost).
+pub fn erdos_q1() -> SimpleQuery {
+    let mut b = SimpleQuery::builder();
+    let a1 = b.var("a1");
+    let a2 = b.var("a2");
+    let a3 = b.var("a3");
+    let a4 = b.var("a4");
+    let p1 = b.var("p1");
+    let p2 = b.var("p2");
+    let p3 = b.var("p3");
+    b.edge(p1, "wb", a1)
+        .edge(p1, "wb", a2)
+        .edge(p2, "wb", a2)
+        .edge(p2, "wb", a3)
+        .edge(p3, "wb", a3)
+        .edge(p3, "wb", a4)
+        .project(a1);
+    b.build().expect("fixture is well-formed")
+}
+
+/// `Q2` from Figure 2b: six disjoint `wb` edges with all-fresh variables —
+/// the "uninteresting" consistent query produced by the PTIME algorithm of
+/// Proposition 3.1 for the running example.
+pub fn erdos_q2() -> SimpleQuery {
+    let mut b = SimpleQuery::builder();
+    let proj = b.var("a1");
+    b.project(proj);
+    let mut first = true;
+    for i in 0..6 {
+        let p = b.var(&format!("p{}", i + 1));
+        let a = if first {
+            first = false;
+            proj
+        } else {
+            b.var(&format!("a{}", i + 1))
+        };
+        b.edge(p, "wb", a);
+    }
+    b.build().expect("fixture is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn q1_shape() {
+        let q = erdos_q1();
+        assert_eq!(q.edge_count(), 6);
+        assert_eq!(q.generalization_vars(), 6);
+        assert!(q.is_connected());
+    }
+
+    #[test]
+    fn q2_is_disjoint_edges() {
+        let q = erdos_q2();
+        assert_eq!(q.edge_count(), 6);
+        assert_eq!(q.node_count(), 12);
+        assert!(!q.is_connected());
+    }
+}

@@ -1,0 +1,41 @@
+//! Query model for QuestPro-RS.
+//!
+//! Implements the query fragment of Section II-A of the paper:
+//!
+//! * a **simple SPARQL query** is a basic graph pattern — a directed
+//!   labeled graph whose nodes carry either a *constant* (an ontology
+//!   value) or a *variable* — with a single **projected node** that must
+//!   be a variable ([`SimpleQuery`]);
+//! * a **SPARQL query** is a union of simple queries ([`UnionQuery`]);
+//! * simple queries may carry **disequality** constraints between pairs of
+//!   variables (Section V).
+//!
+//! Every node of a simple query has a distinct label: constants are
+//! deduplicated (two occurrences of the same constant denote the same
+//! node, exactly as in the ontology where values are unique) and each
+//! variable labels exactly one node (a variable shared between triple
+//! patterns *is* one node with several incident edges). This makes the
+//! node↔label correspondence bijective without losing generality.
+//!
+//! Queries are self-contained — constants and predicates are owned
+//! strings, not ontology ids — so they can be printed, parsed, and moved
+//! across ontology instances; the evaluation engine resolves them to ids
+//! once per evaluation.
+//!
+//! The crate also provides the paper's cost function
+//! `f(Q) = w1·Σ_q vars(q) + w2·|Q|` (Def. 4.1) in [`cost`], structural
+//! isomorphism of queries in [`iso`] (used to deduplicate top-k
+//! candidates), and SPARQL text rendering/parsing in [`sparql`].
+
+pub mod cost;
+pub mod error;
+pub mod fixtures;
+pub mod iso;
+pub mod simple;
+pub mod sparql;
+pub mod union;
+
+pub use cost::GeneralizationWeights;
+pub use error::QueryError;
+pub use simple::{NodeLabel, QueryBuilder, QueryEdge, QueryNodeId, SimpleQuery};
+pub use union::UnionQuery;

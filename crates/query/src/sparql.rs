@@ -1,0 +1,549 @@
+//! SPARQL-style concrete syntax for the paper's query fragment.
+//!
+//! The fragment is basic graph patterns with one projected variable,
+//! disequality filters, and unions. Because every branch of a union has
+//! its *own* projected node (Section II-A), the concrete syntax keeps one
+//! `SELECT` per branch and joins branches with a top-level `UNION`:
+//!
+//! ```text
+//! SELECT ?a1 WHERE {
+//!   ?p1 :wb ?a1 .
+//!   ?p1 :wb ?a2 .
+//!   FILTER(?a1 != ?a2) .
+//! }
+//! UNION
+//! SELECT ?x WHERE { :paper1 :wb ?x . }
+//! ```
+//!
+//! Constants are written with a leading `:` (an ontology value), variables
+//! with a leading `?`. OPTIONAL edges render as single-triple blocks,
+//! `OPTIONAL { ?f :genre ?g }`. [`format_simple`]/[`format_union`] render
+//! queries; [`parse_union`] parses them back. Round-tripping preserves
+//! structure exactly (node order may differ; queries stay isomorphic).
+
+use std::fmt::Write as _;
+
+use crate::error::QueryError;
+use crate::simple::{NodeLabel, QueryBuilder, QueryNodeId, SimpleQuery};
+use crate::union::UnionQuery;
+
+/// Renders a simple query as a single `SELECT ... WHERE { ... }` block.
+pub fn format_simple(q: &SimpleQuery) -> String {
+    let mut s = String::new();
+    let proj = match q.label(q.projected()) {
+        NodeLabel::Var(v) => v,
+        NodeLabel::Const(_) => unreachable!("projected node is always a variable"),
+    };
+    let _ = write!(s, "SELECT ?{proj} WHERE {{");
+    let mut items: Vec<String> = Vec::new();
+    for e in q.edges() {
+        let triple = format!("{} :{} {}", q.label(e.src), e.pred, q.label(e.dst));
+        if e.optional {
+            items.push(format!("OPTIONAL {{ {triple} }}"));
+        } else {
+            items.push(triple);
+        }
+    }
+    // A node with no incident edges still has to be mentioned; SPARQL has
+    // no syntax for isolated pattern nodes, so the single-node query is
+    // rendered as a bare variable item (our parser understands it).
+    if q.edges().is_empty() {
+        for n in q.node_ids() {
+            items.push(format!("{}", q.label(n)));
+        }
+    }
+    for &(a, b) in q.diseqs() {
+        items.push(format!("FILTER({} != {})", q.label(a), q.label(b)));
+    }
+    if items.is_empty() {
+        s.push_str(" }");
+        return s;
+    }
+    s.push('\n');
+    for item in items {
+        let _ = writeln!(s, "  {item} .");
+    }
+    s.push('}');
+    s
+}
+
+/// Renders a union query, joining branches with `UNION` lines.
+pub fn format_union(q: &UnionQuery) -> String {
+    q.branches()
+        .iter()
+        .map(format_simple)
+        .collect::<Vec<_>>()
+        .join("\nUNION\n")
+}
+
+impl std::fmt::Display for SimpleQuery {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&format_simple(self))
+    }
+}
+
+impl std::fmt::Display for UnionQuery {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&format_union(self))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Select,
+    Where,
+    Union,
+    Filter,
+    Optional,
+    LBrace,
+    RBrace,
+    LParen,
+    RParen,
+    Dot,
+    Neq,
+    Var(String),
+    Const(String),
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Self {
+            src: src.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, message: impl Into<String>) -> QueryError {
+        QueryError::Parse {
+            at: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.src.len() && self.src[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn ident(&mut self) -> String {
+        let start = self.pos;
+        while self.pos < self.src.len() {
+            let c = self.src[self.pos];
+            if c.is_ascii_alphanumeric() || c == b'_' || c == b'-' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        String::from_utf8_lossy(&self.src[start..self.pos]).into_owned()
+    }
+
+    fn next(&mut self) -> Result<Option<(usize, Tok)>, QueryError> {
+        self.skip_ws();
+        if self.pos >= self.src.len() {
+            return Ok(None);
+        }
+        let at = self.pos;
+        let c = self.src[self.pos];
+        let tok = match c {
+            b'{' => {
+                self.pos += 1;
+                Tok::LBrace
+            }
+            b'}' => {
+                self.pos += 1;
+                Tok::RBrace
+            }
+            b'(' => {
+                self.pos += 1;
+                Tok::LParen
+            }
+            b')' => {
+                self.pos += 1;
+                Tok::RParen
+            }
+            b'.' => {
+                self.pos += 1;
+                Tok::Dot
+            }
+            b'!' => {
+                if self.src.get(self.pos + 1) == Some(&b'=') {
+                    self.pos += 2;
+                    Tok::Neq
+                } else {
+                    return Err(self.err("expected `!=`"));
+                }
+            }
+            b'?' => {
+                self.pos += 1;
+                let name = self.ident();
+                if name.is_empty() {
+                    return Err(self.err("empty variable name after `?`"));
+                }
+                Tok::Var(name)
+            }
+            b':' => {
+                self.pos += 1;
+                let name = self.ident();
+                if name.is_empty() {
+                    return Err(self.err("empty constant after `:`"));
+                }
+                Tok::Const(name)
+            }
+            _ if c.is_ascii_alphabetic() => {
+                let word = self.ident();
+                match word.to_ascii_uppercase().as_str() {
+                    "SELECT" => Tok::Select,
+                    "WHERE" => Tok::Where,
+                    "UNION" => Tok::Union,
+                    "FILTER" => Tok::Filter,
+                    "OPTIONAL" => Tok::Optional,
+                    other => return Err(self.err(format!("unexpected keyword {other:?}"))),
+                }
+            }
+            other => return Err(self.err(format!("unexpected byte {:?}", other as char))),
+        };
+        Ok(Some((at, tok)))
+    }
+}
+
+struct Parser<'a> {
+    lex: Lexer<'a>,
+    peeked: Option<Option<(usize, Tok)>>,
+}
+
+impl<'a> Parser<'a> {
+    fn new(src: &'a str) -> Self {
+        Self {
+            lex: Lexer::new(src),
+            peeked: None,
+        }
+    }
+
+    fn peek(&mut self) -> Result<Option<Tok>, QueryError> {
+        if self.peeked.is_none() {
+            self.peeked = Some(self.lex.next()?);
+        }
+        Ok(self
+            .peeked
+            .as_ref()
+            .expect("just filled")
+            .as_ref()
+            .map(|(_, t)| t.clone()))
+    }
+
+    fn advance(&mut self) -> Result<Option<(usize, Tok)>, QueryError> {
+        match self.peeked.take() {
+            Some(v) => Ok(v),
+            None => self.lex.next(),
+        }
+    }
+
+    fn expect(&mut self, want: Tok) -> Result<(), QueryError> {
+        match self.advance()? {
+            Some((_, ref t)) if *t == want => Ok(()),
+            Some((at, t)) => Err(QueryError::Parse {
+                at,
+                message: format!("expected {want:?}, found {t:?}"),
+            }),
+            None => Err(QueryError::Parse {
+                at: self.lex.pos,
+                message: format!("expected {want:?}, found end of input"),
+            }),
+        }
+    }
+
+    fn term(&mut self, b: &mut QueryBuilder) -> Result<QueryNodeId, QueryError> {
+        match self.advance()? {
+            Some((_, Tok::Var(v))) => Ok(b.var(&v)),
+            Some((_, Tok::Const(c))) => Ok(b.constant(&c)),
+            Some((at, t)) => Err(QueryError::Parse {
+                at,
+                message: format!("expected a term (?var or :const), found {t:?}"),
+            }),
+            None => Err(QueryError::Parse {
+                at: self.lex.pos,
+                message: "expected a term, found end of input".to_string(),
+            }),
+        }
+    }
+
+    fn predicate(&mut self) -> Result<String, QueryError> {
+        match self.advance()? {
+            Some((_, Tok::Const(p))) => Ok(p),
+            Some((at, t)) => Err(QueryError::Parse {
+                at,
+                message: format!("expected :predicate, found {t:?}"),
+            }),
+            None => Err(QueryError::Parse {
+                at: self.lex.pos,
+                message: "expected :predicate".to_string(),
+            }),
+        }
+    }
+
+    fn simple(&mut self) -> Result<SimpleQuery, QueryError> {
+        self.expect(Tok::Select)?;
+        let proj_name = match self.advance()? {
+            Some((_, Tok::Var(v))) => v,
+            Some((at, t)) => {
+                return Err(QueryError::Parse {
+                    at,
+                    message: format!("expected projected ?var, found {t:?}"),
+                })
+            }
+            None => {
+                return Err(QueryError::Parse {
+                    at: self.lex.pos,
+                    message: "expected projected ?var".to_string(),
+                })
+            }
+        };
+        self.expect(Tok::Where)?;
+        self.expect(Tok::LBrace)?;
+        let mut b = QueryBuilder::new();
+        let proj = b.var(&proj_name);
+        b.project(proj);
+        loop {
+            match self.peek()? {
+                Some(Tok::RBrace) => {
+                    self.advance()?;
+                    break;
+                }
+                Some(Tok::Filter) => {
+                    self.advance()?;
+                    self.expect(Tok::LParen)?;
+                    let a = self.term(&mut b)?;
+                    self.expect(Tok::Neq)?;
+                    let c = self.term(&mut b)?;
+                    self.expect(Tok::RParen)?;
+                    b.diseq(a, c);
+                    self.optional_dot()?;
+                }
+                Some(Tok::Optional) => {
+                    self.advance()?;
+                    self.expect(Tok::LBrace)?;
+                    let s = self.term(&mut b)?;
+                    let pred = self.predicate()?;
+                    let d = self.term(&mut b)?;
+                    self.optional_dot()?;
+                    self.expect(Tok::RBrace)?;
+                    b.optional_edge(s, &pred, d);
+                    self.optional_dot()?;
+                }
+                Some(_) => {
+                    let s = self.term(&mut b)?;
+                    // A bare term followed by `.`/`}` is an isolated node.
+                    match self.peek()? {
+                        Some(Tok::Dot) | Some(Tok::RBrace) => {
+                            self.optional_dot()?;
+                            continue;
+                        }
+                        _ => {}
+                    }
+                    let pred = self.predicate()?;
+                    let d = self.term(&mut b)?;
+                    b.edge(s, &pred, d);
+                    self.optional_dot()?;
+                }
+                None => {
+                    return Err(QueryError::Parse {
+                        at: self.lex.pos,
+                        message: "unterminated pattern: expected `}`".to_string(),
+                    })
+                }
+            }
+        }
+        b.build()
+    }
+
+    fn optional_dot(&mut self) -> Result<(), QueryError> {
+        if self.peek()? == Some(Tok::Dot) {
+            self.advance()?;
+        }
+        Ok(())
+    }
+
+    fn union(&mut self) -> Result<UnionQuery, QueryError> {
+        let mut branches = vec![self.simple()?];
+        loop {
+            match self.peek()? {
+                Some(Tok::Union) => {
+                    self.advance()?;
+                    branches.push(self.simple()?);
+                }
+                None => break,
+                Some(t) => {
+                    return Err(QueryError::Parse {
+                        at: self.lex.pos,
+                        message: format!("expected UNION or end of input, found {t:?}"),
+                    })
+                }
+            }
+        }
+        UnionQuery::new(branches)
+    }
+}
+
+/// Parses a simple query (a single `SELECT ... WHERE { ... }`).
+///
+/// # Errors
+/// Returns a [`QueryError::Parse`] pointing at the offending byte.
+pub fn parse_simple(src: &str) -> Result<SimpleQuery, QueryError> {
+    let mut p = Parser::new(src);
+    let q = p.simple()?;
+    if let Some(t) = p.peek()? {
+        return Err(QueryError::Parse {
+            at: p.lex.pos,
+            message: format!("trailing input after query: {t:?}"),
+        });
+    }
+    Ok(q)
+}
+
+/// Parses a union query (`SELECT...` blocks joined by `UNION`).
+///
+/// ```
+/// use questpro_query::sparql::parse_union;
+///
+/// let q = parse_union(
+///     "SELECT ?x WHERE { ?p :wb ?x . ?p :wb :Erdos . FILTER(?x != :Erdos) }\n\
+///      UNION\n\
+///      SELECT ?y WHERE { ?y :wb :Solo . OPTIONAL { ?y :year ?when } }",
+/// ).unwrap();
+/// assert_eq!(q.len(), 2);
+/// assert_eq!(q.diseq_count(), 1);
+/// assert_eq!(q.branches()[1].optional_edge_count(), 1);
+/// ```
+///
+/// # Errors
+/// Returns a [`QueryError::Parse`] pointing at the offending byte.
+pub fn parse_union(src: &str) -> Result<UnionQuery, QueryError> {
+    Parser::new(src).union()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::{erdos_q1, erdos_q2};
+    use crate::iso::{isomorphic, union_isomorphic};
+
+    #[test]
+    fn q1_round_trips() {
+        let q = erdos_q1();
+        let text = format_simple(&q);
+        assert!(text.starts_with("SELECT ?a1 WHERE {"));
+        assert!(text.contains("?p1 :wb ?a1 ."));
+        let back = parse_simple(&text).unwrap();
+        assert!(isomorphic(&q, &back));
+    }
+
+    #[test]
+    fn diseq_filters_round_trip() {
+        let mut b = SimpleQuery::builder();
+        let x = b.var("x");
+        let y = b.var("y");
+        let p = b.var("p");
+        b.edge(p, "wb", x).edge(p, "wb", y).project(x).diseq(x, y);
+        let q = b.build().unwrap();
+        let text = format_simple(&q);
+        assert!(text.contains("FILTER(?x != ?y)"));
+        let back = parse_simple(&text).unwrap();
+        assert!(isomorphic(&q, &back));
+    }
+
+    #[test]
+    fn constants_round_trip() {
+        let src = "SELECT ?a WHERE { ?p :wb ?a . ?p :wb :Erdos . }";
+        let q = parse_simple(src).unwrap();
+        assert_eq!(q.edge_count(), 2);
+        assert!(q.node_of_const("Erdos").is_some());
+        let back = parse_simple(&format_simple(&q)).unwrap();
+        assert!(isomorphic(&q, &back));
+    }
+
+    #[test]
+    fn union_round_trips() {
+        let u = UnionQuery::new(vec![erdos_q1(), erdos_q2()]).unwrap();
+        let text = format_union(&u);
+        assert!(text.contains("\nUNION\n"));
+        let back = parse_union(&text).unwrap();
+        assert!(union_isomorphic(&u, &back));
+    }
+
+    #[test]
+    fn single_node_query_round_trips() {
+        let mut b = SimpleQuery::builder();
+        let x = b.var("x");
+        b.project(x);
+        let q = b.build().unwrap();
+        let text = format_simple(&q);
+        let back = parse_simple(&text).unwrap();
+        assert!(isomorphic(&q, &back));
+    }
+
+    #[test]
+    fn optional_edges_round_trip() {
+        let mut b = SimpleQuery::builder();
+        let f = b.var("f");
+        let a = b.var("a");
+        let g = b.var("g");
+        b.edge(f, "starring", a)
+            .optional_edge(f, "genre", g)
+            .project(a);
+        let q = b.build().unwrap();
+        let text = format_simple(&q);
+        assert!(text.contains("OPTIONAL { ?f :genre ?g }"), "{text}");
+        let back = parse_simple(&text).unwrap();
+        assert!(isomorphic(&q, &back));
+        assert_eq!(back.optional_edge_count(), 1);
+        // Optionality matters for isomorphism.
+        let mut b = SimpleQuery::builder();
+        let f = b.var("f");
+        let a = b.var("a");
+        let g = b.var("g");
+        b.edge(f, "starring", a).edge(f, "genre", g).project(a);
+        let required = b.build().unwrap();
+        assert!(!isomorphic(&q, &required));
+    }
+
+    #[test]
+    fn parse_errors_carry_position() {
+        let err = parse_simple("SELECT ?x WHERE { ?x :p }").unwrap_err();
+        assert!(matches!(err, QueryError::Parse { .. }));
+        let err = parse_simple("SELECT :c WHERE { }").unwrap_err();
+        assert!(err.to_string().contains("projected"));
+        let err = parse_simple("SELECT ?x WHERE { ?x :p ?y . ").unwrap_err();
+        assert!(err.to_string().contains("unterminated") || err.to_string().contains("`}`"));
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let err = parse_simple("SELECT ?x WHERE { } SELECT").unwrap_err();
+        assert!(err.to_string().contains("trailing"));
+    }
+
+    #[test]
+    fn case_insensitive_keywords() {
+        let q = parse_simple("select ?x where { ?x :p ?y . }").unwrap();
+        assert_eq!(q.edge_count(), 1);
+    }
+
+    #[test]
+    fn display_impls_delegate_to_formatters() {
+        let q = erdos_q2();
+        assert_eq!(q.to_string(), format_simple(&q));
+        let u = UnionQuery::single(erdos_q1());
+        assert_eq!(u.to_string(), format_union(&u));
+    }
+}

@@ -1,0 +1,159 @@
+//! Union queries: collections of simple queries evaluated as a union.
+
+use questpro_graph::{ExampleSet, Ontology};
+
+use crate::cost::GeneralizationWeights;
+use crate::error::QueryError;
+use crate::simple::SimpleQuery;
+
+/// A SPARQL query in the paper's fragment: a union of simple queries.
+///
+/// The output of `Union(q1..qn)` on an ontology is `q1(O) ∪ … ∪ qn(O)`,
+/// and the provenance of a result is the union of its provenance sets
+/// w.r.t. each branch (Section II-B).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnionQuery {
+    branches: Vec<SimpleQuery>,
+}
+
+impl UnionQuery {
+    /// Wraps branches into a union query.
+    ///
+    /// # Errors
+    /// Fails if `branches` is empty.
+    pub fn new(branches: Vec<SimpleQuery>) -> Result<Self, QueryError> {
+        if branches.is_empty() {
+            return Err(QueryError::EmptyUnion);
+        }
+        Ok(Self { branches })
+    }
+
+    /// A union of a single simple query.
+    pub fn single(q: SimpleQuery) -> Self {
+        Self { branches: vec![q] }
+    }
+
+    /// The paper's `Union(Ex)` over-fit baseline: one constants-only
+    /// trivial branch per explanation (Section IV).
+    pub fn trivial(ont: &Ontology, examples: &ExampleSet) -> Result<Self, QueryError> {
+        let branches = examples
+            .iter()
+            .map(|ex| SimpleQuery::from_explanation(ont, ex))
+            .collect();
+        Self::new(branches)
+    }
+
+    /// The branches of the union.
+    pub fn branches(&self) -> &[SimpleQuery] {
+        &self.branches
+    }
+
+    /// Number of branches (`|Q|` in Def. 4.1).
+    pub fn len(&self) -> usize {
+        self.branches.len()
+    }
+
+    /// Whether the union has no branches (never true for a constructed
+    /// value; present for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.branches.is_empty()
+    }
+
+    /// Total generalization variables across branches
+    /// (`Σ_q vars(q)` in Def. 4.1).
+    pub fn total_vars(&self) -> usize {
+        self.branches.iter().map(|q| q.generalization_vars()).sum()
+    }
+
+    /// The minimum-generalization cost `f(Q) = w1·Σvars + w2·|Q|`
+    /// (Def. 4.1).
+    pub fn cost(&self, w: GeneralizationWeights) -> f64 {
+        w.w1 * self.total_vars() as f64 + w.w2 * self.branches.len() as f64
+    }
+
+    /// A copy with every branch stripped of disequalities (`Q^no`).
+    pub fn without_diseqs(&self) -> UnionQuery {
+        UnionQuery {
+            branches: self
+                .branches
+                .iter()
+                .map(SimpleQuery::without_diseqs)
+                .collect(),
+        }
+    }
+
+    /// Total number of disequalities across branches.
+    pub fn diseq_count(&self) -> usize {
+        self.branches.iter().map(|b| b.diseqs().len()).sum()
+    }
+
+    /// Consumes the union, returning its branches.
+    pub fn into_branches(self) -> Vec<SimpleQuery> {
+        self.branches
+    }
+}
+
+impl From<SimpleQuery> for UnionQuery {
+    fn from(q: SimpleQuery) -> Self {
+        UnionQuery::single(q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use questpro_graph::Explanation;
+
+    fn fixture() -> (Ontology, ExampleSet) {
+        let mut b = Ontology::builder();
+        b.edge("p1", "wb", "Alice").unwrap();
+        b.edge("p1", "wb", "Bob").unwrap();
+        b.edge("p2", "wb", "Carol").unwrap();
+        let o = b.build();
+        let e1 = Explanation::from_triples(&o, &[("p1", "wb", "Alice")], "Alice").unwrap();
+        let e2 = Explanation::from_triples(&o, &[("p2", "wb", "Carol")], "Carol").unwrap();
+        let set = ExampleSet::from_explanations(vec![e1, e2]);
+        (o, set)
+    }
+
+    #[test]
+    fn empty_union_is_rejected() {
+        assert!(matches!(
+            UnionQuery::new(vec![]),
+            Err(QueryError::EmptyUnion)
+        ));
+    }
+
+    #[test]
+    fn trivial_union_has_zero_vars_and_branch_per_explanation() {
+        let (o, set) = fixture();
+        let u = UnionQuery::trivial(&o, &set).unwrap();
+        assert_eq!(u.len(), 2);
+        assert_eq!(u.total_vars(), 0);
+        // Example 4.2: f(Union(E1,E2)) = w1·0 + w2·2.
+        let w = GeneralizationWeights::new(2.0, 5.0);
+        assert_eq!(u.cost(w), 10.0);
+    }
+
+    #[test]
+    fn cost_reflects_example_4_3_numbers() {
+        // Q1 has 6 generalization variables; with w1=2, w2=5 its union
+        // cost as a single branch is 2·6 + 5 = 17 (Example 4.3).
+        let q1 = crate::fixtures::erdos_q1();
+        let u = UnionQuery::single(q1);
+        let w = GeneralizationWeights::new(2.0, 5.0);
+        assert_eq!(u.cost(w), 17.0);
+    }
+
+    #[test]
+    fn without_diseqs_strips_all_branches() {
+        let mut b = SimpleQuery::builder();
+        let x = b.var("x");
+        let y = b.var("y");
+        b.edge(x, "p", y).project(x).diseq(x, y);
+        let q = b.build().unwrap();
+        let u = UnionQuery::single(q);
+        assert_eq!(u.diseq_count(), 1);
+        assert_eq!(u.without_diseqs().diseq_count(), 0);
+    }
+}

@@ -1,0 +1,83 @@
+//! The paper's running example, end to end (Figures 1–4, Examples
+//! 4.3/4.4/5.5): infer top-k candidate queries from the four Erdős
+//! explanations, augment them with disequalities, and let a simulated
+//! user choose between them through provenance-backed questions.
+//!
+//! Run with: `cargo run --example erdos_number`
+
+use questpro::data::{erdos_example_set, erdos_ontology};
+use questpro::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let ont = erdos_ontology();
+    let examples = erdos_example_set(&ont);
+    println!("== Example-set (Figure 1) ==");
+    for (i, ex) in examples.iter().enumerate() {
+        println!("\nE{}:\n{}", i + 1, ex.describe(&ont));
+    }
+
+    // Top-3 inference with the weights of Example 4.4 (w1=1, w2=7).
+    let cfg = TopKConfig {
+        k: 3,
+        weights: GeneralizationWeights::example_4_4(),
+        ..Default::default()
+    };
+    let (candidates, stats) = infer_top_k(&ont, &examples, &cfg);
+    println!("\n== Top-{} candidates (Example 4.4 weights) ==", cfg.k);
+    for (i, q) in candidates.iter().enumerate() {
+        println!(
+            "\n#{} cost {:.0}, {} branch(es):\n{}",
+            i + 1,
+            q.cost(cfg.weights),
+            q.len(),
+            q
+        );
+        assert!(consistent_with_examples(&ont, q, &examples));
+    }
+    println!(
+        "\n(Algorithm 1 invoked {} times over {} rounds)",
+        stats.algorithm1_calls, stats.rounds
+    );
+
+    // Disequalities (Example 5.1).
+    println!("\n== With all admissible disequalities ==");
+    for (i, q) in candidates.iter().enumerate() {
+        let q_all = with_all_diseqs(&ont, q, &examples);
+        println!("#{}: {} disequalities", i + 1, q_all.diseq_count());
+    }
+
+    // Feedback (Algorithm 3 / Example 5.5): the user intends the
+    // lowest-cost candidate; watch the loop converge on it.
+    let intended = candidates[0].clone();
+    let mut oracle = TargetOracle::new(intended.clone());
+    let mut rng = StdRng::seed_from_u64(55);
+    let outcome = choose_query(
+        &ont,
+        &candidates,
+        &examples,
+        &mut oracle,
+        &mut rng,
+        &FeedbackConfig::default(),
+    );
+    println!("\n== Feedback transcript ==");
+    for (i, rec) in outcome.transcript.iter().enumerate() {
+        println!(
+            "\nQ{}: should {} be a result? Its provenance:\n{}\n→ user says {}",
+            i + 1,
+            ont.value_str(rec.result),
+            rec.provenance.describe(&ont),
+            if rec.answer { "yes" } else { "no" },
+        );
+    }
+    println!(
+        "\nChosen query (candidate #{}):\n{}",
+        outcome.chosen_index + 1,
+        outcome.chosen
+    );
+    assert!(union_equivalent(
+        &outcome.chosen.without_diseqs(),
+        &intended.without_diseqs()
+    ));
+}

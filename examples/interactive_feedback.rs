@@ -1,0 +1,90 @@
+//! A terminal rendition of the QuestPro feedback UI (Figure 5's right
+//! half): the provenance of each difference result is displayed as a
+//! small graph, and the "user" — here a simulated oracle whose intent is
+//! the movie query *actors in more than one Tarantino film* — answers
+//! yes/no until one candidate query survives. The same loop then
+//! refines the disequalities.
+//!
+//! Run with: `cargo run --example interactive_feedback`
+
+use questpro::data::{generate_movies, movie_workload, MoviesConfig};
+use questpro::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let ont = generate_movies(&MoviesConfig::default());
+    let intended = movie_workload()
+        .into_iter()
+        .find(|w| w.id == "m6")
+        .expect("m6 is in the catalog")
+        .query;
+    println!("Hidden user intent: actors in more than one Tarantino film\n");
+
+    // The user supplies examples with explanations, sampled here from
+    // the intended query's provenance.
+    let mut rng = StdRng::seed_from_u64(66);
+    let examples = sample_example_set(&ont, &intended, 3, &mut rng, 6);
+    println!("== The user's explanations ==");
+    for (i, ex) in examples.iter().enumerate() {
+        println!("\nExample {}:\n{}", i + 1, ex.describe(&ont));
+    }
+
+    let mut oracle = TargetOracle::new(intended.clone());
+    let cfg = SessionConfig {
+        topk: TopKConfig {
+            k: 3,
+            ..Default::default()
+        },
+        refine: true,
+        ..Default::default()
+    };
+    let result = run_session(&ont, &examples, &mut oracle, &mut rng, &cfg);
+
+    println!("\n== Candidates inferred ==");
+    for (i, c) in result.candidates.iter().enumerate() {
+        println!("\n#{}:\n{}", i + 1, c);
+    }
+
+    println!("\n== Dialogue ==");
+    if result.selection_transcript.is_empty() {
+        println!("(no questions needed — one candidate dominated)");
+    }
+    for rec in &result.selection_transcript {
+        println!(
+            "\nSystem: Should \"{}\" be in your results? Because:\n{}",
+            ont.value_str(rec.result),
+            indent(&rec.provenance.describe(&ont))
+        );
+        println!("User:   {}", if rec.answer { "yes" } else { "no" });
+    }
+    println!(
+        "\n({} refinement question(s) about disequalities)",
+        result.refinement_questions
+    );
+
+    println!("\n== Final query ==\n{}", result.query);
+    let final_results = evaluate_union(&ont, &result.query);
+    let intended_results = evaluate_union(&ont, &intended);
+    println!(
+        "\nFinal results:   {:?}",
+        final_results
+            .iter()
+            .map(|&n| ont.value_str(n))
+            .collect::<Vec<_>>()
+    );
+    println!(
+        "Intended results: {:?}",
+        intended_results
+            .iter()
+            .map(|&n| ont.value_str(n))
+            .collect::<Vec<_>>()
+    );
+}
+
+fn indent(s: &str) -> String {
+    s.lines()
+        .map(|l| format!("        {l}"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}

@@ -1,0 +1,43 @@
+//! Semiring provenance polynomials: the algebraic view of Def. 2.4's
+//! provenance graphs (Green–Karvounarakis–Tannen style, the relational
+//! companion the paper cites). Each ontology edge is an indeterminate;
+//! alternative derivations add, joint uses multiply — and deletion
+//! propagation is just boolean evaluation.
+//!
+//! Run with: `cargo run --example provenance_polynomials`
+
+use questpro::prelude::*;
+
+fn main() {
+    let ont = questpro::data::erdos_ontology();
+
+    // Co-authors of Erdős.
+    let mut b = QueryBuilder::new();
+    let x = b.var("x");
+    let p = b.var("p");
+    let e = b.constant("Erdos");
+    b.edge(p, "wb", x).edge(p, "wb", e).project(x);
+    let q = b.build().expect("well-formed");
+
+    println!("query:\n{q}\n");
+    for &res in evaluate(&ont, &q).iter() {
+        let poly = polynomial_of(&ont, &q, res, None);
+        println!("prov({}) = {}", ont.value_str(res), poly.describe(&ont));
+    }
+
+    // Deletion propagation: does Erdős remain a result if paper3 is
+    // retracted? (He co-authored papers 4, 7, 9, 10 too.)
+    let erdos = ont.node_by_value("Erdos").expect("anchor");
+    let poly = polynomial_of(&ont, &q, erdos, None);
+    let paper3 = ont.node_by_value("paper3").expect("anchor");
+    let without_paper3 = |edge| ont.edge(edge).src != paper3;
+    println!(
+        "\nretract paper3 → Erdos still derivable? {}",
+        poly.survives(&without_paper3)
+    );
+    let drop_all = |_| false;
+    println!(
+        "retract everything → Erdos still derivable? {}",
+        poly.survives(&drop_all)
+    );
+}

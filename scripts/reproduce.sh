@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Regenerates every experiment of EXPERIMENTS.md into results/, then runs
+# the full test suite and the Criterion benches.
+#
+# Usage: scripts/reproduce.sh [results-dir]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+out="${1:-results}"
+mkdir -p "$out"
+
+echo "== building (release) =="
+cargo build --release -p questpro-bench --bins
+
+for exp in explanations_needed runtime intermediate_vs_explanations \
+           intermediate_vs_k table1_movies user_study \
+           feedback_convergence scaling optimality_gap; do
+  echo "== exp_$exp =="
+  "./target/release/exp_$exp" | tee "$out/exp_$exp.md"
+done
+
+echo "== tests =="
+cargo test --workspace 2>&1 | tee "$out/test_output.txt"
+
+echo "== benches =="
+cargo bench -p questpro-bench 2>&1 | tee "$out/bench_output.txt"
+
+echo "done — outputs in $out/"

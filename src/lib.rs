@@ -1,0 +1,74 @@
+//! # QuestPro-RS
+//!
+//! A from-scratch Rust reproduction of *Interactive Inference of SPARQL
+//! Queries Using Provenance* (Abramovitz, Deutch, Gilad — ICDE 2018):
+//! infer SPARQL graph-pattern queries from output examples annotated
+//! with provenance, then converge on the intended query through
+//! provenance-backed interactive feedback.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use questpro::prelude::*;
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! // The paper's running example: the Erdős co-authorship world.
+//! let ont = questpro::data::erdos_ontology();
+//! let examples = questpro::data::erdos_example_set(&ont);
+//!
+//! // Infer the top-3 candidate queries from the four explanations.
+//! let cfg = TopKConfig { k: 3, ..Default::default() };
+//! let (candidates, _stats) = infer_top_k(&ont, &examples, &cfg);
+//! assert!(!candidates.is_empty());
+//!
+//! // Let a (simulated) user pick among them via difference questions.
+//! let intended = candidates[0].clone();
+//! let mut oracle = TargetOracle::new(intended);
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let outcome = choose_query(
+//!     &ont, &candidates, &examples, &mut oracle, &mut rng,
+//!     &FeedbackConfig::default(),
+//! );
+//! println!("{}", outcome.chosen);
+//! ```
+//!
+//! ## Crate map
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`graph`] | ontology model: labeled multigraphs, explanations, subgraphs |
+//! | [`query`] | simple/union graph-pattern queries, disequalities, SPARQL text |
+//! | [`engine`] | matching, evaluation, provenance, consistency, containment |
+//! | [`core`] | the inference algorithms of Sections III–IV |
+//! | [`feedback`] | Algorithm 3, oracles, refinement, sessions, study simulation |
+//! | [`data`] | synthetic SP2B / BSBM / DBpedia-movie worlds and workloads |
+
+pub use questpro_core as core;
+pub use questpro_data as data;
+pub use questpro_engine as engine;
+pub use questpro_feedback as feedback;
+pub use questpro_graph as graph;
+pub use questpro_query as query;
+
+/// One-stop imports for typical use of the library.
+pub mod prelude {
+    pub use questpro_core::{
+        diagnose_examples, find_consistent_union, infer_diseqs, infer_top_k, infer_top_k_robust,
+        with_all_diseqs, ExampleDiagnosis, GainWeights, GreedyConfig, InferenceStats, Suspicion,
+        TopKConfig, UnionConfig,
+    };
+    pub use questpro_engine::{
+        consistent_with_examples, consistent_with_explanation, difference, evaluate,
+        evaluate_union, minimize, polynomial_of, polynomial_of_union, provenance_of,
+        provenance_of_union, sample_example_set, union_equivalent, Match, Matcher, Polynomial,
+    };
+    pub use questpro_feedback::{
+        choose_query, refine_diseqs, run_session, FeedbackConfig, NoisyOracle, Oracle,
+        ScriptedOracle, SessionConfig, TargetOracle,
+    };
+    pub use questpro_graph::{ExampleSet, Explanation, Ontology, OntologyBuilder, Subgraph};
+    pub use questpro_query::{
+        GeneralizationWeights, NodeLabel, QueryBuilder, SimpleQuery, UnionQuery,
+    };
+}

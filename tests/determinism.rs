@@ -1,0 +1,106 @@
+//! Determinism guarantees: equal seeds and inputs must reproduce every
+//! pipeline stage bit-for-bit — the property all experiment numbers in
+//! EXPERIMENTS.md rest on.
+
+use questpro::data::*;
+use questpro::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn generators_are_reproducible() {
+    for _ in 0..2 {
+        let a = generate_sp2b(&Sp2bConfig::default());
+        let b = generate_sp2b(&Sp2bConfig::default());
+        assert_eq!(a.edge_count(), b.edge_count());
+    }
+    let a = generate_bsbm(&BsbmConfig::default());
+    let b = generate_bsbm(&BsbmConfig::default());
+    assert_eq!(a.edge_count(), b.edge_count());
+    let a = generate_movies(&MoviesConfig::default());
+    let b = generate_movies(&MoviesConfig::default());
+    assert_eq!(a.edge_count(), b.edge_count());
+}
+
+#[test]
+fn sampling_and_inference_are_seed_deterministic() {
+    let ont = generate_sp2b(&Sp2bConfig {
+        authors: 100,
+        articles: 150,
+        inproceedings: 80,
+        ..Default::default()
+    });
+    let target = sp2b_workload()
+        .into_iter()
+        .find(|w| w.id == "q8a")
+        .expect("q8a in catalog")
+        .query;
+    let run = |seed: u64| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let examples = sample_example_set(&ont, &target, 4, &mut rng, 6);
+        let (candidates, stats) = infer_top_k(&ont, &examples, &TopKConfig::default());
+        (
+            examples,
+            candidates
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>(),
+            stats,
+        )
+    };
+    let (e1, c1, s1) = run(99);
+    let (e2, c2, s2) = run(99);
+    assert_eq!(e1, e2);
+    assert_eq!(c1, c2);
+    assert_eq!(s1, s2);
+    // A different seed draws different examples.
+    let (e3, _, _) = run(100);
+    assert_ne!(e1, e3);
+}
+
+#[test]
+fn sessions_are_seed_deterministic() {
+    let ont = erdos_ontology();
+    let examples = erdos_example_set(&ont);
+    let target = {
+        let mut b = QueryBuilder::new();
+        let x = b.var("x");
+        let p = b.var("p");
+        let e = b.constant("Erdos");
+        b.edge(p, "wb", x).edge(p, "wb", e).project(x);
+        UnionQuery::single(b.build().expect("well-formed"))
+    };
+    let run = |seed: u64| {
+        let mut oracle = TargetOracle::new(target.clone());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = SessionConfig {
+            refine: true,
+            ..Default::default()
+        };
+        let r = run_session(&ont, &examples, &mut oracle, &mut rng, &cfg);
+        (
+            r.query.to_string(),
+            r.selection_transcript.len(),
+            r.refinement_questions,
+        )
+    };
+    assert_eq!(run(7), run(7));
+}
+
+#[test]
+fn study_reports_are_seed_deterministic() {
+    use questpro::feedback::{simulate_study, StudyConfig};
+    let ont = generate_movies(&MoviesConfig::default());
+    let targets: Vec<UnionQuery> = movie_workload().into_iter().map(|w| w.query).collect();
+    let cfg = StudyConfig {
+        users: 3,
+        interactions_per_user: 2,
+        ..Default::default()
+    };
+    let run = |seed: u64| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let r = simulate_study(&ont, &targets, &cfg, &mut rng);
+        (r.successes(), r.redo_successes(), r.failures())
+    };
+    assert_eq!(run(5), run(5));
+}

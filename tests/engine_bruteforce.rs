@@ -1,0 +1,145 @@
+//! Cross-validation of the backtracking matcher against a brute-force
+//! reference: enumerate *all* node assignments naively and check edge
+//! constraints last. The optimized engine must produce exactly the same
+//! result sets and match counts.
+
+use proptest::prelude::*;
+
+use questpro::prelude::*;
+use questpro::query::QueryNodeId;
+
+fn arb_edges() -> impl Strategy<Value = Vec<(u8, u8, u8)>> {
+    proptest::collection::btree_set((0u8..6, 0u8..2, 0u8..6), 1..14)
+        .prop_map(|s| s.into_iter().collect())
+}
+
+fn build_ontology(edges: &[(u8, u8, u8)]) -> Ontology {
+    let mut b = Ontology::builder();
+    for &(s, p, d) in edges {
+        let pred = if p == 0 { "p" } else { "q" };
+        b.edge(&format!("n{s}"), pred, &format!("n{d}"))
+            .expect("unique edges");
+    }
+    b.build()
+}
+
+/// A random small query: a handful of variable nodes, optional constant,
+/// random edges between them, random diseqs.
+#[derive(Debug, Clone)]
+struct QuerySpec {
+    nodes: usize,
+    constant: Option<u8>,
+    edges: Vec<(u8, u8, u8)>,
+    diseq: Option<(u8, u8)>,
+    projected: u8,
+}
+
+fn arb_query_spec() -> impl Strategy<Value = QuerySpec> {
+    (
+        2usize..5,
+        proptest::option::of(0u8..6),
+        proptest::collection::vec((0u8..5, 0u8..2, 0u8..5), 1..5),
+        proptest::option::of((0u8..5, 0u8..5)),
+        0u8..5,
+    )
+        .prop_map(|(nodes, constant, edges, diseq, projected)| QuerySpec {
+            nodes,
+            constant,
+            edges,
+            diseq,
+            projected,
+        })
+}
+
+/// Builds the query; returns `None` when the spec is degenerate (e.g.
+/// projection on the constant).
+fn build_query(spec: &QuerySpec) -> Option<SimpleQuery> {
+    let mut b = QueryBuilder::new();
+    let total = spec.nodes + spec.constant.is_some() as usize;
+    let mut ids = Vec::new();
+    for i in 0..spec.nodes {
+        ids.push(b.var(&format!("x{i}")));
+    }
+    if let Some(c) = spec.constant {
+        ids.push(b.constant(&format!("n{c}")));
+    }
+    let pick = |i: u8| ids[i as usize % total];
+    for &(s, p, d) in &spec.edges {
+        let pred = if p == 0 { "p" } else { "q" };
+        b.edge(pick(s), pred, pick(d));
+    }
+    b.project(pick(spec.projected));
+    if let Some((x, y)) = spec.diseq {
+        if pick(x) != pick(y) {
+            b.diseq(pick(x), pick(y));
+        }
+    }
+    b.build().ok()
+}
+
+/// Reference semantics: try every total node assignment.
+fn brute_force(
+    ont: &Ontology,
+    q: &SimpleQuery,
+) -> (std::collections::BTreeSet<questpro::graph::NodeId>, u64) {
+    let nodes: Vec<_> = ont.node_ids().collect();
+    let k = q.node_count();
+    let mut results = std::collections::BTreeSet::new();
+    let mut count = 0u64;
+    let mut assign = vec![0usize; k];
+    'outer: loop {
+        // Check the assignment.
+        let ok = (0..k).all(|i| {
+            let qi = QueryNodeId::from_index(i);
+            match q.label(qi).as_const() {
+                Some(c) => ont.value_str(nodes[assign[i]]) == c,
+                None => true,
+            }
+        }) && q.edges().iter().all(|e| {
+            let s = nodes[assign[e.src.index()]];
+            let d = nodes[assign[e.dst.index()]];
+            ont.pred_by_name(&e.pred)
+                .and_then(|p| ont.find_edge(s, p, d))
+                .is_some()
+        }) && q
+            .diseqs()
+            .iter()
+            .all(|&(a, bnode)| nodes[assign[a.index()]] != nodes[assign[bnode.index()]]);
+        if ok {
+            count += 1;
+            results.insert(nodes[assign[q.projected().index()]]);
+        }
+        // Next assignment (odometer).
+        for slot in (0..k).rev() {
+            assign[slot] += 1;
+            if assign[slot] < nodes.len() {
+                continue 'outer;
+            }
+            assign[slot] = 0;
+        }
+        break;
+    }
+    (results, count)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The optimized matcher agrees with the brute-force reference on
+    /// result sets and on the number of homomorphisms.
+    #[test]
+    fn matcher_matches_bruteforce(
+        edges in arb_edges(),
+        spec in arb_query_spec(),
+    ) {
+        let o = build_ontology(&edges);
+        let Some(q) = build_query(&spec) else { return Ok(()) };
+        let (expected_results, expected_count) = brute_force(&o, &q);
+        let got_results = evaluate(&o, &q);
+        prop_assert_eq!(&got_results, &expected_results,
+            "result sets differ for {}", q);
+        let got_count = Matcher::new(&o, &q).count();
+        prop_assert_eq!(got_count, expected_count,
+            "match counts differ for {}", q);
+    }
+}

@@ -1,0 +1,65 @@
+//! Robustness fuzzing: every text-format parser must return a clean
+//! `Result` — never panic, never loop — on arbitrary input, including
+//! structured near-miss inputs built from valid tokens.
+
+use proptest::prelude::*;
+
+use questpro::data::erdos_ontology;
+use questpro::graph::{exformat, triples};
+use questpro::query::sparql;
+
+/// Arbitrary junk built from characters the grammars care about.
+fn arb_text() -> impl Strategy<Value = String> {
+    let token = prop_oneof![
+        Just("SELECT".to_string()),
+        Just("WHERE".to_string()),
+        Just("UNION".to_string()),
+        Just("FILTER".to_string()),
+        Just("OPTIONAL".to_string()),
+        Just("dis".to_string()),
+        Just("@type".to_string()),
+        Just("{".to_string()),
+        Just("}".to_string()),
+        Just("(".to_string()),
+        Just(")".to_string()),
+        Just(".".to_string()),
+        Just("!=".to_string()),
+        Just("?x".to_string()),
+        Just(":c".to_string()),
+        Just("paper1".to_string()),
+        Just("wb".to_string()),
+        Just("Alice".to_string()),
+        Just("\n".to_string()),
+        "[a-zA-Z0-9_?:!{}().#@ -]{0,6}",
+    ];
+    proptest::collection::vec(token, 0..40).prop_map(|v| v.join(" "))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn triples_parser_never_panics(text in arb_text()) {
+        let _ = triples::parse(&text);
+    }
+
+    #[test]
+    fn sparql_parser_never_panics(text in arb_text()) {
+        let _ = sparql::parse_union(&text);
+        let _ = sparql::parse_simple(&text);
+    }
+
+    #[test]
+    fn exformat_parser_never_panics(text in arb_text()) {
+        let ont = erdos_ontology();
+        let _ = exformat::parse_examples(&ont, &text);
+    }
+
+    #[test]
+    fn parsers_survive_raw_unicode(text in "\\PC{0,120}") {
+        let _ = triples::parse(&text);
+        let _ = sparql::parse_union(&text);
+        let ont = erdos_ontology();
+        let _ = exformat::parse_examples(&ont, &text);
+    }
+}

@@ -1,0 +1,111 @@
+//! Feedback under imperfect users: the loop must terminate within its
+//! question budget and still return one of the candidates even when
+//! answers are noisy or adversarial.
+
+use questpro::data::{erdos_example_set, erdos_ontology};
+use questpro::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn candidates(ont: &Ontology, examples: &ExampleSet) -> Vec<UnionQuery> {
+    let cfg = TopKConfig {
+        k: 4,
+        ..Default::default()
+    };
+    infer_top_k(ont, examples, &cfg).0
+}
+
+#[test]
+fn noisy_oracle_still_terminates_with_a_candidate() {
+    let ont = erdos_ontology();
+    let examples = erdos_example_set(&ont);
+    let cands = candidates(&ont, &examples);
+    let intended = cands[0].clone();
+    for error_rate in [0.0, 0.3, 1.0] {
+        let inner = TargetOracle::new(intended.clone());
+        let mut oracle = NoisyOracle::new(inner, StdRng::seed_from_u64(3), error_rate);
+        let mut rng = StdRng::seed_from_u64(4);
+        let out = choose_query(
+            &ont,
+            &cands,
+            &examples,
+            &mut oracle,
+            &mut rng,
+            &FeedbackConfig::default(),
+        );
+        assert!(out.chosen_index < cands.len());
+        assert!(out.transcript.len() < cands.len());
+    }
+}
+
+#[test]
+fn adversarial_scripted_answers_cannot_overrun_the_budget() {
+    let ont = erdos_ontology();
+    let examples = erdos_example_set(&ont);
+    let cands = candidates(&ont, &examples);
+    // Alternating answers, more than could ever be consumed.
+    let mut oracle = ScriptedOracle::new((0..64).map(|i| i % 2 == 0).collect());
+    let mut rng = StdRng::seed_from_u64(9);
+    let cfg = FeedbackConfig {
+        max_questions: 2,
+        ..Default::default()
+    };
+    let out = choose_query(&ont, &cands, &examples, &mut oracle, &mut rng, &cfg);
+    assert!(out.transcript.len() <= 2);
+}
+
+#[test]
+fn refinement_under_always_yes_drops_every_observable_diseq() {
+    // A user who accepts every extra result ends with the least
+    // restrictive query: no observable disequality survives.
+    let ont = erdos_ontology();
+    let examples = erdos_example_set(&ont);
+    let cands = candidates(&ont, &examples);
+    let q_all = with_all_diseqs(&ont, &cands[0], &examples);
+    let mut oracle = ScriptedOracle::new(vec![true; 64]);
+    let mut rng = StdRng::seed_from_u64(1);
+    let (refined, _questions) = refine_diseqs(
+        &ont,
+        &q_all,
+        &mut oracle,
+        &mut rng,
+        &FeedbackConfig::default(),
+    );
+    // Remaining diseqs (if any) are observationally vacuous on this
+    // ontology: removing them changes nothing.
+    for (b, branch) in refined.branches().iter().enumerate() {
+        for &pair in branch.diseqs() {
+            let without = {
+                let remaining = branch.diseqs().iter().copied().filter(|&d| d != pair);
+                branch.with_diseqs(remaining).expect("valid diseqs")
+            };
+            let mut branches: Vec<SimpleQuery> = refined.branches().to_vec();
+            branches[b] = without;
+            let candidate = UnionQuery::new(branches).expect("non-empty");
+            assert_eq!(
+                evaluate_union(&ont, &candidate),
+                evaluate_union(&ont, &refined),
+                "diseq {pair:?} in branch {b} was observable but survived an always-yes user"
+            );
+        }
+    }
+}
+
+#[test]
+fn refinement_under_always_no_keeps_all_diseqs() {
+    let ont = erdos_ontology();
+    let examples = erdos_example_set(&ont);
+    let cands = candidates(&ont, &examples);
+    let q_all = with_all_diseqs(&ont, &cands[0], &examples);
+    let before = q_all.diseq_count();
+    let mut oracle = ScriptedOracle::new(vec![false; 64]);
+    let mut rng = StdRng::seed_from_u64(1);
+    let (refined, _) = refine_diseqs(
+        &ont,
+        &q_all,
+        &mut oracle,
+        &mut rng,
+        &FeedbackConfig::default(),
+    );
+    assert_eq!(refined.diseq_count(), before);
+}

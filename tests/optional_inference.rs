@@ -1,0 +1,142 @@
+//! End-to-end tests of the OPTIONAL extension (the paper's named
+//! future-work operator): inferring a single pattern with an OPTIONAL
+//! edge from explanations of *different shapes*, which the strict
+//! algorithms of Sections III–IV cannot merge.
+
+use questpro::core::GreedyConfig;
+use questpro::data::{generate_movies, MoviesConfig};
+use questpro::prelude::*;
+
+/// Builds two mixed-shape explanations for "films starring A" for some
+/// actor A who appears both in a genre-annotated film and in a
+/// genre-less one: the first explanation includes the genre edge, the
+/// second cannot. Searching instead of hard-coding the actor keeps the
+/// fixture robust to generator-stream changes.
+fn mixed_world() -> (Ontology, ExampleSet, questpro::graph::NodeId) {
+    let ont = generate_movies(&MoviesConfig::default());
+    let genre_pred = ont.pred_by_name("genre").expect("genre predicate");
+    let starring = ont.pred_by_name("starring").expect("starring predicate");
+
+    fn film_genre_edge(
+        ont: &Ontology,
+        f: questpro::graph::NodeId,
+        genre_pred: questpro::graph::PredId,
+    ) -> Option<questpro::graph::EdgeId> {
+        ont.out_edges(f)
+            .iter()
+            .copied()
+            .find(|&e| ont.edge(e).pred == genre_pred)
+    }
+    // Find an actor with one genre-annotated film and one genre-less one.
+    let actors: Vec<_> = ont.node_ids().collect();
+    for actor in actors {
+        let films: Vec<_> = ont
+            .in_edges(actor)
+            .iter()
+            .filter(|&&e| ont.edge(e).pred == starring)
+            .map(|&e| ont.edge(e).src)
+            .collect();
+        if films.len() < 2 {
+            continue;
+        }
+        let with = films
+            .iter()
+            .copied()
+            .find(|&f| film_genre_edge(&ont, f, genre_pred).is_some());
+        let without = films
+            .iter()
+            .copied()
+            .find(|&f| film_genre_edge(&ont, f, genre_pred).is_none());
+        let (Some(fw), Some(fo)) = (with, without) else {
+            continue;
+        };
+        let e_star = ont.find_edge(fw, starring, actor).expect("by construction");
+        let e_genre = film_genre_edge(&ont, fw, genre_pred).expect("by construction");
+        let with_genre = Explanation::new(Subgraph::from_edges(&ont, [e_star, e_genre]), fw)
+            .expect("valid explanation");
+        let e_star2 = ont.find_edge(fo, starring, actor).expect("by construction");
+        let without_genre =
+            Explanation::new(Subgraph::from_edges(&ont, [e_star2]), fo).expect("valid explanation");
+        let examples = ExampleSet::from_explanations(vec![with_genre, without_genre]);
+        return (ont, examples, actor);
+    }
+    panic!("the generator always yields an actor with mixed-genre filmography");
+}
+
+#[test]
+fn strict_inference_cannot_merge_mixed_shapes() {
+    let (ont, examples, _) = mixed_world();
+    let cfg = TopKConfig {
+        k: 1,
+        ..Default::default()
+    };
+    let (candidates, _) = infer_top_k(&ont, &examples, &cfg);
+    // The best strict candidate keeps two branches (the trivial union or
+    // equivalent): the shapes cannot fuse without OPTIONAL.
+    assert_eq!(candidates[0].len(), 2, "{}", candidates[0]);
+}
+
+#[test]
+fn optional_inference_fuses_mixed_shapes_into_one_pattern() {
+    let (ont, examples, actor) = mixed_world();
+    let cfg = TopKConfig {
+        k: 3,
+        greedy: GreedyConfig {
+            allow_optional: true,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let (candidates, _) = infer_top_k(&ont, &examples, &cfg);
+    let single = candidates
+        .iter()
+        .find(|c| c.len() == 1)
+        .expect("optional-tolerant merging produces a one-branch candidate");
+    let q = &single.branches()[0];
+    assert!(q.has_optional(), "{q}");
+    assert_eq!(q.required_edge_count(), 1);
+    assert!(consistent_with_examples(&ont, single, &examples));
+    // Semantics: the required part is "films starring the actor".
+    let results = evaluate_union(&ont, single);
+    let starring = ont.pred_by_name("starring").expect("pred");
+    let expected: std::collections::BTreeSet<_> = ont
+        .in_edges(actor)
+        .iter()
+        .filter(|&&e| ont.edge(e).pred == starring)
+        .map(|&e| ont.edge(e).src)
+        .collect();
+    assert_eq!(results, expected);
+}
+
+#[test]
+fn optional_provenance_includes_the_extension_when_present() {
+    let (ont, examples, _) = mixed_world();
+    let cfg = TopKConfig {
+        k: 3,
+        greedy: GreedyConfig {
+            allow_optional: true,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let (candidates, _) = infer_top_k(&ont, &examples, &cfg);
+    let single = candidates
+        .iter()
+        .find(|c| c.len() == 1)
+        .expect("one-branch candidate exists");
+    let q = &single.branches()[0];
+    // The first explanation's film has a genre: its provenance under the
+    // inferred query must be able to show it.
+    let genreful = examples.explanations()[0].distinguished();
+    let images = provenance_of(&ont, q, genreful, None);
+    assert!(!images.is_empty());
+    // Some provenance image of Pulp Fiction includes a genre edge: the
+    // optional part extends where it can.
+    let genre_pred = ont.pred_by_name("genre").expect("pred");
+    assert!(
+        images
+            .iter()
+            .any(|img| img.edges().iter().any(|&e| ont.edge(e).pred == genre_pred)),
+        "expected a genre edge in some provenance image"
+    );
+}

@@ -1,0 +1,199 @@
+//! Integration tests that replay the paper's worked examples end to end
+//! on the running-example world (Figures 1–4, Examples 2.3–5.5).
+
+use questpro::data::{erdos_example_set, erdos_ontology};
+use questpro::prelude::*;
+use questpro::query::fixtures::{erdos_q1, erdos_q2};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Example 2.3: Q1 matches E1's chain and outputs Alice.
+#[test]
+fn example_2_3_q1_outputs_alice() {
+    let ont = erdos_ontology();
+    let q1 = erdos_q1();
+    let results = evaluate(&ont, &q1);
+    let alice = ont.node_by_value("Alice").expect("Alice exists");
+    assert!(results.contains(&alice));
+}
+
+/// Example 2.7: both Q1 and Q2 are consistent with the example-set.
+#[test]
+fn example_2_7_consistency_of_q1_and_q2() {
+    let ont = erdos_ontology();
+    let examples = erdos_example_set(&ont);
+    for ex in examples.iter() {
+        assert!(
+            consistent_with_explanation(&ont, &erdos_q1(), ex),
+            "Q1 must be consistent with {}",
+            ont.value_str(ex.distinguished())
+        );
+        assert!(
+            consistent_with_explanation(&ont, &erdos_q2(), ex),
+            "Q2 must be consistent with {}",
+            ont.value_str(ex.distinguished())
+        );
+    }
+}
+
+/// Example 3.3 / Proposition 3.1: the trivial query has 6 disjoint `wb`
+/// edges (the max per explanation) and is consistent with everything.
+#[test]
+fn example_3_3_trivial_query_shape() {
+    use questpro::core::{trivial_consistent_query, PatternGraph};
+    let ont = erdos_ontology();
+    let examples = erdos_example_set(&ont);
+    let graphs: Vec<PatternGraph> = examples
+        .iter()
+        .map(|e| PatternGraph::from_explanation(&ont, e))
+        .collect();
+    let refs: Vec<&PatternGraph> = graphs.iter().collect();
+    let q = trivial_consistent_query(&refs)
+        .into_query()
+        .expect("a consistent query exists");
+    assert_eq!(q.edge_count(), 6);
+    assert!(!q.is_connected());
+    for ex in examples.iter() {
+        assert!(consistent_with_explanation(&ont, &q, ex));
+    }
+}
+
+/// Example 4.2: cost arithmetic of the trivial union vs Q1.
+#[test]
+fn example_4_2_costs() {
+    let ont = erdos_ontology();
+    let examples = erdos_example_set(&ont);
+    let two = ExampleSet::from_explanations(examples.explanations()[..2].to_vec());
+    let trivial = UnionQuery::trivial(&ont, &two).expect("non-empty");
+    let w = GeneralizationWeights::new(2.0, 5.0);
+    assert_eq!(trivial.cost(w), 10.0); // w1·0 + w2·2
+    let q1 = UnionQuery::single(erdos_q1());
+    assert_eq!(q1.cost(w), 17.0); // w1·6 + w2·1
+}
+
+/// Example 4.3's dynamics: with (w1=2, w2=5) on {E1, E2, E3} the
+/// algorithm merges the two short chains and then stops.
+#[test]
+fn example_4_3_union_inference() {
+    let ont = erdos_ontology();
+    let examples = erdos_example_set(&ont);
+    let three = ExampleSet::from_explanations(examples.explanations()[..3].to_vec());
+    let cfg = UnionConfig {
+        weights: GeneralizationWeights::example_4_3(),
+        ..Default::default()
+    };
+    let (q, stats) = find_consistent_union(&ont, &three, &cfg);
+    assert_eq!(q.len(), 2, "one merge then stop: {q}");
+    assert!(consistent_with_examples(&ont, &q, &three));
+    assert!(stats.merges_applied >= 1);
+}
+
+/// Example 4.4 flavor: top-3 inference over all four explanations with
+/// (w1=1, w2=7) yields distinct consistent candidates sorted by cost,
+/// and the best merges everything into one simple query.
+#[test]
+fn example_4_4_top_3() {
+    let ont = erdos_ontology();
+    let examples = erdos_example_set(&ont);
+    let cfg = TopKConfig {
+        k: 3,
+        weights: GeneralizationWeights::example_4_4(),
+        ..Default::default()
+    };
+    let (candidates, _) = infer_top_k(&ont, &examples, &cfg);
+    assert!(!candidates.is_empty());
+    assert!(candidates.len() <= 3);
+    for c in &candidates {
+        assert!(consistent_with_examples(&ont, c, &examples));
+    }
+    // The best candidate is a single merged pattern (like Q1), strictly
+    // cheaper than the trivial 4-branch union (cost 28).
+    assert!(candidates[0].cost(cfg.weights) < 28.0);
+    assert_eq!(candidates[0].len(), 1);
+}
+
+/// Example 5.1: no disequality may relate the first two authors of the
+/// Q1 chain, because Dave's explanation assigns Dave to both.
+#[test]
+fn example_5_1_dave_blocks_diseqs() {
+    let ont = erdos_ontology();
+    let examples = erdos_example_set(&ont);
+    let q1 = erdos_q1();
+    // Q1 covers all four explanations (via folding for the short ones).
+    let diseqs = infer_diseqs(&ont, &q1, &examples);
+    let a1 = q1.node_of_var("a1").expect("?a1 exists");
+    let a2 = q1.node_of_var("a2").expect("?a2 exists");
+    let pair = if a1 < a2 { (a1, a2) } else { (a2, a1) };
+    assert!(
+        !diseqs.contains(&pair),
+        "E2/E3 fold ?a1 and ?a2 onto the same author, blocking the diseq"
+    );
+}
+
+/// Example 5.5 flavor: feedback distinguishes "co-author of Erdős"
+/// (the intent) from the over-general "co-author of anyone".
+#[test]
+fn example_5_5_feedback_selects_intended() {
+    let ont = erdos_ontology();
+    let examples = erdos_example_set(&ont);
+    let mut b = QueryBuilder::new();
+    let x = b.var("x");
+    let p = b.var("p");
+    let e = b.constant("Erdos");
+    b.edge(p, "wb", x).edge(p, "wb", e).project(x);
+    let intended = UnionQuery::single(b.build().expect("well-formed"));
+
+    let mut b = QueryBuilder::new();
+    let x = b.var("x");
+    let p = b.var("p");
+    let other = b.var("other");
+    b.edge(p, "wb", x).edge(p, "wb", other).project(x);
+    let broad = UnionQuery::single(b.build().expect("well-formed"));
+
+    let candidates = vec![broad, intended.clone()];
+    let mut oracle = TargetOracle::new(intended.clone());
+    let mut rng = StdRng::seed_from_u64(555);
+    let outcome = choose_query(
+        &ont,
+        &candidates,
+        &examples,
+        &mut oracle,
+        &mut rng,
+        &FeedbackConfig::default(),
+    );
+    assert_eq!(outcome.chosen_index, 1);
+    assert!(!outcome.transcript.is_empty());
+    // The distinguishing witness is a co-author pair without Erdős
+    // (Frank/Gina-style in the extended world).
+    let rec = &outcome.transcript[0];
+    assert!(!rec.answer);
+}
+
+/// End-to-end: a full session over the running example reconstructs the
+/// intended query's semantics.
+#[test]
+fn full_session_on_running_example() {
+    let ont = erdos_ontology();
+    let mut b = QueryBuilder::new();
+    let x = b.var("x");
+    let p = b.var("p");
+    let e = b.constant("Erdos");
+    b.edge(p, "wb", x).edge(p, "wb", e).project(x);
+    let intended = UnionQuery::single(b.build().expect("well-formed"));
+
+    let mut rng = StdRng::seed_from_u64(7);
+    let examples = sample_example_set(&ont, &intended, 3, &mut rng, 8);
+    assert!(examples.len() >= 2);
+    let mut oracle = TargetOracle::new(intended.clone());
+    let cfg = SessionConfig {
+        refine: true,
+        ..Default::default()
+    };
+    let result = run_session(&ont, &examples, &mut oracle, &mut rng, &cfg);
+    assert_eq!(
+        evaluate_union(&ont, &result.query),
+        evaluate_union(&ont, &intended),
+        "final query: {}",
+        result.query
+    );
+}

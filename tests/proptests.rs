@@ -1,0 +1,311 @@
+//! Property-based tests over randomly generated ontologies and
+//! explanations: the algebraic invariants that hold for *every* input,
+//! not just the paper's fixtures.
+
+use proptest::prelude::*;
+
+use questpro::core::trivial_consistent_query;
+use questpro::core::{merge_pair, GreedyConfig, PatternGraph, TrivialOutcome};
+use questpro::graph::triples;
+use questpro::prelude::*;
+
+/// A random small ontology: up to 10 node values, predicates `p`/`q`,
+/// 1–24 distinct edges.
+fn arb_edges() -> impl Strategy<Value = Vec<(u8, u8, u8)>> {
+    proptest::collection::btree_set((0u8..10, 0u8..2, 0u8..10), 1..24)
+        .prop_map(|s| s.into_iter().collect())
+}
+
+fn build_ontology(edges: &[(u8, u8, u8)]) -> Ontology {
+    let mut b = Ontology::builder();
+    for &(s, p, d) in edges {
+        let pred = if p == 0 { "p" } else { "q" };
+        b.edge(&format!("n{s}"), pred, &format!("n{d}"))
+            .expect("btree_set deduplicates edges");
+    }
+    b.build()
+}
+
+/// A random explanation: a non-empty edge subset (by mask) plus a
+/// distinguished endpoint of the first selected edge.
+fn explanation_from(ont: &Ontology, mask: u32, dis_src: bool) -> Option<Explanation> {
+    let chosen: Vec<_> = ont
+        .edge_ids()
+        .enumerate()
+        .filter(|(i, _)| mask & (1 << (i % 24)) != 0)
+        .map(|(_, e)| e)
+        .collect();
+    let first = *chosen.first()?;
+    let d = ont.edge(first);
+    let dis = if dis_src { d.src } else { d.dst };
+    let sub = Subgraph::from_edges(ont, chosen);
+    Explanation::new(sub, dis).ok()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Triple-format round trips preserve the whole edge structure.
+    #[test]
+    fn triples_round_trip(edges in arb_edges()) {
+        let o = build_ontology(&edges);
+        let text = triples::serialize(&o);
+        let o2 = triples::parse(&text).expect("serialized form parses");
+        prop_assert_eq!(o2.edge_count(), o.edge_count());
+        prop_assert_eq!(o2.node_count(), o.node_count());
+        for e in o.edge_ids() {
+            let d = o.edge(e);
+            let src = o2.node_by_value(o.value_str(d.src)).expect("node kept");
+            let dst = o2.node_by_value(o.value_str(d.dst)).expect("node kept");
+            let pred = o2.pred_by_name(o.pred_str(d.pred)).expect("pred kept");
+            prop_assert!(o2.find_edge(src, pred, dst).is_some());
+        }
+    }
+
+    /// The trivial branch of an explanation is always consistent with it.
+    #[test]
+    fn trivial_branch_is_self_consistent(
+        edges in arb_edges(),
+        mask in any::<u32>(),
+        dis_src in any::<bool>(),
+    ) {
+        let o = build_ontology(&edges);
+        let Some(ex) = explanation_from(&o, mask, dis_src) else { return Ok(()) };
+        let q = SimpleQuery::from_explanation(&o, &ex);
+        prop_assert!(consistent_with_explanation(&o, &q, &ex));
+        // And its evaluation contains the distinguished node.
+        prop_assert!(evaluate(&o, &q).contains(&ex.distinguished()));
+    }
+
+    /// Proposition 3.1 agreement: for two explanations, the greedy merge
+    /// succeeds exactly when the PTIME existence test says a consistent
+    /// simple query exists.
+    #[test]
+    fn merge_agrees_with_existence_test(
+        edges in arb_edges(),
+        mask1 in any::<u32>(),
+        mask2 in any::<u32>(),
+        s1 in any::<bool>(),
+        s2 in any::<bool>(),
+    ) {
+        let o = build_ontology(&edges);
+        let (Some(e1), Some(e2)) = (explanation_from(&o, mask1, s1), explanation_from(&o, mask2, s2))
+        else { return Ok(()) };
+        let g1 = PatternGraph::from_explanation(&o, &e1);
+        let g2 = PatternGraph::from_explanation(&o, &e2);
+        let refs = [&g1, &g2];
+        let trivially = matches!(trivial_consistent_query(&refs), TrivialOutcome::Query(_));
+        let merged = merge_pair(&g1, &g2, &GreedyConfig::default());
+        prop_assert_eq!(merged.is_some(), trivially,
+            "merge and existence test disagree");
+    }
+
+    /// When the merge succeeds, the produced query is consistent with
+    /// both explanations (Proposition 3.8 via 3.13).
+    #[test]
+    fn merged_query_is_consistent(
+        edges in arb_edges(),
+        mask1 in any::<u32>(),
+        mask2 in any::<u32>(),
+        s1 in any::<bool>(),
+        s2 in any::<bool>(),
+    ) {
+        let o = build_ontology(&edges);
+        let (Some(e1), Some(e2)) = (explanation_from(&o, mask1, s1), explanation_from(&o, mask2, s2))
+        else { return Ok(()) };
+        let g1 = PatternGraph::from_explanation(&o, &e1);
+        let g2 = PatternGraph::from_explanation(&o, &e2);
+        if let Some(out) = merge_pair(&g1, &g2, &GreedyConfig::default()) {
+            prop_assert!(consistent_with_explanation(&o, &out.query, &e1),
+                "merged query {} not consistent with E1", out.query);
+            prop_assert!(consistent_with_explanation(&o, &out.query, &e2),
+                "merged query {} not consistent with E2", out.query);
+        }
+    }
+
+    /// Provenance soundness: every provenance image of a result contains
+    /// a derivation of that result.
+    #[test]
+    fn provenance_images_derive_their_result(
+        edges in arb_edges(),
+        mask in any::<u32>(),
+        dis_src in any::<bool>(),
+    ) {
+        let o = build_ontology(&edges);
+        let Some(ex) = explanation_from(&o, mask, dis_src) else { return Ok(()) };
+        let q = SimpleQuery::from_explanation(&o, &ex);
+        for res in evaluate(&o, &q).into_iter().take(4) {
+            let images = provenance_of(&o, &q, res, Some(4));
+            prop_assert!(!images.is_empty());
+            for img in images {
+                prop_assert!(img.contains_node(res));
+                let again = Matcher::new(&o, &q)
+                    .bind(q.projected(), res)
+                    .restrict(&img)
+                    .exists();
+                prop_assert!(again, "image does not re-derive its result");
+            }
+        }
+    }
+
+    /// Containment is reflexive, and the SPARQL text round-trips to an
+    /// isomorphic query.
+    #[test]
+    fn query_relations_are_sane(
+        edges in arb_edges(),
+        mask in any::<u32>(),
+        dis_src in any::<bool>(),
+    ) {
+        let o = build_ontology(&edges);
+        let Some(ex) = explanation_from(&o, mask, dis_src) else { return Ok(()) };
+        let q = SimpleQuery::from_explanation(&o, &ex);
+        prop_assert!(questpro::engine::contained_in(&q, &q));
+        let text = questpro::query::sparql::format_simple(&q);
+        let back = questpro::query::sparql::parse_simple(&text).expect("round trip parses");
+        prop_assert!(questpro::query::iso::isomorphic(&q, &back), "{text}");
+    }
+
+    /// Core minimization: the result is no larger, semantically
+    /// equivalent, and idempotent.
+    #[test]
+    fn minimization_is_sound_and_idempotent(
+        edges in arb_edges(),
+        mask in any::<u32>(),
+        dis_src in any::<bool>(),
+    ) {
+        use questpro::engine::{equivalent, minimize};
+        let o = build_ontology(&edges);
+        let Some(ex) = explanation_from(&o, mask, dis_src) else { return Ok(()) };
+        // A generalized (all-variables) version of the explanation shape
+        // gives folding room.
+        let trivial = SimpleQuery::from_explanation(&o, &ex);
+        let gen = {
+            // Replace constants with variables to expose redundancy.
+            let mut b = QueryBuilder::new();
+            let mut map = std::collections::HashMap::new();
+            for n in trivial.node_ids() {
+                let qn = b.var(&format!("v{}", n.index()));
+                map.insert(n, qn);
+            }
+            for e in trivial.edges() {
+                b.edge(map[&e.src], &e.pred, map[&e.dst]);
+            }
+            b.project(map[&trivial.projected()]);
+            b.build().expect("well-formed")
+        };
+        let m = minimize(&gen);
+        prop_assert!(m.edge_count() <= gen.edge_count());
+        prop_assert!(equivalent(&m, &gen), "{m} vs {gen}");
+        let mm = minimize(&m);
+        prop_assert_eq!(mm.edge_count(), m.edge_count());
+        // Semantics on the concrete ontology agree too.
+        prop_assert_eq!(evaluate(&o, &m), evaluate(&o, &gen));
+    }
+
+    /// Adding disequalities can only shrink the result set.
+    #[test]
+    fn diseqs_are_monotone(
+        edges in arb_edges(),
+        mask1 in any::<u32>(),
+        mask2 in any::<u32>(),
+        s1 in any::<bool>(),
+        s2 in any::<bool>(),
+    ) {
+        let o = build_ontology(&edges);
+        let (Some(e1), Some(e2)) = (explanation_from(&o, mask1, s1), explanation_from(&o, mask2, s2))
+        else { return Ok(()) };
+        let g1 = PatternGraph::from_explanation(&o, &e1);
+        let g2 = PatternGraph::from_explanation(&o, &e2);
+        let Some(out) = merge_pair(&g1, &g2, &GreedyConfig::default()) else { return Ok(()) };
+        let q = out.query;
+        let examples = ExampleSet::from_explanations(vec![e1, e2]);
+        let diseqs = infer_diseqs(&o, &q, &examples);
+        let strict = q.with_diseqs(diseqs).expect("inferred diseqs are valid");
+        let plain_results = evaluate(&o, &q);
+        let strict_results = evaluate(&o, &strict);
+        prop_assert!(strict_results.is_subset(&plain_results));
+    }
+
+    /// Optional-tolerant merging (the future-work extension) also always
+    /// produces queries consistent with both inputs — even when the
+    /// predicate shapes differ and strict merging fails.
+    #[test]
+    fn optional_merge_is_consistent(
+        edges in arb_edges(),
+        mask1 in any::<u32>(),
+        mask2 in any::<u32>(),
+        s1 in any::<bool>(),
+        s2 in any::<bool>(),
+    ) {
+        let o = build_ontology(&edges);
+        let (Some(e1), Some(e2)) = (explanation_from(&o, mask1, s1), explanation_from(&o, mask2, s2))
+        else { return Ok(()) };
+        let g1 = PatternGraph::from_explanation(&o, &e1);
+        let g2 = PatternGraph::from_explanation(&o, &e2);
+        let cfg = GreedyConfig { allow_optional: true, ..Default::default() };
+        if let Some(out) = merge_pair(&g1, &g2, &cfg) {
+            prop_assert!(consistent_with_explanation(&o, &out.query, &e1),
+                "optional merge {} not consistent with E1", out.query);
+            prop_assert!(consistent_with_explanation(&o, &out.query, &e2),
+                "optional merge {} not consistent with E2", out.query);
+            // Whenever the strict merge succeeds, the optional-tolerant
+            // one must too (it only relaxes completeness).
+        } else {
+            prop_assert!(merge_pair(&g1, &g2, &GreedyConfig::default()).is_none());
+        }
+    }
+
+    /// The greedy heuristic never beats the exhaustive minimum — and the
+    /// exhaustive search (where feasible) lower-bounds it, giving the
+    /// empirical handle on Prop. 3.5's NP-hard objective.
+    #[test]
+    fn greedy_never_beats_exact(
+        edges in arb_edges(),
+        mask1 in any::<u32>(),
+        mask2 in any::<u32>(),
+        s1 in any::<bool>(),
+        s2 in any::<bool>(),
+    ) {
+        use questpro::core::exact_merge_pair;
+        let o = build_ontology(&edges);
+        let (Some(e1), Some(e2)) = (explanation_from(&o, mask1, s1), explanation_from(&o, mask2, s2))
+        else { return Ok(()) };
+        let g1 = PatternGraph::from_explanation(&o, &e1);
+        let g2 = PatternGraph::from_explanation(&o, &e2);
+        let greedy = merge_pair(&g1, &g2, &GreedyConfig::default());
+        let exact = exact_merge_pair(&g1, &g2, 1 << 16);
+        if let (Some(g), Some(x)) = (greedy, exact) {
+            prop_assert!(
+                x.query.generalization_vars() <= g.query.generalization_vars(),
+                "exact {} vs greedy {}",
+                x.query, g.query
+            );
+            // The exact result is itself consistent.
+            prop_assert!(consistent_with_explanation(&o, &x.query, &e1));
+            prop_assert!(consistent_with_explanation(&o, &x.query, &e2));
+        }
+    }
+
+    /// The Figure-6 instrumentation grows with the number of
+    /// explanations handed to union inference.
+    #[test]
+    fn union_inference_always_consistent(
+        edges in arb_edges(),
+        masks in proptest::collection::vec(any::<u32>(), 2..5),
+        sides in proptest::collection::vec(any::<bool>(), 2..5),
+    ) {
+        let o = build_ontology(&edges);
+        let mut exps = Vec::new();
+        for (m, s) in masks.iter().zip(sides.iter()) {
+            if let Some(e) = explanation_from(&o, *m, *s) {
+                exps.push(e);
+            }
+        }
+        if exps.len() < 2 { return Ok(()) }
+        let examples = ExampleSet::from_explanations(exps);
+        let (q, stats) = find_consistent_union(&o, &examples, &UnionConfig::default());
+        prop_assert!(consistent_with_examples(&o, &q, &examples), "{q}");
+        prop_assert!(stats.rounds >= 1);
+        prop_assert!(q.len() <= examples.len());
+    }
+}

@@ -1,0 +1,137 @@
+//! Stress cases for the evaluation engine: inputs where naive match
+//! enumeration explodes combinatorially, but the result-anchored
+//! evaluation strategy (existence checks per candidate) must stay fast.
+//!
+//! The `#[ignore]`d variants push further; run them with
+//! `cargo test --release --test stress -- --ignored`.
+
+use std::time::Instant;
+
+use questpro::prelude::*;
+
+/// A complete bipartite `wb` graph: `papers × authors`, every pair
+/// connected. Homomorphism counts over chain queries are `n^k`-ish,
+/// while the result set is trivially "all authors".
+fn bipartite(n: usize) -> Ontology {
+    let mut b = Ontology::builder();
+    for p in 0..n {
+        for a in 0..n {
+            b.edge(&format!("paper_{p}"), "wb", &format!("author_{a}"))
+                .expect("unique edges");
+        }
+    }
+    b.build()
+}
+
+/// The diseq-free Erdős chain of length `k` (2k edges).
+fn chain(k: usize) -> SimpleQuery {
+    let mut b = QueryBuilder::new();
+    let mut authors = Vec::new();
+    let mut papers = Vec::new();
+    for i in 0..=k {
+        authors.push(b.var(&format!("a{i}")));
+    }
+    for i in 0..k {
+        papers.push(b.var(&format!("p{i}")));
+    }
+    for i in 0..k {
+        b.edge(papers[i], "wb", authors[i]);
+        b.edge(papers[i], "wb", authors[i + 1]);
+    }
+    b.project(authors[0]);
+    b.build().expect("well-formed")
+}
+
+#[test]
+fn anchored_evaluation_sidesteps_match_explosion() {
+    // 20×20 bipartite graph, 3-paper chain: ~20^7 homomorphisms exist,
+    // but evaluation needs only 20 existence checks.
+    let ont = bipartite(20);
+    let q = chain(3);
+    let start = Instant::now();
+    let results = evaluate(&ont, &q);
+    let elapsed = start.elapsed();
+    assert_eq!(results.len(), 20); // all authors
+    assert!(
+        elapsed.as_millis() < 2_000,
+        "anchored evaluation took {elapsed:?}"
+    );
+}
+
+#[test]
+fn consistency_check_prunes_on_large_explanations() {
+    // Consistency of a 12-edge chain against a 12-edge explanation: the
+    // coverage-pruned onto search must finish promptly.
+    let mut b = Ontology::builder();
+    for i in 0..6 {
+        b.edge(&format!("p{i}"), "wb", &format!("a{i}")).unwrap();
+        b.edge(&format!("p{i}"), "wb", &format!("a{}", i + 1))
+            .unwrap();
+    }
+    let ont = b.build();
+    let triples: Vec<(String, String, String)> = ont
+        .edge_ids()
+        .map(|e| {
+            let d = ont.edge(e);
+            (
+                ont.value_str(d.src).to_string(),
+                "wb".to_string(),
+                ont.value_str(d.dst).to_string(),
+            )
+        })
+        .collect();
+    let triple_refs: Vec<(&str, &str, &str)> = triples
+        .iter()
+        .map(|(s, p, d)| (s.as_str(), p.as_str(), d.as_str()))
+        .collect();
+    let ex = Explanation::from_triples(&ont, &triple_refs, "a0").expect("valid");
+    let q = chain(6);
+    let start = Instant::now();
+    let ok = consistent_with_explanation(&ont, &q, &ex);
+    assert!(ok);
+    assert!(start.elapsed().as_millis() < 2_000);
+}
+
+#[test]
+#[ignore = "heavy: run with --ignored"]
+fn anchored_evaluation_at_larger_scale() {
+    let ont = bipartite(60);
+    let q = chain(5);
+    let start = Instant::now();
+    let results = evaluate(&ont, &q);
+    assert_eq!(results.len(), 60);
+    assert!(start.elapsed().as_secs() < 30);
+}
+
+#[test]
+#[ignore = "heavy: run with --ignored"]
+fn inference_on_wide_explanations() {
+    // Merge two 12-edge star explanations (the paper's upper envelope).
+    let mut b = Ontology::builder();
+    for s in 0..2 {
+        for i in 0..12 {
+            b.edge(
+                &format!("hub{s}"),
+                &format!("r{i}"),
+                &format!("leaf{s}_{i}"),
+            )
+            .unwrap();
+        }
+    }
+    let ont = b.build();
+    let star = |s: usize| {
+        let triples: Vec<(String, String, String)> = (0..12)
+            .map(|i| (format!("hub{s}"), format!("r{i}"), format!("leaf{s}_{i}")))
+            .collect();
+        let refs: Vec<(&str, &str, &str)> = triples
+            .iter()
+            .map(|(a, b, c)| (a.as_str(), b.as_str(), c.as_str()))
+            .collect();
+        Explanation::from_triples(&ont, &refs, &format!("hub{s}")).expect("valid")
+    };
+    let examples = ExampleSet::from_explanations(vec![star(0), star(1)]);
+    let start = Instant::now();
+    let (q, _) = find_consistent_union(&ont, &examples, &UnionConfig::default());
+    assert!(consistent_with_examples(&ont, &q, &examples));
+    assert!(start.elapsed().as_secs() < 30);
+}

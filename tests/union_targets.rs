@@ -1,0 +1,115 @@
+//! Reconstruction of genuine *union* targets: inference must keep the
+//! branches separate among its candidates (each branch needs at least
+//! two explanations to generalize, so the loop adds examples as the
+//! paper's protocol does), and the feedback loop must reject the
+//! over-generalized single-pattern merge (Section V's whole purpose).
+
+use questpro::data::*;
+use questpro::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn world_for(kind: OntologyKind) -> Ontology {
+    match kind {
+        OntologyKind::Sp2b => generate_sp2b(&Sp2bConfig::default()),
+        OntologyKind::Bsbm => generate_bsbm(&BsbmConfig::default()),
+        OntologyKind::Movies => generate_movies(&MoviesConfig::default()),
+    }
+}
+
+#[test]
+fn union_targets_have_multi_branch_results() {
+    for w in union_workload() {
+        let ont = world_for(w.kind);
+        // Each branch contributes results the other does not (otherwise
+        // the union target degenerates).
+        let a = evaluate(&ont, &w.query.branches()[0]);
+        let b = evaluate(&ont, &w.query.branches()[1]);
+        assert!(
+            !a.is_subset(&b) && !b.is_subset(&a),
+            "{}: branches must be incomparable",
+            w.id
+        );
+    }
+}
+
+/// The Section VI-B loop: add sampled explanations until some top-k
+/// candidate reproduces the target's result set.
+fn explanations_until_reconstructed(
+    ont: &Ontology,
+    target: &UnionQuery,
+    seed: u64,
+    cap: usize,
+) -> Option<usize> {
+    let cfg = TopKConfig {
+        k: 4,
+        ..Default::default()
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let target_results = evaluate_union(ont, target);
+    for n in 4..=cap {
+        let examples = sample_example_set(ont, target, n, &mut rng, 6);
+        if examples.len() < 3 {
+            continue;
+        }
+        let (candidates, _) = infer_top_k(ont, &examples, &cfg);
+        if candidates
+            .iter()
+            .any(|c| evaluate_union(ont, c) == target_results)
+        {
+            return Some(n);
+        }
+    }
+    None
+}
+
+#[test]
+fn top_k_reconstructs_union_targets() {
+    for w in union_workload() {
+        let ont = world_for(w.kind);
+        let needed = explanations_until_reconstructed(&ont, &w.query, 0x101, 12);
+        assert!(
+            needed.is_some(),
+            "{}: union target not reconstructed within 12 explanations",
+            w.id
+        );
+    }
+}
+
+#[test]
+fn feedback_rejects_the_overgeneralized_merge() {
+    // The full session: once enough explanations exist, the oracle's
+    // no-answers eliminate single-pattern generalizations and keep the
+    // true union.
+    for w in union_workload() {
+        let ont = world_for(w.kind);
+        let target_results = evaluate_union(&ont, &w.query);
+        let mut reached = false;
+        let mut rng = StdRng::seed_from_u64(0x202);
+        for n in 4..=12usize {
+            let examples = sample_example_set(&ont, &w.query, n, &mut rng, 6);
+            if examples.len() < 3 {
+                continue;
+            }
+            let mut oracle = TargetOracle::new(w.query.clone());
+            let cfg = SessionConfig {
+                topk: TopKConfig {
+                    k: 4,
+                    ..Default::default()
+                },
+                refine: true,
+                ..Default::default()
+            };
+            let result = run_session(&ont, &examples, &mut oracle, &mut rng, &cfg);
+            if evaluate_union(&ont, &result.query) == target_results {
+                reached = true;
+                break;
+            }
+        }
+        assert!(
+            reached,
+            "{}: session never reached the union target within 12 explanations",
+            w.id
+        );
+    }
+}
