@@ -9,9 +9,9 @@
 //! * A2 (`numiter`): cost of the diversification loop of Algorithm 1 as
 //!   `numIter` grows.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
+use questpro_bench::microbench::Criterion;
 use questpro_core::{merge_pair, GainWeights, GreedyConfig, PatternGraph};
 use questpro_data::{erdos_example_set, erdos_ontology};
 
@@ -40,7 +40,7 @@ fn bench_ablation(c: &mut Criterion) {
             .map(|v| v.to_string())
             .unwrap_or_else(|| "none".to_string());
         eprintln!("ablation_quality gain_weights/{name}: merged-query vars = {vars}");
-        g.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
+        g.bench_with_input(name, &cfg, |b, cfg| {
             b.iter(|| black_box(merge_pair(&g1, &g4, cfg).is_some()))
         });
     }
@@ -53,12 +53,14 @@ fn bench_ablation(c: &mut Criterion) {
             num_iter,
             ..Default::default()
         };
-        g.bench_with_input(BenchmarkId::from_parameter(num_iter), &cfg, |b, cfg| {
+        g.bench_with_input(num_iter, &cfg, |b, cfg| {
             b.iter(|| black_box(merge_pair(&g1, &g4, cfg).is_some()))
         });
     }
     g.finish();
 }
 
-criterion_group!(benches, bench_ablation);
-criterion_main!(benches);
+fn main() {
+    let mut c = Criterion::from_env();
+    bench_ablation(&mut c);
+}

@@ -2,14 +2,13 @@
 //! inference, Algorithm 3's candidate elimination (with the result-set
 //! cache), and a full session on the running example.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use questpro_bench::microbench::Criterion;
 use questpro_core::{infer_top_k, with_all_diseqs, TopKConfig};
 use questpro_data::{erdos_example_set, erdos_ontology};
 use questpro_feedback::{choose_query, run_session, FeedbackConfig, SessionConfig, TargetOracle};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use questpro_graph::rng::StdRng;
 
 fn bench_feedback(c: &mut Criterion) {
     let ont = erdos_ontology();
@@ -63,5 +62,7 @@ fn bench_feedback(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_feedback);
-criterion_main!(benches);
+fn main() {
+    let mut c = Criterion::from_env();
+    bench_feedback(&mut c);
+}

@@ -1,10 +1,11 @@
 //! **M3/M4** — microbenches of the inference pipeline: a pairwise merge
-//! (Algorithm 1), full union inference (Algorithm 2), and top-k over the
-//! running example and representative workload queries.
+//! (Algorithm 1), full union inference (Algorithm 2, sequential and
+//! multi-threaded), and top-k over the running example and
+//! representative workload queries.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
+use questpro_bench::microbench::Criterion;
 use questpro_bench::Worlds;
 use questpro_core::{
     find_consistent_union, infer_top_k, merge_pair, GreedyConfig, PatternGraph, TopKConfig,
@@ -12,8 +13,7 @@ use questpro_core::{
 };
 use questpro_data::{erdos_example_set, erdos_ontology, sp2b_workload};
 use questpro_engine::sample_example_set;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use questpro_graph::rng::StdRng;
 
 fn bench_inference(c: &mut Criterion) {
     let erdos = erdos_ontology();
@@ -34,6 +34,20 @@ fn bench_inference(c: &mut Criterion) {
             ))
         })
     });
+    for threads in [2usize, 4] {
+        g.bench_with_input(format!("algorithm2_erdos_t{threads}"), &threads, |b, &t| {
+            b.iter(|| {
+                black_box(find_consistent_union(
+                    &erdos,
+                    &examples,
+                    &UnionConfig {
+                        threads: t,
+                        ..Default::default()
+                    },
+                ))
+            })
+        });
+    }
     g.bench_function("top3_erdos", |b| {
         b.iter(|| {
             black_box(infer_top_k(
@@ -63,7 +77,7 @@ fn bench_inference(c: &mut Criterion) {
         if ex.len() < 2 {
             continue;
         }
-        g.bench_with_input(BenchmarkId::from_parameter(n), &ex, |b, ex| {
+        g.bench_with_input(n, &ex, |b, ex| {
             b.iter(|| {
                 black_box(infer_top_k(
                     &worlds.sp2b,
@@ -79,5 +93,7 @@ fn bench_inference(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_inference);
-criterion_main!(benches);
+fn main() {
+    let mut c = Criterion::from_env();
+    bench_inference(&mut c);
+}

@@ -1,12 +1,14 @@
 //! **M1/M2** — microbenches of the evaluation substrate: match
-//! enumeration, result-set evaluation, provenance computation, and the
-//! onto consistency check.
+//! enumeration, result-set evaluation (sequential and sharded-parallel),
+//! provenance computation, and the onto consistency check.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use questpro_bench::microbench::Criterion;
 use questpro_data::{erdos_example_set, erdos_ontology, generate_sp2b, sp2b_workload, Sp2bConfig};
-use questpro_engine::{consistent_with_explanation, evaluate, provenance_of, Matcher};
+use questpro_engine::{
+    consistent_with_explanation, evaluate, evaluate_with, provenance_of, Matcher,
+};
 use questpro_query::fixtures::erdos_q1;
 
 fn bench_matching(c: &mut Criterion) {
@@ -38,6 +40,11 @@ fn bench_matching(c: &mut Criterion) {
     g.bench_function("evaluate_q2_sp2b", |b| {
         b.iter(|| black_box(evaluate(&sp2b, &q2).len()))
     });
+    for threads in [2usize, 4, 8] {
+        g.bench_with_input(format!("evaluate_q2_sp2b_t{threads}"), &threads, |b, &t| {
+            b.iter(|| black_box(evaluate_with(&sp2b, &q2, t).len()))
+        });
+    }
     let erdos_res = *evaluate(&sp2b, &q8a)
         .iter()
         .next()
@@ -67,5 +74,7 @@ fn bench_matching(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_matching);
-criterion_main!(benches);
+fn main() {
+    let mut c = Criterion::from_env();
+    bench_matching(&mut c);
+}

@@ -1,0 +1,224 @@
+//! **B1** — hot-path benchmark for the parallel, cache-aware inference
+//! pipeline: runs top-k inference (k = 3, 7 explanations) on the
+//! heaviest workload queries at several thread counts, checks that
+//! every parallel run reproduces the sequential output byte-for-byte,
+//! and reports per-stage timings plus the consistency-cache hit rate.
+//!
+//! Run with: `cargo run --release -p questpro-bench --bin exp_bench`
+//!
+//! Flags:
+//!
+//! * `--threads N` — largest thread count to sweep to (default 8; the
+//!   sweep is {1, 2, 4, …, N}).
+//! * `--json PATH` — also write the results as a JSON document (this is
+//!   what `scripts/bench.sh` uses to produce `BENCH_1.json`).
+//! * `--tiny` — 1 trial and only the single heaviest query (CI smoke).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use questpro_bench::{cli_switch, cli_threads, cli_value, full_workload, median, Table};
+use questpro_core::{infer_top_k, InferenceStats, TopKConfig};
+use questpro_data::WorkloadQuery;
+use questpro_engine::sample_example_set;
+use questpro_graph::rng::StdRng;
+use questpro_graph::Ontology;
+
+const EXPLANATIONS: usize = 7;
+
+/// One (query, threads) measurement cell.
+struct Cell {
+    query: String,
+    threads: usize,
+    wall_ms: f64,
+    stats: InferenceStats,
+    /// Canonical SPARQL of every returned candidate, in rank order.
+    output: Vec<String>,
+}
+
+fn run_one(ont: &Ontology, w: &WorkloadQuery, threads: usize, trials: u64) -> Option<Cell> {
+    let cfg = TopKConfig {
+        k: 3,
+        threads,
+        ..Default::default()
+    };
+    let mut walls = Vec::new();
+    let mut last = None;
+    for t in 0..trials {
+        let mut rng = StdRng::seed_from_u64(0xb1 + t);
+        let examples = sample_example_set(ont, &w.query, EXPLANATIONS, &mut rng, 6);
+        if examples.len() < 2 {
+            return None;
+        }
+        let start = Instant::now();
+        let (candidates, stats) = infer_top_k(ont, &examples, &cfg);
+        walls.push(start.elapsed().as_secs_f64() * 1e3);
+        last = Some((candidates, stats));
+    }
+    let (candidates, stats) = last?;
+    Some(Cell {
+        query: w.id.to_string(),
+        threads,
+        wall_ms: median(walls),
+        stats,
+        output: candidates.iter().map(|c| c.to_string()).collect(),
+    })
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn main() {
+    let tiny = cli_switch("--tiny");
+    let max_threads = if cli_value("--threads").is_some() {
+        cli_threads()
+    } else {
+        8
+    };
+    let trials = if tiny { 1 } else { 3 };
+
+    // The heaviest patterns of the workload: BSBM q2v0 (11 edges, the
+    // paper's 5.8 s outlier), SP2B q12a and q2.
+    let heavy_ids: &[&str] = if tiny {
+        &["q2v0"]
+    } else {
+        &["q2v0", "q12a", "q2"]
+    };
+    let workload = full_workload();
+    let picked: Vec<&WorkloadQuery> = heavy_ids
+        .iter()
+        .map(|id| {
+            workload
+                .iter()
+                .find(|w| w.id == *id)
+                .expect("heavy query in catalog")
+        })
+        .collect();
+    let worlds = questpro_bench::Worlds::generate();
+
+    let mut sweep = vec![1usize];
+    while *sweep.last().expect("non-empty") * 2 <= max_threads {
+        sweep.push(sweep.last().expect("non-empty") * 2);
+    }
+
+    let mut cells: Vec<Cell> = Vec::new();
+    for w in &picked {
+        let ont = worlds.for_kind(w.kind);
+        let mut base: Option<(Vec<String>, InferenceStats)> = None;
+        for &t in &sweep {
+            let Some(cell) = run_one(ont, w, t, trials) else {
+                eprintln!("skipping {}: too few explanations sampled", w.id);
+                break;
+            };
+            match &base {
+                None => base = Some((cell.output.clone(), cell.stats)),
+                Some((bout, bstats)) => {
+                    assert_eq!(
+                        bout, &cell.output,
+                        "{} at {t} threads diverged from the sequential output",
+                        w.id
+                    );
+                    assert_eq!(
+                        *bstats, cell.stats,
+                        "{} at {t} threads diverged on deterministic counters",
+                        w.id
+                    );
+                }
+            }
+            cells.push(cell);
+        }
+    }
+
+    let mut t = Table::new(
+        format!("B1 — parallel top-k hot path (k=3, {EXPLANATIONS} explanations, median of {trials} trial(s))"),
+        &[
+            "query",
+            "threads",
+            "wall ms",
+            "merge ms",
+            "consistency ms",
+            "cache hit rate",
+            "nodes expanded",
+            "speedup vs 1T",
+        ],
+    );
+    for c in &cells {
+        let base = cells
+            .iter()
+            .find(|b| b.query == c.query && b.threads == 1)
+            .expect("1-thread baseline present");
+        t.row(vec![
+            c.query.clone(),
+            c.threads.to_string(),
+            format!("{:.2}", c.wall_ms),
+            format!("{:.2}", c.stats.merge_nanos as f64 / 1e6),
+            format!("{:.2}", c.stats.consistency_nanos as f64 / 1e6),
+            format!("{:.3}", c.stats.consistency_hit_rate()),
+            c.stats.matcher_nodes_expanded.to_string(),
+            format!("{:.2}x", base.wall_ms / c.wall_ms),
+        ]);
+    }
+    println!("{}", t.to_markdown());
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!(
+        "All parallel runs asserted byte-identical to the 1-thread outputs \
+         (candidate SPARQL text and deterministic counters)."
+    );
+    if host_cpus < 2 {
+        println!(
+            "NOTE: this host exposes {host_cpus} CPU(s); wall-clock speedup from \
+             threading requires a multi-core host (workers are clamped to the \
+             available parallelism, outputs are identical either way)."
+        );
+    }
+
+    if let Some(path) = cli_value("--json") {
+        let mut out = String::from("{\n  \"bench\": \"B1 parallel top-k hot path\",\n");
+        let _ = writeln!(
+            out,
+            "  \"config\": {{\"k\": 3, \"explanations\": {EXPLANATIONS}, \"trials\": {trials}, \"thread_sweep\": [{}], \"host_cpus\": {host_cpus}}},",
+            sweep
+                .iter()
+                .map(|t| t.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        out.push_str("  \"runs\": [\n");
+        for (i, c) in cells.iter().enumerate() {
+            let base = cells
+                .iter()
+                .find(|b| b.query == c.query && b.threads == 1)
+                .expect("1-thread baseline present");
+            let _ = write!(
+                out,
+                "    {{\"query\": \"{}\", \"threads\": {}, \"wall_ms\": {:.3}, \
+                 \"merge_ms\": {:.3}, \"consistency_ms\": {:.3}, \"total_ms\": {:.3}, \
+                 \"consistency_checks\": {}, \"consistency_cache_hits\": {}, \
+                 \"consistency_cache_hit_rate\": {:.4}, \"merge_cache_hit_rate\": {:.4}, \
+                 \"matcher_nodes_expanded\": {}, \"speedup_vs_1_thread\": {:.3}, \
+                 \"output_identical_to_sequential\": true}}",
+                json_escape(&c.query),
+                c.threads,
+                c.wall_ms,
+                c.stats.merge_nanos as f64 / 1e6,
+                c.stats.consistency_nanos as f64 / 1e6,
+                c.stats.total_nanos as f64 / 1e6,
+                c.stats.consistency_checks,
+                c.stats.consistency_cache_hits,
+                c.stats.consistency_hit_rate(),
+                c.stats.merge_hit_rate(),
+                c.stats.matcher_nodes_expanded,
+                base.wall_ms / c.wall_ms,
+            );
+            out.push_str(if i + 1 == cells.len() { "\n" } else { ",\n" });
+        }
+        out.push_str("  ]\n}\n");
+        std::fs::write(&path, out).expect("write json report");
+        eprintln!("wrote {path}");
+    }
+}

@@ -14,8 +14,7 @@ use questpro_bench::{full_workload, parallel_map, Table, Worlds};
 use questpro_core::TopKConfig;
 use questpro_engine::{evaluate_union, sample_example_set};
 use questpro_feedback::{run_session, SessionConfig, TargetOracle};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use questpro_graph::rng::StdRng;
 
 const K: usize = 5;
 const EXPLANATIONS: usize = 4;

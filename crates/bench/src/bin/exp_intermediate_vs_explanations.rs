@@ -11,8 +11,7 @@ use questpro_bench::{automatic_workload, parallel_map, Table, Worlds};
 use questpro_core::{infer_top_k, TopKConfig};
 use questpro_data::OntologyKind;
 use questpro_engine::sample_example_set;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use questpro_graph::rng::StdRng;
 
 const K: usize = 5;
 const EXPLANATION_COUNTS: [usize; 7] = [2, 4, 6, 8, 10, 12, 14];

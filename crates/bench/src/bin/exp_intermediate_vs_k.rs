@@ -12,8 +12,7 @@ use questpro_bench::{automatic_workload, parallel_map, Table, Worlds};
 use questpro_core::{infer_top_k, TopKConfig};
 use questpro_data::OntologyKind;
 use questpro_engine::sample_example_set;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use questpro_graph::rng::StdRng;
 
 const KS: [usize; 6] = [1, 2, 4, 6, 8, 10];
 

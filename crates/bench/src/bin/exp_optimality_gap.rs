@@ -14,8 +14,7 @@
 use questpro_bench::{automatic_workload, parallel_map, Table, Worlds};
 use questpro_core::{exact_merge_pair, merge_pair, GreedyConfig, PatternGraph};
 use questpro_engine::sample_example_set;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use questpro_graph::rng::StdRng;
 
 const PAIRS_PER_QUERY: usize = 10;
 const EXACT_BUDGET: u64 = 1 << 22;

@@ -6,22 +6,25 @@
 //! edges), so it should remain the slowest here as well.
 //!
 //! Run with: `cargo run --release -p questpro-bench --bin exp_runtime`
+//! (add `--threads N` to shard the inference hot path; results are
+//! bit-identical to the sequential run).
 
 use std::time::Instant;
 
-use questpro_bench::{automatic_workload, median, parallel_map, Table, Worlds};
+use questpro_bench::{automatic_workload, cli_threads, median, parallel_map, Table, Worlds};
 use questpro_core::{infer_top_k, TopKConfig};
 use questpro_engine::sample_example_set;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use questpro_graph::rng::StdRng;
 
 const TRIALS: u64 = 5;
 const EXPLANATIONS: usize = 7;
 
 fn main() {
     let worlds = Worlds::generate();
+    let threads = cli_threads();
     let cfg = TopKConfig {
         k: 3,
+        threads,
         ..Default::default()
     };
 
@@ -55,7 +58,7 @@ fn main() {
     rows.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite times"));
 
     let mut t = Table::new(
-        "E2 — top-k inference runtime (k=3, 7 explanations, median of 5 trials)",
+        format!("E2 — top-k inference runtime (k=3, 7 explanations, median of 5 trials, {threads} thread(s))"),
         &[
             "query",
             "world",

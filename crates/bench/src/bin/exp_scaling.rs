@@ -7,15 +7,16 @@
 //! E1–E4 are not artifacts of the small default worlds.
 //!
 //! Run with: `cargo run --release -p questpro-bench --bin exp_scaling`
+//! (add `--threads N` to shard evaluation and inference; results are
+//! bit-identical to the sequential run).
 
 use std::time::Instant;
 
-use questpro_bench::{median, Table};
+use questpro_bench::{cli_threads, median, Table};
 use questpro_core::{infer_top_k, TopKConfig};
 use questpro_data::{generate_sp2b, sp2b_workload, Sp2bConfig};
-use questpro_engine::{evaluate_union, sample_example_set};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use questpro_engine::{evaluate_union_with, sample_example_set};
+use questpro_graph::rng::StdRng;
 
 const SCALES: [f64; 4] = [0.5, 1.0, 2.0, 4.0];
 const TRIALS: u64 = 3;
@@ -32,8 +33,11 @@ fn main() {
         .expect("q2 in catalog")
         .query;
 
+    let threads = cli_threads();
     let mut t = Table::new(
-        "A3 — scaling with ontology size (SP2B-like, k=3, 7 explanations)",
+        format!(
+            "A3 — scaling with ontology size (SP2B-like, k=3, 7 explanations, {threads} thread(s))"
+        ),
         &[
             "scale",
             "nodes",
@@ -56,7 +60,7 @@ fn main() {
             let times: Vec<f64> = (0..TRIALS)
                 .map(|_| {
                     let start = Instant::now();
-                    let n = evaluate_union(&ont, q).len();
+                    let n = evaluate_union_with(&ont, q, threads).len();
                     std::hint::black_box(n);
                     start.elapsed().as_secs_f64() * 1e3
                 })
@@ -69,7 +73,11 @@ fn main() {
                     let mut rng = StdRng::seed_from_u64(0xa3 + s);
                     let ex = sample_example_set(&ont, q, 7, &mut rng, 6);
                     let start = Instant::now();
-                    let out = infer_top_k(&ont, &ex, &TopKConfig::default());
+                    let tk = TopKConfig {
+                        threads,
+                        ..Default::default()
+                    };
+                    let out = infer_top_k(&ont, &ex, &tk);
                     std::hint::black_box(out.1.algorithm1_calls);
                     start.elapsed().as_secs_f64() * 1e3
                 })

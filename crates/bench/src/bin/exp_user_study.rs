@@ -11,9 +11,8 @@
 use questpro_bench::{Table, Worlds};
 use questpro_data::movie_workload;
 use questpro_feedback::{simulate_study, StudyConfig};
+use questpro_graph::rng::StdRng;
 use questpro_query::UnionQuery;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn main() {
     let worlds = Worlds::generate();

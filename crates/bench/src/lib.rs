@@ -6,10 +6,11 @@
 //! Section VI-B reconstruction loop, markdown table rendering, and a
 //! scoped-thread parallel map for per-query sweeps.
 
+pub mod microbench;
+
 use std::fmt::Write as _;
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use questpro_graph::rng::StdRng;
 
 use questpro_core::{infer_top_k, with_all_diseqs, InferenceStats, TopKConfig};
 use questpro_data::{
@@ -182,27 +183,50 @@ impl Table {
     }
 }
 
-/// Maps `f` over `items` on scoped threads, preserving order.
+/// Maps `f` over `items` on scoped threads (one per item), preserving
+/// order.
 pub fn parallel_map<T: Send, R: Send>(items: Vec<T>, f: impl Fn(T) -> R + Sync) -> Vec<R> {
-    let mut results: Vec<Option<R>> = Vec::new();
-    results.resize_with(items.len(), || None);
-    crossbeam::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for (slot, item) in results.iter_mut().zip(items) {
-            let f = &f;
-            handles.push(scope.spawn(move |_| {
-                *slot = Some(f(item));
-            }));
-        }
-        for h in handles {
-            h.join().expect("experiment worker panicked");
-        }
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .into_iter()
+            .map(|item| scope.spawn(move || f(item)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("experiment worker panicked"))
+            .collect()
     })
-    .expect("scope join");
-    results
-        .into_iter()
-        .map(|r| r.expect("every slot filled"))
-        .collect()
+}
+
+/// Returns the value following `--name` (or embedded as `--name=value`)
+/// on the command line, if present.
+pub fn cli_value(name: &str) -> Option<String> {
+    let prefix = format!("{name}=");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == name {
+            return args.next();
+        }
+        if let Some(v) = a.strip_prefix(&prefix) {
+            return Some(v.to_string());
+        }
+    }
+    None
+}
+
+/// Whether the bare switch `--name` appears on the command line.
+pub fn cli_switch(name: &str) -> bool {
+    std::env::args().skip(1).any(|a| a == name)
+}
+
+/// The `--threads N` knob shared by the experiment binaries (default 1,
+/// clamped to at least 1).
+pub fn cli_threads() -> usize {
+    cli_value("--threads")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1usize)
+        .max(1)
 }
 
 /// Median of a (small) sample; panics on empty input.

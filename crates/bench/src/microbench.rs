@@ -1,0 +1,187 @@
+//! A minimal, dependency-free microbenchmark harness.
+//!
+//! The four `benches/*.rs` targets used to run under Criterion; the
+//! workspace now builds fully offline, so this module provides the small
+//! slice of that API the benches actually need: named groups, per-case
+//! timing with automatic iteration calibration, and a median-of-samples
+//! report printed as one line per case.
+//!
+//! Tuning knobs (environment variables):
+//!
+//! * `QUESTPRO_BENCH_SAMPLES` — samples per case (default 11).
+//! * `QUESTPRO_BENCH_MIN_SAMPLE_MS` — target wall time per sample, used
+//!   to calibrate the inner iteration count (default 20 ms; set to 1 for
+//!   a fast smoke run).
+
+use std::time::Instant;
+
+use crate::median;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&v| v > 0)
+        .unwrap_or(default)
+}
+
+/// Top-level harness: hands out named [`Group`]s and holds the shared
+/// sampling configuration.
+pub struct Criterion {
+    samples: usize,
+    min_sample_nanos: u128,
+}
+
+impl Criterion {
+    /// Builds a harness from the `QUESTPRO_BENCH_*` environment knobs.
+    pub fn from_env() -> Self {
+        Self {
+            samples: env_usize("QUESTPRO_BENCH_SAMPLES", 11),
+            min_sample_nanos: env_usize("QUESTPRO_BENCH_MIN_SAMPLE_MS", 20) as u128 * 1_000_000,
+        }
+    }
+
+    /// Starts a named group of related cases.
+    pub fn benchmark_group(&mut self, name: &str) -> Group<'_> {
+        Group {
+            c: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named collection of benchmark cases; prints `group/case: …` lines.
+pub struct Group<'a> {
+    c: &'a Criterion,
+    name: String,
+}
+
+impl Group<'_> {
+    /// Times one case. The closure receives a [`Bencher`] and must call
+    /// [`Bencher::iter`] with the workload.
+    pub fn bench_function(&mut self, case: &str, mut f: impl FnMut(&mut Bencher)) {
+        let mut b = Bencher {
+            samples: self.c.samples,
+            min_sample_nanos: self.c.min_sample_nanos,
+            per_iter_nanos: Vec::new(),
+        };
+        f(&mut b);
+        b.report(&self.name, case);
+    }
+
+    /// Times one parameterized case (`group/case/param`).
+    pub fn bench_with_input<I>(
+        &mut self,
+        case: impl std::fmt::Display,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        self.bench_function(&case.to_string(), |b| f(b, input));
+    }
+
+    /// Ends the group (provided for call-site symmetry; groups need no
+    /// teardown).
+    pub fn finish(self) {}
+}
+
+/// Runs and times the workload closure handed to a benchmark case.
+pub struct Bencher {
+    samples: usize,
+    min_sample_nanos: u128,
+    per_iter_nanos: Vec<f64>,
+}
+
+impl Bencher {
+    /// Measures `f`: calibrates an iteration count so one sample lasts at
+    /// least the configured minimum, then records per-iteration time for
+    /// each sample.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        // Calibrate: double the batch until it reaches the sample budget.
+        let mut batch: u64 = 1;
+        loop {
+            let t = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            let spent = t.elapsed().as_nanos();
+            if spent >= self.min_sample_nanos || batch >= 1 << 20 {
+                break;
+            }
+            // Aim straight for the budget, with 2x headroom capping.
+            batch = match (batch as u128 * self.min_sample_nanos).checked_div(spent) {
+                Some(target) => (batch * 2).min(target as u64 + 1),
+                None => batch * 8,
+            };
+        }
+        self.per_iter_nanos = (0..self.samples)
+            .map(|_| {
+                let t = Instant::now();
+                for _ in 0..batch {
+                    std::hint::black_box(f());
+                }
+                t.elapsed().as_nanos() as f64 / batch as f64
+            })
+            .collect();
+    }
+
+    fn report(&self, group: &str, case: &str) {
+        if self.per_iter_nanos.is_empty() {
+            println!("{group}/{case}: no measurement (Bencher::iter never called)");
+            return;
+        }
+        let med = median(self.per_iter_nanos.clone());
+        let min = self.per_iter_nanos.iter().cloned().fold(f64::MAX, f64::min);
+        let max = self.per_iter_nanos.iter().cloned().fold(0.0, f64::max);
+        println!(
+            "{group}/{case}: median {} (min {}, max {}, {} samples)",
+            fmt_nanos(med),
+            fmt_nanos(min),
+            fmt_nanos(max),
+            self.per_iter_nanos.len(),
+        );
+    }
+}
+
+/// Human-readable duration from fractional nanoseconds.
+fn fmt_nanos(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.0} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_reports() {
+        let mut c = Criterion {
+            samples: 3,
+            min_sample_nanos: 1_000,
+        };
+        let mut g = c.benchmark_group("smoke");
+        let mut calls = 0u64;
+        g.bench_function("counting", |b| {
+            b.iter(|| {
+                calls += 1;
+                calls
+            })
+        });
+        g.finish();
+        assert!(calls > 0, "workload closure never ran");
+    }
+
+    #[test]
+    fn fmt_nanos_picks_sane_units() {
+        assert_eq!(fmt_nanos(12.0), "12 ns");
+        assert_eq!(fmt_nanos(12_500.0), "12.50 µs");
+        assert_eq!(fmt_nanos(3_500_000.0), "3.50 ms");
+        assert_eq!(fmt_nanos(2_000_000_000.0), "2.00 s");
+    }
+}

@@ -12,14 +12,14 @@ questpro — interactive inference of SPARQL queries using provenance
 USAGE:
   questpro generate --world <erdos|sp2b|bsbm|movies> --out FILE [--seed N]
   questpro eval     --ontology FILE --query FILE [--provenance VALUE]
-                    [--polynomial] [--limit N]
+                    [--polynomial] [--limit N] [--threads N]
   questpro infer    --ontology FILE --examples FILE [--k N] [--w1 F] [--w2 F]
-                    [--diseqs] [--optional] [--minimize]
+                    [--diseqs] [--optional] [--minimize] [--threads N]
   questpro sample   --ontology FILE --query FILE [-n N] [--seed N]
                     [--result VALUE]   (explanations for one chosen result)
   questpro explore  --ontology FILE --node VALUE [--depth N]
   questpro session  --ontology FILE --examples FILE [--target FILE]
-                    [--k N] [--seed N] [--refine]
+                    [--k N] [--seed N] [--refine] [--threads N]
                     (without --target the questions are asked on stdin)
   questpro diagnose --ontology FILE --examples FILE
 
@@ -72,6 +72,8 @@ pub struct EvalArgs {
     pub limit: usize,
     /// Print semiring provenance polynomials instead of graphs.
     pub polynomial: bool,
+    /// Worker threads for evaluation / provenance enumeration.
+    pub threads: usize,
 }
 
 /// Arguments of `questpro infer`.
@@ -93,6 +95,8 @@ pub struct InferArgs {
     pub optional: bool,
     /// Whether to core-minimize candidates before printing.
     pub minimize: bool,
+    /// Worker threads for the inference hot path.
+    pub threads: usize,
 }
 
 /// Arguments of `questpro sample`.
@@ -139,6 +143,8 @@ pub struct SessionArgs {
     pub seed: u64,
     /// Whether to run disequality refinement.
     pub refine: bool,
+    /// Worker threads for the inference hot path.
+    pub threads: usize,
 }
 
 /// Arguments of `questpro diagnose`.
@@ -171,6 +177,7 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
             provenance: flags.get("provenance"),
             limit: flags.num("limit", 8)? as usize,
             polynomial: flags.switch("polynomial"),
+            threads: flags.num("threads", 1)?.max(1) as usize,
         })),
         "infer" => Ok(Command::Infer(InferArgs {
             ontology: flags.require("ontology")?,
@@ -181,6 +188,7 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
             diseqs: flags.switch("diseqs"),
             optional: flags.switch("optional"),
             minimize: flags.switch("minimize"),
+            threads: flags.num("threads", 1)?.max(1) as usize,
         })),
         "sample" => Ok(Command::Sample(SampleArgs {
             ontology: flags.require("ontology")?,
@@ -196,6 +204,7 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
             k: flags.num("k", 3)? as usize,
             seed: flags.num("seed", 0)?,
             refine: flags.switch("refine"),
+            threads: flags.num("threads", 1)?.max(1) as usize,
         })),
         "diagnose" => Ok(Command::Diagnose(DiagnoseArgs {
             ontology: flags.require("ontology")?,
@@ -307,6 +316,7 @@ mod tests {
                 assert_eq!(i.w1, 2.0);
                 assert!(i.diseqs);
                 assert!(!i.optional);
+                assert_eq!(i.threads, 1);
             }
             other => panic!("wrong command {other:?}"),
         }
@@ -335,6 +345,21 @@ mod tests {
     fn bad_number_is_reported() {
         let err = parse(&argv("infer --ontology o --examples e --k many")).unwrap_err();
         assert!(err.to_string().contains("integer"));
+    }
+
+    #[test]
+    fn parses_threads_flag() {
+        let cmd = parse(&argv("infer --ontology o --examples e --threads 8")).unwrap();
+        match cmd {
+            Command::Infer(i) => assert_eq!(i.threads, 8),
+            other => panic!("wrong command {other:?}"),
+        }
+        // 0 is clamped to 1 (sequential).
+        let cmd = parse(&argv("eval --ontology o --query q --threads 0")).unwrap();
+        match cmd {
+            Command::Eval(e) => assert_eq!(e.threads, 1),
+            other => panic!("wrong command {other:?}"),
+        }
     }
 
     #[test]

@@ -88,7 +88,7 @@ pub mod eval {
 
     use std::fmt::Write as _;
 
-    use questpro_engine::{evaluate_union, polynomial_of_union, provenance_of_union};
+    use questpro_engine::{evaluate_union_with, polynomial_of_union, provenance_of_union_with};
 
     use crate::args::EvalArgs;
     use crate::commands::io;
@@ -99,7 +99,7 @@ pub mod eval {
         let ont = io::load_ontology(&args.ontology)?;
         let query = io::load_query(&args.query)?;
         let mut out = String::new();
-        let results = evaluate_union(&ont, &query);
+        let results = evaluate_union_with(&ont, &query, args.threads);
         let _ = writeln!(out, "{} result(s):", results.len());
         for &r in &results {
             let _ = writeln!(out, "  {}", ont.value_str(r));
@@ -123,7 +123,13 @@ pub mod eval {
                 );
                 let _ = writeln!(out, "{}", p.describe(&ont));
             } else {
-                let graphs = provenance_of_union(&ont, &query, node, Some(args.limit.max(1)));
+                let graphs = provenance_of_union_with(
+                    &ont,
+                    &query,
+                    node,
+                    Some(args.limit.max(1)),
+                    args.threads,
+                );
                 let _ = writeln!(
                     out,
                     "\nprovenance of {value} ({} graph(s), limit {}):",
@@ -164,6 +170,7 @@ pub mod infer {
                 allow_optional: args.optional,
                 ..Default::default()
             },
+            threads: args.threads.max(1),
         };
         let (mut candidates, stats) = infer_top_k(&ont, &examples, &cfg);
         if args.minimize {
@@ -217,8 +224,7 @@ pub mod sample {
 
     use questpro_engine::sample_example_set;
     use questpro_graph::exformat;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use questpro_graph::rng::StdRng;
 
     use crate::args::SampleArgs;
     use crate::commands::io;
@@ -272,9 +278,8 @@ pub mod session {
     use questpro_core::TopKConfig;
     use questpro_engine::evaluate_union;
     use questpro_feedback::{run_session, Oracle, SessionConfig, TargetOracle};
+    use questpro_graph::rng::StdRng;
     use questpro_graph::{NodeId, Ontology, Subgraph};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     use crate::args::SessionArgs;
     use crate::commands::io;
@@ -333,6 +338,7 @@ pub mod session {
         let cfg = SessionConfig {
             topk: TopKConfig {
                 k: args.k.max(1),
+                threads: args.threads.max(1),
                 ..Default::default()
             },
             refine: args.refine,

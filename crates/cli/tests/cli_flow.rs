@@ -229,6 +229,7 @@ fn interactive_session_reads_answers_from_the_stream() {
         k: 3,
         seed: 7,
         refine: true,
+        threads: 2,
     };
     // Answer "no" to everything: the most specific surviving candidate
     // wins and all questions are consumed from the stream.

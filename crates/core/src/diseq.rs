@@ -18,7 +18,7 @@
 //! feedback loop runs on the "kept" side of difference queries, so that
 //! users never disqualify a query because of an over-strict disequality.
 
-use questpro_engine::find_onto_match;
+use questpro_engine::ConsistencyCache;
 use questpro_graph::{ExampleSet, Explanation, NodeId, Ontology};
 use questpro_query::{QueryNodeId, SimpleQuery, UnionQuery};
 
@@ -32,11 +32,28 @@ pub fn infer_diseqs(
     q: &SimpleQuery,
     examples: &ExampleSet,
 ) -> Vec<(QueryNodeId, QueryNodeId)> {
+    infer_diseqs_cached(ont, q, examples, &mut ConsistencyCache::new())
+}
+
+/// [`infer_diseqs`] with a shared [`ConsistencyCache`]: the feedback
+/// loop re-derives disequalities for the same branches after every
+/// refinement step, so the `(branch, explanation)` onto matches recur.
+pub fn infer_diseqs_cached(
+    ont: &Ontology,
+    q: &SimpleQuery,
+    examples: &ExampleSet,
+    cache: &mut ConsistencyCache,
+) -> Vec<(QueryNodeId, QueryNodeId)> {
     // Per covered explanation: the image of every query node (`None`
     // for nodes bound only by skipped OPTIONAL edges).
+    let qkey = questpro_engine::consistency::query_key(q);
     let assignments: Vec<Vec<Option<NodeId>>> = examples
         .iter()
-        .filter_map(|ex| find_onto_match(ont, q, ex).map(|m| m.nodes))
+        .filter_map(|ex| {
+            cache
+                .find_onto_match_keyed(qkey, ont, q, ex)
+                .map(|m| m.nodes)
+        })
         .collect();
     if assignments.is_empty() {
         return Vec::new();
@@ -69,11 +86,21 @@ pub fn infer_diseqs(
 /// The paper's `Q^all`: every branch of `u` augmented with all its
 /// admissible disequalities.
 pub fn with_all_diseqs(ont: &Ontology, u: &UnionQuery, examples: &ExampleSet) -> UnionQuery {
+    with_all_diseqs_cached(ont, u, examples, &mut ConsistencyCache::new())
+}
+
+/// [`with_all_diseqs`] with a shared [`ConsistencyCache`].
+pub fn with_all_diseqs_cached(
+    ont: &Ontology,
+    u: &UnionQuery,
+    examples: &ExampleSet,
+    cache: &mut ConsistencyCache,
+) -> UnionQuery {
     let branches = u
         .branches()
         .iter()
         .map(|q| {
-            let d = infer_diseqs(ont, q, examples);
+            let d = infer_diseqs_cached(ont, q, examples, cache);
             q.with_diseqs(d)
                 .expect("inferred disequalities are valid by construction")
         })
@@ -87,9 +114,20 @@ pub fn covered_explanations<'e>(
     q: &SimpleQuery,
     examples: &'e ExampleSet,
 ) -> Vec<&'e Explanation> {
+    covered_explanations_cached(ont, q, examples, &mut ConsistencyCache::new())
+}
+
+/// [`covered_explanations`] with a shared [`ConsistencyCache`].
+pub fn covered_explanations_cached<'e>(
+    ont: &Ontology,
+    q: &SimpleQuery,
+    examples: &'e ExampleSet,
+    cache: &mut ConsistencyCache,
+) -> Vec<&'e Explanation> {
+    let qkey = questpro_engine::consistency::query_key(q);
     examples
         .iter()
-        .filter(|ex| find_onto_match(ont, q, ex).is_some())
+        .filter(|ex| cache.find_onto_match_keyed(qkey, ont, q, ex).is_some())
         .collect()
 }
 
@@ -248,5 +286,28 @@ mod tests {
         let (o, examples) = world();
         let q = coauthor_query();
         assert_eq!(covered_explanations(&o, &q, &examples).len(), 2);
+    }
+
+    #[test]
+    fn cached_variants_agree_and_share_lookups() {
+        let (o, examples) = world();
+        let q = coauthor_query();
+        let u = UnionQuery::single(q.clone());
+        let mut cache = ConsistencyCache::new();
+        assert_eq!(
+            infer_diseqs_cached(&o, &q, &examples, &mut cache),
+            infer_diseqs(&o, &q, &examples)
+        );
+        assert_eq!(cache.hits(), 0);
+        // Re-deriving over the same branches hits the cache every time.
+        let u_all = with_all_diseqs_cached(&o, &u, &examples, &mut cache);
+        assert_eq!(
+            u_all.diseq_count(),
+            with_all_diseqs(&o, &u, &examples).diseq_count()
+        );
+        assert_eq!(cache.hits(), examples.len() as u64);
+        let covered = covered_explanations_cached(&o, &q, &examples, &mut cache);
+        assert_eq!(covered.len(), covered_explanations(&o, &q, &examples).len());
+        assert_eq!(cache.hits(), 2 * examples.len() as u64);
     }
 }

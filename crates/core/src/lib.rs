@@ -48,7 +48,10 @@ pub mod trivial;
 pub mod union;
 
 pub use diagnose::{diagnose_examples, infer_top_k_robust, ExampleDiagnosis, Suspicion};
-pub use diseq::{infer_diseqs, with_all_diseqs};
+pub use diseq::{
+    covered_explanations, covered_explanations_cached, infer_diseqs, infer_diseqs_cached,
+    with_all_diseqs, with_all_diseqs_cached,
+};
 pub use exact::{exact_merge_pair, ExactOutcome};
 pub use gain::GainWeights;
 pub use greedy::{merge_pair, GreedyConfig, MergeOutcome};

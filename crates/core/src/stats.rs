@@ -3,10 +3,19 @@
 //! Figure 6 of the paper plots the "number of intermediate queries
 //! considered" — the number of times Algorithm 2 calls Algorithm 1 inside
 //! `MergeBestTwo`. [`InferenceStats`] tracks that counter plus a few
-//! companions useful for the ablation benches.
+//! companions useful for the ablation benches, and — since the parallel
+//! hot path landed — per-stage wall-clock timings and the consistency-
+//! cache counters that feed `BENCH_1.json`.
+//!
+//! Equality (`PartialEq`/`Eq`) compares **only the deterministic
+//! algorithmic counters**: wall-clock timings and the matcher's global
+//! nodes-expanded delta vary run to run (and the latter is indicative
+//! under concurrent use of the process-wide counter), so they are
+//! excluded. Determinism tests can therefore assert `stats_a == stats_b`
+//! across thread counts.
 
 /// Counters accumulated during a union / top-k inference run.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct InferenceStats {
     /// Number of Algorithm 1 invocations (the Figure 6 metric).
     pub algorithm1_calls: usize,
@@ -19,7 +28,39 @@ pub struct InferenceStats {
     /// Algorithm 1 invocations answered from the pairwise merge cache
     /// (still counted in `algorithm1_calls` — the Figure 6 metric).
     pub merge_cache_hits: usize,
+    /// Consistency (onto-match) checks requested through the
+    /// `questpro_engine::ConsistencyCache`.
+    pub consistency_checks: usize,
+    /// Consistency checks answered from the cache without re-running the
+    /// matcher.
+    pub consistency_cache_hits: usize,
+    /// Matcher search-tree nodes expanded during this run (delta of the
+    /// process-wide `questpro_engine::metrics` counter; **indicative
+    /// only** when other threads drive matchers concurrently).
+    pub matcher_nodes_expanded: u64,
+    /// Wall-clock nanoseconds spent inside `MergeBestTwo` pair scans
+    /// (the Algorithm 1 stage).
+    pub merge_nanos: u128,
+    /// Wall-clock nanoseconds spent in consistency checking.
+    pub consistency_nanos: u128,
+    /// Total wall-clock nanoseconds of the inference entry point.
+    pub total_nanos: u128,
 }
+
+impl PartialEq for InferenceStats {
+    /// Compares the deterministic counters only (see module docs).
+    fn eq(&self, other: &Self) -> bool {
+        self.algorithm1_calls == other.algorithm1_calls
+            && self.merges_applied == other.merges_applied
+            && self.states_examined == other.states_examined
+            && self.rounds == other.rounds
+            && self.merge_cache_hits == other.merge_cache_hits
+            && self.consistency_checks == other.consistency_checks
+            && self.consistency_cache_hits == other.consistency_cache_hits
+    }
+}
+
+impl Eq for InferenceStats {}
 
 impl InferenceStats {
     /// Adds another stats record into this one.
@@ -29,6 +70,31 @@ impl InferenceStats {
         self.states_examined += other.states_examined;
         self.rounds += other.rounds;
         self.merge_cache_hits += other.merge_cache_hits;
+        self.consistency_checks += other.consistency_checks;
+        self.consistency_cache_hits += other.consistency_cache_hits;
+        self.matcher_nodes_expanded += other.matcher_nodes_expanded;
+        self.merge_nanos += other.merge_nanos;
+        self.consistency_nanos += other.consistency_nanos;
+        self.total_nanos += other.total_nanos;
+    }
+
+    /// `consistency_cache_hits / consistency_checks`, or 0 when no check
+    /// ran.
+    pub fn consistency_hit_rate(&self) -> f64 {
+        if self.consistency_checks == 0 {
+            0.0
+        } else {
+            self.consistency_cache_hits as f64 / self.consistency_checks as f64
+        }
+    }
+
+    /// `merge_cache_hits / algorithm1_calls`, or 0 when no call ran.
+    pub fn merge_hit_rate(&self) -> f64 {
+        if self.algorithm1_calls == 0 {
+            0.0
+        } else {
+            self.merge_cache_hits as f64 / self.algorithm1_calls as f64
+        }
     }
 }
 
@@ -44,6 +110,12 @@ mod tests {
             states_examined: 2,
             rounds: 1,
             merge_cache_hits: 1,
+            consistency_checks: 4,
+            consistency_cache_hits: 2,
+            matcher_nodes_expanded: 10,
+            merge_nanos: 100,
+            consistency_nanos: 50,
+            total_nanos: 200,
         };
         a.absorb(InferenceStats {
             algorithm1_calls: 4,
@@ -51,11 +123,60 @@ mod tests {
             states_examined: 5,
             rounds: 2,
             merge_cache_hits: 2,
+            consistency_checks: 6,
+            consistency_cache_hits: 3,
+            matcher_nodes_expanded: 5,
+            merge_nanos: 11,
+            consistency_nanos: 7,
+            total_nanos: 23,
         });
         assert_eq!(a.algorithm1_calls, 7);
         assert_eq!(a.merges_applied, 3);
         assert_eq!(a.states_examined, 7);
         assert_eq!(a.rounds, 3);
         assert_eq!(a.merge_cache_hits, 3);
+        assert_eq!(a.consistency_checks, 10);
+        assert_eq!(a.consistency_cache_hits, 5);
+        assert_eq!(a.matcher_nodes_expanded, 15);
+        assert_eq!(a.merge_nanos, 111);
+        assert_eq!(a.consistency_nanos, 57);
+        assert_eq!(a.total_nanos, 223);
+    }
+
+    #[test]
+    fn equality_ignores_timings_and_matcher_delta() {
+        let a = InferenceStats {
+            algorithm1_calls: 3,
+            total_nanos: 99,
+            matcher_nodes_expanded: 7,
+            ..Default::default()
+        };
+        let b = InferenceStats {
+            algorithm1_calls: 3,
+            total_nanos: 12345,
+            matcher_nodes_expanded: 0,
+            ..Default::default()
+        };
+        assert_eq!(a, b);
+        let c = InferenceStats {
+            algorithm1_calls: 4,
+            ..Default::default()
+        };
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn hit_rates() {
+        let s = InferenceStats {
+            algorithm1_calls: 4,
+            merge_cache_hits: 1,
+            consistency_checks: 8,
+            consistency_cache_hits: 6,
+            ..Default::default()
+        };
+        assert!((s.merge_hit_rate() - 0.25).abs() < 1e-12);
+        assert!((s.consistency_hit_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(InferenceStats::default().merge_hit_rate(), 0.0);
+        assert_eq!(InferenceStats::default().consistency_hit_rate(), 0.0);
     }
 }

@@ -13,6 +13,7 @@
 //! every round does not guarantee the global top-k (the `k = 1` case is
 //! already NP-hard).
 
+use questpro_engine::{metrics, ConsistencyCache};
 use questpro_graph::{ExampleSet, Ontology};
 use questpro_query::iso::union_isomorphic;
 use questpro_query::{GeneralizationWeights, UnionQuery};
@@ -20,7 +21,8 @@ use questpro_query::{GeneralizationWeights, UnionQuery};
 use crate::greedy::GreedyConfig;
 use crate::stats::InferenceStats;
 use crate::union::{
-    apply_merge, branches_cost, initial_branches, merge_candidates, Branch, MergeCache,
+    apply_merge, branches_cost, initial_branches, merge_candidates, union_consistent_cached,
+    Branch, MergeCache,
 };
 
 /// Configuration of the top-k inference.
@@ -32,6 +34,9 @@ pub struct TopKConfig {
     pub weights: GeneralizationWeights,
     /// Configuration of the inner Algorithm 1 runs.
     pub greedy: GreedyConfig,
+    /// Worker threads for the `MergeBestTwo` pair scans (1 = sequential;
+    /// results and stats are identical at every value).
+    pub threads: usize,
 }
 
 impl Default for TopKConfig {
@@ -40,6 +45,7 @@ impl Default for TopKConfig {
             k: 3,
             weights: GeneralizationWeights::default(),
             greedy: GreedyConfig::default(),
+            threads: 1,
         }
     }
 }
@@ -99,8 +105,11 @@ pub fn infer_top_k(
 ) -> (Vec<UnionQuery>, InferenceStats) {
     assert!(cfg.k >= 1, "k must be at least 1");
     assert!(!examples.is_empty(), "example-set must be non-empty");
+    let t_total = std::time::Instant::now();
+    let nodes0 = metrics::nodes_expanded();
     let mut stats = InferenceStats::default();
     let mut cache = MergeCache::default();
+    let mut ccache = ConsistencyCache::new();
     let mut beam: Vec<State> = vec![make_state(initial_branches(ont, examples), cfg.weights)];
 
     // Each merge reduces a state's branch count by one, so chains of
@@ -116,8 +125,14 @@ pub fn infer_top_k(
             }
             state.expanded = true;
             stats.states_examined += 1;
-            let candidates =
-                merge_candidates(&state.branches, &cfg.greedy, cfg.k, &mut stats, &mut cache);
+            let candidates = merge_candidates(
+                &state.branches,
+                &cfg.greedy,
+                cfg.k,
+                cfg.threads,
+                &mut stats,
+                &mut cache,
+            );
             for cand in candidates {
                 let next = apply_merge(&state.branches, &cand);
                 successors.push(make_state(next, cfg.weights));
@@ -126,6 +141,16 @@ pub fn infer_top_k(
         pool.append(&mut beam);
         for s in successors {
             if !pool.iter().any(|p| union_isomorphic(&p.query, &s.query)) {
+                // Re-verify the admitted successor (memoized: beam states
+                // share most branches across rounds, so almost every
+                // lookup after round one is a cache hit).
+                let t_c = std::time::Instant::now();
+                let ok = union_consistent_cached(ont, &s.branches, examples, &mut ccache);
+                stats.consistency_nanos += t_c.elapsed().as_nanos();
+                assert!(
+                    ok,
+                    "successor state must stay consistent with the example-set"
+                );
                 stats.merges_applied += 1;
                 any_new = true;
                 pool.push(s);
@@ -140,6 +165,10 @@ pub fn infer_top_k(
     }
 
     let queries = beam.into_iter().map(|s| s.query).collect();
+    stats.consistency_checks = ccache.lookups() as usize;
+    stats.consistency_cache_hits = ccache.hits() as usize;
+    stats.matcher_nodes_expanded = metrics::nodes_expanded().wrapping_sub(nodes0);
+    stats.total_nanos = t_total.elapsed().as_nanos();
     (queries, stats)
 }
 
@@ -283,6 +312,29 @@ mod tests {
         // (monotone here because expansion work only grows with beam
         // width on this fixture).
         assert!(calls_for(5) >= calls_for(1));
+    }
+
+    #[test]
+    fn threads_do_not_change_beam_or_stats() {
+        let (o, examples) = world();
+        let base = TopKConfig {
+            k: 4,
+            weights: GeneralizationWeights::example_4_4(),
+            ..Default::default()
+        };
+        let (q1, s1) = infer_top_k(&o, &examples, &base);
+        for threads in [2, 8] {
+            let cfg = TopKConfig { threads, ..base };
+            let (qn, sn) = infer_top_k(&o, &examples, &cfg);
+            let render = |qs: &[UnionQuery]| qs.iter().map(|q| q.to_string()).collect::<Vec<_>>();
+            assert_eq!(render(&qn), render(&q1));
+            assert_eq!(sn, s1, "stats must be thread-count invariant");
+        }
+        assert!(s1.consistency_checks > 0);
+        assert!(
+            s1.consistency_cache_hits > 0,
+            "beam states share branches, so the consistency cache must hit"
+        );
     }
 
     #[test]

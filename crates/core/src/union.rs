@@ -6,6 +6,9 @@
 //! generalization cost `f(Q) = w1·Σvars + w2·|Q|` (Def. 4.1) keeps
 //! decreasing.
 
+use questpro_engine::par::map_chunked;
+use questpro_engine::{metrics, ConsistencyCache};
+use questpro_graph::fxhash::fx_hash_one;
 use questpro_graph::{ExampleSet, Ontology};
 use questpro_query::{GeneralizationWeights, SimpleQuery, UnionQuery};
 
@@ -14,12 +17,25 @@ use crate::pattern::PatternGraph;
 use crate::stats::InferenceStats;
 
 /// Configuration of Algorithm 2.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy)]
 pub struct UnionConfig {
     /// Weights of the generalization cost function `f`.
     pub weights: GeneralizationWeights,
     /// Configuration of the inner Algorithm 1 runs.
     pub greedy: GreedyConfig,
+    /// Worker threads for the `MergeBestTwo` pair scan (1 = sequential;
+    /// results and stats are identical at every value).
+    pub threads: usize,
+}
+
+impl Default for UnionConfig {
+    fn default() -> Self {
+        Self {
+            weights: GeneralizationWeights::default(),
+            greedy: GreedyConfig::default(),
+            threads: 1,
+        }
+    }
 }
 
 /// One branch of the evolving union: the query, its pattern graph, and
@@ -59,26 +75,12 @@ pub(crate) struct MergeCache {
     map: std::collections::HashMap<BranchPairKey, CachedMerge>,
 }
 
-impl MergeCache {
-    fn get_or_compute(
-        &mut self,
-        a: &Branch,
-        b: &Branch,
-        cfg: &GreedyConfig,
-        stats: &mut InferenceStats,
-    ) -> Option<(SimpleQuery, f64)> {
-        let key = if a.key <= b.key {
-            (a.key.clone(), b.key.clone())
-        } else {
-            (b.key.clone(), a.key.clone())
-        };
-        if let Some(hit) = self.map.get(&key) {
-            stats.merge_cache_hits += 1;
-            return hit.clone();
-        }
-        let outcome = merge_pair(&a.graph, &b.graph, cfg).map(|o| (o.query, o.gain));
-        self.map.insert(key, outcome.clone());
-        outcome
+/// The order-normalized cache key of a branch pair.
+fn pair_key(a: &Branch, b: &Branch) -> BranchPairKey {
+    if a.key <= b.key {
+        (a.key.clone(), b.key.clone())
+    } else {
+        (b.key.clone(), a.key.clone())
     }
 }
 
@@ -106,29 +108,90 @@ pub(crate) struct BestMerge {
 /// Scans all branch pairs with Algorithm 1 and returns the candidates
 /// sorted best-first (fewest merged-query variables, then highest gain),
 /// up to `take` of them. Increments `stats.algorithm1_calls` per pair.
+///
+/// The pairwise merges are independent, so cache misses run on up to
+/// `threads` scoped workers. Accounting is done in a sequential pass
+/// over the pairs in `i < j` order *before* dispatching, so
+/// `algorithm1_calls` and `merge_cache_hits` are bit-identical to the
+/// sequential scan at every thread count: a pair whose key is already
+/// cached — or whose key first occurred earlier in this same scan — is
+/// a hit; the first occurrence of a missing key is the one miss.
 pub(crate) fn merge_candidates(
     branches: &[Branch],
     cfg: &GreedyConfig,
     take: usize,
+    threads: usize,
     stats: &mut InferenceStats,
     cache: &mut MergeCache,
 ) -> Vec<BestMerge> {
-    let mut all: Vec<(usize, f64, BestMerge)> = Vec::new();
+    let t0 = std::time::Instant::now();
+    let mut pairs: Vec<(usize, usize, BranchPairKey)> = Vec::new();
     for i in 0..branches.len() {
         for j in (i + 1)..branches.len() {
-            stats.algorithm1_calls += 1;
-            if let Some((query, gain)) =
-                cache.get_or_compute(&branches[i], &branches[j], cfg, stats)
-            {
-                all.push((query.generalization_vars(), gain, BestMerge { i, j, query }));
-            }
+            pairs.push((i, j, pair_key(&branches[i], &branches[j])));
+        }
+    }
+    // Sequential accounting pass + work-list of distinct missing keys.
+    let mut scheduled: std::collections::HashSet<BranchPairKey> = std::collections::HashSet::new();
+    let mut missing: Vec<(usize, usize)> = Vec::new();
+    for (i, j, key) in &pairs {
+        stats.algorithm1_calls += 1;
+        if cache.map.contains_key(key) || scheduled.contains(key) {
+            stats.merge_cache_hits += 1;
+        } else {
+            scheduled.insert(key.clone());
+            missing.push((*i, *j));
+        }
+    }
+    // Solve the misses (possibly in parallel; `merge_pair` is a pure
+    // deterministic function) and install them in scan order.
+    let outcomes = map_chunked(&missing, threads, |&(i, j)| {
+        merge_pair(&branches[i].graph, &branches[j].graph, cfg).map(|o| (o.query, o.gain))
+    });
+    for (&(i, j), outcome) in missing.iter().zip(outcomes) {
+        cache
+            .map
+            .insert(pair_key(&branches[i], &branches[j]), outcome);
+    }
+    // Collect results in pair order, exactly as the sequential scan did.
+    let mut all: Vec<(usize, f64, BestMerge)> = Vec::new();
+    for (i, j, key) in pairs {
+        if let Some(Some((query, gain))) = cache.map.get(&key) {
+            all.push((
+                query.generalization_vars(),
+                *gain,
+                BestMerge {
+                    i,
+                    j,
+                    query: query.clone(),
+                },
+            ));
         }
     }
     all.sort_by(|a, b| {
         a.0.cmp(&b.0)
             .then(b.1.partial_cmp(&a.1).expect("finite gains"))
     });
+    stats.merge_nanos += t0.elapsed().as_nanos();
     all.into_iter().take(take).map(|(_, _, m)| m).collect()
+}
+
+/// Whether every explanation is covered by at least one branch, checked
+/// through the shared [`ConsistencyCache`]. Branch keys double as the
+/// canonical query hashes, so no re-rendering happens per lookup.
+pub(crate) fn union_consistent_cached(
+    ont: &Ontology,
+    branches: &[Branch],
+    examples: &ExampleSet,
+    cache: &mut ConsistencyCache,
+) -> bool {
+    examples.iter().all(|ex| {
+        branches.iter().any(|b| {
+            cache
+                .find_onto_match_keyed(fx_hash_one(&b.key), ont, &b.query, ex)
+                .is_some()
+        })
+    })
 }
 
 /// Applies a merge to a branch vector, producing the successor state.
@@ -178,19 +241,35 @@ pub fn find_consistent_union(
     cfg: &UnionConfig,
 ) -> (UnionQuery, InferenceStats) {
     assert!(!examples.is_empty(), "example-set must be non-empty");
+    let t_total = std::time::Instant::now();
+    let nodes0 = metrics::nodes_expanded();
     let mut stats = InferenceStats::default();
     let mut cache = MergeCache::default();
+    let mut ccache = ConsistencyCache::new();
     let mut branches = initial_branches(ont, examples);
     let mut cost = branches_cost(&branches, cfg.weights);
     loop {
         stats.rounds += 1;
-        let candidates = merge_candidates(&branches, &cfg.greedy, 1, &mut stats, &mut cache);
+        let candidates = merge_candidates(
+            &branches,
+            &cfg.greedy,
+            1,
+            cfg.threads,
+            &mut stats,
+            &mut cache,
+        );
         let Some(best) = candidates.into_iter().next() else {
             break;
         };
         let next = apply_merge(&branches, &best);
         let next_cost = branches_cost(&next, cfg.weights);
         if next_cost < cost {
+            // Re-verify the accepted state (memoized: only the freshly
+            // merged branch triggers new onto-match searches).
+            let t_c = std::time::Instant::now();
+            let ok = union_consistent_cached(ont, &next, examples, &mut ccache);
+            stats.consistency_nanos += t_c.elapsed().as_nanos();
+            assert!(ok, "applied merge must preserve consistency (Prop. 3.13)");
             branches = next;
             cost = next_cost;
             stats.merges_applied += 1;
@@ -200,6 +279,10 @@ pub fn find_consistent_union(
     }
     let union = UnionQuery::new(branches.into_iter().map(|b| b.query).collect())
         .expect("non-empty example-set yields non-empty union");
+    stats.consistency_checks = ccache.lookups() as usize;
+    stats.consistency_cache_hits = ccache.hits() as usize;
+    stats.matcher_nodes_expanded = metrics::nodes_expanded().wrapping_sub(nodes0);
+    stats.total_nanos = t_total.elapsed().as_nanos();
     (union, stats)
 }
 
@@ -327,6 +410,23 @@ mod tests {
         assert_eq!(q.len(), examples.len());
         assert_eq!(q.total_vars(), 0);
         assert_eq!(stats.merges_applied, 0);
+    }
+
+    #[test]
+    fn threads_do_not_change_result_or_stats() {
+        let (o, examples) = world();
+        let (q1, s1) = find_consistent_union(&o, &examples, &UnionConfig::default());
+        for threads in [2, 4, 8] {
+            let cfg = UnionConfig {
+                threads,
+                ..Default::default()
+            };
+            let (qn, sn) = find_consistent_union(&o, &examples, &cfg);
+            assert_eq!(qn.to_string(), q1.to_string());
+            assert_eq!(sn, s1, "stats must be thread-count invariant");
+        }
+        assert!(s1.consistency_checks > 0);
+        assert!(s1.total_nanos > 0);
     }
 
     #[test]

@@ -7,8 +7,7 @@
 //! [`crate::workloads`] have the same structural envelope (1–12 edges,
 //! multiple joins) as the queries the paper ran.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use questpro_graph::rng::{Rng, StdRng};
 
 use questpro_graph::Ontology;
 

@@ -9,8 +9,7 @@
 //! and countries with DBpedia-like predicates: `starring`, `director`,
 //! `genre`, `country`, `release_year`.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use questpro_graph::rng::{Rng, StdRng};
 
 use questpro_graph::{Ontology, OntologyBuilder};
 
@@ -183,12 +182,12 @@ pub fn generate_movies(cfg: &MoviesConfig) -> Ontology {
         let director = format!("director_{}", rng.random_range(0..cfg.directors));
         // ~15% of bulk films have no genre annotation (DBpedia-style
         // incompleteness) — the data that motivates OPTIONAL patterns.
-        let genre = if rng.random::<f64>() < 0.85 {
+        let genre = if rng.random_f64() < 0.85 {
             Some(format!("genre_{}", rng.random_range(0..cfg.genres)))
         } else {
             None
         };
-        let country = if rng.random::<f64>() < 0.12 {
+        let country = if rng.random_f64() < 0.12 {
             "England".to_string()
         } else {
             format!("country_{}", rng.random_range(0..cfg.countries))
@@ -198,7 +197,7 @@ pub fn generate_movies(cfg: &MoviesConfig) -> Ontology {
         for _ in 0..ncast {
             // Occasionally cast an anchor actor so anchor neighborhoods
             // are rich (Bacon-number chains, co-star queries).
-            if rng.random::<f64>() < 0.08 {
+            if rng.random_f64() < 0.08 {
                 let anchors = ["Kevin_Bacon", "Uma_Thurman", "Tom_Hanks"];
                 cast.push(anchors[rng.random_range(0..anchors.len())].to_string());
             } else {

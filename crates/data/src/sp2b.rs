@@ -10,8 +10,7 @@
 //! Author participation is skewed (quadratic transform of a uniform
 //! draw) to imitate DBLP's power-law co-authorship distribution.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use questpro_graph::rng::{Rng, StdRng};
 
 use questpro_graph::{Ontology, OntologyBuilder};
 
@@ -86,7 +85,7 @@ pub fn generate_sp2b(cfg: &Sp2bConfig) -> Ontology {
 
     // Skewed author pick: quadratic transform favors low indexes.
     let pick_author = |rng: &mut StdRng, n: usize| -> usize {
-        let r: f64 = rng.random();
+        let r: f64 = rng.random_f64();
         ((r * r) * n as f64) as usize % n
     };
 
@@ -124,7 +123,7 @@ pub fn generate_sp2b(cfg: &Sp2bConfig) -> Ontology {
     let total = paper_names.len();
     for i in 1..total {
         let mut cites = 0usize;
-        while cites < 5 && rng.random::<f64>() < cfg.avg_citations / (cites as f64 + 1.5) {
+        while cites < 5 && rng.random_f64() < cfg.avg_citations / (cites as f64 + 1.5) {
             let target = rng.random_range(0..i);
             if target != i {
                 let _ = b.edge_idempotent(&paper_names[i], "cites", &paper_names[target]);

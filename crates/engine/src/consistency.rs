@@ -10,9 +10,17 @@
 //!
 //! The check is NP-complete in the query size in general; the matcher's
 //! coverage pruning keeps it fast at the sizes inference produces.
+//!
+//! Inference re-runs the same checks constantly: Algorithm 2 / top-k
+//! beam search carry the same branches across states and rounds, and
+//! disequality inference revisits every `(branch, explanation)` pair.
+//! [`ConsistencyCache`] memoizes `find_onto_match` results under a
+//! `(query-canonical-hash, explanation-hash)` key so each distinct pair
+//! is solved once per inference run.
 
+use questpro_graph::fxhash::{fx_hash_one, FxHashMap};
 use questpro_graph::{ExampleSet, Explanation, Ontology};
-use questpro_query::{SimpleQuery, UnionQuery};
+use questpro_query::{sparql, SimpleQuery, UnionQuery};
 
 use crate::matcher::{Match, Matcher};
 
@@ -43,6 +51,103 @@ pub fn consistent_with_examples(ont: &Ontology, q: &UnionQuery, examples: &Examp
             .iter()
             .any(|branch| consistent_with_explanation(ont, branch, ex))
     })
+}
+
+/// Cache key of a query: the FxHash of its canonical SPARQL text (the
+/// same canonical form `questpro-core` keys its merge cache with, so
+/// α-equivalent branches share consistency results).
+pub fn query_key(q: &SimpleQuery) -> u64 {
+    fx_hash_one(&sparql::format_simple(q))
+}
+
+/// Cache key of an explanation: the FxHash of its distinguished node
+/// and canonical edge set.
+pub fn explanation_key(ex: &Explanation) -> u64 {
+    fx_hash_one(&(ex.distinguished(), ex.subgraph().edges()))
+}
+
+/// Memoizes [`find_onto_match`] under `(query_key, explanation_key)`.
+///
+/// Scope contract: one cache per ontology/world — keys do not include
+/// the ontology, so reusing a cache across worlds returns stale
+/// results. Counters feed `InferenceStats` (consistency calls and cache
+/// hit rate) in `questpro-core`.
+#[derive(Debug, Default)]
+pub struct ConsistencyCache {
+    map: FxHashMap<(u64, u64), Option<Match>>,
+    lookups: u64,
+    hits: u64,
+}
+
+impl ConsistencyCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Cached [`find_onto_match`], deriving the query key from `q`.
+    pub fn find_onto_match(
+        &mut self,
+        ont: &Ontology,
+        q: &SimpleQuery,
+        ex: &Explanation,
+    ) -> Option<Match> {
+        self.find_onto_match_keyed(query_key(q), ont, q, ex)
+    }
+
+    /// Cached [`find_onto_match`] with a precomputed query key (hot
+    /// paths that already hold a canonical form, e.g. union branches).
+    pub fn find_onto_match_keyed(
+        &mut self,
+        qkey: u64,
+        ont: &Ontology,
+        q: &SimpleQuery,
+        ex: &Explanation,
+    ) -> Option<Match> {
+        let key = (qkey, explanation_key(ex));
+        self.lookups += 1;
+        if let Some(cached) = self.map.get(&key) {
+            self.hits += 1;
+            return cached.clone();
+        }
+        let m = find_onto_match(ont, q, ex);
+        self.map.insert(key, m.clone());
+        m
+    }
+
+    /// Cached [`consistent_with_explanation`].
+    pub fn consistent(&mut self, ont: &Ontology, q: &SimpleQuery, ex: &Explanation) -> bool {
+        self.find_onto_match(ont, q, ex).is_some()
+    }
+
+    /// Total lookups since construction.
+    pub fn lookups(&self) -> u64 {
+        self.lookups
+    }
+
+    /// Lookups answered from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// `hits / lookups`, or 0 when never used.
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups as f64
+        }
+    }
+
+    /// Number of distinct `(query, explanation)` pairs solved.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache has solved no pair yet.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
 }
 
 #[cfg(test)]
@@ -194,6 +299,35 @@ mod tests {
         let a4 = q.node_of_var("a4").unwrap();
         assert_eq!(o.value_str(m.node_image(a1).unwrap()), "Alice");
         assert_eq!(o.value_str(m.node_image(a4).unwrap()), "Erdos");
+    }
+
+    #[test]
+    fn cache_agrees_with_uncached_and_counts_hits() {
+        let (o, e1, e2) = world();
+        let mut cache = ConsistencyCache::new();
+        for q in [erdos_q1(), erdos_q2()] {
+            for ex in [&e1, &e2] {
+                assert_eq!(
+                    cache.find_onto_match(&o, &q, ex),
+                    find_onto_match(&o, &q, ex)
+                );
+            }
+        }
+        assert_eq!(cache.lookups(), 4);
+        assert_eq!(cache.hits(), 0);
+        assert_eq!(cache.len(), 4);
+        // Second pass: all hits, same answers.
+        for q in [erdos_q1(), erdos_q2()] {
+            for ex in [&e1, &e2] {
+                assert_eq!(
+                    cache.consistent(&o, &q, ex),
+                    find_onto_match(&o, &q, ex).is_some()
+                );
+            }
+        }
+        assert_eq!(cache.lookups(), 8);
+        assert_eq!(cache.hits(), 4);
+        assert!((cache.hit_rate() - 0.5).abs() < 1e-12);
     }
 
     #[test]

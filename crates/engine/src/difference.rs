@@ -8,8 +8,7 @@
 
 use std::collections::BTreeSet;
 
-use rand::seq::IteratorRandom;
-use rand::Rng;
+use questpro_graph::rng::{IteratorRandom, Rng};
 
 use questpro_graph::{NodeId, Ontology, Subgraph};
 use questpro_query::UnionQuery;
@@ -51,9 +50,8 @@ pub fn difference_with_witness<R: Rng>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use questpro_graph::rng::StdRng;
     use questpro_query::SimpleQuery;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     fn world() -> Ontology {
         let mut b = Ontology::builder();

@@ -12,15 +12,13 @@
 //! provenance, then bind one result and track provenance just for it).
 
 use std::collections::BTreeSet;
-use std::ops::ControlFlow;
 
-use rand::seq::IteratorRandom;
-use rand::Rng;
-
+use questpro_graph::rng::{IteratorRandom, Rng, SliceRandom};
 use questpro_graph::{NodeId, Ontology, Subgraph};
 use questpro_query::{SimpleQuery, UnionQuery};
 
 use crate::matcher::Matcher;
+use crate::par::map_chunked;
 
 /// Candidate images of the projected node, computed from its cheapest
 /// incident **required** edge (optional edges do not constrain results);
@@ -91,44 +89,53 @@ fn projected_candidates(ont: &Ontology, q: &SimpleQuery) -> Option<Vec<NodeId>> 
 /// # Ok::<(), questpro_graph::GraphError>(())
 /// ```
 pub fn evaluate(ont: &Ontology, q: &SimpleQuery) -> BTreeSet<NodeId> {
-    let mut out = BTreeSet::new();
+    evaluate_with(ont, q, 1)
+}
+
+/// [`evaluate`] with the per-candidate existence checks spread over up
+/// to `threads` scoped workers. The result is a set, and every check is
+/// independent, so the output is identical for every thread count.
+pub fn evaluate_with(ont: &Ontology, q: &SimpleQuery, threads: usize) -> BTreeSet<NodeId> {
     // Result sets are determined by the required pattern; skipping the
     // OPTIONAL extension phase makes the existence checks cheaper.
-    match projected_candidates(ont, q) {
-        Some(cands) => {
-            for v in cands {
-                if Matcher::new(ont, q)
-                    .bind(q.projected(), v)
-                    .skip_optionals()
-                    .exists()
-                {
-                    out.insert(v);
-                }
-            }
-        }
-        None => {
-            // Isolated projected node: every node extends iff the rest of
-            // the pattern matches at all — but diseqs may couple the
-            // projected node to the rest, so bind each candidate.
-            for v in ont.node_ids() {
-                if Matcher::new(ont, q)
-                    .bind(q.projected(), v)
-                    .skip_optionals()
-                    .exists()
-                {
-                    out.insert(v);
-                }
-            }
-        }
-    }
-    out
+    // Isolated projected node (None): every node extends iff the rest
+    // of the pattern matches at all — but diseqs may couple the
+    // projected node to the rest, so bind each candidate either way.
+    let cands: Vec<NodeId> = match projected_candidates(ont, q) {
+        Some(cands) => cands,
+        None => ont.node_ids().collect(),
+    };
+    let hits = map_chunked(&cands, threads, |&v| {
+        Matcher::new(ont, q)
+            .bind(q.projected(), v)
+            .skip_optionals()
+            .exists()
+    });
+    cands
+        .into_iter()
+        .zip(hits)
+        .filter_map(|(v, hit)| hit.then_some(v))
+        .collect()
 }
 
 /// Evaluates a union query: `q1(O) ∪ … ∪ qn(O)`.
 pub fn evaluate_union(ont: &Ontology, q: &UnionQuery) -> BTreeSet<NodeId> {
+    evaluate_union_with(ont, q, 1)
+}
+
+/// [`evaluate_union`] with branches evaluated concurrently (a union is
+/// a set union of independent branch evaluations, so the output is
+/// identical for every thread count). A single-branch union falls back
+/// to per-candidate parallelism instead.
+pub fn evaluate_union_with(ont: &Ontology, q: &UnionQuery, threads: usize) -> BTreeSet<NodeId> {
+    let branches = q.branches();
+    if branches.len() == 1 {
+        return evaluate_with(ont, &branches[0], threads);
+    }
+    let per_branch = map_chunked(branches, threads, |b| evaluate(ont, b));
     let mut out = BTreeSet::new();
-    for branch in q.branches() {
-        out.extend(evaluate(ont, branch));
+    for set in per_branch {
+        out.extend(set);
     }
     out
 }
@@ -147,15 +154,28 @@ pub fn provenance_of(
     res: NodeId,
     limit: Option<usize>,
 ) -> Vec<Subgraph> {
-    let mut images: BTreeSet<Subgraph> = BTreeSet::new();
-    Matcher::new(ont, q).bind(q.projected(), res).for_each(|m| {
-        images.insert(m.image(ont));
-        match limit {
-            Some(l) if images.len() >= l => ControlFlow::Break(()),
-            _ => ControlFlow::Continue(()),
-        }
-    });
-    images.into_iter().collect()
+    provenance_of_with(ont, q, res, limit, 1)
+}
+
+/// [`provenance_of`] with the match enumeration sharded over up to
+/// `threads` workers ([`Matcher::parallel`]). The `limit`-truncated
+/// image set equals the sequential one for every thread count: shards
+/// are contiguous slices of the enumeration, merged in order.
+pub fn provenance_of_with(
+    ont: &Ontology,
+    q: &SimpleQuery,
+    res: NodeId,
+    limit: Option<usize>,
+    threads: usize,
+) -> Vec<Subgraph> {
+    let mut images = Matcher::new(ont, q)
+        .bind(q.projected(), res)
+        .parallel(threads)
+        .images(limit);
+    // Public contract (and the sequential implementation before
+    // sharding): images come back in canonical sorted order.
+    images.sort();
+    images
 }
 
 /// The provenance of `res` w.r.t. a union query: the union of its
@@ -166,9 +186,22 @@ pub fn provenance_of_union(
     res: NodeId,
     limit: Option<usize>,
 ) -> Vec<Subgraph> {
+    provenance_of_union_with(ont, q, res, limit, 1)
+}
+
+/// [`provenance_of_union`] with each branch's enumeration sharded over
+/// up to `threads` workers (branches stay sequential so the early exit
+/// at `limit` keeps its left-to-right semantics).
+pub fn provenance_of_union_with(
+    ont: &Ontology,
+    q: &UnionQuery,
+    res: NodeId,
+    limit: Option<usize>,
+    threads: usize,
+) -> Vec<Subgraph> {
     let mut images: BTreeSet<Subgraph> = BTreeSet::new();
     for branch in q.branches() {
-        for g in provenance_of(ont, branch, res, limit) {
+        for g in provenance_of_with(ont, branch, res, limit, threads) {
             images.insert(g);
             if let Some(l) = limit {
                 if images.len() >= l {
@@ -216,7 +249,6 @@ pub fn sample_example_set<R: Rng>(
     rng: &mut R,
     prov_limit: usize,
 ) -> questpro_graph::ExampleSet {
-    use rand::seq::SliceRandom;
     let results: Vec<NodeId> = evaluate_union(ont, target).into_iter().collect();
     let mut order: Vec<NodeId> = results.clone();
     order.shuffle(rng);
@@ -245,9 +277,8 @@ pub fn sample_example_set<R: Rng>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use questpro_graph::rng::StdRng;
     use questpro_query::fixtures::{erdos_q1, erdos_q2};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     /// Figure 1's four-explanation world: two 2-chains and two 3-chains
     /// to Erdős (shapes simplified but structurally faithful).

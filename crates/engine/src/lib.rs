@@ -27,14 +27,19 @@ pub mod contain;
 pub mod difference;
 pub mod eval;
 pub mod matcher;
+pub mod metrics;
 pub mod minimize;
+pub mod par;
 pub mod semiring;
 
-pub use consistency::{consistent_with_examples, consistent_with_explanation, find_onto_match};
+pub use consistency::{
+    consistent_with_examples, consistent_with_explanation, find_onto_match, ConsistencyCache,
+};
 pub use contain::{contained_in, equivalent, union_contained_in, union_equivalent};
 pub use difference::{difference, difference_with_witness};
 pub use eval::{
-    evaluate, evaluate_union, exists_match, provenance_of, provenance_of_union, sample_example_set,
+    evaluate, evaluate_union, evaluate_union_with, evaluate_with, exists_match, provenance_of,
+    provenance_of_union, provenance_of_union_with, provenance_of_with, sample_example_set,
     sample_result_with_provenance,
 };
 pub use matcher::{Match, Matcher};

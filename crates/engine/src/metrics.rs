@@ -1,0 +1,38 @@
+//! Global engine instrumentation counters.
+//!
+//! The matcher counts the search-tree nodes it expands (candidate
+//! bindings tried) and flushes the per-search total into a process-wide
+//! relaxed atomic when each search — or each parallel shard — finishes.
+//! Callers snapshot the counter around a region of work and report the
+//! delta (see `InferenceStats` in `questpro-core` and the experiment
+//! binaries).
+//!
+//! Determinism: for complete enumerations (collect/count/images) and
+//! sequential searches the flushed totals are identical across thread
+//! counts, because every shard does exactly the work the sequential
+//! search would do for its slice. The one exception is a *parallel*
+//! `exists()` — its early-stop race means shards may expand a few more
+//! or fewer nodes between runs — so treat the counter as exact for
+//! deterministic drivers and indicative otherwise.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static NODES_EXPANDED: AtomicU64 = AtomicU64::new(0);
+
+/// Total search-tree nodes expanded by all matcher searches in this
+/// process since start (or the last [`reset_nodes_expanded`]).
+pub fn nodes_expanded() -> u64 {
+    NODES_EXPANDED.load(Ordering::Relaxed)
+}
+
+/// Resets the process-wide expansion counter (tests and experiment
+/// harnesses that want absolute rather than delta readings).
+pub fn reset_nodes_expanded() {
+    NODES_EXPANDED.store(0, Ordering::Relaxed);
+}
+
+pub(crate) fn add_nodes_expanded(n: u64) {
+    if n > 0 {
+        NODES_EXPANDED.fetch_add(n, Ordering::Relaxed);
+    }
+}

@@ -13,8 +13,7 @@
 
 use std::collections::BTreeSet;
 
-use rand::seq::IteratorRandom;
-use rand::Rng;
+use questpro_graph::rng::{IteratorRandom, Rng};
 
 use questpro_core::with_all_diseqs;
 use questpro_engine::{evaluate_union, provenance_of_union};
@@ -192,10 +191,9 @@ impl ResultCache {
 mod tests {
     use super::*;
     use crate::oracle::{ScriptedOracle, TargetOracle};
+    use questpro_graph::rng::StdRng;
     use questpro_graph::Explanation;
     use questpro_query::SimpleQuery;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     /// Ontology with Erdos co-authors and unrelated authors, plus types.
     fn world() -> (Ontology, ExampleSet) {

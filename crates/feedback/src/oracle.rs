@@ -15,7 +15,7 @@
 
 use std::collections::BTreeSet;
 
-use rand::Rng;
+use questpro_graph::rng::Rng;
 
 use questpro_engine::{evaluate_union, Matcher};
 use questpro_graph::{NodeId, Ontology, Subgraph};
@@ -158,9 +158,8 @@ impl Oracle for ScriptedOracle {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use questpro_graph::rng::StdRng;
     use questpro_query::SimpleQuery;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     fn world() -> Ontology {
         let mut b = Ontology::builder();

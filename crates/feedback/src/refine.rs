@@ -12,7 +12,7 @@
 //! triples, …, which we bound by the same observation: an unobservable
 //! disequality cannot be refuted by any difference question).
 
-use rand::Rng;
+use questpro_graph::rng::Rng;
 
 use questpro_engine::difference_with_witness;
 use questpro_graph::Ontology;
@@ -95,9 +95,8 @@ fn drop_diseq(q: &UnionQuery, b: usize, pair: (QueryNodeId, QueryNodeId)) -> Uni
 mod tests {
     use super::*;
     use crate::oracle::TargetOracle;
+    use questpro_graph::rng::StdRng;
     use questpro_query::SimpleQuery;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     fn world() -> Ontology {
         let mut b = Ontology::builder();

@@ -7,7 +7,7 @@
 //! 3. Algorithm 3's provenance-backed elimination down to one query;
 //! 4. optionally, disequality refinement of the survivor.
 
-use rand::Rng;
+use questpro_graph::rng::Rng;
 
 use questpro_core::{infer_top_k, infer_top_k_robust, InferenceStats, TopKConfig};
 use questpro_graph::{ExampleSet, Ontology};
@@ -95,10 +95,9 @@ mod tests {
     use super::*;
     use crate::oracle::TargetOracle;
     use questpro_engine::{consistent_with_examples, evaluate_union};
+    use questpro_graph::rng::StdRng;
     use questpro_graph::Explanation;
     use questpro_query::{GeneralizationWeights, SimpleQuery};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     /// A small co-authorship world where "co-author of Erdos" is
     /// learnable from two explanations.

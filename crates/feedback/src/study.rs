@@ -24,8 +24,7 @@
 //! explanations — matching the paper's "redone interactions that were
 //! successful after redo".
 
-use rand::seq::IteratorRandom;
-use rand::Rng;
+use questpro_graph::rng::{IteratorRandom, Rng};
 
 use questpro_engine::{evaluate_union, sample_example_set, union_equivalent};
 use questpro_graph::{ExampleSet, Explanation, Ontology, Subgraph};
@@ -241,7 +240,7 @@ fn simulate_interaction<R: Rng>(
 }
 
 fn draw_error<R: Rng>(rates: &ErrorRates, rng: &mut R) -> Option<InjectedError> {
-    let r: f64 = rng.random();
+    let r: f64 = rng.random_f64();
     let mut acc = rates.incomplete;
     if r < acc {
         return Some(InjectedError::Incomplete);
@@ -363,9 +362,8 @@ fn corrupt<R: Rng>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use questpro_graph::rng::StdRng;
     use questpro_query::SimpleQuery;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     fn world() -> (Ontology, Vec<UnionQuery>) {
         let mut b = Ontology::builder();

@@ -31,14 +31,17 @@
 pub mod error;
 pub mod exformat;
 pub mod explanation;
+pub mod fxhash;
 pub mod ids;
 pub mod interner;
 pub mod ontology;
+pub mod rng;
 pub mod subgraph;
 pub mod triples;
 
 pub use error::GraphError;
 pub use explanation::{ExampleSet, Explanation};
+pub use fxhash::{FxHashMap, FxHashSet};
 pub use ids::{EdgeId, NodeId, PredId, TypeId, ValueId};
 pub use interner::Interner;
 pub use ontology::{EdgeData, NodeData, Ontology, OntologyBuilder};

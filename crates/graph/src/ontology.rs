@@ -14,6 +14,7 @@
 use std::collections::HashMap;
 
 use crate::error::GraphError;
+use crate::fxhash::FxHashMap;
 use crate::ids::{EdgeId, NodeId, PredId, TypeId, ValueId};
 use crate::interner::Interner;
 
@@ -63,7 +64,12 @@ pub struct Ontology {
     out: Vec<Vec<EdgeId>>,
     inc: Vec<Vec<EdgeId>>,
     by_pred: Vec<Vec<EdgeId>>,
-    value_to_node: HashMap<ValueId, NodeId>,
+    value_to_node: FxHashMap<ValueId, NodeId>,
+    // Per-node predicate signatures: bit `pred_bit(p)` is set iff the
+    // node has an incident out/in edge labeled `p` (modulo the 64-bit
+    // fold, so the test is a sound necessary condition only).
+    out_sig: Vec<u64>,
+    in_sig: Vec<u64>,
 }
 
 impl Ontology {
@@ -189,6 +195,33 @@ impl Ontology {
         })
     }
 
+    /// The signature bit predicate `p` folds to (predicates are hashed
+    /// into 64 buckets, so distinct predicates may share a bit).
+    #[inline]
+    pub fn pred_bit(&self, p: PredId) -> u64 {
+        1u64 << (p.raw() & 63)
+    }
+
+    /// Bitset of predicates appearing on outgoing edges of `n`.
+    ///
+    /// A query node that still needs an outgoing `p`-edge can only map
+    /// to `n` if `pred_bit(p) & out_signature(n) != 0` — a one-word
+    /// 1-hop pruning test the matcher applies before backtracking. The
+    /// test is *necessary, not sufficient*: bits may collide (>64
+    /// predicates) and edge endpoints still have to line up.
+    #[inline]
+    pub fn out_signature(&self, n: NodeId) -> u64 {
+        self.out_sig[n.index()]
+    }
+
+    /// Bitset of predicates appearing on incoming edges of `n`.
+    ///
+    /// See [`Ontology::out_signature`] for the pruning contract.
+    #[inline]
+    pub fn in_signature(&self, n: NodeId) -> u64 {
+        self.in_sig[n.index()]
+    }
+
     /// Access to the value interner (read-only).
     pub fn values(&self) -> &Interner {
         &self.values
@@ -274,8 +307,8 @@ pub struct OntologyBuilder {
     types: Interner,
     nodes: Vec<NodeData>,
     edges: Vec<EdgeData>,
-    edge_set: HashMap<(NodeId, PredId, NodeId), EdgeId>,
-    value_to_node: HashMap<ValueId, NodeId>,
+    edge_set: FxHashMap<(NodeId, PredId, NodeId), EdgeId>,
+    value_to_node: FxHashMap<ValueId, NodeId>,
 }
 
 impl OntologyBuilder {
@@ -403,11 +436,16 @@ impl OntologyBuilder {
         let mut out: Vec<Vec<EdgeId>> = vec![Vec::new(); n];
         let mut inc: Vec<Vec<EdgeId>> = vec![Vec::new(); n];
         let mut by_pred: Vec<Vec<EdgeId>> = vec![Vec::new(); self.preds.len()];
+        let mut out_sig = vec![0u64; n];
+        let mut in_sig = vec![0u64; n];
         for (i, d) in self.edges.iter().enumerate() {
             let e = EdgeId::from_usize(i);
             out[d.src.index()].push(e);
             inc[d.dst.index()].push(e);
             by_pred[d.pred.index()].push(e);
+            let bit = 1u64 << (d.pred.raw() & 63);
+            out_sig[d.src.index()] |= bit;
+            in_sig[d.dst.index()] |= bit;
         }
         Ontology {
             values: self.values,
@@ -419,6 +457,8 @@ impl OntologyBuilder {
             inc,
             by_pred,
             value_to_node: self.value_to_node,
+            out_sig,
+            in_sig,
         }
     }
 }
@@ -523,6 +563,26 @@ mod tests {
                 ("Paper".to_string(), 1),
             ]
         );
+    }
+
+    #[test]
+    fn predicate_signatures_reflect_incident_edges() {
+        let o = tiny();
+        let paper1 = o.node_by_value("paper1").unwrap();
+        let paper2 = o.node_by_value("paper2").unwrap();
+        let alice = o.node_by_value("Alice").unwrap();
+        let wb = o.pred_by_name("wb").unwrap();
+        let cites = o.pred_by_name("cites").unwrap();
+        // paper1 writes (out: wb) and is cited (in: cites).
+        assert_ne!(o.out_signature(paper1) & o.pred_bit(wb), 0);
+        assert_ne!(o.in_signature(paper1) & o.pred_bit(cites), 0);
+        assert_eq!(o.in_signature(paper1) & o.pred_bit(wb), 0);
+        // paper2 cites but is never cited.
+        assert_ne!(o.out_signature(paper2) & o.pred_bit(cites), 0);
+        assert_eq!(o.in_signature(paper2), 0);
+        // Alice only receives wb edges.
+        assert_eq!(o.out_signature(alice), 0);
+        assert_eq!(o.in_signature(alice), o.pred_bit(wb));
     }
 
     #[test]

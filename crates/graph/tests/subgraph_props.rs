@@ -1,11 +1,26 @@
-//! Property tests for the canonical subgraph algebra.
+//! Property tests for the canonical subgraph algebra, driven by the
+//! workspace's internal seeded RNG (no external property-test crate).
 
-use proptest::prelude::*;
+use questpro_graph::rng::{Rng, StdRng};
 use questpro_graph::{EdgeId, Ontology, Subgraph};
 
-fn arb_edges() -> impl Strategy<Value = Vec<(u8, u8, u8)>> {
-    proptest::collection::btree_set((0u8..8, 0u8..2, 0u8..8), 1..20)
-        .prop_map(|s| s.into_iter().collect())
+const CASES: usize = 128;
+
+/// Random edge list over ≤8 nodes and 2 predicates, deduplicated.
+fn arb_edges<R: Rng>(rng: &mut R) -> Vec<(u8, u8, u8)> {
+    let target = rng.random_range(1..20usize);
+    let mut set = std::collections::BTreeSet::new();
+    for _ in 0..target * 2 {
+        set.insert((
+            rng.random_range(0..8u32) as u8,
+            rng.random_range(0..2u32) as u8,
+            rng.random_range(0..8u32) as u8,
+        ));
+        if set.len() >= target {
+            break;
+        }
+    }
+    set.into_iter().collect()
 }
 
 fn build(edges: &[(u8, u8, u8)]) -> Ontology {
@@ -27,59 +42,75 @@ fn pick(ont: &Ontology, mask: u32) -> Subgraph {
     Subgraph::from_edges(ont, chosen)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Union is commutative, associative, idempotent, with ∅ neutral.
-    #[test]
-    fn union_is_a_semilattice(edges in arb_edges(), m1 in any::<u32>(), m2 in any::<u32>(), m3 in any::<u32>()) {
+/// Union is commutative, associative, idempotent, with ∅ neutral.
+#[test]
+fn union_is_a_semilattice() {
+    let mut rng = StdRng::seed_from_u64(0x5e1);
+    for _ in 0..CASES {
+        let edges = arb_edges(&mut rng);
         let o = build(&edges);
+        let (m1, m2, m3) = (
+            rng.next_u64() as u32,
+            rng.next_u64() as u32,
+            rng.next_u64() as u32,
+        );
         let (a, b, c) = (pick(&o, m1), pick(&o, m2), pick(&o, m3));
-        prop_assert_eq!(a.union(&b), b.union(&a));
-        prop_assert_eq!(a.union(&b).union(&c), a.union(&b.union(&c)));
-        prop_assert_eq!(a.union(&a), a.clone());
+        assert_eq!(a.union(&b), b.union(&a));
+        assert_eq!(a.union(&b).union(&c), a.union(&b.union(&c)));
+        assert_eq!(a.union(&a), a.clone());
         let empty = Subgraph::from_edges(&o, std::iter::empty::<EdgeId>());
-        prop_assert_eq!(a.union(&empty), a);
+        assert_eq!(a.union(&empty), a);
     }
+}
 
-    /// Node sets always cover edge endpoints; membership agrees with
-    /// construction.
-    #[test]
-    fn endpoints_are_always_members(edges in arb_edges(), m in any::<u32>()) {
+/// Node sets always cover edge endpoints; membership agrees with
+/// construction.
+#[test]
+fn endpoints_are_always_members() {
+    let mut rng = StdRng::seed_from_u64(0x5e2);
+    for _ in 0..CASES {
+        let edges = arb_edges(&mut rng);
         let o = build(&edges);
-        let sg = pick(&o, m);
+        let sg = pick(&o, rng.next_u64() as u32);
         for &e in sg.edges() {
             let d = o.edge(e);
-            prop_assert!(sg.contains_node(d.src));
-            prop_assert!(sg.contains_node(d.dst));
+            assert!(sg.contains_node(d.src));
+            assert!(sg.contains_node(d.dst));
         }
         for e in o.edge_ids() {
-            prop_assert_eq!(sg.contains_edge(e), sg.edges().contains(&e));
+            assert_eq!(sg.contains_edge(e), sg.edges().contains(&e));
         }
     }
+}
 
-    /// `incident_edges` partitions exactly the edges touching the node.
-    #[test]
-    fn incident_edges_are_exact(edges in arb_edges(), m in any::<u32>()) {
+/// `incident_edges` partitions exactly the edges touching the node.
+#[test]
+fn incident_edges_are_exact() {
+    let mut rng = StdRng::seed_from_u64(0x5e3);
+    for _ in 0..CASES {
+        let edges = arb_edges(&mut rng);
         let o = build(&edges);
-        let sg = pick(&o, m);
+        let sg = pick(&o, rng.next_u64() as u32);
         for n in o.node_ids() {
             let incident: Vec<_> = sg.incident_edges(&o, n).collect();
             for &e in sg.edges() {
                 let d = o.edge(e);
                 let touches = d.src == n || d.dst == n;
-                prop_assert_eq!(incident.contains(&e), touches);
+                assert_eq!(incident.contains(&e), touches);
             }
         }
     }
+}
 
-    /// Serialization of the ontology commutes with subgraph description:
-    /// describing a subgraph never panics and mentions every edge.
-    #[test]
-    fn describe_mentions_every_edge(edges in arb_edges(), m in any::<u32>()) {
+/// Describing a subgraph never panics and mentions every edge.
+#[test]
+fn describe_mentions_every_edge() {
+    let mut rng = StdRng::seed_from_u64(0x5e4);
+    for _ in 0..CASES {
+        let edges = arb_edges(&mut rng);
         let o = build(&edges);
-        let sg = pick(&o, m);
+        let sg = pick(&o, rng.next_u64() as u32);
         let text = sg.describe(&o);
-        prop_assert_eq!(text.lines().count(), sg.edge_count());
+        assert_eq!(text.lines().count(), sg.edge_count());
     }
 }

@@ -7,8 +7,7 @@
 
 use questpro::data::{erdos_example_set, erdos_ontology};
 use questpro::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use questpro::rng::StdRng;
 
 fn main() {
     let ont = erdos_ontology();

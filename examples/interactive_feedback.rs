@@ -9,8 +9,7 @@
 
 use questpro::data::{generate_movies, movie_workload, MoviesConfig};
 use questpro::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use questpro::rng::StdRng;
 
 fn main() {
     let ont = generate_movies(&MoviesConfig::default());

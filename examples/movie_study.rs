@@ -8,8 +8,7 @@
 use questpro::data::{generate_movies, movie_workload, MoviesConfig};
 use questpro::feedback::{simulate_study, StudyConfig};
 use questpro::query::UnionQuery;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use questpro::rng::StdRng;
 
 fn main() {
     let ont = generate_movies(&MoviesConfig::default());

@@ -8,8 +8,7 @@
 
 use questpro::data::{generate_sp2b, sp2b_workload, Sp2bConfig};
 use questpro::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use questpro::rng::StdRng;
 use std::time::Instant;
 
 fn main() {

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Benchmarks the parallel inference hot path and writes BENCH_1.json:
+# per-stage timings (merge / consistency / total), the consistency-cache
+# hit rate, matcher nodes expanded, and wall-clock speedup per thread
+# count — with every parallel run asserted byte-identical to the
+# sequential one.
+#
+# Usage: scripts/bench.sh [output.json]
+#   BENCH_TINY=1   smoke mode: 1 trial, heaviest query only (CI).
+#   BENCH_THREADS  largest thread count in the sweep (default 8).
+set -euo pipefail
+caller_dir="$PWD"
+cd "$(dirname "$0")/.."
+# A relative output path is resolved against the caller's directory, not
+# the repo root the script cds into.
+out="${1:-BENCH_1.json}"
+[[ "$out" == /* ]] || out="$caller_dir/$out"
+threads="${BENCH_THREADS:-8}"
+
+echo "== building exp_bench (release) =="
+cargo build --release --offline -p questpro-bench --bin exp_bench
+
+args=(--threads "$threads" --json "$out")
+if [[ "${BENCH_TINY:-0}" == "1" ]]; then
+  args+=(--tiny)
+fi
+
+echo "== running hot-path bench (threads 1..$threads) =="
+./target/release/exp_bench "${args[@]}"
+
+# Well-formedness gate: the report must be parseable JSON.
+python3 -m json.tool "$out" > /dev/null
+echo "ok — $out is well-formed JSON"

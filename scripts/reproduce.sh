@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Regenerates every experiment of EXPERIMENTS.md into results/, then runs
-# the full test suite and the Criterion benches.
+# the full test suite and the microbenches.
 #
 # Usage: scripts/reproduce.sh [results-dir]
 set -euo pipefail
@@ -23,5 +23,8 @@ cargo test --workspace 2>&1 | tee "$out/test_output.txt"
 
 echo "== benches =="
 cargo bench -p questpro-bench 2>&1 | tee "$out/bench_output.txt"
+
+echo "== hot-path bench (BENCH_1.json) =="
+scripts/bench.sh "$out/BENCH_1.json"
 
 echo "done — outputs in $out/"

@@ -10,8 +10,7 @@
 //!
 //! ```
 //! use questpro::prelude::*;
-//! use rand::rngs::StdRng;
-//! use rand::SeedableRng;
+//! use questpro::rng::StdRng;
 //!
 //! // The paper's running example: the Erdős co-authorship world.
 //! let ont = questpro::data::erdos_ontology();
@@ -49,6 +48,7 @@ pub use questpro_data as data;
 pub use questpro_engine as engine;
 pub use questpro_feedback as feedback;
 pub use questpro_graph as graph;
+pub use questpro_graph::rng;
 pub use questpro_query as query;
 
 /// One-stop imports for typical use of the library.

@@ -4,8 +4,7 @@
 
 use questpro::data::*;
 use questpro::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use questpro::rng::StdRng;
 
 #[test]
 fn generators_are_reproducible() {
@@ -85,6 +84,86 @@ fn sessions_are_seed_deterministic() {
         )
     };
     assert_eq!(run(7), run(7));
+}
+
+/// One seeded world per generator family, kept small so the whole
+/// parallel-vs-sequential sweep stays fast.
+fn small_worlds() -> Vec<(&'static str, Ontology, UnionQuery)> {
+    let sp2b = generate_sp2b(&Sp2bConfig {
+        authors: 80,
+        articles: 120,
+        inproceedings: 60,
+        ..Default::default()
+    });
+    let bsbm = generate_bsbm(&BsbmConfig::default());
+    let movies = generate_movies(&MoviesConfig::default());
+    let pick = |mut ws: Vec<WorkloadQuery>, id: &str| {
+        ws.iter()
+            .position(|w| w.id == id)
+            .map(|i| ws.swap_remove(i).query)
+            .expect("workload query in catalog")
+    };
+    vec![
+        ("sp2b", sp2b, pick(sp2b_workload(), "q8a")),
+        ("bsbm", bsbm, pick(bsbm_workload(), "q2v0")),
+        ("movies", movies, pick(movie_workload(), "m1")),
+    ]
+}
+
+/// The tentpole contract: evaluation, provenance, and top-k inference
+/// are bit-identical at every thread count, on every world family.
+#[test]
+fn parallel_pipeline_matches_sequential_on_all_worlds() {
+    use questpro::engine::{evaluate_union_with, provenance_of_union_with};
+
+    for (name, ont, target) in small_worlds() {
+        // Evaluation.
+        let seq_results = evaluate_union(&ont, &target);
+        for threads in [2usize, 8] {
+            assert_eq!(
+                evaluate_union_with(&ont, &target, threads),
+                seq_results,
+                "{name}: {threads}-thread evaluation diverged"
+            );
+        }
+
+        // Provenance (limit-truncated, the shape Algorithm 3 relies on).
+        if let Some(&res) = seq_results.iter().next() {
+            let seq_prov = provenance_of_union(&ont, &target, res, Some(6));
+            for threads in [2usize, 8] {
+                assert_eq!(
+                    provenance_of_union_with(&ont, &target, res, Some(6), threads),
+                    seq_prov,
+                    "{name}: {threads}-thread provenance diverged"
+                );
+            }
+        }
+
+        // Top-k inference: candidate queries and deterministic counters.
+        let mut rng = StdRng::seed_from_u64(0xd15);
+        let examples = sample_example_set(&ont, &target, 5, &mut rng, 6);
+        if examples.len() < 2 {
+            continue;
+        }
+        let render = |cs: &[UnionQuery]| cs.iter().map(ToString::to_string).collect::<Vec<_>>();
+        let (seq_c, seq_s) = infer_top_k(&ont, &examples, &TopKConfig::default());
+        for threads in [1usize, 2, 8] {
+            let cfg = TopKConfig {
+                threads,
+                ..Default::default()
+            };
+            let (par_c, par_s) = infer_top_k(&ont, &examples, &cfg);
+            assert_eq!(
+                render(&par_c),
+                render(&seq_c),
+                "{name}: {threads}-thread top-k candidates diverged"
+            );
+            assert_eq!(
+                par_s, seq_s,
+                "{name}: {threads}-thread top-k counters diverged"
+            );
+        }
+    }
 }
 
 #[test]

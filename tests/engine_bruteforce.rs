@@ -1,16 +1,29 @@
 //! Cross-validation of the backtracking matcher against a brute-force
 //! reference: enumerate *all* node assignments naively and check edge
 //! constraints last. The optimized engine must produce exactly the same
-//! result sets and match counts.
+//! result sets and match counts. Driven by the workspace's internal
+//! seeded RNG.
 
-use proptest::prelude::*;
+use std::collections::BTreeSet;
 
 use questpro::prelude::*;
 use questpro::query::QueryNodeId;
+use questpro::rng::{Rng, StdRng};
 
-fn arb_edges() -> impl Strategy<Value = Vec<(u8, u8, u8)>> {
-    proptest::collection::btree_set((0u8..6, 0u8..2, 0u8..6), 1..14)
-        .prop_map(|s| s.into_iter().collect())
+const CASES: usize = 96;
+
+fn arb_edges<R: Rng>(rng: &mut R) -> Vec<(u8, u8, u8)> {
+    let want = rng.random_range(1..14usize);
+    let mut set = BTreeSet::new();
+    // Rejection-sample distinct triples, mirroring a btree_set strategy.
+    while set.len() < want {
+        set.insert((
+            rng.random_range(0..6u32) as u8,
+            rng.random_range(0..2u32) as u8,
+            rng.random_range(0..6u32) as u8,
+        ));
+    }
+    set.into_iter().collect()
 }
 
 fn build_ontology(edges: &[(u8, u8, u8)]) -> Ontology {
@@ -34,21 +47,35 @@ struct QuerySpec {
     projected: u8,
 }
 
-fn arb_query_spec() -> impl Strategy<Value = QuerySpec> {
-    (
-        2usize..5,
-        proptest::option::of(0u8..6),
-        proptest::collection::vec((0u8..5, 0u8..2, 0u8..5), 1..5),
-        proptest::option::of((0u8..5, 0u8..5)),
-        0u8..5,
-    )
-        .prop_map(|(nodes, constant, edges, diseq, projected)| QuerySpec {
-            nodes,
-            constant,
-            edges,
-            diseq,
-            projected,
+fn arb_query_spec<R: Rng>(rng: &mut R) -> QuerySpec {
+    let nodes = rng.random_range(2..5usize);
+    let constant = rng
+        .random_bool(0.5)
+        .then(|| rng.random_range(0..6u32) as u8);
+    let n_edges = rng.random_range(1..5usize);
+    let edges = (0..n_edges)
+        .map(|_| {
+            (
+                rng.random_range(0..5u32) as u8,
+                rng.random_range(0..2u32) as u8,
+                rng.random_range(0..5u32) as u8,
+            )
         })
+        .collect();
+    let diseq = rng.random_bool(0.5).then(|| {
+        (
+            rng.random_range(0..5u32) as u8,
+            rng.random_range(0..5u32) as u8,
+        )
+    });
+    let projected = rng.random_range(0..5u32) as u8;
+    QuerySpec {
+        nodes,
+        constant,
+        edges,
+        diseq,
+        projected,
+    }
 }
 
 /// Builds the query; returns `None` when the spec is degenerate (e.g.
@@ -122,24 +149,33 @@ fn brute_force(
     (results, count)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    /// The optimized matcher agrees with the brute-force reference on
-    /// result sets and on the number of homomorphisms.
-    #[test]
-    fn matcher_matches_bruteforce(
-        edges in arb_edges(),
-        spec in arb_query_spec(),
-    ) {
+/// The optimized matcher agrees with the brute-force reference on
+/// result sets and on the number of homomorphisms — and the sharded
+/// parallel evaluator agrees with both.
+#[test]
+fn matcher_matches_bruteforce() {
+    let mut rng = StdRng::seed_from_u64(0xb1);
+    for _ in 0..CASES {
+        let edges = arb_edges(&mut rng);
+        let spec = arb_query_spec(&mut rng);
         let o = build_ontology(&edges);
-        let Some(q) = build_query(&spec) else { return Ok(()) };
+        let Some(q) = build_query(&spec) else {
+            continue;
+        };
         let (expected_results, expected_count) = brute_force(&o, &q);
         let got_results = evaluate(&o, &q);
-        prop_assert_eq!(&got_results, &expected_results,
-            "result sets differ for {}", q);
+        assert_eq!(
+            &got_results, &expected_results,
+            "result sets differ for {q}"
+        );
         let got_count = Matcher::new(&o, &q).count();
-        prop_assert_eq!(got_count, expected_count,
-            "match counts differ for {}", q);
+        assert_eq!(got_count, expected_count, "match counts differ for {q}");
+        for threads in [2usize, 4] {
+            let par = questpro::engine::evaluate_with(&o, &q, threads);
+            assert_eq!(
+                &par, &expected_results,
+                "{threads}-thread eval differs for {q}"
+            );
+        }
     }
 }

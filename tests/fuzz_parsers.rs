@@ -1,65 +1,92 @@
 //! Robustness fuzzing: every text-format parser must return a clean
 //! `Result` — never panic, never loop — on arbitrary input, including
-//! structured near-miss inputs built from valid tokens.
-
-use proptest::prelude::*;
+//! structured near-miss inputs built from valid tokens. Driven by the
+//! workspace's internal seeded RNG.
 
 use questpro::data::erdos_ontology;
 use questpro::graph::{exformat, triples};
 use questpro::query::sparql;
+use questpro::rng::{Rng, SliceRandom, StdRng};
 
-/// Arbitrary junk built from characters the grammars care about.
-fn arb_text() -> impl Strategy<Value = String> {
-    let token = prop_oneof![
-        Just("SELECT".to_string()),
-        Just("WHERE".to_string()),
-        Just("UNION".to_string()),
-        Just("FILTER".to_string()),
-        Just("OPTIONAL".to_string()),
-        Just("dis".to_string()),
-        Just("@type".to_string()),
-        Just("{".to_string()),
-        Just("}".to_string()),
-        Just("(".to_string()),
-        Just(")".to_string()),
-        Just(".".to_string()),
-        Just("!=".to_string()),
-        Just("?x".to_string()),
-        Just(":c".to_string()),
-        Just("paper1".to_string()),
-        Just("wb".to_string()),
-        Just("Alice".to_string()),
-        Just("\n".to_string()),
-        "[a-zA-Z0-9_?:!{}().#@ -]{0,6}",
-    ];
-    proptest::collection::vec(token, 0..40).prop_map(|v| v.join(" "))
+const CASES: usize = 256;
+
+/// Tokens the grammars care about, plus a junk-fragment generator.
+const TOKENS: &[&str] = &[
+    "SELECT", "WHERE", "UNION", "FILTER", "OPTIONAL", "dis", "@type", "{", "}", "(", ")", ".",
+    "!=", "?x", ":c", "paper1", "wb", "Alice", "\n",
+];
+
+/// Characters the junk fragments draw from (the grammars' alphabet).
+const JUNK: &[char] = &[
+    'a', 'Z', '0', '9', '_', '?', ':', '!', '{', '}', '(', ')', '.', '#', '@', ' ', '-',
+];
+
+/// Arbitrary near-miss text built from valid tokens and junk fragments.
+fn arb_text<R: Rng>(rng: &mut R) -> String {
+    let len = rng.random_range(0..40usize);
+    let mut parts: Vec<String> = Vec::with_capacity(len);
+    for _ in 0..len {
+        if rng.random_bool(0.8) {
+            parts.push((*TOKENS.choose(rng).expect("non-empty")).to_string());
+        } else {
+            let flen = rng.random_range(0..=6usize);
+            parts.push(
+                (0..flen)
+                    .map(|_| *JUNK.choose(rng).expect("non-empty"))
+                    .collect(),
+            );
+        }
+    }
+    parts.join(" ")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+/// Arbitrary unicode soup (any char except the unpaired-surrogate gap).
+fn arb_unicode<R: Rng>(rng: &mut R) -> String {
+    let len = rng.random_range(0..120usize);
+    (0..len)
+        .map(|_| loop {
+            if let Some(c) = char::from_u32(rng.random_range(0..0x11_0000u32)) {
+                return c;
+            }
+        })
+        .collect()
+}
 
-    #[test]
-    fn triples_parser_never_panics(text in arb_text()) {
-        let _ = triples::parse(&text);
+#[test]
+fn triples_parser_never_panics() {
+    let mut rng = StdRng::seed_from_u64(0xf1);
+    for _ in 0..CASES {
+        let _ = triples::parse(&arb_text(&mut rng));
     }
+}
 
-    #[test]
-    fn sparql_parser_never_panics(text in arb_text()) {
+#[test]
+fn sparql_parser_never_panics() {
+    let mut rng = StdRng::seed_from_u64(0xf2);
+    for _ in 0..CASES {
+        let text = arb_text(&mut rng);
         let _ = sparql::parse_union(&text);
         let _ = sparql::parse_simple(&text);
     }
+}
 
-    #[test]
-    fn exformat_parser_never_panics(text in arb_text()) {
-        let ont = erdos_ontology();
-        let _ = exformat::parse_examples(&ont, &text);
+#[test]
+fn exformat_parser_never_panics() {
+    let mut rng = StdRng::seed_from_u64(0xf3);
+    let ont = erdos_ontology();
+    for _ in 0..CASES {
+        let _ = exformat::parse_examples(&ont, &arb_text(&mut rng));
     }
+}
 
-    #[test]
-    fn parsers_survive_raw_unicode(text in "\\PC{0,120}") {
+#[test]
+fn parsers_survive_raw_unicode() {
+    let mut rng = StdRng::seed_from_u64(0xf4);
+    let ont = erdos_ontology();
+    for _ in 0..CASES {
+        let text = arb_unicode(&mut rng);
         let _ = triples::parse(&text);
         let _ = sparql::parse_union(&text);
-        let ont = erdos_ontology();
         let _ = exformat::parse_examples(&ont, &text);
     }
 }

@@ -4,8 +4,7 @@
 
 use questpro::data::{erdos_example_set, erdos_ontology};
 use questpro::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use questpro::rng::StdRng;
 
 fn candidates(ont: &Ontology, examples: &ExampleSet) -> Vec<UnionQuery> {
     let cfg = TopKConfig {

@@ -4,8 +4,7 @@
 use questpro::data::{erdos_example_set, erdos_ontology};
 use questpro::prelude::*;
 use questpro::query::fixtures::{erdos_q1, erdos_q2};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use questpro::rng::StdRng;
 
 /// Example 2.3: Q1 matches E1's chain and outputs Alice.
 #[test]

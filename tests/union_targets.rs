@@ -6,8 +6,7 @@
 
 use questpro::data::*;
 use questpro::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use questpro::rng::StdRng;
 
 fn world_for(kind: OntologyKind) -> Ontology {
     match kind {

@@ -4,8 +4,7 @@
 
 use questpro::data::*;
 use questpro::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use questpro::rng::StdRng;
 
 fn small_sp2b() -> Ontology {
     generate_sp2b(&Sp2bConfig {
