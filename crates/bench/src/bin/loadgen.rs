@@ -1,0 +1,226 @@
+//! `loadgen` — concurrent load against an in-process questpro-server.
+//!
+//! Boots the HTTP service on an ephemeral loopback port, then drives it
+//! from `--clients` OS threads, each holding one keep-alive connection
+//! and issuing `--requests` `POST /infer` calls over the erdos world.
+//! Emits `BENCH_2.json` with throughput, latency quantiles, and a
+//! cross-client consistency check: every response body must be
+//! byte-identical to the library's one-shot `infer_top_k` answer, which
+//! is what the CLI `infer` path prints.
+//!
+//! Env:
+//!   LOADGEN_TINY=1      smoke mode: 2 clients × 3 requests (CI).
+//!
+//! Flags (all optional): --clients N --requests N --workers N --out PATH
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Instant;
+
+use questpro_server::{start, ServerConfig};
+
+fn main() {
+    let mut clients = 8usize;
+    let mut requests = 25usize;
+    let mut workers = 8usize;
+    let mut out_path = String::from("BENCH_2.json");
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let value = it.next();
+        let num = |v: Option<&String>| v.and_then(|s| s.parse::<usize>().ok());
+        match flag.as_str() {
+            "--clients" => clients = num(value).unwrap_or(clients).max(1),
+            "--requests" => requests = num(value).unwrap_or(requests).max(1),
+            "--workers" => workers = num(value).unwrap_or(workers).max(1),
+            "--out" => out_path = value.cloned().unwrap_or(out_path),
+            other => {
+                eprintln!("loadgen: unknown flag {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if std::env::var("LOADGEN_TINY").as_deref() == Ok("1") {
+        clients = 2;
+        requests = 3;
+    }
+
+    let handle = start(&ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers,
+        queue: (clients * 2).max(64),
+        ..ServerConfig::default()
+    })
+    .expect("binding an ephemeral loopback port");
+    let addr = handle.addr();
+    eprintln!("loadgen: server on {addr}, {clients} clients x {requests} requests");
+
+    // The reference answer the server must reproduce under load: the
+    // same one-shot inference the CLI `infer` path performs.
+    let ont = questpro_data::erdos_ontology();
+    let examples = questpro_data::erdos_example_set(&ont);
+    let examples_text = questpro_graph::exformat::serialize_examples(&ont, &examples);
+    let (reference, _) =
+        questpro_core::infer_top_k(&ont, &examples, &questpro_core::TopKConfig::default());
+    let reference: Vec<String> = reference
+        .iter()
+        .map(questpro_query::sparql::format_union)
+        .collect();
+
+    let body = questpro_wire::Json::obj([
+        ("ontology", questpro_wire::Json::str("erdos")),
+        ("examples", questpro_wire::Json::str(examples_text)),
+    ])
+    .to_text();
+
+    let started = Instant::now();
+    let threads: Vec<_> = (0..clients)
+        .map(|c| {
+            let body = body.clone();
+            let reference = reference.clone();
+            std::thread::Builder::new()
+                .name(format!("loadgen-client-{c}"))
+                .spawn(move || client(addr, &body, requests, &reference))
+                .expect("spawning a client thread")
+        })
+        .collect();
+    let mut latencies_us: Vec<u64> = Vec::new();
+    let mut errors = 0usize;
+    let mut mismatches = 0usize;
+    for t in threads {
+        let outcome = t.join().expect("client thread must not panic");
+        latencies_us.extend(outcome.latencies_us);
+        errors += outcome.errors;
+        mismatches += outcome.mismatches;
+    }
+    let wall = started.elapsed();
+    handle.join();
+
+    latencies_us.sort_unstable();
+    let total = clients * requests;
+    let ok = total - errors;
+    let q = |p: f64| -> u64 {
+        if latencies_us.is_empty() {
+            return 0;
+        }
+        let idx = ((latencies_us.len() as f64 - 1.0) * p).round() as usize;
+        latencies_us[idx]
+    };
+    let throughput = ok as f64 / wall.as_secs_f64();
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"B2 server load (POST /infer, erdos)\",\n");
+    json.push_str(&format!(
+        "  \"config\": {{\"clients\": {clients}, \"requests_per_client\": {requests}, \"server_workers\": {workers}, \"host_cpus\": {}}},\n",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    ));
+    json.push_str(&format!(
+        "  \"totals\": {{\"requests\": {total}, \"ok\": {ok}, \"errors\": {errors}, \"wall_ms\": {:.3}, \"throughput_rps\": {throughput:.1}}},\n",
+        wall.as_secs_f64() * 1e3
+    ));
+    json.push_str(&format!(
+        "  \"latency_us\": {{\"p50\": {}, \"p95\": {}, \"p99\": {}, \"max\": {}}},\n",
+        q(0.50),
+        q(0.95),
+        q(0.99),
+        latencies_us.last().copied().unwrap_or(0)
+    ));
+    json.push_str(&format!(
+        "  \"identical_to_one_shot\": {}\n}}\n",
+        mismatches == 0
+    ));
+    std::fs::write(&out_path, &json).expect("writing the bench report");
+    eprintln!("loadgen: wrote {out_path}");
+    print!("{json}");
+    assert_eq!(errors, 0, "every request must succeed");
+    assert_eq!(
+        mismatches, 0,
+        "server answers must match the one-shot CLI inference path"
+    );
+}
+
+struct ClientOutcome {
+    latencies_us: Vec<u64>,
+    errors: usize,
+    mismatches: usize,
+}
+
+fn client(addr: SocketAddr, body: &str, requests: usize, reference: &[String]) -> ClientOutcome {
+    let mut outcome = ClientOutcome {
+        latencies_us: Vec::with_capacity(requests),
+        errors: 0,
+        mismatches: 0,
+    };
+    let Ok(stream) = TcpStream::connect(addr) else {
+        outcome.errors = requests;
+        return outcome;
+    };
+    let mut writer = stream.try_clone().expect("cloning a client socket");
+    let mut reader = BufReader::new(stream);
+    for _ in 0..requests {
+        let t0 = Instant::now();
+        let sent = write!(
+            writer,
+            "POST /infer HTTP/1.1\r\nHost: loadgen\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{}",
+            body.len(),
+            body
+        )
+        .and_then(|()| writer.flush());
+        if sent.is_err() {
+            outcome.errors += 1;
+            continue;
+        }
+        match read_response(&mut reader) {
+            Some((200, resp_body)) => {
+                outcome.latencies_us.push(t0.elapsed().as_micros() as u64);
+                if !matches_reference(&resp_body, reference) {
+                    outcome.mismatches += 1;
+                }
+            }
+            _ => outcome.errors += 1,
+        }
+    }
+    outcome
+}
+
+/// Reads one `HTTP/1.1` response with a `Content-Length` body.
+fn read_response(reader: &mut impl BufRead) -> Option<(u16, String)> {
+    let mut line = String::new();
+    reader.read_line(&mut line).ok()?;
+    let status: u16 = line.split_whitespace().nth(1)?.parse().ok()?;
+    let mut content_length = 0usize;
+    loop {
+        line.clear();
+        reader.read_line(&mut line).ok()?;
+        let trimmed = line.trim_end();
+        if trimmed.is_empty() {
+            break;
+        }
+        if let Some(v) = trimmed
+            .to_ascii_lowercase()
+            .strip_prefix("content-length:")
+            .map(str::trim)
+        {
+            content_length = v.parse().ok()?;
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).ok()?;
+    Some((status, String::from_utf8(body).ok()?))
+}
+
+/// The response's candidate texts must equal the one-shot answer,
+/// in order.
+fn matches_reference(body: &str, reference: &[String]) -> bool {
+    let Ok(json) = questpro_wire::parse(body) else {
+        return false;
+    };
+    let Some(candidates) = json.get("candidates").and_then(|c| c.as_arr()) else {
+        return false;
+    };
+    candidates.len() == reference.len()
+        && candidates
+            .iter()
+            .zip(reference)
+            .all(|(c, want)| c.get("query").and_then(|q| q.as_str()) == Some(want))
+}

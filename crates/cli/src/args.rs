@@ -22,6 +22,9 @@ USAGE:
                     [--k N] [--seed N] [--refine] [--threads N]
                     (without --target the questions are asked on stdin)
   questpro diagnose --ontology FILE --examples FILE
+  questpro serve    [--port N | --addr HOST:PORT] [--workers N] [--queue N]
+                    [--threads N] [--max-sessions N] [--idle-secs N]
+                    (HTTP/JSON service; stops on POST /shutdown or terminal EOF)
 
 FILES:
   ontology  — triple text format (`src pred dst`, `@type value Type`)
@@ -46,6 +49,8 @@ pub enum Command {
     Diagnose(DiagnoseArgs),
     /// `questpro explore`.
     Explore(ExploreArgs),
+    /// `questpro serve`.
+    Serve(ServeArgs),
 }
 
 /// Arguments of `questpro generate`.
@@ -147,6 +152,23 @@ pub struct SessionArgs {
     pub threads: usize,
 }
 
+/// Arguments of `questpro serve`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeArgs {
+    /// Bind address (`HOST:PORT`).
+    pub addr: String,
+    /// Worker threads serving connections.
+    pub workers: usize,
+    /// Bounded backlog of accepted-but-unserved connections.
+    pub queue: usize,
+    /// Default inference threads per request.
+    pub threads: usize,
+    /// Maximum live interactive sessions.
+    pub max_sessions: usize,
+    /// Idle-session eviction window, seconds.
+    pub idle_secs: u64,
+}
+
 /// Arguments of `questpro diagnose`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DiagnoseArgs {
@@ -210,6 +232,19 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
             ontology: flags.require("ontology")?,
             examples: flags.require("examples")?,
         })),
+        "serve" => {
+            let port = flags.num("port", 7474)?;
+            Ok(Command::Serve(ServeArgs {
+                addr: flags
+                    .get("addr")
+                    .unwrap_or_else(|| format!("127.0.0.1:{port}")),
+                workers: flags.num("workers", 8)?.max(1) as usize,
+                queue: flags.num("queue", 64)?.max(1) as usize,
+                threads: flags.num("threads", 1)?.max(1) as usize,
+                max_sessions: flags.num("max-sessions", 64)?.max(1) as usize,
+                idle_secs: flags.num("idle-secs", 1_800)?.max(1),
+            }))
+        }
         "explore" => Ok(Command::Explore(ExploreArgs {
             ontology: flags.require("ontology")?,
             node: flags.require("node")?,
@@ -358,6 +393,24 @@ mod tests {
         let cmd = parse(&argv("eval --ontology o --query q --threads 0")).unwrap();
         match cmd {
             Command::Eval(e) => assert_eq!(e.threads, 1),
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_serve_with_port_and_addr_override() {
+        let cmd = parse(&argv("serve --port 9000 --workers 4")).unwrap();
+        match cmd {
+            Command::Serve(s) => {
+                assert_eq!(s.addr, "127.0.0.1:9000");
+                assert_eq!(s.workers, 4);
+                assert_eq!(s.queue, 64);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        let cmd = parse(&argv("serve --addr 0.0.0.0:80 --port 9000")).unwrap();
+        match cmd {
+            Command::Serve(s) => assert_eq!(s.addr, "0.0.0.0:80", "--addr wins"),
             other => panic!("wrong command {other:?}"),
         }
     }

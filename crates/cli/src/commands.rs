@@ -502,3 +502,114 @@ pub mod explore {
         Ok(out)
     }
 }
+
+pub mod serve {
+    //! `questpro serve` — the HTTP/JSON session service.
+
+    use std::net::SocketAddr;
+    use std::sync::atomic::Ordering;
+    use std::time::Duration;
+
+    use questpro_server::{ServerConfig, ServerHandle};
+
+    use crate::args::ServeArgs;
+    use crate::error::CliError;
+
+    /// Runs the command: serve until `POST /shutdown` or stdin EOF.
+    pub fn run(args: &ServeArgs) -> Result<String, CliError> {
+        run_with_ready(args, |addr| {
+            eprintln!("questpro-server listening on http://{addr}");
+        })
+    }
+
+    /// [`run`] with a hook observing the bound address (tests bind
+    /// `:0` and need the real port before the call blocks).
+    pub fn run_with_ready(
+        args: &ServeArgs,
+        on_ready: impl FnOnce(SocketAddr),
+    ) -> Result<String, CliError> {
+        let handle = questpro_server::start(&ServerConfig {
+            addr: args.addr.clone(),
+            workers: args.workers,
+            queue: args.queue,
+            threads: args.threads,
+            max_sessions: args.max_sessions,
+            session_idle_secs: args.idle_secs,
+            ..ServerConfig::default()
+        })
+        .map_err(|e| CliError::io(&args.addr, e))?;
+        let addr = handle.addr();
+        on_ready(addr);
+        watch_stdin(&handle);
+        while !handle.is_shutting_down() {
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        handle.join();
+        Ok(format!("server on {addr} shut down cleanly\n"))
+    }
+
+    /// An operator closing the pipe (Ctrl-D, or the parent process
+    /// exiting) is the local counterpart of `POST /shutdown`. The
+    /// watcher thread blocks on a read and is leaked on shutdown-by-
+    /// endpoint — acceptable: the process is about to exit.
+    ///
+    /// Only an interactive stdin is watched: a daemonized
+    /// `questpro serve </dev/null &` would otherwise see instant EOF
+    /// and shut down before serving anything.
+    fn watch_stdin(handle: &ServerHandle) {
+        use std::io::IsTerminal;
+        if !std::io::stdin().is_terminal() {
+            return;
+        }
+        let flag = std::sync::Arc::clone(&handle.state().shutdown);
+        let _ = std::thread::Builder::new()
+            .name("questpro-stdin-watch".into())
+            .spawn(move || {
+                use std::io::BufRead;
+                let stdin = std::io::stdin();
+                let mut line = String::new();
+                loop {
+                    line.clear();
+                    match stdin.lock().read_line(&mut line) {
+                        Ok(0) | Err(_) => break, // EOF or a broken pipe
+                        Ok(_) => {}
+                    }
+                }
+                flag.store(true, Ordering::SeqCst);
+            });
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use crate::args::ServeArgs;
+        use std::io::Write;
+
+        #[test]
+        fn serves_until_shutdown_endpoint_fires() {
+            let args = ServeArgs {
+                addr: "127.0.0.1:0".into(),
+                workers: 2,
+                queue: 8,
+                threads: 1,
+                max_sessions: 4,
+                idle_secs: 60,
+            };
+            let out = run_with_ready(&args, |addr| {
+                // Shut the server down from a client thread as soon as
+                // it is up; run() then unblocks and reports.
+                std::thread::spawn(move || {
+                    let mut s = std::net::TcpStream::connect(addr).unwrap();
+                    write!(
+                        s,
+                        "POST /shutdown HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"
+                    )
+                    .unwrap();
+                    let _ = std::io::Read::read_to_end(&mut s, &mut Vec::new());
+                });
+            })
+            .unwrap();
+            assert!(out.contains("shut down cleanly"));
+        }
+    }
+}

@@ -35,5 +35,6 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
         Command::Session(s) => commands::session::run(&s),
         Command::Diagnose(d) => commands::diagnose::run(&d),
         Command::Explore(e) => commands::explore::run(&e),
+        Command::Serve(s) => commands::serve::run(&s),
     }
 }

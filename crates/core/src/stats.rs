@@ -98,6 +98,69 @@ impl InferenceStats {
     }
 }
 
+// ---------------------------------------------------------------------
+// Process-wide cumulative counters
+// ---------------------------------------------------------------------
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static RUNS: AtomicU64 = AtomicU64::new(0);
+static ALGORITHM1_CALLS: AtomicU64 = AtomicU64::new(0);
+static MERGES_APPLIED: AtomicU64 = AtomicU64::new(0);
+static STATES_EXAMINED: AtomicU64 = AtomicU64::new(0);
+static MERGE_CACHE_HITS: AtomicU64 = AtomicU64::new(0);
+static TOTAL_NANOS: AtomicU64 = AtomicU64::new(0);
+
+/// Cumulative inference totals for this process.
+///
+/// Per-run [`InferenceStats`] values reset with every call — useful for
+/// determinism assertions, useless for a scrape endpoint that wants
+/// counters to only ever go up. Every `infer_top_k` run folds its
+/// deterministic counters into these **monotonic** relaxed atomics;
+/// `questpro-server` exports them at `GET /metrics`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GlobalStats {
+    /// Completed top-k inference runs.
+    pub runs: u64,
+    /// Algorithm 1 invocations across all runs.
+    pub algorithm1_calls: u64,
+    /// Merges applied across all runs.
+    pub merges_applied: u64,
+    /// Beam states examined across all runs.
+    pub states_examined: u64,
+    /// Pairwise merge-cache hits across all runs.
+    pub merge_cache_hits: u64,
+    /// Wall-clock nanoseconds spent inside inference entry points
+    /// (saturated at `u64::MAX`; sums of concurrent runs can exceed
+    /// elapsed process time).
+    pub total_nanos: u64,
+}
+
+/// Snapshots the process-wide cumulative inference counters.
+pub fn global_stats() -> GlobalStats {
+    GlobalStats {
+        runs: RUNS.load(Ordering::Relaxed),
+        algorithm1_calls: ALGORITHM1_CALLS.load(Ordering::Relaxed),
+        merges_applied: MERGES_APPLIED.load(Ordering::Relaxed),
+        states_examined: STATES_EXAMINED.load(Ordering::Relaxed),
+        merge_cache_hits: MERGE_CACHE_HITS.load(Ordering::Relaxed),
+        total_nanos: TOTAL_NANOS.load(Ordering::Relaxed),
+    }
+}
+
+/// Folds one finished run into the process-wide totals.
+pub(crate) fn record_global(stats: &InferenceStats) {
+    RUNS.fetch_add(1, Ordering::Relaxed);
+    ALGORITHM1_CALLS.fetch_add(stats.algorithm1_calls as u64, Ordering::Relaxed);
+    MERGES_APPLIED.fetch_add(stats.merges_applied as u64, Ordering::Relaxed);
+    STATES_EXAMINED.fetch_add(stats.states_examined as u64, Ordering::Relaxed);
+    MERGE_CACHE_HITS.fetch_add(stats.merge_cache_hits as u64, Ordering::Relaxed);
+    TOTAL_NANOS.fetch_add(
+        u64::try_from(stats.total_nanos).unwrap_or(u64::MAX),
+        Ordering::Relaxed,
+    );
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -163,6 +226,23 @@ mod tests {
             ..Default::default()
         };
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn global_counters_are_monotonic() {
+        let before = global_stats();
+        record_global(&InferenceStats {
+            algorithm1_calls: 2,
+            states_examined: 3,
+            total_nanos: 10,
+            ..Default::default()
+        });
+        let after = global_stats();
+        // Other tests may record runs concurrently: lower bounds only.
+        assert!(after.runs > before.runs);
+        assert!(after.algorithm1_calls >= before.algorithm1_calls + 2);
+        assert!(after.states_examined >= before.states_examined + 3);
+        assert!(after.total_nanos >= before.total_nanos + 10);
     }
 
     #[test]

@@ -169,6 +169,7 @@ pub fn infer_top_k(
     stats.consistency_cache_hits = ccache.hits() as usize;
     stats.matcher_nodes_expanded = metrics::nodes_expanded().wrapping_sub(nodes0);
     stats.total_nanos = t_total.elapsed().as_nanos();
+    crate::stats::record_global(&stats);
     (queries, stats)
 }
 

@@ -108,8 +108,10 @@ impl ConsistencyCache {
         self.lookups += 1;
         if let Some(cached) = self.map.get(&key) {
             self.hits += 1;
+            crate::metrics::add_consistency_lookup(true);
             return cached.clone();
         }
+        crate::metrics::add_consistency_lookup(false);
         let m = find_onto_match(ont, q, ex);
         self.map.insert(key, m.clone());
         m

@@ -312,7 +312,7 @@ impl<'a> Matcher<'a> {
             return;
         };
         let _ = self.recurse(&order, 0, &mut state, &mut f);
-        metrics::add_nodes_expanded(state.expanded);
+        metrics::flush_search(state.expanded, state.matched);
     }
 
     /// The first match, if any (sequential enumeration order).
@@ -513,6 +513,7 @@ impl<'a> Matcher<'a> {
             edge_assign: vec![None; self.q.edge_count()],
             cover: CoverTracker::new(self.restrict.filter(|_| self.onto)),
             expanded: 0,
+            matched: 0,
         };
         Some((order, state))
     }
@@ -642,7 +643,7 @@ impl<'a> Matcher<'a> {
                 break 'outer;
             }
         }
-        metrics::add_nodes_expanded(state.expanded);
+        metrics::flush_search(state.expanded, state.matched);
     }
 
     /// Most-constrained-first static order over the *required* edges:
@@ -958,6 +959,7 @@ impl<'a> Matcher<'a> {
             self.required.iter().all(|&ei| m.edges[ei].is_some()),
             "required edges are always matched at emit"
         );
+        state.matched += 1;
         f(&m)
     }
 }
@@ -970,6 +972,8 @@ struct State {
     /// Search-tree nodes expanded (candidate bindings tried); flushed
     /// into [`metrics`] when the search (or shard) finishes.
     expanded: u64,
+    /// Matches emitted; flushed alongside `expanded`.
+    matched: u64,
 }
 
 impl State {

@@ -31,5 +31,8 @@ pub mod study;
 pub use algorithm3::{choose_query, FeedbackConfig, FeedbackOutcome, QuestionRecord};
 pub use oracle::{NoisyOracle, Oracle, ScriptedOracle, TargetOracle};
 pub use refine::refine_diseqs;
-pub use session::{run_session, SessionConfig, SessionResult};
+pub use session::{
+    run_session, InteractiveSession, PendingQuestion, Phase, SessionConfig, SessionError,
+    SessionResult,
+};
 pub use study::{simulate_study, StudyConfig, StudyOutcome, StudyReport};

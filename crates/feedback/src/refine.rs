@@ -72,7 +72,7 @@ pub fn refine_diseqs<O: Oracle, R: Rng>(
 }
 
 /// `q` with one disequality removed from branch `b`.
-fn drop_diseq(q: &UnionQuery, b: usize, pair: (QueryNodeId, QueryNodeId)) -> UnionQuery {
+pub(crate) fn drop_diseq(q: &UnionQuery, b: usize, pair: (QueryNodeId, QueryNodeId)) -> UnionQuery {
     let branches = q
         .branches()
         .iter()

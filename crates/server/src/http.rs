@@ -1,0 +1,302 @@
+//! Minimal HTTP/1.1 request/response handling over `std::net`.
+//!
+//! Scope: exactly what the questpro service needs — request line,
+//! headers, `Content-Length` bodies, keep-alive — with hard limits on
+//! header and body sizes so a hostile peer cannot balloon memory. No
+//! chunked transfer encoding (requests carrying it are rejected with
+//! `411 Length Required` semantics folded into [`ReadError::BadRequest`]),
+//! no TLS, no HTTP/2: the server sits behind a user's loopback or an
+//! ingress proxy, per DESIGN.md.
+
+use std::io::{BufRead, Read, Write};
+
+/// Cap on the request line plus all headers, bytes.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// A parsed request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Upper-cased method (`GET`, `POST`, …).
+    pub method: String,
+    /// Path without query string.
+    pub path: String,
+    /// Raw query string (no leading `?`), empty when absent.
+    pub query: String,
+    /// Header `(name, value)` pairs; names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// The body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The first value of header `name` (lower-case), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the peer asked to close the connection after this
+    /// exchange.
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// A response ready to serialize.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+    /// Ask the peer to close the connection after this response.
+    pub close: bool,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: impl Into<Vec<u8>>) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            body: body.into(),
+            close: false,
+        }
+    }
+
+    /// A plain-text response.
+    pub fn text(status: u16, body: impl Into<Vec<u8>>) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into(),
+            close: false,
+        }
+    }
+
+    /// A JSON error envelope: `{"error": "..."}`.
+    pub fn error(status: u16, message: &str) -> Response {
+        let body = questpro_wire::Json::obj([("error", questpro_wire::Json::str(message))]);
+        Response::json(status, body.to_text())
+    }
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum ReadError {
+    /// The peer closed (or timed out) before a request started — the
+    /// normal end of a keep-alive connection.
+    Closed,
+    /// The request was malformed mid-stream; no response is possible.
+    Disconnected(std::io::Error),
+    /// Syntactically invalid request → respond `400`.
+    BadRequest(String),
+    /// Headers exceeded [`MAX_HEAD_BYTES`] → respond `431`.
+    HeadTooLarge,
+    /// Body exceeded the configured cap → respond `413`.
+    BodyTooLarge,
+}
+
+/// Reads one request. `max_body` bounds the accepted `Content-Length`.
+///
+/// # Errors
+/// See [`ReadError`]; `Closed` is the clean keep-alive end.
+pub fn read_request(r: &mut impl BufRead, max_body: usize) -> Result<Request, ReadError> {
+    let mut head_bytes = 0usize;
+    let line = read_line(r, &mut head_bytes)?;
+    if line.is_empty() {
+        return Err(ReadError::Closed);
+    }
+    let mut parts = line.split_whitespace();
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) => (m, t, v),
+        _ => return Err(ReadError::BadRequest("malformed request line".into())),
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(ReadError::BadRequest("unsupported HTTP version".into()));
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target.to_string(), String::new()),
+    };
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(r, &mut head_bytes)?;
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(ReadError::BadRequest("malformed header".into()));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+    let mut req = Request {
+        method: method.to_ascii_uppercase(),
+        path,
+        query,
+        headers,
+        body: Vec::new(),
+    };
+    if req
+        .header("transfer-encoding")
+        .is_some_and(|v| !v.eq_ignore_ascii_case("identity"))
+    {
+        return Err(ReadError::BadRequest(
+            "chunked transfer encoding is not supported; send Content-Length".into(),
+        ));
+    }
+    let len = match req.header("content-length") {
+        None => 0,
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| ReadError::BadRequest("bad Content-Length".into()))?,
+    };
+    if len > max_body {
+        return Err(ReadError::BodyTooLarge);
+    }
+    if len > 0 {
+        let mut body = vec![0u8; len];
+        r.read_exact(&mut body).map_err(ReadError::Disconnected)?;
+        req.body = body;
+    }
+    Ok(req)
+}
+
+/// Reads one CRLF/LF-terminated line as UTF-8 (lossy), enforcing the
+/// head-size cap across calls via `budget`.
+fn read_line(r: &mut impl BufRead, consumed: &mut usize) -> Result<String, ReadError> {
+    let mut buf = Vec::new();
+    let remaining = MAX_HEAD_BYTES.saturating_sub(*consumed);
+    let n = r
+        .take(remaining as u64 + 1)
+        .read_until(b'\n', &mut buf)
+        .map_err(|e| {
+            if *consumed == 0 {
+                // Timeouts and resets before the first byte are the
+                // normal end of an idle keep-alive connection.
+                ReadError::Closed
+            } else {
+                ReadError::Disconnected(e)
+            }
+        })?;
+    *consumed += n;
+    if *consumed > MAX_HEAD_BYTES {
+        return Err(ReadError::HeadTooLarge);
+    }
+    while buf.last() == Some(&b'\n') || buf.last() == Some(&b'\r') {
+        buf.pop();
+    }
+    Ok(String::from_utf8_lossy(&buf).into_owned())
+}
+
+/// Serializes `resp` to the wire.
+///
+/// # Errors
+/// Propagates the underlying write error (the connection just drops).
+pub fn write_response(w: &mut impl Write, resp: &Response) -> std::io::Result<()> {
+    let reason = match resp.status {
+        200 => "OK",
+        201 => "Created",
+        204 => "No Content",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Response",
+    };
+    write!(
+        w,
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        resp.status,
+        reason,
+        resp.content_type,
+        resp.body.len(),
+        if resp.close { "close" } else { "keep-alive" },
+    )?;
+    w.write_all(&resp.body)?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn read(text: &str, max_body: usize) -> Result<Request, ReadError> {
+        read_request(&mut BufReader::new(text.as_bytes()), max_body)
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let req = read(
+            "POST /sessions?x=1 HTTP/1.1\r\nHost: a\r\nContent-Length: 4\r\n\r\nbody",
+            1024,
+        )
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/sessions");
+        assert_eq!(req.query, "x=1");
+        assert_eq!(req.header("host"), Some("a"));
+        assert_eq!(req.body, b"body");
+        assert!(!req.wants_close());
+    }
+
+    #[test]
+    fn empty_stream_is_a_clean_close() {
+        assert!(matches!(read("", 1024), Err(ReadError::Closed)));
+    }
+
+    #[test]
+    fn oversized_body_is_rejected_without_reading_it() {
+        let r = read("POST / HTTP/1.1\r\nContent-Length: 999\r\n\r\n", 16);
+        assert!(matches!(r, Err(ReadError::BodyTooLarge)));
+    }
+
+    #[test]
+    fn oversized_head_is_rejected() {
+        let mut text = String::from("GET / HTTP/1.1\r\n");
+        for i in 0..2000 {
+            text.push_str(&format!("X-Pad-{i}: aaaaaaaaaaaaaaaa\r\n"));
+        }
+        text.push_str("\r\n");
+        assert!(matches!(read(&text, 1024), Err(ReadError::HeadTooLarge)));
+    }
+
+    #[test]
+    fn malformed_request_lines_are_400() {
+        for bad in ["GET\r\n\r\n", "GET /\r\n\r\n", "GET / SPDY/9 X\r\n\r\n"] {
+            assert!(
+                matches!(read(bad, 1024), Err(ReadError::BadRequest(_))),
+                "{bad:?} must be a 400"
+            );
+        }
+    }
+
+    #[test]
+    fn truncated_body_reports_disconnect() {
+        let r = read("POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc", 1024);
+        assert!(matches!(r, Err(ReadError::Disconnected(_))));
+    }
+
+    #[test]
+    fn response_serialization_is_http11() {
+        let mut out = Vec::new();
+        write_response(&mut out, &Response::text(200, "hi")).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(text.ends_with("\r\n\r\nhi"));
+    }
+}

@@ -1,0 +1,41 @@
+//! `questpro-server`: a zero-dependency HTTP service for interactive
+//! query inference.
+//!
+//! The paper's workflow — infer candidate SPARQL queries from examples,
+//! then converge on the user's intent by asking provenance-backed
+//! yes/no questions — is inherently a long-lived dialogue, which this
+//! crate exposes as a JSON-over-HTTP session API on nothing but
+//! `std::net`:
+//!
+//! * [`http`] — a minimal, limit-guarded HTTP/1.1 reader/writer;
+//! * [`pool`] — a fixed worker pool with a bounded queue (overload
+//!   sheds as `503`, never as unbounded memory);
+//! * [`registry`] — named ontologies: lazily built benchmark worlds
+//!   plus user-posted triple text;
+//! * [`sessions`] — concurrent [`questpro_feedback::InteractiveSession`]
+//!   ownership with per-session locks and idle eviction;
+//! * [`router`] — the endpoint handlers (one-shot `/infer` and `/eval`,
+//!   session CRUD + `/feedback`, `/metrics`, `/shutdown`);
+//! * [`server`] — the accept loop and graceful shutdown;
+//! * [`metrics`] — Prometheus-style text rendering of the process-wide
+//!   monotonic counters.
+//!
+//! Design constraints inherited from the workspace: no external crates,
+//! no `unsafe`, and a failure in any single request (malformed bytes,
+//! a panicking handler, a dropped socket, a poisoned lock) must degrade
+//! that request only — the process keeps serving.
+
+pub mod http;
+pub mod metrics;
+pub mod pool;
+pub mod registry;
+pub mod router;
+pub mod server;
+pub mod sessions;
+
+pub use http::{Request, Response};
+pub use pool::{PoolFull, ThreadPool};
+pub use registry::Registry;
+pub use router::{route, AppState};
+pub use server::{start, ServerConfig, ServerHandle};
+pub use sessions::{SessionEntry, SessionManager};

@@ -1,0 +1,179 @@
+//! Prometheus-style text export of process metrics.
+//!
+//! Everything rendered here is **cumulative** (monotonic counters) or
+//! an instantaneous gauge — never a per-run value that resets — so a
+//! scraper can diff consecutive snapshots for rates. Sources:
+//!
+//! * HTTP counters owned by this module (requests, responses by class);
+//! * `questpro_engine::metrics` — matcher searches/matches/expansions
+//!   and consistency-cache totals;
+//! * `questpro_core::global_stats()` — cumulative inference totals;
+//! * the session manager's live-session gauge.
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic HTTP traffic counters.
+#[derive(Default)]
+pub struct HttpCounters {
+    requests: AtomicU64,
+    responses_2xx: AtomicU64,
+    responses_4xx: AtomicU64,
+    responses_5xx: AtomicU64,
+    rejected_overload: AtomicU64,
+}
+
+impl HttpCounters {
+    /// Records one request received.
+    pub fn record_request(&self) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one response by status class.
+    pub fn record_response(&self, status: u16) {
+        let class = match status {
+            200..=299 => &self.responses_2xx,
+            400..=499 => &self.responses_4xx,
+            _ => &self.responses_5xx,
+        };
+        class.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one connection rejected because the worker queue was
+    /// full.
+    pub fn record_overload(&self) {
+        self.rejected_overload.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total requests received so far.
+    pub fn requests(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+}
+
+/// Renders the full scrape document.
+pub fn render(http: &HttpCounters, live_sessions: usize) -> String {
+    let mut out = String::new();
+    let mut counter = |name: &str, help: &str, value: u64| {
+        let _ = writeln!(out, "# HELP {name} {help}");
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name} {value}");
+    };
+    counter(
+        "questpro_http_requests_total",
+        "HTTP requests parsed off the wire.",
+        http.requests.load(Ordering::Relaxed),
+    );
+    counter(
+        "questpro_http_responses_2xx_total",
+        "Successful responses.",
+        http.responses_2xx.load(Ordering::Relaxed),
+    );
+    counter(
+        "questpro_http_responses_4xx_total",
+        "Client-error responses.",
+        http.responses_4xx.load(Ordering::Relaxed),
+    );
+    counter(
+        "questpro_http_responses_5xx_total",
+        "Server-error responses.",
+        http.responses_5xx.load(Ordering::Relaxed),
+    );
+    counter(
+        "questpro_http_overload_rejections_total",
+        "Connections rejected with 503 because the worker queue was full.",
+        http.rejected_overload.load(Ordering::Relaxed),
+    );
+
+    let inference = questpro_core::global_stats();
+    counter(
+        "questpro_inference_runs_total",
+        "Completed top-k inference runs.",
+        inference.runs,
+    );
+    counter(
+        "questpro_inference_algorithm1_calls_total",
+        "Algorithm 1 invocations (the paper's Figure 6 metric), cumulative.",
+        inference.algorithm1_calls,
+    );
+    counter(
+        "questpro_inference_states_examined_total",
+        "Beam states examined, cumulative.",
+        inference.states_examined,
+    );
+    counter(
+        "questpro_inference_merge_cache_hits_total",
+        "Pairwise merge-cache hits, cumulative.",
+        inference.merge_cache_hits,
+    );
+    counter(
+        "questpro_inference_nanos_total",
+        "Wall-clock nanoseconds inside inference entry points, cumulative.",
+        inference.total_nanos,
+    );
+
+    counter(
+        "questpro_engine_searches_total",
+        "Matcher search drives finished (sequential searches and parallel shards).",
+        questpro_engine::metrics::searches_total(),
+    );
+    counter(
+        "questpro_engine_matches_total",
+        "Matches emitted by the matcher.",
+        questpro_engine::metrics::matches_total(),
+    );
+    counter(
+        "questpro_engine_nodes_expanded_total",
+        "Matcher search-tree nodes expanded.",
+        questpro_engine::metrics::nodes_expanded(),
+    );
+    counter(
+        "questpro_consistency_lookups_total",
+        "Consistency-cache lookups.",
+        questpro_engine::metrics::consistency_lookups_total(),
+    );
+    counter(
+        "questpro_consistency_hits_total",
+        "Consistency-cache lookups answered without a matcher run.",
+        questpro_engine::metrics::consistency_hits_total(),
+    );
+
+    let _ = writeln!(
+        out,
+        "# HELP questpro_sessions_live Interactive sessions currently held.\n\
+         # TYPE questpro_sessions_live gauge\n\
+         questpro_sessions_live {live_sessions}"
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_all_families_and_counts_classes() {
+        let http = HttpCounters::default();
+        http.record_request();
+        http.record_response(200);
+        http.record_response(404);
+        http.record_response(500);
+        http.record_overload();
+        let text = render(&http, 3);
+        assert!(text.contains("questpro_http_requests_total 1"));
+        assert!(text.contains("questpro_http_responses_2xx_total 1"));
+        assert!(text.contains("questpro_http_responses_4xx_total 1"));
+        assert!(text.contains("questpro_http_responses_5xx_total 1"));
+        assert!(text.contains("questpro_http_overload_rejections_total 1"));
+        assert!(text.contains("questpro_sessions_live 3"));
+        assert!(text.contains("questpro_engine_searches_total"));
+        assert!(text.contains("questpro_inference_runs_total"));
+        // Prometheus text format: every sample line has HELP/TYPE.
+        let samples = text
+            .lines()
+            .filter(|l| !l.starts_with('#') && !l.is_empty())
+            .count();
+        let types = text.lines().filter(|l| l.starts_with("# TYPE")).count();
+        assert_eq!(samples, types);
+    }
+}

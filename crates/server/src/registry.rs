@@ -1,0 +1,148 @@
+//! Named ontologies shared across sessions and requests.
+//!
+//! The four built-in worlds (`erdos`, `sp2b`, `bsbm`, `movies`) are
+//! generated lazily on first use at their default scales — binding a
+//! port stays instant — and cached as `Arc<Ontology>` so concurrent
+//! requests share one immutable graph. Users can also `POST` their own
+//! world as triple text (the `questpro generate` format).
+//!
+//! Locking discipline: one registry-wide mutex guards the name map;
+//! ontology *construction* happens outside the lock so a slow build
+//! (sp2b at scale) never stalls requests touching other worlds. Two
+//! racing builders may both construct; the first insert wins and the
+//! loser's copy is dropped — correctness over duplicated effort.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+use questpro_data::{
+    erdos_ontology, generate_bsbm, generate_movies, generate_sp2b, BsbmConfig, MoviesConfig,
+    Sp2bConfig,
+};
+use questpro_graph::{triples, Ontology};
+
+/// How a named world comes to exist.
+enum Entry {
+    /// Generated on first access by the named builder.
+    Lazy(fn() -> Ontology),
+    /// Already materialized.
+    Loaded(Arc<Ontology>),
+}
+
+/// A concurrent name → ontology map; see the module docs.
+pub struct Registry {
+    inner: Mutex<BTreeMap<String, Entry>>,
+}
+
+impl Registry {
+    /// A registry pre-populated with the built-in worlds.
+    pub fn with_builtins() -> Registry {
+        let mut map: BTreeMap<String, Entry> = BTreeMap::new();
+        map.insert("erdos".into(), Entry::Lazy(erdos_ontology));
+        map.insert(
+            "sp2b".into(),
+            Entry::Lazy(|| generate_sp2b(&Sp2bConfig::default())),
+        );
+        map.insert(
+            "bsbm".into(),
+            Entry::Lazy(|| generate_bsbm(&BsbmConfig::default())),
+        );
+        map.insert(
+            "movies".into(),
+            Entry::Lazy(|| generate_movies(&MoviesConfig::default())),
+        );
+        Registry {
+            inner: Mutex::new(map),
+        }
+    }
+
+    /// The named ontology, building it first if it is a built-in that
+    /// has not been touched yet. `None` for unknown names.
+    pub fn get(&self, name: &str) -> Option<Arc<Ontology>> {
+        let builder = {
+            let map = lock(&self.inner);
+            match map.get(name) {
+                None => return None,
+                Some(Entry::Loaded(ont)) => return Some(Arc::clone(ont)),
+                Some(Entry::Lazy(f)) => *f,
+            }
+        };
+        // Build outside the lock; racing builders are resolved by
+        // whoever inserts first.
+        let built = Arc::new(builder());
+        let mut map = lock(&self.inner);
+        match map.get(name) {
+            Some(Entry::Loaded(ont)) => Some(Arc::clone(ont)),
+            _ => {
+                map.insert(name.to_string(), Entry::Loaded(Arc::clone(&built)));
+                Some(built)
+            }
+        }
+    }
+
+    /// Registers a user-posted world from triple text.
+    ///
+    /// # Errors
+    /// The name being taken, or the triple text failing to parse; both
+    /// as a displayable message.
+    pub fn insert(&self, name: &str, triple_text: &str) -> Result<Arc<Ontology>, String> {
+        if name.is_empty()
+            || !name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_')
+        {
+            return Err("ontology names must be non-empty [A-Za-z0-9_-]".into());
+        }
+        let ont = Arc::new(triples::parse(triple_text).map_err(|e| e.to_string())?);
+        let mut map = lock(&self.inner);
+        if map.contains_key(name) {
+            return Err(format!("ontology {name:?} already exists"));
+        }
+        map.insert(name.to_string(), Entry::Loaded(Arc::clone(&ont)));
+        Ok(ont)
+    }
+
+    /// Registered names with whether each is materialized yet.
+    pub fn list(&self) -> Vec<(String, bool)> {
+        lock(&self.inner)
+            .iter()
+            .map(|(k, v)| (k.clone(), matches!(v, Entry::Loaded(_))))
+            .collect()
+    }
+}
+
+/// Poison-tolerant lock: a panic in another request must degrade that
+/// request, not wedge the registry for the rest of the process.
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtins_materialize_lazily_and_are_shared() {
+        let r = Registry::with_builtins();
+        assert!(
+            r.list().iter().all(|(_, loaded)| !loaded),
+            "nothing is built up-front"
+        );
+        let a = r.get("erdos").unwrap();
+        let b = r.get("erdos").unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "one shared instance");
+        assert!(r.list().iter().any(|(n, loaded)| n == "erdos" && *loaded));
+        assert!(r.get("no-such-world").is_none());
+    }
+
+    #[test]
+    fn user_worlds_parse_and_collide_loudly() {
+        let r = Registry::with_builtins();
+        let ont = r.insert("tiny", "a p b\nb p c\n").unwrap();
+        assert_eq!(ont.node_count(), 3);
+        assert!(r.get("tiny").is_some());
+        assert!(r.insert("tiny", "x p y\n").is_err(), "duplicate name");
+        assert!(r.insert("bad name", "x p y\n").is_err(), "bad name");
+        assert!(r.insert("broken", "not a triple line\n").is_err());
+    }
+}

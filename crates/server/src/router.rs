@@ -1,0 +1,640 @@
+//! Request routing and JSON endpoint handlers.
+//!
+//! Routes are dispatched on `(method, path segments)`. Handlers are
+//! pure functions from parsed wire JSON to a [`Response`]; every error
+//! path returns a `{"error": ...}` envelope with a 4xx/5xx status —
+//! malformed input must never panic a worker (the connection loop
+//! additionally wraps handlers in `catch_unwind` as a last line of
+//! defense).
+//!
+//! Endpoint map:
+//!
+//! | Method & path                  | Action                              |
+//! |--------------------------------|-------------------------------------|
+//! | `GET  /healthz`                | liveness probe                      |
+//! | `GET  /metrics`                | Prometheus-style counters           |
+//! | `GET  /ontologies`             | list registered worlds              |
+//! | `POST /ontologies`             | register a triple-text world        |
+//! | `GET  /ontologies/:name`       | materialize + describe one world    |
+//! | `POST /eval`                   | evaluate a SPARQL union             |
+//! | `POST /infer`                  | one-shot top-k inference            |
+//! | `POST /sessions`               | start an interactive session        |
+//! | `GET  /sessions`               | list live sessions                  |
+//! | `GET  /sessions/:id`           | session state + pending question    |
+//! | `DELETE /sessions/:id`         | drop a session                      |
+//! | `POST /sessions/:id/infer`     | current inference step (question)   |
+//! | `POST /sessions/:id/feedback`  | answer the pending question         |
+//! | `GET  /sessions/:id/candidates`| the ranked candidate queries        |
+//! | `GET  /sessions/:id/snapshot`  | serialized session state            |
+//! | `POST /shutdown`               | begin graceful shutdown             |
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use questpro_core::{GreedyConfig, TopKConfig};
+use questpro_engine::{evaluate_union_with, provenance_of_union_with};
+use questpro_feedback::{
+    FeedbackConfig, InteractiveSession, PendingQuestion, Phase, SessionConfig, SessionError,
+};
+use questpro_graph::{exformat, ExampleSet, Ontology, Subgraph};
+use questpro_query::{sparql, GeneralizationWeights, UnionQuery};
+use questpro_wire::{Json, Limits};
+
+use crate::http::{Request, Response};
+use crate::metrics::{render, HttpCounters};
+use crate::registry::Registry;
+use crate::sessions::{lock, SessionEntry, SessionManager};
+
+/// Everything the handlers share; one per server, behind an `Arc`.
+pub struct AppState {
+    /// Named ontologies.
+    pub registry: Registry,
+    /// Live interactive sessions.
+    pub sessions: SessionManager,
+    /// Monotonic HTTP counters for `/metrics`.
+    pub http: HttpCounters,
+    /// Set by `POST /shutdown`; the accept loop polls it.
+    pub shutdown: Arc<AtomicBool>,
+    /// Default `--threads` for inference when a request omits it.
+    pub default_threads: usize,
+    /// Cap on request bodies, bytes (shared with the HTTP reader).
+    pub max_body: usize,
+}
+
+impl AppState {
+    /// A state with the built-in worlds and the given limits.
+    pub fn new(
+        default_threads: usize,
+        max_body: usize,
+        session_idle: Duration,
+        max_sessions: usize,
+    ) -> AppState {
+        AppState {
+            registry: Registry::with_builtins(),
+            sessions: SessionManager::new(session_idle, max_sessions),
+            http: HttpCounters::default(),
+            shutdown: Arc::new(AtomicBool::new(false)),
+            default_threads: default_threads.max(1),
+            max_body,
+        }
+    }
+}
+
+/// Dispatches one request to its handler.
+pub fn route(state: &AppState, req: &Request) -> Response {
+    let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+    match (req.method.as_str(), segments.as_slice()) {
+        ("GET", ["healthz"]) => Response::text(200, "ok\n"),
+        ("GET", ["metrics"]) => Response::text(200, render(&state.http, state.sessions.count())),
+        ("GET", ["ontologies"]) => list_ontologies(state),
+        ("POST", ["ontologies"]) => create_ontology(state, req),
+        ("GET", ["ontologies", name]) => describe_ontology(state, name),
+        ("POST", ["eval"]) => eval_query(state, req),
+        ("POST", ["infer"]) => one_shot_infer(state, req),
+        ("POST", ["sessions"]) => create_session(state, req),
+        ("GET", ["sessions"]) => list_sessions(state),
+        ("GET", ["sessions", id]) => with_session(state, id, session_state_json),
+        ("DELETE", ["sessions", id]) => delete_session(state, id),
+        ("POST", ["sessions", id, "infer"]) => with_session(state, id, session_state_json),
+        ("POST", ["sessions", id, "feedback"]) => session_feedback(state, id, req),
+        ("GET", ["sessions", id, "candidates"]) => with_session(state, id, |_, entry| {
+            Response::json(
+                200,
+                Json::obj([(
+                    "candidates",
+                    Json::Arr(
+                        entry
+                            .session
+                            .candidates()
+                            .iter()
+                            .map(|q| Json::str(sparql::format_union(q)))
+                            .collect(),
+                    ),
+                )])
+                .to_text(),
+            )
+        }),
+        ("GET", ["sessions", id, "snapshot"]) => with_session(state, id, |ont, entry| {
+            Response::json(200, entry.session.snapshot(ont).to_text())
+        }),
+        ("POST", ["shutdown"]) => {
+            state.shutdown.store(true, Ordering::SeqCst);
+            let mut resp = Response::json(
+                200,
+                Json::obj([("status", Json::str("shutting down"))]).to_text(),
+            );
+            resp.close = true;
+            resp
+        }
+        (
+            _,
+            ["healthz" | "metrics" | "ontologies" | "eval" | "infer" | "sessions" | "shutdown", ..],
+        ) => Response::error(405, "method not allowed for this path"),
+        _ => Response::error(404, "no such route"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Request plumbing
+// ---------------------------------------------------------------------
+
+/// Parses the request body as JSON within the configured limits.
+fn body_json(state: &AppState, req: &Request) -> Result<Json, Response> {
+    let text = std::str::from_utf8(&req.body)
+        .map_err(|_| Response::error(400, "request body must be UTF-8 JSON"))?;
+    questpro_wire::parse_with(
+        text,
+        Limits {
+            max_bytes: state.max_body,
+            ..Limits::default()
+        },
+    )
+    .map_err(|e| Response::error(400, &format!("invalid JSON: {e}")))
+}
+
+/// A required string field of a JSON object body.
+fn str_field<'a>(body: &'a Json, key: &str) -> Result<&'a str, Response> {
+    body.get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| Response::error(422, &format!("missing string field {key:?}")))
+}
+
+fn ontology_of(state: &AppState, name: &str) -> Result<Arc<Ontology>, Response> {
+    state
+        .registry
+        .get(name)
+        .ok_or_else(|| Response::error(404, &format!("no ontology named {name:?}")))
+}
+
+fn examples_of(ont: &Ontology, text: &str) -> Result<ExampleSet, Response> {
+    let set = exformat::parse_examples(ont, text)
+        .map_err(|e| Response::error(422, &format!("bad examples: {e}")))?;
+    if set.is_empty() {
+        return Err(Response::error(422, "the example-set is empty"));
+    }
+    Ok(set)
+}
+
+fn query_of(text: &str) -> Result<UnionQuery, Response> {
+    sparql::parse_union(text).map_err(|e| Response::error(422, &format!("bad query: {e}")))
+}
+
+/// Extracts the shared inference knobs (`k`, `w1`, `w2`, `threads`,
+/// `optional`) with the same defaults the CLI uses.
+fn topk_config(state: &AppState, body: &Json) -> TopKConfig {
+    let defaults = TopKConfig::default();
+    let num = |key: &str, dflt: f64| body.get(key).and_then(Json::as_f64).unwrap_or(dflt);
+    TopKConfig {
+        k: body
+            .get("k")
+            .and_then(Json::as_usize)
+            .unwrap_or(defaults.k)
+            .max(1),
+        weights: GeneralizationWeights::new(
+            num("w1", defaults.weights.w1),
+            num("w2", defaults.weights.w2),
+        ),
+        greedy: GreedyConfig {
+            allow_optional: body
+                .get("optional")
+                .and_then(Json::as_bool)
+                .unwrap_or(false),
+            ..Default::default()
+        },
+        threads: body
+            .get("threads")
+            .and_then(Json::as_usize)
+            .unwrap_or(state.default_threads)
+            .max(1),
+    }
+}
+
+/// `{edges: [[s,p,o]...], nodes: [v...], text: human description}`.
+fn subgraph_json(ont: &Ontology, g: &Subgraph) -> Json {
+    Json::obj([
+        (
+            "edges",
+            Json::Arr(
+                g.edges()
+                    .iter()
+                    .map(|&e| {
+                        let d = ont.edge(e);
+                        Json::Arr(vec![
+                            Json::str(ont.value_str(d.src)),
+                            Json::str(ont.pred_str(d.pred)),
+                            Json::str(ont.value_str(d.dst)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "nodes",
+            Json::Arr(
+                g.nodes()
+                    .iter()
+                    .map(|&n| Json::str(ont.value_str(n)))
+                    .collect(),
+            ),
+        ),
+        ("text", Json::str(g.describe(ont))),
+    ])
+}
+
+// ---------------------------------------------------------------------
+// Ontologies
+// ---------------------------------------------------------------------
+
+fn list_ontologies(state: &AppState) -> Response {
+    let items: Vec<Json> = state
+        .registry
+        .list()
+        .into_iter()
+        .map(|(name, loaded)| {
+            Json::obj([("name", Json::str(name)), ("loaded", Json::Bool(loaded))])
+        })
+        .collect();
+    Response::json(200, Json::obj([("ontologies", Json::Arr(items))]).to_text())
+}
+
+fn create_ontology(state: &AppState, req: &Request) -> Response {
+    let body = match body_json(state, req) {
+        Ok(b) => b,
+        Err(resp) => return resp,
+    };
+    let (name, triples) = match (str_field(&body, "name"), str_field(&body, "triples")) {
+        (Ok(n), Ok(t)) => (n, t),
+        (Err(resp), _) | (_, Err(resp)) => return resp,
+    };
+    match state.registry.insert(name, triples) {
+        Ok(ont) => Response::json(
+            201,
+            Json::obj([
+                ("name", Json::str(name)),
+                ("nodes", Json::from(ont.node_count())),
+                ("edges", Json::from(ont.edge_count())),
+            ])
+            .to_text(),
+        ),
+        Err(e) => Response::error(409, &e),
+    }
+}
+
+fn describe_ontology(state: &AppState, name: &str) -> Response {
+    match ontology_of(state, name) {
+        Ok(ont) => Response::json(
+            200,
+            Json::obj([
+                ("name", Json::str(name)),
+                ("nodes", Json::from(ont.node_count())),
+                ("edges", Json::from(ont.edge_count())),
+            ])
+            .to_text(),
+        ),
+        Err(resp) => resp,
+    }
+}
+
+// ---------------------------------------------------------------------
+// One-shot inference and evaluation
+// ---------------------------------------------------------------------
+
+fn eval_query(state: &AppState, req: &Request) -> Response {
+    let body = match body_json(state, req) {
+        Ok(b) => b,
+        Err(resp) => return resp,
+    };
+    let parsed = (|| {
+        let ont = ontology_of(state, str_field(&body, "ontology")?)?;
+        let query = query_of(str_field(&body, "query")?)?;
+        Ok::<_, Response>((ont, query))
+    })();
+    let (ont, query) = match parsed {
+        Ok(p) => p,
+        Err(resp) => return resp,
+    };
+    let threads = body
+        .get("threads")
+        .and_then(Json::as_usize)
+        .unwrap_or(state.default_threads)
+        .max(1);
+    let results = evaluate_union_with(&ont, &query, threads);
+    let mut pairs = vec![(
+        "results",
+        Json::Arr(
+            results
+                .iter()
+                .map(|&r| Json::str(ont.value_str(r)))
+                .collect(),
+        ),
+    )];
+    if let Some(value) = body.get("provenance").and_then(Json::as_str) {
+        let Some(node) = ont.node_by_value(value) else {
+            return Response::error(422, &format!("no node with value {value:?}"));
+        };
+        if !results.contains(&node) {
+            return Response::error(422, &format!("{value} is not a result of the query"));
+        }
+        let limit = body
+            .get("limit")
+            .and_then(Json::as_usize)
+            .unwrap_or(8)
+            .max(1);
+        let graphs = provenance_of_union_with(&ont, &query, node, Some(limit), threads);
+        pairs.push((
+            "provenance",
+            Json::Arr(graphs.iter().map(|g| subgraph_json(&ont, g)).collect()),
+        ));
+    }
+    Response::json(200, Json::obj(pairs).to_text())
+}
+
+fn one_shot_infer(state: &AppState, req: &Request) -> Response {
+    let body = match body_json(state, req) {
+        Ok(b) => b,
+        Err(resp) => return resp,
+    };
+    let parsed = (|| {
+        let ont = ontology_of(state, str_field(&body, "ontology")?)?;
+        let examples = examples_of(&ont, str_field(&body, "examples")?)?;
+        Ok::<_, Response>((ont, examples))
+    })();
+    let (ont, examples) = match parsed {
+        Ok(p) => p,
+        Err(resp) => return resp,
+    };
+    let cfg = topk_config(state, &body);
+    let with_diseqs = body.get("diseqs").and_then(Json::as_bool).unwrap_or(false);
+    let (candidates, stats) = questpro_core::infer_top_k(&ont, &examples, &cfg);
+    if candidates.is_empty() {
+        return Response::error(422, "no consistent query found for the example-set");
+    }
+    let rendered: Vec<Json> = candidates
+        .iter()
+        .map(|q| {
+            let q = if with_diseqs {
+                questpro_core::with_all_diseqs(&ont, q, &examples)
+            } else {
+                q.clone()
+            };
+            Json::obj([
+                ("query", Json::str(sparql::format_union(&q))),
+                ("cost", Json::Num(q.cost(cfg.weights))),
+                ("branches", Json::from(q.len())),
+                ("vars", Json::from(q.total_vars())),
+                ("diseqs", Json::from(q.diseq_count())),
+            ])
+        })
+        .collect();
+    Response::json(
+        200,
+        Json::obj([
+            ("candidates", Json::Arr(rendered)),
+            (
+                "stats",
+                Json::obj([
+                    ("algorithm1_calls", Json::from(stats.algorithm1_calls)),
+                    ("rounds", Json::from(stats.rounds)),
+                    ("merges_applied", Json::from(stats.merges_applied)),
+                    ("states_examined", Json::from(stats.states_examined)),
+                    ("merge_cache_hits", Json::from(stats.merge_cache_hits)),
+                    ("consistency_checks", Json::from(stats.consistency_checks)),
+                    (
+                        "consistency_cache_hits",
+                        Json::from(stats.consistency_cache_hits),
+                    ),
+                    (
+                        "total_nanos",
+                        Json::from(u64::try_from(stats.total_nanos).unwrap_or(u64::MAX)),
+                    ),
+                ]),
+            ),
+        ])
+        .to_text(),
+    )
+}
+
+// ---------------------------------------------------------------------
+// Interactive sessions
+// ---------------------------------------------------------------------
+
+fn create_session(state: &AppState, req: &Request) -> Response {
+    let body = match body_json(state, req) {
+        Ok(b) => b,
+        Err(resp) => return resp,
+    };
+    let ont_name = match str_field(&body, "ontology") {
+        Ok(n) => n.to_string(),
+        Err(resp) => return resp,
+    };
+    let parsed = (|| {
+        let ont = ontology_of(state, &ont_name)?;
+        let examples = examples_of(&ont, str_field(&body, "examples")?)?;
+        Ok::<_, Response>((ont, examples))
+    })();
+    let (ont, examples) = match parsed {
+        Ok(p) => p,
+        Err(resp) => return resp,
+    };
+    let feedback_defaults = FeedbackConfig::default();
+    let cfg = SessionConfig {
+        topk: topk_config(state, &body),
+        feedback: FeedbackConfig {
+            prov_limit: body
+                .get("prov_limit")
+                .and_then(Json::as_usize)
+                .unwrap_or(feedback_defaults.prov_limit)
+                .max(1),
+            max_questions: body
+                .get("max_questions")
+                .and_then(Json::as_usize)
+                .unwrap_or(feedback_defaults.max_questions),
+        },
+        // Defaults mirror the CLI `session` flags: refinement and
+        // robust diagnosis are opt-in.
+        refine: body.get("refine").and_then(Json::as_bool).unwrap_or(false),
+        robust: body.get("robust").and_then(Json::as_bool).unwrap_or(false),
+    };
+    let seed = body.get("seed").and_then(Json::as_u64).unwrap_or(0);
+    let session = match InteractiveSession::start(&ont, &examples, &cfg, seed) {
+        Ok(s) => s,
+        Err(e @ (SessionError::EmptyExamples | SessionError::NoCandidates)) => {
+            return Response::error(422, &e.to_string())
+        }
+        Err(e) => return Response::error(500, &e.to_string()),
+    };
+    match state.sessions.create(session, ont_name, seed) {
+        Ok(id) => match state.sessions.get(id) {
+            Some(entry) => {
+                let entry = lock(&entry);
+                let mut resp = entry_json(&ont, id, &entry);
+                resp.status = 201;
+                resp
+            }
+            None => Response::error(500, "session vanished during creation"),
+        },
+        Err(e) => Response::error(429, &e),
+    }
+}
+
+fn list_sessions(state: &AppState) -> Response {
+    let items: Vec<Json> = state
+        .sessions
+        .list()
+        .into_iter()
+        .map(|(id, entry)| {
+            let entry = lock(&entry);
+            Json::obj([
+                ("id", Json::from(id)),
+                ("ontology", Json::str(entry.ontology.clone())),
+                ("phase", Json::str(phase_str(entry.session.phase()))),
+                (
+                    "questions_asked",
+                    Json::from(entry.session.transcript().len() + entry.session.refine_questions()),
+                ),
+            ])
+        })
+        .collect();
+    Response::json(200, Json::obj([("sessions", Json::Arr(items))]).to_text())
+}
+
+fn delete_session(state: &AppState, id: &str) -> Response {
+    match id.parse::<u64>() {
+        Ok(id) if state.sessions.remove(id) => Response {
+            status: 204,
+            content_type: "application/json",
+            body: Vec::new(),
+            close: false,
+        },
+        Ok(_) | Err(_) => Response::error(404, "no such session"),
+    }
+}
+
+/// Looks a session up and runs `f` under its lock (the ontology resolved
+/// alongside).
+fn with_session(
+    state: &AppState,
+    id: &str,
+    f: impl FnOnce(&Ontology, &mut SessionEntry) -> Response,
+) -> Response {
+    let Ok(id_num) = id.parse::<u64>() else {
+        return Response::error(404, "session ids are integers");
+    };
+    let Some(entry) = state.sessions.get(id_num) else {
+        return Response::error(404, "no such session");
+    };
+    let mut entry = lock(&entry);
+    let ont = match ontology_of(state, &entry.ontology.clone()) {
+        Ok(o) => o,
+        Err(resp) => return resp,
+    };
+    f(&ont, &mut entry)
+}
+
+fn session_feedback(state: &AppState, id: &str, req: &Request) -> Response {
+    let body = match body_json(state, req) {
+        Ok(b) => b,
+        Err(resp) => return resp,
+    };
+    let Some(answer) = body.get("answer").and_then(Json::as_bool) else {
+        return Response::error(422, "missing boolean field \"answer\"");
+    };
+    let Ok(id_num) = id.parse::<u64>() else {
+        return Response::error(404, "session ids are integers");
+    };
+    with_session(state, id, |ont, entry| {
+        match entry.session.answer(ont, answer) {
+            Ok(()) => {
+                let mut resp = entry_json(ont, id_num, entry);
+                resp.status = 200;
+                resp
+            }
+            Err(SessionError::NothingPending) => {
+                Response::error(409, "no question is pending (session is done)")
+            }
+            Err(e) => Response::error(500, &e.to_string()),
+        }
+    })
+}
+
+fn session_state_json(ont: &Ontology, entry: &mut SessionEntry) -> Response {
+    // The id is not stored inside the entry; reuse entry_json via a
+    // wrapper that omits it would complicate callers — the id the
+    // client used is echoed from the path, so 0 is never exposed: all
+    // `with_session` callers route through here only after resolving
+    // the entry by that id. Render without the id field instead.
+    let mut pairs = entry_pairs(ont, entry);
+    pairs.retain(|(k, _)| *k != "id");
+    Response::json(
+        200,
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect()).to_text(),
+    )
+}
+
+fn entry_json(ont: &Ontology, id: u64, entry: &SessionEntry) -> Response {
+    let mut pairs = entry_pairs(ont, entry);
+    pairs[0] = ("id", Json::from(id));
+    Response::json(
+        200,
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect()).to_text(),
+    )
+}
+
+fn entry_pairs(ont: &Ontology, entry: &SessionEntry) -> Vec<(&'static str, Json)> {
+    let s = &entry.session;
+    let pending = match s.pending() {
+        None => Json::Null,
+        Some(PendingQuestion::Select {
+            result, provenance, ..
+        }) => Json::obj([
+            ("kind", Json::str("select")),
+            ("result", Json::str(ont.value_str(*result))),
+            ("provenance", subgraph_json(ont, provenance)),
+        ]),
+        Some(PendingQuestion::Refine {
+            result, provenance, ..
+        }) => Json::obj([
+            ("kind", Json::str("refine")),
+            ("result", Json::str(ont.value_str(*result))),
+            ("provenance", subgraph_json(ont, provenance)),
+        ]),
+    };
+    vec![
+        ("id", Json::Null),
+        ("ontology", Json::str(entry.ontology.clone())),
+        ("seed", Json::from(entry.seed)),
+        ("phase", Json::str(phase_str(s.phase()))),
+        (
+            "live",
+            Json::Arr(s.live().iter().map(|&i| Json::from(i)).collect()),
+        ),
+        (
+            "questions_asked",
+            Json::from(s.transcript().len() + s.refine_questions()),
+        ),
+        ("pending", pending),
+        (
+            "final",
+            s.final_query()
+                .map_or(Json::Null, |q| Json::str(sparql::format_union(q))),
+        ),
+        (
+            "suspect_examples",
+            Json::Arr(
+                s.suspect_examples()
+                    .iter()
+                    .map(|&i| Json::from(i))
+                    .collect(),
+            ),
+        ),
+    ]
+}
+
+fn phase_str(p: Phase) -> &'static str {
+    match p {
+        Phase::Selecting => "selecting",
+        Phase::Refining => "refining",
+        Phase::Done => "done",
+    }
+}

@@ -1,0 +1,296 @@
+//! The accept loop: sockets in, [`crate::router::route`] out.
+//!
+//! One dedicated acceptor thread owns the (nonblocking) listener and a
+//! fixed [`ThreadPool`]; each accepted connection becomes one pool job
+//! that serves HTTP/1.1 keep-alive requests until the peer closes, a
+//! timeout fires, or shutdown begins. Load is shed at the front door:
+//! when the pool's bounded queue is full the acceptor itself writes a
+//! `503` and closes, so memory stays flat under overload.
+//!
+//! Shutdown is cooperative — there is no signal handling in a
+//! zero-dependency workspace — via [`ServerHandle::shutdown`] or
+//! `POST /shutdown`: the flag flips, the acceptor stops accepting,
+//! the pool drains queued connections, and in-flight keep-alive
+//! handlers close after their current response.
+
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use crate::http::{read_request, write_response, ReadError, Response};
+use crate::pool::ThreadPool;
+use crate::router::{route, AppState};
+
+/// Everything tunable about a server instance.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:7474` (`:0` for an ephemeral port).
+    pub addr: String,
+    /// Worker threads serving connections.
+    pub workers: usize,
+    /// Bounded backlog of accepted-but-unserved connections; beyond it
+    /// the acceptor sheds load with `503`.
+    pub queue: usize,
+    /// Cap on request bodies, bytes.
+    pub max_body: usize,
+    /// Socket read timeout (also bounds keep-alive idle time), ms.
+    pub read_timeout_ms: u64,
+    /// Socket write timeout, ms.
+    pub write_timeout_ms: u64,
+    /// Sessions idle longer than this are evicted, seconds.
+    pub session_idle_secs: u64,
+    /// Maximum live interactive sessions.
+    pub max_sessions: usize,
+    /// Default inference threads per request (`threads` in bodies wins).
+    pub threads: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:7474".into(),
+            workers: 8,
+            queue: 64,
+            max_body: 1 << 20,
+            read_timeout_ms: 5_000,
+            write_timeout_ms: 5_000,
+            session_idle_secs: 1_800,
+            max_sessions: 64,
+            threads: 1,
+        }
+    }
+}
+
+/// A running server; dropping it without [`ServerHandle::join`] leaves
+/// the acceptor thread running detached until shutdown is requested.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    state: Arc<AppState>,
+    acceptor: Option<thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves `:0` to the actual port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared application state (registry, sessions, counters).
+    pub fn state(&self) -> &Arc<AppState> {
+        &self.state
+    }
+
+    /// Whether shutdown has been requested (by this handle or by
+    /// `POST /shutdown`).
+    pub fn is_shutting_down(&self) -> bool {
+        self.state.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Requests graceful shutdown without waiting for it.
+    pub fn shutdown(&self) {
+        self.state.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Requests shutdown and waits for the acceptor (and through it the
+    /// worker pool) to drain.
+    pub fn join(mut self) {
+        self.shutdown();
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Binds, spawns the acceptor and worker pool, and returns immediately.
+///
+/// # Errors
+/// Propagates the bind failure.
+pub fn start(cfg: &ServerConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&cfg.addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let state = Arc::new(AppState::new(
+        cfg.threads,
+        cfg.max_body,
+        Duration::from_secs(cfg.session_idle_secs),
+        cfg.max_sessions,
+    ));
+    let acceptor = {
+        let state = Arc::clone(&state);
+        let cfg = cfg.clone();
+        thread::Builder::new()
+            .name("questpro-acceptor".into())
+            .spawn(move || accept_loop(&listener, &state, &cfg))?
+    };
+    Ok(ServerHandle {
+        addr,
+        state,
+        acceptor: Some(acceptor),
+    })
+}
+
+fn accept_loop(listener: &TcpListener, state: &Arc<AppState>, cfg: &ServerConfig) {
+    let pool = ThreadPool::new(cfg.workers, cfg.queue);
+    while !state.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if configure(&stream, cfg).is_err() {
+                    continue; // a dropped socket degrades this connection only
+                }
+                // A dup of the fd survives the job being rejected (the
+                // boxed closure, and the original stream inside it, are
+                // dropped by the failed try_send) — it is how the
+                // acceptor still answers 503 under overload.
+                let reject_half = stream.try_clone();
+                let job_state = Arc::clone(state);
+                let max_body = cfg.max_body;
+                if pool
+                    .submit(move || serve_connection(stream, &job_state, max_body))
+                    .is_err()
+                {
+                    state.http.record_overload();
+                    state.http.record_response(503);
+                    if let Ok(mut s) = reject_half {
+                        let mut resp = Response::error(503, "server overloaded; retry later");
+                        resp.close = true;
+                        let _ = write_response(&mut s, &resp);
+                    }
+                }
+            }
+            // Nonblocking accept: poll the shutdown flag between peers.
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => thread::sleep(Duration::from_millis(10)),
+        }
+    }
+    pool.join(); // drain accepted-but-unserved connections
+}
+
+/// Accepted sockets must block (with timeouts): the listener is
+/// nonblocking, and inheritance is platform-dependent.
+fn configure(stream: &TcpStream, cfg: &ServerConfig) -> std::io::Result<()> {
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(Duration::from_millis(cfg.read_timeout_ms.max(1))))?;
+    stream.set_write_timeout(Some(Duration::from_millis(cfg.write_timeout_ms.max(1))))?;
+    stream.set_nodelay(true)
+}
+
+/// Serves one keep-alive connection until close, error, or shutdown.
+fn serve_connection(stream: TcpStream, state: &Arc<AppState>, max_body: usize) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = std::io::BufReader::new(read_half);
+    let mut writer = stream;
+    loop {
+        let mut resp = match read_request(&mut reader, max_body) {
+            Ok(req) => {
+                state.http.record_request();
+                // A panicking handler must cost exactly one response.
+                let mut resp = catch_unwind(AssertUnwindSafe(|| route(state, &req)))
+                    .unwrap_or_else(|_| Response::error(500, "request handler panicked"));
+                if req.wants_close() {
+                    resp.close = true;
+                }
+                resp
+            }
+            Err(ReadError::Closed | ReadError::Disconnected(_)) => return,
+            Err(ReadError::BadRequest(msg)) => {
+                state.http.record_request();
+                let mut resp = Response::error(400, &msg);
+                resp.close = true;
+                resp
+            }
+            Err(ReadError::HeadTooLarge) => {
+                state.http.record_request();
+                let mut resp = Response::error(431, "request head too large");
+                resp.close = true;
+                resp
+            }
+            Err(ReadError::BodyTooLarge) => {
+                state.http.record_request();
+                let mut resp = Response::error(413, "request body too large");
+                resp.close = true;
+                resp
+            }
+        };
+        if state.shutdown.load(Ordering::SeqCst) {
+            resp.close = true; // finish this response, then drain
+        }
+        state.http.record_response(resp.status);
+        if write_response(&mut writer, &resp).is_err() || resp.close {
+            let _ = writer.flush();
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufRead, BufReader, Read, Write};
+
+    fn get(addr: SocketAddr, path: &str) -> (u16, String) {
+        let mut s = TcpStream::connect(addr).unwrap();
+        write!(
+            s,
+            "GET {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"
+        )
+        .unwrap();
+        let mut reader = BufReader::new(&mut s);
+        let mut status_line = String::new();
+        reader.read_line(&mut status_line).unwrap();
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .unwrap()
+            .parse()
+            .unwrap();
+        let mut rest = String::new();
+        reader.read_to_string(&mut rest).unwrap();
+        let body = rest.split("\r\n\r\n").nth(1).unwrap_or("").to_string();
+        (status, body)
+    }
+
+    #[test]
+    fn serves_healthz_and_shuts_down_cleanly() {
+        let handle = start(&ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            queue: 8,
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let addr = handle.addr();
+        let (status, body) = get(addr, "/healthz");
+        assert_eq!((status, body.as_str()), (200, "ok\n"));
+        let (status, _) = get(addr, "/no-such-route");
+        assert_eq!(status, 404);
+        assert!(!handle.is_shutting_down());
+        handle.join();
+        // The port is released: either connect fails or the request
+        // goes unanswered by our (now gone) acceptor.
+        assert!(
+            TcpStream::connect(addr).is_err() || get_after_shutdown(addr),
+            "server must stop serving after join()"
+        );
+    }
+
+    fn get_after_shutdown(addr: SocketAddr) -> bool {
+        // A connect may still succeed briefly (listen backlog); a full
+        // exchange must not.
+        let Ok(mut s) = TcpStream::connect(addr) else {
+            return true;
+        };
+        s.set_read_timeout(Some(Duration::from_millis(200)))
+            .unwrap();
+        let _ = write!(s, "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n");
+        let mut buf = [0u8; 1];
+        !matches!(s.read(&mut buf), Ok(n) if n > 0)
+    }
+}

@@ -1,0 +1,165 @@
+//! Per-user interactive inference sessions.
+//!
+//! Each HTTP client drives one [`InteractiveSession`] over many
+//! requests. The manager owns them behind two lock levels:
+//!
+//! * one manager-wide mutex over the id map, held only for lookups,
+//!   inserts, and eviction sweeps — never while inference runs;
+//! * one mutex per session, held for the duration of a single
+//!   inference step (answering a question can trigger query
+//!   evaluations), so concurrent requests against *different* sessions
+//!   never serialize on each other, while concurrent requests against
+//!   the *same* session are applied one at a time.
+//!
+//! Sessions that have not been touched for the configured idle window
+//! are evicted by the sweep that runs on every create/list — a server
+//! abandoned by its clients converges back to an empty map without a
+//! background reaper thread.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+use questpro_feedback::InteractiveSession;
+
+/// One live session plus its bookkeeping.
+pub struct SessionEntry {
+    /// The inference state machine.
+    pub session: InteractiveSession,
+    /// Name of the registry ontology the session runs against.
+    pub ontology: String,
+    /// Seed the session was started with (reported back to clients).
+    pub seed: u64,
+    /// Last time a request touched this session.
+    pub last_used: Instant,
+}
+
+/// Concurrent owner of all live sessions; see the module docs.
+pub struct SessionManager {
+    inner: Mutex<HashMap<u64, Arc<Mutex<SessionEntry>>>>,
+    next_id: AtomicU64,
+    idle: Duration,
+    max_sessions: usize,
+}
+
+impl SessionManager {
+    /// A manager evicting sessions idle for `idle`, holding at most
+    /// `max_sessions` at once.
+    pub fn new(idle: Duration, max_sessions: usize) -> SessionManager {
+        SessionManager {
+            inner: Mutex::new(HashMap::new()),
+            next_id: AtomicU64::new(1),
+            idle,
+            max_sessions: max_sessions.max(1),
+        }
+    }
+
+    /// Registers a new session and returns its id.
+    ///
+    /// # Errors
+    /// A displayable message when the (post-eviction) session count is
+    /// at capacity.
+    pub fn create(
+        &self,
+        session: InteractiveSession,
+        ontology: String,
+        seed: u64,
+    ) -> Result<u64, String> {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let entry = Arc::new(Mutex::new(SessionEntry {
+            session,
+            ontology,
+            seed,
+            last_used: Instant::now(),
+        }));
+        let mut map = lock(&self.inner);
+        Self::evict_locked(&mut map, self.idle);
+        if map.len() >= self.max_sessions {
+            return Err(format!(
+                "session capacity reached ({} live)",
+                self.max_sessions
+            ));
+        }
+        map.insert(id, entry);
+        Ok(id)
+    }
+
+    /// The session with this id, with its idle clock reset.
+    pub fn get(&self, id: u64) -> Option<Arc<Mutex<SessionEntry>>> {
+        let entry = lock(&self.inner).get(&id).cloned()?;
+        lock(&entry).last_used = Instant::now();
+        Some(entry)
+    }
+
+    /// Deletes a session; `false` when the id is unknown.
+    pub fn remove(&self, id: u64) -> bool {
+        lock(&self.inner).remove(&id).is_some()
+    }
+
+    /// Live `(id, entry)` pairs, oldest id first, after an eviction
+    /// sweep.
+    pub fn list(&self) -> Vec<(u64, Arc<Mutex<SessionEntry>>)> {
+        let mut map = lock(&self.inner);
+        Self::evict_locked(&mut map, self.idle);
+        let mut items: Vec<_> = map.iter().map(|(&id, e)| (id, Arc::clone(e))).collect();
+        items.sort_by_key(|(id, _)| *id);
+        items
+    }
+
+    /// Number of live sessions (without sweeping).
+    pub fn count(&self) -> usize {
+        lock(&self.inner).len()
+    }
+
+    fn evict_locked(map: &mut HashMap<u64, Arc<Mutex<SessionEntry>>>, idle: Duration) {
+        map.retain(|_, entry| lock(entry).last_used.elapsed() < idle);
+    }
+}
+
+/// Poison-tolerant lock (see `registry::lock`): a panicked request
+/// leaves the session in its last coherent pre-step state.
+pub fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use questpro_data::{erdos_example_set, erdos_ontology};
+    use questpro_feedback::SessionConfig;
+
+    fn a_session() -> InteractiveSession {
+        let ont = erdos_ontology();
+        let examples = erdos_example_set(&ont);
+        InteractiveSession::start(&ont, &examples, &SessionConfig::default(), 7).unwrap()
+    }
+
+    #[test]
+    fn create_get_remove_lifecycle() {
+        let mgr = SessionManager::new(Duration::from_secs(60), 8);
+        let id = mgr.create(a_session(), "erdos".into(), 7).unwrap();
+        assert!(mgr.get(id).is_some());
+        assert_eq!(mgr.list().len(), 1);
+        assert!(mgr.remove(id));
+        assert!(!mgr.remove(id));
+        assert!(mgr.get(id).is_none());
+        assert_eq!(mgr.count(), 0);
+    }
+
+    #[test]
+    fn idle_sessions_are_evicted() {
+        let mgr = SessionManager::new(Duration::from_millis(1), 8);
+        let id = mgr.create(a_session(), "erdos".into(), 7).unwrap();
+        std::thread::sleep(Duration::from_millis(10));
+        assert!(mgr.list().is_empty(), "idle session must be swept");
+        assert!(mgr.get(id).is_none());
+    }
+
+    #[test]
+    fn capacity_is_enforced_after_sweeping() {
+        let mgr = SessionManager::new(Duration::from_secs(60), 1);
+        mgr.create(a_session(), "erdos".into(), 1).unwrap();
+        assert!(mgr.create(a_session(), "erdos".into(), 2).is_err());
+    }
+}

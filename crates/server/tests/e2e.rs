@@ -1,0 +1,368 @@
+//! End-to-end tests over real sockets.
+//!
+//! Everything here talks to a live `questpro-server` through
+//! `TcpStream` — no handler is called directly — so the full stack
+//! (accept loop, pool, HTTP parser, router, session manager) is under
+//! test. The two core claims of the server: its answers are
+//! byte-identical to the library one-shot path the CLI uses, and no
+//! malformed input can take the process down.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use questpro_feedback::{InteractiveSession, SessionConfig};
+use questpro_query::sparql;
+use questpro_server::{start, ServerConfig, ServerHandle};
+use questpro_wire::Json;
+
+fn boot() -> ServerHandle {
+    start(&ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 4,
+        queue: 32,
+        max_body: 64 * 1024,
+        ..ServerConfig::default()
+    })
+    .expect("binding an ephemeral port")
+}
+
+/// One request on a fresh connection; returns `(status, body)`.
+fn call(addr: SocketAddr, method: &str, path: &str, body: Option<&str>) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connecting to the server");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let body = body.unwrap_or("");
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: e2e\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("writing the request");
+    read_response(&mut BufReader::new(stream))
+}
+
+fn read_response(reader: &mut impl BufRead) -> (u16, String) {
+    let mut line = String::new();
+    reader
+        .read_line(&mut line)
+        .expect("reading the status line");
+    let status: u16 = line
+        .split_whitespace()
+        .nth(1)
+        .expect("a status code")
+        .parse()
+        .expect("a numeric status");
+    let mut content_length = 0usize;
+    loop {
+        line.clear();
+        reader.read_line(&mut line).expect("reading a header");
+        let trimmed = line.trim_end();
+        if trimmed.is_empty() {
+            break;
+        }
+        if let Some(v) = trimmed
+            .to_ascii_lowercase()
+            .strip_prefix("content-length:")
+            .map(str::trim)
+        {
+            content_length = v.parse().expect("a numeric content-length");
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).expect("reading the body");
+    (status, String::from_utf8(body).expect("a UTF-8 body"))
+}
+
+fn erdos_examples_text() -> String {
+    let ont = questpro_data::erdos_ontology();
+    let examples = questpro_data::erdos_example_set(&ont);
+    questpro_graph::exformat::serialize_examples(&ont, &examples)
+}
+
+fn json(body: &str) -> Json {
+    questpro_wire::parse(body).expect("a JSON response body")
+}
+
+#[test]
+fn health_metrics_and_unknown_routes() {
+    let server = boot();
+    let addr = server.addr();
+    assert_eq!(call(addr, "GET", "/healthz", None), (200, "ok\n".into()));
+
+    let (status, scrape) = call(addr, "GET", "/metrics", None);
+    assert_eq!(status, 200);
+    assert!(scrape.contains("questpro_http_requests_total"));
+    assert!(scrape.contains("questpro_sessions_live 0"));
+
+    assert_eq!(call(addr, "GET", "/no/such/route", None).0, 404);
+    assert_eq!(call(addr, "DELETE", "/healthz", None).0, 405);
+
+    // The scrape counters are cumulative across requests.
+    let first = json_metric(&scrape, "questpro_http_requests_total");
+    let (_, scrape2) = call(addr, "GET", "/metrics", None);
+    let second = json_metric(&scrape2, "questpro_http_requests_total");
+    assert!(second > first, "request counter must be monotonic");
+    server.join();
+}
+
+fn json_metric(scrape: &str, name: &str) -> u64 {
+    scrape
+        .lines()
+        .find(|l| l.starts_with(name))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| panic!("metric {name} missing"))
+}
+
+#[test]
+fn interactive_session_over_http_matches_the_library_path() {
+    let server = boot();
+    let addr = server.addr();
+    let examples = erdos_examples_text();
+
+    // Reference: the in-process session the CLI `session` command uses,
+    // answering `true` to every question.
+    let ont = questpro_data::erdos_ontology();
+    let example_set = questpro_data::erdos_example_set(&ont);
+    let cfg = SessionConfig {
+        refine: true,
+        ..SessionConfig::default()
+    };
+    let mut reference =
+        InteractiveSession::start(&ont, &example_set, &cfg, 7).expect("reference session");
+    while !reference.is_done() {
+        reference
+            .answer(&ont, true)
+            .expect("answering the reference");
+    }
+    let want_final = sparql::format_union(reference.final_query().expect("a final query"));
+
+    // The same dialogue over HTTP: create, then feed back `true` until
+    // the phase reaches `done`.
+    let body = Json::obj([
+        ("ontology", Json::str("erdos")),
+        ("examples", Json::str(examples)),
+        ("seed", Json::from(7u64)),
+        ("refine", Json::Bool(true)),
+    ])
+    .to_text();
+    let (status, created) = call(addr, "POST", "/sessions", Some(&body));
+    assert_eq!(status, 201, "create failed: {created}");
+    let created = json(&created);
+    let id = created.get("id").and_then(Json::as_u64).expect("an id");
+
+    let mut rounds = 0;
+    loop {
+        let (status, state) = call(addr, "POST", &format!("/sessions/{id}/infer"), Some("{}"));
+        assert_eq!(status, 200, "infer failed: {state}");
+        let state = json(&state);
+        let phase = state.get("phase").and_then(Json::as_str).expect("a phase");
+        if phase == "done" {
+            let got_final = state
+                .get("final")
+                .and_then(Json::as_str)
+                .expect("a final query");
+            assert_eq!(got_final, want_final, "HTTP and library answers diverge");
+            break;
+        }
+        let pending = state.get("pending").expect("a pending question");
+        assert!(
+            pending.get("provenance").is_some(),
+            "questions carry provenance: {state:?}"
+        );
+        let (status, after) = call(
+            addr,
+            "POST",
+            &format!("/sessions/{id}/feedback"),
+            Some("{\"answer\": true}"),
+        );
+        assert_eq!(status, 200, "feedback failed: {after}");
+        rounds += 1;
+        assert!(rounds < 200, "session must converge");
+    }
+
+    // The snapshot endpoint round-trips through the library restore.
+    let (status, snap) = call(addr, "GET", &format!("/sessions/{id}/snapshot"), None);
+    assert_eq!(status, 200);
+    let restored = InteractiveSession::restore(&ont, &json(&snap)).expect("a restorable snapshot");
+    assert_eq!(
+        sparql::format_union(restored.final_query().expect("final in snapshot")),
+        want_final
+    );
+
+    // Feedback after completion is a clean conflict, not a panic.
+    let (status, _) = call(
+        addr,
+        "POST",
+        &format!("/sessions/{id}/feedback"),
+        Some("{\"answer\": true}"),
+    );
+    assert_eq!(status, 409);
+
+    assert_eq!(
+        call(addr, "DELETE", &format!("/sessions/{id}"), None).0,
+        204
+    );
+    assert_eq!(call(addr, "GET", &format!("/sessions/{id}"), None).0, 404);
+    server.join();
+}
+
+#[test]
+fn concurrent_clients_get_identical_one_shot_answers() {
+    let server = boot();
+    let addr = server.addr();
+    let examples = erdos_examples_text();
+
+    let ont = questpro_data::erdos_ontology();
+    let example_set = questpro_data::erdos_example_set(&ont);
+    let (reference, _) =
+        questpro_core::infer_top_k(&ont, &example_set, &questpro_core::TopKConfig::default());
+    let want: Vec<String> = reference.iter().map(sparql::format_union).collect();
+
+    let body = Json::obj([
+        ("ontology", Json::str("erdos")),
+        ("examples", Json::str(examples)),
+    ])
+    .to_text();
+    let clients: Vec<_> = (0..8)
+        .map(|_| {
+            let body = body.clone();
+            std::thread::spawn(move || call(addr, "POST", "/infer", Some(&body)))
+        })
+        .collect();
+    for c in clients {
+        let (status, resp) = c.join().expect("client thread");
+        assert_eq!(status, 200, "infer failed: {resp}");
+        let got: Vec<String> = json(&resp)
+            .get("candidates")
+            .and_then(|c| c.as_arr().map(|a| a.to_vec()))
+            .expect("candidates")
+            .iter()
+            .map(|c| {
+                c.get("query")
+                    .and_then(Json::as_str)
+                    .expect("a query text")
+                    .to_string()
+            })
+            .collect();
+        assert_eq!(got, want, "every client must see the one-shot answer");
+    }
+    server.join();
+}
+
+#[test]
+fn malformed_input_yields_4xx_never_a_crash() {
+    let server = boot();
+    let addr = server.addr();
+
+    // Truncated JSON body.
+    assert_eq!(
+        call(addr, "POST", "/infer", Some("{\"ontology\": \"er")).0,
+        400
+    );
+    // Wrong shape.
+    assert_eq!(call(addr, "POST", "/infer", Some("{}")).0, 422);
+    assert_eq!(call(addr, "POST", "/sessions", Some("[1, 2]")).0, 422);
+    // Unknown world.
+    assert_eq!(
+        call(
+            addr,
+            "POST",
+            "/infer",
+            Some("{\"ontology\": \"narnia\", \"examples\": \"x\"}")
+        )
+        .0,
+        404
+    );
+    // Unparsable examples.
+    assert_eq!(
+        call(
+            addr,
+            "POST",
+            "/infer",
+            Some("{\"ontology\": \"erdos\", \"examples\": \"not an example block\"}")
+        )
+        .0,
+        422
+    );
+    // Oversized body (server cap is 64 KiB here).
+    let huge = format!(
+        "{{\"ontology\": \"erdos\", \"examples\": \"{}\"}}",
+        "x".repeat(80 * 1024)
+    );
+    assert_eq!(call(addr, "POST", "/infer", Some(&huge)).0, 413);
+    // Garbage on the wire.
+    {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        write!(s, "NOT-HTTP\r\n\r\n").unwrap();
+        let mut buf = String::new();
+        let _ = s.read_to_string(&mut buf);
+        assert!(buf.starts_with("HTTP/1.1 400"), "got: {buf:?}");
+    }
+    // Bad session ids.
+    assert_eq!(call(addr, "GET", "/sessions/not-a-number", None).0, 404);
+    assert_eq!(call(addr, "GET", "/sessions/999999", None).0, 404);
+
+    // After all of that the server still answers.
+    assert_eq!(call(addr, "GET", "/healthz", None).0, 200);
+    server.join();
+}
+
+#[test]
+fn user_posted_worlds_and_eval_round_trip() {
+    let server = boot();
+    let addr = server.addr();
+    let body = Json::obj([
+        ("name", Json::str("tiny")),
+        ("triples", Json::str("a knows b\nb knows c\n")),
+    ])
+    .to_text();
+    let (status, created) = call(addr, "POST", "/ontologies", Some(&body));
+    assert_eq!(status, 201, "create failed: {created}");
+    assert_eq!(json(&created).get("nodes").and_then(Json::as_u64), Some(3));
+    // Duplicate names collide loudly.
+    assert_eq!(call(addr, "POST", "/ontologies", Some(&body)).0, 409);
+
+    let eval = Json::obj([
+        ("ontology", Json::str("tiny")),
+        ("query", Json::str("SELECT ?x WHERE { ?x :knows ?y . }")),
+    ])
+    .to_text();
+    let (status, resp) = call(addr, "POST", "/eval", Some(&eval));
+    assert_eq!(status, 200, "eval failed: {resp}");
+    let results: Vec<String> = json(&resp)
+        .get("results")
+        .and_then(|r| r.as_arr().map(|a| a.to_vec()))
+        .expect("results")
+        .iter()
+        .map(|v| v.as_str().expect("a value").to_string())
+        .collect();
+    assert_eq!(results, ["a", "b"]);
+    server.join();
+}
+
+#[test]
+fn post_shutdown_drains_gracefully() {
+    let server = boot();
+    let addr = server.addr();
+    let (status, body) = call(addr, "POST", "/shutdown", None);
+    assert_eq!(status, 200);
+    assert!(body.contains("shutting down"));
+    // join() returns promptly because the accept loop saw the flag.
+    server.join();
+    // And the port stops answering new work.
+    let gone = match TcpStream::connect(addr) {
+        Err(_) => true,
+        Ok(mut s) => {
+            s.set_read_timeout(Some(Duration::from_millis(300)))
+                .unwrap();
+            let _ = write!(s, "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n");
+            let mut buf = [0u8; 1];
+            !matches!(s.read(&mut buf), Ok(n) if n > 0)
+        }
+    };
+    assert!(gone, "a shut-down server must not serve new requests");
+}

@@ -1,0 +1,788 @@
+//! The QuestPro-RS wire format: JSON, hand-rolled.
+//!
+//! The workspace is offline and zero-dependency by design, so the HTTP
+//! service in `questpro-server` cannot reach for `serde_json`. This
+//! crate is the replacement: a small JSON value model ([`Json`]), a
+//! serializer that emits canonical compact text (object keys in
+//! insertion order, `f64` numbers via Rust's shortest round-trip
+//! formatting), and a recursive-descent parser that is **limit-guarded**
+//! — callers set a maximum input size and nesting depth ([`Limits`]) so
+//! a hostile request body can neither exhaust memory nor blow the stack.
+//!
+//! Parsing accepts exactly the JSON grammar (RFC 8259) minus two
+//! deliberate omissions: `\u` escapes outside the Basic Multilingual
+//! Plane are combined from surrogate pairs, and numbers are parsed as
+//! `f64` (the only numeric type the service speaks). Every parse error
+//! carries a byte offset for diagnostics.
+//!
+//! The crate is deliberately dependency-free both ways: nothing in the
+//! workspace below it, nothing external above it. `questpro-feedback`
+//! uses it to snapshot interactive sessions; `questpro-server` uses it
+//! for every request and response body.
+
+use std::fmt;
+
+/// A parsed JSON value.
+///
+/// Objects preserve insertion order (serialization is deterministic),
+/// and duplicate keys are rejected at parse time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (always carried as `f64`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, keys in insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Builds an object from key/value pairs (convenience constructor).
+    pub fn obj(pairs: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Builds a string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Builds a number value.
+    pub fn num(n: impl Into<f64>) -> Json {
+        Json::Num(n.into())
+    }
+
+    /// Looks up a key in an object; `None` for missing keys and
+    /// non-objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as a `u64`, if this is a non-negative
+    /// integral number that fits.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= 2f64.powi(53) => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as a `usize` (see [`Json::as_u64`]).
+    pub fn as_usize(&self) -> Option<usize> {
+        self.as_u64().map(|n| n as usize)
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The key/value pairs, if this is an object.
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
+    /// Serializes to compact JSON text.
+    pub fn to_text(&self) -> String {
+        let mut s = String::new();
+        write_value(&mut s, self);
+        s
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_text())
+    }
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Self {
+        Json::Str(s.to_string())
+    }
+}
+
+impl From<String> for Json {
+    fn from(s: String) -> Self {
+        Json::Str(s)
+    }
+}
+
+impl From<bool> for Json {
+    fn from(b: bool) -> Self {
+        Json::Bool(b)
+    }
+}
+
+impl From<f64> for Json {
+    fn from(n: f64) -> Self {
+        Json::Num(n)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(n: u64) -> Self {
+        Json::Num(n as f64)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(n: usize) -> Self {
+        Json::Num(n as f64)
+    }
+}
+
+impl From<Vec<Json>> for Json {
+    fn from(items: Vec<Json>) -> Self {
+        Json::Arr(items)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Serialization
+// ---------------------------------------------------------------------
+
+fn write_value(out: &mut String, v: &Json) {
+    match v {
+        Json::Null => out.push_str("null"),
+        Json::Bool(true) => out.push_str("true"),
+        Json::Bool(false) => out.push_str("false"),
+        Json::Num(n) => write_num(out, *n),
+        Json::Str(s) => write_string(out, s),
+        Json::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(out, item);
+            }
+            out.push(']');
+        }
+        Json::Obj(pairs) => {
+            out.push('{');
+            for (i, (k, item)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(out, k);
+                out.push(':');
+                write_value(out, item);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_num(out: &mut String, n: f64) {
+    if !n.is_finite() {
+        // JSON has no NaN/Infinity; emit null like every lenient
+        // serializer does rather than producing unparseable text.
+        out.push_str("null");
+    } else if n.fract() == 0.0 && n.abs() <= 2f64.powi(53) {
+        out.push_str(&format!("{}", n as i64));
+    } else {
+        out.push_str(&format!("{n}"));
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+/// Resource limits enforced during parsing.
+#[derive(Debug, Clone, Copy)]
+pub struct Limits {
+    /// Maximum input length in bytes.
+    pub max_bytes: usize,
+    /// Maximum nesting depth of arrays/objects.
+    pub max_depth: usize,
+}
+
+impl Default for Limits {
+    /// 1 MiB of text, 64 levels of nesting — generous for every body
+    /// the service exchanges, tight enough to bound hostile input.
+    fn default() -> Self {
+        Self {
+            max_bytes: 1 << 20,
+            max_depth: 64,
+        }
+    }
+}
+
+/// A parse failure with the byte offset where it was detected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset into the input.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a complete JSON document under [`Limits::default`].
+///
+/// # Errors
+/// Returns a [`ParseError`] on malformed input, trailing garbage, or a
+/// violated limit.
+pub fn parse(text: &str) -> Result<Json, ParseError> {
+    parse_with(text, Limits::default())
+}
+
+/// Parses a complete JSON document under explicit limits.
+///
+/// # Errors
+/// Returns a [`ParseError`] on malformed input, trailing garbage, or a
+/// violated limit.
+pub fn parse_with(text: &str, limits: Limits) -> Result<Json, ParseError> {
+    if text.len() > limits.max_bytes {
+        return Err(ParseError {
+            offset: limits.max_bytes,
+            message: format!(
+                "input of {} bytes exceeds the {}-byte limit",
+                text.len(),
+                limits.max_bytes
+            ),
+        });
+    }
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+        limits,
+    };
+    p.skip_ws();
+    let v = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after the document"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    limits: Limits,
+}
+
+impl Parser<'_> {
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {:?}", b as char)))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, ParseError> {
+        if depth > self.limits.max_depth {
+            return Err(self.err(format!(
+                "nesting deeper than the {}-level limit",
+                self.limits.max_depth
+            )));
+        }
+        match self.peek() {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(c) => Err(self.err(format!("unexpected character {:?}", c as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Json) -> Result<Json, ParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(self.err(format!("expected {word:?}")))
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, ParseError> {
+        self.expect(b'{')?;
+        let mut pairs: Vec<(String, Json)> = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            if pairs.iter().any(|(k, _)| *k == key) {
+                return Err(self.err(format!("duplicate object key {key:?}")));
+            }
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let v = self.value(depth + 1)?;
+            pairs.push((key, v));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, ParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => s.push('"'),
+                        Some(b'\\') => s.push('\\'),
+                        Some(b'/') => s.push('/'),
+                        Some(b'n') => s.push('\n'),
+                        Some(b'r') => s.push('\r'),
+                        Some(b't') => s.push('\t'),
+                        Some(b'b') => s.push('\u{08}'),
+                        Some(b'f') => s.push('\u{0C}'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // High surrogate: a \uXXXX low surrogate
+                                // must follow.
+                                if self.bytes[self.pos..].starts_with(b"\\u") {
+                                    self.pos += 2;
+                                    let lo = self.hex4()?;
+                                    if !(0xDC00..0xE000).contains(&lo) {
+                                        return Err(self.err("invalid low surrogate"));
+                                    }
+                                    let c = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                    char::from_u32(c)
+                                        .ok_or_else(|| self.err("invalid surrogate pair"))?
+                                } else {
+                                    return Err(self.err("lone high surrogate"));
+                                }
+                            } else if (0xDC00..0xE000).contains(&hi) {
+                                return Err(self.err("lone low surrogate"));
+                            } else {
+                                char::from_u32(hi).ok_or_else(|| self.err("invalid \\u escape"))?
+                            };
+                            s.push(c);
+                            continue; // hex4 advanced pos already
+                        }
+                        _ => return Err(self.err("invalid escape sequence")),
+                    }
+                    self.pos += 1;
+                }
+                Some(c) if c < 0x20 => {
+                    return Err(self.err("raw control character in string"));
+                }
+                Some(_) => {
+                    // Consume one complete UTF-8 scalar (input is &str,
+                    // so boundaries are trustworthy).
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self.pos < self.bytes.len() && (self.bytes[self.pos] & 0xC0) == 0x80 {
+                        self.pos += 1;
+                    }
+                    s.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .expect("input slice is valid UTF-8"),
+                    );
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, ParseError> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let d = match self.peek() {
+                Some(c @ b'0'..=b'9') => (c - b'0') as u32,
+                Some(c @ b'a'..=b'f') => (c - b'a' + 10) as u32,
+                Some(c @ b'A'..=b'F') => (c - b'A' + 10) as u32,
+                _ => return Err(self.err("expected 4 hex digits after \\u")),
+            };
+            v = (v << 4) | d;
+            self.pos += 1;
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        // Integer part: a lone 0, or a nonzero digit followed by digits.
+        match self.peek() {
+            Some(b'0') => self.pos += 1,
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            _ => return Err(self.err("expected a digit")),
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("expected a digit after '.'"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("expected a digit in exponent"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("number spans ASCII bytes only");
+        let n: f64 = text
+            .parse()
+            .map_err(|_| self.err(format!("unrepresentable number {text:?}")))?;
+        Ok(Json::Num(n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use questpro_graph::rng::{Rng, StdRng};
+
+    #[test]
+    fn round_trips_scalars() {
+        for text in ["null", "true", "false", "0", "-7", "3.5", "\"hi\""] {
+            let v = parse(text).unwrap();
+            assert_eq!(v.to_text(), text);
+        }
+    }
+
+    #[test]
+    fn parses_nested_structures() {
+        let v = parse(r#"{"a": [1, 2, {"b": null}], "c": "x"}"#).unwrap();
+        assert_eq!(v.get("c").and_then(Json::as_str), Some("x"));
+        let arr = v.get("a").and_then(Json::as_arr).unwrap();
+        assert_eq!(arr.len(), 3);
+        assert_eq!(arr[0].as_u64(), Some(1));
+        assert_eq!(arr[2].get("b"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn serializes_deterministically() {
+        let v = Json::obj([
+            ("z", Json::from(1u64)),
+            ("a", Json::Arr(vec![Json::Bool(true), Json::Null])),
+        ]);
+        assert_eq!(v.to_text(), r#"{"z":1,"a":[true,null]}"#);
+    }
+
+    #[test]
+    fn escapes_round_trip() {
+        let s = "line\nquote\" backslash\\ tab\t unicode \u{1F600} nul-ish \u{01}";
+        let v = Json::Str(s.to_string());
+        let text = v.to_text();
+        assert_eq!(parse(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn surrogate_pairs_combine() {
+        let v = parse(r#""\ud83d\ude00""#).unwrap();
+        assert_eq!(v.as_str(), Some("\u{1F600}"));
+        assert!(parse(r#""\ud83d""#).is_err());
+        assert!(parse(r#""\ude00""#).is_err());
+    }
+
+    #[test]
+    fn depth_limit_is_enforced() {
+        let deep = "[".repeat(200) + &"]".repeat(200);
+        let err = parse_with(
+            &deep,
+            Limits {
+                max_depth: 100,
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        assert!(err.message.contains("nesting"));
+        // Within the limit it parses fine.
+        let ok = "[".repeat(50) + &"]".repeat(50);
+        assert!(parse_with(
+            &ok,
+            Limits {
+                max_depth: 100,
+                ..Default::default()
+            }
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn size_limit_is_enforced() {
+        let big = format!("\"{}\"", "x".repeat(100));
+        let err = parse_with(
+            &big,
+            Limits {
+                max_bytes: 50,
+                max_depth: 8,
+            },
+        )
+        .unwrap_err();
+        assert!(err.message.contains("byte limit"));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for text in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\":}",
+            "{\"a\":1,}",
+            "tru",
+            "01",
+            "1.",
+            "1e",
+            "\"unterminated",
+            "[1] trailing",
+            "{\"a\":1,\"a\":2}",
+            "\"\\x\"",
+            "nan",
+        ] {
+            assert!(parse(text).is_err(), "{text:?} should fail");
+        }
+    }
+
+    /// Generates a random JSON tree from the workspace RNG.
+    fn random_json<R: Rng>(rng: &mut R, depth: usize) -> Json {
+        match if depth == 0 {
+            rng.random_range(0..4usize)
+        } else {
+            rng.random_range(0..6usize)
+        } {
+            0 => Json::Null,
+            1 => Json::Bool(rng.random_bool(0.5)),
+            2 => {
+                // Mix integers and dyadic fractions (exact in f64, so
+                // text round-trips are equality-stable).
+                let n = rng.random_range(-1000i64..1000) as f64;
+                let frac = rng.random_range(0..4u32) as f64 / 4.0;
+                Json::Num(n + frac)
+            }
+            3 => {
+                let len = rng.random_range(0..12usize);
+                let s: String = (0..len)
+                    .map(|_| {
+                        // Printable ASCII + a few escapes + non-ASCII.
+                        let c = rng.random_range(0..40u32);
+                        match c {
+                            0 => '"',
+                            1 => '\\',
+                            2 => '\n',
+                            3 => '\t',
+                            4 => '\u{e9}',
+                            5 => '\u{1F600}',
+                            c => char::from_u32('a' as u32 + (c % 26)).expect("ascii"),
+                        }
+                    })
+                    .collect();
+                Json::Str(s)
+            }
+            4 => {
+                let len = rng.random_range(0..5usize);
+                Json::Arr((0..len).map(|_| random_json(rng, depth - 1)).collect())
+            }
+            _ => {
+                let len = rng.random_range(0..5usize);
+                Json::Obj(
+                    (0..len)
+                        .map(|i| (format!("k{i}"), random_json(rng, depth - 1)))
+                        .collect(),
+                )
+            }
+        }
+    }
+
+    #[test]
+    fn fuzz_round_trip_random_trees() {
+        let mut rng = StdRng::seed_from_u64(0x71f3);
+        for _ in 0..500 {
+            let v = random_json(&mut rng, 4);
+            let text = v.to_text();
+            let back = parse(&text).unwrap_or_else(|e| panic!("reparse failed on {text}: {e}"));
+            assert_eq!(back, v, "round-trip mismatch for {text}");
+        }
+    }
+
+    #[test]
+    fn fuzz_random_bytes_never_panic() {
+        let mut rng = StdRng::seed_from_u64(0xbadf00d);
+        let alphabet: Vec<char> = "{}[]\",:0123456789.eE+-truefalsn\\/ \n\tabcz\u{e9}"
+            .chars()
+            .collect();
+        for _ in 0..2000 {
+            let len = rng.random_range(0..64usize);
+            let text: String = (0..len)
+                .map(|_| alphabet[rng.random_range(0..alphabet.len())])
+                .collect();
+            // Must terminate and never panic; the result may be either.
+            let _ = parse(&text);
+        }
+    }
+
+    #[test]
+    fn fuzz_mutated_valid_documents_never_panic() {
+        let mut rng = StdRng::seed_from_u64(0x5eed);
+        for _ in 0..500 {
+            let v = random_json(&mut rng, 3);
+            let mut text: Vec<char> = v.to_text().chars().collect();
+            if text.is_empty() {
+                continue;
+            }
+            // Flip one character to something hostile.
+            let i = rng.random_range(0..text.len());
+            let repl = ['{', '"', '\\', '\u{0}', ']', ','];
+            text[i] = repl[rng.random_range(0..repl.len())];
+            let mutated: String = text.into_iter().collect();
+            let _ = parse(&mutated);
+        }
+    }
+
+    #[test]
+    fn number_edge_cases() {
+        assert_eq!(parse("1e3").unwrap().as_u64(), Some(1000));
+        assert_eq!(parse("-0").unwrap().as_f64(), Some(-0.0));
+        assert_eq!(parse("2.5e-1").unwrap().as_f64(), Some(0.25));
+        assert_eq!(Json::Num(f64::NAN).to_text(), "null");
+        // Non-integral and negative numbers refuse as_u64.
+        assert_eq!(parse("1.5").unwrap().as_u64(), None);
+        assert_eq!(parse("-3").unwrap().as_u64(), None);
+    }
+}

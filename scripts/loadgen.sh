@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Benchmarks the HTTP session server and writes BENCH_2.json:
+# an in-process questpro-server is driven by concurrent keep-alive
+# clients issuing POST /infer, and every response is checked
+# byte-for-byte against the one-shot library inference (the CLI path).
+#
+#   scripts/loadgen.sh [OUT.json]
+#
+# Env:
+#   LOADGEN_TINY=1     smoke mode: 2 clients x 3 requests (CI).
+#   LOADGEN_CLIENTS    concurrent client threads (default 8).
+#   LOADGEN_REQUESTS   requests per client (default 25).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_2.json}"
+clients="${LOADGEN_CLIENTS:-8}"
+requests="${LOADGEN_REQUESTS:-25}"
+
+cargo build --release -p questpro-bench --bin loadgen --offline
+./target/release/loadgen --clients "$clients" --requests "$requests" --out "$out"
