@@ -13,6 +13,12 @@
 //! * `--json PATH` — also write the results as a JSON document (this is
 //!   what `scripts/bench.sh` uses to produce `BENCH_1.json`).
 //! * `--tiny` — 1 trial and only the single heaviest query (CI smoke).
+//! * `--trace-json PATH` — also run each query once under an enabled
+//!   `questpro-trace` trace and write the per-stage self-time breakdown
+//!   (this is what `scripts/bench.sh` uses to produce `BENCH_3.json`).
+//! * `--trace-overhead` — measure the cost of a *disabled* span and
+//!   assert the instrumentation adds < 5% to the 1-thread wall time
+//!   (the CI `trace-overhead` smoke gate).
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -221,4 +227,120 @@ fn main() {
         std::fs::write(&path, out).expect("write json report");
         eprintln!("wrote {path}");
     }
+
+    let trace_json = cli_value("--trace-json");
+    let trace_overhead = cli_switch("--trace-overhead");
+    if trace_json.is_some() || trace_overhead {
+        trace_section(&picked, &worlds, &cells, trials, trace_json, trace_overhead);
+    }
+}
+
+/// One traced run per query (B3): per-stage self-time breakdowns, plus
+/// the disabled-instrumentation overhead gate.
+///
+/// Traced runs use 1 thread — the span *structure* is thread-invariant
+/// by design (spans only open on the orchestrating thread; DESIGN.md
+/// §6), and single-thread self-times are the cleanest stage breakdown.
+fn trace_section(
+    picked: &[&WorkloadQuery],
+    worlds: &questpro_bench::Worlds,
+    cells: &[Cell],
+    trials: u64,
+    trace_json: Option<String>,
+    assert_overhead: bool,
+) {
+    questpro_trace::set_enabled(true);
+    let mut traced: Vec<(String, Cell, questpro_trace::TraceRecord)> = Vec::new();
+    for w in picked {
+        let ont = worlds.for_kind(w.kind);
+        let trace =
+            questpro_trace::begin(format!("exp_bench {}", w.id)).expect("no trace is active");
+        let cell = run_one(ont, w, 1, trials);
+        let rec = trace.finish();
+        if let Some(cell) = cell {
+            traced.push((w.id.to_string(), cell, rec));
+        }
+    }
+    questpro_trace::set_enabled(false);
+
+    // The overhead of compiled-in-but-disabled instrumentation: cost of
+    // one inert span, scaled by how many spans + counters a real run
+    // records, against the *untraced* 1-thread wall from the sweep.
+    const ITERS: u32 = 1_000_000;
+    let t0 = Instant::now();
+    for _ in 0..ITERS {
+        let guard = std::hint::black_box(questpro_trace::span("request"));
+        drop(guard);
+    }
+    let ns_per_span = t0.elapsed().as_nanos() as f64 / f64::from(ITERS);
+
+    let mut worst_pct = 0.0f64;
+    let mut worst_calls = 0u64;
+    for (id, traced_cell, rec) in &traced {
+        let counter_adds: usize = rec.spans.iter().map(|s| s.counters.len()).sum();
+        let calls = (rec.spans.len() + counter_adds) as u64;
+        let wall_ms = cells
+            .iter()
+            .find(|c| &c.query == id && c.threads == 1)
+            .map_or(traced_cell.wall_ms, |c| c.wall_ms);
+        let pct = 100.0 * (calls as f64 * ns_per_span / 1e6) / wall_ms.max(0.001);
+        if pct > worst_pct {
+            worst_pct = pct;
+            worst_calls = calls;
+        }
+    }
+    println!(
+        "Disabled-tracing overhead: {ns_per_span:.1} ns/span, worst case \
+         {worst_calls} instrumentation call(s) per run = {worst_pct:.3}% of wall."
+    );
+    if assert_overhead {
+        assert!(
+            worst_pct < 5.0,
+            "disabled-tracing overhead {worst_pct:.3}% breaches the 5% budget \
+             ({ns_per_span:.1} ns/span x {worst_calls} calls)"
+        );
+        println!("Overhead gate passed (< 5%).");
+    }
+
+    let Some(path) = trace_json else { return };
+    let mut out = String::from("{\n  \"bench\": \"B3 per-stage trace breakdown\",\n");
+    let _ = writeln!(
+        out,
+        "  \"config\": {{\"k\": 3, \"explanations\": {EXPLANATIONS}, \"threads\": 1, \"host_cpus\": {}}},",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    );
+    out.push_str("  \"runs\": [\n");
+    for (i, (id, _, rec)) in traced.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"query\": \"{}\", \"trace_id\": {}, \"total_ms\": {:.3}, \"spans\": {}, \"stages\": [",
+            json_escape(id),
+            rec.id,
+            rec.total_ns as f64 / 1e6,
+            rec.spans.len()
+        );
+        let totals = rec.stage_totals();
+        for (j, (name, calls, self_ns)) in totals.iter().enumerate() {
+            let _ = write!(
+                out,
+                "      {{\"stage\": \"{}\", \"calls\": {calls}, \"self_ms\": {:.3}}}",
+                json_escape(name),
+                *self_ns as f64 / 1e6
+            );
+            out.push_str(if j + 1 == totals.len() { "\n" } else { ",\n" });
+        }
+        out.push_str("    ]}");
+        out.push_str(if i + 1 == traced.len() { "\n" } else { ",\n" });
+    }
+    out.push_str("  ],\n");
+    let _ = writeln!(
+        out,
+        "  \"overhead\": {{\"disabled_span_ns\": {ns_per_span:.1}, \
+         \"worst_case_calls\": {worst_calls}, \"worst_case_pct_of_wall\": {worst_pct:.3}, \
+         \"budget_pct\": 5.0, \"within_budget\": {}}}",
+        worst_pct < 5.0
+    );
+    out.push_str("}\n");
+    std::fs::write(&path, out).expect("write trace json report");
+    eprintln!("wrote {path}");
 }

@@ -94,6 +94,11 @@ fn main() {
         mismatches += outcome.mismatches;
     }
     let wall = started.elapsed();
+
+    // Every request ran under a server-side trace; pull the registry's
+    // view before shutdown so the report records the tracing pipeline
+    // worked end to end under load.
+    let (traces_seen, traces_dropped) = fetch_trace_stats(addr);
     handle.join();
 
     latencies_us.sort_unstable();
@@ -126,6 +131,9 @@ fn main() {
         latencies_us.last().copied().unwrap_or(0)
     ));
     json.push_str(&format!(
+        "  \"tracing\": {{\"recent_traces\": {traces_seen}, \"dropped\": {traces_dropped}}},\n"
+    ));
+    json.push_str(&format!(
         "  \"identical_to_one_shot\": {}\n}}\n",
         mismatches == 0
     ));
@@ -137,6 +145,43 @@ fn main() {
         mismatches, 0,
         "server answers must match the one-shot CLI inference path"
     );
+    assert!(
+        traces_seen > 0,
+        "the trace registry must retain traces recorded under load"
+    );
+}
+
+/// Asks the live server for its recent traces; returns how many the
+/// registry still holds and how many it evicted.
+fn fetch_trace_stats(addr: SocketAddr) -> (usize, u64) {
+    let Ok(stream) = TcpStream::connect(addr) else {
+        return (0, 0);
+    };
+    let mut writer = stream.try_clone().expect("cloning the stats socket");
+    let mut reader = BufReader::new(stream);
+    let sent = write!(
+        writer,
+        "GET /debug/traces?limit=64 HTTP/1.1\r\nHost: loadgen\r\nConnection: close\r\n\r\n"
+    )
+    .and_then(|()| writer.flush());
+    if sent.is_err() {
+        return (0, 0);
+    }
+    let Some((200, body)) = read_response(&mut reader) else {
+        return (0, 0);
+    };
+    let Ok(json) = questpro_wire::parse(&body) else {
+        return (0, 0);
+    };
+    let seen = json
+        .get("traces")
+        .and_then(questpro_wire::Json::as_arr)
+        .map_or(0, <[questpro_wire::Json]>::len);
+    let dropped = json
+        .get("dropped")
+        .and_then(questpro_wire::Json::as_u64)
+        .unwrap_or(0);
+    (seen, dropped)
 }
 
 struct ClientOutcome {

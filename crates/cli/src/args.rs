@@ -25,6 +25,10 @@ USAGE:
   questpro serve    [--port N | --addr HOST:PORT] [--workers N] [--queue N]
                     [--threads N] [--max-sessions N] [--idle-secs N]
                     (HTTP/JSON service; stops on POST /shutdown or terminal EOF)
+  questpro trace    (--world <sp2b|bsbm|movies> [--query-id ID]
+                    | --ontology FILE --query FILE)
+                    [--examples N] [--k N] [--seed N] [--threads N] [--refine]
+                    (profile one full inference run; prints the span tree)
 
 FILES:
   ontology  — triple text format (`src pred dst`, `@type value Type`)
@@ -51,6 +55,8 @@ pub enum Command {
     Explore(ExploreArgs),
     /// `questpro serve`.
     Serve(ServeArgs),
+    /// `questpro trace`.
+    Trace(TraceArgs),
 }
 
 /// Arguments of `questpro generate`.
@@ -169,6 +175,30 @@ pub struct ServeArgs {
     pub idle_secs: u64,
 }
 
+/// Arguments of `questpro trace`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceArgs {
+    /// Built-in world to generate (`sp2b`, `bsbm`, `movies`); mutually
+    /// exclusive with `ontology`.
+    pub world: Option<String>,
+    /// Workload query ID within the world (defaults to the first).
+    pub query_id: Option<String>,
+    /// Ontology path (file mode).
+    pub ontology: Option<String>,
+    /// Target query path (file mode).
+    pub query: Option<String>,
+    /// Number of explanations to sample as the example-set.
+    pub examples: usize,
+    /// Beam width.
+    pub k: usize,
+    /// RNG seed (sampling and world generation).
+    pub seed: u64,
+    /// Worker threads for the inference hot path.
+    pub threads: usize,
+    /// Whether to run disequality refinement.
+    pub refine: bool,
+}
+
 /// Arguments of `questpro diagnose`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DiagnoseArgs {
@@ -249,6 +279,17 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
             ontology: flags.require("ontology")?,
             node: flags.require("node")?,
             depth: flags.num("depth", 1)? as usize,
+        })),
+        "trace" => Ok(Command::Trace(TraceArgs {
+            world: flags.get("world"),
+            query_id: flags.get("query-id"),
+            ontology: flags.get("ontology"),
+            query: flags.get("query"),
+            examples: flags.num("examples", 4)?.max(1) as usize,
+            k: flags.num("k", 3)?.max(1) as usize,
+            seed: flags.num("seed", 0)?,
+            threads: flags.num("threads", 1)?.max(1) as usize,
+            refine: flags.switch("refine"),
         })),
         "help" | "--help" | "-h" => Err(CliError::Usage(USAGE.to_string())),
         other => Err(CliError::Usage(format!(
@@ -411,6 +452,31 @@ mod tests {
         let cmd = parse(&argv("serve --addr 0.0.0.0:80 --port 9000")).unwrap();
         match cmd {
             Command::Serve(s) => assert_eq!(s.addr, "0.0.0.0:80", "--addr wins"),
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_trace_in_both_modes() {
+        let cmd = parse(&argv("trace --world sp2b --query-id q8a --threads 8")).unwrap();
+        match cmd {
+            Command::Trace(t) => {
+                assert_eq!(t.world.as_deref(), Some("sp2b"));
+                assert_eq!(t.query_id.as_deref(), Some("q8a"));
+                assert_eq!(t.examples, 4);
+                assert_eq!(t.threads, 8);
+                assert!(!t.refine);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        let cmd = parse(&argv("trace --ontology o --query q --refine")).unwrap();
+        match cmd {
+            Command::Trace(t) => {
+                assert!(t.world.is_none());
+                assert_eq!(t.ontology.as_deref(), Some("o"));
+                assert_eq!(t.query.as_deref(), Some("q"));
+                assert!(t.refine);
+            }
             other => panic!("wrong command {other:?}"),
         }
     }

@@ -503,6 +503,134 @@ pub mod explore {
     }
 }
 
+pub mod trace {
+    //! `questpro trace` — profile one full inference run and print the
+    //! recorded span tree plus a per-stage self-time breakdown.
+    //!
+    //! The pipeline mirrors `questpro session --target`: sample an
+    //! example-set from the target query, infer top-k candidates, and
+    //! let the simulated oracle answer the selection (and optionally
+    //! refinement) questions — all under one enabled trace.
+
+    use std::fmt::Write as _;
+
+    use questpro_core::TopKConfig;
+    use questpro_data::{
+        bsbm_workload, generate_bsbm, generate_movies, generate_sp2b, movie_workload,
+        sp2b_workload, BsbmConfig, MoviesConfig, Sp2bConfig,
+    };
+    use questpro_engine::sample_example_set;
+    use questpro_feedback::{run_session, SessionConfig, TargetOracle};
+    use questpro_graph::rng::StdRng;
+    use questpro_graph::Ontology;
+    use questpro_query::UnionQuery;
+
+    use crate::args::TraceArgs;
+    use crate::commands::io;
+    use crate::error::CliError;
+
+    /// Resolves the ontology, target query, and trace label from either
+    /// a built-in world (+ workload query ID) or a file pair.
+    fn load(args: &TraceArgs) -> Result<(Ontology, UnionQuery, String), CliError> {
+        if let Some(world) = &args.world {
+            let (ont, workload) = match world.as_str() {
+                "sp2b" => (
+                    generate_sp2b(&Sp2bConfig {
+                        seed: args.seed,
+                        ..Default::default()
+                    }),
+                    sp2b_workload(),
+                ),
+                "bsbm" => (
+                    generate_bsbm(&BsbmConfig {
+                        seed: args.seed,
+                        ..Default::default()
+                    }),
+                    bsbm_workload(),
+                ),
+                "movies" => (
+                    generate_movies(&MoviesConfig {
+                        seed: args.seed,
+                        ..Default::default()
+                    }),
+                    movie_workload(),
+                ),
+                other => {
+                    return Err(CliError::Usage(format!(
+                        "unknown world {other:?} (expected sp2b|bsbm|movies)"
+                    )))
+                }
+            };
+            let chosen = match &args.query_id {
+                Some(id) => workload.into_iter().find(|w| w.id == *id).ok_or_else(|| {
+                    CliError::Input(format!("no workload query {id:?} in world {world}"))
+                })?,
+                None => workload
+                    .into_iter()
+                    .next()
+                    .expect("built-in workloads are non-empty"),
+            };
+            let label = format!("trace {world}/{}", chosen.id);
+            Ok((ont, chosen.query, label))
+        } else {
+            let (Some(ontology), Some(query)) = (&args.ontology, &args.query) else {
+                return Err(CliError::Usage(
+                    "trace needs either --world or both --ontology and --query".into(),
+                ));
+            };
+            let ont = io::load_ontology(ontology)?;
+            let q = io::load_query(query)?;
+            Ok((ont, q, format!("trace {query}")))
+        }
+    }
+
+    /// Runs the command.
+    pub fn run(args: &TraceArgs) -> Result<String, CliError> {
+        let (ont, target, label) = load(args)?;
+        questpro_trace::set_enabled(true);
+        let trace = questpro_trace::begin(label)
+            .ok_or_else(|| CliError::Input("a trace is already active on this thread".into()))?;
+        let mut rng = StdRng::seed_from_u64(args.seed);
+        let examples = sample_example_set(&ont, &target, args.examples, &mut rng, 8);
+        if examples.is_empty() {
+            drop(trace);
+            return Err(CliError::Unsatisfiable(
+                "the target query has no results to sample from".to_string(),
+            ));
+        }
+        let cfg = SessionConfig {
+            topk: TopKConfig {
+                k: args.k,
+                threads: args.threads,
+                ..Default::default()
+            },
+            refine: args.refine,
+            ..Default::default()
+        };
+        let mut oracle = TargetOracle::new(target.clone());
+        let result = run_session(&ont, &examples, &mut oracle, &mut rng, &cfg);
+        let rec = trace.finish();
+
+        let mut out = rec.render_tree();
+        let _ = writeln!(out, "\nstage totals (by self time):");
+        for (name, calls, ns) in rec.stage_totals() {
+            let _ = writeln!(
+                out,
+                "  {name:<28} {calls:>5} call(s)  {:>10.3} ms",
+                ns as f64 / 1e6
+            );
+        }
+        let _ = writeln!(
+            out,
+            "\n# {} selection question(s), {} refinement question(s); inferred:\n{}",
+            result.selection_transcript.len(),
+            result.refinement_questions,
+            result.query
+        );
+        Ok(out)
+    }
+}
+
 pub mod serve {
     //! `questpro serve` — the HTTP/JSON session service.
 

@@ -36,5 +36,6 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
         Command::Diagnose(d) => commands::diagnose::run(&d),
         Command::Explore(e) => commands::explore::run(&e),
         Command::Serve(s) => commands::serve::run(&s),
+        Command::Trace(t) => commands::trace::run(&t),
     }
 }

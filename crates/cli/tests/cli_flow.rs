@@ -327,3 +327,43 @@ fn sample_result_compiles_explanations_for_one_example() {
     .expect_err("Solo is not a co-author of Erdos");
     assert!(err.to_string().contains("not a result"), "{err}");
 }
+
+#[test]
+fn trace_prints_a_span_tree_for_a_full_run() {
+    let tmp = TempDir::new("trace");
+    let world = tmp.path("world.triples");
+    let query = tmp.path("target.sparql");
+    run(cmd(&["generate", "--world", "erdos", "--out", &world])).expect("generate");
+    std::fs::write(&query, "SELECT ?x WHERE { ?p :wb ?x . ?p :wb :Erdos . }").unwrap();
+    let out = run(cmd(&[
+        "trace",
+        "--ontology",
+        &world,
+        "--query",
+        &query,
+        "--examples",
+        "3",
+        "--seed",
+        "5",
+    ]))
+    .expect("trace");
+    // The flame tree names the pipeline stages with timings...
+    assert!(out.starts_with("trace #"), "{out}");
+    assert!(out.contains("engine.sample_examples"), "{out}");
+    assert!(out.contains("infer.topk"), "{out}");
+    assert!(out.contains("infer.round"), "{out}");
+    assert!(out.contains("feedback.choose_query"), "{out}");
+    assert!(out.contains(" ms"), "{out}");
+    // ...plus the aggregated per-stage breakdown and the answer.
+    assert!(out.contains("stage totals (by self time):"), "{out}");
+    assert!(out.contains("selection question(s)"), "{out}");
+    assert!(out.contains("SELECT"), "{out}");
+}
+
+#[test]
+fn trace_requires_a_world_or_file_pair() {
+    let err = run(cmd(&["trace", "--examples", "2"])).expect_err("no input given");
+    assert!(err.to_string().contains("--world"), "{err}");
+    let err = run(cmd(&["trace", "--world", "atlantis"])).expect_err("unknown world");
+    assert!(err.to_string().contains("unknown world"), "{err}");
+}

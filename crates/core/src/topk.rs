@@ -105,6 +105,7 @@ pub fn infer_top_k(
 ) -> (Vec<UnionQuery>, InferenceStats) {
     assert!(cfg.k >= 1, "k must be at least 1");
     assert!(!examples.is_empty(), "example-set must be non-empty");
+    let t_span = questpro_trace::span("infer.topk");
     let t_total = std::time::Instant::now();
     let nodes0 = metrics::nodes_expanded();
     let mut stats = InferenceStats::default();
@@ -115,6 +116,7 @@ pub fn infer_top_k(
     // Each merge reduces a state's branch count by one, so chains of
     // merges are bounded by the number of explanations.
     for _round in 0..=examples.len() {
+        let _r = questpro_trace::span("infer.round");
         stats.rounds += 1;
         let mut pool: Vec<State> = Vec::new();
         let mut any_new = false;
@@ -145,7 +147,9 @@ pub fn infer_top_k(
                 // share most branches across rounds, so almost every
                 // lookup after round one is a cache hit).
                 let t_c = std::time::Instant::now();
+                let c_span = questpro_trace::span("infer.consistency");
                 let ok = union_consistent_cached(ont, &s.branches, examples, &mut ccache);
+                drop(c_span);
                 stats.consistency_nanos += t_c.elapsed().as_nanos();
                 assert!(
                     ok,
@@ -170,6 +174,10 @@ pub fn infer_top_k(
     stats.matcher_nodes_expanded = metrics::nodes_expanded().wrapping_sub(nodes0);
     stats.total_nanos = t_total.elapsed().as_nanos();
     crate::stats::record_global(&stats);
+    questpro_trace::add("rounds", stats.rounds as u64);
+    questpro_trace::add("algorithm1_calls", stats.algorithm1_calls as u64);
+    questpro_trace::add("consistency_checks", stats.consistency_checks as u64);
+    drop(t_span);
     (queries, stats)
 }
 

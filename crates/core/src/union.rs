@@ -124,6 +124,9 @@ pub(crate) fn merge_candidates(
     stats: &mut InferenceStats,
     cache: &mut MergeCache,
 ) -> Vec<BestMerge> {
+    // Opened on the calling thread; the `map_chunked` workers below
+    // record nothing, so the span structure is thread-count invariant.
+    let _t = questpro_trace::span("infer.merge_candidates");
     let t0 = std::time::Instant::now();
     let mut pairs: Vec<(usize, usize, BranchPairKey)> = Vec::new();
     for i in 0..branches.len() {
@@ -131,6 +134,7 @@ pub(crate) fn merge_candidates(
             pairs.push((i, j, pair_key(&branches[i], &branches[j])));
         }
     }
+    questpro_trace::add("pairs", pairs.len() as u64);
     // Sequential accounting pass + work-list of distinct missing keys.
     let mut scheduled: std::collections::HashSet<BranchPairKey> = std::collections::HashSet::new();
     let mut missing: Vec<(usize, usize)> = Vec::new();
@@ -173,6 +177,7 @@ pub(crate) fn merge_candidates(
             .then(b.1.partial_cmp(&a.1).expect("finite gains"))
     });
     stats.merge_nanos += t0.elapsed().as_nanos();
+    questpro_trace::add("cache_misses", missing.len() as u64);
     all.into_iter().take(take).map(|(_, _, m)| m).collect()
 }
 

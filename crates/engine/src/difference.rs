@@ -17,6 +17,7 @@ use crate::eval::{evaluate_union, provenance_of_union};
 
 /// Evaluates `a − b`: results of `a` that are not results of `b`.
 pub fn difference(ont: &Ontology, a: &UnionQuery, b: &UnionQuery) -> BTreeSet<NodeId> {
+    let _t = questpro_trace::span("engine.difference");
     let ra = evaluate_union(ont, a);
     if ra.is_empty() {
         return ra;

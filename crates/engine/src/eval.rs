@@ -128,15 +128,22 @@ pub fn evaluate_union(ont: &Ontology, q: &UnionQuery) -> BTreeSet<NodeId> {
 /// identical for every thread count). A single-branch union falls back
 /// to per-candidate parallelism instead.
 pub fn evaluate_union_with(ont: &Ontology, q: &UnionQuery, threads: usize) -> BTreeSet<NodeId> {
+    // Spans stay on the calling thread: the per-branch workers below
+    // record nothing, so the trace shape is thread-count invariant.
+    let _t = questpro_trace::span("engine.evaluate_union");
     let branches = q.branches();
-    if branches.len() == 1 {
-        return evaluate_with(ont, &branches[0], threads);
-    }
-    let per_branch = map_chunked(branches, threads, |b| evaluate(ont, b));
-    let mut out = BTreeSet::new();
-    for set in per_branch {
-        out.extend(set);
-    }
+    let out = if branches.len() == 1 {
+        evaluate_with(ont, &branches[0], threads)
+    } else {
+        let per_branch = map_chunked(branches, threads, |b| evaluate(ont, b));
+        let mut out = BTreeSet::new();
+        for set in per_branch {
+            out.extend(set);
+        }
+        out
+    };
+    questpro_trace::add("branches", branches.len() as u64);
+    questpro_trace::add("results", out.len() as u64);
     out
 }
 
@@ -199,17 +206,19 @@ pub fn provenance_of_union_with(
     limit: Option<usize>,
     threads: usize,
 ) -> Vec<Subgraph> {
+    let _t = questpro_trace::span("engine.provenance_union");
     let mut images: BTreeSet<Subgraph> = BTreeSet::new();
-    for branch in q.branches() {
+    'branches: for branch in q.branches() {
         for g in provenance_of_with(ont, branch, res, limit, threads) {
             images.insert(g);
             if let Some(l) = limit {
                 if images.len() >= l {
-                    return images.into_iter().collect();
+                    break 'branches;
                 }
             }
         }
     }
+    questpro_trace::add("images", images.len() as u64);
     images.into_iter().collect()
 }
 
@@ -249,6 +258,7 @@ pub fn sample_example_set<R: Rng>(
     rng: &mut R,
     prov_limit: usize,
 ) -> questpro_graph::ExampleSet {
+    let _t = questpro_trace::span("engine.sample_examples");
     let results: Vec<NodeId> = evaluate_union(ont, target).into_iter().collect();
     let mut order: Vec<NodeId> = results.clone();
     order.shuffle(rng);
@@ -271,6 +281,7 @@ pub fn sample_example_set<R: Rng>(
             .expect("a provenance image always contains its result node");
         set.push(ex);
     }
+    questpro_trace::add("examples", set.len() as u64);
     set
 }
 

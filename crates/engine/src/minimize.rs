@@ -21,6 +21,7 @@ use crate::contain::contained_in;
 /// core), or a clone when the query carries disequalities or OPTIONAL
 /// edges (see module docs).
 pub fn minimize(q: &SimpleQuery) -> SimpleQuery {
+    let _t = questpro_trace::span("engine.minimize");
     if !q.diseqs().is_empty() || q.has_optional() {
         return q.clone();
     }

@@ -84,6 +84,7 @@ pub fn choose_query<O: Oracle, R: Rng>(
     cfg: &FeedbackConfig,
 ) -> FeedbackOutcome {
     assert!(!candidates.is_empty(), "need at least one candidate");
+    let _t = questpro_trace::span("feedback.choose_query");
     // Pre-compute both forms for every candidate.
     let alls: Vec<UnionQuery> = candidates
         .iter()
@@ -102,6 +103,7 @@ pub fn choose_query<O: Oracle, R: Rng>(
     let mut transcript = Vec::new();
 
     while live.len() > 1 && transcript.len() < cfg.max_questions {
+        let _q = questpro_trace::span("feedback.question");
         // Take the two best-ranked live candidates and try both
         // difference directions.
         let (i, j) = (live[0], live[1]);
@@ -134,6 +136,7 @@ pub fn choose_query<O: Oracle, R: Rng>(
         }
     }
 
+    questpro_trace::add("questions", transcript.len() as u64);
     let chosen_index = live[0];
     FeedbackOutcome {
         chosen: alls[chosen_index].clone(),

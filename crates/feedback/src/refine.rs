@@ -30,6 +30,7 @@ pub fn refine_diseqs<O: Oracle, R: Rng>(
     rng: &mut R,
     cfg: &FeedbackConfig,
 ) -> (UnionQuery, usize) {
+    let _t = questpro_trace::span("feedback.refine");
     let mut current = q.clone();
     let mut questions = 0usize;
     // Approved (branch, pair) combinations we must not ask about again.
@@ -46,6 +47,7 @@ pub fn refine_diseqs<O: Oracle, R: Rng>(
                 if approved.contains(&(b, pair)) {
                     continue;
                 }
+                let _q = questpro_trace::span("feedback.question");
                 let candidate = drop_diseq(&current, b, pair);
                 match difference_with_witness(ont, &candidate, &current, rng, cfg.prov_limit) {
                     Some((res, prov)) => {

@@ -243,6 +243,7 @@ impl InteractiveSession {
         cfg: &SessionConfig,
         seed: u64,
     ) -> Result<Self, SessionError> {
+        let _t = questpro_trace::span("feedback.session.start");
         if examples.is_empty() {
             return Err(SessionError::EmptyExamples);
         }
@@ -299,6 +300,7 @@ impl InteractiveSession {
     /// # Errors
     /// [`SessionError::NothingPending`] when no question is pending.
     pub fn answer(&mut self, ont: &Ontology, answer: bool) -> Result<(), SessionError> {
+        let _t = questpro_trace::span("feedback.session.answer");
         let Some(pending) = self.pending.take() else {
             return Err(SessionError::NothingPending);
         };

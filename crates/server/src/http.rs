@@ -56,6 +56,9 @@ pub struct Response {
     pub body: Vec<u8>,
     /// Ask the peer to close the connection after this response.
     pub close: bool,
+    /// Trace ID of the request that produced this response, echoed as
+    /// an `X-Questpro-Trace-Id` header when set.
+    pub trace_id: Option<u64>,
 }
 
 impl Response {
@@ -66,6 +69,7 @@ impl Response {
             content_type: "application/json",
             body: body.into(),
             close: false,
+            trace_id: None,
         }
     }
 
@@ -76,6 +80,7 @@ impl Response {
             content_type: "text/plain; charset=utf-8",
             body: body.into(),
             close: false,
+            trace_id: None,
         }
     }
 
@@ -217,13 +222,17 @@ pub fn write_response(w: &mut impl Write, resp: &Response) -> std::io::Result<()
     };
     write!(
         w,
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
         resp.status,
         reason,
         resp.content_type,
         resp.body.len(),
         if resp.close { "close" } else { "keep-alive" },
     )?;
+    if let Some(id) = resp.trace_id {
+        write!(w, "X-Questpro-Trace-Id: {id}\r\n")?;
+    }
+    w.write_all(b"\r\n")?;
     w.write_all(&resp.body)?;
     w.flush()
 }
@@ -298,5 +307,17 @@ mod tests {
         assert!(text.contains("Content-Length: 2\r\n"));
         assert!(text.contains("Connection: keep-alive\r\n"));
         assert!(text.ends_with("\r\n\r\nhi"));
+        assert!(!text.contains("X-Questpro-Trace-Id"));
+    }
+
+    #[test]
+    fn trace_id_is_echoed_as_a_header() {
+        let mut out = Vec::new();
+        let mut resp = Response::json(200, "{}");
+        resp.trace_id = Some(42);
+        write_response(&mut out, &resp).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("X-Questpro-Trace-Id: 42\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
     }
 }

@@ -138,12 +138,53 @@ pub fn render(http: &HttpCounters, live_sessions: usize) -> String {
         questpro_engine::metrics::consistency_hits_total(),
     );
 
+    counter(
+        "questpro_traces_dropped_total",
+        "Finished traces evicted from the bounded trace registry.",
+        questpro_trace::registry::dropped_total(),
+    );
+
     let _ = writeln!(
         out,
         "# HELP questpro_sessions_live Interactive sessions currently held.\n\
          # TYPE questpro_sessions_live gauge\n\
          questpro_sessions_live {live_sessions}"
     );
+
+    // Per-stage latency histograms from questpro-trace. The stage list
+    // and log2 bucket layout are fixed at compile time and zero-filled,
+    // so the exposition format never depends on traffic (frozen by the
+    // golden-file test).
+    let _ = writeln!(
+        out,
+        "# HELP questpro_stage_duration_ns Wall-clock nanoseconds per traced stage (log2 buckets).\n\
+         # TYPE questpro_stage_duration_ns histogram"
+    );
+    for h in questpro_trace::hist::snapshot() {
+        for (i, cum) in h.buckets.iter().enumerate() {
+            let le = 1u64 << (questpro_trace::hist::FIRST_BUCKET_LOG2 + i as u32);
+            let _ = writeln!(
+                out,
+                "questpro_stage_duration_ns_bucket{{stage=\"{}\",le=\"{le}\"}} {cum}",
+                h.stage
+            );
+        }
+        let _ = writeln!(
+            out,
+            "questpro_stage_duration_ns_bucket{{stage=\"{}\",le=\"+Inf\"}} {}",
+            h.stage, h.count
+        );
+        let _ = writeln!(
+            out,
+            "questpro_stage_duration_ns_sum{{stage=\"{}\"}} {}",
+            h.stage, h.sum_ns
+        );
+        let _ = writeln!(
+            out,
+            "questpro_stage_duration_ns_count{{stage=\"{}\"}} {}",
+            h.stage, h.count
+        );
+    }
     out
 }
 
@@ -168,12 +209,25 @@ mod tests {
         assert!(text.contains("questpro_sessions_live 3"));
         assert!(text.contains("questpro_engine_searches_total"));
         assert!(text.contains("questpro_inference_runs_total"));
-        // Prometheus text format: every sample line has HELP/TYPE.
+        // Prometheus text format: every non-histogram sample line has
+        // its own HELP/TYPE pair; the histogram family shares one.
+        let hist_samples = text
+            .lines()
+            .filter(|l| l.starts_with("questpro_stage_duration_ns"))
+            .count();
         let samples = text
             .lines()
             .filter(|l| !l.starts_with('#') && !l.is_empty())
             .count();
         let types = text.lines().filter(|l| l.starts_with("# TYPE")).count();
-        assert_eq!(samples, types);
+        assert_eq!(samples - hist_samples, types - 1);
+        // Fixed exposition: every stage always renders every bucket
+        // plus +Inf, _sum and _count.
+        assert_eq!(
+            hist_samples,
+            questpro_trace::STAGES.len() * (questpro_trace::hist::BUCKETS + 3)
+        );
+        assert!(text.contains("questpro_traces_dropped_total"));
+        assert!(text.contains("stage=\"infer.topk\",le=\"+Inf\""));
     }
 }

@@ -13,6 +13,7 @@
 //! |--------------------------------|-------------------------------------|
 //! | `GET  /healthz`                | liveness probe                      |
 //! | `GET  /metrics`                | Prometheus-style counters           |
+//! | `GET  /debug/traces`           | recent request traces (JSON)        |
 //! | `GET  /ontologies`             | list registered worlds              |
 //! | `POST /ontologies`             | register a triple-text world        |
 //! | `GET  /ontologies/:name`       | materialize + describe one world    |
@@ -87,6 +88,7 @@ pub fn route(state: &AppState, req: &Request) -> Response {
     match (req.method.as_str(), segments.as_slice()) {
         ("GET", ["healthz"]) => Response::text(200, "ok\n"),
         ("GET", ["metrics"]) => Response::text(200, render(&state.http, state.sessions.count())),
+        ("GET", ["debug", "traces"]) => debug_traces(req),
         ("GET", ["ontologies"]) => list_ontologies(state),
         ("POST", ["ontologies"]) => create_ontology(state, req),
         ("GET", ["ontologies", name]) => describe_ontology(state, name),
@@ -129,7 +131,8 @@ pub fn route(state: &AppState, req: &Request) -> Response {
         }
         (
             _,
-            ["healthz" | "metrics" | "ontologies" | "eval" | "infer" | "sessions" | "shutdown", ..],
+            ["healthz" | "metrics" | "debug" | "ontologies" | "eval" | "infer" | "sessions"
+            | "shutdown", ..],
         ) => Response::error(405, "method not allowed for this path"),
         _ => Response::error(404, "no such route"),
     }
@@ -499,6 +502,69 @@ fn list_sessions(state: &AppState) -> Response {
     Response::json(200, Json::obj([("sessions", Json::Arr(items))]).to_text())
 }
 
+/// `GET /debug/traces?limit=N` — the most recent request traces, newest
+/// first, with per-span self/total times. A malformed or out-of-range
+/// `limit` is a 400, never a panic.
+fn debug_traces(req: &Request) -> Response {
+    let mut limit = 16usize;
+    for pair in req.query.split('&').filter(|s| !s.is_empty()) {
+        let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+        if k == "limit" {
+            match v.parse::<usize>() {
+                Ok(n) if (1..=1024).contains(&n) => limit = n,
+                _ => return Response::error(400, "limit must be an integer in 1..=1024"),
+            }
+        }
+    }
+    let traces = questpro_trace::registry::recent(limit);
+    Response::json(
+        200,
+        Json::obj([
+            ("enabled", Json::Bool(questpro_trace::enabled())),
+            (
+                "dropped",
+                Json::num(questpro_trace::registry::dropped_total() as f64),
+            ),
+            ("traces", Json::Arr(traces.iter().map(trace_json).collect())),
+        ])
+        .to_text(),
+    )
+}
+
+/// Serializes one finished trace: spans come flat in pre-order with
+/// their depth, so clients can rebuild the tree without recursion.
+fn trace_json(t: &questpro_trace::TraceRecord) -> Json {
+    let spans: Vec<Json> = t
+        .spans
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            Json::obj([
+                ("name", Json::str(s.name)),
+                ("depth", Json::num(s.depth as f64)),
+                ("start_ns", Json::num(s.start_ns as f64)),
+                ("total_ns", Json::num(s.total_ns as f64)),
+                ("self_ns", Json::num(t.self_ns(i) as f64)),
+                (
+                    "counters",
+                    Json::Obj(
+                        s.counters
+                            .iter()
+                            .map(|&(k, v)| (k.to_string(), Json::num(v as f64)))
+                            .collect(),
+                    ),
+                ),
+            ])
+        })
+        .collect();
+    Json::obj([
+        ("id", Json::num(t.id as f64)),
+        ("label", Json::str(&t.label)),
+        ("total_ns", Json::num(t.total_ns as f64)),
+        ("spans", Json::Arr(spans)),
+    ])
+}
+
 fn delete_session(state: &AppState, id: &str) -> Response {
     match id.parse::<u64>() {
         Ok(id) if state.sessions.remove(id) => Response {
@@ -506,6 +572,7 @@ fn delete_session(state: &AppState, id: &str) -> Response {
             content_type: "application/json",
             body: Vec::new(),
             close: false,
+            trace_id: None,
         },
         Ok(_) | Err(_) => Response::error(404, "no such session"),
     }

@@ -47,6 +47,12 @@ pub struct ServerConfig {
     pub max_sessions: usize,
     /// Default inference threads per request (`threads` in bodies wins).
     pub threads: usize,
+    /// Record one trace per HTTP request (`questpro-trace`); the trace
+    /// ID is echoed in an `X-Questpro-Trace-Id` response header.
+    pub tracing: bool,
+    /// How many finished traces the global registry retains for
+    /// `GET /debug/traces` (oldest dropped first).
+    pub trace_capacity: usize,
 }
 
 impl Default for ServerConfig {
@@ -61,6 +67,8 @@ impl Default for ServerConfig {
             session_idle_secs: 1_800,
             max_sessions: 64,
             threads: 1,
+            tracing: true,
+            trace_capacity: questpro_trace::registry::DEFAULT_CAPACITY,
         }
     }
 }
@@ -110,6 +118,10 @@ impl ServerHandle {
 /// # Errors
 /// Propagates the bind failure.
 pub fn start(cfg: &ServerConfig) -> std::io::Result<ServerHandle> {
+    if cfg.tracing {
+        questpro_trace::registry::set_capacity(cfg.trace_capacity);
+        questpro_trace::set_enabled(true);
+    }
     let listener = TcpListener::bind(&cfg.addr)?;
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
@@ -191,9 +203,16 @@ fn serve_connection(stream: TcpStream, state: &Arc<AppState>, max_body: usize) {
         let mut resp = match read_request(&mut reader, max_body) {
             Ok(req) => {
                 state.http.record_request();
+                // One trace per request, on the worker thread serving it;
+                // the guard publishes even when the handler panics.
+                let trace = questpro_trace::begin(format!("{} {}", req.method, req.path));
                 // A panicking handler must cost exactly one response.
                 let mut resp = catch_unwind(AssertUnwindSafe(|| route(state, &req)))
                     .unwrap_or_else(|_| Response::error(500, "request handler panicked"));
+                if let Some(t) = trace {
+                    resp.trace_id = Some(t.id());
+                    t.finish();
+                }
                 if req.wants_close() {
                     resp.close = true;
                 }

@@ -366,3 +366,141 @@ fn post_shutdown_drains_gracefully() {
     };
     assert!(gone, "a shut-down server must not serve new requests");
 }
+
+/// Like [`call`], but also returns the response headers (lower-cased
+/// names) so tests can assert on them.
+fn call_with_headers(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> (u16, Vec<(String, String)>, String) {
+    let mut stream = TcpStream::connect(addr).expect("connecting to the server");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let body = body.unwrap_or("");
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: e2e\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("writing the request");
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader
+        .read_line(&mut line)
+        .expect("reading the status line");
+    let status: u16 = line
+        .split_whitespace()
+        .nth(1)
+        .expect("a status code")
+        .parse()
+        .expect("a numeric status");
+    let mut headers = Vec::new();
+    let mut content_length = 0usize;
+    loop {
+        line.clear();
+        reader.read_line(&mut line).expect("reading a header");
+        let trimmed = line.trim_end();
+        if trimmed.is_empty() {
+            break;
+        }
+        let (name, value) = trimmed.split_once(':').expect("a `Name: value` header");
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim().to_string();
+        if name == "content-length" {
+            content_length = value.parse().expect("a numeric content-length");
+        }
+        headers.push((name, value));
+    }
+    let mut resp_body = vec![0u8; content_length];
+    reader.read_exact(&mut resp_body).expect("reading the body");
+    (
+        status,
+        headers,
+        String::from_utf8(resp_body).expect("a UTF-8 body"),
+    )
+}
+
+fn header_value<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    headers
+        .iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, v)| v.as_str())
+}
+
+#[test]
+fn every_response_carries_a_trace_id_resolvable_in_debug_traces() {
+    let server = boot();
+    let addr = server.addr();
+
+    // 200s and 404s alike are traced and echo the trace ID.
+    let (status, headers, _) = call_with_headers(addr, "GET", "/healthz", None);
+    assert_eq!(status, 200);
+    let id: u64 = header_value(&headers, "x-questpro-trace-id")
+        .expect("a trace ID header on every traced response")
+        .parse()
+        .expect("a numeric trace ID");
+    let (status, headers, _) = call_with_headers(addr, "GET", "/no/such/route", None);
+    assert_eq!(status, 404);
+    let not_found_id: u64 = header_value(&headers, "x-questpro-trace-id")
+        .expect("error responses are traced too")
+        .parse()
+        .expect("a numeric trace ID");
+    assert_ne!(id, not_found_id, "every request gets its own trace");
+
+    // The trace named by the header is already in the registry (the
+    // server publishes before writing the response).
+    let (status, body) = call(addr, "GET", "/debug/traces?limit=64", None);
+    assert_eq!(status, 200);
+    let doc = json(&body);
+    assert_eq!(doc.get("enabled").and_then(Json::as_bool), Some(true));
+    let traces = doc
+        .get("traces")
+        .and_then(Json::as_arr)
+        .expect("a traces array");
+    let find = |want: u64| {
+        traces
+            .iter()
+            .find(|t| t.get("id").and_then(Json::as_u64) == Some(want))
+    };
+    let healthz = find(id).expect("the /healthz trace is retained");
+    assert_eq!(
+        healthz.get("label").and_then(Json::as_str),
+        Some("GET /healthz")
+    );
+    assert!(
+        healthz.get("total_ns").and_then(Json::as_u64).is_some(),
+        "traces carry a wall-clock total"
+    );
+    assert!(find(not_found_id).is_some(), "404 traces are retained");
+
+    server.join();
+}
+
+#[test]
+fn malformed_debug_traces_limits_are_rejected_without_panic() {
+    let server = boot();
+    let addr = server.addr();
+
+    for bad in [
+        "/debug/traces?limit=abc",
+        "/debug/traces?limit=",
+        "/debug/traces?limit=0",
+        "/debug/traces?limit=99999",
+        "/debug/traces?limit=-3",
+    ] {
+        let (status, body) = call(addr, "GET", bad, None);
+        assert_eq!(status, 400, "{bad} must be a client error, got {body}");
+        assert!(
+            json(&body).get("error").is_some(),
+            "{bad} must carry a JSON error envelope"
+        );
+    }
+    // Wrong method on the route is a 405, and the server is still up.
+    assert_eq!(call(addr, "POST", "/debug/traces", None).0, 405);
+    assert_eq!(call(addr, "GET", "/healthz", None).0, 200);
+
+    server.join();
+}

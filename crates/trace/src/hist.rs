@@ -1,0 +1,160 @@
+//! Per-stage log2-bucket latency histograms behind relaxed atomics.
+//!
+//! One histogram per name in [`crate::STAGES`], updated lock-free when
+//! a finished trace is published and scraped by the server's
+//! `GET /metrics`. Bucket upper bounds are powers of two from 2^10 ns
+//! (1 µs) to 2^33 ns (~8.6 s); durations below the first bound land in
+//! the first bucket, everything above the last lands in `+Inf`. The
+//! bucket layout and the stage list are both fixed at compile time, so
+//! the Prometheus exposition format never varies with traffic — the
+//! golden-file test freezes it.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+use crate::STAGES;
+
+/// log2 of the first finite bucket's upper bound (2^10 ns = 1 µs).
+pub const FIRST_BUCKET_LOG2: u32 = 10;
+/// log2 of the last finite bucket's upper bound (2^33 ns ≈ 8.6 s).
+pub const LAST_BUCKET_LOG2: u32 = 33;
+/// Number of finite buckets per stage.
+pub const BUCKETS: usize = (LAST_BUCKET_LOG2 - FIRST_BUCKET_LOG2 + 1) as usize;
+
+struct StageHist {
+    counts: Vec<AtomicU64>, // BUCKETS entries; +Inf is derived from total
+    total: AtomicU64,
+    sum_ns: AtomicU64,
+}
+
+fn hists() -> &'static Vec<StageHist> {
+    static HISTS: OnceLock<Vec<StageHist>> = OnceLock::new();
+    HISTS.get_or_init(|| {
+        STAGES
+            .iter()
+            .map(|_| StageHist {
+                counts: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+                total: AtomicU64::new(0),
+                sum_ns: AtomicU64::new(0),
+            })
+            .collect()
+    })
+}
+
+/// Records one observation of `ns` nanoseconds for stage `name`.
+/// Names outside [`STAGES`] are ignored.
+pub fn record(name: &str, ns: u64) {
+    let Some(idx) = STAGES.iter().position(|s| *s == name) else {
+        return;
+    };
+    let h = &hists()[idx];
+    h.total.fetch_add(1, Ordering::Relaxed);
+    h.sum_ns.fetch_add(ns, Ordering::Relaxed);
+    // Smallest bucket whose upper bound 2^b satisfies ns <= 2^b, i.e.
+    // ceil(log2(ns)); everything at or below the first bound shares
+    // bucket 0, everything above the last bound counts only toward
+    // `total` (the +Inf bucket).
+    let floor_log2 = 63 - ns.max(1).leading_zeros() as u64;
+    let ceil_log2 = floor_log2 + u64::from(!ns.max(1).is_power_of_two());
+    let le_idx = ceil_log2.saturating_sub(FIRST_BUCKET_LOG2 as u64);
+    if le_idx >= BUCKETS as u64 {
+        return; // +Inf only
+    }
+    h.counts[le_idx as usize].fetch_add(1, Ordering::Relaxed);
+}
+
+/// One stage's histogram, read atomically bucket-by-bucket.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Stage name (an entry of [`STAGES`]).
+    pub stage: &'static str,
+    /// Cumulative counts per finite bucket: `buckets[i]` is the number
+    /// of observations with duration ≤ 2^(FIRST_BUCKET_LOG2 + i) ns.
+    pub buckets: Vec<u64>,
+    /// Total observations (the `+Inf` cumulative count).
+    pub count: u64,
+    /// Sum of all observed durations, in nanoseconds.
+    pub sum_ns: u64,
+}
+
+/// Snapshots every stage histogram, in [`STAGES`] order, always
+/// including stages that were never observed (zero-filled).
+pub fn snapshot() -> Vec<HistSnapshot> {
+    hists()
+        .iter()
+        .zip(STAGES.iter())
+        .map(|(h, stage)| {
+            let raw: Vec<u64> = h.counts.iter().map(|c| c.load(Ordering::Relaxed)).collect();
+            let mut cum = 0;
+            let buckets = raw
+                .iter()
+                .map(|&c| {
+                    cum += c;
+                    cum
+                })
+                .collect();
+            HistSnapshot {
+                stage,
+                buckets,
+                count: h.total.load(Ordering::Relaxed),
+                sum_ns: h.sum_ns.load(Ordering::Relaxed),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stage_snap(name: &str) -> HistSnapshot {
+        snapshot()
+            .into_iter()
+            .find(|s| s.stage == name)
+            .expect("stage exists")
+    }
+
+    #[test]
+    fn snapshot_covers_all_stages_zero_filled() {
+        let snap = snapshot();
+        assert_eq!(snap.len(), STAGES.len());
+        for s in &snap {
+            assert_eq!(s.buckets.len(), BUCKETS);
+        }
+    }
+
+    #[test]
+    fn unknown_stage_is_ignored() {
+        record("not.a.stage", 123);
+        // No panic, nothing to assert beyond the call returning.
+    }
+
+    #[test]
+    fn observations_land_in_log2_buckets() {
+        // Use a dedicated stage that no other test in this binary records.
+        let name = "feedback.session.answer";
+        let before = stage_snap(name);
+        record(name, 1); // ≤ 1µs → bucket 0
+        record(name, (1 << FIRST_BUCKET_LOG2) + 1); // just over 1µs → bucket 1
+        record(name, 1 << 20); // exactly 2^20 → bucket for le=2^20
+        record(name, 1 << 40); // above the last finite bound → +Inf only
+        let after = stage_snap(name);
+        assert_eq!(after.count - before.count, 4);
+        assert_eq!(
+            after.sum_ns - before.sum_ns,
+            1 + (1u64 << 10) + 1 + (1 << 20) + (1 << 40)
+        );
+        let delta: Vec<u64> = after
+            .buckets
+            .iter()
+            .zip(before.buckets.iter())
+            .map(|(a, b)| a - b)
+            .collect();
+        assert_eq!(delta[0], 1, "1ns lands in the first bucket");
+        assert_eq!(delta[1], 2, "cumulative through le=2^11");
+        let idx_2_20 = (20 - FIRST_BUCKET_LOG2) as usize;
+        assert_eq!(delta[idx_2_20], 3, "2^20 is ≤ its own bound");
+        assert_eq!(delta[idx_2_20 - 1], 2, "2^20 is above the previous bound");
+        assert_eq!(delta[BUCKETS - 1], 3, "u64::MAX only in +Inf");
+    }
+}

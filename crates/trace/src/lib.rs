@@ -1,0 +1,560 @@
+//! Hierarchical tracing and profiling for QuestPro-RS, on `std` alone.
+//!
+//! The paper's experiments (Section VI) attribute inference time to
+//! individual stages — provenance evaluation, candidate generalization,
+//! feedback rounds. This crate makes that attribution a first-class
+//! runtime facility instead of a pile of ad-hoc `Instant::now()` calls:
+//!
+//! * **Spans.** [`span`] opens a named, timed region on the current
+//!   thread and returns an RAII [`SpanGuard`]; regions nest into a tree.
+//!   [`add`] attaches named counters to the innermost open span.
+//! * **Traces.** [`begin`] starts a trace (one per HTTP request, CLI
+//!   run, or bench iteration) that owns every span recorded on the
+//!   calling thread until [`ActiveTrace::finish`]. Finished traces are
+//!   published to a global bounded ring (see [`registry`]) and folded
+//!   into per-stage log2 latency histograms (see [`hist`]).
+//! * **Cheap when off.** A single relaxed [`AtomicBool`] gates every
+//!   entry point. Disabled, [`span`] is a load plus a branch — the
+//!   bench harness asserts the end-to-end overhead stays under 5%.
+//!
+//! ## Determinism contract
+//!
+//! Spans are recorded only on the thread that owns the active trace.
+//! Worker threads spawned by the engine's data-parallel helpers carry
+//! no collector, so their `span` calls are inert. Because the engine's
+//! parallelism contract already guarantees identical outputs and stats
+//! at every thread count, the *structure* of a trace (span names,
+//! nesting, order, counters) is identical for any `threads` setting;
+//! only the recorded durations vary. The differential suite in
+//! `tests/determinism.rs` holds this line.
+
+pub mod hist;
+pub mod registry;
+pub mod ring;
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Instant;
+
+/// The fixed list of stage names exported to Prometheus histograms.
+///
+/// Every name here always appears in `/metrics` (zero-filled when never
+/// hit), so the exposition format is independent of which code paths a
+/// process has exercised — the golden-file test depends on that.
+/// Span names outside this list still show up in traces, just not in
+/// the histograms.
+pub const STAGES: &[&str] = &[
+    "request",
+    "infer.topk",
+    "infer.round",
+    "infer.merge_candidates",
+    "infer.consistency",
+    "engine.evaluate_union",
+    "engine.provenance_union",
+    "engine.sample_examples",
+    "engine.minimize",
+    "engine.difference",
+    "feedback.choose_query",
+    "feedback.question",
+    "feedback.refine",
+    "feedback.session.start",
+    "feedback.session.answer",
+];
+
+/// Global instrumentation switch. Everything is compiled in; nothing is
+/// recorded until some entry point (server start, `questpro trace`,
+/// bench harness) flips this on.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Monotonic trace-ID source; 0 is never issued.
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Turns span/trace recording on or off process-wide.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether recording is currently enabled.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// One finished span inside a [`TraceRecord`], in pre-order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Static span name (stage names live in [`STAGES`]).
+    pub name: &'static str,
+    /// Index of the parent span in the pre-order vector, if any.
+    pub parent: Option<usize>,
+    /// Nesting depth; top-level spans are at depth 0.
+    pub depth: usize,
+    /// Start offset from the trace's start, in nanoseconds.
+    pub start_ns: u64,
+    /// Wall-clock duration including children, in nanoseconds.
+    pub total_ns: u64,
+    /// Named counters attached via [`add`], in first-touch order.
+    pub counters: Vec<(&'static str, u64)>,
+}
+
+/// A finished trace: an identified, labeled forest of spans.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Process-unique trace ID (echoed in HTTP responses).
+    pub id: u64,
+    /// Human-readable label, e.g. `"POST /infer"`.
+    pub label: String,
+    /// Wall-clock duration of the whole trace, in nanoseconds.
+    pub total_ns: u64,
+    /// All spans in pre-order (parents before children).
+    pub spans: Vec<SpanRecord>,
+}
+
+/// One element of [`TraceRecord::structure`]: `(depth, name, counters)`.
+pub type StructureEntry = (usize, &'static str, Vec<(&'static str, u64)>);
+
+impl TraceRecord {
+    /// The timing-free shape of the trace: `(depth, name, counters)` in
+    /// pre-order. Two traces of the same computation must compare equal
+    /// here at every thread count.
+    pub fn structure(&self) -> Vec<StructureEntry> {
+        self.spans
+            .iter()
+            .map(|s| (s.depth, s.name, s.counters.clone()))
+            .collect()
+    }
+
+    /// Nanoseconds spent in span `i` excluding its direct children.
+    pub fn self_ns(&self, i: usize) -> u64 {
+        let children: u64 = self
+            .spans
+            .iter()
+            .filter(|s| s.parent == Some(i))
+            .map(|s| s.total_ns)
+            .sum();
+        self.spans[i].total_ns.saturating_sub(children)
+    }
+
+    /// Aggregates `(name, calls, total self-time ns)` over all spans,
+    /// sorted by descending self-time. This is the per-stage breakdown
+    /// written to `BENCH_3.json`.
+    pub fn stage_totals(&self) -> Vec<(&'static str, u64, u64)> {
+        let mut agg: Vec<(&'static str, u64, u64)> = Vec::new();
+        for i in 0..self.spans.len() {
+            let name = self.spans[i].name;
+            let self_ns = self.self_ns(i);
+            match agg.iter_mut().find(|(n, _, _)| *n == name) {
+                Some((_, calls, ns)) => {
+                    *calls += 1;
+                    *ns += self_ns;
+                }
+                None => agg.push((name, 1, self_ns)),
+            }
+        }
+        agg.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(b.0)));
+        agg
+    }
+
+    /// Renders the trace as a flame-style indented tree with total and
+    /// self times per span, suitable for terminal output.
+    pub fn render_tree(&self) -> String {
+        let ms = |ns: u64| ns as f64 / 1e6;
+        let mut out = format!(
+            "trace #{} {} — total {:.3} ms, {} span(s)\n",
+            self.id,
+            self.label,
+            ms(self.total_ns),
+            self.spans.len()
+        );
+        for (i, s) in self.spans.iter().enumerate() {
+            let indent = "  ".repeat(s.depth + 1);
+            out.push_str(&format!(
+                "{indent}{name:<w$} total {total:>10.3} ms  self {selfms:>10.3} ms",
+                name = s.name,
+                w = 28usize.saturating_sub(2 * s.depth),
+                total = ms(s.total_ns),
+                selfms = ms(self.self_ns(i)),
+            ));
+            for (k, v) in &s.counters {
+                out.push_str(&format!("  {k}={v}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// A span still being recorded (collector-internal).
+struct OpenNode {
+    name: &'static str,
+    parent: Option<usize>,
+    depth: usize,
+    started: Instant,
+    start_ns: u64,
+    total_ns: u64,
+    counters: Vec<(&'static str, u64)>,
+    closed: bool,
+}
+
+/// Per-thread span collector; present only while a trace is active on
+/// this thread.
+struct Collector {
+    id: u64,
+    label: String,
+    started: Instant,
+    nodes: Vec<OpenNode>,
+    stack: Vec<usize>,
+}
+
+impl Collector {
+    fn open(&mut self, name: &'static str) -> usize {
+        let parent = self.stack.last().copied();
+        let depth = parent.map(|p| self.nodes[p].depth + 1).unwrap_or(0);
+        let now = Instant::now();
+        let idx = self.nodes.len();
+        self.nodes.push(OpenNode {
+            name,
+            parent,
+            depth,
+            started: now,
+            start_ns: now.duration_since(self.started).as_nanos() as u64,
+            total_ns: 0,
+            counters: Vec::new(),
+            closed: false,
+        });
+        self.stack.push(idx);
+        idx
+    }
+
+    /// Closes node `idx` and — defensively — any still-open descendants
+    /// above it on the stack, so out-of-order guard drops can never
+    /// unbalance the tree.
+    fn close(&mut self, idx: usize) {
+        if self.nodes.get(idx).map(|n| n.closed).unwrap_or(true) {
+            return;
+        }
+        if let Some(pos) = self.stack.iter().rposition(|&i| i == idx) {
+            while self.stack.len() > pos {
+                let i = self.stack.pop().expect("stack non-empty by loop bound");
+                let node = &mut self.nodes[i];
+                node.total_ns = node.started.elapsed().as_nanos() as u64;
+                node.closed = true;
+            }
+        }
+    }
+
+    fn add(&mut self, name: &'static str, n: u64) {
+        if let Some(&top) = self.stack.last() {
+            let counters = &mut self.nodes[top].counters;
+            match counters.iter_mut().find(|(k, _)| *k == name) {
+                Some((_, v)) => *v += n,
+                None => counters.push((name, n)),
+            }
+        }
+    }
+
+    fn into_record(mut self) -> TraceRecord {
+        // Close anything the caller left open (e.g. after a panic that
+        // was caught above the instrumented frames).
+        while let Some(&top) = self.stack.last() {
+            self.close(top);
+        }
+        TraceRecord {
+            id: self.id,
+            label: self.label,
+            total_ns: self.started.elapsed().as_nanos() as u64,
+            spans: self
+                .nodes
+                .into_iter()
+                .map(|n| SpanRecord {
+                    name: n.name,
+                    parent: n.parent,
+                    depth: n.depth,
+                    start_ns: n.start_ns,
+                    total_ns: n.total_ns,
+                    counters: n.counters,
+                })
+                .collect(),
+        }
+    }
+}
+
+thread_local! {
+    static COLLECTOR: RefCell<Option<Collector>> = const { RefCell::new(None) };
+}
+
+/// RAII guard returned by [`span`]; closes the span when dropped.
+///
+/// Guards may be dropped out of LIFO order (e.g. when stored in a
+/// collection): closing a span also closes any spans opened under it
+/// that are still open, so the resulting tree is always balanced.
+#[must_use = "a span is timed until its guard is dropped"]
+pub struct SpanGuard {
+    /// Index of the opened node, or `None` if recording was off or no
+    /// trace was active on this thread.
+    idx: Option<usize>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(idx) = self.idx {
+            COLLECTOR.with(|c| {
+                if let Some(col) = c.borrow_mut().as_mut() {
+                    col.close(idx);
+                }
+            });
+        }
+    }
+}
+
+/// Opens a named span on the current thread.
+///
+/// Near-free when recording is disabled or when no trace is active on
+/// this thread (worker threads): the guard is inert.
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard { idx: None };
+    }
+    let idx = COLLECTOR.with(|c| c.borrow_mut().as_mut().map(|col| col.open(name)));
+    SpanGuard { idx }
+}
+
+/// Adds `n` to counter `name` on the innermost open span, if any.
+#[inline]
+pub fn add(name: &'static str, n: u64) {
+    if !enabled() {
+        return;
+    }
+    COLLECTOR.with(|c| {
+        if let Some(col) = c.borrow_mut().as_mut() {
+            col.add(name, n);
+        }
+    });
+}
+
+/// Handle to the trace currently being recorded on this thread.
+///
+/// Dropping the handle without calling [`finish`](Self::finish) still
+/// publishes the trace (so panicking request handlers leave evidence),
+/// but discards the record.
+pub struct ActiveTrace {
+    id: u64,
+    done: bool,
+}
+
+impl ActiveTrace {
+    /// The trace's process-unique ID.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Ends the trace: detaches the collector, publishes the record to
+    /// the global [`registry`] (folding stage histograms), and returns
+    /// it.
+    pub fn finish(mut self) -> TraceRecord {
+        self.done = true;
+        take_record(self.id).expect("active trace owns the thread collector")
+    }
+}
+
+impl Drop for ActiveTrace {
+    fn drop(&mut self) {
+        if !self.done {
+            let _ = take_record(self.id);
+        }
+    }
+}
+
+fn take_record(id: u64) -> Option<TraceRecord> {
+    let col = COLLECTOR.with(|c| {
+        let mut slot = c.borrow_mut();
+        match slot.as_ref() {
+            Some(col) if col.id == id => slot.take(),
+            _ => None,
+        }
+    });
+    col.map(|c| {
+        let rec = c.into_record();
+        registry::publish(&rec);
+        rec
+    })
+}
+
+/// Starts a trace on the current thread.
+///
+/// Returns `None` when recording is disabled or when this thread is
+/// already recording a trace (traces do not nest; open a [`span`]
+/// instead).
+pub fn begin(label: impl Into<String>) -> Option<ActiveTrace> {
+    if !enabled() {
+        return None;
+    }
+    COLLECTOR.with(|c| {
+        let mut slot = c.borrow_mut();
+        if slot.is_some() {
+            return None;
+        }
+        let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+        *slot = Some(Collector {
+            id,
+            label: label.into(),
+            started: Instant::now(),
+            nodes: Vec::new(),
+            stack: Vec::new(),
+        });
+        Some(ActiveTrace { id, done: false })
+    })
+}
+
+/// Serializes tests that touch the global enable flag or registry.
+#[cfg(test)]
+pub(crate) fn test_gate() -> std::sync::MutexGuard<'static, ()> {
+    static GATE: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    GATE.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serializes tests that flip the global enable flag.
+    fn with_tracing<T>(f: impl FnOnce() -> T) -> T {
+        let _g = crate::test_gate();
+        set_enabled(true);
+        let out = f();
+        set_enabled(false);
+        out
+    }
+
+    #[test]
+    fn spans_are_inert_without_a_trace() {
+        with_tracing(|| {
+            let g = span("infer.topk");
+            assert!(g.idx.is_none());
+            add("orphan", 1); // must not panic
+        });
+    }
+
+    #[test]
+    fn disabled_begin_returns_none() {
+        let _g = crate::test_gate();
+        set_enabled(false);
+        assert!(begin("off").is_none());
+        let g = span("request");
+        assert!(g.idx.is_none());
+    }
+
+    #[test]
+    fn nesting_and_counters_round_trip() {
+        let rec = with_tracing(|| {
+            let t = begin("unit").expect("enabled");
+            {
+                let _a = span("infer.topk");
+                add("rounds", 2);
+                {
+                    let _b = span("infer.round");
+                    add("states", 3);
+                    add("states", 4);
+                }
+                let _c = span("infer.round");
+            }
+            let _d = span("engine.minimize");
+            drop(_d);
+            t.finish()
+        });
+        assert_eq!(
+            rec.structure(),
+            vec![
+                (0, "infer.topk", vec![("rounds", 2)]),
+                (1, "infer.round", vec![("states", 7)]),
+                (1, "infer.round", vec![]),
+                (0, "engine.minimize", vec![]),
+            ]
+        );
+        assert_eq!(rec.spans[1].parent, Some(0));
+        assert_eq!(rec.spans[3].parent, None);
+        assert!(rec.total_ns >= rec.spans[0].total_ns);
+    }
+
+    #[test]
+    fn out_of_order_drop_closes_descendants() {
+        let rec = with_tracing(|| {
+            let t = begin("unit").expect("enabled");
+            let outer = span("infer.topk");
+            let inner = span("infer.round");
+            drop(outer); // closes inner too
+            drop(inner); // no-op, already closed
+            let _next = span("engine.minimize");
+            t.finish()
+        });
+        assert_eq!(
+            rec.structure()
+                .iter()
+                .map(|(d, n, _)| (*d, *n))
+                .collect::<Vec<_>>(),
+            vec![
+                (0, "infer.topk"),
+                (1, "infer.round"),
+                (0, "engine.minimize")
+            ]
+        );
+    }
+
+    #[test]
+    fn traces_do_not_nest_on_one_thread() {
+        with_tracing(|| {
+            let t = begin("outer").expect("enabled");
+            assert!(begin("inner").is_none());
+            t.finish();
+        });
+    }
+
+    #[test]
+    fn self_time_excludes_children() {
+        let rec = with_tracing(|| {
+            let t = begin("unit").expect("enabled");
+            {
+                let _a = span("infer.topk");
+                let _b = span("infer.round");
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            t.finish()
+        });
+        assert!(rec.spans[0].total_ns >= rec.spans[1].total_ns);
+        assert_eq!(
+            rec.self_ns(0),
+            rec.spans[0].total_ns - rec.spans[1].total_ns
+        );
+    }
+
+    #[test]
+    fn stage_totals_aggregate_by_name() {
+        let rec = with_tracing(|| {
+            let t = begin("unit").expect("enabled");
+            for _ in 0..3 {
+                let _r = span("infer.round");
+            }
+            t.finish()
+        });
+        let totals = rec.stage_totals();
+        assert_eq!(totals.len(), 1);
+        assert_eq!(totals[0].0, "infer.round");
+        assert_eq!(totals[0].1, 3);
+    }
+
+    #[test]
+    fn render_tree_mentions_every_span() {
+        let rec = with_tracing(|| {
+            let t = begin("render").expect("enabled");
+            let _a = span("infer.topk");
+            let _b = span("infer.consistency");
+            drop((_a, _b));
+            t.finish()
+        });
+        let text = rec.render_tree();
+        assert!(text.contains("infer.topk"));
+        assert!(text.contains("infer.consistency"));
+        assert!(text.contains("self"));
+    }
+}

@@ -1,0 +1,92 @@
+//! Global registry of recently finished traces.
+//!
+//! Spans are collected with zero synchronization on the trace-owning
+//! thread; the only cross-thread touch is here, once per *finished
+//! trace*: a single mutex acquisition to push the record into a bounded
+//! [`Ring`], plus relaxed-atomic histogram updates.
+//! That is the crate's "lock-free-ish" contract — the per-span hot path
+//! never contends.
+
+use std::sync::{Mutex, OnceLock};
+
+use crate::hist;
+use crate::ring::Ring;
+use crate::TraceRecord;
+
+/// Default number of traces retained by the global ring.
+pub const DEFAULT_CAPACITY: usize = 256;
+
+static RING: OnceLock<Mutex<Ring<TraceRecord>>> = OnceLock::new();
+
+fn ring() -> &'static Mutex<Ring<TraceRecord>> {
+    RING.get_or_init(|| Mutex::new(Ring::new(DEFAULT_CAPACITY)))
+}
+
+fn lock() -> std::sync::MutexGuard<'static, Ring<TraceRecord>> {
+    // Trace data is advisory; a panic mid-push can't corrupt the ring
+    // beyond a missing element, so poisoning is ignored.
+    ring().lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Replaces the ring with an empty one of capacity `cap` (min 1).
+/// Retained traces and the drop counter are reset; used at server
+/// start-up to apply the configured retention.
+pub fn set_capacity(cap: usize) {
+    *lock() = Ring::new(cap);
+}
+
+/// Publishes a finished trace: folds every span into the stage
+/// histograms (plus the whole-trace duration under `"request"`) and
+/// retains the record in the ring.
+pub fn publish(rec: &TraceRecord) {
+    for s in &rec.spans {
+        hist::record(s.name, s.total_ns);
+    }
+    hist::record("request", rec.total_ns);
+    lock().push(rec.clone());
+}
+
+/// Returns up to `limit` of the most recent traces, newest first.
+pub fn recent(limit: usize) -> Vec<TraceRecord> {
+    lock().latest(limit).into_iter().cloned().collect()
+}
+
+/// Total traces evicted from the ring since the last
+/// [`set_capacity`] (or process start).
+pub fn dropped_total() -> u64 {
+    lock().dropped()
+}
+
+/// Number of traces currently retained.
+pub fn retained() -> usize {
+    lock().len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(id: u64) -> TraceRecord {
+        TraceRecord {
+            id,
+            label: format!("t{id}"),
+            total_ns: id,
+            spans: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn publish_retains_newest_first_and_counts_drops() {
+        let _g = crate::test_gate();
+        set_capacity(2);
+        publish(&rec(1));
+        publish(&rec(2));
+        publish(&rec(3));
+        let got = recent(10);
+        assert_eq!(got.iter().map(|r| r.id).collect::<Vec<_>>(), vec![3, 2]);
+        assert_eq!(dropped_total(), 1);
+        assert_eq!(retained(), 2);
+        set_capacity(DEFAULT_CAPACITY); // restore for other tests
+        assert_eq!(dropped_total(), 0);
+    }
+}

@@ -1,0 +1,106 @@
+//! Bounded ring buffer with oldest-first eviction and exact drop
+//! accounting.
+//!
+//! The global trace registry keeps only the most recent traces; when a
+//! new trace arrives at capacity, the *oldest* one is evicted and a
+//! drop counter is bumped, so `pushed == retained + dropped` holds at
+//! all times. The type is generic and public so the property suite can
+//! exercise the overflow semantics directly.
+
+use std::collections::VecDeque;
+
+/// A fixed-capacity FIFO that evicts its oldest element on overflow.
+#[derive(Debug)]
+pub struct Ring<T> {
+    buf: VecDeque<T>,
+    cap: usize,
+    dropped: u64,
+}
+
+impl<T> Ring<T> {
+    /// Creates a ring holding at most `cap` elements (min 1).
+    pub fn new(cap: usize) -> Self {
+        let cap = cap.max(1);
+        Ring {
+            buf: VecDeque::with_capacity(cap),
+            cap,
+            dropped: 0,
+        }
+    }
+
+    /// Appends `item`, evicting and returning the oldest element if the
+    /// ring is full.
+    pub fn push(&mut self, item: T) -> Option<T> {
+        let evicted = if self.buf.len() == self.cap {
+            self.dropped += 1;
+            self.buf.pop_front()
+        } else {
+            None
+        };
+        self.buf.push_back(item);
+        evicted
+    }
+
+    /// Number of elements currently retained.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the ring holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Total number of elements evicted on overflow since creation.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Iterates retained elements oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.buf.iter()
+    }
+
+    /// Returns up to `limit` of the most recent elements, newest first.
+    pub fn latest(&self, limit: usize) -> Vec<&T> {
+        self.buf.iter().rev().take(limit).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_last_cap_items_in_order() {
+        let mut r = Ring::new(3);
+        for i in 0..10 {
+            let evicted = r.push(i);
+            if i < 3 {
+                assert_eq!(evicted, None);
+            } else {
+                assert_eq!(evicted, Some(i - 3), "oldest-first eviction");
+            }
+        }
+        assert_eq!(r.iter().copied().collect::<Vec<_>>(), vec![7, 8, 9]);
+        assert_eq!(r.latest(2), vec![&9, &8]);
+        assert_eq!(r.dropped(), 7);
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.capacity(), 3);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let mut r = Ring::new(0);
+        assert_eq!(r.capacity(), 1);
+        assert!(r.is_empty());
+        assert_eq!(r.push('a'), None);
+        assert_eq!(r.push('b'), Some('a'));
+        assert_eq!(r.dropped(), 1);
+    }
+}

@@ -3,9 +3,11 @@
 # per-stage timings (merge / consistency / total), the consistency-cache
 # hit rate, matcher nodes expanded, and wall-clock speedup per thread
 # count — with every parallel run asserted byte-identical to the
-# sequential one.
+# sequential one. The same run also writes BENCH_3.json: the per-stage
+# self-time breakdown recorded by questpro-trace, plus the
+# disabled-instrumentation overhead gate (< 5% of wall).
 #
-# Usage: scripts/bench.sh [output.json]
+# Usage: scripts/bench.sh [output.json] [trace-output.json]
 #   BENCH_TINY=1   smoke mode: 1 trial, heaviest query only (CI).
 #   BENCH_THREADS  largest thread count in the sweep (default 8).
 set -euo pipefail
@@ -14,13 +16,15 @@ cd "$(dirname "$0")/.."
 # A relative output path is resolved against the caller's directory, not
 # the repo root the script cds into.
 out="${1:-BENCH_1.json}"
+out3="${2:-BENCH_3.json}"
 [[ "$out" == /* ]] || out="$caller_dir/$out"
+[[ "$out3" == /* ]] || out3="$caller_dir/$out3"
 threads="${BENCH_THREADS:-8}"
 
 echo "== building exp_bench (release) =="
 cargo build --release --offline -p questpro-bench --bin exp_bench
 
-args=(--threads "$threads" --json "$out")
+args=(--threads "$threads" --json "$out" --trace-json "$out3" --trace-overhead)
 if [[ "${BENCH_TINY:-0}" == "1" ]]; then
   args+=(--tiny)
 fi
@@ -28,6 +32,7 @@ fi
 echo "== running hot-path bench (threads 1..$threads) =="
 ./target/release/exp_bench "${args[@]}"
 
-# Well-formedness gate: the report must be parseable JSON.
+# Well-formedness gate: the reports must be parseable JSON.
 python3 -m json.tool "$out" > /dev/null
-echo "ok — $out is well-formed JSON"
+python3 -m json.tool "$out3" > /dev/null
+echo "ok — $out and $out3 are well-formed JSON"

@@ -50,6 +50,7 @@ pub use questpro_feedback as feedback;
 pub use questpro_graph as graph;
 pub use questpro_graph::rng;
 pub use questpro_query as query;
+pub use questpro_trace as trace;
 
 /// One-stop imports for typical use of the library.
 pub mod prelude {

@@ -183,3 +183,48 @@ fn study_reports_are_seed_deterministic() {
     };
     assert_eq!(run(5), run(5));
 }
+
+/// The differential trace battery: the *structure* of a recorded trace
+/// (span names, nesting, counters — never timings) must be identical at
+/// every thread count, on every world family. This is what makes
+/// `questpro trace` output and `/debug/traces` comparable across hosts:
+/// spans only ever open on the orchestrating thread, so `map_chunked`
+/// worker threads can never add or remove tree nodes.
+#[test]
+fn trace_structure_is_thread_invariant_on_all_worlds() {
+    questpro::trace::set_enabled(true);
+    for (name, ont, target) in small_worlds() {
+        let run = |threads: usize| {
+            let trace = questpro::trace::begin(format!("det {name} x{threads}"))
+                .expect("no other trace is active on this thread");
+            let mut rng = StdRng::seed_from_u64(0xd15);
+            let examples = sample_example_set(&ont, &target, 5, &mut rng, 6);
+            if examples.len() >= 2 {
+                let cfg = SessionConfig {
+                    topk: TopKConfig {
+                        threads,
+                        ..Default::default()
+                    },
+                    refine: true,
+                    ..Default::default()
+                };
+                let mut oracle = TargetOracle::new(target.clone());
+                let _ = run_session(&ont, &examples, &mut oracle, &mut rng, &cfg);
+            }
+            trace.finish().structure()
+        };
+        let seq = run(1);
+        assert!(!seq.is_empty(), "{name}: the traced run recorded no spans");
+        assert!(
+            seq.iter().any(|(_, n, _)| *n == "infer.topk"),
+            "{name}: the pipeline must pass through top-k inference"
+        );
+        for threads in [2usize, 8] {
+            assert_eq!(
+                run(threads),
+                seq,
+                "{name}: {threads}-thread trace structure diverged from sequential"
+            );
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Golden-file test freezing the `GET /metrics` exposition format.
+//!
+//! Scrapers and dashboards key on metric *names, types, and label
+//! sets*; those must never change silently. Sample values vary run to
+//! run, so every value is normalized to `V` before comparison — the
+//! golden freezes the shape, not the numbers.
+//!
+//! To intentionally change the format, update the golden with:
+//! `UPDATE_GOLDEN=1 cargo test --test metrics_golden`.
+
+use questpro_server::metrics::{render, HttpCounters};
+
+fn golden_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/metrics.golden")
+}
+
+/// Replaces the trailing sample value of every non-comment line with
+/// `V`, leaving names, labels, and `# HELP`/`# TYPE` lines verbatim.
+fn normalize(exposition: &str) -> String {
+    let mut out = String::new();
+    for line in exposition.lines() {
+        if line.starts_with('#') || line.is_empty() {
+            out.push_str(line);
+        } else {
+            let cut = line.rfind(' ').expect("sample lines are `name value`");
+            out.push_str(&line[..cut]);
+            out.push_str(" V");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[test]
+fn metrics_exposition_format_is_frozen() {
+    // Exercise the counters so every status class renders — the *shape*
+    // must be identical whether or not traffic happened.
+    let http = HttpCounters::default();
+    http.record_request();
+    http.record_response(200);
+    http.record_response(404);
+    http.record_overload();
+    let got = normalize(&render(&http, 2));
+
+    // The format is also traffic-independent: a cold scrape has the
+    // exact same lines.
+    assert_eq!(
+        got,
+        normalize(&render(&HttpCounters::default(), 0)),
+        "exposition shape must not depend on traffic"
+    );
+
+    let path = golden_path();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().expect("golden dir")).expect("mkdir golden");
+        std::fs::write(&path, &got).expect("write golden");
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {} ({e}); run with UPDATE_GOLDEN=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        got, want,
+        "GET /metrics exposition changed; if intentional, regenerate with \
+         UPDATE_GOLDEN=1 cargo test --test metrics_golden"
+    );
+}
+
+#[test]
+fn every_trace_stage_appears_in_the_exposition() {
+    let text = render(&HttpCounters::default(), 0);
+    for stage in questpro_trace::STAGES {
+        assert!(
+            text.contains(&format!("stage=\"{stage}\",le=\"+Inf\"")),
+            "stage {stage} missing from the histogram family"
+        );
+    }
+}

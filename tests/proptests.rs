@@ -359,3 +359,110 @@ fn union_inference_always_consistent() {
         assert_eq!(stats4, stats);
     }
 }
+
+#[test]
+fn random_span_sequences_never_panic_and_stay_balanced() {
+    use questpro::trace;
+    trace::set_enabled(true);
+    let mut rng = StdRng::seed_from_u64(0x7bace);
+    for case in 0..CASES {
+        let t = trace::begin(format!("prop case {case}")).expect("one trace per thread");
+        let mut stack: Vec<trace::SpanGuard> = Vec::new();
+        for _ in 0..rng.random_range(1..40usize) {
+            match rng.random_range(0..7u32) {
+                0..=2 => {
+                    let name =
+                        trace::STAGES[rng.random_range(0..trace::STAGES.len() as u32) as usize];
+                    stack.push(trace::span(name));
+                }
+                3 | 4 => {
+                    // In-order close of the innermost open span.
+                    drop(stack.pop());
+                }
+                5 => {
+                    let name =
+                        trace::STAGES[rng.random_range(0..trace::STAGES.len() as u32) as usize];
+                    trace::add(name, u64::from(rng.random_range(1..5u32)));
+                }
+                _ => {
+                    // Out-of-order teardown: a Vec drops front-to-back,
+                    // so an ancestor guard dies before its descendants
+                    // and the collector must auto-close the subtree.
+                    stack.clear();
+                }
+            }
+        }
+        stack.clear();
+        let rec = t.finish();
+        // Whatever the op sequence, the record is a well-formed forest:
+        // parents precede children in pre-order and depths chain by one.
+        for (i, depth, parent) in rec
+            .spans
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i, s.depth, s.parent))
+        {
+            match parent {
+                None => assert_eq!(depth, 0, "case {case}: root span at depth {depth}"),
+                Some(p) => {
+                    assert!(p < i, "case {case}: span {i} points forward to parent {p}");
+                    assert_eq!(
+                        depth,
+                        rec.spans[p].depth + 1,
+                        "case {case}: span {i} skips a depth level"
+                    );
+                }
+            }
+            assert!(
+                rec.total_ns >= rec.self_ns(i).min(rec.total_ns),
+                "case {case}: self time exceeds the trace total"
+            );
+        }
+        // Counters only ever attach to spans that were open at the time.
+        for s in &rec.spans {
+            for (name, n) in &s.counters {
+                assert!(trace::STAGES.contains(name), "case {case}: foreign counter");
+                assert!(*n > 0, "case {case}: zero counter recorded");
+            }
+        }
+    }
+}
+
+#[test]
+fn ring_buffer_drops_oldest_first_with_exact_accounting() {
+    use questpro::trace::ring::Ring;
+    let mut rng = StdRng::seed_from_u64(0x51b6);
+    for case in 0..CASES {
+        let cap = rng.random_range(1..9usize);
+        let pushes = rng.random_range(0..40usize);
+        let mut ring: Ring<usize> = Ring::new(cap);
+        let mut evicted = Vec::new();
+        for v in 0..pushes {
+            if let Some(old) = ring.push(v) {
+                evicted.push(old);
+            }
+        }
+        // Exact loss accounting: everything pushed is either retained
+        // or reported evicted, and the drop counter matches.
+        assert_eq!(ring.len(), pushes.min(cap), "case {case}");
+        assert_eq!(ring.dropped() as usize, evicted.len(), "case {case}");
+        assert_eq!(ring.len() + evicted.len(), pushes, "case {case}");
+        // Oldest-first: the evicted prefix is 0..dropped, the retained
+        // suffix continues seamlessly and in order.
+        assert_eq!(
+            evicted,
+            (0..evicted.len()).collect::<Vec<_>>(),
+            "case {case}"
+        );
+        let retained: Vec<usize> = ring.iter().copied().collect();
+        assert_eq!(
+            retained,
+            (evicted.len()..pushes).collect::<Vec<_>>(),
+            "case {case}: retention must continue where eviction stopped"
+        );
+        // latest() is the same data, newest-first, truncated.
+        let latest: Vec<usize> = ring.latest(3).into_iter().copied().collect();
+        let expect: Vec<usize> = retained.iter().rev().copied().take(3).collect();
+        assert_eq!(latest, expect, "case {case}");
+    }
+}
