@@ -29,6 +29,10 @@ USAGE:
                     | --ontology FILE --query FILE)
                     [--examples N] [--k N] [--seed N] [--threads N] [--refine]
                     (profile one full inference run; prints the span tree)
+  questpro fuzz     (--surface <wire|sparql|triples|http> | --all)
+                    [--seed N] [--iters N]
+                    (deterministic fuzzing of the input parsers; exits
+                    non-zero on any panic or oracle violation)
 
 FILES:
   ontology  — triple text format (`src pred dst`, `@type value Type`)
@@ -57,6 +61,8 @@ pub enum Command {
     Serve(ServeArgs),
     /// `questpro trace`.
     Trace(TraceArgs),
+    /// `questpro fuzz`.
+    Fuzz(FuzzArgs),
 }
 
 /// Arguments of `questpro generate`.
@@ -199,6 +205,20 @@ pub struct TraceArgs {
     pub refine: bool,
 }
 
+/// Arguments of `questpro fuzz`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuzzArgs {
+    /// Surface to fuzz (`wire`, `sparql`, `triples`, `http`); `None`
+    /// with `all` set means every surface.
+    pub surface: Option<String>,
+    /// Fuzz all surfaces.
+    pub all: bool,
+    /// Master seed.
+    pub seed: u64,
+    /// Iterations per surface.
+    pub iters: u64,
+}
+
 /// Arguments of `questpro diagnose`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DiagnoseArgs {
@@ -291,6 +311,20 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
             threads: flags.num("threads", 1)?.max(1) as usize,
             refine: flags.switch("refine"),
         })),
+        "fuzz" => {
+            let args = FuzzArgs {
+                surface: flags.get("surface"),
+                all: flags.switch("all"),
+                seed: flags.num("seed", 0)?,
+                iters: flags.num("iters", 10_000)?.max(1),
+            };
+            if args.surface.is_none() && !args.all {
+                return Err(CliError::Usage(
+                    "fuzz needs --surface <wire|sparql|triples|http> or --all".to_string(),
+                ));
+            }
+            Ok(Command::Fuzz(args))
+        }
         "help" | "--help" | "-h" => Err(CliError::Usage(USAGE.to_string())),
         other => Err(CliError::Usage(format!(
             "unknown subcommand {other:?}\n\n{USAGE}"
@@ -304,7 +338,14 @@ struct Flags {
 }
 
 /// Boolean switches that take no value.
-const SWITCHES: &[&str] = &["diseqs", "refine", "optional", "minimize", "polynomial"];
+const SWITCHES: &[&str] = &[
+    "diseqs",
+    "refine",
+    "optional",
+    "minimize",
+    "polynomial",
+    "all",
+];
 
 impl Flags {
     fn parse(rest: &[String]) -> Result<Self, CliError> {

@@ -741,3 +741,84 @@ pub mod serve {
         }
     }
 }
+
+pub mod fuzz {
+    //! `questpro fuzz` — deterministic fuzzing of every input parser.
+
+    use std::fmt::Write as _;
+
+    use questpro_fuzz::{run_all, run_surface, FuzzConfig, Surface};
+
+    use crate::args::FuzzArgs;
+    use crate::error::CliError;
+
+    /// Runs the command: fuzz the selected surface(s) and report.
+    ///
+    /// A clean run returns the per-surface summary lines; any panic or
+    /// oracle violation becomes a [`CliError::Input`] carrying the full
+    /// report (reproducers included), so scripts and CI fail on it.
+    pub fn run(args: &FuzzArgs) -> Result<String, CliError> {
+        let cfg = FuzzConfig {
+            seed: args.seed,
+            iters: args.iters,
+            ..FuzzConfig::default()
+        };
+        let reports = match &args.surface {
+            Some(name) => {
+                let surface = Surface::from_name(name).ok_or_else(|| {
+                    CliError::Usage(format!(
+                        "unknown surface {name:?}; expected wire, sparql, triples, or http"
+                    ))
+                })?;
+                vec![run_surface(surface, &cfg)]
+            }
+            None => run_all(&cfg),
+        };
+        let mut out = String::new();
+        for report in &reports {
+            let _ = write!(out, "{report}");
+        }
+        if reports.iter().all(|r| r.clean()) {
+            Ok(out)
+        } else {
+            Err(CliError::Input(format!(
+                "fuzzing found failures (replay with --seed {}):\n{out}",
+                args.seed
+            )))
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        fn args(surface: Option<&str>, all: bool) -> FuzzArgs {
+            FuzzArgs {
+                surface: surface.map(String::from),
+                all,
+                seed: 4,
+                iters: 50,
+            }
+        }
+
+        #[test]
+        fn single_surface_runs_clean() {
+            let out = run(&args(Some("wire"), false)).unwrap();
+            assert!(out.contains("surface wire: 50 iters, 0 panics, 0 violations"));
+        }
+
+        #[test]
+        fn all_surfaces_run_clean() {
+            let out = run(&args(None, true)).unwrap();
+            for name in ["wire", "sparql", "triples", "http"] {
+                assert!(out.contains(&format!("surface {name}:")), "{out}");
+            }
+        }
+
+        #[test]
+        fn unknown_surface_is_a_usage_error() {
+            let err = run(&args(Some("nope"), false)).unwrap_err();
+            assert!(matches!(err, CliError::Usage(_)));
+        }
+    }
+}

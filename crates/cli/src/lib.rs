@@ -37,5 +37,6 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
         Command::Explore(e) => commands::explore::run(&e),
         Command::Serve(s) => commands::serve::run(&s),
         Command::Trace(t) => commands::trace::run(&t),
+        Command::Fuzz(f) => commands::fuzz::run(&f),
     }
 }

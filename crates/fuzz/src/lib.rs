@@ -1,0 +1,337 @@
+//! Deterministic fuzzing and differential oracles for every input
+//! surface of the workspace.
+//!
+//! QuestPro's front door is four hand-rolled parsers — `questpro-wire`
+//! JSON, the SPARQL dialect in `questpro-query`, the triple text format
+//! in `questpro-graph`, and HTTP/1.1 head parsing in `questpro-server`.
+//! This crate drives each of them with seeded, structure-aware
+//! generators plus byte-level mutators (see [`gen`] and [`mutate`]),
+//! and checks three oracle classes on every iteration:
+//!
+//! 1. **no-panic** — every input returns `Ok` or a structured error;
+//!    a panic caught by `catch_unwind` is a reported failure, with the
+//!    input shrunk by [`minimize::minimize`] before it is reported;
+//! 2. **round-trip** — `parse ∘ format = id` for JSON values, union
+//!    queries (up to isomorphism), and ontologies (up to node-id
+//!    renumbering, compared as sorted serialized lines);
+//! 3. **differential** — `POST /eval` responses from the in-process
+//!    router byte-agree with the library one-shot path, and responses
+//!    to arbitrarily mutated bodies are still well-formed JSON.
+//!
+//! Everything is seeded by the workspace's own xoshiro RNG, so a run is
+//! reproduced exactly by `questpro fuzz --surface S --seed N --iters I`
+//! on any platform — that is what makes the CI smoke job meaningful.
+
+pub mod gen;
+pub mod minimize;
+pub mod mutate;
+pub mod surfaces;
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use questpro_graph::rng::SplitMix64;
+use questpro_graph::rng::{Rng as _, StdRng};
+
+/// One fuzzed input surface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Surface {
+    /// `questpro-wire` JSON parsing/serialization.
+    Wire,
+    /// The SPARQL dialect in `questpro-query`.
+    Sparql,
+    /// The triple text format in `questpro-graph`.
+    Triples,
+    /// HTTP/1.1 head parsing plus the `/eval` differential oracle.
+    Http,
+}
+
+impl Surface {
+    /// All surfaces, in the order `--all` runs them.
+    pub const ALL: [Surface; 4] = [
+        Surface::Wire,
+        Surface::Sparql,
+        Surface::Triples,
+        Surface::Http,
+    ];
+
+    /// The surface's CLI / corpus-directory name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Surface::Wire => "wire",
+            Surface::Sparql => "sparql",
+            Surface::Triples => "triples",
+            Surface::Http => "http",
+        }
+    }
+
+    /// Parses a CLI surface name.
+    pub fn from_name(s: &str) -> Option<Surface> {
+        Surface::ALL.into_iter().find(|x| x.name() == s)
+    }
+}
+
+impl std::fmt::Display for Surface {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Knobs of a fuzzing run.
+#[derive(Debug, Clone, Copy)]
+pub struct FuzzConfig {
+    /// Master seed; every iteration's stream is derived from it.
+    pub seed: u64,
+    /// Iterations per surface.
+    pub iters: u64,
+    /// Failures kept (with reproducers) per surface; the counters keep
+    /// counting past this cap.
+    pub max_failures: usize,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0,
+            iters: 10_000,
+            max_failures: 8,
+        }
+    }
+}
+
+/// Which oracle a failure violated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureKind {
+    /// A parser panicked instead of returning an error.
+    Panic,
+    /// `parse ∘ format` did not reproduce the original.
+    RoundTrip,
+    /// The server response disagreed with the library path (or was not
+    /// well-formed JSON).
+    Differential,
+}
+
+impl std::fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            FailureKind::Panic => "panic",
+            FailureKind::RoundTrip => "round-trip",
+            FailureKind::Differential => "differential",
+        })
+    }
+}
+
+/// One oracle violation, with a (minimized, where possible) reproducer.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// Violated oracle.
+    pub kind: FailureKind,
+    /// The offending input bytes (UTF-8 where the surface is textual).
+    pub input: Vec<u8>,
+    /// What went wrong, human-readable.
+    pub detail: String,
+    /// The per-iteration seed that produced the failure.
+    pub seed: u64,
+}
+
+impl Failure {
+    fn new(kind: FailureKind, input: impl Into<Vec<u8>>, detail: impl Into<String>) -> Failure {
+        Failure {
+            kind,
+            input: input.into(),
+            detail: detail.into(),
+            seed: 0,
+        }
+    }
+}
+
+/// The outcome of fuzzing one surface.
+#[derive(Debug)]
+pub struct SurfaceReport {
+    /// Which surface ran.
+    pub surface: Surface,
+    /// Iterations executed.
+    pub iters: u64,
+    /// Caught panics.
+    pub panics: u64,
+    /// Non-panic oracle violations.
+    pub violations: u64,
+    /// Kept failures (at most `max_failures`), reproducers attached.
+    pub failures: Vec<Failure>,
+    /// Wall-clock milliseconds.
+    pub elapsed_ms: u128,
+}
+
+impl SurfaceReport {
+    /// True when the surface survived with zero failures of any kind.
+    pub fn clean(&self) -> bool {
+        self.panics == 0 && self.violations == 0
+    }
+}
+
+impl std::fmt::Display for SurfaceReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "surface {}: {} iters, {} panics, {} violations ({} ms)",
+            self.surface, self.iters, self.panics, self.violations, self.elapsed_ms
+        )?;
+        for fail in &self.failures {
+            writeln!(
+                f,
+                "  [{}] seed {} — {}\n    input: {:?}",
+                fail.kind,
+                fail.seed,
+                fail.detail,
+                String::from_utf8_lossy(&fail.input)
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Serializes panic-hook swaps across concurrently fuzzing threads
+/// (test binaries run tests in parallel; the hook is process-global).
+static HOOK_LOCK: Mutex<()> = Mutex::new(());
+
+/// Silences the default panic hook for the duration of `f`.
+///
+/// Expected panics are part of the no-panic oracle — without this, a
+/// fuzz run that *finds* a panic would spray backtraces over the
+/// report. The previous hook is restored even if `f` itself panics.
+fn with_quiet_panics<T>(f: impl FnOnce() -> T) -> T {
+    let _guard = HOOK_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    struct Restore;
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            let _ = std::panic::take_hook();
+        }
+    }
+    // Taking the hook inside Restore::drop reinstates the *default*
+    // hook, which is what the process started with: the workspace never
+    // installs a custom one.
+    let restore = Restore;
+    std::panic::set_hook(Box::new(|_| {}));
+    let out = f();
+    drop(restore);
+    out
+}
+
+/// Runs `f`, turning an unwind into a `Err(message)`.
+pub(crate) fn catching<T>(f: impl FnOnce() -> T) -> Result<T, String> {
+    catch_unwind(AssertUnwindSafe(f)).map_err(|e| {
+        if let Some(s) = e.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = e.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "non-string panic payload".to_string()
+        }
+    })
+}
+
+/// Fuzzes one surface for `cfg.iters` iterations.
+///
+/// Every iteration runs on its own derived seed (a SplitMix64 stream of
+/// the master seed xor a per-surface salt), so any reported failure can
+/// be replayed in isolation with `--iters 1 --seed <iteration seed>`
+/// semantics — `Failure::seed` records it.
+pub fn run_surface(surface: Surface, cfg: &FuzzConfig) -> SurfaceReport {
+    with_quiet_panics(|| {
+        let start = Instant::now();
+        let salt: u64 = match surface {
+            Surface::Wire => 0x57495245,
+            Surface::Sparql => 0x53504152,
+            Surface::Triples => 0x54525049,
+            Surface::Http => 0x48545450,
+        };
+        let mut seeds = SplitMix64::seed_from_u64(cfg.seed ^ salt);
+        let mut ctx = surfaces::Ctx::new(surface);
+        let mut report = SurfaceReport {
+            surface,
+            iters: cfg.iters,
+            panics: 0,
+            violations: 0,
+            failures: Vec::new(),
+            elapsed_ms: 0,
+        };
+        for _ in 0..cfg.iters {
+            let iter_seed = seeds.next_u64();
+            let mut rng = StdRng::seed_from_u64(iter_seed);
+            let found = match catching(|| ctx.iterate(&mut rng)) {
+                Ok(found) => found,
+                Err(msg) => vec![Failure::new(
+                    FailureKind::Panic,
+                    Vec::new(),
+                    format!("harness-level panic: {msg}"),
+                )],
+            };
+            for mut fail in found {
+                match fail.kind {
+                    FailureKind::Panic => report.panics += 1,
+                    _ => report.violations += 1,
+                }
+                if report.failures.len() < cfg.max_failures {
+                    fail.seed = iter_seed;
+                    report.failures.push(fail);
+                }
+            }
+        }
+        report.elapsed_ms = start.elapsed().as_millis();
+        report
+    })
+}
+
+/// Fuzzes all four surfaces with the same configuration.
+pub fn run_all(cfg: &FuzzConfig) -> Vec<SurfaceReport> {
+    Surface::ALL
+        .into_iter()
+        .map(|s| run_surface(s, cfg))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn surface_names_round_trip() {
+        for s in Surface::ALL {
+            assert_eq!(Surface::from_name(s.name()), Some(s));
+        }
+        assert_eq!(Surface::from_name("nope"), None);
+    }
+
+    #[test]
+    fn catching_reports_panic_messages() {
+        assert_eq!(catching(|| 7).unwrap(), 7);
+        let msg = with_quiet_panics(|| catching(|| panic!("boom {}", 1)).unwrap_err());
+        assert!(msg.contains("boom"), "{msg}");
+    }
+
+    #[test]
+    fn short_runs_are_clean_on_every_surface() {
+        let cfg = FuzzConfig {
+            seed: 1,
+            iters: 250,
+            max_failures: 8,
+        };
+        for report in run_all(&cfg) {
+            assert!(report.clean(), "{report}");
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let cfg = FuzzConfig {
+            seed: 42,
+            iters: 50,
+            max_failures: 8,
+        };
+        let a = run_surface(Surface::Wire, &cfg);
+        let b = run_surface(Surface::Wire, &cfg);
+        assert_eq!(a.panics, b.panics);
+        assert_eq!(a.violations, b.violations);
+    }
+}

@@ -1,0 +1,76 @@
+//! Greedy reproducer minimization (ddmin-lite).
+//!
+//! When an oracle fails on a mutated input, the raw reproducer carries
+//! hundreds of irrelevant bytes. [`minimize`] shrinks it by repeatedly
+//! deleting chunks of halving size while the caller-supplied predicate
+//! still reports the failure — the classic delta-debugging reduction,
+//! without the complement bookkeeping the full algorithm needs (inputs
+//! here are tiny, so greedy chunk removal converges fast).
+
+/// Shrinks `input` while `still_fails` holds.
+///
+/// The predicate must be deterministic (it is handed candidate inputs,
+/// not the original). The budget bounds predicate invocations so a
+/// pathological predicate can never wedge a fuzz run; the best input
+/// found within budget is returned.
+pub fn minimize(input: &[u8], mut still_fails: impl FnMut(&[u8]) -> bool) -> Vec<u8> {
+    let mut best = input.to_vec();
+    let mut budget = 2_000usize;
+    let mut chunk = (best.len() / 2).max(1);
+    while chunk >= 1 && budget > 0 {
+        let mut progress = false;
+        let mut start = 0;
+        while start < best.len() && budget > 0 {
+            let end = (start + chunk).min(best.len());
+            let mut candidate = Vec::with_capacity(best.len() - (end - start));
+            candidate.extend_from_slice(&best[..start]);
+            candidate.extend_from_slice(&best[end..]);
+            budget -= 1;
+            if !candidate.is_empty() && still_fails(&candidate) {
+                best = candidate;
+                progress = true;
+                // Retry the same offset: the next chunk slid into it.
+            } else {
+                start = end;
+            }
+        }
+        if !progress {
+            if chunk == 1 {
+                break;
+            }
+            chunk /= 2;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimizes_to_the_failing_core() {
+        // Failure: input contains the byte pair "%z".
+        let input = b"prefix junk %z suffix junk and more junk";
+        let min = minimize(input, |b| b.windows(2).any(|w| w == b"%z"));
+        assert_eq!(min, b"%z");
+    }
+
+    #[test]
+    fn keeps_input_when_nothing_can_be_removed() {
+        let input = b"abc";
+        let min = minimize(input, |b| b == b"abc");
+        assert_eq!(min, b"abc");
+    }
+
+    #[test]
+    fn predicate_budget_is_bounded() {
+        let mut calls = 0usize;
+        let input = vec![b'x'; 1024];
+        let _ = minimize(&input, |_| {
+            calls += 1;
+            false
+        });
+        assert!(calls <= 2_000);
+    }
+}

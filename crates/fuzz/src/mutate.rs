@@ -1,0 +1,142 @@
+//! Byte-level mutators.
+//!
+//! Mutations degrade the structure-aware generators' valid inputs into
+//! near-valid hostile ones — the most productive region for parser
+//! bugs, because deeply-wrong input is rejected at the first byte while
+//! *almost*-right input exercises every branch of the grammar.
+
+use questpro_graph::rng::Rng;
+
+/// Grammar fragments worth splicing in whole: escape-sequence stubs,
+/// keywords, directives, and framing headers that plain bit flips would
+/// almost never synthesize.
+pub const DICTIONARY: &[&str] = &[
+    "\\ud83d",
+    "\\ude00",
+    "\\uD800A",
+    "\\u",
+    "1e999",
+    "-1e999",
+    "1e-999",
+    "18446744073709551616",
+    "%zz",
+    "%",
+    "%2",
+    "%40",
+    "@type",
+    "#",
+    "UNION",
+    "SELECT",
+    "FILTER(",
+    "OPTIONAL {",
+    "!=",
+    "\"",
+    "\\\\",
+    "{{{{{{{{",
+    "[[[[[[[[",
+    "Content-Length: 7",
+    "Content-Length: +4",
+    "Transfer-Encoding: chunked",
+    "\r\n\r\n",
+    "\u{0}",
+];
+
+/// Hard cap on mutated inputs — mutation must never grow an input into
+/// something whose *size* (rather than shape) dominates the run.
+const MAX_LEN: usize = 4096;
+
+/// Applies 1–4 random mutation operators to `bytes` in place.
+pub fn mutate(rng: &mut impl Rng, bytes: &mut Vec<u8>) {
+    let ops = rng.random_range(1..5usize);
+    for _ in 0..ops {
+        apply_one(rng, bytes);
+    }
+    bytes.truncate(MAX_LEN);
+}
+
+fn apply_one(rng: &mut impl Rng, bytes: &mut Vec<u8>) {
+    match rng.random_range(0..6u32) {
+        // Flip one bit.
+        0 if !bytes.is_empty() => {
+            let i = rng.random_range(0..bytes.len());
+            bytes[i] ^= 1 << rng.random_range(0..8u32);
+        }
+        // Overwrite one byte with an interesting value.
+        1 if !bytes.is_empty() => {
+            const INTERESTING: &[u8] = &[
+                0, 0xff, 0x80, b'"', b'\\', b'{', b'}', b'[', b']', b'%', b'?', b':', b'@', b'#',
+                b'\r', b'\n', b' ', b'.',
+            ];
+            let i = rng.random_range(0..bytes.len());
+            bytes[i] = INTERESTING[rng.random_range(0..INTERESTING.len())];
+        }
+        // Delete a short range.
+        2 if !bytes.is_empty() => {
+            let start = rng.random_range(0..bytes.len());
+            let len = rng.random_range(1..9usize).min(bytes.len() - start);
+            bytes.drain(start..start + len);
+        }
+        // Duplicate a short range (repetition stresses depth/size limits).
+        3 if !bytes.is_empty() => {
+            let start = rng.random_range(0..bytes.len());
+            let len = rng.random_range(1..17usize).min(bytes.len() - start);
+            let chunk: Vec<u8> = bytes[start..start + len].to_vec();
+            let at = rng.random_range(0..=bytes.len());
+            bytes.splice(at..at, chunk);
+        }
+        // Splice in a dictionary token.
+        4 => {
+            let tok = DICTIONARY[rng.random_range(0..DICTIONARY.len())].as_bytes();
+            let at = rng.random_range(0..=bytes.len());
+            bytes.splice(at..at, tok.iter().copied());
+        }
+        // Truncate (also the arm empty inputs always fall into).
+        _ => {
+            let keep = if bytes.is_empty() {
+                0
+            } else {
+                rng.random_range(0..bytes.len())
+            };
+            bytes.truncate(keep);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use questpro_graph::rng::StdRng;
+
+    #[test]
+    fn mutation_is_deterministic_for_a_seed() {
+        let run = || {
+            let mut rng = StdRng::seed_from_u64(5);
+            let mut b = b"SELECT ?x WHERE { ?x :p ?y . }".to_vec();
+            for _ in 0..50 {
+                mutate(&mut rng, &mut b);
+            }
+            b
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn mutation_respects_the_length_cap() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut b = vec![b'a'; 64];
+        for _ in 0..2_000 {
+            mutate(&mut rng, &mut b);
+            assert!(b.len() <= MAX_LEN);
+        }
+    }
+
+    #[test]
+    fn empty_inputs_survive_every_operator() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut b = Vec::new();
+        for _ in 0..200 {
+            mutate(&mut rng, &mut b);
+            b.clear();
+        }
+    }
+}

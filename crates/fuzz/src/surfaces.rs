@@ -1,0 +1,434 @@
+//! Per-surface fuzzing drivers: one `iterate` = generate → oracle →
+//! mutate → oracle.
+//!
+//! Every iteration of every surface runs two stages:
+//!
+//! 1. **structure stage** — a generator-built valid instance is
+//!    formatted and re-parsed; the round-trip oracle compares the
+//!    result with the original (value equality for JSON, isomorphism
+//!    for queries, sorted serialized lines for ontologies, field
+//!    equality for HTTP requests);
+//! 2. **mutation stage** — the formatted text is byte-mutated and
+//!    re-parsed; the no-panic oracle applies, and *accepted* mutants
+//!    must themselves round-trip (idempotence: whatever the parser
+//!    builds, the formatter must be able to reproduce).
+//!
+//! The HTTP surface additionally runs the differential oracle: a
+//! `POST /eval` through the in-process router must byte-agree with the
+//! library one-shot path, and mutated bodies must always come back as
+//! well-formed JSON envelopes.
+
+use std::io::Cursor;
+use std::sync::Arc;
+use std::time::Duration;
+
+use questpro_engine::evaluate_union_with;
+use questpro_graph::rng::StdRng;
+use questpro_graph::{triples, Ontology};
+use questpro_query::iso::union_isomorphic;
+use questpro_query::sparql;
+use questpro_server::http::read_request;
+use questpro_server::{route, AppState, Request};
+use questpro_wire::Json;
+
+use crate::{catching, gen, minimize, mutate, Failure, FailureKind, Surface};
+
+/// Body cap handed to `read_request` during head fuzzing — small enough
+/// that a hostile `Content-Length` can never make the fuzzer allocate
+/// seriously, large enough that no generated request trips it.
+const MAX_FUZZ_BODY: usize = 1 << 16;
+
+/// Per-surface state that persists across iterations (only the HTTP
+/// surface needs any: the in-process server `AppState`).
+pub struct Ctx {
+    surface: Surface,
+    http: Option<HttpState>,
+}
+
+struct HttpState {
+    state: AppState,
+    ont: Arc<Ontology>,
+}
+
+impl Ctx {
+    /// Creates the state for one surface's run.
+    pub fn new(surface: Surface) -> Ctx {
+        let http = (surface == Surface::Http).then(|| {
+            let state = AppState::new(1, 1 << 20, Duration::from_secs(60), 4);
+            let ont = state
+                .registry
+                .insert("fuzz", gen::tiny_ontology_text())
+                .expect("the fuzz world registers exactly once");
+            HttpState { state, ont }
+        });
+        Ctx { surface, http }
+    }
+
+    /// Runs one iteration, returning any oracle violations found.
+    pub fn iterate(&mut self, rng: &mut StdRng) -> Vec<Failure> {
+        match self.surface {
+            Surface::Wire => wire_iter(rng),
+            Surface::Sparql => sparql_iter(rng),
+            Surface::Triples => triples_iter(rng),
+            Surface::Http => {
+                let http = self.http.as_ref().expect("constructed in Ctx::new");
+                http_iter(rng, http)
+            }
+        }
+    }
+}
+
+/// Shrinks a panicking input with [`minimize::minimize`] and wraps it.
+fn panic_failure(bytes: &[u8], msg: String, mut panics: impl FnMut(&[u8]) -> bool) -> Failure {
+    let min = minimize::minimize(bytes, |b| catching(|| panics(b)).unwrap_or(true));
+    Failure::new(FailureKind::Panic, min, format!("parser panicked: {msg}"))
+}
+
+// ---------------------------------------------------------------------
+// wire — JSON
+// ---------------------------------------------------------------------
+
+fn wire_panics(b: &[u8]) -> bool {
+    let text = String::from_utf8_lossy(b);
+    catching(|| {
+        let _ = questpro_wire::parse(&text);
+    })
+    .is_err()
+}
+
+fn wire_iter(rng: &mut StdRng) -> Vec<Failure> {
+    let mut out = Vec::new();
+    // Structure stage: value → text → value must be the identity.
+    let v = gen::json_value(rng, 0);
+    let text = v.to_text();
+    match catching(|| questpro_wire::parse(&text)) {
+        Err(msg) => out.push(panic_failure(text.as_bytes(), msg, wire_panics)),
+        Ok(Err(e)) => out.push(Failure::new(
+            FailureKind::RoundTrip,
+            text.as_bytes(),
+            format!("serializer output rejected by the parser: {e}"),
+        )),
+        Ok(Ok(back)) => {
+            if back != v {
+                out.push(Failure::new(
+                    FailureKind::RoundTrip,
+                    text.as_bytes(),
+                    format!("parse(serialize(v)) != v (got {})", back.to_text()),
+                ));
+            }
+        }
+    }
+    // Mutation stage: no-panic, and accepted mutants must round-trip.
+    let mut bytes = text.into_bytes();
+    mutate::mutate(rng, &mut bytes);
+    let mutated = String::from_utf8_lossy(&bytes).into_owned();
+    match catching(|| questpro_wire::parse(&mutated)) {
+        Err(msg) => out.push(panic_failure(&bytes, msg, wire_panics)),
+        Ok(Ok(v2)) => {
+            let t2 = v2.to_text();
+            match questpro_wire::parse(&t2) {
+                Ok(v3) if v3 == v2 => {}
+                Ok(_) => out.push(Failure::new(
+                    FailureKind::RoundTrip,
+                    t2.as_bytes(),
+                    "reserializing an accepted mutant changed its value",
+                )),
+                Err(e) => out.push(Failure::new(
+                    FailureKind::RoundTrip,
+                    t2.as_bytes(),
+                    format!("reserialized mutant no longer parses: {e}"),
+                )),
+            }
+        }
+        Ok(Err(_)) => {}
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// sparql — query text
+// ---------------------------------------------------------------------
+
+fn sparql_panics(b: &[u8]) -> bool {
+    let text = String::from_utf8_lossy(b);
+    catching(|| {
+        let _ = sparql::parse_union(&text);
+    })
+    .is_err()
+}
+
+fn sparql_iter(rng: &mut StdRng) -> Vec<Failure> {
+    let mut out = Vec::new();
+    let q = gen::union_query(rng);
+    let text = sparql::format_union(&q);
+    match catching(|| sparql::parse_union(&text)) {
+        Err(msg) => out.push(panic_failure(text.as_bytes(), msg, sparql_panics)),
+        Ok(Err(e)) => out.push(Failure::new(
+            FailureKind::RoundTrip,
+            text.as_bytes(),
+            format!("formatted query rejected by the parser: {e}"),
+        )),
+        Ok(Ok(back)) => {
+            if !union_isomorphic(&q, &back) {
+                out.push(Failure::new(
+                    FailureKind::RoundTrip,
+                    text.as_bytes(),
+                    "parse(format(q)) is not isomorphic to q",
+                ));
+            }
+        }
+    }
+    let mut bytes = text.into_bytes();
+    mutate::mutate(rng, &mut bytes);
+    let mutated = String::from_utf8_lossy(&bytes).into_owned();
+    match catching(|| sparql::parse_union(&mutated)) {
+        Err(msg) => out.push(panic_failure(&bytes, msg, sparql_panics)),
+        Ok(Ok(q2)) => {
+            let t2 = sparql::format_union(&q2);
+            match sparql::parse_union(&t2) {
+                Ok(q3) if union_isomorphic(&q2, &q3) => {}
+                Ok(_) => out.push(Failure::new(
+                    FailureKind::RoundTrip,
+                    t2.as_bytes(),
+                    "reformatting an accepted mutant changed the query",
+                )),
+                Err(e) => out.push(Failure::new(
+                    FailureKind::RoundTrip,
+                    t2.as_bytes(),
+                    format!("reformatted mutant no longer parses: {e}"),
+                )),
+            }
+        }
+        Ok(Err(_)) => {}
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// triples — ontology text
+// ---------------------------------------------------------------------
+
+fn triples_panics(b: &[u8]) -> bool {
+    let text = String::from_utf8_lossy(b);
+    catching(|| {
+        let _ = triples::parse(&text);
+    })
+    .is_err()
+}
+
+/// Ontology equality up to node-id renumbering: the serialized lines as
+/// a sorted multiset. (`parse` may renumber nodes that only appear in
+/// `@type` declarations, so byte equality would be too strict.)
+fn sorted_lines(text: &str) -> Vec<&str> {
+    let mut lines: Vec<&str> = text.lines().collect();
+    lines.sort_unstable();
+    lines
+}
+
+fn triples_iter(rng: &mut StdRng) -> Vec<Failure> {
+    let mut out = Vec::new();
+    let o = gen::ontology(rng);
+    let text = triples::serialize(&o);
+    match catching(|| triples::parse(&text)) {
+        Err(msg) => out.push(panic_failure(text.as_bytes(), msg, triples_panics)),
+        Ok(Err(e)) => out.push(Failure::new(
+            FailureKind::RoundTrip,
+            text.as_bytes(),
+            format!("serialized ontology rejected by the parser: {e}"),
+        )),
+        Ok(Ok(o2)) => {
+            let text2 = triples::serialize(&o2);
+            if sorted_lines(&text) != sorted_lines(&text2) {
+                out.push(Failure::new(
+                    FailureKind::RoundTrip,
+                    text.as_bytes(),
+                    "parse(serialize(o)) lost or changed triples",
+                ));
+            }
+        }
+    }
+    let mut bytes = text.into_bytes();
+    mutate::mutate(rng, &mut bytes);
+    let mutated = String::from_utf8_lossy(&bytes).into_owned();
+    match catching(|| triples::parse(&mutated)) {
+        Err(msg) => out.push(panic_failure(&bytes, msg, triples_panics)),
+        Ok(Ok(o3)) => {
+            let t3 = triples::serialize(&o3);
+            match triples::parse(&t3) {
+                Ok(o4) if sorted_lines(&triples::serialize(&o4)) == sorted_lines(&t3) => {}
+                Ok(_) => out.push(Failure::new(
+                    FailureKind::RoundTrip,
+                    t3.as_bytes(),
+                    "reserializing an accepted mutant changed the ontology",
+                )),
+                Err(e) => out.push(Failure::new(
+                    FailureKind::RoundTrip,
+                    t3.as_bytes(),
+                    format!("reserialized mutant no longer parses: {e}"),
+                )),
+            }
+        }
+        Ok(Err(_)) => {}
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// http — head parsing + /eval differential
+// ---------------------------------------------------------------------
+
+fn http_panics(b: &[u8]) -> bool {
+    catching(|| {
+        let _ = read_request(&mut Cursor::new(b), MAX_FUZZ_BODY);
+    })
+    .is_err()
+}
+
+fn http_iter(rng: &mut StdRng, http: &HttpState) -> Vec<Failure> {
+    let mut out = Vec::new();
+    // Head parsing: structure + mutation.
+    let (bytes, expected) = gen::http_request(rng);
+    match catching(|| read_request(&mut Cursor::new(&bytes[..]), MAX_FUZZ_BODY)) {
+        Err(msg) => out.push(panic_failure(&bytes, msg, http_panics)),
+        Ok(Ok(req)) => {
+            if let Some(exp) = &expected {
+                if req.method != exp.method || req.path != exp.path || req.body != exp.body {
+                    out.push(Failure::new(
+                        FailureKind::RoundTrip,
+                        &bytes[..],
+                        format!(
+                            "well-formed request parsed to {} {} ({}B body), expected {} {} ({}B)",
+                            req.method,
+                            req.path,
+                            req.body.len(),
+                            exp.method,
+                            exp.path,
+                            exp.body.len()
+                        ),
+                    ));
+                }
+            }
+        }
+        Ok(Err(e)) => {
+            if expected.is_some() {
+                out.push(Failure::new(
+                    FailureKind::RoundTrip,
+                    &bytes[..],
+                    format!("well-formed request rejected: {e:?}"),
+                ));
+            }
+        }
+    }
+    let mut mutated = bytes;
+    mutate::mutate(rng, &mut mutated);
+    if let Err(msg) = catching(|| {
+        let _ = read_request(&mut Cursor::new(&mutated[..]), MAX_FUZZ_BODY);
+    }) {
+        out.push(panic_failure(&mutated, msg, http_panics));
+    }
+    // Differential: the router's /eval answer must byte-agree with the
+    // library path on the same textual query.
+    let q = gen::vocab_query(rng);
+    let text = sparql::format_union(&q);
+    let body = Json::obj([
+        ("ontology", Json::str("fuzz")),
+        ("query", Json::str(text.clone())),
+    ])
+    .to_text();
+    let request = eval_request(body.clone().into_bytes());
+    match catching(|| route(&http.state, &request)) {
+        Err(msg) => out.push(Failure::new(
+            FailureKind::Panic,
+            body.as_bytes(),
+            format!("router panicked on a valid /eval body: {msg}"),
+        )),
+        Ok(resp) => {
+            let reparsed = sparql::parse_union(&text).expect("formatted query parses");
+            let results = evaluate_union_with(&http.ont, &reparsed, 1);
+            let expected_body = Json::obj([(
+                "results",
+                Json::Arr(
+                    results
+                        .iter()
+                        .map(|&r| Json::str(http.ont.value_str(r)))
+                        .collect(),
+                ),
+            )])
+            .to_text();
+            if resp.status != 200 || resp.body != expected_body.as_bytes() {
+                out.push(Failure::new(
+                    FailureKind::Differential,
+                    body.as_bytes(),
+                    format!(
+                        "server /eval diverged from the library path: status {}, body {:?}, expected {:?}",
+                        resp.status,
+                        String::from_utf8_lossy(&resp.body),
+                        expected_body
+                    ),
+                ));
+            }
+        }
+    }
+    // Mutated bodies: never a panic, always a well-formed JSON envelope.
+    let mut mutated_body = body.into_bytes();
+    mutate::mutate(rng, &mut mutated_body);
+    let request = eval_request(mutated_body.clone());
+    match catching(|| route(&http.state, &request)) {
+        Err(msg) => out.push(Failure::new(
+            FailureKind::Panic,
+            &mutated_body[..],
+            format!("router panicked on a mutated /eval body: {msg}"),
+        )),
+        Ok(resp) => {
+            let ok = std::str::from_utf8(&resp.body)
+                .ok()
+                .is_some_and(|t| questpro_wire::parse(t).is_ok());
+            if !ok {
+                out.push(Failure::new(
+                    FailureKind::Differential,
+                    &mutated_body[..],
+                    format!(
+                        "response to a mutated body is not well-formed JSON (status {})",
+                        resp.status
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+fn eval_request(body: Vec<u8>) -> Request {
+    Request {
+        method: "POST".to_string(),
+        path: "/eval".to_string(),
+        query: String::new(),
+        headers: vec![("content-type".to_string(), "application/json".to_string())],
+        body,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn http_ctx_registers_the_fuzz_world() {
+        let ctx = Ctx::new(Surface::Http);
+        let http = ctx.http.as_ref().unwrap();
+        assert_eq!(http.ont.edge_count(), 6);
+        assert!(http.state.registry.get("fuzz").is_some());
+    }
+
+    #[test]
+    fn every_surface_iterates_without_failures() {
+        for surface in Surface::ALL {
+            let mut ctx = Ctx::new(surface);
+            let mut rng = StdRng::seed_from_u64(11);
+            for _ in 0..25 {
+                let fails = ctx.iterate(&mut rng);
+                assert!(fails.is_empty(), "{surface}: {:?}", fails);
+            }
+        }
+    }
+}

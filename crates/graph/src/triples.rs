@@ -12,12 +12,78 @@
 //! <src> <pred> <dst>            declares an edge
 //! ```
 //!
-//! Tokens are whitespace-separated and therefore must not contain
-//! whitespace themselves; the synthetic generators use `snake_case`
-//! identifiers so this is never a constraint in practice.
+//! Tokens are whitespace-separated, so [`serialize`] percent-encodes
+//! any character that would break the line grammar — whitespace, `%`
+//! itself, and a leading-position-significant `#`/`@` — as `%xx`
+//! (lowercase hex over the UTF-8 bytes), and [`parse`] decodes `%xx`
+//! sequences back. Labels containing spaces, newlines, or comment
+//! markers therefore survive `serialize → parse` unchanged. The
+//! synthetic generators use `snake_case` identifiers, which need no
+//! escaping at all.
+
+use std::fmt::Write as _;
 
 use crate::error::GraphError;
 use crate::ontology::{Ontology, OntologyBuilder};
+
+/// Percent-encodes a token so it survives the whitespace-split line
+/// grammar: whitespace, `%`, `#`, and `@` become `%xx` over the UTF-8
+/// bytes; everything else passes through verbatim.
+fn escape_token(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        if ch.is_whitespace() || matches!(ch, '%' | '#' | '@') {
+            let mut buf = [0u8; 4];
+            for &b in ch.encode_utf8(&mut buf).as_bytes() {
+                let _ = write!(out, "%{b:02x}");
+            }
+        } else {
+            out.push(ch);
+        }
+    }
+    out
+}
+
+/// Decodes the `%xx` escapes produced by [`escape_token`].
+fn unescape_token(s: &str, line: usize) -> Result<String, GraphError> {
+    if !s.contains('%') {
+        return Ok(s.to_string());
+    }
+    let bad = |message: String| GraphError::Parse { line, message };
+    let mut bytes: Vec<u8> = Vec::with_capacity(s.len());
+    let mut rest = s.as_bytes();
+    while let Some((&b, tail)) = rest.split_first() {
+        if b != b'%' {
+            bytes.push(b);
+            rest = tail;
+            continue;
+        }
+        let hex = |b: u8| -> Option<u8> {
+            match b {
+                b'0'..=b'9' => Some(b - b'0'),
+                b'a'..=b'f' => Some(b - b'a' + 10),
+                b'A'..=b'F' => Some(b - b'A' + 10),
+                _ => None,
+            }
+        };
+        match (
+            tail.first().copied().and_then(hex),
+            tail.get(1).copied().and_then(hex),
+        ) {
+            (Some(hi), Some(lo)) => {
+                bytes.push((hi << 4) | lo);
+                rest = &tail[2..];
+            }
+            _ => {
+                return Err(bad(format!(
+                    "`%` in token {s:?} is not followed by two hex digits"
+                )))
+            }
+        }
+    }
+    String::from_utf8(bytes)
+        .map_err(|_| bad(format!("escapes in token {s:?} decode to invalid UTF-8")))
+}
 
 /// Parses an ontology from the triple text format.
 ///
@@ -33,13 +99,20 @@ pub fn parse(text: &str) -> Result<Ontology, GraphError> {
             continue;
         }
         let mut fields = line.split_whitespace();
-        let first = fields.next().expect("non-empty line has a first token");
+        let Some(first) = fields.next() else {
+            continue; // unreachable: the line is non-empty after trim
+        };
+        // The directive keyword is matched *before* unescaping, so a
+        // node literally named `@type` serializes as `%40type` and
+        // can never be confused with the directive.
         if first == "@type" {
             let value = fields.next();
             let ty = fields.next();
             match (value, ty, fields.next()) {
                 (Some(v), Some(t), None) => {
-                    b.typed_node(v, t)?;
+                    let v = unescape_token(v, i + 1)?;
+                    let t = unescape_token(t, i + 1)?;
+                    b.typed_node(&v, &t)?;
                 }
                 _ => {
                     return Err(GraphError::Parse {
@@ -53,7 +126,10 @@ pub fn parse(text: &str) -> Result<Ontology, GraphError> {
             let dst = fields.next();
             match (pred, dst, fields.next()) {
                 (Some(p), Some(d), None) => {
-                    b.edge(first, p, d)?;
+                    let src = unescape_token(first, i + 1)?;
+                    let p = unescape_token(p, i + 1)?;
+                    let d = unescape_token(d, i + 1)?;
+                    b.edge(&src, &p, &d)?;
                 }
                 _ => {
                     return Err(GraphError::Parse {
@@ -77,19 +153,19 @@ pub fn serialize(ont: &Ontology) -> String {
     let mut out = String::new();
     for e in ont.edge_ids() {
         let d = ont.edge(e);
-        out.push_str(ont.value_str(d.src));
+        out.push_str(&escape_token(ont.value_str(d.src)));
         out.push(' ');
-        out.push_str(ont.pred_str(d.pred));
+        out.push_str(&escape_token(ont.pred_str(d.pred)));
         out.push(' ');
-        out.push_str(ont.value_str(d.dst));
+        out.push_str(&escape_token(ont.value_str(d.dst)));
         out.push('\n');
     }
     for n in ont.node_ids() {
         if let Some(t) = ont.node_type(n) {
             out.push_str("@type ");
-            out.push_str(ont.value_str(n));
+            out.push_str(&escape_token(ont.value_str(n)));
             out.push(' ');
-            out.push_str(ont.type_str(t));
+            out.push_str(&escape_token(ont.type_str(t)));
             out.push('\n');
         }
     }
@@ -157,6 +233,63 @@ paper2 wb Bob
         assert!(matches!(err, GraphError::DuplicateEdge { .. }));
         let err = parse("@type x A\n@type x B\n").unwrap_err();
         assert!(matches!(err, GraphError::ConflictingType { .. }));
+    }
+
+    #[test]
+    fn metacharacter_labels_round_trip() {
+        let labels = [
+            "has space",
+            "line\nbreak",
+            "tab\there",
+            "#comment-start",
+            "@type",
+            "percent%40",
+            "quote\"mark",
+            "back\\slash",
+            "emoji\u{1F600}",
+        ];
+        let mut b = OntologyBuilder::new();
+        for (i, label) in labels.iter().enumerate() {
+            b.edge(label, &format!("pred {i}"), "plain").unwrap();
+        }
+        b.typed_node("has space", "Type With Space").unwrap();
+        let o = b.build();
+        let text = serialize(&o);
+        let o2 = parse(&text).unwrap_or_else(|e| panic!("re-parse failed: {e}\n{text}"));
+        assert_eq!(o2.edge_count(), o.edge_count());
+        assert_eq!(o2.node_count(), o.node_count());
+        for label in labels {
+            assert!(o2.node_by_value(label).is_some(), "lost node {label:?}");
+        }
+        let n = o2.node_by_value("has space").unwrap();
+        assert_eq!(o2.type_str(o2.node_type(n).unwrap()), "Type With Space");
+    }
+
+    #[test]
+    fn node_named_type_directive_is_not_a_directive() {
+        // A node literally named `@type` must serialize escaped, so the
+        // line is a 3-token edge, not a malformed directive.
+        let mut b = OntologyBuilder::new();
+        b.edge("@type", "p", "q").unwrap();
+        let text = serialize(&b.build());
+        assert!(text.starts_with("%40type "), "{text}");
+        let o = parse(&text).unwrap();
+        assert!(o.node_by_value("@type").is_some());
+    }
+
+    #[test]
+    fn malformed_percent_escapes_report_line_numbers() {
+        for (src, line) in [
+            ("a%2 wb b\n", 1),
+            ("a wb b\nc%zz wb d\n", 2),
+            ("a wb b%\n", 1),
+            ("a%ff%fe wb b\n", 1),
+        ] {
+            match parse(src).unwrap_err() {
+                GraphError::Parse { line: l, .. } => assert_eq!(l, line, "{src:?}"),
+                other => panic!("expected parse error for {src:?}, got {other}"),
+            }
+        }
     }
 
     #[test]

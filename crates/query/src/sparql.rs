@@ -20,6 +20,13 @@
 //! `OPTIONAL { ?f :genre ?g }`. [`format_simple`]/[`format_union`] render
 //! queries; [`parse_union`] parses them back. Round-tripping preserves
 //! structure exactly (node order may differ; queries stay isomorphic).
+//!
+//! Identifiers (variable names, constants, predicates) may be arbitrary
+//! non-empty strings: when rendering, every byte outside `[A-Za-z0-9_-]`
+//! is percent-encoded as `%xx` (lowercase hex over the UTF-8 encoding),
+//! and the lexer decodes `%xx` sequences back. A label containing the
+//! grammar's own delimiters — quotes, braces, dots, whitespace, `?`,
+//! `:`, `%` itself — therefore survives `format → parse` unchanged.
 
 use std::fmt::Write as _;
 
@@ -27,33 +34,78 @@ use crate::error::QueryError;
 use crate::simple::{NodeLabel, QueryBuilder, QueryNodeId, SimpleQuery};
 use crate::union::UnionQuery;
 
+/// Percent-encodes an identifier for the concrete syntax: every byte of
+/// the UTF-8 encoding outside `[A-Za-z0-9_-]` becomes `%xx`, so labels
+/// containing quotes, whitespace, the grammar's delimiters, or `%`
+/// itself round-trip through [`parse_union`] unchanged.
+fn escape_ident(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for b in s.bytes() {
+        if b.is_ascii_alphanumeric() || b == b'_' || b == b'-' {
+            out.push(b as char);
+        } else {
+            let _ = write!(out, "%{b:02x}");
+        }
+    }
+    out
+}
+
+/// Decodes one hex digit (either case), or `None` for a non-hex byte.
+fn hex_val(b: u8) -> Option<u8> {
+    match b {
+        b'0'..=b'9' => Some(b - b'0'),
+        b'a'..=b'f' => Some(b - b'a' + 10),
+        b'A'..=b'F' => Some(b - b'A' + 10),
+        _ => None,
+    }
+}
+
+/// Renders one term with its `?`/`:` sigil and an escaped identifier.
+fn term_text(l: &NodeLabel) -> String {
+    match l {
+        NodeLabel::Var(v) => format!("?{}", escape_ident(v)),
+        NodeLabel::Const(c) => format!(":{}", escape_ident(c)),
+    }
+}
+
 /// Renders a simple query as a single `SELECT ... WHERE { ... }` block.
 pub fn format_simple(q: &SimpleQuery) -> String {
     let mut s = String::new();
     let proj = match q.label(q.projected()) {
-        NodeLabel::Var(v) => v,
+        NodeLabel::Var(v) => escape_ident(v),
         NodeLabel::Const(_) => unreachable!("projected node is always a variable"),
     };
     let _ = write!(s, "SELECT ?{proj} WHERE {{");
     let mut items: Vec<String> = Vec::new();
     for e in q.edges() {
-        let triple = format!("{} :{} {}", q.label(e.src), e.pred, q.label(e.dst));
+        let triple = format!(
+            "{} :{} {}",
+            term_text(q.label(e.src)),
+            escape_ident(&e.pred),
+            term_text(q.label(e.dst))
+        );
         if e.optional {
             items.push(format!("OPTIONAL {{ {triple} }}"));
         } else {
             items.push(triple);
         }
     }
-    // A node with no incident edges still has to be mentioned; SPARQL has
-    // no syntax for isolated pattern nodes, so the single-node query is
-    // rendered as a bare variable item (our parser understands it).
-    if q.edges().is_empty() {
-        for n in q.node_ids() {
-            items.push(format!("{}", q.label(n)));
+    // A node with no incident edges still has to be mentioned, even when
+    // other nodes do have edges — the dialect renders it as a bare term
+    // item, which the parser reads back anywhere in the block. (Emitting
+    // these only for edge-free queries silently dropped isolated nodes
+    // from mixed patterns, breaking the round-trip.)
+    for n in q.node_ids() {
+        if q.degree(n) == 0 {
+            items.push(term_text(q.label(n)));
         }
     }
     for &(a, b) in q.diseqs() {
-        items.push(format!("FILTER({} != {})", q.label(a), q.label(b)));
+        items.push(format!(
+            "FILTER({} != {})",
+            term_text(q.label(a)),
+            term_text(q.label(b))
+        ));
     }
     if items.is_empty() {
         s.push_str(" }");
@@ -135,17 +187,31 @@ impl<'a> Lexer<'a> {
         }
     }
 
-    fn ident(&mut self) -> String {
-        let start = self.pos;
+    /// Reads an identifier, decoding `%xx` escapes (the inverse of
+    /// `escape_ident`). A `%` not followed by two hex digits, or an
+    /// escape sequence decoding to invalid UTF-8, is a parse error.
+    fn ident(&mut self) -> Result<String, QueryError> {
+        let mut bytes: Vec<u8> = Vec::new();
         while self.pos < self.src.len() {
             let c = self.src[self.pos];
             if c.is_ascii_alphanumeric() || c == b'_' || c == b'-' {
+                bytes.push(c);
                 self.pos += 1;
+            } else if c == b'%' {
+                let (hi, lo) = match (self.src.get(self.pos + 1), self.src.get(self.pos + 2)) {
+                    (Some(&h), Some(&l)) => (hex_val(h), hex_val(l)),
+                    _ => (None, None),
+                };
+                let (Some(hi), Some(lo)) = (hi, lo) else {
+                    return Err(self.err("`%` must be followed by two hex digits"));
+                };
+                bytes.push((hi << 4) | lo);
+                self.pos += 3;
             } else {
                 break;
             }
         }
-        String::from_utf8_lossy(&self.src[start..self.pos]).into_owned()
+        String::from_utf8(bytes).map_err(|_| self.err("percent-escapes decode to invalid UTF-8"))
     }
 
     fn next(&mut self) -> Result<Option<(usize, Tok)>, QueryError> {
@@ -186,7 +252,7 @@ impl<'a> Lexer<'a> {
             }
             b'?' => {
                 self.pos += 1;
-                let name = self.ident();
+                let name = self.ident()?;
                 if name.is_empty() {
                     return Err(self.err("empty variable name after `?`"));
                 }
@@ -194,14 +260,14 @@ impl<'a> Lexer<'a> {
             }
             b':' => {
                 self.pos += 1;
-                let name = self.ident();
+                let name = self.ident()?;
                 if name.is_empty() {
                     return Err(self.err("empty constant after `:`"));
                 }
                 Tok::Const(name)
             }
             _ if c.is_ascii_alphabetic() => {
-                let word = self.ident();
+                let word = self.ident()?;
                 match word.to_ascii_uppercase().as_str() {
                     "SELECT" => Tok::Select,
                     "WHERE" => Tok::Where,
@@ -537,6 +603,81 @@ mod tests {
     fn case_insensitive_keywords() {
         let q = parse_simple("select ?x where { ?x :p ?y . }").unwrap();
         assert_eq!(q.edge_count(), 1);
+    }
+
+    #[test]
+    fn isolated_nodes_survive_alongside_edges() {
+        // Found by the fuzz harness: the formatter used to emit bare
+        // isolated-node items only for edge-free queries, silently
+        // dropping them from mixed patterns.
+        let src = "SELECT ?x WHERE { ?x :p ?y . ?lone . :alone . }";
+        let q = parse_simple(src).unwrap();
+        assert_eq!(q.node_count(), 4);
+        let text = format_simple(&q);
+        let back = parse_simple(&text).unwrap();
+        assert!(isomorphic(&q, &back), "{text}");
+        assert!(back.node_of_var("lone").is_some());
+        assert!(back.node_of_const("alone").is_some());
+    }
+
+    #[test]
+    fn metacharacter_labels_round_trip() {
+        // One nasty label per metacharacter class: quote, backslash,
+        // newline, the grammar's own delimiters, `%` itself, non-ASCII.
+        let labels = [
+            "with\"quote",
+            "back\\slash",
+            "line\nbreak",
+            "has space",
+            "dot.dot",
+            "brace}close",
+            "brace{open",
+            "question?mark",
+            "colon:sep",
+            "percent%25",
+            "bang!=neq",
+            "emoji\u{1F600}tail",
+            "tab\there",
+        ];
+        for label in labels {
+            let mut b = SimpleQuery::builder();
+            let x = b.var(label);
+            let c = b.constant(label);
+            b.edge(x, label, c).project(x);
+            let q = b.build().unwrap();
+            let text = format_simple(&q);
+            let back = parse_simple(&text)
+                .unwrap_or_else(|e| panic!("label {label:?} failed to re-parse: {e}\n{text}"));
+            assert!(
+                isomorphic(&q, &back),
+                "label {label:?} broke the round-trip"
+            );
+            assert!(
+                back.node_of_const(label).is_some(),
+                "constant {label:?} not preserved"
+            );
+        }
+    }
+
+    #[test]
+    fn escaped_identifiers_decode_in_source_text() {
+        let q = parse_simple("SELECT ?a%20b WHERE { ?a%20b :p%2eq ?y . }").unwrap();
+        let text = format_simple(&q);
+        assert!(text.contains("?a%20b"), "{text}");
+        assert!(text.contains(":p%2eq"), "{text}");
+    }
+
+    #[test]
+    fn malformed_percent_escapes_are_errors() {
+        for src in [
+            "SELECT ?x% WHERE { }",
+            "SELECT ?x%2 WHERE { }",
+            "SELECT ?x%zz WHERE { }",
+            "SELECT ?x WHERE { ?x :p%ff%fe ?y . }",
+        ] {
+            let err = parse_simple(src).unwrap_err();
+            assert!(matches!(err, QueryError::Parse { .. }), "{src}");
+        }
     }
 
     #[test]

@@ -155,12 +155,7 @@ pub fn read_request(r: &mut impl BufRead, max_body: usize) -> Result<Request, Re
             "chunked transfer encoding is not supported; send Content-Length".into(),
         ));
     }
-    let len = match req.header("content-length") {
-        None => 0,
-        Some(v) => v
-            .parse::<usize>()
-            .map_err(|_| ReadError::BadRequest("bad Content-Length".into()))?,
-    };
+    let len = content_length(&req)?;
     if len > max_body {
         return Err(ReadError::BodyTooLarge);
     }
@@ -170,6 +165,50 @@ pub fn read_request(r: &mut impl BufRead, max_body: usize) -> Result<Request, Re
         req.body = body;
     }
     Ok(req)
+}
+
+/// Resolves the request's body length from its `Content-Length`
+/// header(s), treating every ambiguous framing as a hard `400`.
+///
+/// HTTP request smuggling lives in the gaps of lenient length parsing,
+/// so each hostile shape is rejected by name rather than relying on
+/// whatever `str::parse` happens to accept:
+///
+/// - duplicate headers with *conflicting* values (the classic smuggling
+///   vector; identical repeats are allowed per RFC 9110 §8.6),
+/// - values that are not pure ASCII digits — `+4`, `-4`, `4 4`, `0x10`,
+///   and the empty string all fail here (`str::parse::<usize>` would
+///   happily accept a leading `+`),
+/// - values that overflow `u64`/`usize`.
+fn content_length(req: &Request) -> Result<usize, ReadError> {
+    let mut values = req
+        .headers
+        .iter()
+        .filter(|(k, _)| k == "content-length")
+        .map(|(_, v)| v.as_str());
+    let Some(first) = values.next() else {
+        return Ok(0);
+    };
+    if values.any(|v| v != first) {
+        return Err(ReadError::BadRequest(
+            "conflicting duplicate Content-Length headers".into(),
+        ));
+    }
+    if first.is_empty() || !first.bytes().all(|b| b.is_ascii_digit()) {
+        return Err(ReadError::BadRequest(format!(
+            "Content-Length {first:?} is not a non-negative decimal integer"
+        )));
+    }
+    let len: u64 = first.parse().map_err(|_| {
+        ReadError::BadRequest(format!(
+            "Content-Length {first:?} overflows the length type"
+        ))
+    })?;
+    usize::try_from(len).map_err(|_| {
+        ReadError::BadRequest(format!(
+            "Content-Length {first:?} overflows the length type"
+        ))
+    })
 }
 
 /// Reads one CRLF/LF-terminated line as UTF-8 (lossy), enforcing the
@@ -289,6 +328,54 @@ mod tests {
                 matches!(read(bad, 1024), Err(ReadError::BadRequest(_))),
                 "{bad:?} must be a 400"
             );
+        }
+    }
+
+    #[test]
+    fn conflicting_duplicate_content_lengths_are_400() {
+        let r = read(
+            "POST / HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 5\r\n\r\nbody!",
+            1024,
+        );
+        match r {
+            Err(ReadError::BadRequest(msg)) => assert!(msg.contains("conflicting"), "{msg}"),
+            other => panic!("expected BadRequest, got {other:?}"),
+        }
+        // Identical repeats are legal (RFC 9110 §8.6) and framed once.
+        let req = read(
+            "POST / HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 4\r\n\r\nbody",
+            1024,
+        )
+        .unwrap();
+        assert_eq!(req.body, b"body");
+    }
+
+    #[test]
+    fn non_digit_content_lengths_are_400() {
+        for bad in ["+4", "-4", "4x", "0x10", "4 4", "", "٤"] {
+            let r = read(
+                &format!("POST / HTTP/1.1\r\nContent-Length: {bad}\r\n\r\nbody"),
+                1024,
+            );
+            match r {
+                Err(ReadError::BadRequest(msg)) => {
+                    assert!(msg.contains("decimal"), "{bad:?}: {msg}")
+                }
+                other => panic!("{bad:?} must be BadRequest, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn overflowing_content_lengths_are_400() {
+        // One past u64::MAX: all digits, but unrepresentable.
+        let r = read(
+            "POST / HTTP/1.1\r\nContent-Length: 18446744073709551616\r\n\r\n",
+            1024,
+        );
+        match r {
+            Err(ReadError::BadRequest(msg)) => assert!(msg.contains("overflow"), "{msg}"),
+            other => panic!("expected BadRequest, got {other:?}"),
         }
     }
 

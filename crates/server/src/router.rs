@@ -156,6 +156,18 @@ fn body_json(state: &AppState, req: &Request) -> Result<Json, Response> {
     .map_err(|e| Response::error(400, &format!("invalid JSON: {e}")))
 }
 
+/// Strict non-negative decimal parse for untrusted path/query text.
+///
+/// Unlike `str::parse`, this rejects a leading `+`, surrounding
+/// whitespace, and non-ASCII digits, so `+7` or `٧` never aliases a
+/// session id or limit.
+fn strict_decimal(s: &str) -> Option<u64> {
+    if s.is_empty() || !s.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    s.parse().ok()
+}
+
 /// A required string field of a JSON object body.
 fn str_field<'a>(body: &'a Json, key: &str) -> Result<&'a str, Response> {
     body.get(key)
@@ -510,8 +522,8 @@ fn debug_traces(req: &Request) -> Response {
     for pair in req.query.split('&').filter(|s| !s.is_empty()) {
         let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
         if k == "limit" {
-            match v.parse::<usize>() {
-                Ok(n) if (1..=1024).contains(&n) => limit = n,
+            match strict_decimal(v) {
+                Some(n) if (1..=1024).contains(&n) => limit = n as usize,
                 _ => return Response::error(400, "limit must be an integer in 1..=1024"),
             }
         }
@@ -566,15 +578,15 @@ fn trace_json(t: &questpro_trace::TraceRecord) -> Json {
 }
 
 fn delete_session(state: &AppState, id: &str) -> Response {
-    match id.parse::<u64>() {
-        Ok(id) if state.sessions.remove(id) => Response {
+    match strict_decimal(id) {
+        Some(id) if state.sessions.remove(id) => Response {
             status: 204,
             content_type: "application/json",
             body: Vec::new(),
             close: false,
             trace_id: None,
         },
-        Ok(_) | Err(_) => Response::error(404, "no such session"),
+        _ => Response::error(404, "no such session"),
     }
 }
 
@@ -585,7 +597,7 @@ fn with_session(
     id: &str,
     f: impl FnOnce(&Ontology, &mut SessionEntry) -> Response,
 ) -> Response {
-    let Ok(id_num) = id.parse::<u64>() else {
+    let Some(id_num) = strict_decimal(id) else {
         return Response::error(404, "session ids are integers");
     };
     let Some(entry) = state.sessions.get(id_num) else {
@@ -607,7 +619,7 @@ fn session_feedback(state: &AppState, id: &str, req: &Request) -> Response {
     let Some(answer) = body.get("answer").and_then(Json::as_bool) else {
         return Response::error(422, "missing boolean field \"answer\"");
     };
-    let Ok(id_num) = id.parse::<u64>() else {
+    let Some(id_num) = strict_decimal(id) else {
         return Response::error(404, "session ids are integers");
     };
     with_session(state, id, |ont, entry| {
@@ -703,5 +715,60 @@ fn phase_str(p: Phase) -> &'static str {
         Phase::Selecting => "selecting",
         Phase::Refining => "refining",
         Phase::Done => "done",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state() -> AppState {
+        AppState::new(1, 1 << 20, Duration::from_secs(60), 4)
+    }
+
+    fn get(path: &str, query: &str) -> Request {
+        Request {
+            method: "GET".to_string(),
+            path: path.to_string(),
+            query: query.to_string(),
+            headers: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn strict_decimal_rejects_lenient_integer_forms() {
+        assert_eq!(strict_decimal("7"), Some(7));
+        assert_eq!(strict_decimal("0"), Some(0));
+        for bad in ["+7", "-7", " 7", "7 ", "", "٧", "7a", "0x7"] {
+            assert_eq!(strict_decimal(bad), None, "{bad:?}");
+        }
+        // Overflow is a rejection, not a wrap.
+        assert_eq!(strict_decimal("18446744073709551616"), None);
+    }
+
+    #[test]
+    fn plus_prefixed_trace_limits_are_400() {
+        let st = state();
+        for q in ["limit=+5", "limit=%", "limit= 5", "limit=0", "limit=1025"] {
+            let resp = route(&st, &get("/debug/traces", q));
+            assert_eq!(resp.status, 400, "{q}");
+        }
+        let resp = route(&st, &get("/debug/traces", "limit=5"));
+        assert_eq!(resp.status, 200);
+    }
+
+    #[test]
+    fn plus_prefixed_session_ids_are_404_not_aliases() {
+        let st = state();
+        for id in ["+1", " 1", "1 ", "-1", "0x1"] {
+            let resp = route(&st, &get(&format!("/sessions/{id}"), ""));
+            assert_eq!(resp.status, 404, "{id}");
+            let del = Request {
+                method: "DELETE".to_string(),
+                ..get(&format!("/sessions/{id}"), "")
+            };
+            assert_eq!(route(&st, &del).status, 404, "{id}");
+        }
     }
 }

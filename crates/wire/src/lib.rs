@@ -92,9 +92,10 @@ impl Json {
         }
     }
 
-    /// The numeric payload as a `usize` (see [`Json::as_u64`]).
+    /// The numeric payload as a `usize` (see [`Json::as_u64`]); `None`
+    /// when the value does not fit the platform's `usize`.
     pub fn as_usize(&self) -> Option<usize> {
-        self.as_u64().map(|n| n as usize)
+        self.as_u64().and_then(|n| usize::try_from(n).ok())
     }
 
     /// The boolean payload, if this is a boolean.
@@ -497,16 +498,16 @@ impl Parser<'_> {
                 }
                 Some(_) => {
                     // Consume one complete UTF-8 scalar (input is &str,
-                    // so boundaries are trustworthy).
+                    // so boundaries are trustworthy; a typed error keeps
+                    // this input-reachable path panic-free regardless).
                     let start = self.pos;
                     self.pos += 1;
                     while self.pos < self.bytes.len() && (self.bytes[self.pos] & 0xC0) == 0x80 {
                         self.pos += 1;
                     }
-                    s.push_str(
-                        std::str::from_utf8(&self.bytes[start..self.pos])
-                            .expect("input slice is valid UTF-8"),
-                    );
+                    let chunk = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| self.err("invalid UTF-8 inside string"))?;
+                    s.push_str(chunk);
                 }
             }
         }
@@ -564,10 +565,17 @@ impl Parser<'_> {
             }
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos])
-            .expect("number spans ASCII bytes only");
+            .map_err(|_| self.err("number contains non-ASCII bytes"))?;
         let n: f64 = text
             .parse()
             .map_err(|_| self.err(format!("unrepresentable number {text:?}")))?;
+        // `f64::from_str` saturates out-of-range literals to ±inf, but
+        // JSON has no infinity: the value could never be re-serialized
+        // (the writer would emit `null`), silently breaking round-trips.
+        // Reject at the source instead.
+        if !n.is_finite() {
+            return Err(self.err(format!("number {text:?} is out of range for an f64")));
+        }
         Ok(Json::Num(n))
     }
 }
@@ -618,6 +626,38 @@ mod tests {
         assert_eq!(v.as_str(), Some("\u{1F600}"));
         assert!(parse(r#""\ud83d""#).is_err());
         assert!(parse(r#""\ude00""#).is_err());
+    }
+
+    #[test]
+    fn broken_surrogate_escapes_are_errors_not_garbage() {
+        // Every way a surrogate escape can go wrong must be a clean
+        // ParseError \u2014 no panic, no U+FFFD replacement smuggled into the
+        // value (which would silently break round-trips).
+        for text in [
+            r#""\ud83dA""#,      // high surrogate followed by a raw char
+            r#""\uD800\n""#,     // high surrogate followed by another escape
+            r#""\ud83d\ud83d""#, // high followed by high
+            r#""\ude00\ud83d""#, // pair in the wrong order
+            r#""\ud83d\u0041""#, // high followed by a non-surrogate \u
+            r#""\ud83d\uzz00""#, // high followed by bad hex
+            r#""\ud83d"#,        // high surrogate at end of input
+            r#""\udfff""#,       // lone low surrogate, upper edge
+        ] {
+            let r = parse(text);
+            assert!(r.is_err(), "{text} must fail, got {r:?}");
+        }
+    }
+
+    #[test]
+    fn out_of_range_numbers_are_rejected() {
+        // f64::from_str saturates to infinity; the parser must not let
+        // an unserializable value through.
+        for text in ["1e999", "-1e999", "1e309", "123456789e400"] {
+            let err = parse(text).unwrap_err();
+            assert!(err.message.contains("out of range"), "{text}: {err}");
+        }
+        // The largest finite f64 still parses.
+        assert!(parse("1.7976931348623157e308").unwrap().as_f64().unwrap() < f64::INFINITY);
     }
 
     #[test]

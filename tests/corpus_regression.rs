@@ -1,0 +1,156 @@
+//! Replays the committed fuzz corpus (`tests/corpus/<surface>/`)
+//! through each input surface's parser and asserts the verdict that
+//! was recorded when the reproducer was minimized, so a bug fixed by
+//! the fuzzing sweep can never silently regress.
+//!
+//! Each surface directory carries a `MANIFEST` with one line per file:
+//!
+//! ```text
+//! <filename> ok                  # must parse and round-trip
+//! <filename> err:<substring>     # must fail, error mentions substring
+//! ```
+//!
+//! The manifest is checked for drift in both directions: every listed
+//! file must exist, and every committed file must be listed.
+
+use std::fs;
+use std::io::BufReader;
+use std::path::{Path, PathBuf};
+
+use questpro::graph::triples;
+use questpro::query::iso::union_isomorphic;
+use questpro::query::sparql;
+
+/// One parsed `MANIFEST` line.
+struct Entry {
+    file: String,
+    verdict: Verdict,
+}
+
+enum Verdict {
+    Ok,
+    Err(String),
+}
+
+fn corpus_dir(surface: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/corpus")
+        .join(surface)
+}
+
+/// Loads a surface's manifest and checks it against the directory
+/// contents (no unlisted files, no missing files).
+fn manifest(surface: &str) -> Vec<Entry> {
+    let dir = corpus_dir(surface);
+    let text = fs::read_to_string(dir.join("MANIFEST"))
+        .unwrap_or_else(|e| panic!("corpus {surface}: missing MANIFEST: {e}"));
+    let mut entries = Vec::new();
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        let (file, verdict) = line
+            .split_once(' ')
+            .unwrap_or_else(|| panic!("corpus {surface}: malformed manifest line {line:?}"));
+        let verdict = match verdict.strip_prefix("err:") {
+            Some(sub) => Verdict::Err(sub.to_string()),
+            None => {
+                assert_eq!(verdict, "ok", "corpus {surface}: bad verdict in {line:?}");
+                Verdict::Ok
+            }
+        };
+        assert!(
+            dir.join(file).is_file(),
+            "corpus {surface}: manifest lists {file} but the file is missing"
+        );
+        entries.push(Entry {
+            file: file.to_string(),
+            verdict,
+        });
+    }
+    for dirent in fs::read_dir(&dir).expect("corpus dir") {
+        let name = dirent.expect("dirent").file_name();
+        let name = name.to_string_lossy();
+        if name == "MANIFEST" {
+            continue;
+        }
+        assert!(
+            entries.iter().any(|e| e.file == name),
+            "corpus {surface}: {name} is committed but not listed in MANIFEST"
+        );
+    }
+    assert!(!entries.is_empty(), "corpus {surface}: empty manifest");
+    entries
+}
+
+/// Runs every entry of a surface through `replay`, which returns
+/// `Ok(())` on accept or the error's display text on reject.
+fn check(surface: &str, replay: impl Fn(&[u8]) -> Result<(), String>) {
+    for entry in manifest(surface) {
+        let bytes = fs::read(corpus_dir(surface).join(&entry.file)).expect("corpus file");
+        let got = replay(&bytes);
+        match (&entry.verdict, &got) {
+            (Verdict::Ok, Ok(())) => {}
+            (Verdict::Err(sub), Err(msg)) => assert!(
+                msg.contains(sub.as_str()),
+                "corpus {surface}/{}: error {msg:?} does not mention {sub:?}",
+                entry.file
+            ),
+            _ => panic!(
+                "corpus {surface}/{}: expected {}, got {got:?}",
+                entry.file,
+                match &entry.verdict {
+                    Verdict::Ok => "ok".to_string(),
+                    Verdict::Err(sub) => format!("err:{sub}"),
+                },
+            ),
+        }
+    }
+}
+
+#[test]
+fn wire_corpus_replays_to_recorded_verdicts() {
+    check("wire", |bytes| {
+        let text = std::str::from_utf8(bytes).map_err(|e| e.to_string())?;
+        let v = questpro_wire::parse(text).map_err(|e| e.to_string())?;
+        let again = questpro_wire::parse(&v.to_text()).map_err(|e| e.to_string())?;
+        if again != v {
+            return Err("serialize/parse round-trip changed the value".into());
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn sparql_corpus_replays_to_recorded_verdicts() {
+    check("sparql", |bytes| {
+        let text = std::str::from_utf8(bytes).map_err(|e| e.to_string())?;
+        let q = sparql::parse_union(text).map_err(|e| e.to_string())?;
+        let again = sparql::parse_union(&sparql::format_union(&q)).map_err(|e| e.to_string())?;
+        if !union_isomorphic(&q, &again) {
+            return Err("format/parse round-trip changed the query".into());
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn triples_corpus_replays_to_recorded_verdicts() {
+    check("triples", |bytes| {
+        let text = std::str::from_utf8(bytes).map_err(|e| e.to_string())?;
+        let ont = triples::parse(text).map_err(|e| e.to_string())?;
+        let first = triples::serialize(&ont);
+        let again = triples::parse(&first).map_err(|e| e.to_string())?;
+        if triples::serialize(&again) != first {
+            return Err("serialize/parse round-trip changed the ontology".into());
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn http_corpus_replays_to_recorded_verdicts() {
+    check("http", |bytes| {
+        let mut reader = BufReader::new(bytes);
+        questpro_server::http::read_request(&mut reader, 1 << 20)
+            .map(|_| ())
+            .map_err(|e| format!("{e:?}"))
+    });
+}
