@@ -19,6 +19,9 @@
 //! * `--trace-overhead` — measure the cost of a *disabled* span and
 //!   assert the instrumentation adds < 5% to the 1-thread wall time
 //!   (the CI `trace-overhead` smoke gate).
+//! * `--log-overhead` — measure the cost of a *disabled* structured-log
+//!   `emit` and assert the event instrumentation adds < 1% to the
+//!   1-thread wall time (the CI `log-overhead` smoke gate).
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -233,6 +236,79 @@ fn main() {
     if trace_json.is_some() || trace_overhead {
         trace_section(&picked, &worlds, &cells, trials, trace_json, trace_overhead);
     }
+    if cli_switch("--log-overhead") {
+        log_section(&picked, &worlds, &cells, trials);
+    }
+}
+
+/// Disabled-logging overhead gate: cost of one level-gated `emit` that
+/// loses the threshold check, scaled by how many events a fully enabled
+/// `trace`-level run of the same query would emit, against the untraced
+/// 1-thread wall from the sweep. The PR contract is < 1% — tighter than
+/// the 5% tracing budget because every emit site is a single relaxed
+/// atomic load when logging is off.
+fn log_section(
+    picked: &[&WorkloadQuery],
+    worlds: &questpro_bench::Worlds,
+    cells: &[Cell],
+    trials: u64,
+) {
+    use questpro_log::Level;
+
+    // How chatty is a fully enabled run? Count real accepted events at
+    // the most verbose level, per query.
+    questpro_log::set_level(Some(Level::Trace));
+    let mut counts: Vec<(String, f64)> = Vec::new();
+    for w in picked {
+        let ont = worlds.for_kind(w.kind);
+        let before = questpro_log::emitted_total();
+        let _ = run_one(ont, w, 1, trials);
+        questpro_log::flush();
+        let events = questpro_log::emitted_total() - before;
+        counts.push((w.id.to_string(), events as f64 / trials as f64));
+    }
+    questpro_log::set_level(None);
+
+    // The inert path: level below threshold, so emit returns after one
+    // relaxed load without formatting, allocating, or locking.
+    const ITERS: u32 = 1_000_000;
+    let t0 = Instant::now();
+    for _ in 0..ITERS {
+        questpro_log::emit(
+            Level::Trace,
+            "bench.overhead",
+            std::hint::black_box("inert"),
+            Vec::new(),
+        );
+    }
+    let ns_per_emit = t0.elapsed().as_nanos() as f64 / f64::from(ITERS);
+
+    let mut worst_pct = 0.0f64;
+    let mut worst_events = 0.0f64;
+    for (id, events_per_run) in &counts {
+        let Some(wall_ms) = cells
+            .iter()
+            .find(|c| &c.query == id && c.threads == 1)
+            .map(|c| c.wall_ms)
+        else {
+            continue;
+        };
+        let pct = 100.0 * (events_per_run * ns_per_emit / 1e6) / wall_ms.max(0.001);
+        if pct > worst_pct {
+            worst_pct = pct;
+            worst_events = *events_per_run;
+        }
+    }
+    println!(
+        "Disabled-logging overhead: {ns_per_emit:.2} ns/emit, worst case \
+         {worst_events:.0} event site(s) per run = {worst_pct:.4}% of wall."
+    );
+    assert!(
+        worst_pct < 1.0,
+        "disabled-logging overhead {worst_pct:.4}% breaches the 1% budget \
+         ({ns_per_emit:.2} ns/emit x {worst_events:.0} events)"
+    );
+    println!("Log-overhead gate passed (< 1%).");
 }
 
 /// One traced run per query (B3): per-stage self-time breakdowns, plus

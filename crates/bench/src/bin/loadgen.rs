@@ -12,6 +12,10 @@
 //!   LOADGEN_TINY=1      smoke mode: 2 clients × 3 requests (CI).
 //!
 //! Flags (all optional): --clients N --requests N --workers N --out PATH
+//!   --routes-out PATH   also scrape `/metrics` after the run and write
+//!                       per-route p50/p95/p99 latency quantiles (read
+//!                       off the `questpro_route_duration_ns` log2
+//!                       histograms) as a B5 JSON report.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -24,6 +28,7 @@ fn main() {
     let mut requests = 25usize;
     let mut workers = 8usize;
     let mut out_path = String::from("BENCH_2.json");
+    let mut routes_out: Option<String> = None;
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
@@ -34,6 +39,7 @@ fn main() {
             "--requests" => requests = num(value).unwrap_or(requests).max(1),
             "--workers" => workers = num(value).unwrap_or(workers).max(1),
             "--out" => out_path = value.cloned().unwrap_or(out_path),
+            "--routes-out" => routes_out = value.cloned(),
             other => {
                 eprintln!("loadgen: unknown flag {other:?}");
                 std::process::exit(2);
@@ -99,6 +105,9 @@ fn main() {
     // view before shutdown so the report records the tracing pipeline
     // worked end to end under load.
     let (traces_seen, traces_dropped) = fetch_trace_stats(addr);
+    let route_report = routes_out
+        .as_ref()
+        .map(|_| fetch_route_quantiles(addr, clients, requests, workers));
     handle.join();
 
     latencies_us.sort_unstable();
@@ -140,6 +149,11 @@ fn main() {
     std::fs::write(&out_path, &json).expect("writing the bench report");
     eprintln!("loadgen: wrote {out_path}");
     print!("{json}");
+    if let (Some(path), Some(report)) = (&routes_out, &route_report) {
+        std::fs::write(path, report).expect("writing the route-quantile report");
+        eprintln!("loadgen: wrote {path}");
+        print!("{report}");
+    }
     assert_eq!(errors, 0, "every request must succeed");
     assert_eq!(
         mismatches, 0,
@@ -182,6 +196,121 @@ fn fetch_trace_stats(addr: SocketAddr) -> (usize, u64) {
         .and_then(questpro_wire::Json::as_u64)
         .unwrap_or(0);
     (seen, dropped)
+}
+
+/// One route's cumulative histogram as scraped off `/metrics`.
+#[derive(Default)]
+struct RouteHist {
+    /// `(le_ns, cumulative_count)` for every finite bucket, in order.
+    buckets: Vec<(u64, u64)>,
+    count: u64,
+    sum_ns: u64,
+}
+
+/// Scrapes `/metrics` and renders the B5 per-route quantile report.
+///
+/// A log2 histogram cannot produce exact quantiles, so each reported
+/// value is the *upper bound* of the first bucket whose cumulative
+/// count reaches `ceil(q * count)` — a ≤ 2× overestimate by
+/// construction, and the same convention Prometheus'
+/// `histogram_quantile` uses for its highest bucket.
+fn fetch_route_quantiles(
+    addr: SocketAddr,
+    clients: usize,
+    requests: usize,
+    workers: usize,
+) -> String {
+    let scrape = fetch_metrics(addr).unwrap_or_default();
+    let mut routes: Vec<(String, RouteHist)> = Vec::new();
+    fn entry<'a>(routes: &'a mut Vec<(String, RouteHist)>, route: &str) -> &'a mut RouteHist {
+        if let Some(i) = routes.iter().position(|(r, _)| r == route) {
+            &mut routes[i].1
+        } else {
+            routes.push((route.to_string(), RouteHist::default()));
+            &mut routes.last_mut().expect("just pushed").1
+        }
+    }
+    for line in scrape.lines() {
+        let Some(rest) = line.strip_prefix("questpro_route_duration_ns") else {
+            continue;
+        };
+        let Some((labels, value)) = rest.rsplit_once(' ') else {
+            continue;
+        };
+        if let Some(labels) = labels.strip_prefix("_bucket{route=\"") {
+            let Some((route, le)) = labels.split_once("\",le=\"") else {
+                continue;
+            };
+            let le = le.trim_end_matches("\"}");
+            if le == "+Inf" {
+                continue; // `_count` already carries the total.
+            }
+            if let (Ok(le), Ok(cum)) = (le.parse::<u64>(), value.parse::<u64>()) {
+                entry(&mut routes, route).buckets.push((le, cum));
+            }
+        } else if let Some(route) = labels
+            .strip_prefix("_count{route=\"")
+            .map(|l| l.trim_end_matches("\"}"))
+        {
+            entry(&mut routes, route).count = value.parse().unwrap_or(0);
+        } else if let Some(route) = labels
+            .strip_prefix("_sum{route=\"")
+            .map(|l| l.trim_end_matches("\"}"))
+        {
+            entry(&mut routes, route).sum_ns = value.parse().unwrap_or(0);
+        }
+    }
+
+    let quantile_ns = |h: &RouteHist, q: f64| -> u64 {
+        let target = (q * h.count as f64).ceil().max(1.0) as u64;
+        for &(le, cum) in &h.buckets {
+            if cum >= target {
+                return le;
+            }
+        }
+        h.buckets.last().map_or(0, |&(le, _)| le)
+    };
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"B5 per-route latency quantiles (questpro_route_duration_ns log2 histograms)\",\n");
+    json.push_str(&format!(
+        "  \"config\": {{\"clients\": {clients}, \"requests_per_client\": {requests}, \"server_workers\": {workers}, \"host_cpus\": {}}},\n",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    ));
+    json.push_str("  \"note\": \"quantiles are bucket upper bounds (<= 2x overestimates)\",\n");
+    json.push_str("  \"routes\": [\n");
+    let active: Vec<&(String, RouteHist)> = routes.iter().filter(|(_, h)| h.count > 0).collect();
+    for (i, (route, h)) in active.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"route\": \"{}\", \"count\": {}, \"mean_us\": {:.1}, \
+             \"p50_us\": {:.1}, \"p95_us\": {:.1}, \"p99_us\": {:.1}}}",
+            route.replace('\\', "\\\\").replace('"', "\\\""),
+            h.count,
+            h.sum_ns as f64 / h.count as f64 / 1e3,
+            quantile_ns(h, 0.50) as f64 / 1e3,
+            quantile_ns(h, 0.95) as f64 / 1e3,
+            quantile_ns(h, 0.99) as f64 / 1e3,
+        ));
+        json.push_str(if i + 1 == active.len() { "\n" } else { ",\n" });
+    }
+    json.push_str("  ]\n}\n");
+    json
+}
+
+/// Fetches the raw `/metrics` scrape text from the live server.
+fn fetch_metrics(addr: SocketAddr) -> Option<String> {
+    let stream = TcpStream::connect(addr).ok()?;
+    let mut writer = stream.try_clone().ok()?;
+    let mut reader = BufReader::new(stream);
+    write!(
+        writer,
+        "GET /metrics HTTP/1.1\r\nHost: loadgen\r\nConnection: close\r\n\r\n"
+    )
+    .and_then(|()| writer.flush())
+    .ok()?;
+    let (status, body) = read_response(&mut reader)?;
+    (status == 200).then_some(body)
 }
 
 struct ClientOutcome {

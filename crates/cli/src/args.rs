@@ -24,11 +24,19 @@ USAGE:
   questpro diagnose --ontology FILE --examples FILE
   questpro serve    [--port N | --addr HOST:PORT] [--workers N] [--queue N]
                     [--threads N] [--max-sessions N] [--idle-secs N]
+                    [--log-file FILE] [--log-level LEVEL] [--slow-ms N]
                     (HTTP/JSON service; stops on POST /shutdown or terminal EOF)
   questpro trace    (--world <sp2b|bsbm|movies> [--query-id ID]
                     | --ontology FILE --query FILE)
                     [--examples N] [--k N] [--seed N] [--threads N] [--refine]
-                    (profile one full inference run; prints the span tree)
+                    [--chrome FILE]
+                    (profile one full inference run; prints the span tree;
+                    --chrome also writes Chrome trace-event JSON for
+                    chrome://tracing / Perfetto)
+  questpro logs     --file FILE [--level LEVEL] [--target T] [--trace-id N]
+                    [--limit N]
+                    (tail/filter a JSON-lines event log written by
+                    `serve --log-file`; LEVEL is trace|debug|info|warn|error)
   questpro fuzz     (--surface <wire|sparql|triples|http> | --all)
                     [--seed N] [--iters N]
                     (deterministic fuzzing of the input parsers; exits
@@ -61,6 +69,8 @@ pub enum Command {
     Serve(ServeArgs),
     /// `questpro trace`.
     Trace(TraceArgs),
+    /// `questpro logs`.
+    Logs(LogsArgs),
     /// `questpro fuzz`.
     Fuzz(FuzzArgs),
 }
@@ -179,6 +189,12 @@ pub struct ServeArgs {
     pub max_sessions: usize,
     /// Idle-session eviction window, seconds.
     pub idle_secs: u64,
+    /// JSON-lines sink path for the structured event log, if any.
+    pub log_file: Option<String>,
+    /// Minimum level kept by the event log (default `info`).
+    pub log_level: Option<String>,
+    /// Slow-query log threshold in milliseconds (0 disables it).
+    pub slow_ms: u64,
 }
 
 /// Arguments of `questpro trace`.
@@ -203,6 +219,23 @@ pub struct TraceArgs {
     pub threads: usize,
     /// Whether to run disequality refinement.
     pub refine: bool,
+    /// Path for a Chrome trace-event JSON export, if any.
+    pub chrome: Option<String>,
+}
+
+/// Arguments of `questpro logs`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogsArgs {
+    /// JSON-lines log file to read (written by `serve --log-file`).
+    pub file: String,
+    /// Minimum level to keep (`trace|debug|info|warn|error`).
+    pub level: Option<String>,
+    /// Keep only events with this exact target.
+    pub target: Option<String>,
+    /// Keep only events joined to this trace ID.
+    pub trace_id: Option<u64>,
+    /// Print at most the last N matching events.
+    pub limit: usize,
 }
 
 /// Arguments of `questpro fuzz`.
@@ -237,6 +270,9 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
         return Err(CliError::Usage(format!("missing subcommand\n\n{USAGE}")));
     };
     let flags = Flags::parse(rest)?;
+    if let Some((_, allowed)) = KNOWN_FLAGS.iter().find(|(name, _)| name == sub) {
+        flags.check(sub, allowed)?;
+    }
     match sub.as_str() {
         "generate" => Ok(Command::Generate(GenerateArgs {
             world: flags.require("world")?,
@@ -293,6 +329,9 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
                 threads: flags.num("threads", 1)?.max(1) as usize,
                 max_sessions: flags.num("max-sessions", 64)?.max(1) as usize,
                 idle_secs: flags.num("idle-secs", 1_800)?.max(1),
+                log_file: flags.get("log-file"),
+                log_level: flags.get("log-level"),
+                slow_ms: flags.num("slow-ms", 500)?,
             }))
         }
         "explore" => Ok(Command::Explore(ExploreArgs {
@@ -310,6 +349,18 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
             seed: flags.num("seed", 0)?,
             threads: flags.num("threads", 1)?.max(1) as usize,
             refine: flags.switch("refine"),
+            chrome: flags.get("chrome"),
+        })),
+        "logs" => Ok(Command::Logs(LogsArgs {
+            file: flags.require("file")?,
+            level: flags.get("level"),
+            target: flags.get("target"),
+            trace_id: flags
+                .get("trace-id")
+                .map(|v| v.parse())
+                .transpose()
+                .map_err(|_| CliError::Usage("--trace-id expects an integer".to_string()))?,
+            limit: flags.num("limit", 64)?.max(1) as usize,
         })),
         "fuzz" => {
             let args = FuzzArgs {
@@ -347,6 +398,63 @@ const SWITCHES: &[&str] = &[
     "all",
 ];
 
+/// Per-subcommand flag allowlists. A flag outside its subcommand's list
+/// — or any flag given twice — is a hard usage error, never silently
+/// ignored.
+const KNOWN_FLAGS: &[(&str, &[&str])] = &[
+    ("generate", &["world", "out", "seed"]),
+    (
+        "eval",
+        &[
+            "ontology",
+            "query",
+            "provenance",
+            "limit",
+            "polynomial",
+            "threads",
+        ],
+    ),
+    (
+        "infer",
+        &[
+            "ontology", "examples", "k", "w1", "w2", "diseqs", "optional", "minimize", "threads",
+        ],
+    ),
+    ("sample", &["ontology", "query", "n", "seed", "result"]),
+    (
+        "session",
+        &[
+            "ontology", "examples", "target", "k", "seed", "refine", "threads",
+        ],
+    ),
+    ("diagnose", &["ontology", "examples"]),
+    (
+        "serve",
+        &[
+            "port",
+            "addr",
+            "workers",
+            "queue",
+            "threads",
+            "max-sessions",
+            "idle-secs",
+            "log-file",
+            "log-level",
+            "slow-ms",
+        ],
+    ),
+    ("explore", &["ontology", "node", "depth"]),
+    (
+        "trace",
+        &[
+            "world", "query-id", "ontology", "query", "examples", "k", "seed", "threads", "refine",
+            "chrome",
+        ],
+    ),
+    ("logs", &["file", "level", "target", "trace-id", "limit"]),
+    ("fuzz", &["surface", "all", "seed", "iters"]),
+];
+
 impl Flags {
     fn parse(rest: &[String]) -> Result<Self, CliError> {
         let mut pairs = Vec::new();
@@ -366,6 +474,28 @@ impl Flags {
             }
         }
         Ok(Self { pairs })
+    }
+
+    /// Rejects unknown and duplicated flags for `sub` against its
+    /// allowlist.
+    fn check(&self, sub: &str, allowed: &[&str]) -> Result<(), CliError> {
+        for (i, (name, _)) in self.pairs.iter().enumerate() {
+            if !allowed.contains(&name.as_str()) {
+                let expected: Vec<String> = allowed.iter().map(|f| format!("--{f}")).collect();
+                return Err(CliError::Usage(format!(
+                    "unknown flag --{name} for `questpro {sub}` (expected one of: {})\n\n\
+                     run `questpro help` for the full usage",
+                    expected.join(", ")
+                )));
+            }
+            if self.pairs[..i].iter().any(|(n, _)| n == name) {
+                return Err(CliError::Usage(format!(
+                    "flag --{name} given more than once for `questpro {sub}`\n\n\
+                     run `questpro help` for the full usage"
+                )));
+            }
+        }
+        Ok(())
     }
 
     fn get(&self, name: &str) -> Option<String> {
@@ -526,5 +656,109 @@ mod tests {
     fn help_prints_usage() {
         let err = parse(&argv("help")).unwrap_err();
         assert!(err.to_string().contains("questpro generate"));
+    }
+
+    #[test]
+    fn unknown_flag_is_a_hard_error_with_a_hint() {
+        let err = parse(&argv("trace --world sp2b --frobnicate 3")).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("unknown flag --frobnicate"), "{msg}");
+        assert!(
+            msg.contains("--query-id"),
+            "hint lists the real flags: {msg}"
+        );
+        assert!(msg.contains("questpro help"), "{msg}");
+
+        let err = parse(&argv("fuzz --all --sneed 7")).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("unknown flag --sneed"), "{msg}");
+        assert!(msg.contains("`questpro fuzz`"), "{msg}");
+
+        // Every subcommand is covered, not just trace/fuzz.
+        for cmd in [
+            "generate --world sp2b --out w --bogus x",
+            "eval --ontology o --query q --bogus x",
+            "infer --ontology o --examples e --bogus x",
+            "sample --ontology o --query q --bogus x",
+            "session --ontology o --examples e --bogus x",
+            "diagnose --ontology o --examples e --bogus x",
+            "serve --bogus x",
+            "explore --ontology o --node n --bogus x",
+            "logs --file f --bogus x",
+        ] {
+            let err = parse(&argv(cmd)).unwrap_err();
+            assert!(
+                err.to_string().contains("unknown flag --bogus"),
+                "{cmd}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn duplicated_flag_is_a_hard_error() {
+        let err = parse(&argv("trace --world sp2b --seed 1 --seed 2")).unwrap_err();
+        assert!(
+            err.to_string().contains("--seed given more than once"),
+            "{err}"
+        );
+        let err = parse(&argv("fuzz --all --iters 5 --iters 9")).unwrap_err();
+        assert!(
+            err.to_string().contains("--iters given more than once"),
+            "{err}"
+        );
+        // Repeated switches count too.
+        let err = parse(&argv("fuzz --all --all")).unwrap_err();
+        assert!(
+            err.to_string().contains("--all given more than once"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn parses_trace_with_chrome_export() {
+        let cmd = parse(&argv("trace --world sp2b --chrome out.json")).unwrap();
+        match cmd {
+            Command::Trace(t) => assert_eq!(t.chrome.as_deref(), Some("out.json")),
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_logs_with_filters() {
+        let cmd = parse(&argv(
+            "logs --file app.log --level warn --target server.access --trace-id 42 --limit 5",
+        ))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Logs(LogsArgs {
+                file: "app.log".into(),
+                level: Some("warn".into()),
+                target: Some("server.access".into()),
+                trace_id: Some(42),
+                limit: 5,
+            })
+        );
+        // --file is required; --trace-id must be numeric.
+        let err = parse(&argv("logs --level warn")).unwrap_err();
+        assert!(err.to_string().contains("--file"), "{err}");
+        let err = parse(&argv("logs --file f --trace-id abc")).unwrap_err();
+        assert!(err.to_string().contains("integer"), "{err}");
+    }
+
+    #[test]
+    fn parses_serve_logging_flags() {
+        let cmd = parse(&argv(
+            "serve --log-file s.log --log-level debug --slow-ms 250",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Serve(s) => {
+                assert_eq!(s.log_file.as_deref(), Some("s.log"));
+                assert_eq!(s.log_level.as_deref(), Some("debug"));
+                assert_eq!(s.slow_ms, 250);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
     }
 }

@@ -587,6 +587,7 @@ pub mod trace {
     /// Runs the command.
     pub fn run(args: &TraceArgs) -> Result<String, CliError> {
         let (ont, target, label) = load(args)?;
+        let chrome = args.chrome.clone();
         questpro_trace::set_enabled(true);
         let trace = questpro_trace::begin(label)
             .ok_or_else(|| CliError::Input("a trace is already active on this thread".into()))?;
@@ -612,6 +613,13 @@ pub mod trace {
         let rec = trace.finish();
 
         let mut out = rec.render_tree();
+        if let Some(path) = &chrome {
+            std::fs::write(path, rec.to_chrome_json()).map_err(|e| CliError::io(path, e))?;
+            let _ = writeln!(
+                out,
+                "\nwrote Chrome trace-event JSON to {path} (load in chrome://tracing or Perfetto)"
+            );
+        }
         let _ = writeln!(out, "\nstage totals (by self time):");
         for (name, calls, ns) in rec.stage_totals() {
             let _ = writeln!(
@@ -628,6 +636,212 @@ pub mod trace {
             result.query
         );
         Ok(out)
+    }
+}
+
+pub mod logs {
+    //! `questpro logs` — tail and filter a structured JSON-lines event
+    //! log (the file written by `questpro serve --log-file`).
+    //!
+    //! Every line is parsed with the wire-format parser; lines that are
+    //! not valid JSON are counted and reported rather than crashing the
+    //! tail, so a log truncated mid-write is still readable.
+
+    use std::fmt::Write as _;
+
+    use questpro_log::Level;
+    use questpro_wire::Json;
+
+    use crate::args::LogsArgs;
+    use crate::error::CliError;
+
+    /// Does one parsed event pass the requested filters?
+    fn keep(
+        event: &Json,
+        min_level: Option<Level>,
+        target: Option<&str>,
+        trace_id: Option<u64>,
+    ) -> bool {
+        if let Some(min) = min_level {
+            let level = event
+                .get("level")
+                .and_then(Json::as_str)
+                .and_then(Level::parse);
+            if level.is_none_or(|l| l < min) {
+                return false;
+            }
+        }
+        if let Some(want) = target {
+            if event.get("target").and_then(Json::as_str) != Some(want) {
+                return false;
+            }
+        }
+        if let Some(id) = trace_id {
+            if event.get("trace_id").and_then(Json::as_u64) != Some(id) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Runs the command.
+    pub fn run(args: &LogsArgs) -> Result<String, CliError> {
+        let min_level = match &args.level {
+            None => None,
+            Some(s) => Some(Level::parse(s).ok_or_else(|| {
+                CliError::Usage(format!(
+                    "--level expects trace|debug|info|warn|error, got {s:?}"
+                ))
+            })?),
+        };
+        let text = std::fs::read_to_string(&args.file).map_err(|e| CliError::io(&args.file, e))?;
+        let mut kept: Vec<&str> = Vec::new();
+        let mut malformed = 0usize;
+        for line in text.lines().filter(|l| !l.trim().is_empty()) {
+            match questpro_wire::parse(line) {
+                Ok(ev) if keep(&ev, min_level, args.target.as_deref(), args.trace_id) => {
+                    kept.push(line);
+                }
+                Ok(_) => {}
+                Err(_) => malformed += 1,
+            }
+        }
+        let mut out = String::new();
+        // Tail semantics: the LAST `limit` matching events, oldest first.
+        let matched = kept.len();
+        for line in kept.into_iter().skip(matched.saturating_sub(args.limit)) {
+            let _ = writeln!(out, "{line}");
+        }
+        let _ = writeln!(
+            out,
+            "# {matched} matching event(s){}",
+            if malformed > 0 {
+                format!(", {malformed} malformed line(s) skipped")
+            } else {
+                String::new()
+            }
+        );
+        Ok(out)
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        /// Writes `lines` to a unique temp file and returns its path.
+        fn log_file(name: &str, lines: &str) -> String {
+            let path = std::env::temp_dir().join(format!("questpro-logs-test-{name}.jsonl"));
+            std::fs::write(&path, lines).unwrap();
+            path.to_string_lossy().into_owned()
+        }
+
+        fn event(seq: u64, level: &str, target: &str, trace_id: Option<u64>) -> String {
+            let mut pairs = vec![
+                ("seq", Json::Num(seq as f64)),
+                ("ts_ms", Json::Num(1.0)),
+                ("level", Json::str(level)),
+                ("target", Json::str(target)),
+                ("msg", Json::str("m")),
+            ];
+            if let Some(id) = trace_id {
+                pairs.push(("trace_id", Json::Num(id as f64)));
+            }
+            Json::obj(pairs).to_text()
+        }
+
+        #[test]
+        fn filters_by_level_target_and_trace_id() {
+            let lines = [
+                event(1, "info", "server.access", Some(7)),
+                event(2, "warn", "server.slow", Some(7)),
+                event(3, "error", "server.panic", Some(9)),
+                event(4, "debug", "engine.match", None),
+            ]
+            .join("\n");
+            let file = log_file("filters", &lines);
+            let base = LogsArgs {
+                file: file.clone(),
+                level: None,
+                target: None,
+                trace_id: None,
+                limit: 64,
+            };
+
+            let out = run(&base).unwrap();
+            assert!(out.contains("# 4 matching event(s)"), "{out}");
+
+            let out = run(&LogsArgs {
+                level: Some("warn".into()),
+                ..base.clone()
+            })
+            .unwrap();
+            assert!(out.contains("server.slow") && out.contains("server.panic"));
+            assert!(!out.contains("server.access"), "{out}");
+
+            let out = run(&LogsArgs {
+                target: Some("server.access".into()),
+                ..base.clone()
+            })
+            .unwrap();
+            assert!(out.contains("# 1 matching event(s)"), "{out}");
+
+            let out = run(&LogsArgs {
+                trace_id: Some(7),
+                ..base
+            })
+            .unwrap();
+            assert!(out.contains("# 2 matching event(s)"), "{out}");
+            assert!(!out.contains("server.panic"), "{out}");
+        }
+
+        #[test]
+        fn tails_the_last_limit_events_and_counts_malformed() {
+            let mut lines: Vec<String> = (0..10)
+                .map(|i| event(i, "info", "server.access", None))
+                .collect();
+            lines.push("{not json".to_string());
+            let file = log_file("tail", &lines.join("\n"));
+            let out = run(&LogsArgs {
+                file,
+                level: None,
+                target: None,
+                trace_id: None,
+                limit: 3,
+            })
+            .unwrap();
+            // Only the last 3 of the 10 matches are printed.
+            assert!(!out.contains("\"seq\":6"), "{out}");
+            for seq in 7..10 {
+                assert!(out.contains(&format!("\"seq\":{seq}")), "{out}");
+            }
+            assert!(out.contains("# 10 matching event(s), 1 malformed line(s) skipped"));
+        }
+
+        #[test]
+        fn bad_level_and_missing_file_are_reported() {
+            let err = run(&LogsArgs {
+                file: "irrelevant".into(),
+                level: Some("loud".into()),
+                target: None,
+                trace_id: None,
+                limit: 1,
+            })
+            .unwrap_err();
+            assert!(err.to_string().contains("--level expects"), "{err}");
+
+            let err = run(&LogsArgs {
+                file: "/nonexistent/questpro.log".into(),
+                level: None,
+                target: None,
+                trace_id: None,
+                limit: 1,
+            })
+            .unwrap_err();
+            assert!(
+                err.to_string().contains("/nonexistent/questpro.log"),
+                "{err}"
+            );
+        }
     }
 }
 
@@ -656,6 +870,14 @@ pub mod serve {
         args: &ServeArgs,
         on_ready: impl FnOnce(SocketAddr),
     ) -> Result<String, CliError> {
+        let log_level = match &args.log_level {
+            None => questpro_log::Level::Info,
+            Some(s) => questpro_log::Level::parse(s).ok_or_else(|| {
+                CliError::Usage(format!(
+                    "--log-level expects trace|debug|info|warn|error, got {s:?}"
+                ))
+            })?,
+        };
         let handle = questpro_server::start(&ServerConfig {
             addr: args.addr.clone(),
             workers: args.workers,
@@ -663,6 +885,9 @@ pub mod serve {
             threads: args.threads,
             max_sessions: args.max_sessions,
             session_idle_secs: args.idle_secs,
+            log_level,
+            log_file: args.log_file.clone(),
+            slow_query_ms: args.slow_ms,
             ..ServerConfig::default()
         })
         .map_err(|e| CliError::io(&args.addr, e))?;
@@ -722,6 +947,9 @@ pub mod serve {
                 threads: 1,
                 max_sessions: 4,
                 idle_secs: 60,
+                log_file: None,
+                log_level: None,
+                slow_ms: 500,
             };
             let out = run_with_ready(&args, |addr| {
                 // Shut the server down from a client thread as soon as

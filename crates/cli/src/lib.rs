@@ -37,6 +37,7 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
         Command::Explore(e) => commands::explore::run(&e),
         Command::Serve(s) => commands::serve::run(&s),
         Command::Trace(t) => commands::trace::run(&t),
+        Command::Logs(l) => commands::logs::run(&l),
         Command::Fuzz(f) => commands::fuzz::run(&f),
     }
 }

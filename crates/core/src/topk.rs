@@ -178,6 +178,21 @@ pub fn infer_top_k(
     questpro_trace::add("algorithm1_calls", stats.algorithm1_calls as u64);
     questpro_trace::add("consistency_checks", stats.consistency_checks as u64);
     drop(t_span);
+    if questpro_log::enabled(questpro_log::Level::Debug) {
+        questpro_log::emit(
+            questpro_log::Level::Debug,
+            "core.topk",
+            "top-k inference finished",
+            vec![
+                ("k", cfg.k.into()),
+                ("rounds", stats.rounds.into()),
+                ("algorithm1_calls", stats.algorithm1_calls.into()),
+                ("states_examined", stats.states_examined.into()),
+                ("consistency_checks", stats.consistency_checks.into()),
+                ("total_ns", (stats.total_nanos as u64).into()),
+            ],
+        );
+    }
     (queries, stats)
 }
 

@@ -23,7 +23,20 @@ pub fn difference(ont: &Ontology, a: &UnionQuery, b: &UnionQuery) -> BTreeSet<No
         return ra;
     }
     let rb = evaluate_union(ont, b);
-    ra.difference(&rb).copied().collect()
+    let out: BTreeSet<NodeId> = ra.difference(&rb).copied().collect();
+    if questpro_log::enabled(questpro_log::Level::Trace) {
+        questpro_log::emit(
+            questpro_log::Level::Trace,
+            "engine.difference",
+            "difference query evaluated",
+            vec![
+                ("left_results", ra.len().into()),
+                ("right_results", rb.len().into()),
+                ("difference", out.len().into()),
+            ],
+        );
+    }
+    out
 }
 
 /// Evaluates `a − b`, samples one result uniformly, and returns it with

@@ -144,6 +144,18 @@ pub fn evaluate_union_with(ont: &Ontology, q: &UnionQuery, threads: usize) -> BT
     };
     questpro_trace::add("branches", branches.len() as u64);
     questpro_trace::add("results", out.len() as u64);
+    if questpro_log::enabled(questpro_log::Level::Trace) {
+        questpro_log::emit(
+            questpro_log::Level::Trace,
+            "engine.eval",
+            "union query evaluated",
+            vec![
+                ("branches", branches.len().into()),
+                ("results", out.len().into()),
+                ("threads", threads.into()),
+            ],
+        );
+    }
     out
 }
 

@@ -40,6 +40,17 @@ pub fn minimize(q: &SimpleQuery) -> SimpleQuery {
             }
         }
         if !improved {
+            if questpro_log::enabled(questpro_log::Level::Trace) {
+                questpro_log::emit(
+                    questpro_log::Level::Trace,
+                    "engine.minimize",
+                    "query minimized to its core",
+                    vec![
+                        ("edges_before", q.edge_count().into()),
+                        ("edges_after", current.edge_count().into()),
+                    ],
+                );
+            }
             return current;
         }
     }

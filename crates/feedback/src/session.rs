@@ -291,6 +291,19 @@ impl InteractiveSession {
             final_query: None,
         };
         s.advance(ont);
+        if questpro_log::enabled(questpro_log::Level::Info) {
+            questpro_log::emit(
+                questpro_log::Level::Info,
+                "feedback.session",
+                "interactive session started",
+                vec![
+                    ("candidates", s.candidates.len().into()),
+                    ("examples", s.examples.len().into()),
+                    ("suspect_examples", s.suspect.len().into()),
+                    ("seed", seed.into()),
+                ],
+            );
+        }
         Ok(s)
     }
 
@@ -303,6 +316,10 @@ impl InteractiveSession {
         let _t = questpro_trace::span("feedback.session.answer");
         let Some(pending) = self.pending.take() else {
             return Err(SessionError::NothingPending);
+        };
+        let kind = match pending {
+            PendingQuestion::Select { .. } => "select",
+            PendingQuestion::Refine { .. } => "refine",
         };
         match pending {
             PendingQuestion::Select {
@@ -331,6 +348,19 @@ impl InteractiveSession {
             }
         }
         self.advance(ont);
+        if questpro_log::enabled(questpro_log::Level::Info) {
+            questpro_log::emit(
+                questpro_log::Level::Info,
+                "feedback.session",
+                "feedback answer applied",
+                vec![
+                    ("question", kind.into()),
+                    ("answer", answer.into()),
+                    ("live_candidates", self.live.len().into()),
+                    ("done", matches!(self.phase, Phase::Done).into()),
+                ],
+            );
+        }
         Ok(())
     }
 

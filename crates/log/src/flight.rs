@@ -1,0 +1,151 @@
+//! Panic flight recorder: a chained panic hook that preserves the last
+//! moments of a crashing thread.
+//!
+//! When a panic unwinds — in the server a handler panic is caught per
+//! request, in the CLI it takes the process down — the hook drains the
+//! panicking thread's buffered events, then writes a report to stderr
+//! carrying the panic location, the active trace ID, every span still
+//! open on the thread, and the most recent [`EVENTS`] log events as
+//! JSON lines. The same report is retained in memory for tests (and
+//! post-mortem endpoints) via [`last_report`].
+//!
+//! Every step uses non-panicking accessors (`try_with`/`try_borrow`),
+//! so a panic that strikes *inside* the logging machinery can never
+//! escalate into a double-panic abort.
+
+use std::io::Write;
+use std::sync::{Mutex, Once, OnceLock};
+
+use crate::Level;
+
+/// Number of trailing events included in a flight report.
+pub const EVENTS: usize = 16;
+
+static INSTALL: Once = Once::new();
+
+fn last_slot() -> &'static Mutex<Option<String>> {
+    static LAST: OnceLock<Mutex<Option<String>>> = OnceLock::new();
+    LAST.get_or_init(|| Mutex::new(None))
+}
+
+/// Installs the flight-recorder panic hook, chaining the previously
+/// installed hook (which still runs afterwards, so default backtraces
+/// are preserved). Idempotent; only the first call installs.
+pub fn install() {
+    INSTALL.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let report = build_report(info);
+            let mut err = std::io::stderr().lock();
+            let _ = err.write_all(report.as_bytes());
+            let _ = err.flush();
+            if let Ok(mut slot) = last_slot().lock() {
+                *slot = Some(report);
+            }
+            prev(info);
+        }));
+    });
+}
+
+/// The most recent flight report, if any panic has been recorded since
+/// process start. Used by the `catch_unwind` test battery.
+pub fn last_report() -> Option<String> {
+    last_slot().lock().ok().and_then(|slot| slot.clone())
+}
+
+fn build_report(info: &std::panic::PanicHookInfo<'_>) -> String {
+    // Move the panicking thread's buffered events into the ring first,
+    // so the report (and any later /debug/logs scrape) sees them.
+    crate::flush();
+    let location = info
+        .location()
+        .map(|l| format!("{}:{}:{}", l.file(), l.line(), l.column()))
+        .unwrap_or_else(|| "<unknown>".to_string());
+    let payload = info
+        .payload()
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| info.payload().downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "<non-string panic payload>".to_string());
+    let trace_id = questpro_trace::current_trace_id();
+    let open = questpro_trace::current_open_spans();
+
+    let mut out = String::new();
+    out.push_str("==== questpro flight record ====\n");
+    out.push_str(&format!("panic: {payload}\n"));
+    out.push_str(&format!("location: {location}\n"));
+    match trace_id {
+        Some(id) => out.push_str(&format!("trace_id: {id}\n")),
+        None => out.push_str("trace_id: none\n"),
+    }
+    if open.is_empty() {
+        out.push_str("open spans: none\n");
+    } else {
+        out.push_str(&format!("open spans: {}\n", open.join(" > ")));
+    }
+    let events = crate::recent(EVENTS, Level::Trace);
+    out.push_str(&format!(
+        "last {} event(s) of {} emitted ({} dropped):\n",
+        events.len(),
+        crate::emitted_total(),
+        crate::dropped_total(),
+    ));
+    // `recent` is newest-first; a flight log reads oldest-first.
+    for ev in events.iter().rev() {
+        out.push_str("  ");
+        out.push_str(&ev.to_line());
+        out.push('\n');
+    }
+    out.push_str("==== end flight record ====\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn panic_under_catch_unwind_produces_a_report() {
+        let _g = crate::test_gate();
+        crate::set_capacity(crate::DEFAULT_CAPACITY);
+        crate::set_level(Some(Level::Trace));
+        install();
+        questpro_trace::set_enabled(true);
+
+        let result = std::panic::catch_unwind(|| {
+            let _t = questpro_trace::begin("flight-test");
+            let _s = questpro_trace::span("infer.topk");
+            crate::emit(
+                Level::Info,
+                "test.flight",
+                "about to fail",
+                vec![("attempt", 1u64.into())],
+            );
+            panic!("boom in stage");
+        });
+        assert!(result.is_err());
+
+        questpro_trace::set_enabled(false);
+        crate::set_level(None);
+
+        let report = last_report().expect("panic hook recorded a report");
+        assert!(report.contains("boom in stage"), "payload: {report}");
+        assert!(report.contains("flight.rs"), "location: {report}");
+        assert!(report.contains("trace_id: "), "trace line: {report}");
+        assert!(
+            report.contains("open spans: infer.topk"),
+            "open spans: {report}"
+        );
+        assert!(
+            report.contains("\"msg\":\"about to fail\""),
+            "buffered event drained into report: {report}"
+        );
+        crate::set_capacity(crate::DEFAULT_CAPACITY);
+    }
+
+    #[test]
+    fn install_is_idempotent() {
+        install();
+        install(); // second call must not panic or stack hooks
+    }
+}

@@ -1,0 +1,166 @@
+//! Concurrency battery for the log ring: many producer threads racing
+//! a draining reader, with exact conservation accounting.
+//!
+//! The contract under test (see `questpro_log` docs): every accepted
+//! event is eventually either drained by a reader, still retained in
+//! the ring, or counted by the drop counter — `emitted == drained +
+//! retained + dropped`, exactly, no matter how emits, flushes, and
+//! drains interleave.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::thread;
+
+use questpro_log::{
+    dropped_total, emit, emitted_total, flush, recent, retained, set_capacity, set_level, take_all,
+    Level,
+};
+
+/// Serializes tests in this binary: they all mutate the global ring.
+fn gate() -> MutexGuard<'static, ()> {
+    static GATE: Mutex<()> = Mutex::new(());
+    GATE.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[test]
+fn producers_and_draining_reader_conserve_every_event() {
+    let _g = gate();
+    const PRODUCERS: usize = 8;
+    const PER_PRODUCER: u64 = 500;
+
+    set_capacity(64); // small enough to force drops under pressure
+    set_level(Some(Level::Trace));
+    let emitted_before = emitted_total();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let reader = {
+        let stop = Arc::clone(&stop);
+        thread::spawn(move || {
+            let mut drained = 0u64;
+            while !stop.load(Ordering::Acquire) {
+                drained += take_all().len() as u64;
+                thread::yield_now();
+            }
+            drained
+        })
+    };
+
+    let producers: Vec<_> = (0..PRODUCERS)
+        .map(|p| {
+            thread::spawn(move || {
+                for i in 0..PER_PRODUCER {
+                    emit(
+                        Level::Info,
+                        "battery",
+                        format!("p{p} e{i}"),
+                        vec![("producer", p.into()), ("i", i.into())],
+                    );
+                }
+                // Thread exit also flushes (LocalBuf::Drop); flush
+                // explicitly anyway so the accounting below never
+                // depends on TLS destructor ordering.
+                flush();
+            })
+        })
+        .collect();
+    for h in producers {
+        h.join().expect("producer thread");
+    }
+
+    stop.store(true, Ordering::Release);
+    let drained_live = reader.join().expect("reader thread");
+    // Producers are done and flushed; whatever the reader missed is
+    // still in the ring now.
+    let drained_rest = take_all().len() as u64;
+    let dropped = dropped_total();
+    let emitted = emitted_total() - emitted_before;
+
+    set_level(None);
+
+    assert_eq!(emitted, (PRODUCERS as u64) * PER_PRODUCER);
+    assert_eq!(
+        emitted,
+        drained_live + drained_rest + dropped,
+        "conservation: emitted == drained + retained(0 after final drain) + dropped \
+         (live {drained_live}, rest {drained_rest}, dropped {dropped})"
+    );
+    assert_eq!(retained(), 0);
+    set_capacity(questpro_log::DEFAULT_CAPACITY);
+}
+
+#[test]
+fn quiescent_accounting_without_a_reader() {
+    let _g = gate();
+    const PRODUCERS: usize = 4;
+    const PER_PRODUCER: u64 = 200;
+    const CAP: usize = 32;
+
+    set_capacity(CAP);
+    set_level(Some(Level::Trace));
+    let emitted_before = emitted_total();
+
+    let handles: Vec<_> = (0..PRODUCERS)
+        .map(|p| {
+            thread::spawn(move || {
+                for i in 0..PER_PRODUCER {
+                    emit(Level::Debug, "battery.quiet", format!("p{p} e{i}"), vec![]);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("producer thread");
+    }
+
+    let emitted = emitted_total() - emitted_before;
+    let retained_now = retained() as u64;
+    let dropped = dropped_total();
+    set_level(None);
+
+    assert_eq!(emitted, (PRODUCERS as u64) * PER_PRODUCER);
+    assert_eq!(retained_now, CAP as u64, "ring saturated");
+    assert_eq!(emitted, retained_now + dropped);
+
+    // Drain order is oldest-first by sequence number.
+    let drained = take_all();
+    assert!(drained.windows(2).all(|w| w[0].seq < w[1].seq));
+    set_capacity(questpro_log::DEFAULT_CAPACITY);
+}
+
+#[test]
+fn recent_is_newest_first_and_level_filtered_under_load() {
+    let _g = gate();
+    set_capacity(256);
+    set_level(Some(Level::Trace));
+
+    let handles: Vec<_> = (0..4)
+        .map(|p| {
+            thread::spawn(move || {
+                for i in 0..50u64 {
+                    let level = if i % 10 == 0 {
+                        Level::Warn
+                    } else {
+                        Level::Info
+                    };
+                    emit(level, "battery.recent", format!("p{p} e{i}"), vec![]);
+                }
+                flush();
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("producer thread");
+    }
+
+    let warns = recent(1024, Level::Warn);
+    assert_eq!(warns.len(), 4 * 5);
+    assert!(warns.iter().all(|e| e.level >= Level::Warn));
+    assert!(
+        warns.windows(2).all(|w| w[0].seq > w[1].seq),
+        "newest first"
+    );
+
+    set_level(None);
+    take_all();
+    set_capacity(questpro_log::DEFAULT_CAPACITY);
+}

@@ -1,0 +1,156 @@
+//! Property test: every generated event serializes to one JSON line
+//! that the `questpro-wire` parser accepts, and the parsed document
+//! agrees with the event field-for-field.
+//!
+//! Seeded with the workspace RNG so failures replay exactly.
+
+use questpro_graph::rng::{Rng, SliceRandom, StdRng};
+use questpro_log::{Event, Level, Value};
+
+const TARGETS: &[&str] = &[
+    "server.access",
+    "server.slow",
+    "core.topk",
+    "engine.eval",
+    "feedback.session",
+];
+const KEYS: &[&str] = &[
+    "status",
+    "bytes",
+    "latency_ns",
+    "route",
+    "rounds",
+    "ok",
+    "ratio",
+    "delta",
+];
+
+fn arbitrary_string(rng: &mut StdRng) -> String {
+    // Deliberately hostile: quotes, backslashes, control chars, non-BMP.
+    const POOL: &[&str] = &[
+        "plain",
+        "with \"quotes\"",
+        "back\\slash",
+        "new\nline",
+        "tab\there",
+        "nul\u{0}",
+        "unicode é λ",
+        "emoji 🦀",
+        "\u{7f}",
+        "",
+        "a very long message ",
+    ];
+    let n = rng.random_range(0..=3usize);
+    (0..n)
+        .map(|_| *POOL.choose(rng).expect("pool non-empty"))
+        .collect()
+}
+
+fn arbitrary_value(rng: &mut StdRng) -> Value {
+    match rng.random_range(0..5u32) {
+        0 => Value::Str(arbitrary_string(rng)),
+        // Stay within 2^53 so JSON f64 round-trips integers exactly.
+        1 => Value::U64(rng.random_range(0..=(1u64 << 53))),
+        2 => Value::I64(rng.random_range(-(1i64 << 53)..=(1i64 << 53))),
+        3 => {
+            let v = match rng.random_range(0..4u32) {
+                0 => f64::NAN,
+                1 => f64::INFINITY,
+                2 => -0.5,
+                _ => rng.random_f64() * 1e9,
+            };
+            Value::F64(v)
+        }
+        _ => Value::Bool(rng.random_bool(0.5)),
+    }
+}
+
+fn arbitrary_event(rng: &mut StdRng) -> Event {
+    let n_fields = rng.random_range(0..=KEYS.len());
+    let mut keys = KEYS.to_vec();
+    keys.shuffle(rng);
+    Event {
+        seq: rng.random_range(0..=(1u64 << 53)),
+        ts_ms: rng.random_range(0..=(1u64 << 45)),
+        level: *Level::ALL.as_slice().choose(rng).expect("levels"),
+        target: TARGETS.choose(rng).copied().expect("targets"),
+        msg: arbitrary_string(rng),
+        trace_id: if rng.random_bool(0.7) {
+            Some(rng.random_range(0..=(1u64 << 53)))
+        } else {
+            None
+        },
+        span: if rng.random_bool(0.5) {
+            Some(questpro_trace::STAGES.choose(rng).copied().expect("stages"))
+        } else {
+            None
+        },
+        fields: keys[..n_fields]
+            .iter()
+            .map(|k| (*k, arbitrary_value(rng)))
+            .collect(),
+    }
+}
+
+#[test]
+fn generated_events_serialize_to_parseable_wire_json() {
+    let mut rng = StdRng::seed_from_u64(0x0106);
+    for iter in 0..2000 {
+        let ev = arbitrary_event(&mut rng);
+        let line = ev.to_line();
+        let parsed = questpro_wire::parse(&line)
+            .unwrap_or_else(|e| panic!("iter {iter}: unparseable line {line:?}: {e:?}"));
+        assert_eq!(
+            parsed,
+            ev.to_json(),
+            "iter {iter}: parse(to_line) == to_json"
+        );
+
+        assert_eq!(parsed.get("seq").and_then(|v| v.as_u64()), Some(ev.seq));
+        assert_eq!(parsed.get("ts_ms").and_then(|v| v.as_u64()), Some(ev.ts_ms));
+        assert_eq!(
+            parsed.get("level").and_then(|v| v.as_str()),
+            Some(ev.level.as_str())
+        );
+        assert_eq!(
+            parsed.get("target").and_then(|v| v.as_str()),
+            Some(ev.target)
+        );
+        assert_eq!(
+            parsed.get("msg").and_then(|v| v.as_str()),
+            Some(ev.msg.as_str())
+        );
+        assert_eq!(
+            parsed.get("trace_id").and_then(|v| v.as_u64()),
+            ev.trace_id,
+            "iter {iter}"
+        );
+        assert_eq!(parsed.get("span").and_then(|v| v.as_str()), ev.span);
+
+        let fields = parsed.get("fields").expect("fields object always present");
+        for (k, v) in &ev.fields {
+            let got = fields
+                .get(k)
+                .unwrap_or_else(|| panic!("iter {iter}: field {k}"));
+            match v {
+                Value::Str(s) => assert_eq!(got.as_str(), Some(s.as_str())),
+                Value::U64(n) => assert_eq!(got.as_u64(), Some(*n)),
+                Value::I64(n) => assert_eq!(got.as_f64(), Some(*n as f64)),
+                Value::F64(n) if n.is_finite() => assert_eq!(got.as_f64(), Some(*n)),
+                Value::F64(_) => assert_eq!(got, &questpro_wire::Json::Null),
+                Value::Bool(b) => assert_eq!(got.as_bool(), Some(*b)),
+            }
+        }
+    }
+}
+
+#[test]
+fn event_lines_are_single_lines() {
+    // JSON-lines framing: one event per '\n'-terminated line, so an
+    // embedded newline in a message must be escaped, never literal.
+    let mut rng = StdRng::seed_from_u64(7);
+    for _ in 0..500 {
+        let ev = arbitrary_event(&mut rng);
+        assert!(!ev.to_line().contains('\n'));
+    }
+}

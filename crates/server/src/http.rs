@@ -94,9 +94,13 @@ impl Response {
 /// Why a request could not be read.
 #[derive(Debug)]
 pub enum ReadError {
-    /// The peer closed (or timed out) before a request started — the
-    /// normal end of a keep-alive connection.
+    /// The peer closed before a request started — the normal end of a
+    /// keep-alive connection.
     Closed,
+    /// The read timeout fired before a request started: an idle
+    /// keep-alive connection reclaimed by the server (counted in
+    /// `/metrics` as `questpro_http_keepalive_timeouts_total`).
+    IdleTimeout,
     /// The request was malformed mid-stream; no response is possible.
     Disconnected(std::io::Error),
     /// Syntactically invalid request → respond `400`.
@@ -220,12 +224,19 @@ fn read_line(r: &mut impl BufRead, consumed: &mut usize) -> Result<String, ReadE
         .take(remaining as u64 + 1)
         .read_until(b'\n', &mut buf)
         .map_err(|e| {
-            if *consumed == 0 {
-                // Timeouts and resets before the first byte are the
-                // normal end of an idle keep-alive connection.
-                ReadError::Closed
-            } else {
+            if *consumed != 0 {
                 ReadError::Disconnected(e)
+            } else if matches!(
+                e.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            ) {
+                // The socket read timeout fired while waiting for the
+                // next request: an idle keep-alive connection.
+                ReadError::IdleTimeout
+            } else {
+                // Resets before the first byte are the normal end of a
+                // keep-alive connection.
+                ReadError::Closed
             }
         })?;
     *consumed += n;
@@ -303,6 +314,19 @@ mod tests {
     #[test]
     fn empty_stream_is_a_clean_close() {
         assert!(matches!(read("", 1024), Err(ReadError::Closed)));
+    }
+
+    #[test]
+    fn first_byte_timeout_is_idle_not_closed() {
+        /// A reader whose every read fails like an expired SO_RCVTIMEO.
+        struct TimesOut;
+        impl std::io::Read for TimesOut {
+            fn read(&mut self, _: &mut [u8]) -> std::io::Result<usize> {
+                Err(std::io::ErrorKind::WouldBlock.into())
+            }
+        }
+        let r = read_request(&mut BufReader::new(TimesOut), 1024);
+        assert!(matches!(r, Err(ReadError::IdleTimeout)));
     }
 
     #[test]

@@ -12,6 +12,11 @@
 
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+use questpro_trace::hist::{HistSnapshot, HistogramSet, FIRST_BUCKET_LOG2};
+
+use crate::router::ROUTES;
 
 /// Monotonic HTTP traffic counters.
 #[derive(Default)]
@@ -21,6 +26,7 @@ pub struct HttpCounters {
     responses_4xx: AtomicU64,
     responses_5xx: AtomicU64,
     rejected_overload: AtomicU64,
+    keepalive_timeouts: AtomicU64,
 }
 
 impl HttpCounters {
@@ -45,9 +51,49 @@ impl HttpCounters {
         self.rejected_overload.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one keep-alive connection closed by the read timeout.
+    pub fn record_keepalive_timeout(&self) {
+        self.keepalive_timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Total requests received so far.
     pub fn requests(&self) -> u64 {
         self.requests.load(Ordering::Relaxed)
+    }
+}
+
+/// Per-route latency histograms (the route label list is fixed in
+/// [`ROUTES`], so the exposition format is traffic-independent).
+fn route_hists() -> &'static HistogramSet {
+    static HISTS: OnceLock<HistogramSet> = OnceLock::new();
+    HISTS.get_or_init(|| HistogramSet::new(ROUTES))
+}
+
+/// Records one served request under its normalized route label.
+pub fn record_route(label: &str, ns: u64) {
+    route_hists().record(label, ns);
+}
+
+/// Renders one labeled log2 histogram family in Prometheus text format.
+fn write_hist(out: &mut String, name: &str, help: &str, label: &str, snaps: &[HistSnapshot]) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} histogram");
+    for h in snaps {
+        for (i, cum) in h.buckets.iter().enumerate() {
+            let le = 1u64 << (FIRST_BUCKET_LOG2 + i as u32);
+            let _ = writeln!(
+                out,
+                "{name}_bucket{{{label}=\"{}\",le=\"{le}\"}} {cum}",
+                h.stage
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{name}_bucket{{{label}=\"{}\",le=\"+Inf\"}} {}",
+            h.stage, h.count
+        );
+        let _ = writeln!(out, "{name}_sum{{{label}=\"{}\"}} {}", h.stage, h.sum_ns);
+        let _ = writeln!(out, "{name}_count{{{label}=\"{}\"}} {}", h.stage, h.count);
     }
 }
 
@@ -83,6 +129,11 @@ pub fn render(http: &HttpCounters, live_sessions: usize) -> String {
         "questpro_http_overload_rejections_total",
         "Connections rejected with 503 because the worker queue was full.",
         http.rejected_overload.load(Ordering::Relaxed),
+    );
+    counter(
+        "questpro_http_keepalive_timeouts_total",
+        "Keep-alive connections closed by the idle read timeout.",
+        http.keepalive_timeouts.load(Ordering::Relaxed),
     );
 
     let inference = questpro_core::global_stats();
@@ -143,6 +194,16 @@ pub fn render(http: &HttpCounters, live_sessions: usize) -> String {
         "Finished traces evicted from the bounded trace registry.",
         questpro_trace::registry::dropped_total(),
     );
+    counter(
+        "questpro_log_events_total",
+        "Structured log events accepted (before any ring eviction).",
+        questpro_log::emitted_total(),
+    );
+    counter(
+        "questpro_log_dropped_total",
+        "Structured log events evicted from the bounded log ring.",
+        questpro_log::dropped_total(),
+    );
 
     let _ = writeln!(
         out,
@@ -151,40 +212,24 @@ pub fn render(http: &HttpCounters, live_sessions: usize) -> String {
          questpro_sessions_live {live_sessions}"
     );
 
-    // Per-stage latency histograms from questpro-trace. The stage list
-    // and log2 bucket layout are fixed at compile time and zero-filled,
-    // so the exposition format never depends on traffic (frozen by the
-    // golden-file test).
-    let _ = writeln!(
-        out,
-        "# HELP questpro_stage_duration_ns Wall-clock nanoseconds per traced stage (log2 buckets).\n\
-         # TYPE questpro_stage_duration_ns histogram"
+    // Dimensional latency histograms. Both label lists (traced stages,
+    // normalized routes) and the log2 bucket layout are fixed at
+    // compile time and zero-filled, so the exposition format never
+    // depends on traffic (frozen by the golden-file test).
+    write_hist(
+        &mut out,
+        "questpro_stage_duration_ns",
+        "Wall-clock nanoseconds per traced stage (log2 buckets).",
+        "stage",
+        &questpro_trace::hist::snapshot(),
     );
-    for h in questpro_trace::hist::snapshot() {
-        for (i, cum) in h.buckets.iter().enumerate() {
-            let le = 1u64 << (questpro_trace::hist::FIRST_BUCKET_LOG2 + i as u32);
-            let _ = writeln!(
-                out,
-                "questpro_stage_duration_ns_bucket{{stage=\"{}\",le=\"{le}\"}} {cum}",
-                h.stage
-            );
-        }
-        let _ = writeln!(
-            out,
-            "questpro_stage_duration_ns_bucket{{stage=\"{}\",le=\"+Inf\"}} {}",
-            h.stage, h.count
-        );
-        let _ = writeln!(
-            out,
-            "questpro_stage_duration_ns_sum{{stage=\"{}\"}} {}",
-            h.stage, h.sum_ns
-        );
-        let _ = writeln!(
-            out,
-            "questpro_stage_duration_ns_count{{stage=\"{}\"}} {}",
-            h.stage, h.count
-        );
-    }
+    write_hist(
+        &mut out,
+        "questpro_route_duration_ns",
+        "Wall-clock nanoseconds per served request by normalized route (log2 buckets).",
+        "route",
+        &route_hists().snapshot(),
+    );
     out
 }
 
@@ -200,34 +245,57 @@ mod tests {
         http.record_response(404);
         http.record_response(500);
         http.record_overload();
+        http.record_keepalive_timeout();
         let text = render(&http, 3);
         assert!(text.contains("questpro_http_requests_total 1"));
         assert!(text.contains("questpro_http_responses_2xx_total 1"));
         assert!(text.contains("questpro_http_responses_4xx_total 1"));
         assert!(text.contains("questpro_http_responses_5xx_total 1"));
         assert!(text.contains("questpro_http_overload_rejections_total 1"));
+        assert!(text.contains("questpro_http_keepalive_timeouts_total 1"));
         assert!(text.contains("questpro_sessions_live 3"));
         assert!(text.contains("questpro_engine_searches_total"));
         assert!(text.contains("questpro_inference_runs_total"));
+        assert!(text.contains("questpro_log_events_total"));
+        assert!(text.contains("questpro_log_dropped_total"));
         // Prometheus text format: every non-histogram sample line has
-        // its own HELP/TYPE pair; the histogram family shares one.
-        let hist_samples = text
+        // its own HELP/TYPE pair; the two histogram families share one
+        // each.
+        let stage_samples = text
             .lines()
             .filter(|l| l.starts_with("questpro_stage_duration_ns"))
+            .count();
+        let route_samples = text
+            .lines()
+            .filter(|l| l.starts_with("questpro_route_duration_ns"))
             .count();
         let samples = text
             .lines()
             .filter(|l| !l.starts_with('#') && !l.is_empty())
             .count();
         let types = text.lines().filter(|l| l.starts_with("# TYPE")).count();
-        assert_eq!(samples - hist_samples, types - 1);
-        // Fixed exposition: every stage always renders every bucket
+        assert_eq!(samples - stage_samples - route_samples, types - 2);
+        // Fixed exposition: every label always renders every bucket
         // plus +Inf, _sum and _count.
-        assert_eq!(
-            hist_samples,
-            questpro_trace::STAGES.len() * (questpro_trace::hist::BUCKETS + 3)
-        );
+        let per_label = questpro_trace::hist::BUCKETS + 3;
+        assert_eq!(stage_samples, questpro_trace::STAGES.len() * per_label);
+        assert_eq!(route_samples, ROUTES.len() * per_label);
         assert!(text.contains("questpro_traces_dropped_total"));
         assert!(text.contains("stage=\"infer.topk\",le=\"+Inf\""));
+        assert!(text.contains("route=\"POST /eval\",le=\"+Inf\""));
+        assert!(text.contains("route=\"other\""));
+    }
+
+    #[test]
+    fn route_observations_land_under_their_label() {
+        record_route("GET /healthz", 1);
+        record_route("not a route", 1); // ignored, not a new label
+        let snap = route_hists().snapshot();
+        assert_eq!(snap.len(), ROUTES.len());
+        let health = snap
+            .iter()
+            .find(|h| h.stage == "GET /healthz")
+            .expect("labeled");
+        assert!(health.count >= 1);
     }
 }

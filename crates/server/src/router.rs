@@ -14,6 +14,7 @@
 //! | `GET  /healthz`                | liveness probe                      |
 //! | `GET  /metrics`                | Prometheus-style counters           |
 //! | `GET  /debug/traces`           | recent request traces (JSON)        |
+//! | `GET  /debug/logs`             | recent structured log events (JSON) |
 //! | `GET  /ontologies`             | list registered worlds              |
 //! | `POST /ontologies`             | register a triple-text world        |
 //! | `GET  /ontologies/:name`       | materialize + describe one world    |
@@ -61,6 +62,9 @@ pub struct AppState {
     pub default_threads: usize,
     /// Cap on request bodies, bytes (shared with the HTTP reader).
     pub max_body: usize,
+    /// Requests slower than this (on routes that run inference) produce
+    /// a warn-level slow-query log event; 0 disables the slow log.
+    pub slow_query_ns: u64,
 }
 
 impl AppState {
@@ -78,7 +82,61 @@ impl AppState {
             shutdown: Arc::new(AtomicBool::new(false)),
             default_threads: default_threads.max(1),
             max_body,
+            slow_query_ns: 500_000_000,
         }
+    }
+}
+
+/// The fixed list of normalized route labels exported as the
+/// `questpro_route_duration_ns` histogram family. Every label always
+/// appears in `/metrics` (zero-filled when never hit); requests that
+/// match no route — including 405s — land under `"other"`.
+pub const ROUTES: &[&str] = &[
+    "GET /healthz",
+    "GET /metrics",
+    "GET /debug/traces",
+    "GET /debug/logs",
+    "GET /ontologies",
+    "POST /ontologies",
+    "GET /ontologies/:name",
+    "POST /eval",
+    "POST /infer",
+    "POST /sessions",
+    "GET /sessions",
+    "GET /sessions/:id",
+    "DELETE /sessions/:id",
+    "POST /sessions/:id/infer",
+    "POST /sessions/:id/feedback",
+    "GET /sessions/:id/candidates",
+    "GET /sessions/:id/snapshot",
+    "POST /shutdown",
+    "other",
+];
+
+/// Maps a request to its [`ROUTES`] label: the dispatch arms of
+/// [`route`] with path parameters collapsed, or `"other"`.
+pub fn route_label(method: &str, path: &str) -> &'static str {
+    let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
+    match (method, segments.as_slice()) {
+        ("GET", ["healthz"]) => "GET /healthz",
+        ("GET", ["metrics"]) => "GET /metrics",
+        ("GET", ["debug", "traces"]) => "GET /debug/traces",
+        ("GET", ["debug", "logs"]) => "GET /debug/logs",
+        ("GET", ["ontologies"]) => "GET /ontologies",
+        ("POST", ["ontologies"]) => "POST /ontologies",
+        ("GET", ["ontologies", _]) => "GET /ontologies/:name",
+        ("POST", ["eval"]) => "POST /eval",
+        ("POST", ["infer"]) => "POST /infer",
+        ("POST", ["sessions"]) => "POST /sessions",
+        ("GET", ["sessions"]) => "GET /sessions",
+        ("GET", ["sessions", _]) => "GET /sessions/:id",
+        ("DELETE", ["sessions", _]) => "DELETE /sessions/:id",
+        ("POST", ["sessions", _, "infer"]) => "POST /sessions/:id/infer",
+        ("POST", ["sessions", _, "feedback"]) => "POST /sessions/:id/feedback",
+        ("GET", ["sessions", _, "candidates"]) => "GET /sessions/:id/candidates",
+        ("GET", ["sessions", _, "snapshot"]) => "GET /sessions/:id/snapshot",
+        ("POST", ["shutdown"]) => "POST /shutdown",
+        _ => "other",
     }
 }
 
@@ -89,6 +147,7 @@ pub fn route(state: &AppState, req: &Request) -> Response {
         ("GET", ["healthz"]) => Response::text(200, "ok\n"),
         ("GET", ["metrics"]) => Response::text(200, render(&state.http, state.sessions.count())),
         ("GET", ["debug", "traces"]) => debug_traces(req),
+        ("GET", ["debug", "logs"]) => debug_logs(req),
         ("GET", ["ontologies"]) => list_ontologies(state),
         ("POST", ["ontologies"]) => create_ontology(state, req),
         ("GET", ["ontologies", name]) => describe_ontology(state, name),
@@ -543,6 +602,55 @@ fn debug_traces(req: &Request) -> Response {
     )
 }
 
+/// `GET /debug/logs?limit=N&level=L` — the most recent structured log
+/// events, newest first, as JSON. `limit` is validated exactly like
+/// `/debug/traces` (1..=1024 → 400 otherwise); `level` filters to
+/// events at or above the named level and unknown names are a 400.
+fn debug_logs(req: &Request) -> Response {
+    let mut limit = 64usize;
+    let mut min_level = questpro_log::Level::Trace;
+    for pair in req.query.split('&').filter(|s| !s.is_empty()) {
+        let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+        match k {
+            "limit" => match strict_decimal(v) {
+                Some(n) if (1..=1024).contains(&n) => limit = n as usize,
+                _ => return Response::error(400, "limit must be an integer in 1..=1024"),
+            },
+            "level" => match questpro_log::Level::parse(v) {
+                Some(l) => min_level = l,
+                None => {
+                    return Response::error(
+                        400,
+                        "level must be one of trace, debug, info, warn, error",
+                    )
+                }
+            },
+            _ => {}
+        }
+    }
+    // Surface whatever this worker thread still holds buffered, so a
+    // scrape immediately after a request sees that request's events.
+    questpro_log::flush();
+    let events = questpro_log::recent(limit, min_level);
+    Response::json(
+        200,
+        Json::obj([
+            ("enabled", Json::Bool(questpro_log::level().is_some())),
+            (
+                "level",
+                questpro_log::level().map_or(Json::Null, |l| Json::str(l.as_str())),
+            ),
+            ("emitted", Json::num(questpro_log::emitted_total() as f64)),
+            ("dropped", Json::num(questpro_log::dropped_total() as f64)),
+            (
+                "events",
+                Json::Arr(events.iter().map(questpro_log::Event::to_json).collect()),
+            ),
+        ])
+        .to_text(),
+    )
+}
+
 /// Serializes one finished trace: spans come flat in pre-order with
 /// their depth, so clients can rebuild the tree without recursion.
 fn trace_json(t: &questpro_trace::TraceRecord) -> Json {
@@ -756,6 +864,68 @@ mod tests {
         }
         let resp = route(&st, &get("/debug/traces", "limit=5"));
         assert_eq!(resp.status, 200);
+    }
+
+    #[test]
+    fn malformed_log_limits_and_levels_are_400() {
+        let st = state();
+        for q in [
+            "limit=+5",
+            "limit=0",
+            "limit=1025",
+            "limit=",
+            "level=loud",
+            "level=",
+            "level=+info",
+        ] {
+            let resp = route(&st, &get("/debug/logs", q));
+            assert_eq!(resp.status, 400, "{q}");
+        }
+        for q in ["", "limit=5", "level=warn", "limit=1&level=ERROR"] {
+            let resp = route(&st, &get("/debug/logs", q));
+            assert_eq!(resp.status, 200, "{q}");
+        }
+    }
+
+    #[test]
+    fn route_labels_cover_the_dispatch_table() {
+        // Every label produced is in ROUTES (the histogram ignores
+        // anything else), and every concrete path maps as documented.
+        for (method, path, want) in [
+            ("GET", "/healthz", "GET /healthz"),
+            ("GET", "/metrics", "GET /metrics"),
+            ("GET", "/debug/traces", "GET /debug/traces"),
+            ("GET", "/debug/logs", "GET /debug/logs"),
+            ("GET", "/ontologies", "GET /ontologies"),
+            ("POST", "/ontologies", "POST /ontologies"),
+            ("GET", "/ontologies/movies", "GET /ontologies/:name"),
+            ("POST", "/eval", "POST /eval"),
+            ("POST", "/infer", "POST /infer"),
+            ("POST", "/sessions", "POST /sessions"),
+            ("GET", "/sessions", "GET /sessions"),
+            ("GET", "/sessions/7", "GET /sessions/:id"),
+            ("DELETE", "/sessions/7", "DELETE /sessions/:id"),
+            ("POST", "/sessions/7/infer", "POST /sessions/:id/infer"),
+            (
+                "POST",
+                "/sessions/7/feedback",
+                "POST /sessions/:id/feedback",
+            ),
+            (
+                "GET",
+                "/sessions/7/candidates",
+                "GET /sessions/:id/candidates",
+            ),
+            ("GET", "/sessions/7/snapshot", "GET /sessions/:id/snapshot"),
+            ("POST", "/shutdown", "POST /shutdown"),
+            ("GET", "/no-such", "other"),
+            ("PATCH", "/eval", "other"),
+            ("GET", "/sessions/7/extra/deep", "other"),
+        ] {
+            let got = route_label(method, path);
+            assert_eq!(got, want, "{method} {path}");
+            assert!(ROUTES.contains(&got), "{got} must be a fixed label");
+        }
     }
 
     #[test]

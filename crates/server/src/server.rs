@@ -19,11 +19,14 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use crate::http::{read_request, write_response, ReadError, Response};
+use questpro_log::Level;
+
+use crate::http::{read_request, write_response, ReadError, Request, Response};
+use crate::metrics::record_route;
 use crate::pool::ThreadPool;
-use crate::router::{route, AppState};
+use crate::router::{route, route_label, AppState};
 
 /// Everything tunable about a server instance.
 #[derive(Debug, Clone)]
@@ -53,6 +56,21 @@ pub struct ServerConfig {
     /// How many finished traces the global registry retains for
     /// `GET /debug/traces` (oldest dropped first).
     pub trace_capacity: usize,
+    /// Record structured log events (`questpro-log`): one access-log
+    /// event per request, slow-query events, and the panic flight
+    /// recorder. Served at `GET /debug/logs`.
+    pub logging: bool,
+    /// Minimum level retained when logging is on.
+    pub log_level: questpro_log::Level,
+    /// How many log events the global ring retains (oldest dropped
+    /// first).
+    pub log_capacity: usize,
+    /// Also append every event as one JSON line to this file.
+    pub log_file: Option<String>,
+    /// Requests on inference routes slower than this produce a
+    /// warn-level slow-query event carrying per-stage self-times;
+    /// 0 disables the slow log.
+    pub slow_query_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -69,6 +87,11 @@ impl Default for ServerConfig {
             threads: 1,
             tracing: true,
             trace_capacity: questpro_trace::registry::DEFAULT_CAPACITY,
+            logging: true,
+            log_level: questpro_log::Level::Info,
+            log_capacity: questpro_log::DEFAULT_CAPACITY,
+            log_file: None,
+            slow_query_ms: 500,
         }
     }
 }
@@ -122,15 +145,29 @@ pub fn start(cfg: &ServerConfig) -> std::io::Result<ServerHandle> {
         questpro_trace::registry::set_capacity(cfg.trace_capacity);
         questpro_trace::set_enabled(true);
     }
+    if cfg.logging {
+        questpro_log::set_capacity(cfg.log_capacity);
+        questpro_log::set_level(Some(cfg.log_level));
+        if let Some(path) = &cfg.log_file {
+            let file = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)?;
+            questpro_log::set_sink(Some(Box::new(file)));
+        }
+        questpro_log::flight::install();
+    }
     let listener = TcpListener::bind(&cfg.addr)?;
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
-    let state = Arc::new(AppState::new(
+    let mut state = AppState::new(
         cfg.threads,
         cfg.max_body,
         Duration::from_secs(cfg.session_idle_secs),
         cfg.max_sessions,
-    ));
+    );
+    state.slow_query_ns = cfg.slow_query_ms.saturating_mul(1_000_000);
+    let state = Arc::new(state);
     let acceptor = {
         let state = Arc::clone(&state);
         let cfg = cfg.clone();
@@ -166,6 +203,14 @@ fn accept_loop(listener: &TcpListener, state: &Arc<AppState>, cfg: &ServerConfig
                 {
                     state.http.record_overload();
                     state.http.record_response(503);
+                    if questpro_log::enabled(Level::Warn) {
+                        questpro_log::emit(
+                            Level::Warn,
+                            "server.overload",
+                            "connection shed with 503: worker queue full",
+                            vec![("workers", cfg.workers.into()), ("queue", cfg.queue.into())],
+                        );
+                    }
                     if let Ok(mut s) = reject_half {
                         let mut resp = Response::error(503, "server overloaded; retry later");
                         resp.close = true;
@@ -201,52 +246,136 @@ fn serve_connection(stream: TcpStream, state: &Arc<AppState>, max_body: usize) {
     let mut writer = stream;
     loop {
         let mut resp = match read_request(&mut reader, max_body) {
-            Ok(req) => {
-                state.http.record_request();
-                // One trace per request, on the worker thread serving it;
-                // the guard publishes even when the handler panics.
-                let trace = questpro_trace::begin(format!("{} {}", req.method, req.path));
-                // A panicking handler must cost exactly one response.
-                let mut resp = catch_unwind(AssertUnwindSafe(|| route(state, &req)))
-                    .unwrap_or_else(|_| Response::error(500, "request handler panicked"));
-                if let Some(t) = trace {
-                    resp.trace_id = Some(t.id());
-                    t.finish();
-                }
-                if req.wants_close() {
-                    resp.close = true;
-                }
-                resp
-            }
+            Ok(req) => serve_request(state, &req),
             Err(ReadError::Closed | ReadError::Disconnected(_)) => return,
-            Err(ReadError::BadRequest(msg)) => {
-                state.http.record_request();
-                let mut resp = Response::error(400, &msg);
-                resp.close = true;
-                resp
+            Err(ReadError::IdleTimeout) => {
+                state.http.record_keepalive_timeout();
+                return;
             }
-            Err(ReadError::HeadTooLarge) => {
-                state.http.record_request();
-                let mut resp = Response::error(431, "request head too large");
-                resp.close = true;
-                resp
-            }
-            Err(ReadError::BodyTooLarge) => {
-                state.http.record_request();
-                let mut resp = Response::error(413, "request body too large");
-                resp.close = true;
-                resp
-            }
+            Err(ReadError::BadRequest(msg)) => unreadable(state, 400, &msg),
+            Err(ReadError::HeadTooLarge) => unreadable(state, 431, "request head too large"),
+            Err(ReadError::BodyTooLarge) => unreadable(state, 413, "request body too large"),
         };
         if state.shutdown.load(Ordering::SeqCst) {
             resp.close = true; // finish this response, then drain
         }
         state.http.record_response(resp.status);
+        // Publish this request's buffered log events before the peer
+        // can see the response, mirroring the trace-publish ordering:
+        // a follow-up /debug/logs scrape must find the access event.
+        questpro_log::flush();
         if write_response(&mut writer, &resp).is_err() || resp.close {
             let _ = writer.flush();
             return;
         }
     }
+}
+
+/// Routes one parsed request with tracing, per-route latency metrics,
+/// and the access/slow-query logs.
+fn serve_request(state: &Arc<AppState>, req: &Request) -> Response {
+    state.http.record_request();
+    let started = Instant::now();
+    let label = route_label(&req.method, &req.path);
+    // One trace per request, on the worker thread serving it; the
+    // guard publishes even when the handler panics.
+    let trace = questpro_trace::begin(format!("{} {}", req.method, req.path));
+    let trace_id = trace.as_ref().map(questpro_trace::ActiveTrace::id);
+    // A panicking handler must cost exactly one response.
+    let mut resp = catch_unwind(AssertUnwindSafe(|| route(state, req))).unwrap_or_else(|_| {
+        // The flight recorder already dumped context to stderr from
+        // inside the panic hook; leave one correlatable event too.
+        questpro_log::emit_traced(
+            trace_id,
+            Level::Error,
+            "server.panic",
+            format!("handler panicked: {} {}", req.method, req.path),
+            vec![("route", label.into())],
+        );
+        Response::error(500, "request handler panicked")
+    });
+    let elapsed_ns = started.elapsed().as_nanos() as u64;
+    record_route(label, elapsed_ns);
+    if let Some(t) = trace {
+        resp.trace_id = Some(t.id());
+        let rec = t.finish();
+        slow_query_log(state, label, &rec);
+    }
+    // The access log: one event per request, carrying the same ID the
+    // response echoes as X-Questpro-Trace-Id.
+    if questpro_log::enabled(Level::Info) {
+        questpro_log::emit_traced(
+            trace_id,
+            Level::Info,
+            "server.access",
+            format!("{} {}", req.method, req.path),
+            vec![
+                ("route", label.into()),
+                ("status", resp.status.into()),
+                ("bytes", resp.body.len().into()),
+                ("latency_ns", elapsed_ns.into()),
+            ],
+        );
+    }
+    if req.wants_close() {
+        resp.close = true;
+    }
+    resp
+}
+
+/// Routes eligible for the slow-query log: the ones that run inference
+/// or feedback rounds (the paper's Section VI latency subjects).
+const SLOW_ROUTES: &[&str] = &[
+    "POST /eval",
+    "POST /infer",
+    "POST /sessions",
+    "POST /sessions/:id/infer",
+    "POST /sessions/:id/feedback",
+];
+
+/// Emits one warn event with per-stage self-times when an inference
+/// route exceeded the configured threshold.
+fn slow_query_log(state: &AppState, label: &'static str, rec: &questpro_trace::TraceRecord) {
+    if state.slow_query_ns == 0
+        || rec.total_ns < state.slow_query_ns
+        || !SLOW_ROUTES.contains(&label)
+        || !questpro_log::enabled(Level::Warn)
+    {
+        return;
+    }
+    let mut fields: Vec<(&'static str, questpro_log::Value)> = vec![
+        ("route", label.into()),
+        ("total_ns", rec.total_ns.into()),
+        ("spans", rec.spans.len().into()),
+    ];
+    // Stage names are dotted (`infer.topk`), so they can never collide
+    // with the envelope keys above.
+    for (stage, _calls, self_ns) in rec.stage_totals() {
+        fields.push((stage, self_ns.into()));
+    }
+    questpro_log::emit_traced(
+        Some(rec.id),
+        Level::Warn,
+        "server.slow",
+        format!("slow request: {}", rec.label),
+        fields,
+    );
+}
+
+/// Counts and logs a request that could not be parsed off the wire.
+fn unreadable(state: &Arc<AppState>, status: u16, msg: &str) -> Response {
+    state.http.record_request();
+    if questpro_log::enabled(Level::Warn) {
+        questpro_log::emit(
+            Level::Warn,
+            "server.http",
+            format!("unreadable request: {msg}"),
+            vec![("status", status.into())],
+        );
+    }
+    let mut resp = Response::error(status, msg);
+    resp.close = true;
+    resp
 }
 
 #[cfg(test)]

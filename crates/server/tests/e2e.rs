@@ -479,6 +479,178 @@ fn every_response_carries_a_trace_id_resolvable_in_debug_traces() {
     server.join();
 }
 
+/// Extracts the value of the first sample line starting with `prefix`.
+/// Unlike [`json_metric`], handles labeled names with spaces inside the
+/// label value (e.g. `..._count{route="POST /eval"} 3`).
+fn labeled_metric(scrape: &str, prefix: &str) -> u64 {
+    scrape
+        .lines()
+        .find(|l| l.starts_with(prefix))
+        .and_then(|l| l.rsplit_once(' '))
+        .and_then(|(_, v)| v.parse().ok())
+        .unwrap_or_else(|| panic!("metric {prefix} missing"))
+}
+
+#[test]
+fn one_id_joins_access_log_trace_and_route_metrics() {
+    let server = boot();
+    let addr = server.addr();
+
+    let route_count = "questpro_route_duration_ns_count{route=\"POST /eval\"}";
+    let (_, scrape) = call(addr, "GET", "/metrics", None);
+    let count_before = labeled_metric(&scrape, route_count);
+
+    // A world plus one /eval against it; the response names its trace.
+    let world = Json::obj([
+        ("name", Json::str("joinworld")),
+        ("triples", Json::str("a knows b\nb knows c\n")),
+    ])
+    .to_text();
+    assert_eq!(call(addr, "POST", "/ontologies", Some(&world)).0, 201);
+    let eval = Json::obj([
+        ("ontology", Json::str("joinworld")),
+        ("query", Json::str("SELECT ?x WHERE { ?x :knows ?y . }")),
+    ])
+    .to_text();
+    let (status, headers, _) = call_with_headers(addr, "POST", "/eval", Some(&eval));
+    assert_eq!(status, 200);
+    let id: u64 = header_value(&headers, "x-questpro-trace-id")
+        .expect("a trace ID header")
+        .parse()
+        .expect("a numeric trace ID");
+
+    // Pillar 1: the access log carries the same ID.
+    let (status, body) = call(addr, "GET", "/debug/logs?limit=1024", None);
+    assert_eq!(status, 200);
+    let doc = json(&body);
+    assert_eq!(doc.get("enabled").and_then(Json::as_bool), Some(true));
+    let events = doc
+        .get("events")
+        .and_then(Json::as_arr)
+        .expect("an events array");
+    let access = events
+        .iter()
+        .find(|e| {
+            e.get("trace_id").and_then(Json::as_u64) == Some(id)
+                && e.get("target").and_then(Json::as_str) == Some("server.access")
+        })
+        .expect("the /eval access-log event, joined by trace ID");
+    assert_eq!(access.get("msg").and_then(Json::as_str), Some("POST /eval"));
+    let fields = access.get("fields").expect("access-log fields");
+    assert_eq!(
+        fields.get("route").and_then(Json::as_str),
+        Some("POST /eval")
+    );
+    assert_eq!(fields.get("status").and_then(Json::as_u64), Some(200));
+    assert!(fields.get("latency_ns").and_then(Json::as_u64).is_some());
+    assert!(fields.get("bytes").and_then(Json::as_u64).is_some());
+
+    // Pillar 2: the trace registry resolves the same ID.
+    let (status, body) = call(addr, "GET", "/debug/traces?limit=1024", None);
+    assert_eq!(status, 200);
+    let traces = json(&body);
+    let trace = traces
+        .get("traces")
+        .and_then(Json::as_arr)
+        .expect("a traces array")
+        .iter()
+        .find(|t| t.get("id").and_then(Json::as_u64) == Some(id))
+        .cloned()
+        .expect("the /eval trace, joined by trace ID");
+    assert_eq!(
+        trace.get("label").and_then(Json::as_str),
+        Some("POST /eval")
+    );
+
+    // Pillar 3: the per-route histogram counted the same request.
+    let (_, scrape) = call(addr, "GET", "/metrics", None);
+    let count_after = labeled_metric(&scrape, route_count);
+    assert!(
+        count_after > count_before,
+        "route histogram must count the /eval ({count_before} -> {count_after})"
+    );
+    server.join();
+}
+
+#[test]
+fn malformed_debug_logs_params_are_rejected_without_panic() {
+    let server = boot();
+    let addr = server.addr();
+
+    for bad in [
+        "/debug/logs?limit=abc",
+        "/debug/logs?limit=+5",
+        "/debug/logs?limit=0",
+        "/debug/logs?limit=99999",
+        "/debug/logs?level=loud",
+        "/debug/logs?level=",
+    ] {
+        let (status, body) = call(addr, "GET", bad, None);
+        assert_eq!(status, 400, "{bad} must be a client error, got {body}");
+        assert!(
+            json(&body).get("error").is_some(),
+            "{bad} must carry a JSON error envelope"
+        );
+    }
+    assert_eq!(call(addr, "POST", "/debug/logs", None).0, 405);
+    assert_eq!(call(addr, "GET", "/debug/logs?level=WARN", None).0, 200);
+    assert_eq!(call(addr, "GET", "/healthz", None).0, 200);
+    server.join();
+}
+
+#[test]
+fn overload_sheds_and_keepalive_timeouts_hit_their_counters() {
+    // One worker, a queue of one: the worker blocks on the first idle
+    // connection until its read timeout, the queue holds the second,
+    // and every further connection is shed with 503 by the acceptor.
+    let server = start(&ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 1,
+        queue: 1,
+        read_timeout_ms: 300,
+        ..ServerConfig::default()
+    })
+    .expect("binding an ephemeral port");
+    let addr = server.addr();
+
+    let conns: Vec<TcpStream> = (0..10)
+        .map(|_| TcpStream::connect(addr).expect("connecting"))
+        .collect();
+    let mut shed = 0u64;
+    let mut closed_idle = 0u64;
+    for mut c in conns {
+        c.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let mut buf = String::new();
+        if c.read_to_string(&mut buf).is_ok() {
+            if buf.starts_with("HTTP/1.1 503") {
+                shed += 1;
+            } else if buf.is_empty() {
+                // Closed without a response: the server reclaimed an
+                // idle keep-alive connection.
+                closed_idle += 1;
+            }
+        }
+    }
+    assert!(shed >= 1, "at least one connection must be shed with 503");
+    assert!(
+        closed_idle >= 1,
+        "at least one idle connection must be timed out"
+    );
+
+    // Both fates are first-class counters now.
+    let (status, scrape) = call(addr, "GET", "/metrics", None);
+    assert_eq!(status, 200);
+    assert!(
+        json_metric(&scrape, "questpro_http_overload_rejections_total") >= shed,
+        "all observed 503s must be counted: {scrape}"
+    );
+    assert!(
+        json_metric(&scrape, "questpro_http_keepalive_timeouts_total") >= closed_idle,
+        "all observed idle closures must be counted"
+    );
+    server.join();
+}
+
 #[test]
 fn malformed_debug_traces_limits_are_rejected_without_panic() {
     let server = boot();

@@ -1,11 +1,14 @@
-//! Per-stage log2-bucket latency histograms behind relaxed atomics.
+//! Labeled log2-bucket latency histograms behind relaxed atomics.
 //!
-//! One histogram per name in [`crate::STAGES`], updated lock-free when
-//! a finished trace is published and scraped by the server's
-//! `GET /metrics`. Bucket upper bounds are powers of two from 2^10 ns
-//! (1 µs) to 2^33 ns (~8.6 s); durations below the first bound land in
-//! the first bucket, everything above the last lands in `+Inf`. The
-//! bucket layout and the stage list are both fixed at compile time, so
+//! [`HistogramSet`] is the reusable core: a fixed, compile-time list of
+//! label values (stages, HTTP routes, …), one histogram per label,
+//! updated lock-free and scraped by the server's `GET /metrics`. The
+//! per-stage set that `questpro-trace` feeds when a finished trace is
+//! published is one instance (the free functions below); the server's
+//! per-route set is another. Bucket upper bounds are powers of two from
+//! 2^10 ns (1 µs) to 2^33 ns (~8.6 s); durations below the first bound
+//! land in the first bucket, everything above the last lands in `+Inf`.
+//! The bucket layout and every label list are fixed at compile time, so
 //! the Prometheus exposition format never varies with traffic — the
 //! golden-file test freezes it.
 
@@ -18,55 +21,104 @@ use crate::STAGES;
 pub const FIRST_BUCKET_LOG2: u32 = 10;
 /// log2 of the last finite bucket's upper bound (2^33 ns ≈ 8.6 s).
 pub const LAST_BUCKET_LOG2: u32 = 33;
-/// Number of finite buckets per stage.
+/// Number of finite buckets per label.
 pub const BUCKETS: usize = (LAST_BUCKET_LOG2 - FIRST_BUCKET_LOG2 + 1) as usize;
 
-struct StageHist {
+struct LabelHist {
     counts: Vec<AtomicU64>, // BUCKETS entries; +Inf is derived from total
     total: AtomicU64,
     sum_ns: AtomicU64,
 }
 
-fn hists() -> &'static Vec<StageHist> {
-    static HISTS: OnceLock<Vec<StageHist>> = OnceLock::new();
-    HISTS.get_or_init(|| {
-        STAGES
+/// A fixed family of log2 latency histograms, one per label value.
+///
+/// The label list is `&'static` so the exposition format (which labels
+/// render, in which order) is decided at compile time; recording under
+/// a label outside the list is ignored.
+pub struct HistogramSet {
+    labels: &'static [&'static str],
+    hists: Vec<LabelHist>,
+}
+
+impl HistogramSet {
+    /// Creates a zeroed set with one histogram per label.
+    pub fn new(labels: &'static [&'static str]) -> HistogramSet {
+        HistogramSet {
+            labels,
+            hists: labels
+                .iter()
+                .map(|_| LabelHist {
+                    counts: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+                    total: AtomicU64::new(0),
+                    sum_ns: AtomicU64::new(0),
+                })
+                .collect(),
+        }
+    }
+
+    /// The label list this set renders, in order.
+    pub fn labels(&self) -> &'static [&'static str] {
+        self.labels
+    }
+
+    /// Records one observation of `ns` nanoseconds under `label`.
+    /// Labels outside the fixed list are ignored.
+    pub fn record(&self, label: &str, ns: u64) {
+        let Some(idx) = self.labels.iter().position(|s| *s == label) else {
+            return;
+        };
+        let h = &self.hists[idx];
+        h.total.fetch_add(1, Ordering::Relaxed);
+        h.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        // Smallest bucket whose upper bound 2^b satisfies ns <= 2^b,
+        // i.e. ceil(log2(ns)); everything at or below the first bound
+        // shares bucket 0, everything above the last bound counts only
+        // toward `total` (the +Inf bucket).
+        let floor_log2 = 63 - ns.max(1).leading_zeros() as u64;
+        let ceil_log2 = floor_log2 + u64::from(!ns.max(1).is_power_of_two());
+        let le_idx = ceil_log2.saturating_sub(FIRST_BUCKET_LOG2 as u64);
+        if le_idx >= BUCKETS as u64 {
+            return; // +Inf only
+        }
+        h.counts[le_idx as usize].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshots every histogram, in label order, always including
+    /// labels that were never observed (zero-filled).
+    pub fn snapshot(&self) -> Vec<HistSnapshot> {
+        self.hists
             .iter()
-            .map(|_| StageHist {
-                counts: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
-                total: AtomicU64::new(0),
-                sum_ns: AtomicU64::new(0),
+            .zip(self.labels.iter())
+            .map(|(h, label)| {
+                let raw: Vec<u64> = h.counts.iter().map(|c| c.load(Ordering::Relaxed)).collect();
+                let mut cum = 0;
+                let buckets = raw
+                    .iter()
+                    .map(|&c| {
+                        cum += c;
+                        cum
+                    })
+                    .collect();
+                HistSnapshot {
+                    stage: label,
+                    buckets,
+                    count: h.total.load(Ordering::Relaxed),
+                    sum_ns: h.sum_ns.load(Ordering::Relaxed),
+                }
             })
             .collect()
-    })
-}
-
-/// Records one observation of `ns` nanoseconds for stage `name`.
-/// Names outside [`STAGES`] are ignored.
-pub fn record(name: &str, ns: u64) {
-    let Some(idx) = STAGES.iter().position(|s| *s == name) else {
-        return;
-    };
-    let h = &hists()[idx];
-    h.total.fetch_add(1, Ordering::Relaxed);
-    h.sum_ns.fetch_add(ns, Ordering::Relaxed);
-    // Smallest bucket whose upper bound 2^b satisfies ns <= 2^b, i.e.
-    // ceil(log2(ns)); everything at or below the first bound shares
-    // bucket 0, everything above the last bound counts only toward
-    // `total` (the +Inf bucket).
-    let floor_log2 = 63 - ns.max(1).leading_zeros() as u64;
-    let ceil_log2 = floor_log2 + u64::from(!ns.max(1).is_power_of_two());
-    let le_idx = ceil_log2.saturating_sub(FIRST_BUCKET_LOG2 as u64);
-    if le_idx >= BUCKETS as u64 {
-        return; // +Inf only
     }
-    h.counts[le_idx as usize].fetch_add(1, Ordering::Relaxed);
 }
 
-/// One stage's histogram, read atomically bucket-by-bucket.
+fn stage_set() -> &'static HistogramSet {
+    static HISTS: OnceLock<HistogramSet> = OnceLock::new();
+    HISTS.get_or_init(|| HistogramSet::new(STAGES))
+}
+
+/// One label's histogram, read atomically bucket-by-bucket.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HistSnapshot {
-    /// Stage name (an entry of [`STAGES`]).
+    /// Label value (for the built-in set, an entry of [`STAGES`]).
     pub stage: &'static str,
     /// Cumulative counts per finite bucket: `buckets[i]` is the number
     /// of observations with duration ≤ 2^(FIRST_BUCKET_LOG2 + i) ns.
@@ -77,30 +129,16 @@ pub struct HistSnapshot {
     pub sum_ns: u64,
 }
 
+/// Records one observation of `ns` nanoseconds for stage `name` in the
+/// built-in per-stage set. Names outside [`STAGES`] are ignored.
+pub fn record(name: &str, ns: u64) {
+    stage_set().record(name, ns);
+}
+
 /// Snapshots every stage histogram, in [`STAGES`] order, always
 /// including stages that were never observed (zero-filled).
 pub fn snapshot() -> Vec<HistSnapshot> {
-    hists()
-        .iter()
-        .zip(STAGES.iter())
-        .map(|(h, stage)| {
-            let raw: Vec<u64> = h.counts.iter().map(|c| c.load(Ordering::Relaxed)).collect();
-            let mut cum = 0;
-            let buckets = raw
-                .iter()
-                .map(|&c| {
-                    cum += c;
-                    cum
-                })
-                .collect();
-            HistSnapshot {
-                stage,
-                buckets,
-                count: h.total.load(Ordering::Relaxed),
-                sum_ns: h.sum_ns.load(Ordering::Relaxed),
-            }
-        })
-        .collect()
+    stage_set().snapshot()
 }
 
 #[cfg(test)]
@@ -127,6 +165,22 @@ mod tests {
     fn unknown_stage_is_ignored() {
         record("not.a.stage", 123);
         // No panic, nothing to assert beyond the call returning.
+    }
+
+    #[test]
+    fn custom_sets_are_independent_of_the_stage_set() {
+        static LABELS: &[&str] = &["a", "b"];
+        let set = HistogramSet::new(LABELS);
+        set.record("a", 1);
+        set.record("a", 1 << 40);
+        set.record("nope", 1);
+        let snap = set.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].count, 2);
+        assert_eq!(snap[0].buckets[0], 1, "1ns in the first bucket");
+        assert_eq!(snap[0].buckets[BUCKETS - 1], 1, "2^40 only in +Inf");
+        assert_eq!(snap[1].count, 0, "unobserved labels render zero-filled");
+        assert_eq!(set.labels(), LABELS);
     }
 
     #[test]

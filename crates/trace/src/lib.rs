@@ -155,6 +155,55 @@ impl TraceRecord {
         agg
     }
 
+    /// Serializes the trace as Chrome trace-event JSON (the
+    /// `chrome://tracing` / Perfetto "JSON Array with metadata" format):
+    /// one complete (`"ph":"X"`) event per span with microsecond
+    /// timestamps, plus one for the trace itself, so the span forest
+    /// renders as a flamegraph. Counters become event `args`.
+    pub fn to_chrome_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            let mut out = String::with_capacity(s.len());
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => out.push(c),
+                }
+            }
+            out
+        }
+        let us = |ns: u64| ns as f64 / 1e3;
+        let mut events = Vec::with_capacity(self.spans.len() + 1);
+        events.push(format!(
+            "{{\"name\":\"{}\",\"cat\":\"trace\",\"ph\":\"X\",\"ts\":0,\"dur\":{},\
+             \"pid\":1,\"tid\":1,\"args\":{{\"trace_id\":{}}}}}",
+            esc(&self.label),
+            us(self.total_ns),
+            self.id
+        ));
+        for s in &self.spans {
+            let mut args = String::new();
+            for (k, v) in &s.counters {
+                if !args.is_empty() {
+                    args.push(',');
+                }
+                args.push_str(&format!("\"{}\":{}", esc(k), v));
+            }
+            events.push(format!(
+                "{{\"name\":\"{}\",\"cat\":\"span\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+                 \"pid\":1,\"tid\":1,\"args\":{{{args}}}}}",
+                esc(s.name),
+                us(s.start_ns),
+                us(s.total_ns),
+            ));
+        }
+        format!(
+            "{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[{}]}}",
+            events.join(",")
+        )
+    }
+
     /// Renders the trace as a flame-style indented tree with total and
     /// self times per span, suitable for terminal output.
     pub fn render_tree(&self) -> String {
@@ -331,6 +380,54 @@ pub fn add(name: &'static str, n: u64) {
             col.add(name, n);
         }
     });
+}
+
+/// ID of the trace currently being recorded on this thread, if any.
+///
+/// Safe to call from any context, including a panic hook: it uses
+/// non-panicking borrows and returns `None` if the collector is busy.
+pub fn current_trace_id() -> Option<u64> {
+    COLLECTOR
+        .try_with(|c| {
+            c.try_borrow()
+                .ok()
+                .and_then(|col| col.as_ref().map(|c| c.id))
+        })
+        .ok()
+        .flatten()
+}
+
+/// Name of the innermost open span on this thread's active trace.
+///
+/// Panic-hook safe, like [`current_trace_id`].
+pub fn current_span_name() -> Option<&'static str> {
+    COLLECTOR
+        .try_with(|c| {
+            c.try_borrow().ok().and_then(|col| {
+                col.as_ref()
+                    .and_then(|c| c.stack.last().map(|&i| c.nodes[i].name))
+            })
+        })
+        .ok()
+        .flatten()
+}
+
+/// Names of every open span on this thread's active trace, outermost
+/// first. Used by the flight recorder to report where a panic struck.
+///
+/// Panic-hook safe, like [`current_trace_id`].
+pub fn current_open_spans() -> Vec<&'static str> {
+    COLLECTOR
+        .try_with(|c| {
+            c.try_borrow()
+                .ok()
+                .and_then(|col| {
+                    col.as_ref()
+                        .map(|c| c.stack.iter().map(|&i| c.nodes[i].name).collect())
+                })
+                .unwrap_or_default()
+        })
+        .unwrap_or_default()
 }
 
 /// Handle to the trace currently being recorded on this thread.
@@ -541,6 +638,79 @@ mod tests {
         assert_eq!(totals.len(), 1);
         assert_eq!(totals[0].0, "infer.round");
         assert_eq!(totals[0].1, 3);
+    }
+
+    #[test]
+    fn correlation_accessors_track_the_active_trace() {
+        with_tracing(|| {
+            assert_eq!(current_trace_id(), None);
+            assert_eq!(current_span_name(), None);
+            assert!(current_open_spans().is_empty());
+            let t = begin("unit").expect("enabled");
+            assert_eq!(current_trace_id(), Some(t.id()));
+            {
+                let _a = span("infer.topk");
+                let _b = span("infer.round");
+                assert_eq!(current_span_name(), Some("infer.round"));
+                assert_eq!(current_open_spans(), vec!["infer.topk", "infer.round"]);
+            }
+            assert_eq!(current_span_name(), None);
+            t.finish();
+            assert_eq!(current_trace_id(), None);
+        });
+    }
+
+    #[test]
+    fn chrome_export_has_one_event_per_span_plus_trace() {
+        let rec = with_tracing(|| {
+            let t = begin("POST /eval \"q\"").expect("enabled");
+            {
+                let _a = span("infer.topk");
+                add("rounds", 3);
+                let _b = span("infer.round");
+            }
+            t.finish()
+        });
+        let json = rec.to_chrome_json();
+        assert_eq!(json.matches("\"ph\":\"X\"").count(), rec.spans.len() + 1);
+        assert!(json.contains("\"displayTimeUnit\":\"ms\""));
+        assert!(json.contains("\"name\":\"infer.topk\""));
+        assert!(json.contains("\"rounds\":3"));
+        assert!(json.contains("\\\"q\\\""), "label quotes are escaped");
+        assert!(json.contains(&format!("\"trace_id\":{}", rec.id)));
+    }
+
+    #[test]
+    fn chrome_export_parses_as_wire_json() {
+        let rec = with_tracing(|| {
+            let t = begin("trace \\ \"label\"\nwith control chars").expect("enabled");
+            {
+                let _a = span("engine.evaluate_union");
+                add("matches", 42);
+            }
+            t.finish()
+        });
+        let json = questpro_wire::parse(&rec.to_chrome_json()).expect("valid JSON");
+        let events = json
+            .get("traceEvents")
+            .and_then(|v| v.as_arr())
+            .expect("traceEvents array");
+        assert_eq!(events.len(), rec.spans.len() + 1);
+        assert_eq!(
+            events[0].get("name").and_then(|v| v.as_str()),
+            Some("trace \\ \"label\"\nwith control chars")
+        );
+        assert_eq!(
+            events[1].get("name").and_then(|v| v.as_str()),
+            Some("engine.evaluate_union")
+        );
+        assert_eq!(
+            events[1]
+                .get("args")
+                .and_then(|a| a.get("matches"))
+                .and_then(|v| v.as_u64()),
+            Some(42)
+        );
     }
 
     #[test]

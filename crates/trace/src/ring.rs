@@ -70,6 +70,14 @@ impl<T> Ring<T> {
     pub fn latest(&self, limit: usize) -> Vec<&T> {
         self.buf.iter().rev().take(limit).collect()
     }
+
+    /// Removes and returns every retained element, oldest-first. The
+    /// drop counter is untouched, so `pushed == drained + retained +
+    /// dropped` stays exact across interleaved pushes and drains — the
+    /// contract the log subsystem's concurrency battery asserts.
+    pub fn drain(&mut self) -> Vec<T> {
+        self.buf.drain(..).collect()
+    }
 }
 
 #[cfg(test)]
@@ -92,6 +100,19 @@ mod tests {
         assert_eq!(r.dropped(), 7);
         assert_eq!(r.len(), 3);
         assert_eq!(r.capacity(), 3);
+    }
+
+    #[test]
+    fn drain_empties_but_keeps_drop_accounting() {
+        let mut r = Ring::new(2);
+        for i in 0..5 {
+            r.push(i);
+        }
+        assert_eq!(r.dropped(), 3);
+        assert_eq!(r.drain(), vec![3, 4], "oldest-first drain");
+        assert!(r.is_empty());
+        assert_eq!(r.dropped(), 3, "drains are not drops");
+        assert_eq!(r.push(9), None, "capacity is reusable after a drain");
     }
 
     #[test]

@@ -3,8 +3,10 @@
 # an in-process questpro-server is driven by concurrent keep-alive
 # clients issuing POST /infer, and every response is checked
 # byte-for-byte against the one-shot library inference (the CLI path).
+# Also writes BENCH_5.json: per-route p50/p95/p99 latency quantiles
+# read off the server's /metrics route histograms after the run.
 #
-#   scripts/loadgen.sh [OUT.json]
+#   scripts/loadgen.sh [OUT.json] [ROUTES_OUT.json]
 #
 # Env:
 #   LOADGEN_TINY=1     smoke mode: 2 clients x 3 requests (CI).
@@ -14,8 +16,10 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 out="${1:-BENCH_2.json}"
+routes_out="${2:-BENCH_5.json}"
 clients="${LOADGEN_CLIENTS:-8}"
 requests="${LOADGEN_REQUESTS:-25}"
 
 cargo build --release -p questpro-bench --bin loadgen --offline
-./target/release/loadgen --clients "$clients" --requests "$requests" --out "$out"
+./target/release/loadgen --clients "$clients" --requests "$requests" \
+  --out "$out" --routes-out "$routes_out"

@@ -79,3 +79,30 @@ fn every_trace_stage_appears_in_the_exposition() {
         );
     }
 }
+
+#[test]
+fn route_labels_and_the_exposition_cannot_drift_apart() {
+    use questpro_server::router::ROUTES;
+
+    let text = render(&HttpCounters::default(), 0);
+    // Forward: every dispatchable route renders its full histogram even
+    // with zero traffic.
+    for route in ROUTES {
+        assert!(
+            text.contains(&format!("route=\"{route}\",le=\"+Inf\"")),
+            "route {route} missing from the histogram family"
+        );
+    }
+    // Backward: the exposition carries no label outside the dispatch
+    // table (a stale label here means ROUTES and the router diverged).
+    for line in text.lines().filter(|l| !l.starts_with('#')) {
+        let Some(rest) = line.split("route=\"").nth(1) else {
+            continue;
+        };
+        let label = rest.split('"').next().expect("closing quote");
+        assert!(
+            ROUTES.contains(&label),
+            "exposition carries unknown route label {label:?}"
+        );
+    }
+}
