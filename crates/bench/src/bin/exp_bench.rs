@@ -22,6 +22,13 @@
 //! * `--log-overhead` — measure the cost of a *disabled* structured-log
 //!   `emit` and assert the event instrumentation adds < 1% to the
 //!   1-thread wall time (the CI `log-overhead` smoke gate).
+//! * `--bench6 PATH` — write the B6 report: per-query wall times with
+//!   validity-annotated parallelism, cold/warm columnar index-build
+//!   times per world, and (with `--baseline BENCH_1.json`) the
+//!   improvement factor over the committed pre-optimization walls (this
+//!   is what `scripts/bench.sh` uses to produce `BENCH_6.json`).
+//! * `--baseline PATH` — committed `BENCH_1.json` to diff `--bench6`
+//!   runs against.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -112,6 +119,20 @@ fn main() {
     while *sweep.last().expect("non-empty") * 2 <= max_threads {
         sweep.push(sweep.last().expect("non-empty") * 2);
     }
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let sweep_max = *sweep.last().expect("non-empty");
+    // A thread-sweep row only measures real parallelism when the host
+    // can actually run that many workers at once. On a smaller host the
+    // row still checks output identity, but its wall time is a
+    // scheduling artifact, not a speedup — mark it invalid.
+    let valid_parallel = |t: usize| t <= host_cpus;
+    if host_cpus < sweep_max {
+        eprintln!(
+            "WARNING: thread sweep reaches {sweep_max} but this host exposes only \
+             {host_cpus} CPU(s); rows above {host_cpus} thread(s) are marked \
+             \"valid_parallel\": false and must not be read as speedup data."
+        );
+    }
 
     let mut cells: Vec<Cell> = Vec::new();
     for w in &picked {
@@ -171,9 +192,6 @@ fn main() {
         ]);
     }
     println!("{}", t.to_markdown());
-    let host_cpus = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
     println!(
         "All parallel runs asserted byte-identical to the 1-thread outputs \
          (candidate SPARQL text and deterministic counters)."
@@ -209,7 +227,9 @@ fn main() {
                  \"merge_ms\": {:.3}, \"consistency_ms\": {:.3}, \"total_ms\": {:.3}, \
                  \"consistency_checks\": {}, \"consistency_cache_hits\": {}, \
                  \"consistency_cache_hit_rate\": {:.4}, \"merge_cache_hit_rate\": {:.4}, \
+                 \"merge_cache_true_misses\": {}, \"merge_cache_capacity_misses\": {}, \
                  \"matcher_nodes_expanded\": {}, \"speedup_vs_1_thread\": {:.3}, \
+                 \"effective_threads\": {}, \"valid_parallel\": {}, \
                  \"output_identical_to_sequential\": true}}",
                 json_escape(&c.query),
                 c.threads,
@@ -221,14 +241,30 @@ fn main() {
                 c.stats.consistency_cache_hits,
                 c.stats.consistency_hit_rate(),
                 c.stats.merge_hit_rate(),
+                c.stats.merge_cache_true_misses,
+                c.stats.merge_cache_capacity_misses,
                 c.stats.matcher_nodes_expanded,
                 base.wall_ms / c.wall_ms,
+                questpro_engine::par::effective_threads(c.threads),
+                valid_parallel(c.threads),
             );
             out.push_str(if i + 1 == cells.len() { "\n" } else { ",\n" });
         }
         out.push_str("  ]\n}\n");
         std::fs::write(&path, out).expect("write json report");
         eprintln!("wrote {path}");
+    }
+
+    if let Some(path) = cli_value("--bench6") {
+        bench6_section(
+            &worlds,
+            &cells,
+            trials,
+            host_cpus,
+            &sweep,
+            &path,
+            cli_value("--baseline").as_deref(),
+        );
     }
 
     let trace_json = cli_value("--trace-json");
@@ -309,6 +345,153 @@ fn log_section(
          ({ns_per_emit:.2} ns/emit x {worst_events:.0} events)"
     );
     println!("Log-overhead gate passed (< 1%).");
+}
+
+/// Pulls the 1-thread wall of every query out of a committed
+/// `BENCH_1.json`. The file is machine-written by this binary (one run
+/// object per line), so a line scan is exact — no JSON parser needed.
+fn baseline_walls(text: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        if !line.contains("\"threads\": 1,") {
+            continue;
+        }
+        let Some(q) = line
+            .split("\"query\": \"")
+            .nth(1)
+            .and_then(|s| s.split('"').next())
+        else {
+            continue;
+        };
+        let Some(wall) = line
+            .split("\"wall_ms\": ")
+            .nth(1)
+            .and_then(|s| s.split(',').next())
+            .and_then(|s| s.trim().parse::<f64>().ok())
+        else {
+            continue;
+        };
+        out.push((q.to_string(), wall));
+    }
+    out
+}
+
+/// Cold and warm columnar index-build times for one world, in ms.
+///
+/// *Cold* re-inserts every triple into a fresh [`OntologyBuilder`] and
+/// times `build()` alone — interning, row tables, adjacency, and the
+/// columnar SPO/POS/OSP block, exactly what a fresh ontology load pays.
+/// *Warm* times [`Ontology::rebuild_columnar`] — just the sorted index
+/// arrays and per-predicate statistics over already-interned ids.
+fn index_build_times(ont: &Ontology) -> (f64, f64) {
+    let mut b = Ontology::builder();
+    for e in ont.edge_ids() {
+        let ed = ont.edge(e);
+        b.edge(
+            ont.value_str(ed.src),
+            ont.pred_str_of(e),
+            ont.value_str(ed.dst),
+        )
+        .expect("round-tripped triples are well-formed");
+    }
+    let t0 = Instant::now();
+    let rebuilt = b.build();
+    let cold_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(
+        rebuilt.edge_count(),
+        ont.edge_count(),
+        "lossless round-trip"
+    );
+
+    let mut warm = Vec::new();
+    for _ in 0..5 {
+        let t0 = Instant::now();
+        std::hint::black_box(ont.rebuild_columnar());
+        warm.push(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    (cold_ms, median(warm))
+}
+
+/// The B6 report: per-query walls with parallel-validity annotations,
+/// cold/warm index-build costs, and the improvement factor against the
+/// committed pre-optimization baseline.
+#[allow(clippy::too_many_arguments)]
+fn bench6_section(
+    worlds: &questpro_bench::Worlds,
+    cells: &[Cell],
+    trials: u64,
+    host_cpus: usize,
+    sweep: &[usize],
+    path: &str,
+    baseline: Option<&str>,
+) {
+    let baseline = baseline.map(|p| {
+        let text = std::fs::read_to_string(p).expect("read --baseline json");
+        baseline_walls(&text)
+    });
+
+    let mut out = String::from(
+        "{\n  \"bench\": \"B6 cost-based hot path: wall time and columnar index build\",\n",
+    );
+    let _ = writeln!(
+        out,
+        "  \"config\": {{\"k\": 3, \"explanations\": {EXPLANATIONS}, \"trials\": {trials}, \
+         \"thread_sweep\": [{}], \"host_cpus\": {host_cpus}}},",
+        sweep
+            .iter()
+            .map(|t| t.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+
+    out.push_str("  \"index_build\": [\n");
+    let named: &[(&str, &Ontology)] = &[
+        ("sp2b", &worlds.sp2b),
+        ("bsbm", &worlds.bsbm),
+        ("movies", &worlds.movies),
+    ];
+    for (i, (name, ont)) in named.iter().enumerate() {
+        let (cold_ms, warm_ms) = index_build_times(ont);
+        let _ = write!(
+            out,
+            "    {{\"world\": \"{name}\", \"nodes\": {}, \"edges\": {}, \
+             \"cold_build_ms\": {cold_ms:.3}, \"warm_columnar_rebuild_ms\": {warm_ms:.3}}}",
+            ont.node_count(),
+            ont.edge_count(),
+        );
+        out.push_str(if i + 1 == named.len() { "\n" } else { ",\n" });
+    }
+    out.push_str("  ],\n");
+
+    out.push_str("  \"runs\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let before = baseline
+            .as_ref()
+            .and_then(|b| b.iter().find(|(q, _)| *q == c.query).map(|&(_, wall)| wall));
+        let _ = write!(
+            out,
+            "    {{\"query\": \"{}\", \"threads\": {}, \"effective_threads\": {}, \
+             \"wall_ms\": {:.3}, \"valid_parallel\": {}, \
+             \"output_identical_to_sequential\": true",
+            json_escape(&c.query),
+            c.threads,
+            questpro_engine::par::effective_threads(c.threads),
+            c.wall_ms,
+            c.threads <= host_cpus,
+        );
+        if let (1, Some(before)) = (c.threads, before) {
+            let _ = write!(
+                out,
+                ", \"baseline_wall_ms\": {before:.3}, \"improvement_vs_baseline\": {:.3}",
+                before / c.wall_ms
+            );
+        }
+        out.push('}');
+        out.push_str(if i + 1 == cells.len() { "\n" } else { ",\n" });
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(path, out).expect("write bench6 json report");
+    eprintln!("wrote {path}");
 }
 
 /// One traced run per query (B3): per-stage self-time breakdowns, plus

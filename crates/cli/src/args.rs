@@ -12,23 +12,23 @@ questpro — interactive inference of SPARQL queries using provenance
 USAGE:
   questpro generate --world <erdos|sp2b|bsbm|movies> --out FILE [--seed N]
   questpro eval     --ontology FILE --query FILE [--provenance VALUE]
-                    [--polynomial] [--limit N] [--threads N]
+                    [--polynomial] [--limit N] [--threads N|auto]
   questpro infer    --ontology FILE --examples FILE [--k N] [--w1 F] [--w2 F]
-                    [--diseqs] [--optional] [--minimize] [--threads N]
+                    [--diseqs] [--optional] [--minimize] [--threads N|auto]
   questpro sample   --ontology FILE --query FILE [-n N] [--seed N]
                     [--result VALUE]   (explanations for one chosen result)
   questpro explore  --ontology FILE --node VALUE [--depth N]
   questpro session  --ontology FILE --examples FILE [--target FILE]
-                    [--k N] [--seed N] [--refine] [--threads N]
+                    [--k N] [--seed N] [--refine] [--threads N|auto]
                     (without --target the questions are asked on stdin)
   questpro diagnose --ontology FILE --examples FILE
   questpro serve    [--port N | --addr HOST:PORT] [--workers N] [--queue N]
-                    [--threads N] [--max-sessions N] [--idle-secs N]
+                    [--threads N|auto] [--max-sessions N] [--idle-secs N]
                     [--log-file FILE] [--log-level LEVEL] [--slow-ms N]
                     (HTTP/JSON service; stops on POST /shutdown or terminal EOF)
   questpro trace    (--world <sp2b|bsbm|movies> [--query-id ID]
                     | --ontology FILE --query FILE)
-                    [--examples N] [--k N] [--seed N] [--threads N] [--refine]
+                    [--examples N] [--k N] [--seed N] [--threads N|auto] [--refine]
                     [--chrome FILE]
                     (profile one full inference run; prints the span tree;
                     --chrome also writes Chrome trace-event JSON for
@@ -285,7 +285,7 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
             provenance: flags.get("provenance"),
             limit: flags.num("limit", 8)? as usize,
             polynomial: flags.switch("polynomial"),
-            threads: flags.num("threads", 1)?.max(1) as usize,
+            threads: flags.threads("threads")?,
         })),
         "infer" => Ok(Command::Infer(InferArgs {
             ontology: flags.require("ontology")?,
@@ -296,7 +296,7 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
             diseqs: flags.switch("diseqs"),
             optional: flags.switch("optional"),
             minimize: flags.switch("minimize"),
-            threads: flags.num("threads", 1)?.max(1) as usize,
+            threads: flags.threads("threads")?,
         })),
         "sample" => Ok(Command::Sample(SampleArgs {
             ontology: flags.require("ontology")?,
@@ -312,7 +312,7 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
             k: flags.num("k", 3)? as usize,
             seed: flags.num("seed", 0)?,
             refine: flags.switch("refine"),
-            threads: flags.num("threads", 1)?.max(1) as usize,
+            threads: flags.threads("threads")?,
         })),
         "diagnose" => Ok(Command::Diagnose(DiagnoseArgs {
             ontology: flags.require("ontology")?,
@@ -326,7 +326,7 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
                     .unwrap_or_else(|| format!("127.0.0.1:{port}")),
                 workers: flags.num("workers", 8)?.max(1) as usize,
                 queue: flags.num("queue", 64)?.max(1) as usize,
-                threads: flags.num("threads", 1)?.max(1) as usize,
+                threads: flags.threads("threads")?,
                 max_sessions: flags.num("max-sessions", 64)?.max(1) as usize,
                 idle_secs: flags.num("idle-secs", 1_800)?.max(1),
                 log_file: flags.get("log-file"),
@@ -347,7 +347,7 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
             examples: flags.num("examples", 4)?.max(1) as usize,
             k: flags.num("k", 3)?.max(1) as usize,
             seed: flags.num("seed", 0)?,
-            threads: flags.num("threads", 1)?.max(1) as usize,
+            threads: flags.threads("threads")?,
             refine: flags.switch("refine"),
             chrome: flags.get("chrome"),
         })),
@@ -531,6 +531,20 @@ impl Flags {
                 .map_err(|_| CliError::Usage(format!("--{name} expects a number, got {v:?}"))),
         }
     }
+
+    /// Thread-count flag: an integer, or `auto` for the host's available
+    /// parallelism. `0` and `auto`-on-a-degraded-host clamp to 1.
+    fn threads(&self, name: &str) -> Result<usize, CliError> {
+        match self.get(name) {
+            None => Ok(1),
+            Some(v) if v == "auto" => {
+                Ok(std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get))
+            }
+            Some(v) => v.parse::<usize>().map(|n| n.max(1)).map_err(|_| {
+                CliError::Usage(format!("--{name} expects an integer or `auto`, got {v:?}"))
+            }),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -607,6 +621,31 @@ mod tests {
             Command::Eval(e) => assert_eq!(e.threads, 1),
             other => panic!("wrong command {other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_threads_auto() {
+        let hw = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        for cmd in [
+            "eval --ontology o --query q --threads auto",
+            "infer --ontology o --examples e --threads auto",
+            "session --ontology o --examples e --threads auto",
+            "serve --threads auto",
+            "trace --world sp2b --threads auto",
+        ] {
+            let threads = match parse(&argv(cmd)).unwrap() {
+                Command::Eval(a) => a.threads,
+                Command::Infer(a) => a.threads,
+                Command::Session(a) => a.threads,
+                Command::Serve(a) => a.threads,
+                Command::Trace(a) => a.threads,
+                other => panic!("wrong command {other:?}"),
+            };
+            assert_eq!(threads, hw, "{cmd}");
+        }
+        // Anything else non-numeric is still an error, with `auto` in the hint.
+        let err = parse(&argv("infer --ontology o --examples e --threads both")).unwrap_err();
+        assert!(err.to_string().contains("`auto`"), "{err}");
     }
 
     #[test]

@@ -29,8 +29,7 @@
 //! toward the edge's own side the optional edge maps onto the leftover
 //! it came from (covering it), toward the other side it is skipped.
 
-use std::collections::HashMap;
-
+use questpro_graph::fxhash::FxHashMap;
 use questpro_query::{QueryBuilder, QueryNodeId, SimpleQuery};
 
 use crate::pattern::{PLabel, PatternGraph};
@@ -56,9 +55,9 @@ pub fn build_query_with_optionals(
 }
 
 struct Classes {
-    by_pair: HashMap<(u32, u32), QueryNodeId>,
-    first_by_left: HashMap<u32, QueryNodeId>,
-    first_by_right: HashMap<u32, QueryNodeId>,
+    by_pair: FxHashMap<(u32, u32), QueryNodeId>,
+    first_by_left: FxHashMap<u32, QueryNodeId>,
+    first_by_right: FxHashMap<u32, QueryNodeId>,
 }
 
 impl Classes {
@@ -124,9 +123,9 @@ fn assemble(
     let proj = b.var("x");
     b.project(proj);
     let mut classes = Classes {
-        by_pair: HashMap::new(),
-        first_by_left: HashMap::new(),
-        first_by_right: HashMap::new(),
+        by_pair: FxHashMap::default(),
+        first_by_left: FxHashMap::default(),
+        first_by_right: FxHashMap::default(),
     };
     classes.register(dis_key, proj);
 

@@ -23,14 +23,20 @@
 //!
 //! Complexity is `O(numIter · (m1·m2)² )` pair-gain evaluations — the
 //! paper's bound up to the log factor of its priority queue, which a
-//! linear scan over the (small) pool replaces here.
+//! linear scan over the (small) pool replaces here. The scan is kept
+//! branch-light: everything relation-independent (endpoints, constant
+//! agreement, the distinguished flag) is precomputed per candidate pair
+//! up front, and the relation state lives in
+//! [`crate::relation::FastRelation`] bitsets, so each gain evaluation
+//! is a couple of array loads and shift/AND probes — no hashing, no
+//! string comparison.
 
 use questpro_query::SimpleQuery;
 
 use crate::assemble::{build_query, build_query_with_optionals};
-use crate::gain::{gain, GainWeights};
-use crate::pattern::PatternGraph;
-use crate::relation::{pair_touches_dis, PartialRelation};
+use crate::gain::GainWeights;
+use crate::pattern::{PLabel, PatternGraph};
+use crate::relation::{pair_touches_dis, FastRelation};
 
 /// Configuration of Algorithm 1.
 #[derive(Debug, Clone, Copy)]
@@ -94,72 +100,141 @@ pub fn merge_pair(
         return None;
     }
 
-    // All valid pairs: same predicate, both required (optional input
-    // edges are never paired — they are carried over as-is).
-    let mut all_pairs: Vec<(usize, usize)> = Vec::new();
-    for e1 in 0..g1.edge_count() {
-        if g1.edges()[e1].optional {
-            continue;
-        }
-        for e2 in 0..g2.edge_count() {
-            if g2.edges()[e2].optional {
-                continue;
-            }
-            if g1.edges()[e1].pred == g2.edges()[e2].pred {
-                all_pairs.push((e1, e2));
+    // Intern the predicate labels of both graphs into small integers so
+    // the cross-product pair scan compares `u32`s, not strings.
+    fn intern<'a>(preds: &mut Vec<&'a str>, p: &'a str) -> u32 {
+        match preds.iter().position(|&q| q == p) {
+            Some(i) => i as u32,
+            None => {
+                preds.push(p);
+                (preds.len() - 1) as u32
             }
         }
     }
-    if all_pairs.is_empty() {
+    let mut preds: Vec<&str> = Vec::new();
+    let p1: Vec<u32> = g1
+        .edges()
+        .iter()
+        .map(|e| intern(&mut preds, &e.pred))
+        .collect();
+    let p2: Vec<u32> = g2
+        .edges()
+        .iter()
+        .map(|e| intern(&mut preds, &e.pred))
+        .collect();
+
+    // All valid pairs: same predicate, both required (optional input
+    // edges are never paired — they are carried over as-is). Everything
+    // the inner loop needs per pair is precomputed here: endpoints,
+    // the distinguished-pair flag, and the relation-independent part of
+    // the gain (`w1·c1`; see Def. 3.11 / `crate::gain`).
+    let w = cfg.weights;
+    struct PairCtx {
+        e1: usize,
+        e2: usize,
+        ends: (u32, u32, u32, u32),
+        dis: bool,
+        const_gain: f64,
+    }
+    let same_const = |a: &PLabel, b: &PLabel| match (a, b) {
+        (PLabel::Const(x), PLabel::Const(y)) => x == y,
+        _ => false,
+    };
+    let mut pairs: Vec<PairCtx> = Vec::new();
+    for (e1, &q1) in p1.iter().enumerate() {
+        if g1.edges()[e1].optional {
+            continue;
+        }
+        for (e2, &q2) in p2.iter().enumerate() {
+            if g2.edges()[e2].optional || q1 != q2 {
+                continue;
+            }
+            let (ed1, ed2) = (&g1.edges()[e1], &g2.edges()[e2]);
+            let c1 = same_const(g1.label(ed1.src), g2.label(ed2.src)) as u32
+                + same_const(g1.label(ed1.dst), g2.label(ed2.dst)) as u32;
+            pairs.push(PairCtx {
+                e1,
+                e2,
+                ends: (ed1.src, ed2.src, ed1.dst, ed2.dst),
+                dis: pair_touches_dis(g1, g2, e1, e2),
+                const_gain: w.w1 * f64::from(c1),
+            });
+        }
+    }
+    if pairs.is_empty() {
         return None;
     }
 
     // Static ranking (empty relation) used by the diversification step.
-    let empty = PartialRelation::for_graphs(g1, g2);
-    let w = cfg.weights;
-    let mut ranked = all_pairs.clone();
-    ranked.sort_by(|&(a1, a2), &(b1, b2)| {
-        let ga = gain(w, g1, g2, &empty, a1, a2).expect("valid pair");
-        let gb = gain(w, g1, g2, &empty, b1, b2).expect("valid pair");
-        gb.partial_cmp(&ga)
+    // Against the empty relation both edges are fresh and no node pair
+    // is matched, so the static gain is `w1·c1 + 2·w2` — computed once
+    // per pair, not twice per sort comparison.
+    let mut ranked: Vec<usize> = (0..pairs.len()).collect();
+    ranked.sort_by(|&a, &b| {
+        let (pa, pb) = (&pairs[a], &pairs[b]);
+        pb.const_gain
+            .partial_cmp(&pa.const_gain)
             .expect("gains are finite")
-            .then((b1, b2).cmp(&(a1, a2)))
+            .then((pb.e1, pb.e2).cmp(&(pa.e1, pa.e2)))
     });
 
+    // Dynamic gain of pair `k` against the current relation.
+    let dyn_gain = |rel: &FastRelation, k: usize| -> f64 {
+        let p = &pairs[k];
+        let (s1, s2, t1, t2) = p.ends;
+        let fresh = (!rel.is_paired1(p.e1)) as u32 + (!rel.is_paired2(p.e2)) as u32;
+        let near = rel.sources_paired(s1, s2) as u32 + rel.targets_paired(t1, t2) as u32;
+        p.const_gain + w.w2 * f64::from(fresh) + w.w3 * f64::from(near)
+    };
+
     let mut best: Option<MergeOutcome> = None;
+    // Relations already assembled in earlier iterations: diversification
+    // often re-derives the exact same pair sequence (the removed pair
+    // was not load-bearing), and re-assembling it cannot win the
+    // strictly-better comparison below, so it is skipped.
+    let mut assembled: Vec<Vec<(usize, usize)>> = Vec::new();
+    let mut rel = FastRelation::for_graphs(g1, g2);
+    let mut available: Vec<usize> = Vec::with_capacity(pairs.len());
     for i in 0..cfg.num_iter.max(1) {
         // Remove the i statically-best pairs for diversification.
         if i >= ranked.len() {
             break;
         }
-        let removed: &[(usize, usize)] = &ranked[..i];
-        let mut available: Vec<(usize, usize)> = all_pairs
-            .iter()
-            .copied()
-            .filter(|p| !removed.contains(p))
-            .collect();
+        let removed = &ranked[..i];
+        available.clear();
+        available.extend((0..pairs.len()).filter(|k| !removed.contains(k)));
 
-        let mut rel = PartialRelation::for_graphs(g1, g2);
+        if i > 0 {
+            rel.clear(g1, g2);
+        }
         while !rel.all_paired() && !available.is_empty() {
-            // The first pick must be a distinguished pair.
+            // The first pick must be a distinguished pair. `>=` keeps
+            // `max_by`'s tie-breaking: the *last* maximal candidate in
+            // `available` order wins.
             let need_dis = !rel.has_dis_pair();
-            let pick = available
-                .iter()
-                .enumerate()
-                .filter(|&(_, &(e1, e2))| !need_dis || pair_touches_dis(g1, g2, e1, e2))
-                .map(|(idx, &(e1, e2))| {
-                    let g = gain(w, g1, g2, &rel, e1, e2).expect("valid pair");
-                    (idx, e1, e2, g)
-                })
-                .max_by(|a, b| a.3.partial_cmp(&b.3).expect("finite gains"));
-            let Some((idx, e1, e2, g)) = pick else {
+            let mut pick: Option<(usize, f64)> = None;
+            for (idx, &k) in available.iter().enumerate() {
+                if need_dis && !pairs[k].dis {
+                    continue;
+                }
+                let g = dyn_gain(&rel, k);
+                if pick.is_none_or(|(_, bg)| g >= bg) {
+                    pick = Some((idx, g));
+                }
+            }
+            let Some((idx, g)) = pick else {
                 break; // no distinguished pair available
             };
-            available.swap_remove(idx);
-            rel.push(g1, g2, e1, e2, g);
+            let k = available.swap_remove(idx);
+            let p = &pairs[k];
+            rel.push(p.e1, p.e2, p.ends, p.dis, g);
         }
         let acceptable = rel.has_dis_pair() && (rel.all_paired() || cfg.allow_optional);
+        if acceptable && assembled.iter().any(|a| a == rel.pairs()) {
+            continue;
+        }
         if acceptable {
+            assembled.push(rel.pairs().to_vec());
             let query = if cfg.allow_optional {
                 build_query_with_optionals(g1, g2, rel.pairs())
             } else {

@@ -148,6 +148,201 @@ pub fn pair_touches_dis(g1: &PatternGraph, g2: &PatternGraph, e1: usize, e2: usi
         || (g1.edge_touches_dis(e1, false) && g2.edge_touches_dis(e2, false))
 }
 
+/// A set of node pairs `(n1, n2) ∈ V(G1) × V(G2)` as a flat bitset.
+///
+/// Pattern graphs are small (node counts in the tens), so the full
+/// `n1 × n2` pair space fits in a handful of `u64` words and the
+/// membership test the gain function runs in its innermost loop becomes
+/// one shift/AND instead of a hash probe.
+#[derive(Debug, Clone)]
+pub struct NodePairSet {
+    words: Vec<u64>,
+    n2: usize,
+}
+
+impl NodePairSet {
+    /// An empty set over the `n1 × n2` pair space.
+    pub fn new(n1: usize, n2: usize) -> Self {
+        Self {
+            words: vec![0u64; (n1 * n2).div_ceil(64)],
+            n2,
+        }
+    }
+
+    /// Removes every pair without releasing the backing words.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    #[inline]
+    fn bit(&self, a: u32, b: u32) -> usize {
+        a as usize * self.n2 + b as usize
+    }
+
+    /// Inserts the pair `(a, b)`.
+    #[inline]
+    pub fn insert(&mut self, a: u32, b: u32) {
+        let i = self.bit(a, b);
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Whether the pair `(a, b)` is in the set.
+    #[inline]
+    pub fn contains(&self, a: u32, b: u32) -> bool {
+        let i = self.bit(a, b);
+        self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+}
+
+/// The bookkeeping of [`PartialRelation`] with the hash sets replaced
+/// by [`NodePairSet`] bitsets — the representation Algorithm 1's inner
+/// loop runs on (`crate::greedy`). Unlike [`PartialRelation`] it needs
+/// the graphs' *node* counts up front, which is why it is a separate
+/// type rather than a change to the public one.
+#[derive(Debug, Clone)]
+pub struct FastRelation {
+    pairs: Vec<(usize, usize)>,
+    paired1: Vec<bool>,
+    paired2: Vec<bool>,
+    unpaired1: usize,
+    unpaired2: usize,
+    src_pairs: NodePairSet,
+    tgt_pairs: NodePairSet,
+    has_dis_pair: bool,
+    total_gain: f64,
+}
+
+impl FastRelation {
+    /// An empty relation over two pattern graphs, with OPTIONAL edges
+    /// pre-marked as satisfied (same contract as
+    /// [`PartialRelation::for_graphs`]).
+    pub fn for_graphs(g1: &PatternGraph, g2: &PatternGraph) -> Self {
+        let mut paired1 = vec![false; g1.edge_count()];
+        let mut paired2 = vec![false; g2.edge_count()];
+        let mut unpaired1 = g1.edge_count();
+        let mut unpaired2 = g2.edge_count();
+        for (i, e) in g1.edges().iter().enumerate() {
+            if e.optional {
+                paired1[i] = true;
+                unpaired1 -= 1;
+            }
+        }
+        for (i, e) in g2.edges().iter().enumerate() {
+            if e.optional {
+                paired2[i] = true;
+                unpaired2 -= 1;
+            }
+        }
+        Self {
+            pairs: Vec::new(),
+            paired1,
+            paired2,
+            unpaired1,
+            unpaired2,
+            src_pairs: NodePairSet::new(g1.node_count(), g2.node_count()),
+            tgt_pairs: NodePairSet::new(g1.node_count(), g2.node_count()),
+            has_dis_pair: false,
+            total_gain: 0.0,
+        }
+    }
+
+    /// Resets to the just-constructed state (OPTIONAL edges re-marked
+    /// as satisfied) while keeping every allocation — the
+    /// diversification loop runs one relation per iteration and this
+    /// avoids reallocating the bitsets each time.
+    pub fn clear(&mut self, g1: &PatternGraph, g2: &PatternGraph) {
+        self.pairs.clear();
+        self.unpaired1 = 0;
+        self.unpaired2 = 0;
+        for (i, e) in g1.edges().iter().enumerate() {
+            self.paired1[i] = e.optional;
+            self.unpaired1 += usize::from(!e.optional);
+        }
+        for (i, e) in g2.edges().iter().enumerate() {
+            self.paired2[i] = e.optional;
+            self.unpaired2 += usize::from(!e.optional);
+        }
+        self.src_pairs.clear();
+        self.tgt_pairs.clear();
+        self.has_dis_pair = false;
+        self.total_gain = 0.0;
+    }
+
+    /// The chosen pairs, in choice order.
+    pub fn pairs(&self) -> &[(usize, usize)] {
+        &self.pairs
+    }
+
+    /// Whether edge `e1` of the first graph is already paired.
+    #[inline]
+    pub fn is_paired1(&self, e1: usize) -> bool {
+        self.paired1[e1]
+    }
+
+    /// Whether edge `e2` of the second graph is already paired.
+    #[inline]
+    pub fn is_paired2(&self, e2: usize) -> bool {
+        self.paired2[e2]
+    }
+
+    /// Whether the source-node pair has been matched by a chosen pair.
+    #[inline]
+    pub fn sources_paired(&self, s1: u32, s2: u32) -> bool {
+        self.src_pairs.contains(s1, s2)
+    }
+
+    /// Whether the target-node pair has been matched by a chosen pair.
+    #[inline]
+    pub fn targets_paired(&self, t1: u32, t2: u32) -> bool {
+        self.tgt_pairs.contains(t1, t2)
+    }
+
+    /// Whether every edge on both sides is covered (conditions 2–3).
+    pub fn all_paired(&self) -> bool {
+        self.unpaired1 == 0 && self.unpaired2 == 0
+    }
+
+    /// Whether a distinguished pair was chosen (condition 4).
+    pub fn has_dis_pair(&self) -> bool {
+        self.has_dis_pair
+    }
+
+    /// Accumulated gain of the choices (`curGain` in Algorithm 1).
+    pub fn total_gain(&self) -> f64 {
+        self.total_gain
+    }
+
+    /// Records the choice of `(e1, e2)`. The caller supplies the node
+    /// endpoints and the distinguished-pair flag (precomputed per
+    /// candidate pair by `crate::greedy`) along with the chosen gain.
+    #[inline]
+    pub fn push(
+        &mut self,
+        e1: usize,
+        e2: usize,
+        ends: (u32, u32, u32, u32),
+        touches_dis: bool,
+        gain: f64,
+    ) {
+        let (s1, s2, t1, t2) = ends;
+        if !self.paired1[e1] {
+            self.paired1[e1] = true;
+            self.unpaired1 -= 1;
+        }
+        if !self.paired2[e2] {
+            self.paired2[e2] = true;
+            self.unpaired2 -= 1;
+        }
+        self.src_pairs.insert(s1, s2);
+        self.tgt_pairs.insert(t1, t2);
+        if touches_dis {
+            self.has_dis_pair = true;
+        }
+        self.total_gain += gain;
+        self.pairs.push((e1, e2));
+    }
+}
+
 /// Validates that `pairs` forms a complete relation over `(g1, g2)`
 /// (all four conditions of Def. 3.6).
 pub fn is_complete_relation(

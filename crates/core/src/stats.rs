@@ -28,6 +28,14 @@ pub struct InferenceStats {
     /// Algorithm 1 invocations answered from the pairwise merge cache
     /// (still counted in `algorithm1_calls` — the Figure 6 metric).
     pub merge_cache_hits: usize,
+    /// Merge-cache misses whose key was never seen before — the pair
+    /// genuinely had to be computed for the first time.
+    pub merge_cache_true_misses: usize,
+    /// Merge-cache misses whose key *had* been computed earlier but was
+    /// no longer resident (an eviction re-compute). Always 0 with the
+    /// current unbounded cache — the counter exists to prove that the
+    /// hit-rate ceiling comes from key canonicalization, not capacity.
+    pub merge_cache_capacity_misses: usize,
     /// Consistency (onto-match) checks requested through the
     /// `questpro_engine::ConsistencyCache`.
     pub consistency_checks: usize,
@@ -55,6 +63,8 @@ impl PartialEq for InferenceStats {
             && self.states_examined == other.states_examined
             && self.rounds == other.rounds
             && self.merge_cache_hits == other.merge_cache_hits
+            && self.merge_cache_true_misses == other.merge_cache_true_misses
+            && self.merge_cache_capacity_misses == other.merge_cache_capacity_misses
             && self.consistency_checks == other.consistency_checks
             && self.consistency_cache_hits == other.consistency_cache_hits
     }
@@ -70,6 +80,8 @@ impl InferenceStats {
         self.states_examined += other.states_examined;
         self.rounds += other.rounds;
         self.merge_cache_hits += other.merge_cache_hits;
+        self.merge_cache_true_misses += other.merge_cache_true_misses;
+        self.merge_cache_capacity_misses += other.merge_cache_capacity_misses;
         self.consistency_checks += other.consistency_checks;
         self.consistency_cache_hits += other.consistency_cache_hits;
         self.matcher_nodes_expanded += other.matcher_nodes_expanded;
@@ -173,6 +185,8 @@ mod tests {
             states_examined: 2,
             rounds: 1,
             merge_cache_hits: 1,
+            merge_cache_true_misses: 2,
+            merge_cache_capacity_misses: 0,
             consistency_checks: 4,
             consistency_cache_hits: 2,
             matcher_nodes_expanded: 10,
@@ -186,6 +200,8 @@ mod tests {
             states_examined: 5,
             rounds: 2,
             merge_cache_hits: 2,
+            merge_cache_true_misses: 2,
+            merge_cache_capacity_misses: 1,
             consistency_checks: 6,
             consistency_cache_hits: 3,
             matcher_nodes_expanded: 5,
@@ -198,6 +214,8 @@ mod tests {
         assert_eq!(a.states_examined, 7);
         assert_eq!(a.rounds, 3);
         assert_eq!(a.merge_cache_hits, 3);
+        assert_eq!(a.merge_cache_true_misses, 4);
+        assert_eq!(a.merge_cache_capacity_misses, 1);
         assert_eq!(a.consistency_checks, 10);
         assert_eq!(a.consistency_cache_hits, 5);
         assert_eq!(a.matcher_nodes_expanded, 15);

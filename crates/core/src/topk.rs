@@ -54,18 +54,27 @@ struct State {
     branches: Vec<Branch>,
     cost: f64,
     query: UnionQuery,
+    /// Sorted multiset of branch shape hashes. Shape hashes are
+    /// isomorphism-invariant, so unequal fingerprints mean the states
+    /// cannot be union-isomorphic — the pool dedup compares these `u64`
+    /// vectors first and runs the backtracking isomorphism search only
+    /// on fingerprint collisions.
+    fingerprint: Vec<u64>,
     /// Whether this state has already been expanded in a previous round.
     expanded: bool,
 }
 
 fn make_state(branches: Vec<Branch>, w: GeneralizationWeights) -> State {
     let cost = branches_cost(&branches, w);
-    let query = UnionQuery::new(branches.iter().map(|b| b.query.clone()).collect())
+    let query = UnionQuery::new(branches.iter().map(|b| b.query.as_ref().clone()).collect())
         .expect("states always have at least one branch");
+    let mut fingerprint: Vec<u64> = branches.iter().map(|b| b.shape).collect();
+    fingerprint.sort_unstable();
     State {
         branches,
         cost,
         query,
+        fingerprint,
         expanded: false,
     }
 }
@@ -142,7 +151,10 @@ pub fn infer_top_k(
         }
         pool.append(&mut beam);
         for s in successors {
-            if !pool.iter().any(|p| union_isomorphic(&p.query, &s.query)) {
+            if !pool
+                .iter()
+                .any(|p| p.fingerprint == s.fingerprint && union_isomorphic(&p.query, &s.query))
+            {
                 // Re-verify the admitted successor (memoized: beam states
                 // share most branches across rounds, so almost every
                 // lookup after round one is a cache hit).

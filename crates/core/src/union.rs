@@ -6,8 +6,8 @@
 //! generalization cost `f(Q) = w1·Σvars + w2·|Q|` (Def. 4.1) keeps
 //! decreasing.
 
-use questpro_engine::par::map_chunked;
-use questpro_engine::{metrics, ConsistencyCache};
+use questpro_engine::par::map_stealing;
+use questpro_engine::{merge_pair_cost, metrics, ConsistencyCache};
 use questpro_graph::fxhash::fx_hash_one;
 use questpro_graph::{ExampleSet, Ontology};
 use questpro_query::{GeneralizationWeights, SimpleQuery, UnionQuery};
@@ -39,22 +39,47 @@ impl Default for UnionConfig {
 }
 
 /// One branch of the evolving union: the query, its pattern graph, and
-/// a serialization used as the merge-cache key (our SPARQL rendering is
-/// faithful, so equal keys mean equal branches).
+/// a canonical key used for merge- and consistency-caching.
+///
+/// The key is the α-invariant [`PatternGraph::canonical_key`] plus the
+/// query's disequality pairs (node indexes — `from_query` preserves node
+/// order, so indexes are comparable across equal-keyed branches).
+/// Branches that differ only in variable *names* share a key, which is
+/// sound for both caches: `merge_pair` sees only the pattern graphs, and
+/// onto-match existence is α-invariant. The previous SPARQL-text key
+/// split such branches into distinct cache entries, capping the merge
+/// hit rate well below what the pair structure allows.
 #[derive(Debug, Clone)]
 pub(crate) struct Branch {
-    pub(crate) graph: PatternGraph,
-    pub(crate) query: SimpleQuery,
+    pub(crate) graph: std::sync::Arc<PatternGraph>,
+    pub(crate) query: std::sync::Arc<SimpleQuery>,
     pub(crate) key: std::sync::Arc<str>,
+    /// `fx_hash_one(&key)`, memoized: consistency-cache lookups happen
+    /// per (branch, example) every round and must not re-hash the key.
+    pub(crate) key_hash: u64,
+    /// `query.shape_hash()`, memoized for the beam's state fingerprints.
+    pub(crate) shape: u64,
 }
 
 impl Branch {
     pub(crate) fn from_query(query: SimpleQuery) -> Self {
-        let key: std::sync::Arc<str> = questpro_query::sparql::format_simple(&query).into();
+        let graph = PatternGraph::from_query(&query);
+        let mut key = graph.canonical_key();
+        for &(a, b) in query.diseqs() {
+            key.push('!');
+            key.push_str(&a.index().to_string());
+            key.push(',');
+            key.push_str(&b.index().to_string());
+        }
+        let key: std::sync::Arc<str> = key.into();
+        let key_hash = fx_hash_one(&key);
+        let shape = query.shape_hash();
         Self {
-            graph: PatternGraph::from_query(&query),
-            query,
+            graph: std::sync::Arc::new(graph),
+            query: std::sync::Arc::new(query),
             key,
+            key_hash,
+            shape,
         }
     }
 }
@@ -64,15 +89,19 @@ impl Branch {
 /// two branches), so most pairs recur. Failures are cached too. Cache
 /// hits still count as "intermediate queries considered" in the stats,
 /// preserving the Figure 6 metric.
-/// Cache key: the canonical texts of the two branches, ordered.
+/// Cache key: the canonical keys of the two branches, ordered.
 type BranchPairKey = (std::sync::Arc<str>, std::sync::Arc<str>);
-/// Cached outcome: the merged query and its gain, or `None` for
-/// unmergeable pairs.
-type CachedMerge = Option<(SimpleQuery, f64)>;
+/// Cached outcome: the merged query, its gain, and its memoized
+/// generalization-variable count, or `None` for unmergeable pairs.
+type CachedMerge = Option<(SimpleQuery, f64, usize)>;
 
 #[derive(Debug, Default)]
 pub(crate) struct MergeCache {
-    map: std::collections::HashMap<BranchPairKey, CachedMerge>,
+    map: questpro_graph::fxhash::FxHashMap<BranchPairKey, CachedMerge>,
+    /// Every key ever installed, kept even if `map` were to evict: lets
+    /// the accounting pass split misses into *true* (first computation)
+    /// and *capacity* (eviction re-compute) in the stats.
+    ever: questpro_graph::fxhash::FxHashSet<BranchPairKey>,
 }
 
 /// The order-normalized cache key of a branch pair.
@@ -110,12 +139,15 @@ pub(crate) struct BestMerge {
 /// up to `take` of them. Increments `stats.algorithm1_calls` per pair.
 ///
 /// The pairwise merges are independent, so cache misses run on up to
-/// `threads` scoped workers. Accounting is done in a sequential pass
-/// over the pairs in `i < j` order *before* dispatching, so
-/// `algorithm1_calls` and `merge_cache_hits` are bit-identical to the
-/// sequential scan at every thread count: a pair whose key is already
-/// cached — or whose key first occurred earlier in this same scan — is
-/// a hit; the first occurrence of a missing key is the one miss.
+/// `threads` scoped workers through the cost-aware work-stealing
+/// scheduler ([`map_stealing`], items sized by [`merge_pair_cost`]), so
+/// one oversized pair cannot serialize the batch. Accounting is done in
+/// a sequential pass over the pairs in `i < j` order *before*
+/// dispatching, so `algorithm1_calls` and the cache counters are
+/// bit-identical to the sequential scan at every thread count: a pair
+/// whose key is already cached — or whose key first occurred earlier in
+/// this same scan — is a hit; the first occurrence of a missing key is
+/// the one miss (split into true vs. capacity misses in the stats).
 pub(crate) fn merge_candidates(
     branches: &[Branch],
     cfg: &GreedyConfig,
@@ -124,7 +156,7 @@ pub(crate) fn merge_candidates(
     stats: &mut InferenceStats,
     cache: &mut MergeCache,
 ) -> Vec<BestMerge> {
-    // Opened on the calling thread; the `map_chunked` workers below
+    // Opened on the calling thread; the `map_stealing` workers below
     // record nothing, so the span structure is thread-count invariant.
     let _t = questpro_trace::span("infer.merge_candidates");
     let t0 = std::time::Instant::now();
@@ -136,49 +168,79 @@ pub(crate) fn merge_candidates(
     }
     questpro_trace::add("pairs", pairs.len() as u64);
     // Sequential accounting pass + work-list of distinct missing keys.
-    let mut scheduled: std::collections::HashSet<BranchPairKey> = std::collections::HashSet::new();
+    let mut scheduled: questpro_graph::fxhash::FxHashSet<BranchPairKey> = Default::default();
     let mut missing: Vec<(usize, usize)> = Vec::new();
     for (i, j, key) in &pairs {
         stats.algorithm1_calls += 1;
         if cache.map.contains_key(key) || scheduled.contains(key) {
             stats.merge_cache_hits += 1;
         } else {
+            if cache.ever.contains(key) {
+                stats.merge_cache_capacity_misses += 1;
+            } else {
+                stats.merge_cache_true_misses += 1;
+            }
             scheduled.insert(key.clone());
             missing.push((*i, *j));
         }
     }
     // Solve the misses (possibly in parallel; `merge_pair` is a pure
-    // deterministic function) and install them in scan order.
-    let outcomes = map_chunked(&missing, threads, |&(i, j)| {
-        merge_pair(&branches[i].graph, &branches[j].graph, cfg).map(|o| (o.query, o.gain))
-    });
+    // deterministic function) and install them in scan order. Work items
+    // are cost-sized by the graphs' edge counts and stolen by idle
+    // workers; results land in indexed slots, so the outcome vector is
+    // identical at every thread count.
+    let outcomes = {
+        let _d = questpro_trace::span("infer.merge_dispatch");
+        map_stealing(
+            &missing,
+            |k| {
+                let (i, j) = missing[k];
+                merge_pair_cost(
+                    branches[i].graph.edge_count(),
+                    branches[j].graph.edge_count(),
+                )
+            },
+            threads,
+            |&(i, j)| {
+                merge_pair(&branches[i].graph, &branches[j].graph, cfg).map(|o| {
+                    let vars = o.query.generalization_vars();
+                    (o.query, o.gain, vars)
+                })
+            },
+        )
+    };
     for (&(i, j), outcome) in missing.iter().zip(outcomes) {
-        cache
-            .map
-            .insert(pair_key(&branches[i], &branches[j]), outcome);
+        let key = pair_key(&branches[i], &branches[j]);
+        cache.ever.insert(key.clone());
+        cache.map.insert(key, outcome);
     }
     // Collect results in pair order, exactly as the sequential scan did.
-    let mut all: Vec<(usize, f64, BestMerge)> = Vec::new();
+    // Queries are cloned only for the `take` survivors, after the sort.
+    let mut all: Vec<(usize, f64, usize, usize, BranchPairKey)> = Vec::new();
     for (i, j, key) in pairs {
-        if let Some(Some((query, gain))) = cache.map.get(&key) {
-            all.push((
-                query.generalization_vars(),
-                *gain,
-                BestMerge {
-                    i,
-                    j,
-                    query: query.clone(),
-                },
-            ));
+        if let Some(Some((_, gain, vars))) = cache.map.get(&key) {
+            all.push((*vars, *gain, i, j, key));
         }
     }
     all.sort_by(|a, b| {
         a.0.cmp(&b.0)
             .then(b.1.partial_cmp(&a.1).expect("finite gains"))
     });
+    let picked = all
+        .into_iter()
+        .take(take)
+        .map(|(_, _, i, j, key)| {
+            let (query, _, _) = cache.map[&key].as_ref().expect("key was mergeable");
+            BestMerge {
+                i,
+                j,
+                query: query.clone(),
+            }
+        })
+        .collect();
     stats.merge_nanos += t0.elapsed().as_nanos();
     questpro_trace::add("cache_misses", missing.len() as u64);
-    all.into_iter().take(take).map(|(_, _, m)| m).collect()
+    picked
 }
 
 /// Whether every explanation is covered by at least one branch, checked
@@ -193,7 +255,7 @@ pub(crate) fn union_consistent_cached(
     examples.iter().all(|ex| {
         branches.iter().any(|b| {
             cache
-                .find_onto_match_keyed(fx_hash_one(&b.key), ont, &b.query, ex)
+                .find_onto_match_keyed(b.key_hash, ont, &b.query, ex)
                 .is_some()
         })
     })
@@ -282,8 +344,13 @@ pub fn find_consistent_union(
             break;
         }
     }
-    let union = UnionQuery::new(branches.into_iter().map(|b| b.query).collect())
-        .expect("non-empty example-set yields non-empty union");
+    let union = UnionQuery::new(
+        branches
+            .into_iter()
+            .map(|b| std::sync::Arc::try_unwrap(b.query).unwrap_or_else(|q| (*q).clone()))
+            .collect(),
+    )
+    .expect("non-empty example-set yields non-empty union");
     stats.consistency_checks = ccache.lookups() as usize;
     stats.consistency_cache_hits = ccache.hits() as usize;
     stats.matcher_nodes_expanded = metrics::nodes_expanded().wrapping_sub(nodes0);

@@ -8,9 +8,11 @@
 //! ontology node (the paper's Example 2.7 relies on this).
 //!
 //! [`Matcher`] resolves a query against an ontology once (constants →
-//! node ids, predicates → pred ids), orders the pattern edges most-
-//! constrained-first, and then backtracks. It supports four orthogonal
-//! refinements used across the system:
+//! node ids, predicates → pred ids), orders the pattern edges by
+//! estimated scan cost (see [`crate::cost`]; the pre-cost
+//! most-constrained-first heuristic remains available as an ablation
+//! mode), and then backtracks. It supports four orthogonal refinements
+//! used across the system:
 //!
 //! * **bindings** ([`Matcher::bind`]) — pre-assign query nodes, used to
 //!   anchor evaluation at a candidate result and to compute the
@@ -545,18 +547,16 @@ impl<'a> Matcher<'a> {
                 }
             }
             (Some(ms), None) => {
-                for &te in self.ont.out_edges(ms) {
-                    let ted = self.ont.edge(te);
-                    if ted.pred == p && self.edge_allowed(te) {
-                        out.push((te, [(d, ted.dst), nil], 1));
+                for &te in self.ont.out_edges_with_pred(ms, p) {
+                    if self.edge_allowed(te) {
+                        out.push((te, [(d, self.ont.edge(te).dst), nil], 1));
                     }
                 }
             }
             (None, Some(md)) => {
-                for &te in self.ont.in_edges(md) {
-                    let ted = self.ont.edge(te);
-                    if ted.pred == p && self.edge_allowed(te) {
-                        out.push((te, [(s, ted.src), nil], 1));
+                for &te in self.ont.in_edges_with_pred(md, p) {
+                    if self.edge_allowed(te) {
+                        out.push((te, [(s, self.ont.edge(te).src), nil], 1));
                     }
                 }
             }
@@ -646,28 +646,67 @@ impl<'a> Matcher<'a> {
         metrics::flush_search(state.expanded, state.matched);
     }
 
-    /// Most-constrained-first static order over the *required* edges:
-    /// repeatedly pick the edge with the most already-bound endpoints,
-    /// breaking ties by the candidate-pool size of its predicate.
+    /// Static order over the *required* edges.
+    ///
+    /// Default ([`OrderingMode::CostBased`]): greedily pick the edge
+    /// with the smallest estimated candidate scan under the current
+    /// binding state, using the Volcano-style estimator over columnar
+    /// predicate statistics (`crate::cost`). Ties break toward more
+    /// bound endpoints, then lowest edge index, so the order is fully
+    /// deterministic.
+    ///
+    /// [`OrderingMode::Classic`] restores the pre-cost heuristic
+    /// (most bound endpoints, then smallest raw predicate pool) for
+    /// ablation. Either way the *match set* is identical — ordering
+    /// only moves search effort.
     fn edge_order(&self, initial: &[Option<NodeId>]) -> Vec<usize> {
         if self.sequential {
             return self.required.clone();
         }
+        let classic = crate::cost::ordering_mode() == crate::cost::OrderingMode::Classic;
         let mut bound: Vec<bool> = initial.iter().map(Option::is_some).collect();
         let mut remaining: Vec<usize> = self.required.clone();
         let mut order = Vec::with_capacity(remaining.len());
         while !remaining.is_empty() {
-            let (pos, &best) = remaining
-                .iter()
-                .enumerate()
-                .max_by_key(|(_, &ei)| {
-                    let e = &self.q.edges()[ei];
-                    let b = bound[e.src.index()] as usize + bound[e.dst.index()] as usize;
-                    let pool = self.pool_size(self.preds[ei]);
-                    // Higher is better: more bound endpoints, smaller pool.
-                    (b, usize::MAX - pool)
-                })
-                .expect("remaining is non-empty");
+            let pos = if classic {
+                remaining
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|(_, &ei)| {
+                        let e = &self.q.edges()[ei];
+                        let b = bound[e.src.index()] as usize + bound[e.dst.index()] as usize;
+                        let pool = self.pool_size(self.preds[ei]);
+                        // Higher is better: more bound endpoints, smaller pool.
+                        (b, usize::MAX - pool)
+                    })
+                    .map(|(pos, _)| pos)
+                    .expect("remaining is non-empty")
+            } else {
+                remaining
+                    .iter()
+                    .enumerate()
+                    .min_by(|(_, &ea), (_, &eb)| {
+                        let key = |ei: usize| {
+                            let e = &self.q.edges()[ei];
+                            let sb = bound[e.src.index()];
+                            let db = bound[e.dst.index()];
+                            let mut est = crate::cost::edge_cost(self.ont, self.preds[ei], sb, db);
+                            // A restriction caps every scan at its edge count.
+                            if let Some(sub) = self.restrict {
+                                est = est.min(sub.edge_count() as f64);
+                            }
+                            // Lower is better: cheaper scan, more bound
+                            // endpoints, then declaration order.
+                            (est, 2 - (sb as usize + db as usize), ei)
+                        };
+                        let (ca, ba, ia) = key(ea);
+                        let (cb, bb, ib) = key(eb);
+                        ca.total_cmp(&cb).then(ba.cmp(&bb)).then(ia.cmp(&ib))
+                    })
+                    .map(|(pos, _)| pos)
+                    .expect("remaining is non-empty")
+            };
+            let best = remaining[pos];
             order.push(best);
             let e = &self.q.edges()[best];
             bound[e.src.index()] = true;
@@ -751,23 +790,23 @@ impl<'a> Matcher<'a> {
                 }
             }
             (Some(ms), None) => {
-                for i in 0..self.ont.out_edges(ms).len() {
-                    let te = self.ont.out_edges(ms)[i];
-                    let ted = self.ont.edge(te);
-                    if ted.pred != p || !self.edge_allowed(te) {
+                // Columnar span: exactly the `p`-labeled out edges, in
+                // the order the old filter scan produced them.
+                for &te in self.ont.out_edges_with_pred(ms, p) {
+                    if !self.edge_allowed(te) {
                         continue;
                     }
-                    self.try_bind(state, k, ei, te, &[(d, ted.dst)])?;
+                    let dst = self.ont.edge(te).dst;
+                    self.try_bind(state, k, ei, te, &[(d, dst)])?;
                 }
             }
             (None, Some(md)) => {
-                for i in 0..self.ont.in_edges(md).len() {
-                    let te = self.ont.in_edges(md)[i];
-                    let ted = self.ont.edge(te);
-                    if ted.pred != p || !self.edge_allowed(te) {
+                for &te in self.ont.in_edges_with_pred(md, p) {
+                    if !self.edge_allowed(te) {
                         continue;
                     }
-                    self.try_bind(state, k, ei, te, &[(s, ted.src)])?;
+                    let src = self.ont.edge(te).src;
+                    self.try_bind(state, k, ei, te, &[(s, src)])?;
                 }
             }
             (None, None) => {

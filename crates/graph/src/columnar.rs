@@ -1,0 +1,254 @@
+//! Columnar adjacency indexes and per-predicate statistics.
+//!
+//! The row-oriented indexes on [`Ontology`](crate::Ontology) (per-node
+//! `Vec<EdgeId>` adjacency) answer "all edges at `n`" well but make the
+//! matcher's hottest question — "edges at `n` labeled `p`" — a filter
+//! scan. This module stores the same adjacency **sorted by predicate**
+//! in flat u32 columns, so that question becomes a binary search over a
+//! contiguous span, and keeps per-predicate cardinality / distinct-count
+//! statistics that feed the engine's cost estimator.
+//!
+//! Layout (CSR-style):
+//!
+//! ```text
+//! out_sorted: [e0 e3 e7 | e1 e2 | ...]   edge ids, grouped by src node,
+//! out_preds:  [p0 p0 p1 | p0 p2 | ...]   sorted by (pred, edge id)
+//! out_off:    [0, 3, 5, ...]             node i owns out_sorted[off[i]..off[i+1]]
+//! ```
+//!
+//! Within one node's span the edge ids for a given predicate appear in
+//! **ascending edge-id order** — exactly the order a filter scan of the
+//! insertion-ordered adjacency list would produce. Swapping the scan for
+//! the span is therefore a pure speedup: enumeration order, and hence
+//! every downstream sample and provenance set, is unchanged.
+
+use crate::ids::{EdgeId, NodeId, PredId};
+use crate::ontology::EdgeData;
+
+/// Per-predicate statistics for cost estimation.
+///
+/// For predicate `p`: `cardinality` is the number of `p`-edges,
+/// `distinct_subjects` / `distinct_objects` the number of distinct
+/// source / target nodes among them. A Volcano-style estimator derives
+/// expected scan sizes from these (see `questpro-engine::cost`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PredStats {
+    /// Total number of edges labeled with this predicate.
+    pub cardinality: u32,
+    /// Distinct source nodes among those edges.
+    pub distinct_subjects: u32,
+    /// Distinct target nodes among those edges.
+    pub distinct_objects: u32,
+}
+
+impl PredStats {
+    /// Average out-fanout `cardinality / distinct_subjects` (0 if unused).
+    pub fn avg_out_fanout(&self) -> f64 {
+        if self.distinct_subjects == 0 {
+            0.0
+        } else {
+            f64::from(self.cardinality) / f64::from(self.distinct_subjects)
+        }
+    }
+
+    /// Average in-fanout `cardinality / distinct_objects` (0 if unused).
+    pub fn avg_in_fanout(&self) -> f64 {
+        if self.distinct_objects == 0 {
+            0.0
+        } else {
+            f64::from(self.cardinality) / f64::from(self.distinct_objects)
+        }
+    }
+}
+
+/// Sorted columnar adjacency (SPO / OPS orientations) plus statistics.
+///
+/// Built once in [`OntologyBuilder::build`](crate::OntologyBuilder::build)
+/// and owned by the [`Ontology`](crate::Ontology); the POS orientation is
+/// the ontology's existing `by_pred` edge list.
+#[derive(Debug, Clone, Default)]
+pub struct ColumnarIndexes {
+    // SPO orientation: out-adjacency grouped by source node, each span
+    // sorted by (pred, edge id). `out_preds` mirrors `out_sorted` so the
+    // predicate binary search touches one flat u32 column.
+    out_sorted: Vec<EdgeId>,
+    out_preds: Vec<PredId>,
+    out_off: Vec<u32>,
+    // OPS orientation: in-adjacency grouped by target node, same sort.
+    in_sorted: Vec<EdgeId>,
+    in_preds: Vec<PredId>,
+    in_off: Vec<u32>,
+    stats: Vec<PredStats>,
+}
+
+impl ColumnarIndexes {
+    /// Builds the columnar indexes from the edge table.
+    ///
+    /// `by_pred[p]` must list the `p`-edges in ascending edge-id order
+    /// (as `OntologyBuilder::build` produces). Iterating predicates in id
+    /// order and appending each bucket yields every node span already
+    /// sorted by (pred, edge id) — a two-pass counting sort, no
+    /// comparison sort needed.
+    pub fn build(node_count: usize, edges: &[EdgeData], by_pred: &[Vec<EdgeId>]) -> Self {
+        let m = edges.len();
+        let mut out_off = vec![0u32; node_count + 1];
+        let mut in_off = vec![0u32; node_count + 1];
+        for d in edges {
+            out_off[d.src.index() + 1] += 1;
+            in_off[d.dst.index() + 1] += 1;
+        }
+        for i in 0..node_count {
+            out_off[i + 1] += out_off[i];
+            in_off[i + 1] += in_off[i];
+        }
+        let mut out_sorted = vec![EdgeId::new(0); m];
+        let mut out_preds = vec![PredId::new(0); m];
+        let mut in_sorted = vec![EdgeId::new(0); m];
+        let mut in_preds = vec![PredId::new(0); m];
+        // Write cursors, consumed as spans fill left to right.
+        let mut out_cur: Vec<u32> = out_off[..node_count].to_vec();
+        let mut in_cur: Vec<u32> = in_off[..node_count].to_vec();
+        let mut stats = vec![PredStats::default(); by_pred.len()];
+        // Stamp arrays for distinct counts: stamp[n] == p+1 iff node n was
+        // already seen for predicate p. O(E) overall, no hashing.
+        let mut src_stamp = vec![0u32; node_count];
+        let mut dst_stamp = vec![0u32; node_count];
+        for (pi, bucket) in by_pred.iter().enumerate() {
+            let p = PredId::from_usize(pi);
+            let st = &mut stats[pi];
+            st.cardinality = bucket.len() as u32;
+            for &e in bucket {
+                let d = edges[e.index()];
+                let oc = &mut out_cur[d.src.index()];
+                out_sorted[*oc as usize] = e;
+                out_preds[*oc as usize] = p;
+                *oc += 1;
+                let ic = &mut in_cur[d.dst.index()];
+                in_sorted[*ic as usize] = e;
+                in_preds[*ic as usize] = p;
+                *ic += 1;
+                let stamp = pi as u32 + 1;
+                if src_stamp[d.src.index()] != stamp {
+                    src_stamp[d.src.index()] = stamp;
+                    st.distinct_subjects += 1;
+                }
+                if dst_stamp[d.dst.index()] != stamp {
+                    dst_stamp[d.dst.index()] = stamp;
+                    st.distinct_objects += 1;
+                }
+            }
+        }
+        Self {
+            out_sorted,
+            out_preds,
+            out_off,
+            in_sorted,
+            in_preds,
+            in_off,
+            stats,
+        }
+    }
+
+    /// Outgoing edges of `n` labeled `p`, in ascending edge-id order.
+    #[inline]
+    pub fn out_with_pred(&self, n: NodeId, p: PredId) -> &[EdgeId] {
+        let lo = self.out_off[n.index()] as usize;
+        let hi = self.out_off[n.index() + 1] as usize;
+        let span = &self.out_preds[lo..hi];
+        let a = lo + span.partition_point(|&q| q.raw() < p.raw());
+        let b = lo + span.partition_point(|&q| q.raw() <= p.raw());
+        &self.out_sorted[a..b]
+    }
+
+    /// Incoming edges of `n` labeled `p`, in ascending edge-id order.
+    #[inline]
+    pub fn in_with_pred(&self, n: NodeId, p: PredId) -> &[EdgeId] {
+        let lo = self.in_off[n.index()] as usize;
+        let hi = self.in_off[n.index() + 1] as usize;
+        let span = &self.in_preds[lo..hi];
+        let a = lo + span.partition_point(|&q| q.raw() < p.raw());
+        let b = lo + span.partition_point(|&q| q.raw() <= p.raw());
+        &self.in_sorted[a..b]
+    }
+
+    /// Statistics for predicate `p` (zeroed if out of range).
+    #[inline]
+    pub fn pred_stats(&self, p: PredId) -> PredStats {
+        self.stats.get(p.index()).copied().unwrap_or_default()
+    }
+
+    /// All per-predicate statistics, indexed by predicate id.
+    pub fn all_stats(&self) -> &[PredStats] {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Ontology;
+
+    #[test]
+    fn spans_agree_with_filter_scan_in_order() {
+        let mut b = Ontology::builder();
+        b.edge("paper1", "wb", "Alice").unwrap();
+        b.edge("paper1", "wb", "Bob").unwrap();
+        b.edge("paper2", "wb", "Bob").unwrap();
+        b.edge("paper2", "cites", "paper1").unwrap();
+        b.edge("paper1", "cites", "paper2").unwrap();
+        let o = b.build();
+        for n in o.node_ids() {
+            for praw in 0..o.pred_count() {
+                let p = crate::ids::PredId::from_usize(praw);
+                let scan_out: Vec<_> = o
+                    .out_edges(n)
+                    .iter()
+                    .copied()
+                    .filter(|&e| o.edge(e).pred == p)
+                    .collect();
+                assert_eq!(o.out_edges_with_pred(n, p), scan_out.as_slice());
+                let scan_in: Vec<_> = o
+                    .in_edges(n)
+                    .iter()
+                    .copied()
+                    .filter(|&e| o.edge(e).pred == p)
+                    .collect();
+                assert_eq!(o.in_edges_with_pred(n, p), scan_in.as_slice());
+            }
+        }
+    }
+
+    #[test]
+    fn stats_count_cardinality_and_distincts() {
+        let mut b = Ontology::builder();
+        b.edge("paper1", "wb", "Alice").unwrap();
+        b.edge("paper1", "wb", "Bob").unwrap();
+        b.edge("paper2", "wb", "Bob").unwrap();
+        b.edge("paper2", "cites", "paper1").unwrap();
+        let o = b.build();
+        let wb = o.pred_by_name("wb").unwrap();
+        let st = o.pred_stats(wb);
+        assert_eq!(st.cardinality, 3);
+        assert_eq!(st.distinct_subjects, 2); // paper1, paper2
+        assert_eq!(st.distinct_objects, 2); // Alice, Bob
+        let cites = o.pred_by_name("cites").unwrap();
+        let st = o.pred_stats(cites);
+        assert_eq!(
+            (st.cardinality, st.distinct_subjects, st.distinct_objects),
+            (1, 1, 1)
+        );
+        assert!((o.pred_stats(wb).avg_out_fanout() - 1.5).abs() < 1e-12);
+        assert!((o.pred_stats(wb).avg_in_fanout() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_missing_predicates_yield_empty_spans() {
+        let mut b = Ontology::builder();
+        b.node("lonely");
+        b.edge("a", "p", "b").unwrap();
+        let o = b.build();
+        let lonely = o.node_by_value("lonely").unwrap();
+        let p = o.pred_by_name("p").unwrap();
+        assert!(o.out_edges_with_pred(lonely, p).is_empty());
+        assert!(o.in_edges_with_pred(lonely, p).is_empty());
+    }
+}

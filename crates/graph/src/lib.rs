@@ -28,6 +28,7 @@
 //! matcher in `questpro-engine` can run tight backtracking loops without
 //! hashing strings.
 
+pub mod columnar;
 pub mod error;
 pub mod exformat;
 pub mod explanation;
@@ -39,6 +40,7 @@ pub mod rng;
 pub mod subgraph;
 pub mod triples;
 
+pub use columnar::{ColumnarIndexes, PredStats};
 pub use error::GraphError;
 pub use explanation::{ExampleSet, Explanation};
 pub use fxhash::{FxHashMap, FxHashSet};

@@ -13,6 +13,7 @@
 
 use std::collections::HashMap;
 
+use crate::columnar::{ColumnarIndexes, PredStats};
 use crate::error::GraphError;
 use crate::fxhash::FxHashMap;
 use crate::ids::{EdgeId, NodeId, PredId, TypeId, ValueId};
@@ -70,6 +71,7 @@ pub struct Ontology {
     // fold, so the test is a sound necessary condition only).
     out_sig: Vec<u64>,
     in_sig: Vec<u64>,
+    columnar: ColumnarIndexes,
 }
 
 impl Ontology {
@@ -188,11 +190,48 @@ impl Ontology {
     }
 
     /// Finds the unique edge `src -pred-> dst`, if present.
+    ///
+    /// Binary-searches the columnar out-span for `pred`, then scans that
+    /// (typically tiny) span for `dst`.
     pub fn find_edge(&self, src: NodeId, pred: PredId, dst: NodeId) -> Option<EdgeId> {
-        self.out[src.index()].iter().copied().find(|&e| {
-            let d = self.edges[e.index()];
-            d.dst == dst && d.pred == pred
-        })
+        self.columnar
+            .out_with_pred(src, pred)
+            .iter()
+            .copied()
+            .find(|&e| self.edges[e.index()].dst == dst)
+    }
+
+    /// Outgoing edges of `n` labeled `pred`, in the same relative order a
+    /// filter scan of [`Ontology::out_edges`] would yield.
+    #[inline]
+    pub fn out_edges_with_pred(&self, n: NodeId, pred: PredId) -> &[EdgeId] {
+        self.columnar.out_with_pred(n, pred)
+    }
+
+    /// Incoming edges of `n` labeled `pred`, in the same relative order a
+    /// filter scan of [`Ontology::in_edges`] would yield.
+    #[inline]
+    pub fn in_edges_with_pred(&self, n: NodeId, pred: PredId) -> &[EdgeId] {
+        self.columnar.in_with_pred(n, pred)
+    }
+
+    /// Per-predicate cardinality and distinct-count statistics.
+    #[inline]
+    pub fn pred_stats(&self, p: PredId) -> PredStats {
+        self.columnar.pred_stats(p)
+    }
+
+    /// The columnar index block (for benchmarking rebuild cost).
+    pub fn columnar(&self) -> &ColumnarIndexes {
+        &self.columnar
+    }
+
+    /// Rebuilds the columnar indexes from the row-oriented tables.
+    ///
+    /// Only used by benchmarks to time a warm index build; the result is
+    /// identical to the block built in [`OntologyBuilder::build`].
+    pub fn rebuild_columnar(&self) -> ColumnarIndexes {
+        ColumnarIndexes::build(self.nodes.len(), &self.edges, &self.by_pred)
     }
 
     /// The signature bit predicate `p` folds to (predicates are hashed
@@ -447,6 +486,7 @@ impl OntologyBuilder {
             out_sig[d.src.index()] |= bit;
             in_sig[d.dst.index()] |= bit;
         }
+        let columnar = ColumnarIndexes::build(n, &self.edges, &by_pred);
         Ontology {
             values: self.values,
             preds: self.preds,
@@ -459,6 +499,7 @@ impl OntologyBuilder {
             value_to_node: self.value_to_node,
             out_sig,
             in_sig,
+            columnar,
         }
     }
 }

@@ -48,6 +48,7 @@ pub const STAGES: &[&str] = &[
     "infer.topk",
     "infer.round",
     "infer.merge_candidates",
+    "infer.merge_dispatch",
     "infer.consistency",
     "engine.evaluate_union",
     "engine.provenance_union",

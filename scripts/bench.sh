@@ -3,11 +3,14 @@
 # per-stage timings (merge / consistency / total), the consistency-cache
 # hit rate, matcher nodes expanded, and wall-clock speedup per thread
 # count — with every parallel run asserted byte-identical to the
-# sequential one. The same run also writes BENCH_3.json: the per-stage
+# sequential one. The same run also writes BENCH_3.json (the per-stage
 # self-time breakdown recorded by questpro-trace, plus the
-# disabled-instrumentation overhead gate (< 5% of wall).
+# disabled-instrumentation overhead gate, < 5% of wall) and BENCH_6.json
+# (per-query walls with parallel-validity annotations, cold/warm
+# columnar index-build times per world, and the improvement factor over
+# the committed BENCH_1.json baseline when one exists).
 #
-# Usage: scripts/bench.sh [output.json] [trace-output.json]
+# Usage: scripts/bench.sh [output.json] [trace-output.json] [b6-output.json]
 #   BENCH_TINY=1   smoke mode: 1 trial, heaviest query only (CI).
 #   BENCH_THREADS  largest thread count in the sweep (default 8).
 set -euo pipefail
@@ -17,14 +20,24 @@ cd "$(dirname "$0")/.."
 # the repo root the script cds into.
 out="${1:-BENCH_1.json}"
 out3="${2:-BENCH_3.json}"
+out6="${3:-BENCH_6.json}"
 [[ "$out" == /* ]] || out="$caller_dir/$out"
 [[ "$out3" == /* ]] || out3="$caller_dir/$out3"
+[[ "$out6" == /* ]] || out6="$caller_dir/$out6"
 threads="${BENCH_THREADS:-8}"
 
 echo "== building exp_bench (release) =="
 cargo build --release --offline -p questpro-bench --bin exp_bench
 
-args=(--threads "$threads" --json "$out" --trace-json "$out3" --trace-overhead)
+args=(--threads "$threads" --json "$out" --trace-json "$out3" --trace-overhead --bench6 "$out6")
+# Diff B6 against the committed pre-run baseline, if the repo has one
+# (and it isn't the file this very run is about to overwrite).
+if [[ -f BENCH_1.json && "$out" != "$PWD/BENCH_1.json" ]]; then
+  args+=(--baseline BENCH_1.json)
+elif [[ -f BENCH_1.json ]]; then
+  cp BENCH_1.json "${TMPDIR:-/tmp}/bench1_baseline.$$.json"
+  args+=(--baseline "${TMPDIR:-/tmp}/bench1_baseline.$$.json")
+fi
 if [[ "${BENCH_TINY:-0}" == "1" ]]; then
   args+=(--tiny)
 fi
@@ -35,4 +48,5 @@ echo "== running hot-path bench (threads 1..$threads) =="
 # Well-formedness gate: the reports must be parseable JSON.
 python3 -m json.tool "$out" > /dev/null
 python3 -m json.tool "$out3" > /dev/null
-echo "ok — $out and $out3 are well-formed JSON"
+python3 -m json.tool "$out6" > /dev/null
+echo "ok — $out, $out3 and $out6 are well-formed JSON"

@@ -24,7 +24,7 @@ cargo test --workspace 2>&1 | tee "$out/test_output.txt"
 echo "== benches =="
 cargo bench -p questpro-bench 2>&1 | tee "$out/bench_output.txt"
 
-echo "== hot-path bench (BENCH_1.json) =="
-scripts/bench.sh "$out/BENCH_1.json"
+echo "== hot-path bench (BENCH_1/3/6.json) =="
+scripts/bench.sh "$out/BENCH_1.json" "$out/BENCH_3.json" "$out/BENCH_6.json"
 
 echo "done — outputs in $out/"
