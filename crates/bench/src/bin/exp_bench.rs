@@ -29,6 +29,20 @@
 //!   is what `scripts/bench.sh` uses to produce `BENCH_6.json`).
 //! * `--baseline PATH` — committed `BENCH_1.json` to diff `--bench6`
 //!   runs against.
+//! * `--bench7 PATH` — write the B7 report and exit: snapshot cold-start
+//!   of a million-triple scale world (store build, encode, decode,
+//!   ontology assembly) against the text re-parse path, with the ≥ 50x
+//!   decode-vs-parse gate asserted, matcher throughput on the world's
+//!   anchor query, and a corruption sweep proving the loader never
+//!   panics (this is what `scripts/bench.sh` uses to produce
+//!   `BENCH_7.json`; `--tiny` drops the scale to 10⁵ triples and the
+//!   gate to a sanity threshold, since fixed per-process costs dominate
+//!   a millisecond decode).
+//! * `--bench7-decode-child FILE` / `--bench7-parse-child FILE` —
+//!   internal timing children for `--bench7`: decode a snapshot file /
+//!   run the full text-to-store path, printing
+//!   `"<milliseconds> <rows>"`. Each B7 measurement re-execs this
+//!   binary in one of these modes so it pays true cold-start costs.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -89,6 +103,35 @@ fn json_escape(s: &str) -> String {
 
 fn main() {
     let tiny = cli_switch("--tiny");
+    // Timing children for the B7 cold-start gate: each measurement runs
+    // in a fresh process, so it pays true cold-start costs (first-touch
+    // page faults, allocator growth) and allocator state from earlier
+    // phases cannot skew it. Each prints "<milliseconds> <row count>"
+    // on stdout.
+    if let Some(path) = cli_value("--bench7-decode-child") {
+        let bytes = std::fs::read(&path).expect("read snapshot file");
+        let t0 = Instant::now();
+        let store = questpro_store::decode(&bytes).expect("snapshot decodes");
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        println!("{ms} {}", std::hint::black_box(store).triple_count());
+        return;
+    }
+    if let Some(path) = cli_value("--bench7-parse-child") {
+        // The full text-to-store path (`questpro store build --ontology`):
+        // parse, then dictionary + index construction — the per-load
+        // work a snapshot persists.
+        let text = std::fs::read_to_string(&path).expect("read triples file");
+        let t0 = Instant::now();
+        let ont = questpro_graph::triples::parse(&text).expect("triples parse");
+        let store = questpro_store::TripleStore::from_ontology(&ont).expect("store builds");
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        println!("{ms} {}", std::hint::black_box(store).triple_count());
+        return;
+    }
+    if let Some(path) = cli_value("--bench7") {
+        bench7_section(&path, tiny);
+        return;
+    }
     let max_threads = if cli_value("--threads").is_some() {
         cli_threads()
     } else {
@@ -275,6 +318,269 @@ fn main() {
     if cli_switch("--log-overhead") {
         log_section(&picked, &worlds, &cells, trials);
     }
+}
+
+/// The B7 report: the persistent-store cold-start story at scale.
+///
+/// Streams a million-triple SP2B-shaped world straight into a
+/// `StoreBuilder` (no text form), encodes it to snapshot bytes, then
+/// measures the two cold-start paths side by side — strict snapshot
+/// `decode` + `to_ontology` assembly versus serializing the triples to
+/// text and re-parsing them, the load every pre-store `questpro serve`
+/// paid. The headline gate (decode ≥ 50x faster than text re-parse) is
+/// asserted, matcher throughput on the world's anchor query is recorded,
+/// and a byte-flip + truncation sweep over a small snapshot proves the
+/// loader answers every corruption with a named error, never a panic.
+/// Runs this binary in a B7 timing-child mode against `path` and
+/// returns the `(milliseconds, row count)` pair it printed.
+fn child_wall_ms(mode: &str, path: &std::path::Path) -> (f64, u64) {
+    let exe = std::env::current_exe().expect("own executable path");
+    let out = std::process::Command::new(exe)
+        .arg(mode)
+        .arg(path)
+        .output()
+        .expect("spawn timing child");
+    assert!(
+        out.status.success(),
+        "timing child {mode} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).expect("child prints UTF-8");
+    let mut parts = text.split_whitespace();
+    let ms = parts
+        .next()
+        .and_then(|w| w.parse().ok())
+        .expect("child prints milliseconds");
+    let rows = parts
+        .next()
+        .and_then(|w| w.parse().ok())
+        .expect("child prints row count");
+    (ms, rows)
+}
+
+fn bench7_section(path: &str, tiny: bool) {
+    use questpro_data::scale::{
+        anchor_entity, anchor_pred, scale_stream, ScaleConfig, ScaleItem, ScaleWorld,
+    };
+    use questpro_query::{QueryBuilder, UnionQuery};
+    use questpro_store::{decode, encode, StoreBuilder};
+
+    let world = ScaleWorld::Sp2b;
+    let scale: u64 = if tiny { 100_000 } else { 1_000_000 };
+    let seed = 7u64;
+    let cfg = ScaleConfig {
+        world,
+        triples: scale,
+        seed,
+    };
+
+    // Store build: stream items straight into the builder — the path
+    // `questpro store build --world sp2b --scale N` takes.
+    let t0 = Instant::now();
+    let mut b = StoreBuilder::new();
+    for item in scale_stream(&cfg) {
+        match item {
+            ScaleItem::Triple { s, p, o } => b.add_triple(&s, &p, &o),
+            ScaleItem::Type { node, ty } => {
+                b.add_type(&node, &ty)
+                    .expect("scale worlds type consistently");
+            }
+        }
+    }
+    let store = b.build().expect("scale world fits the u32 id space");
+    let build_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let triples = store.triple_count();
+
+    let t0 = Instant::now();
+    let snapshot = encode(&store);
+    let encode_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    // Text cold start comparator: the same items as triple text.
+    let mut text = String::new();
+    for item in scale_stream(&cfg) {
+        match item {
+            ScaleItem::Triple { s, p, o } => {
+                let _ = writeln!(text, "{s} {p} {o}");
+            }
+            ScaleItem::Type { node, ty } => {
+                let _ = writeln!(text, "@type {node} {ty}");
+            }
+        }
+    }
+    let text_bytes = text.len();
+
+    // Snapshot cold start vs text re-parse, both best-of-6. Each
+    // measurement runs in a fresh child process (this binary re-exec'd
+    // in a timing-child mode): in-process repeats understate a cold
+    // start badly — the allocator reuses the previous round's freed
+    // blocks and a re-parse comes out twice as fast as a true first
+    // parse. The child rounds are interleaved decode/parse so machine
+    // drift lands on both sides, and each side takes its fastest round:
+    // on a shared box a neighbor burst inflates the short memory-bound
+    // decode far more than the long compute-bound parse, so the minimum
+    // is the estimator that reflects the machine, not the neighbors.
+    let dir = std::env::temp_dir();
+    let snap_path = dir.join(format!("questpro_bench7_{}.qps", std::process::id()));
+    let text_path = dir.join(format!("questpro_bench7_{}.triples", std::process::id()));
+    std::fs::write(&snap_path, &snapshot).expect("write snapshot temp file");
+    std::fs::write(&text_path, &text).expect("write text temp file");
+    let mut decode_walls = Vec::new();
+    let mut parse_walls = Vec::new();
+    for _ in 0..6 {
+        let (ms, rows) = child_wall_ms("--bench7-decode-child", &snap_path);
+        assert_eq!(rows, triples as u64, "child decoded the same world");
+        decode_walls.push(ms);
+        let (ms, rows) = child_wall_ms("--bench7-parse-child", &text_path);
+        assert_eq!(rows, triples as u64, "child parsed the same world");
+        parse_walls.push(ms);
+    }
+    let _ = std::fs::remove_file(&snap_path);
+    let _ = std::fs::remove_file(&text_path);
+    let best = |walls: Vec<f64>| walls.into_iter().fold(f64::INFINITY, f64::min);
+    let decode_ms = best(decode_walls);
+    let text_parse_ms = best(parse_walls);
+    let t0 = Instant::now();
+    let ont = store.to_ontology().expect("validated store assembles");
+    let assemble_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let speedup = text_parse_ms / decode_ms.max(1e-6);
+    println!(
+        "B7 cold start at {triples} triples: decode {decode_ms:.1} ms + assemble \
+         {assemble_ms:.1} ms vs text parse {text_parse_ms:.1} ms ({speedup:.0}x)"
+    );
+    // The 50x acceptance gate is defined at the full 10^6-triple scale;
+    // at the tiny CI scale fixed per-process costs (spawn, first-touch
+    // faults) dominate a millisecond decode, so only sanity is asserted.
+    let min_speedup = if tiny { 10.0 } else { 50.0 };
+    assert!(
+        speedup >= min_speedup,
+        "snapshot decode ({decode_ms:.1} ms) must be >= {min_speedup}x faster than \
+         text re-parse ({text_parse_ms:.1} ms), got {speedup:.1}x"
+    );
+
+    // Matcher throughput on the anchor query: co-authors of the hub
+    // entity, the guaranteed scale-proportional join.
+    let query = {
+        let mut qb = QueryBuilder::new();
+        let x = qb.var("x");
+        let p = qb.var("p");
+        let a = qb.constant(anchor_entity(world));
+        qb.edge(p, anchor_pred(world), x)
+            .edge(p, anchor_pred(world), a)
+            .project(x);
+        UnionQuery::single(qb.build().expect("anchor query is well-formed"))
+    };
+    let mut eval_walls = Vec::new();
+    let mut results = 0usize;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        results = questpro_engine::evaluate_union_with(&ont, &query, 1).len();
+        eval_walls.push(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    let eval_ms = median(eval_walls);
+    let triples_per_sec = triples as f64 / (eval_ms / 1e3).max(1e-9);
+    println!(
+        "B7 matcher: anchor query over {triples} triples -> {results} results in \
+         {eval_ms:.1} ms ({:.1}M triples/s)",
+        triples_per_sec / 1e6
+    );
+    assert!(results > 0, "the anchor hub must have co-members");
+
+    // Corruption sweep on a small snapshot: every single-byte flip and
+    // every truncation must come back as a named error under
+    // catch_unwind — zero panics, zero accepted corruptions.
+    let small = {
+        let mut b = StoreBuilder::new();
+        for item in scale_stream(&ScaleConfig {
+            world,
+            triples: 1_000,
+            seed,
+        }) {
+            match item {
+                ScaleItem::Triple { s, p, o } => b.add_triple(&s, &p, &o),
+                ScaleItem::Type { node, ty } => {
+                    b.add_type(&node, &ty)
+                        .expect("scale worlds type consistently");
+                }
+            }
+        }
+        encode(&b.build().expect("small world builds"))
+    };
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let mut named_errors = 0u64;
+    let mut panics = 0u64;
+    let mut accepted = 0u64;
+    for i in 0..small.len() {
+        let mut m = small.clone();
+        m[i] ^= 0x01;
+        match std::panic::catch_unwind(|| decode(&m).map(|_| ())) {
+            Ok(Err(e)) => {
+                let _ = e.to_string();
+                named_errors += 1;
+            }
+            Ok(Ok(())) => accepted += 1,
+            Err(_) => panics += 1,
+        }
+    }
+    let flips = small.len() as u64;
+    for cut in 0..small.len() {
+        match std::panic::catch_unwind(|| decode(&small[..cut]).map(|_| ())) {
+            Ok(Err(e)) => {
+                let _ = e.to_string();
+                named_errors += 1;
+            }
+            Ok(Ok(())) => accepted += 1,
+            Err(_) => panics += 1,
+        }
+    }
+    std::panic::set_hook(hook);
+    let truncations = small.len() as u64;
+    println!(
+        "B7 corruption sweep: {flips} byte flips + {truncations} truncations -> \
+         {named_errors} named errors, {accepted} accepted, {panics} panics"
+    );
+    assert_eq!(panics, 0, "the snapshot loader must never panic");
+    assert_eq!(accepted, 0, "every corruption must be rejected");
+
+    let mut out = String::from(
+        "{\n  \"bench\": \"B7 persistent store: snapshot cold start vs text re-parse\",\n",
+    );
+    let _ = writeln!(
+        out,
+        "  \"config\": {{\"world\": \"{}\", \"scale\": {scale}, \"seed\": {seed}, \"tiny\": {tiny}}},",
+        world.name()
+    );
+    let _ = writeln!(
+        out,
+        "  \"store_build\": {{\"triples\": {triples}, \"stream_build_ms\": {build_ms:.3}, \
+         \"encode_ms\": {encode_ms:.3}, \"snapshot_bytes\": {}}},",
+        snapshot.len()
+    );
+    let _ = writeln!(
+        out,
+        "  \"cold_start\": {{\"decode_ms_best_of_6\": {decode_ms:.3}, \
+         \"assemble_ms\": {assemble_ms:.3}, \"text_bytes\": {text_bytes}, \
+         \"text_parse_ms_best_of_6\": {text_parse_ms:.3}, \
+         \"speedup_decode_vs_text_parse\": {speedup:.1}, \"required_min_speedup\": {min_speedup:.1}}},"
+    );
+    let _ = writeln!(
+        out,
+        "  \"matcher\": {{\"anchor_entity\": \"{}\", \"anchor_pred\": \"{}\", \
+         \"results\": {results}, \"eval_ms_median_of_3\": {eval_ms:.3}, \
+         \"triples_per_sec\": {triples_per_sec:.0}}},",
+        anchor_entity(world),
+        anchor_pred(world)
+    );
+    let _ = writeln!(
+        out,
+        "  \"corruption\": {{\"snapshot_bytes\": {}, \"byte_flips\": {flips}, \
+         \"truncations\": {truncations}, \"named_errors\": {named_errors}, \
+         \"accepted\": {accepted}, \"panics\": {panics}}}",
+        small.len()
+    );
+    out.push_str("}\n");
+    std::fs::write(path, out).expect("write bench7 json report");
+    eprintln!("wrote {path}");
 }
 
 /// Disabled-logging overhead gate: cost of one level-gated `emit` that

@@ -11,6 +11,8 @@ questpro — interactive inference of SPARQL queries using provenance
 
 USAGE:
   questpro generate --world <erdos|sp2b|bsbm|movies> --out FILE [--seed N]
+                    [--scale N]   (stream a ~N-triple world instead of the
+                    fixed-size generator)
   questpro eval     --ontology FILE --query FILE [--provenance VALUE]
                     [--polynomial] [--limit N] [--threads N|auto]
   questpro infer    --ontology FILE --examples FILE [--k N] [--w1 F] [--w2 F]
@@ -25,7 +27,15 @@ USAGE:
   questpro serve    [--port N | --addr HOST:PORT] [--workers N] [--queue N]
                     [--threads N|auto] [--max-sessions N] [--idle-secs N]
                     [--log-file FILE] [--log-level LEVEL] [--slow-ms N]
-                    (HTTP/JSON service; stops on POST /shutdown or terminal EOF)
+                    [--store FILE]
+                    (HTTP/JSON service; stops on POST /shutdown or terminal EOF;
+                    --store preloads a binary snapshot into the registry)
+  questpro store    build (--world <erdos|sp2b|bsbm|movies> [--scale N] [--seed N]
+                    | --ontology FILE) --out FILE
+                    (encode a world or triple file as a binary snapshot;
+                    --scale streams triples straight into the encoder)
+  questpro store    inspect --file FILE
+                    (print snapshot version, section table, and store counts)
   questpro trace    (--world <sp2b|bsbm|movies> [--query-id ID]
                     | --ontology FILE --query FILE)
                     [--examples N] [--k N] [--seed N] [--threads N|auto] [--refine]
@@ -37,13 +47,14 @@ USAGE:
                     [--limit N]
                     (tail/filter a JSON-lines event log written by
                     `serve --log-file`; LEVEL is trace|debug|info|warn|error)
-  questpro fuzz     (--surface <wire|sparql|triples|http> | --all)
+  questpro fuzz     (--surface <wire|sparql|triples|http|store> | --all)
                     [--seed N] [--iters N]
                     (deterministic fuzzing of the input parsers; exits
                     non-zero on any panic or oracle violation)
 
 FILES:
-  ontology  — triple text format (`src pred dst`, `@type value Type`)
+  ontology  — triple text format (`src pred dst`, `@type value Type`), or a
+              binary snapshot built by `questpro store build` (auto-detected)
   examples  — explanation blocks (`dis <value>` + edges, blank-line separated)
   query     — SPARQL dialect (`SELECT ?x WHERE { ... }` [UNION ...])
 ";
@@ -73,6 +84,41 @@ pub enum Command {
     Logs(LogsArgs),
     /// `questpro fuzz`.
     Fuzz(FuzzArgs),
+    /// `questpro store` (build or inspect a binary snapshot).
+    Store(StoreCommand),
+}
+
+/// The verb of `questpro store`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StoreCommand {
+    /// `questpro store build`.
+    Build(StoreBuildArgs),
+    /// `questpro store inspect`.
+    Inspect(StoreInspectArgs),
+}
+
+/// Arguments of `questpro store build`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoreBuildArgs {
+    /// Built-in world to stream into the encoder (mutually exclusive
+    /// with `ontology`).
+    pub world: Option<String>,
+    /// Approximate triple count for world mode (0 = the world's
+    /// fixed-size generator).
+    pub scale: u64,
+    /// Generator seed (world mode).
+    pub seed: u64,
+    /// Triple-text ontology file to encode (file mode).
+    pub ontology: Option<String>,
+    /// Snapshot output path.
+    pub out: String,
+}
+
+/// Arguments of `questpro store inspect`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoreInspectArgs {
+    /// Snapshot path to inspect.
+    pub file: String,
 }
 
 /// Arguments of `questpro generate`.
@@ -84,6 +130,9 @@ pub struct GenerateArgs {
     pub out: String,
     /// Generator seed.
     pub seed: u64,
+    /// Approximate triple count to stream (None = the world's
+    /// fixed-size generator).
+    pub scale: Option<u64>,
 }
 
 /// Arguments of `questpro eval`.
@@ -195,6 +244,8 @@ pub struct ServeArgs {
     pub log_level: Option<String>,
     /// Slow-query log threshold in milliseconds (0 disables it).
     pub slow_ms: u64,
+    /// Binary snapshot to preload into the ontology registry, if any.
+    pub store: Option<String>,
 }
 
 /// Arguments of `questpro trace`.
@@ -241,8 +292,8 @@ pub struct LogsArgs {
 /// Arguments of `questpro fuzz`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FuzzArgs {
-    /// Surface to fuzz (`wire`, `sparql`, `triples`, `http`); `None`
-    /// with `all` set means every surface.
+    /// Surface to fuzz (`wire`, `sparql`, `triples`, `http`, `store`);
+    /// `None` with `all` set means every surface.
     pub surface: Option<String>,
     /// Fuzz all surfaces.
     pub all: bool,
@@ -269,6 +320,10 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
     let Some((sub, rest)) = argv.split_first() else {
         return Err(CliError::Usage(format!("missing subcommand\n\n{USAGE}")));
     };
+    if sub == "store" {
+        // `store` takes a verb positional before its flags.
+        return parse_store(rest);
+    }
     let flags = Flags::parse(rest)?;
     if let Some((_, allowed)) = KNOWN_FLAGS.iter().find(|(name, _)| name == sub) {
         flags.check(sub, allowed)?;
@@ -278,6 +333,10 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
             world: flags.require("world")?,
             out: flags.require("out")?,
             seed: flags.num("seed", 0)?,
+            scale: match flags.get("scale") {
+                None => None,
+                Some(_) => Some(flags.num("scale", 0)?.max(1)),
+            },
         })),
         "eval" => Ok(Command::Eval(EvalArgs {
             ontology: flags.require("ontology")?,
@@ -332,6 +391,7 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
                 log_file: flags.get("log-file"),
                 log_level: flags.get("log-level"),
                 slow_ms: flags.num("slow-ms", 500)?,
+                store: flags.get("store"),
             }))
         }
         "explore" => Ok(Command::Explore(ExploreArgs {
@@ -371,7 +431,7 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
             };
             if args.surface.is_none() && !args.all {
                 return Err(CliError::Usage(
-                    "fuzz needs --surface <wire|sparql|triples|http> or --all".to_string(),
+                    "fuzz needs --surface <wire|sparql|triples|http|store> or --all".to_string(),
                 ));
             }
             Ok(Command::Fuzz(args))
@@ -379,6 +439,51 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
         "help" | "--help" | "-h" => Err(CliError::Usage(USAGE.to_string())),
         other => Err(CliError::Usage(format!(
             "unknown subcommand {other:?}\n\n{USAGE}"
+        ))),
+    }
+}
+
+/// Parses `questpro store <verb> [--flags]`.
+fn parse_store(rest: &[String]) -> Result<Command, CliError> {
+    let Some((verb, rest)) = rest.split_first() else {
+        return Err(CliError::Usage(
+            "store needs a verb: `questpro store build ...` or `questpro store inspect ...`"
+                .to_string(),
+        ));
+    };
+    let flags = Flags::parse(rest)?;
+    match verb.as_str() {
+        "build" => {
+            flags.check(
+                "store build",
+                &["world", "scale", "seed", "ontology", "out"],
+            )?;
+            let args = StoreBuildArgs {
+                world: flags.get("world"),
+                scale: flags.num("scale", 0)?,
+                seed: flags.num("seed", 0)?,
+                ontology: flags.get("ontology"),
+                out: flags.require("out")?,
+            };
+            match (&args.world, &args.ontology) {
+                (Some(_), Some(_)) => Err(CliError::Usage(
+                    "store build takes --world or --ontology, not both".to_string(),
+                )),
+                (None, None) => Err(CliError::Usage(
+                    "store build needs --world <erdos|sp2b|bsbm|movies> or --ontology FILE"
+                        .to_string(),
+                )),
+                _ => Ok(Command::Store(StoreCommand::Build(args))),
+            }
+        }
+        "inspect" => {
+            flags.check("store inspect", &["file"])?;
+            Ok(Command::Store(StoreCommand::Inspect(StoreInspectArgs {
+                file: flags.require("file")?,
+            })))
+        }
+        other => Err(CliError::Usage(format!(
+            "unknown store verb {other:?} (expected build or inspect)"
         ))),
     }
 }
@@ -402,7 +507,7 @@ const SWITCHES: &[&str] = &[
 /// — or any flag given twice — is a hard usage error, never silently
 /// ignored.
 const KNOWN_FLAGS: &[(&str, &[&str])] = &[
-    ("generate", &["world", "out", "seed"]),
+    ("generate", &["world", "out", "seed", "scale"]),
     (
         "eval",
         &[
@@ -441,6 +546,7 @@ const KNOWN_FLAGS: &[(&str, &[&str])] = &[
             "log-file",
             "log-level",
             "slow-ms",
+            "store",
         ],
     ),
     ("explore", &["ontology", "node", "depth"]),
@@ -564,8 +670,74 @@ mod tests {
                 world: "sp2b".into(),
                 out: "w.triples".into(),
                 seed: 7,
+                scale: None,
             })
         );
+        let cmd = parse(&argv("generate --world sp2b --out w --scale 100000")).unwrap();
+        match cmd {
+            Command::Generate(g) => assert_eq!(g.scale, Some(100_000)),
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_store_build_and_inspect() {
+        let cmd = parse(&argv(
+            "store build --world bsbm --scale 50000 --seed 3 --out w.qps",
+        ))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Store(StoreCommand::Build(StoreBuildArgs {
+                world: Some("bsbm".into()),
+                scale: 50_000,
+                seed: 3,
+                ontology: None,
+                out: "w.qps".into(),
+            }))
+        );
+        let cmd = parse(&argv("store build --ontology o.triples --out o.qps")).unwrap();
+        match cmd {
+            Command::Store(StoreCommand::Build(b)) => {
+                assert_eq!(b.ontology.as_deref(), Some("o.triples"));
+                assert!(b.world.is_none());
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        let cmd = parse(&argv("store inspect --file w.qps")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Store(StoreCommand::Inspect(StoreInspectArgs {
+                file: "w.qps".into(),
+            }))
+        );
+    }
+
+    #[test]
+    fn store_argument_errors_are_reported() {
+        let err = parse(&argv("store")).unwrap_err();
+        assert!(err.to_string().contains("store needs a verb"), "{err}");
+        let err = parse(&argv("store frobnicate --out x")).unwrap_err();
+        assert!(err.to_string().contains("unknown store verb"), "{err}");
+        let err = parse(&argv("store build --out x")).unwrap_err();
+        assert!(err.to_string().contains("--world"), "{err}");
+        let err = parse(&argv("store build --world sp2b --ontology o --out x")).unwrap_err();
+        assert!(err.to_string().contains("not both"), "{err}");
+        let err = parse(&argv("store build --world sp2b")).unwrap_err();
+        assert!(err.to_string().contains("--out"), "{err}");
+        let err = parse(&argv("store build --world sp2b --out x --bogus y")).unwrap_err();
+        assert!(err.to_string().contains("unknown flag --bogus"), "{err}");
+        let err = parse(&argv("store inspect --file a --file b")).unwrap_err();
+        assert!(err.to_string().contains("more than once"), "{err}");
+    }
+
+    #[test]
+    fn parses_serve_with_store_preload() {
+        let cmd = parse(&argv("serve --store w.qps")).unwrap();
+        match cmd {
+            Command::Serve(s) => assert_eq!(s.store.as_deref(), Some("w.qps")),
+            other => panic!("wrong command {other:?}"),
+        }
     }
 
     #[test]

@@ -12,9 +12,20 @@ pub mod io {
 
     use crate::error::CliError;
 
-    /// Reads and parses an ontology from the triple text format.
+    /// Reads an ontology from either the triple text format or a binary
+    /// snapshot (`questpro store build`), sniffed by the 4-byte magic —
+    /// so every `--ontology FILE` flag accepts both transparently.
     pub fn load_ontology(path: &str) -> Result<Ontology, CliError> {
-        let text = std::fs::read_to_string(path).map_err(|e| CliError::io(path, e))?;
+        let bytes = std::fs::read(path).map_err(|e| CliError::io(path, e))?;
+        if bytes.starts_with(&questpro_store::MAGIC) {
+            let store = questpro_store::decode(&bytes).map_err(CliError::input)?;
+            return store.to_ontology().map_err(CliError::input);
+        }
+        let text = String::from_utf8(bytes).map_err(|_| {
+            CliError::Input(format!(
+                "{path} is neither UTF-8 triple text nor a questpro snapshot"
+            ))
+        })?;
         triples::parse(&text).map_err(CliError::input)
     }
 
@@ -39,15 +50,58 @@ pub mod generate {
     //! `questpro generate` — write a synthetic world to disk.
 
     use questpro_data::{
-        generate_bsbm, generate_movies, generate_sp2b, BsbmConfig, MoviesConfig, Sp2bConfig,
+        generate_bsbm, generate_movies, generate_sp2b, scale_stream, BsbmConfig, MoviesConfig,
+        ScaleConfig, ScaleItem, ScaleWorld, Sp2bConfig,
     };
     use questpro_graph::triples;
 
     use crate::args::GenerateArgs;
     use crate::error::CliError;
 
+    /// Streams a `--scale N` world to disk item by item — the triple
+    /// text never exists in memory, so 10⁷-triple files are fine.
+    /// Scale-world labels are `snake_case` identifiers, which need no
+    /// percent-escaping in the text format.
+    fn run_scaled(args: &GenerateArgs, target: u64) -> Result<String, CliError> {
+        use std::io::Write as _;
+        let world = ScaleWorld::from_name(&args.world).ok_or_else(|| {
+            CliError::Usage(format!(
+                "unknown world {:?} (expected erdos|sp2b|bsbm|movies)",
+                args.world
+            ))
+        })?;
+        let cfg = ScaleConfig {
+            world,
+            triples: target,
+            seed: args.seed,
+        };
+        let file = std::fs::File::create(&args.out).map_err(|e| CliError::io(&args.out, e))?;
+        let mut w = std::io::BufWriter::new(file);
+        let (mut triples, mut types) = (0u64, 0u64);
+        for item in scale_stream(&cfg) {
+            match item {
+                ScaleItem::Triple { s, p, o } => {
+                    triples += 1;
+                    writeln!(w, "{s} {p} {o}").map_err(|e| CliError::io(&args.out, e))?;
+                }
+                ScaleItem::Type { node, ty } => {
+                    types += 1;
+                    writeln!(w, "@type {node} {ty}").map_err(|e| CliError::io(&args.out, e))?;
+                }
+            }
+        }
+        w.flush().map_err(|e| CliError::io(&args.out, e))?;
+        Ok(format!(
+            "wrote {} ({triples} triple(s), {types} type declaration(s), streamed)\n",
+            args.out
+        ))
+    }
+
     /// Runs the command.
     pub fn run(args: &GenerateArgs) -> Result<String, CliError> {
+        if let Some(target) = args.scale {
+            return run_scaled(args, target);
+        }
         let ont = match args.world.as_str() {
             "erdos" => questpro_data::erdos_ontology(),
             "sp2b" => generate_sp2b(&Sp2bConfig {
@@ -888,6 +942,7 @@ pub mod serve {
             log_level,
             log_file: args.log_file.clone(),
             slow_query_ms: args.slow_ms,
+            stores: args.store.clone().into_iter().collect(),
             ..ServerConfig::default()
         })
         .map_err(|e| CliError::io(&args.addr, e))?;
@@ -950,6 +1005,7 @@ pub mod serve {
                 log_file: None,
                 log_level: None,
                 slow_ms: 500,
+                store: None,
             };
             let out = run_with_ready(&args, |addr| {
                 // Shut the server down from a client thread as soon as
@@ -966,6 +1022,223 @@ pub mod serve {
             })
             .unwrap();
             assert!(out.contains("shut down cleanly"));
+        }
+    }
+}
+
+pub mod store {
+    //! `questpro store` — build and inspect binary snapshots.
+    //!
+    //! `build` encodes a world (streamed at `--scale`, or a fixed-size
+    //! generator) or a triple-text file into the versioned snapshot
+    //! format; `inspect` validates a snapshot's header/section table and
+    //! prints its counts without assembling an ontology.
+
+    use std::fmt::Write as _;
+
+    use questpro_data::{scale_stream, ScaleConfig, ScaleItem, ScaleWorld};
+    use questpro_store::{decode, encode, snapshot, StoreBuilder, TripleStore};
+
+    use crate::args::{StoreBuildArgs, StoreCommand, StoreInspectArgs};
+    use crate::commands::io;
+    use crate::error::CliError;
+
+    /// Runs the command.
+    pub fn run(cmd: &StoreCommand) -> Result<String, CliError> {
+        match cmd {
+            StoreCommand::Build(b) => build(b),
+            StoreCommand::Inspect(i) => inspect(i),
+        }
+    }
+
+    /// Builds a [`TripleStore`] by streaming a scale world into the
+    /// dictionary encoder — no triple text is ever materialized.
+    fn stream_world(world: ScaleWorld, triples: u64, seed: u64) -> Result<TripleStore, CliError> {
+        let mut b = StoreBuilder::new();
+        for item in scale_stream(&ScaleConfig {
+            world,
+            triples,
+            seed,
+        }) {
+            match item {
+                ScaleItem::Triple { s, p, o } => b.add_triple(&s, &p, &o),
+                ScaleItem::Type { node, ty } => {
+                    b.add_type(&node, &ty).map_err(CliError::input)?;
+                }
+            }
+        }
+        b.build().map_err(CliError::input)
+    }
+
+    fn build(args: &StoreBuildArgs) -> Result<String, CliError> {
+        let store = if let Some(path) = &args.ontology {
+            let ont = io::load_ontology(path)?;
+            TripleStore::from_ontology(&ont).map_err(CliError::input)?
+        } else {
+            let name = args.world.as_deref().unwrap_or_default();
+            let world = ScaleWorld::from_name(name).ok_or_else(|| {
+                CliError::Usage(format!(
+                    "unknown world {name:?} (expected erdos|sp2b|bsbm|movies)"
+                ))
+            })?;
+            if args.scale > 0 {
+                stream_world(world, args.scale, args.seed)?
+            } else {
+                // No --scale: encode the world's fixed-size generator.
+                let ont = match world {
+                    ScaleWorld::Erdos => questpro_data::erdos_ontology(),
+                    ScaleWorld::Sp2b => questpro_data::generate_sp2b(&questpro_data::Sp2bConfig {
+                        seed: args.seed,
+                        ..Default::default()
+                    }),
+                    ScaleWorld::Bsbm => questpro_data::generate_bsbm(&questpro_data::BsbmConfig {
+                        seed: args.seed,
+                        ..Default::default()
+                    }),
+                    ScaleWorld::Movies => {
+                        questpro_data::generate_movies(&questpro_data::MoviesConfig {
+                            seed: args.seed,
+                            ..Default::default()
+                        })
+                    }
+                };
+                TripleStore::from_ontology(&ont).map_err(CliError::input)?
+            }
+        };
+        let bytes = encode(&store);
+        std::fs::write(&args.out, &bytes).map_err(|e| CliError::io(&args.out, e))?;
+        let s = store.stats();
+        Ok(format!(
+            "wrote {} ({} bytes): {} triple(s), {} node(s), {} pred(s), {} type(s)\n",
+            args.out,
+            bytes.len(),
+            s.triples,
+            s.nodes,
+            s.preds,
+            s.types
+        ))
+    }
+
+    fn inspect(args: &StoreInspectArgs) -> Result<String, CliError> {
+        let bytes = std::fs::read(&args.file).map_err(|e| CliError::io(&args.file, e))?;
+        let sections = snapshot::sections(&bytes).map_err(CliError::input)?;
+        let store = decode(&bytes).map_err(CliError::input)?;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}: questpro snapshot v{} ({} bytes, checksum ok)",
+            args.file,
+            snapshot::FORMAT_VERSION,
+            bytes.len()
+        );
+        let _ = writeln!(out, "\nsections:");
+        for s in sections {
+            let _ = writeln!(
+                out,
+                "  {:>2}  {:<11} {:>12} byte(s) at {:>8}",
+                s.id, s.name, s.len, s.offset
+            );
+        }
+        let st = store.stats();
+        let _ = writeln!(
+            out,
+            "\ncounts: {} triple(s), {} node(s), {} pred(s), {} type(s), \
+             {} typed node(s), {} label byte(s)",
+            st.triples, st.nodes, st.preds, st.types, st.typed_nodes, st.label_bytes
+        );
+        Ok(out)
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        fn tmp(name: &str) -> String {
+            std::env::temp_dir()
+                .join(format!("questpro-store-cmd-{name}"))
+                .to_string_lossy()
+                .into_owned()
+        }
+
+        #[test]
+        fn builds_inspects_and_reloads_a_scaled_snapshot() {
+            let out = tmp("scaled.qps");
+            let msg = build(&StoreBuildArgs {
+                world: Some("sp2b".into()),
+                scale: 2_000,
+                seed: 7,
+                ontology: None,
+                out: out.clone(),
+            })
+            .unwrap();
+            assert!(msg.contains("triple(s)"), "{msg}");
+
+            let report = inspect(&StoreInspectArgs { file: out.clone() }).unwrap();
+            assert!(report.contains("questpro snapshot v1"), "{report}");
+            assert!(report.contains("checksum ok"), "{report}");
+            for name in ["nodes", "preds", "types", "triples", "pos", "osp"] {
+                assert!(report.contains(name), "{report}");
+            }
+
+            // Every --ontology flag accepts the snapshot transparently.
+            let ont = io::load_ontology(&out).unwrap();
+            assert!(ont.edge_count() >= 2_000, "{}", ont.edge_count());
+            let _ = std::fs::remove_file(&out);
+        }
+
+        #[test]
+        fn snapshot_of_text_file_round_trips_the_ontology() {
+            let text = tmp("tiny.triples");
+            std::fs::write(&text, "a p b\nb p c\n@type a T\n").unwrap();
+            let out = tmp("tiny.qps");
+            build(&StoreBuildArgs {
+                world: None,
+                scale: 0,
+                seed: 0,
+                ontology: Some(text.clone()),
+                out: out.clone(),
+            })
+            .unwrap();
+            let ont = io::load_ontology(&out).unwrap();
+            assert_eq!(ont.edge_count(), 2);
+            assert_eq!(ont.node_count(), 3);
+            let a = ont.node_by_value("a").unwrap();
+            assert_eq!(ont.type_str(ont.node_type(a).unwrap()), "T");
+            let _ = std::fs::remove_file(&text);
+            let _ = std::fs::remove_file(&out);
+        }
+
+        #[test]
+        fn corrupted_snapshot_is_a_named_error() {
+            let out = tmp("corrupt.qps");
+            build(&StoreBuildArgs {
+                world: Some("erdos".into()),
+                scale: 0,
+                seed: 0,
+                ontology: None,
+                out: out.clone(),
+            })
+            .unwrap();
+            let mut bytes = std::fs::read(&out).unwrap();
+            let last = bytes.len() - 1;
+            bytes[last] ^= 0xFF;
+            std::fs::write(&out, &bytes).unwrap();
+            let err = inspect(&StoreInspectArgs { file: out.clone() }).unwrap_err();
+            assert!(err.to_string().contains("checksum mismatch"), "{err}");
+            let _ = std::fs::remove_file(&out);
+        }
+
+        #[test]
+        fn unknown_world_is_a_usage_error() {
+            let err = build(&StoreBuildArgs {
+                world: Some("atlantis".into()),
+                scale: 0,
+                seed: 0,
+                ontology: None,
+                out: tmp("never.qps"),
+            })
+            .unwrap_err();
+            assert!(err.to_string().contains("unknown world"), "{err}");
         }
     }
 }
@@ -995,7 +1268,7 @@ pub mod fuzz {
             Some(name) => {
                 let surface = Surface::from_name(name).ok_or_else(|| {
                     CliError::Usage(format!(
-                        "unknown surface {name:?}; expected wire, sparql, triples, or http"
+                        "unknown surface {name:?}; expected wire, sparql, triples, http, or store"
                     ))
                 })?;
                 vec![run_surface(surface, &cfg)]
@@ -1038,7 +1311,7 @@ pub mod fuzz {
         #[test]
         fn all_surfaces_run_clean() {
             let out = run(&args(None, true)).unwrap();
-            for name in ["wire", "sparql", "triples", "http"] {
+            for name in ["wire", "sparql", "triples", "http", "store"] {
                 assert!(out.contains(&format!("surface {name}:")), "{out}");
             }
         }

@@ -39,5 +39,6 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
         Command::Trace(t) => commands::trace::run(&t),
         Command::Logs(l) => commands::logs::run(&l),
         Command::Fuzz(f) => commands::fuzz::run(&f),
+        Command::Store(s) => commands::store::run(&s),
     }
 }

@@ -19,6 +19,9 @@
 //! * [`movies`] — films, actors, directors, genres, countries with
 //!   named anchor entities (Tarantino, Pulp Fiction, Kevin Bacon …) for
 //!   the Table I study queries;
+//! * [`scale`] — streaming (iterator-based) 10⁶–10⁷-triple variants of
+//!   the same shapes, emitted item by item for the persistent store's
+//!   dictionary encoder without ever materializing triple text;
 //! * [`workloads`] — the query catalogs: SP2B analogs (q2, q3a, q3b,
 //!   q6, q8a, q8b, q11, q12a), BSBM analogs (q1v0–q10v0 minus the
 //!   single-result q4v0/q7v0/q9v0, as in the paper), and the ten Table I
@@ -29,12 +32,14 @@
 pub mod bsbm;
 pub mod erdos;
 pub mod movies;
+pub mod scale;
 pub mod sp2b;
 pub mod workloads;
 
 pub use bsbm::{generate_bsbm, BsbmConfig};
 pub use erdos::{erdos_example_set, erdos_ontology};
 pub use movies::{generate_movies, MoviesConfig};
+pub use scale::{anchor_entity, anchor_pred, scale_stream, ScaleConfig, ScaleItem, ScaleWorld};
 pub use sp2b::{generate_sp2b, Sp2bConfig};
 pub use workloads::{
     bsbm_workload, movie_workload, sp2b_workload, union_workload, OntologyKind, WorkloadQuery,

@@ -1,0 +1,558 @@
+//! Streaming scale generators: 10⁶–10⁷ triples without the text form.
+//!
+//! The seeded world builders in [`erdos`](crate::erdos) /
+//! [`sp2b`](crate::sp2b) / [`bsbm`](crate::bsbm) /
+//! [`movies`](crate::movies) construct an interned `Ontology` in memory,
+//! which is fine at workload scale (10³–10⁴ triples) but is exactly the
+//! per-load rebuild the persistent store exists to supersede. This
+//! module generates the same entity/relationship *shapes* as an
+//! **iterator of items**, so a million-triple ontology can be streamed
+//! straight into a `questpro-store` builder (or a text file) while the
+//! generator itself holds only a few counters — no triple text, no
+//! ontology, no O(n) state.
+//!
+//! Determinism contract: every item is derived from `(seed, index)`
+//! through SplitMix64, so the stream is reproducible and independent of
+//! how far it is consumed. Every 64th record of each world wires in the
+//! world's **anchor entity** (e.g. `author0`), giving benchmark queries
+//! a guaranteed hub with scale-proportional degree.
+
+use questpro_graph::rng::{Rng, SplitMix64};
+
+/// Which synthetic world shape to stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScaleWorld {
+    /// Papers and co-authors (`wb` edges) — the running-example shape.
+    Erdos,
+    /// DBLP-ish publications: creators, venues, years, citations.
+    Sp2b,
+    /// E-commerce: products, producers, features, offers, reviews.
+    Bsbm,
+    /// Films: directors, actors, genres, countries.
+    Movies,
+}
+
+impl ScaleWorld {
+    /// All worlds, for CLI enumeration.
+    pub const ALL: [ScaleWorld; 4] = [
+        ScaleWorld::Erdos,
+        ScaleWorld::Sp2b,
+        ScaleWorld::Bsbm,
+        ScaleWorld::Movies,
+    ];
+
+    /// The CLI name of the world.
+    pub fn name(self) -> &'static str {
+        match self {
+            ScaleWorld::Erdos => "erdos",
+            ScaleWorld::Sp2b => "sp2b",
+            ScaleWorld::Bsbm => "bsbm",
+            ScaleWorld::Movies => "movies",
+        }
+    }
+
+    /// Parses a CLI world name.
+    pub fn from_name(name: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|w| w.name() == name)
+    }
+}
+
+/// Configuration for a [`scale_stream`].
+#[derive(Debug, Clone, Copy)]
+pub struct ScaleConfig {
+    /// The world shape to generate.
+    pub world: ScaleWorld,
+    /// Target number of edges (triples); the stream stops at the first
+    /// record boundary at or past this count.
+    pub triples: u64,
+    /// Seed for the deterministic item streams.
+    pub seed: u64,
+}
+
+/// One streamed item: an edge or a node-type declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScaleItem {
+    /// An edge `subject -pred-> object`.
+    Triple {
+        /// Subject label.
+        s: String,
+        /// Predicate label.
+        p: String,
+        /// Object label.
+        o: String,
+    },
+    /// A node-type declaration (`@type` line in the text format).
+    Type {
+        /// Node label.
+        node: String,
+        /// Type label.
+        ty: String,
+    },
+}
+
+/// A fixed entity pool: `count` nodes named `{prefix}{i}`, all typed.
+struct Pool {
+    prefix: &'static str,
+    count: u64,
+    ty: &'static str,
+}
+
+/// Draws a low-biased id in `0..n` (min of two uniforms), so entity
+/// degree is skewed like real data sets rather than flat.
+fn skewed(rng: &mut SplitMix64, n: u64) -> u64 {
+    let a = rng.next_u64() % n;
+    let b = rng.next_u64() % n;
+    a.min(b)
+}
+
+/// Streams the items of a scale world; see the module docs.
+pub fn scale_stream(cfg: &ScaleConfig) -> ScaleStream {
+    let target = cfg.triples.max(1);
+    let pools = match cfg.world {
+        ScaleWorld::Erdos => vec![Pool {
+            prefix: "author",
+            count: (target / 4).max(8),
+            ty: "Author",
+        }],
+        ScaleWorld::Sp2b => vec![
+            Pool {
+                prefix: "author",
+                count: (target / 5).max(8),
+                ty: "Author",
+            },
+            Pool {
+                prefix: "journal",
+                count: (target / 50).max(4),
+                ty: "Journal",
+            },
+        ],
+        ScaleWorld::Bsbm => vec![
+            Pool {
+                prefix: "producer",
+                count: (target / 100).max(4),
+                ty: "Producer",
+            },
+            Pool {
+                prefix: "feature",
+                count: (target / 20).max(8),
+                ty: "ProductFeature",
+            },
+            Pool {
+                prefix: "vendor",
+                count: (target / 200).max(4),
+                ty: "Vendor",
+            },
+            Pool {
+                prefix: "reviewer",
+                count: (target / 10).max(8),
+                ty: "Reviewer",
+            },
+        ],
+        ScaleWorld::Movies => vec![
+            Pool {
+                prefix: "actor",
+                count: (target / 5).max(8),
+                ty: "Actor",
+            },
+            Pool {
+                prefix: "director",
+                count: (target / 50).max(4),
+                ty: "Director",
+            },
+            Pool {
+                prefix: "genre",
+                count: 32,
+                ty: "Genre",
+            },
+            Pool {
+                prefix: "country",
+                count: 64,
+                ty: "Country",
+            },
+        ],
+    };
+    ScaleStream {
+        world: cfg.world,
+        seed: cfg.seed,
+        target,
+        pools,
+        pool_i: 0,
+        entity_i: 0,
+        record_i: 0,
+        emitted_edges: 0,
+        buf: std::collections::VecDeque::new(),
+    }
+}
+
+/// Iterator over [`ScaleItem`]s; holds O(1) state plus one record's
+/// buffered items.
+#[derive(Debug)]
+pub struct ScaleStream {
+    world: ScaleWorld,
+    seed: u64,
+    target: u64,
+    pools: Vec<Pool>,
+    pool_i: usize,
+    entity_i: u64,
+    record_i: u64,
+    emitted_edges: u64,
+    buf: std::collections::VecDeque<ScaleItem>,
+}
+
+impl std::fmt::Debug for Pool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Pool({}{{0..{}}}: {})", self.prefix, self.count, self.ty)
+    }
+}
+
+impl ScaleStream {
+    /// Emits one record's items into the buffer, advancing the edge
+    /// count. A "record" is a paper / product-offer-review cycle / film.
+    fn emit_record(&mut self) {
+        let i = self.record_i;
+        self.record_i += 1;
+        // Per-record stream: items depend only on (seed, world, index).
+        let world_salt = match self.world {
+            ScaleWorld::Erdos => 1u64,
+            ScaleWorld::Sp2b => 2,
+            ScaleWorld::Bsbm => 3,
+            ScaleWorld::Movies => 4,
+        };
+        let mut rng = SplitMix64::seed_from_u64(self.seed ^ (world_salt << 56) ^ i);
+        let anchored = i % 64 == 0;
+        let edge = |buf: &mut std::collections::VecDeque<ScaleItem>,
+                    count: &mut u64,
+                    s: String,
+                    p: &str,
+                    o: String| {
+            buf.push_back(ScaleItem::Triple {
+                s,
+                p: p.to_string(),
+                o,
+            });
+            *count += 1;
+        };
+        let buf = &mut self.buf;
+        let count = &mut self.emitted_edges;
+        match self.world {
+            ScaleWorld::Erdos => {
+                let authors = self.pools[0].count;
+                let paper = format!("paper{i}");
+                buf.push_back(ScaleItem::Type {
+                    node: paper.clone(),
+                    ty: "Paper".into(),
+                });
+                let k = 2 + (rng.next_u64() & 1);
+                let mut picked = [u64::MAX; 3];
+                for slot in 0..k as usize {
+                    let mut a = if slot == 0 && anchored {
+                        0
+                    } else {
+                        skewed(&mut rng, authors)
+                    };
+                    while picked[..slot].contains(&a) {
+                        a = (a + 1) % authors;
+                    }
+                    picked[slot] = a;
+                    edge(buf, count, paper.clone(), "wb", format!("author{a}"));
+                }
+            }
+            ScaleWorld::Sp2b => {
+                let authors = self.pools[0].count;
+                let journals = self.pools[1].count;
+                let paper = format!("paper{i}");
+                buf.push_back(ScaleItem::Type {
+                    node: paper.clone(),
+                    ty: if rng.next_u64() & 1 == 0 {
+                        "Article".into()
+                    } else {
+                        "Inproceedings".into()
+                    },
+                });
+                let k = 1 + rng.next_u64() % 3;
+                let mut picked = [u64::MAX; 3];
+                for slot in 0..k as usize {
+                    let mut a = if slot == 0 && anchored {
+                        0
+                    } else {
+                        skewed(&mut rng, authors)
+                    };
+                    while picked[..slot].contains(&a) {
+                        a = (a + 1) % authors;
+                    }
+                    picked[slot] = a;
+                    edge(buf, count, paper.clone(), "creator", format!("author{a}"));
+                }
+                let j = skewed(&mut rng, journals);
+                edge(buf, count, paper.clone(), "journal", format!("journal{j}"));
+                let year = 1950 + rng.next_u64() % 70;
+                edge(buf, count, paper.clone(), "year", format!("y{year}"));
+                if i > 0 {
+                    // Distinct targets, like co-authors: the text form
+                    // must stay free of duplicate triples.
+                    let k = (rng.next_u64() % 3).min(i);
+                    let mut cited = [u64::MAX; 2];
+                    for slot in 0..k as usize {
+                        let mut t = rng.next_u64() % i;
+                        while cited[..slot].contains(&t) {
+                            t = (t + 1) % i;
+                        }
+                        cited[slot] = t;
+                        edge(buf, count, paper.clone(), "cites", format!("paper{t}"));
+                    }
+                }
+            }
+            ScaleWorld::Bsbm => {
+                let producers = self.pools[0].count;
+                let features = self.pools[1].count;
+                let vendors = self.pools[2].count;
+                let reviewers = self.pools[3].count;
+                let product = format!("product{i}");
+                buf.push_back(ScaleItem::Type {
+                    node: product.clone(),
+                    ty: "Product".into(),
+                });
+                let pr = if anchored {
+                    0
+                } else {
+                    skewed(&mut rng, producers)
+                };
+                edge(
+                    buf,
+                    count,
+                    product.clone(),
+                    "producer",
+                    format!("producer{pr}"),
+                );
+                let f1 = skewed(&mut rng, features);
+                let f2 = (f1 + 1 + rng.next_u64() % (features - 1).max(1)) % features;
+                edge(
+                    buf,
+                    count,
+                    product.clone(),
+                    "feature",
+                    format!("feature{f1}"),
+                );
+                edge(
+                    buf,
+                    count,
+                    product.clone(),
+                    "feature",
+                    format!("feature{f2}"),
+                );
+                let offer = format!("offer{i}");
+                buf.push_back(ScaleItem::Type {
+                    node: offer.clone(),
+                    ty: "Offer".into(),
+                });
+                edge(buf, count, offer.clone(), "offer_product", product.clone());
+                let v = skewed(&mut rng, vendors);
+                edge(buf, count, offer, "vendor", format!("vendor{v}"));
+                let review = format!("review{i}");
+                buf.push_back(ScaleItem::Type {
+                    node: review.clone(),
+                    ty: "Review".into(),
+                });
+                edge(buf, count, review.clone(), "review_product", product);
+                let r = skewed(&mut rng, reviewers);
+                edge(
+                    buf,
+                    count,
+                    review.clone(),
+                    "reviewer",
+                    format!("reviewer{r}"),
+                );
+                let rating = 1 + rng.next_u64() % 10;
+                edge(buf, count, review, "rating", format!("rating{rating}"));
+            }
+            ScaleWorld::Movies => {
+                let actors = self.pools[0].count;
+                let directors = self.pools[1].count;
+                let genres = self.pools[2].count;
+                let countries = self.pools[3].count;
+                let film = format!("film{i}");
+                buf.push_back(ScaleItem::Type {
+                    node: film.clone(),
+                    ty: "Film".into(),
+                });
+                let d = skewed(&mut rng, directors);
+                edge(buf, count, film.clone(), "director", format!("director{d}"));
+                let k = 2 + rng.next_u64() % 2;
+                let mut picked = [u64::MAX; 3];
+                for slot in 0..k as usize {
+                    let mut a = if slot == 0 && anchored {
+                        0
+                    } else {
+                        skewed(&mut rng, actors)
+                    };
+                    while picked[..slot].contains(&a) {
+                        a = (a + 1) % actors;
+                    }
+                    picked[slot] = a;
+                    edge(buf, count, film.clone(), "starring", format!("actor{a}"));
+                }
+                let g = skewed(&mut rng, genres);
+                edge(buf, count, film.clone(), "genre", format!("genre{g}"));
+                let c = skewed(&mut rng, countries);
+                edge(buf, count, film, "country", format!("country{c}"));
+            }
+        }
+    }
+}
+
+impl Iterator for ScaleStream {
+    type Item = ScaleItem;
+
+    fn next(&mut self) -> Option<ScaleItem> {
+        loop {
+            if let Some(item) = self.buf.pop_front() {
+                return Some(item);
+            }
+            // Phase 1: pool entity type declarations.
+            if let Some(pool) = self.pools.get(self.pool_i) {
+                if self.entity_i < pool.count {
+                    let item = ScaleItem::Type {
+                        node: format!("{}{}", pool.prefix, self.entity_i),
+                        ty: pool.ty.to_string(),
+                    };
+                    self.entity_i += 1;
+                    return Some(item);
+                }
+                self.pool_i += 1;
+                self.entity_i = 0;
+                continue;
+            }
+            // Phase 2: records until the edge budget is met.
+            if self.emitted_edges >= self.target {
+                return None;
+            }
+            self.emit_record();
+        }
+    }
+}
+
+/// The anchor entity of a world (see the module docs): the hub the
+/// benchmark queries pivot on.
+pub fn anchor_entity(world: ScaleWorld) -> &'static str {
+    match world {
+        ScaleWorld::Erdos => "author0",
+        ScaleWorld::Sp2b => "author0",
+        ScaleWorld::Bsbm => "producer0",
+        ScaleWorld::Movies => "actor0",
+    }
+}
+
+/// The predicate pointing at a world's anchor (for benchmark queries).
+pub fn anchor_pred(world: ScaleWorld) -> &'static str {
+    match world {
+        ScaleWorld::Erdos => "wb",
+        ScaleWorld::Sp2b => "creator",
+        ScaleWorld::Bsbm => "producer",
+        ScaleWorld::Movies => "starring",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(world: ScaleWorld, triples: u64) -> ScaleConfig {
+        ScaleConfig {
+            world,
+            triples,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn streams_are_deterministic() {
+        for world in ScaleWorld::ALL {
+            let a: Vec<ScaleItem> = scale_stream(&cfg(world, 500)).collect();
+            let b: Vec<ScaleItem> = scale_stream(&cfg(world, 500)).collect();
+            assert_eq!(a, b, "{world:?}");
+            let c: Vec<ScaleItem> = scale_stream(&ScaleConfig {
+                world,
+                triples: 500,
+                seed: 43,
+            })
+            .collect();
+            assert_ne!(a, c, "{world:?}: different seeds must differ");
+        }
+    }
+
+    #[test]
+    fn edge_budget_is_met_at_a_record_boundary() {
+        for world in ScaleWorld::ALL {
+            let edges = scale_stream(&cfg(world, 1000))
+                .filter(|i| matches!(i, ScaleItem::Triple { .. }))
+                .count() as u64;
+            assert!(edges >= 1000, "{world:?}: {edges}");
+            // Overshoot is bounded by one record (~10 edges max).
+            assert!(edges < 1000 + 16, "{world:?}: {edges}");
+        }
+    }
+
+    #[test]
+    fn anchors_appear_with_hub_degree() {
+        for world in ScaleWorld::ALL {
+            let anchor = anchor_entity(world);
+            let pred = anchor_pred(world);
+            let hits = scale_stream(&cfg(world, 2000))
+                .filter(|i| matches!(i, ScaleItem::Triple { p, o, .. } if p == pred && o == anchor))
+                .count();
+            // Anchored every 64 records; the skew adds organic hits too.
+            assert!(hits >= 3, "{world:?}: anchor {anchor} hit {hits} times");
+        }
+    }
+
+    #[test]
+    fn typed_pools_precede_records() {
+        let mut saw_triple = false;
+        let mut pool_types = 0;
+        for item in scale_stream(&cfg(ScaleWorld::Erdos, 200)) {
+            match item {
+                ScaleItem::Type { ty, .. } if ty == "Author" => {
+                    assert!(!saw_triple, "pool types must stream first");
+                    pool_types += 1;
+                }
+                ScaleItem::Triple { .. } => saw_triple = true,
+                _ => {}
+            }
+        }
+        assert_eq!(pool_types, 50); // 200 / 4
+    }
+
+    #[test]
+    fn streams_never_repeat_a_triple() {
+        // The text form rejects duplicate edges, so `generate --scale`
+        // output is only parseable if the stream is duplicate-free.
+        for world in ScaleWorld::ALL {
+            let mut seen = std::collections::HashSet::new();
+            for item in scale_stream(&cfg(world, 2000)) {
+                if let ScaleItem::Triple { s, p, o } = item {
+                    assert!(
+                        seen.insert((s.clone(), p.clone(), o.clone())),
+                        "{world:?}: duplicate triple {s} {p} {o}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn coauthors_within_a_paper_are_distinct() {
+        use std::collections::HashMap;
+        let mut per_paper: HashMap<String, Vec<String>> = HashMap::new();
+        for item in scale_stream(&cfg(ScaleWorld::Erdos, 3000)) {
+            if let ScaleItem::Triple { s, o, .. } = item {
+                per_paper.entry(s).or_default().push(o);
+            }
+        }
+        for (paper, authors) in &per_paper {
+            let mut uniq = authors.clone();
+            uniq.sort();
+            uniq.dedup();
+            assert_eq!(uniq.len(), authors.len(), "{paper} repeats an author");
+        }
+    }
+}

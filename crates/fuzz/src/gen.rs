@@ -284,6 +284,38 @@ pub fn ontology(rng: &mut impl Rng) -> Ontology {
     b.build()
 }
 
+/// A random dictionary-encoded store with metacharacter-rich labels:
+/// triples, isolated nodes, and type declarations. Each label is typed
+/// at most once so construction cannot fail.
+pub fn store(rng: &mut impl Rng) -> questpro_store::TripleStore {
+    let mut b = questpro_store::StoreBuilder::new();
+    let mut values = Vec::new();
+    for _ in 0..rng.random_range(0..9usize) {
+        let (s, p, o) = (label(rng), label(rng), label(rng));
+        b.add_triple(&s, &p, &o);
+        values.push(s);
+        values.push(o);
+    }
+    for _ in 0..rng.random_range(0..3usize) {
+        let v = label(rng);
+        b.add_node(&v);
+        values.push(v);
+    }
+    let mut typed = Vec::new();
+    for _ in 0..rng.random_range(0..3usize) {
+        if values.is_empty() {
+            break;
+        }
+        let v = values[rng.random_range(0..values.len())].clone();
+        if typed.contains(&v) {
+            continue;
+        }
+        b.add_type(&v, &label(rng)).expect("value typed only once");
+        typed.push(v);
+    }
+    b.build().expect("generated stores satisfy the invariants")
+}
+
 /// The fixed six-edge world the `/eval` differential oracle queries.
 pub fn tiny_ontology_text() -> &'static str {
     "alice wb paper1\n\
@@ -411,6 +443,21 @@ mod tests {
             let o = ontology(&mut rng);
             assert!(o.edge_count() >= 1);
         }
+    }
+
+    #[test]
+    fn generated_stores_encode_and_decode() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut saw_empty = false;
+        let mut saw_typed = false;
+        for _ in 0..200 {
+            let s = store(&mut rng);
+            saw_empty |= s.triple_count() == 0;
+            saw_typed |= !s.node_types().is_empty();
+            let bytes = questpro_store::encode(&s);
+            assert_eq!(questpro_store::decode(&bytes).unwrap(), s);
+        }
+        assert!(saw_empty && saw_typed);
     }
 
     #[test]

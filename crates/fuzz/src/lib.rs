@@ -1,9 +1,10 @@
 //! Deterministic fuzzing and differential oracles for every input
 //! surface of the workspace.
 //!
-//! QuestPro's front door is four hand-rolled parsers — `questpro-wire`
+//! QuestPro's front door is five hand-rolled parsers — `questpro-wire`
 //! JSON, the SPARQL dialect in `questpro-query`, the triple text format
-//! in `questpro-graph`, and HTTP/1.1 head parsing in `questpro-server`.
+//! in `questpro-graph`, HTTP/1.1 head parsing in `questpro-server`, and
+//! the binary snapshot decoder in `questpro-store`.
 //! This crate drives each of them with seeded, structure-aware
 //! generators plus byte-level mutators (see [`gen`] and [`mutate`]),
 //! and checks three oracle classes on every iteration:
@@ -45,15 +46,18 @@ pub enum Surface {
     Triples,
     /// HTTP/1.1 head parsing plus the `/eval` differential oracle.
     Http,
+    /// The binary snapshot decoder in `questpro-store`.
+    Store,
 }
 
 impl Surface {
     /// All surfaces, in the order `--all` runs them.
-    pub const ALL: [Surface; 4] = [
+    pub const ALL: [Surface; 5] = [
         Surface::Wire,
         Surface::Sparql,
         Surface::Triples,
         Surface::Http,
+        Surface::Store,
     ];
 
     /// The surface's CLI / corpus-directory name.
@@ -63,6 +67,7 @@ impl Surface {
             Surface::Sparql => "sparql",
             Surface::Triples => "triples",
             Surface::Http => "http",
+            Surface::Store => "store",
         }
     }
 
@@ -245,6 +250,7 @@ pub fn run_surface(surface: Surface, cfg: &FuzzConfig) -> SurfaceReport {
             Surface::Sparql => 0x53504152,
             Surface::Triples => 0x54525049,
             Surface::Http => 0x48545450,
+            Surface::Store => 0x53544F52,
         };
         let mut seeds = SplitMix64::seed_from_u64(cfg.seed ^ salt);
         let mut ctx = surfaces::Ctx::new(surface);
@@ -283,7 +289,7 @@ pub fn run_surface(surface: Surface, cfg: &FuzzConfig) -> SurfaceReport {
     })
 }
 
-/// Fuzzes all four surfaces with the same configuration.
+/// Fuzzes all five surfaces with the same configuration.
 pub fn run_all(cfg: &FuzzConfig) -> Vec<SurfaceReport> {
     Surface::ALL
         .into_iter()

@@ -7,7 +7,8 @@
 //!    formatted and re-parsed; the round-trip oracle compares the
 //!    result with the original (value equality for JSON, isomorphism
 //!    for queries, sorted serialized lines for ontologies, field
-//!    equality for HTTP requests);
+//!    equality for HTTP requests, store equality plus byte-identical
+//!    re-encoding for snapshots);
 //! 2. **mutation stage** — the formatted text is byte-mutated and
 //!    re-parsed; the no-panic oracle applies, and *accepted* mutants
 //!    must themselves round-trip (idempotence: whatever the parser
@@ -74,6 +75,7 @@ impl Ctx {
                 let http = self.http.as_ref().expect("constructed in Ctx::new");
                 http_iter(rng, http)
             }
+            Surface::Store => store_iter(rng),
         }
     }
 }
@@ -265,6 +267,74 @@ fn triples_iter(rng: &mut StdRng) -> Vec<Failure> {
                     FailureKind::RoundTrip,
                     t3.as_bytes(),
                     format!("reserialized mutant no longer parses: {e}"),
+                )),
+            }
+        }
+        Ok(Err(_)) => {}
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// store — binary snapshot decoding
+// ---------------------------------------------------------------------
+
+fn store_panics(b: &[u8]) -> bool {
+    catching(|| {
+        let _ = questpro_store::decode(b);
+    })
+    .is_err()
+}
+
+fn store_iter(rng: &mut StdRng) -> Vec<Failure> {
+    let mut out = Vec::new();
+    // Structure stage: decode(encode(s)) must reproduce the store, and
+    // re-encoding the decoded store must be byte-identical (snapshots
+    // of the same data are diffable by contract).
+    let s = gen::store(rng);
+    let bytes = questpro_store::encode(&s);
+    match catching(|| questpro_store::decode(&bytes)) {
+        Err(msg) => out.push(panic_failure(&bytes, msg, store_panics)),
+        Ok(Err(e)) => out.push(Failure::new(
+            FailureKind::RoundTrip,
+            &bytes[..],
+            format!("encoder output rejected by the decoder: {e}"),
+        )),
+        Ok(Ok(back)) => {
+            if back != s {
+                out.push(Failure::new(
+                    FailureKind::RoundTrip,
+                    &bytes[..],
+                    "decode(encode(s)) != s",
+                ));
+            } else if questpro_store::encode(&back) != bytes {
+                out.push(Failure::new(
+                    FailureKind::RoundTrip,
+                    &bytes[..],
+                    "re-encoding a decoded snapshot changed its bytes",
+                ));
+            }
+        }
+    }
+    // Mutation stage: arbitrary bytes must decode to Ok or a named
+    // error, never a panic; accepted mutants must round-trip.
+    let mut mutated = bytes;
+    mutate::mutate(rng, &mut mutated);
+    match catching(|| questpro_store::decode(&mutated)) {
+        Err(msg) => out.push(panic_failure(&mutated, msg, store_panics)),
+        Ok(Ok(s2)) => {
+            let bytes2 = questpro_store::encode(&s2);
+            match questpro_store::decode(&bytes2) {
+                Ok(s3) if s3 == s2 => {}
+                Ok(_) => out.push(Failure::new(
+                    FailureKind::RoundTrip,
+                    &bytes2[..],
+                    "re-encoding an accepted mutant changed the store",
+                )),
+                Err(e) => out.push(Failure::new(
+                    FailureKind::RoundTrip,
+                    &bytes2[..],
+                    format!("re-encoded mutant no longer decodes: {e}"),
                 )),
             }
         }

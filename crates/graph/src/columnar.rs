@@ -149,6 +149,49 @@ impl ColumnarIndexes {
         }
     }
 
+    /// Assembles columnar indexes from pre-sorted parts without a
+    /// counting-sort pass.
+    ///
+    /// The persistent store (`questpro-store`) keeps its triple table in
+    /// SPO order and its OSP permutation on disk; both map 1:1 onto these
+    /// columns, so a snapshot load can hand the arrays over instead of
+    /// re-deriving them edge by edge. The contract (checked in debug
+    /// builds, trusted in release — snapshot decoding validates the
+    /// on-disk form before calling this):
+    ///
+    /// * `out_off` / `in_off` are monotone CSR offsets of length
+    ///   `node_count + 1` ending at `edge_count`;
+    /// * each node span of `out_*` / `in_*` is sorted by (pred, edge id),
+    ///   matching what [`ColumnarIndexes::build`] produces;
+    /// * `stats[p]` holds the per-predicate aggregates for predicate `p`.
+    pub fn from_sorted_parts(
+        out_sorted: Vec<EdgeId>,
+        out_preds: Vec<PredId>,
+        out_off: Vec<u32>,
+        in_sorted: Vec<EdgeId>,
+        in_preds: Vec<PredId>,
+        in_off: Vec<u32>,
+        stats: Vec<PredStats>,
+    ) -> Self {
+        debug_assert_eq!(out_sorted.len(), out_preds.len());
+        debug_assert_eq!(in_sorted.len(), in_preds.len());
+        debug_assert_eq!(out_sorted.len(), in_sorted.len());
+        debug_assert_eq!(out_off.len(), in_off.len());
+        debug_assert_eq!(out_off.last().copied(), Some(out_sorted.len() as u32));
+        debug_assert_eq!(in_off.last().copied(), Some(in_sorted.len() as u32));
+        debug_assert!(out_off.windows(2).all(|w| w[0] <= w[1]));
+        debug_assert!(in_off.windows(2).all(|w| w[0] <= w[1]));
+        Self {
+            out_sorted,
+            out_preds,
+            out_off,
+            in_sorted,
+            in_preds,
+            in_off,
+            stats,
+        }
+    }
+
     /// Outgoing edges of `n` labeled `p`, in ascending edge-id order.
     #[inline]
     pub fn out_with_pred(&self, n: NodeId, p: PredId) -> &[EdgeId] {

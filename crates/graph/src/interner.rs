@@ -31,6 +31,31 @@ impl Interner {
         }
     }
 
+    /// Builds an interner whose index assignment is exactly the order of
+    /// `labels` (label `i` gets index `i`).
+    ///
+    /// This is the bulk-construction path used when decoding a persistent
+    /// store snapshot, where the label set is already deduplicated and
+    /// id-stable (sorted), so per-string `intern` probing is wasted work.
+    /// Returns `None` if any label repeats.
+    pub fn from_unique_labels<I>(labels: I) -> Option<Self>
+    where
+        I: IntoIterator<Item = Box<str>>,
+    {
+        let iter = labels.into_iter();
+        let (lo, _) = iter.size_hint();
+        let mut strings: Vec<Box<str>> = Vec::with_capacity(lo);
+        let mut index: HashMap<Box<str>, u32> = HashMap::with_capacity(lo);
+        for s in iter {
+            let i = u32::try_from(strings.len()).ok()?;
+            if index.insert(s.clone(), i).is_some() {
+                return None;
+            }
+            strings.push(s);
+        }
+        Some(Self { strings, index })
+    }
+
     /// Interns `s`, returning its index; re-interning returns the same
     /// index without allocating.
     pub fn intern(&mut self, s: &str) -> u32 {
@@ -115,6 +140,16 @@ mod tests {
         }
         let collected: Vec<_> = it.iter().map(|(_, s)| s.to_string()).collect();
         assert_eq!(collected, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn from_unique_labels_preserves_order_and_rejects_duplicates() {
+        let it =
+            Interner::from_unique_labels(["a", "b", "c"].map(Box::<str>::from)).expect("unique");
+        assert_eq!(it.len(), 3);
+        assert_eq!(it.get("b"), Some(1));
+        assert_eq!(it.resolve(2), "c");
+        assert!(Interner::from_unique_labels(["a", "b", "a"].map(Box::<str>::from)).is_none());
     }
 
     #[test]

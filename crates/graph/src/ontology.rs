@@ -80,6 +80,102 @@ impl Ontology {
         OntologyBuilder::new()
     }
 
+    /// Assembles an ontology directly from pre-encoded tables, bypassing
+    /// the string-interning builder path.
+    ///
+    /// This is the snapshot fast path: `questpro-store` already holds
+    /// deduplicated label dictionaries and an id-encoded edge table, so
+    /// re-driving [`OntologyBuilder`] would re-hash every label and
+    /// re-check invariants the store format enforces on disk. The caller
+    /// must guarantee edge uniqueness (no two edges with the same
+    /// `(src, pred, dst)`); everything else — id ranges and value
+    /// uniqueness — is validated here.
+    ///
+    /// `columnar` may carry indexes mapped straight from the store's
+    /// SPO/OSP arrays (see [`ColumnarIndexes::from_sorted_parts`]); when
+    /// `None`, the columnar block is rebuilt from the edge table.
+    ///
+    /// # Errors
+    /// Returns [`GraphError::UnknownNode`] when any node/pred/type/value
+    /// id is out of range and [`GraphError::DuplicateValue`] when two
+    /// nodes share a value.
+    pub fn assemble(
+        values: Interner,
+        preds: Interner,
+        types: Interner,
+        nodes: Vec<NodeData>,
+        edges: Vec<EdgeData>,
+        columnar: Option<ColumnarIndexes>,
+    ) -> Result<Self, GraphError> {
+        let n = nodes.len();
+        let mut value_to_node: FxHashMap<ValueId, NodeId> = FxHashMap::default();
+        value_to_node.reserve(n);
+        for (i, d) in nodes.iter().enumerate() {
+            if d.value.index() >= values.len() {
+                return Err(GraphError::UnknownNode {
+                    what: format!(
+                        "node {i} references value id {} out of range",
+                        d.value.raw()
+                    ),
+                });
+            }
+            if let Some(t) = d.ty {
+                if t.index() >= types.len() {
+                    return Err(GraphError::UnknownNode {
+                        what: format!("node {i} references type id {} out of range", t.raw()),
+                    });
+                }
+            }
+            if value_to_node
+                .insert(d.value, NodeId::from_usize(i))
+                .is_some()
+            {
+                return Err(GraphError::DuplicateValue {
+                    value: values.resolve(d.value.raw()).to_string(),
+                });
+            }
+        }
+        let mut out: Vec<Vec<EdgeId>> = vec![Vec::new(); n];
+        let mut inc: Vec<Vec<EdgeId>> = vec![Vec::new(); n];
+        let mut by_pred: Vec<Vec<EdgeId>> = vec![Vec::new(); preds.len()];
+        let mut out_sig = vec![0u64; n];
+        let mut in_sig = vec![0u64; n];
+        for (i, d) in edges.iter().enumerate() {
+            if d.src.index() >= n || d.dst.index() >= n {
+                return Err(GraphError::UnknownNode {
+                    what: format!("edge {i} references a node id out of range"),
+                });
+            }
+            if d.pred.index() >= preds.len() {
+                return Err(GraphError::UnknownNode {
+                    what: format!("edge {i} references pred id {} out of range", d.pred.raw()),
+                });
+            }
+            let e = EdgeId::from_usize(i);
+            out[d.src.index()].push(e);
+            inc[d.dst.index()].push(e);
+            by_pred[d.pred.index()].push(e);
+            let bit = 1u64 << (d.pred.raw() & 63);
+            out_sig[d.src.index()] |= bit;
+            in_sig[d.dst.index()] |= bit;
+        }
+        let columnar = columnar.unwrap_or_else(|| ColumnarIndexes::build(n, &edges, &by_pred));
+        Ok(Self {
+            values,
+            preds,
+            types,
+            nodes,
+            edges,
+            out,
+            inc,
+            by_pred,
+            value_to_node,
+            out_sig,
+            in_sig,
+            columnar,
+        })
+    }
+
     /// Number of nodes.
     pub fn node_count(&self) -> usize {
         self.nodes.len()
@@ -624,6 +720,80 @@ mod tests {
         // Alice only receives wb edges.
         assert_eq!(o.out_signature(alice), 0);
         assert_eq!(o.in_signature(alice), o.pred_bit(wb));
+    }
+
+    #[test]
+    fn assemble_matches_builder_path() {
+        let via_builder = tiny();
+        let values = via_builder.values().clone();
+        let preds = via_builder.preds().clone();
+        let types = via_builder.types().clone();
+        let nodes: Vec<NodeData> = via_builder
+            .node_ids()
+            .map(|n| via_builder.node(n))
+            .collect();
+        let edges: Vec<EdgeData> = via_builder
+            .edge_ids()
+            .map(|e| via_builder.edge(e))
+            .collect();
+        let o = Ontology::assemble(values, preds, types, nodes, edges, None).unwrap();
+        assert_eq!(o.node_count(), via_builder.node_count());
+        assert_eq!(o.edge_count(), via_builder.edge_count());
+        for n in o.node_ids() {
+            assert_eq!(o.out_edges(n), via_builder.out_edges(n));
+            assert_eq!(o.in_edges(n), via_builder.in_edges(n));
+            assert_eq!(o.out_signature(n), via_builder.out_signature(n));
+        }
+        let wb = o.pred_by_name("wb").unwrap();
+        assert_eq!(o.pred_stats(wb), via_builder.pred_stats(wb));
+        assert_eq!(o.node_by_value("Bob"), via_builder.node_by_value("Bob"));
+        assert!(o.validate().is_ok());
+    }
+
+    #[test]
+    fn assemble_rejects_bad_tables() {
+        let o = tiny();
+        let nodes: Vec<NodeData> = o.node_ids().map(|n| o.node(n)).collect();
+        let edges: Vec<EdgeData> = o.edge_ids().map(|e| o.edge(e)).collect();
+        // Out-of-range value id.
+        let mut bad = nodes.clone();
+        bad[0].value = ValueId::new(99);
+        let err = Ontology::assemble(
+            o.values().clone(),
+            o.preds().clone(),
+            o.types().clone(),
+            bad,
+            edges.clone(),
+            None,
+        )
+        .unwrap_err();
+        assert!(matches!(err, GraphError::UnknownNode { .. }));
+        // Duplicate value.
+        let mut dup = nodes.clone();
+        dup[1].value = dup[0].value;
+        let err = Ontology::assemble(
+            o.values().clone(),
+            o.preds().clone(),
+            o.types().clone(),
+            dup,
+            edges.clone(),
+            None,
+        )
+        .unwrap_err();
+        assert!(matches!(err, GraphError::DuplicateValue { .. }));
+        // Edge pointing past the node table.
+        let mut bad_edges = edges;
+        bad_edges[0].dst = NodeId::new(u32::MAX);
+        let err = Ontology::assemble(
+            o.values().clone(),
+            o.preds().clone(),
+            o.types().clone(),
+            nodes,
+            bad_edges,
+            None,
+        )
+        .unwrap_err();
+        assert!(matches!(err, GraphError::UnknownNode { .. }));
     }
 
     #[test]

@@ -86,14 +86,27 @@ impl Registry {
     /// The name being taken, or the triple text failing to parse; both
     /// as a displayable message.
     pub fn insert(&self, name: &str, triple_text: &str) -> Result<Arc<Ontology>, String> {
-        if name.is_empty()
-            || !name
-                .chars()
-                .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_')
-        {
-            return Err("ontology names must be non-empty [A-Za-z0-9_-]".into());
-        }
+        check_name(name)?;
         let ont = Arc::new(triples::parse(triple_text).map_err(|e| e.to_string())?);
+        self.insert_loaded(name, ont)
+    }
+
+    /// Registers a world from binary snapshot bytes (`questpro store
+    /// build`). Snapshot validation and ontology assembly both happen
+    /// outside the registry lock.
+    ///
+    /// # Errors
+    /// The name being taken, or the snapshot failing strict validation;
+    /// both as a displayable message.
+    pub fn insert_snapshot(&self, name: &str, bytes: &[u8]) -> Result<Arc<Ontology>, String> {
+        check_name(name)?;
+        let store = questpro_store::decode(bytes).map_err(|e| e.to_string())?;
+        let ont = Arc::new(store.to_ontology().map_err(|e| e.to_string())?);
+        self.insert_loaded(name, ont)
+    }
+
+    /// Inserts an already-materialized ontology under `name`.
+    fn insert_loaded(&self, name: &str, ont: Arc<Ontology>) -> Result<Arc<Ontology>, String> {
         let mut map = lock(&self.inner);
         if map.contains_key(name) {
             return Err(format!("ontology {name:?} already exists"));
@@ -117,6 +130,18 @@ fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
+/// Registered names are path- and JSON-safe identifiers.
+fn check_name(name: &str) -> Result<(), String> {
+    if name.is_empty()
+        || !name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_')
+    {
+        return Err("ontology names must be non-empty [A-Za-z0-9_-]".into());
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -133,6 +158,27 @@ mod tests {
         assert!(Arc::ptr_eq(&a, &b), "one shared instance");
         assert!(r.list().iter().any(|(n, loaded)| n == "erdos" && *loaded));
         assert!(r.get("no-such-world").is_none());
+    }
+
+    #[test]
+    fn snapshots_register_and_reject_corruption() {
+        let r = Registry::with_builtins();
+        let ont = triples::parse("a p b\nb p c\n@type a T\n").unwrap();
+        let store = questpro_store::TripleStore::from_ontology(&ont).unwrap();
+        let bytes = questpro_store::encode(&store);
+
+        let loaded = r.insert_snapshot("snap", &bytes).unwrap();
+        assert_eq!(loaded.edge_count(), 2);
+        assert!(r.get("snap").is_some());
+        assert!(r.insert_snapshot("snap", &bytes).is_err(), "duplicate");
+        assert!(r.insert_snapshot("bad name", &bytes).is_err());
+
+        let mut corrupt = bytes.clone();
+        let last = corrupt.len() - 1;
+        corrupt[last] ^= 1;
+        let err = r.insert_snapshot("snap2", &corrupt).unwrap_err();
+        assert!(err.contains("checksum mismatch"), "{err}");
+        assert!(r.get("snap2").is_none(), "nothing registered on error");
     }
 
     #[test]

@@ -16,7 +16,8 @@
 //! | `GET  /debug/traces`           | recent request traces (JSON)        |
 //! | `GET  /debug/logs`             | recent structured log events (JSON) |
 //! | `GET  /ontologies`             | list registered worlds              |
-//! | `POST /ontologies`             | register a triple-text world        |
+//! | `POST /ontologies`             | register a world (triple text, or a |
+//! |                                | base64 binary snapshot)             |
 //! | `GET  /ontologies/:name`       | materialize + describe one world    |
 //! | `POST /eval`                   | evaluate a SPARQL union             |
 //! | `POST /infer`                  | one-shot top-k inference            |
@@ -337,11 +338,26 @@ fn create_ontology(state: &AppState, req: &Request) -> Response {
         Ok(b) => b,
         Err(resp) => return resp,
     };
-    let (name, triples) = match (str_field(&body, "name"), str_field(&body, "triples")) {
-        (Ok(n), Ok(t)) => (n, t),
-        (Err(resp), _) | (_, Err(resp)) => return resp,
+    let name = match str_field(&body, "name") {
+        Ok(n) => n,
+        Err(resp) => return resp,
     };
-    match state.registry.insert(name, triples) {
+    // A world arrives either as triple text or as a base64-encoded
+    // binary snapshot (`questpro store build`); snapshot wins if both
+    // fields are present.
+    let result = if let Some(b64) = body.get("snapshot_b64").and_then(Json::as_str) {
+        let bytes = match questpro_wire::base64::decode(b64) {
+            Ok(b) => b,
+            Err(e) => return Response::error(422, &format!("snapshot_b64: {e}")),
+        };
+        state.registry.insert_snapshot(name, &bytes)
+    } else {
+        match str_field(&body, "triples") {
+            Ok(t) => state.registry.insert(name, t),
+            Err(resp) => return resp,
+        }
+    };
+    match result {
         Ok(ont) => Response::json(
             201,
             Json::obj([

@@ -71,6 +71,11 @@ pub struct ServerConfig {
     /// warn-level slow-query event carrying per-stage self-times;
     /// 0 disables the slow log.
     pub slow_query_ms: u64,
+    /// Binary snapshot files (`questpro store build`) to preload into
+    /// the ontology registry before accepting connections, each
+    /// registered under its file stem. A snapshot cold-load is
+    /// milliseconds even at 10⁶–10⁷ triples, so startup stays fast.
+    pub stores: Vec<String>,
 }
 
 impl Default for ServerConfig {
@@ -92,6 +97,7 @@ impl Default for ServerConfig {
             log_capacity: questpro_log::DEFAULT_CAPACITY,
             log_file: None,
             slow_query_ms: 500,
+            stores: Vec::new(),
         }
     }
 }
@@ -168,6 +174,18 @@ pub fn start(cfg: &ServerConfig) -> std::io::Result<ServerHandle> {
     );
     state.slow_query_ns = cfg.slow_query_ms.saturating_mul(1_000_000);
     let state = Arc::new(state);
+    // Preload snapshots before the acceptor spawns: a client that
+    // connects right after bind must already see the worlds.
+    for path in &cfg.stores {
+        let bytes = std::fs::read(path)?;
+        let name = std::path::Path::new(path)
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("snapshot");
+        state.registry.insert_snapshot(name, &bytes).map_err(|e| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, format!("{path}: {e}"))
+        })?;
+    }
     let acceptor = {
         let state = Arc::clone(&state);
         let cfg = cfg.clone();

@@ -676,3 +676,134 @@ fn malformed_debug_traces_limits_are_rejected_without_panic() {
 
     server.join();
 }
+
+#[test]
+fn serves_from_a_preloaded_snapshot_and_accepts_snapshot_uploads() {
+    // Build a small snapshot on disk the way `questpro store build` does.
+    let ont = questpro_graph::triples::parse(
+        "paper1 wb alice\npaper1 wb bob\npaper2 wb bob\n@type alice Author\n@type bob Author\n",
+    )
+    .unwrap();
+    let store = questpro_store::TripleStore::from_ontology(&ont).unwrap();
+    let bytes = questpro_store::encode(&store);
+    let path = std::env::temp_dir().join("questpro-e2e-preload.qps");
+    std::fs::write(&path, &bytes).unwrap();
+
+    let server = start(&ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        queue: 8,
+        stores: vec![path.to_string_lossy().into_owned()],
+        ..ServerConfig::default()
+    })
+    .expect("binding with a snapshot preload");
+    let addr = server.addr();
+
+    // The preloaded world is registered under its file stem, already
+    // materialized, and evaluable.
+    let (status, body) = call(addr, "GET", "/ontologies", None);
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("questpro-e2e-preload"), "{body}");
+    let (status, body) = call(
+        addr,
+        "POST",
+        "/eval",
+        Some(
+            &Json::obj([
+                ("ontology", Json::str("questpro-e2e-preload")),
+                (
+                    "query",
+                    Json::str("SELECT ?x WHERE { ?p :wb ?x . ?p :wb :bob . }"),
+                ),
+            ])
+            .to_text(),
+        ),
+    );
+    assert_eq!(status, 200, "{body}");
+    let results = json(&body);
+    let names: Vec<&str> = results
+        .get("results")
+        .and_then(|r| match r {
+            Json::Arr(items) => Some(items.iter().filter_map(Json::as_str).collect()),
+            _ => None,
+        })
+        .unwrap_or_default();
+    assert!(names.contains(&"alice") && names.contains(&"bob"), "{body}");
+
+    // Uploading the same snapshot as base64 registers a second world...
+    let b64 = questpro_wire::base64::encode(&bytes);
+    let (status, body) = call(
+        addr,
+        "POST",
+        "/ontologies",
+        Some(
+            &Json::obj([
+                ("name", Json::str("uploaded")),
+                ("snapshot_b64", Json::str(b64.clone())),
+            ])
+            .to_text(),
+        ),
+    );
+    assert_eq!(status, 201, "{body}");
+    let desc = json(&body);
+    assert_eq!(desc.get("edges").and_then(Json::as_u64), Some(3), "{body}");
+
+    // ...while corrupted bytes and bad base64 are rejected with named
+    // errors, and the server stays healthy.
+    let mut corrupt = bytes.clone();
+    let last = corrupt.len() - 1;
+    corrupt[last] ^= 1;
+    let (status, body) = call(
+        addr,
+        "POST",
+        "/ontologies",
+        Some(
+            &Json::obj([
+                ("name", Json::str("corrupt")),
+                (
+                    "snapshot_b64",
+                    Json::str(questpro_wire::base64::encode(&corrupt)),
+                ),
+            ])
+            .to_text(),
+        ),
+    );
+    assert_eq!(status, 409, "{body}");
+    assert!(body.contains("checksum mismatch"), "{body}");
+    let (status, body) = call(
+        addr,
+        "POST",
+        "/ontologies",
+        Some(
+            &Json::obj([
+                ("name", Json::str("badb64")),
+                ("snapshot_b64", Json::str("not base64!")),
+            ])
+            .to_text(),
+        ),
+    );
+    assert_eq!(status, 422, "{body}");
+    assert_eq!(call(addr, "GET", "/healthz", None).0, 200);
+
+    server.join();
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn startup_fails_loudly_on_a_bad_snapshot_preload() {
+    let path = std::env::temp_dir().join("questpro-e2e-bad-preload.qps");
+    std::fs::write(&path, b"QPSTgarbage").unwrap();
+    let err = match start(&ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        stores: vec![path.to_string_lossy().into_owned()],
+        ..ServerConfig::default()
+    }) {
+        Ok(server) => {
+            server.join();
+            panic!("a corrupt preload must refuse to start");
+        }
+        Err(e) => e,
+    };
+    assert!(err.to_string().contains("bad-preload"), "{err}");
+    let _ = std::fs::remove_file(&path);
+}

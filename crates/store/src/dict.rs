@@ -1,0 +1,167 @@
+//! Sorted label dictionaries with stable dense ids.
+//!
+//! A [`Dict`] maps label strings to dense `u32` ids and back. Unlike the
+//! insertion-ordered `Interner` in `questpro-graph`, ids here are the
+//! **rank of the label in sorted order**. That buys two properties the
+//! persistent store needs:
+//!
+//! * **Stable ids** — the id of a label depends only on the label *set*,
+//!   not on the order triples were fed in, so two builds over the same
+//!   data produce byte-identical snapshots (diffable, golden-testable).
+//! * **No decode-time hashing** — label→id lookup is a binary search
+//!   over the sorted table, so loading a snapshot never has to populate
+//!   a hash map before the store is queryable.
+//!
+//! Labels are stored as one contiguous UTF-8 arena plus an offset
+//! column. Decoding a snapshot dictionary is therefore two bulk copies,
+//! not one allocation per label.
+
+/// An immutable sorted dictionary: id `i` is the `i`-th smallest label.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Dict {
+    /// All labels concatenated in ascending order.
+    blob: String,
+    /// `len() + 1` offsets into `blob`; label `i` is
+    /// `blob[offsets[i]..offsets[i + 1]]`.
+    offsets: Vec<u32>,
+}
+
+impl Dict {
+    /// Builds a dictionary from labels that are already **strictly
+    /// ascending** (sorted and deduplicated). Returns `None` otherwise,
+    /// or when the arena would overflow the u32 offset space.
+    pub fn from_sorted<I, S>(labels: I) -> Option<Self>
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut blob = String::new();
+        let mut offsets = vec![0u32];
+        let mut prev_start = usize::MAX;
+        for label in labels {
+            let label = label.as_ref();
+            if prev_start != usize::MAX {
+                let prev = &blob[prev_start..];
+                if prev >= label {
+                    return None;
+                }
+            }
+            prev_start = blob.len();
+            blob.push_str(label);
+            offsets.push(u32::try_from(blob.len()).ok()?);
+        }
+        u32::try_from(offsets.len() - 1).ok()?;
+        Some(Self { blob, offsets })
+    }
+
+    /// Assembles a dictionary from a pre-validated arena + offset column
+    /// (the snapshot decoder's zero-rebuild path). The caller must have
+    /// checked: `offsets` starts at 0, is monotone, ends at `blob.len()`,
+    /// every cut is a char boundary, and labels strictly ascend.
+    pub(crate) fn from_validated_parts(blob: String, offsets: Vec<u32>) -> Self {
+        debug_assert!(!offsets.is_empty());
+        debug_assert_eq!(offsets[0], 0);
+        debug_assert_eq!(*offsets.last().expect("nonempty") as usize, blob.len());
+        Self { blob, offsets }
+    }
+
+    /// Number of labels.
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Whether the dictionary holds no labels.
+    pub fn is_empty(&self) -> bool {
+        self.offsets.len() == 1
+    }
+
+    /// The label with id `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len()`.
+    #[inline]
+    pub fn label(&self, i: u32) -> &str {
+        let lo = self.offsets[i as usize] as usize;
+        let hi = self.offsets[i as usize + 1] as usize;
+        &self.blob[lo..hi]
+    }
+
+    /// The label with id `i`, if in range.
+    pub fn try_label(&self, i: u32) -> Option<&str> {
+        if (i as usize) < self.len() {
+            Some(self.label(i))
+        } else {
+            None
+        }
+    }
+
+    /// The id of `label`, by binary search over the sorted table.
+    pub fn lookup(&self, label: &str) -> Option<u32> {
+        let mut lo = 0usize;
+        let mut hi = self.len();
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            match self.label(mid as u32).cmp(label) {
+                std::cmp::Ordering::Less => lo = mid + 1,
+                std::cmp::Ordering::Greater => hi = mid,
+                std::cmp::Ordering::Equal => return Some(mid as u32),
+            }
+        }
+        None
+    }
+
+    /// Iterates labels in id (= sorted) order.
+    pub fn iter(&self) -> impl Iterator<Item = &str> {
+        (0..self.len() as u32).map(|i| self.label(i))
+    }
+
+    /// The raw arena and offset column (for snapshot encoding).
+    pub(crate) fn parts(&self) -> (&str, &[u32]) {
+        (&self.blob, &self.offsets)
+    }
+
+    /// Total arena bytes (for `store inspect` size reporting).
+    pub fn arena_bytes(&self) -> usize {
+        self.blob.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_sorted_assigns_rank_ids() {
+        let d = Dict::from_sorted(["Alice", "Bob", "paper1"]).unwrap();
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.label(0), "Alice");
+        assert_eq!(d.label(2), "paper1");
+        assert_eq!(d.lookup("Bob"), Some(1));
+        assert_eq!(d.lookup("Carol"), None);
+        assert_eq!(d.try_label(3), None);
+        let labels: Vec<_> = d.iter().collect();
+        assert_eq!(labels, vec!["Alice", "Bob", "paper1"]);
+    }
+
+    #[test]
+    fn rejects_unsorted_and_duplicate_labels() {
+        assert!(Dict::from_sorted(["b", "a"]).is_none());
+        assert!(Dict::from_sorted(["a", "a"]).is_none());
+    }
+
+    #[test]
+    fn empty_dict_is_fine() {
+        let d = Dict::from_sorted(Vec::<&str>::new()).unwrap();
+        assert!(d.is_empty());
+        assert_eq!(d.lookup("x"), None);
+    }
+
+    #[test]
+    fn lookup_hits_every_label_in_a_large_dict() {
+        let labels: Vec<String> = (0..1000).map(|i| format!("label_{i:04}")).collect();
+        let d = Dict::from_sorted(&labels).unwrap();
+        for (i, l) in labels.iter().enumerate() {
+            assert_eq!(d.lookup(l), Some(i as u32));
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Named errors for store construction and snapshot decoding.
+//!
+//! Snapshot bytes are an untrusted input surface (files on disk, upload
+//! bodies): every malformed input must surface as one of these variants,
+//! never as a panic. The fuzz surface `store` and the committed corpus
+//! under `tests/corpus/store/` hold that line.
+
+use std::fmt;
+
+use questpro_graph::GraphError;
+
+/// Errors raised while building a [`TripleStore`](crate::TripleStore) or
+/// decoding a snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// The input ended before a complete header/field could be read.
+    Truncated {
+        /// What was being read when the bytes ran out.
+        what: &'static str,
+    },
+    /// The first four bytes are not the snapshot magic `QPST`.
+    BadMagic,
+    /// The header declares a format version this decoder does not speak.
+    UnsupportedVersion {
+        /// The version found in the header.
+        found: u32,
+    },
+    /// The payload checksum does not match the header CRC-32.
+    ChecksumMismatch {
+        /// CRC-32 recorded in the header.
+        expected: u32,
+        /// CRC-32 of the actual payload bytes.
+        actual: u32,
+    },
+    /// The section table is malformed (wrong ids, order, bounds, gaps).
+    BadSectionTable {
+        /// Description of the problem.
+        reason: String,
+    },
+    /// A section payload failed validation.
+    BadSection {
+        /// Section name (e.g. `"nodes"`, `"triples"`, `"pos"`).
+        section: &'static str,
+        /// Description of the problem.
+        reason: String,
+    },
+    /// A node was fed to the builder with two different types.
+    ConflictingType {
+        /// The node label.
+        node: String,
+        /// The type it already has.
+        existing: String,
+        /// The conflicting new type.
+        requested: String,
+    },
+    /// A table outgrew the u32 id space.
+    TooLarge {
+        /// Which table overflowed.
+        what: &'static str,
+    },
+    /// Assembling an `Ontology` from the store failed.
+    Graph(GraphError),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Truncated { what } => {
+                write!(f, "truncated snapshot: unexpected end of input in {what}")
+            }
+            StoreError::BadMagic => write!(f, "bad magic: not a questpro store snapshot"),
+            StoreError::UnsupportedVersion { found } => {
+                write!(f, "unsupported snapshot version {found}")
+            }
+            StoreError::ChecksumMismatch { expected, actual } => write!(
+                f,
+                "checksum mismatch: header says {expected:#010x}, payload is {actual:#010x}"
+            ),
+            StoreError::BadSectionTable { reason } => {
+                write!(f, "bad section table: {reason}")
+            }
+            StoreError::BadSection { section, reason } => {
+                write!(f, "bad {section} section: {reason}")
+            }
+            StoreError::ConflictingType {
+                node,
+                existing,
+                requested,
+            } => write!(
+                f,
+                "node {node:?} already typed {existing:?}, cannot retype as {requested:?}"
+            ),
+            StoreError::TooLarge { what } => {
+                write!(f, "store too large: {what} exceeds the u32 id space")
+            }
+            StoreError::Graph(e) => write!(f, "store -> ontology: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<GraphError> for StoreError {
+    fn from(e: GraphError) -> Self {
+        StoreError::Graph(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_name_the_failure() {
+        assert!(StoreError::BadMagic.to_string().contains("bad magic"));
+        assert!(StoreError::Truncated { what: "header" }
+            .to_string()
+            .contains("truncated"));
+        assert!(StoreError::UnsupportedVersion { found: 9 }
+            .to_string()
+            .contains("version 9"));
+        let e = StoreError::ChecksumMismatch {
+            expected: 1,
+            actual: 2,
+        };
+        assert!(e.to_string().contains("checksum mismatch"));
+        let e = StoreError::BadSection {
+            section: "triples",
+            reason: "not sorted".into(),
+        };
+        assert!(e.to_string().contains("triples"));
+        assert!(e.to_string().contains("not sorted"));
+    }
+}

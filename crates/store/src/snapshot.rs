@@ -1,0 +1,784 @@
+//! The versioned, checksummed binary snapshot format (`.qps`).
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  "QPST"
+//! 4       4     format version (currently 1)
+//! 8       4     CRC-32 of bytes 16 .. start of the pos section
+//! 12      4     section count (exactly 7 in version 1)
+//! 16      140   section table: 7 x { id: u32, offset: u64, len: u64 }
+//! 156     ...   section payloads, contiguous, in table order
+//! ```
+//!
+//! Version-1 sections, in required id order:
+//!
+//! | id | name       | payload                                          |
+//! |----|------------|--------------------------------------------------|
+//! | 1  | nodes      | dict: count, (count+1) u32 offsets, UTF-8 arena   |
+//! | 2  | preds      | dict (same shape)                                 |
+//! | 3  | types      | dict (same shape)                                 |
+//! | 4  | triples    | count, then count x [s, p, o] u32 rows (SPO order)|
+//! | 5  | node_types | count, then count x [node, type] u32 rows         |
+//! | 6  | pos        | count, then count u32 triple indexes ((p,o,s) order)|
+//! | 7  | osp        | count, then count u32 triple indexes ((o,p,s) order)|
+//!
+//! **Versioning policy**: any change to this byte layout — new sections,
+//! reordered fields, different sort contracts — must bump
+//! [`FORMAT_VERSION`]; decoders reject versions they do not speak with
+//! [`StoreError::UnsupportedVersion`] rather than guessing. The golden
+//! test `tests/store_format.rs` pins the version-1 bytes so accidental
+//! drift fails CI.
+//!
+//! **Decoding is strict**: snapshot bytes are untrusted (files, upload
+//! bodies). Every field is bounds-checked, the checksum is verified
+//! before any payload is trusted, dictionaries must be strictly
+//! ascending valid UTF-8, triple rows strictly ascending with in-range
+//! ids, and the POS/OSP columns must be order-correct permutations.
+//! Violations return named [`StoreError`]s; decoding never panics. On
+//! valid input the hot path is bulk copies plus linear monotonicity
+//! scans — no hashing, no sorting — which is what makes snapshot
+//! cold-starts milliseconds instead of seconds.
+//!
+//! The checksum deliberately stops at the pos section: the permutation
+//! sections are *fully self-validating*. A byte that decodes at all
+//! yields some index array, and the only index array that passes the
+//! strict-ascent + range + length checks is the unique sort
+//! permutation of the (checksummed) triples — so any corruption there
+//! is caught structurally, and the cold-start checksum pass skips the
+//! two largest fixed-width sections.
+
+use crate::crc32::crc32;
+use crate::dict::Dict;
+use crate::error::StoreError;
+use crate::store::TripleStore;
+
+/// First four bytes of every snapshot.
+pub const MAGIC: [u8; 4] = *b"QPST";
+/// The format version this build reads and writes.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Fixed byte size of the snapshot header (before the section table).
+const HEADER_LEN: usize = 16;
+/// Version-1 section ids, in required order.
+const SECTION_IDS: [u32; 7] = [1, 2, 3, 4, 5, 6, 7];
+/// Human names for the sections, indexed as `SECTION_IDS`.
+const SECTION_NAMES: [&str; 7] = [
+    "nodes",
+    "preds",
+    "types",
+    "triples",
+    "node_types",
+    "pos",
+    "osp",
+];
+/// Bytes per section-table entry: id u32 + offset u64 + len u64.
+const TABLE_ENTRY_LEN: usize = 20;
+
+/// One section-table row, as reported by [`sections`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Section {
+    /// Section id (1-based, see the module docs).
+    pub id: u32,
+    /// Human-readable section name.
+    pub name: &'static str,
+    /// Absolute byte offset of the payload.
+    pub offset: u64,
+    /// Payload length in bytes.
+    pub len: u64,
+}
+
+fn u32_at(bytes: &[u8], at: usize, what: &'static str) -> Result<u32, StoreError> {
+    let b = bytes
+        .get(at..at + 4)
+        .ok_or(StoreError::Truncated { what })?;
+    Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+}
+
+fn u64_at(bytes: &[u8], at: usize, what: &'static str) -> Result<u64, StoreError> {
+    let b = bytes
+        .get(at..at + 8)
+        .ok_or(StoreError::Truncated { what })?;
+    Ok(u64::from_le_bytes([
+        b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+    ]))
+}
+
+/// Parses and validates the header + section table, returning the
+/// sections without touching payloads (also used by `store inspect`).
+///
+/// # Errors
+/// Any malformed header/table field yields its named error.
+pub fn sections(bytes: &[u8]) -> Result<[Section; 7], StoreError> {
+    if bytes.len() < HEADER_LEN {
+        return Err(StoreError::Truncated { what: "header" });
+    }
+    if bytes[..4] != MAGIC {
+        return Err(StoreError::BadMagic);
+    }
+    let version = u32_at(bytes, 4, "header")?;
+    if version != FORMAT_VERSION {
+        return Err(StoreError::UnsupportedVersion { found: version });
+    }
+    let count = u32_at(bytes, 12, "header")?;
+    if count as usize != SECTION_IDS.len() {
+        return Err(StoreError::BadSectionTable {
+            reason: format!("expected {} sections, found {count}", SECTION_IDS.len()),
+        });
+    }
+    let table_end = HEADER_LEN + SECTION_IDS.len() * TABLE_ENTRY_LEN;
+    if bytes.len() < table_end {
+        return Err(StoreError::Truncated {
+            what: "section table",
+        });
+    }
+    let mut out = [Section {
+        id: 0,
+        name: "",
+        offset: 0,
+        len: 0,
+    }; 7];
+    let mut cursor = table_end as u64;
+    for (i, slot) in out.iter_mut().enumerate() {
+        let at = HEADER_LEN + i * TABLE_ENTRY_LEN;
+        let id = u32_at(bytes, at, "section table")?;
+        let offset = u64_at(bytes, at + 4, "section table")?;
+        let len = u64_at(bytes, at + 12, "section table")?;
+        if id != SECTION_IDS[i] {
+            return Err(StoreError::BadSectionTable {
+                reason: format!("entry {i}: expected id {}, found {id}", SECTION_IDS[i]),
+            });
+        }
+        if offset != cursor {
+            return Err(StoreError::BadSectionTable {
+                reason: format!(
+                    "section {}: expected contiguous offset {cursor}, found {offset}",
+                    SECTION_NAMES[i]
+                ),
+            });
+        }
+        let end = offset.checked_add(len).ok_or(StoreError::BadSectionTable {
+            reason: format!("section {}: offset + len overflows", SECTION_NAMES[i]),
+        })?;
+        if end > bytes.len() as u64 {
+            return Err(StoreError::BadSectionTable {
+                reason: format!("section {} extends past end of file", SECTION_NAMES[i]),
+            });
+        }
+        cursor = end;
+        *slot = Section {
+            id,
+            name: SECTION_NAMES[i],
+            offset,
+            len,
+        };
+    }
+    if cursor != bytes.len() as u64 {
+        return Err(StoreError::BadSectionTable {
+            reason: format!(
+                "{} trailing bytes after last section",
+                bytes.len() as u64 - cursor
+            ),
+        });
+    }
+    // Checksum last: the region ends where the self-validating
+    // permutation sections begin, so the table must parse first to
+    // locate it. The table itself is inside the region.
+    let expected_crc = u32_at(bytes, 8, "header")?;
+    let actual_crc = crc32(&bytes[HEADER_LEN..out[5].offset as usize]);
+    if expected_crc != actual_crc {
+        return Err(StoreError::ChecksumMismatch {
+            expected: expected_crc,
+            actual: actual_crc,
+        });
+    }
+    Ok(out)
+}
+
+/// Reads the leading `count` field and returns `(count, payload rest)`.
+fn section_count<'a>(section: &'static str, b: &'a [u8]) -> Result<(usize, &'a [u8]), StoreError> {
+    if b.len() < 4 {
+        return Err(StoreError::Truncated { what: section });
+    }
+    let count = u32::from_le_bytes([b[0], b[1], b[2], b[3]]) as usize;
+    Ok((count, &b[4..]))
+}
+
+fn read_u32s(b: &[u8]) -> Vec<u32> {
+    b.chunks_exact(4)
+        .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect()
+}
+
+fn decode_dict(section: &'static str, b: &[u8]) -> Result<Dict, StoreError> {
+    let (count, rest) = section_count(section, b)?;
+    let offsets_len = (count as u64 + 1) * 4;
+    if (rest.len() as u64) < offsets_len {
+        return Err(StoreError::BadSection {
+            section,
+            reason: "offset column extends past section".into(),
+        });
+    }
+    let offsets = read_u32s(&rest[..offsets_len as usize]);
+    if offsets[0] != 0 {
+        return Err(StoreError::BadSection {
+            section,
+            reason: "first offset is not 0".into(),
+        });
+    }
+    let blob_bytes = &rest[offsets_len as usize..];
+    let blob_len = *offsets.last().expect("count + 1 >= 1 offsets") as u64;
+    if blob_len != blob_bytes.len() as u64 {
+        return Err(StoreError::BadSection {
+            section,
+            reason: format!(
+                "arena length {} does not match final offset {blob_len}",
+                blob_bytes.len()
+            ),
+        });
+    }
+    let blob = std::str::from_utf8(blob_bytes).map_err(|_| StoreError::BadSection {
+        section,
+        reason: "label arena is not valid UTF-8".into(),
+    })?;
+    // One fused pass over the offsets checks monotonicity, UTF-8
+    // boundaries, and strictly ascending labels together: a backwards
+    // or mid-character offset makes `get` return None, and each label
+    // is compared to its predecessor as it is sliced.
+    let mut prev: Option<&str> = None;
+    for w in offsets.windows(2) {
+        let label =
+            blob.get(w[0] as usize..w[1] as usize)
+                .ok_or_else(|| StoreError::BadSection {
+                    section,
+                    reason: "offsets are not monotone char boundaries".into(),
+                })?;
+        if let Some(prev) = prev {
+            if prev >= label {
+                return Err(StoreError::BadSection {
+                    section,
+                    reason: "labels are not strictly ascending".into(),
+                });
+            }
+        }
+        prev = Some(label);
+    }
+    Ok(Dict::from_validated_parts(blob.to_string(), offsets))
+}
+
+fn decode_rows<const K: usize>(
+    section: &'static str,
+    b: &[u8],
+) -> Result<Vec<[u32; K]>, StoreError> {
+    let (count, rest) = section_count(section, b)?;
+    let need = (count as u64) * (K as u64) * 4;
+    if need != rest.len() as u64 {
+        return Err(StoreError::BadSection {
+            section,
+            reason: format!("payload is {} bytes, expected {need}", rest.len()),
+        });
+    }
+    Ok(rest
+        .chunks_exact(K * 4)
+        .map(|row| {
+            let mut out = [0u32; K];
+            for (i, c) in row.chunks_exact(4).enumerate() {
+                out[i] = u32::from_le_bytes([c[0], c[1], c[2], c[3]]);
+            }
+            out
+        })
+        .collect())
+}
+
+fn decode_perm(
+    section: &'static str,
+    b: &[u8],
+    triples: &[[u32; 3]],
+) -> Result<Vec<u32>, StoreError> {
+    let (count, rest) = section_count(section, b)?;
+    if count != triples.len() {
+        return Err(StoreError::BadSection {
+            section,
+            reason: format!("length {count} differs from triple count {}", triples.len()),
+        });
+    }
+    let need = (count as u64) * 4;
+    if need != rest.len() as u64 {
+        return Err(StoreError::BadSection {
+            section,
+            reason: format!("payload is {} bytes, expected {need}", rest.len()),
+        });
+    }
+    Ok(read_u32s(rest))
+}
+
+/// Decodes the triples section, checking id ranges and strict SPO
+/// ascent block by block: each 512-row block is validated right after
+/// it is copied out of the payload, while it is still cache-hot, so
+/// the million-row table streams through the cache once, not twice.
+fn decode_triples(b: &[u8], n: u32, p: u32) -> Result<Vec<[u32; 3]>, StoreError> {
+    let section = "triples";
+    let (count, rest) = section_count(section, b)?;
+    let need = (count as u64) * 12;
+    if need != rest.len() as u64 {
+        return Err(StoreError::BadSection {
+            section,
+            reason: format!("payload is {} bytes, expected {need}", rest.len()),
+        });
+    }
+    let mut out: Vec<[u32; 3]> = Vec::with_capacity(count);
+    let mut prev: Option<(u64, u32)> = None;
+    for block in rest.chunks(12 * 512) {
+        let start = out.len();
+        out.extend(block.chunks_exact(12).map(|row| {
+            // Two word loads per row beat twelve byte loads.
+            let sp = u64::from_le_bytes([
+                row[0], row[1], row[2], row[3], row[4], row[5], row[6], row[7],
+            ]);
+            let o = u32::from_le_bytes([row[8], row[9], row[10], row[11]]);
+            [sp as u32, (sp >> 32) as u32, o]
+        }));
+        for t in &out[start..] {
+            if t[0] >= n || t[2] >= n {
+                return Err(StoreError::BadSection {
+                    section,
+                    reason: format!("node id out of range in [{}, {}, {}]", t[0], t[1], t[2]),
+                });
+            }
+            if t[1] >= p {
+                return Err(StoreError::BadSection {
+                    section,
+                    reason: format!("pred id {} out of range", t[1]),
+                });
+            }
+            // Lexicographic SPO compares as ((s << 32) | p, o).
+            let k = ((u64::from(t[0]) << 32) | u64::from(t[1]), t[2]);
+            if let Some(prev) = prev {
+                if prev >= k {
+                    return Err(StoreError::BadSection {
+                        section,
+                        reason: "rows are not strictly ascending SPO".into(),
+                    });
+                }
+            }
+            prev = Some(k);
+        }
+    }
+    Ok(out)
+}
+
+/// Validates both permutations against the triples.
+///
+/// Strictly ascending keys over unique triples imply the entries are
+/// distinct and, with the range checks, make each a true permutation —
+/// exactly the sort permutation the encoder wrote.
+///
+/// The check is a random gather per entry — the most expensive part
+/// of decoding. Both permutations gather from the row table in the
+/// same blocked loop: each is an independent stream of cache misses,
+/// Validates both permutations against the triples: every index in
+/// range and the gathered sort keys strictly ascending. The check is a
+/// random gather per entry — the most expensive part of decoding — so
+/// the hot path is a branchless multi-stream pass that only answers
+/// valid/invalid; the sequential checker reruns on failure to name
+/// exactly what is wrong (failure is cold, so the second pass is free).
+fn validate_perms(pos: &[u32], osp: &[u32], triples: &[[u32; 3]]) -> Result<(), StoreError> {
+    if triples.is_empty() {
+        return Ok(()); // Lengths were already checked against 0.
+    }
+    if triples.len() >= 4 && validate_perms_fast(pos, osp, triples) {
+        return Ok(());
+    }
+    validate_perm_precise("pos", pos, triples, pack_pos)?;
+    validate_perm_precise("osp", osp, triples, pack_osp)
+}
+
+// Lexicographic (a, b, c) compares as the packed pair
+// ((a << 32) | b, c): one u64 comparison usually decides.
+fn pack_pos(t: &[u32; 3]) -> (u64, u32) {
+    ((u64::from(t[1]) << 32) | u64::from(t[2]), t[0])
+}
+fn pack_osp(t: &[u32; 3]) -> (u64, u32) {
+    ((u64::from(t[2]) << 32) | u64::from(t[1]), t[0])
+}
+
+/// Branchless eight-stream gather pass behind [`validate_perms`].
+///
+/// The gathers are random and latency-bound, so concurrent misses are
+/// the whole game: each permutation is split into four segments whose
+/// strict-ascent checks advance as independent load streams in one
+/// lockstep loop (eight streams total), with the segment boundaries
+/// compared afterwards. Out-of-range indexes are clamped so the loads
+/// stay branch-free; the range violation itself still flips `bad`.
+fn validate_perms_fast(pos: &[u32], osp: &[u32], triples: &[[u32; 3]]) -> bool {
+    let n = triples.len();
+    let m = n / 4;
+    let last = n - 1;
+    let (p0, r) = pos.split_at(m);
+    let (p1, r) = r.split_at(m);
+    let (p2, p3) = r.split_at(m);
+    let (o0, r) = osp.split_at(m);
+    let (o1, r) = r.split_at(m);
+    let (o2, o3) = r.split_at(m);
+    let segs_p = [p0, p1, p2, &p3[..m]];
+    let segs_o = [o0, o1, o2, &o3[..m]];
+    let mut bad = false;
+    let mut prev_p = [(0u64, 0u32); 4];
+    let mut prev_o = [(0u64, 0u32); 4];
+    let mut first_p = [(0u64, 0u32); 4];
+    let mut first_o = [(0u64, 0u32); 4];
+    for s in 0..4 {
+        let (ep, eo) = (segs_p[s][0], segs_o[s][0]);
+        bad |= (ep as usize > last) | (eo as usize > last);
+        first_p[s] = pack_pos(&triples[(ep as usize).min(last)]);
+        first_o[s] = pack_osp(&triples[(eo as usize).min(last)]);
+        prev_p[s] = first_p[s];
+        prev_o[s] = first_o[s];
+    }
+    for j in 1..m {
+        for s in 0..4 {
+            let (ep, eo) = (segs_p[s][j], segs_o[s][j]);
+            bad |= (ep as usize > last) | (eo as usize > last);
+            let kp = pack_pos(&triples[(ep as usize).min(last)]);
+            let ko = pack_osp(&triples[(eo as usize).min(last)]);
+            bad |= (prev_p[s] >= kp) | (prev_o[s] >= ko);
+            prev_p[s] = kp;
+            prev_o[s] = ko;
+        }
+    }
+    for (&ep, &eo) in p3[m..].iter().zip(&o3[m..]) {
+        bad |= (ep as usize > last) | (eo as usize > last);
+        let kp = pack_pos(&triples[(ep as usize).min(last)]);
+        let ko = pack_osp(&triples[(eo as usize).min(last)]);
+        bad |= (prev_p[3] >= kp) | (prev_o[3] >= ko);
+        prev_p[3] = kp;
+        prev_o[3] = ko;
+    }
+    for s in 0..3 {
+        bad |= (prev_p[s] >= first_p[s + 1]) | (prev_o[s] >= first_o[s + 1]);
+    }
+    !bad
+}
+
+/// Sequential single-permutation check: small inputs and the cold
+/// naming pass after [`validate_perms_fast`] rejects.
+fn validate_perm_precise(
+    section: &'static str,
+    perm: &[u32],
+    triples: &[[u32; 3]],
+    pack: fn(&[u32; 3]) -> (u64, u32),
+) -> Result<(), StoreError> {
+    let mut prev: Option<(u64, u32)> = None;
+    for &e in perm {
+        let Some(t) = triples.get(e as usize) else {
+            return Err(StoreError::BadSection {
+                section,
+                reason: format!("index {e} out of range"),
+            });
+        };
+        let k = pack(t);
+        if let Some(p) = prev {
+            if p >= k {
+                return Err(StoreError::BadSection {
+                    section,
+                    reason: "indexes are not in ascending key order".into(),
+                });
+            }
+        }
+        prev = Some(k);
+    }
+    Ok(())
+}
+
+/// Serializes a store to snapshot bytes. Deterministic: the same store
+/// always encodes to the same bytes (the golden-test contract).
+pub fn encode(store: &TripleStore) -> Vec<u8> {
+    fn dict_payload(d: &Dict) -> Vec<u8> {
+        let (blob, offsets) = d.parts();
+        let mut out = Vec::with_capacity(4 + offsets.len() * 4 + blob.len());
+        out.extend_from_slice(&(d.len() as u32).to_le_bytes());
+        for &o in offsets {
+            out.extend_from_slice(&o.to_le_bytes());
+        }
+        out.extend_from_slice(blob.as_bytes());
+        out
+    }
+    fn rows_payload<const K: usize>(rows: &[[u32; K]]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(4 + rows.len() * K * 4);
+        out.extend_from_slice(&(rows.len() as u32).to_le_bytes());
+        for row in rows {
+            for v in row {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        out
+    }
+    fn perm_payload(perm: &[u32]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(4 + perm.len() * 4);
+        out.extend_from_slice(&(perm.len() as u32).to_le_bytes());
+        for v in perm {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out
+    }
+    let payloads: [Vec<u8>; 7] = [
+        dict_payload(&store.nodes),
+        dict_payload(&store.preds),
+        dict_payload(&store.types),
+        rows_payload(&store.triples),
+        rows_payload(&store.node_types),
+        perm_payload(&store.pos),
+        perm_payload(&store.osp),
+    ];
+    let table_end = HEADER_LEN + SECTION_IDS.len() * TABLE_ENTRY_LEN;
+    let total: usize = table_end + payloads.iter().map(Vec::len).sum::<usize>();
+    let mut out = Vec::with_capacity(total);
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&[0u8; 4]); // CRC placeholder, patched below.
+    out.extend_from_slice(&(SECTION_IDS.len() as u32).to_le_bytes());
+    let mut offset = table_end as u64;
+    for (i, p) in payloads.iter().enumerate() {
+        out.extend_from_slice(&SECTION_IDS[i].to_le_bytes());
+        out.extend_from_slice(&offset.to_le_bytes());
+        out.extend_from_slice(&(p.len() as u64).to_le_bytes());
+        offset += p.len() as u64;
+    }
+    for p in &payloads {
+        out.extend_from_slice(p);
+    }
+    let pos_offset = out.len() - payloads[5].len() - payloads[6].len();
+    let crc = crc32(&out[HEADER_LEN..pos_offset]);
+    out[8..12].copy_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// Deserializes and fully validates snapshot bytes.
+///
+/// # Errors
+/// Every malformed input — truncation, wrong magic/version, checksum
+/// mismatch, table or section violations — returns its named
+/// [`StoreError`]; this function never panics on untrusted bytes.
+pub fn decode(bytes: &[u8]) -> Result<TripleStore, StoreError> {
+    let table = sections(bytes)?;
+    let payload =
+        |i: usize| &bytes[table[i].offset as usize..(table[i].offset + table[i].len) as usize];
+
+    let nodes = decode_dict("nodes", payload(0))?;
+    let preds = decode_dict("preds", payload(1))?;
+    let types = decode_dict("types", payload(2))?;
+
+    let (n, p) = (nodes.len() as u32, preds.len() as u32);
+    let triples = decode_triples(payload(3), n, p)?;
+
+    let node_types: Vec<[u32; 2]> = decode_rows("node_types", payload(4))?;
+    let ty_count = types.len() as u32;
+    let mut prev_node: Option<u32> = None;
+    for r in &node_types {
+        if r[0] >= n {
+            return Err(StoreError::BadSection {
+                section: "node_types",
+                reason: format!("node id {} out of range", r[0]),
+            });
+        }
+        if r[1] >= ty_count {
+            return Err(StoreError::BadSection {
+                section: "node_types",
+                reason: format!("type id {} out of range", r[1]),
+            });
+        }
+        if prev_node >= Some(r[0]) {
+            return Err(StoreError::BadSection {
+                section: "node_types",
+                reason: "rows are not strictly ascending by node".into(),
+            });
+        }
+        prev_node = Some(r[0]);
+    }
+
+    let pos = decode_perm("pos", payload(5), &triples)?;
+    let osp = decode_perm("osp", payload(6), &triples)?;
+    validate_perms(&pos, &osp, &triples)?;
+
+    Ok(TripleStore::from_validated_parts(
+        nodes, preds, types, triples, node_types, pos, osp,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::StoreBuilder;
+
+    fn tiny() -> TripleStore {
+        let mut b = StoreBuilder::new();
+        b.add_triple("paper1", "wb", "Alice");
+        b.add_triple("paper1", "wb", "Bob");
+        b.add_triple("paper2", "wb", "Bob");
+        b.add_triple("paper2", "cites", "paper1");
+        b.add_type("Alice", "Author").unwrap();
+        b.add_type("paper1", "Paper").unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let s = tiny();
+        let bytes = encode(&s);
+        let back = decode(&bytes).unwrap();
+        assert_eq!(back, s);
+        // Determinism: encoding the decoded store is byte-identical.
+        assert_eq!(encode(&back), bytes);
+    }
+
+    #[test]
+    fn empty_store_round_trips() {
+        let s = StoreBuilder::new().build().unwrap();
+        let bytes = encode(&s);
+        assert_eq!(decode(&bytes).unwrap(), s);
+    }
+
+    #[test]
+    fn sections_report_the_layout() {
+        let bytes = encode(&tiny());
+        let table = sections(&bytes).unwrap();
+        assert_eq!(table[0].name, "nodes");
+        assert_eq!(table[0].offset, 156);
+        assert_eq!(
+            table[6].offset + table[6].len,
+            bytes.len() as u64,
+            "sections must tile the file"
+        );
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut bytes = encode(&tiny());
+        bytes[0] = b'X';
+        assert_eq!(decode(&bytes), Err(StoreError::BadMagic));
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        let mut bytes = encode(&tiny());
+        bytes[4] = 9;
+        assert_eq!(
+            decode(&bytes),
+            Err(StoreError::UnsupportedVersion { found: 9 })
+        );
+    }
+
+    #[test]
+    fn corrupted_payload_fails_the_checksum() {
+        let bytes = encode(&tiny());
+        let table = sections(&bytes).unwrap();
+        // A flip inside the checksummed region (the nodes arena).
+        let mut m = bytes.clone();
+        m[table[0].offset as usize + 6] ^= 0xFF;
+        assert!(matches!(
+            decode(&m),
+            Err(StoreError::ChecksumMismatch { .. })
+        ));
+        // A flip past the checksummed region (the osp permutation) is
+        // caught structurally instead: the perms are self-validating.
+        let mut m = bytes;
+        let last = m.len() - 1;
+        m[last] ^= 0xFF;
+        assert!(matches!(
+            decode(&m),
+            Err(StoreError::BadSection { section: "osp", .. })
+        ));
+    }
+
+    #[test]
+    fn every_truncation_is_rejected_without_panicking() {
+        let bytes = encode(&tiny());
+        for cut in 0..bytes.len() {
+            let err = decode(&bytes[..cut]).expect_err("truncated input must fail");
+            // Any named error is fine; reaching here proves no panic.
+            let _ = err.to_string();
+        }
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_rejected() {
+        let bytes = encode(&tiny());
+        for i in 0..bytes.len() {
+            let mut m = bytes.clone();
+            m[i] ^= 0x01;
+            assert!(decode(&m).is_err(), "flip at byte {i} must not decode");
+        }
+    }
+
+    #[test]
+    fn post_checksum_structure_violations_are_named() {
+        // Rebuild valid snapshots with one surgical corruption each,
+        // re-patching the CRC so validation reaches the section logic.
+        let good = encode(&tiny());
+        let table = sections(&good).unwrap();
+        // None of the corruptions below move the pos section, so the
+        // checksummed region's end is the one from the intact table.
+        let pos_off = table[5].offset as usize;
+        let repatch = |mut bytes: Vec<u8>| -> Vec<u8> {
+            let crc = crate::crc32::crc32(&bytes[16..pos_off]);
+            bytes[8..12].copy_from_slice(&crc.to_le_bytes());
+            bytes
+        };
+
+        // Swap two bytes inside the nodes arena: labels out of order.
+        let nodes = &table[0];
+        let arena_start = nodes.offset as usize + nodes.len as usize - 2;
+        let mut m = good.clone();
+        m.swap(arena_start, arena_start + 1);
+        let err = decode(&repatch(m)).unwrap_err();
+        assert!(matches!(err, StoreError::BadSection { .. }));
+
+        // Point a triple at a node id past the dictionary.
+        let triples = &table[3];
+        let first_row = triples.offset as usize + 4;
+        let mut m = good.clone();
+        m[first_row..first_row + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        let err = decode(&repatch(m)).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                StoreError::BadSection {
+                    section: "triples",
+                    ..
+                }
+            ),
+            "{err}"
+        );
+
+        // Corrupt the POS permutation's first index.
+        let pos = &table[5];
+        let first = pos.offset as usize + 4;
+        let mut m = good.clone();
+        m[first..first + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        let err = decode(&repatch(m)).unwrap_err();
+        assert!(
+            matches!(err, StoreError::BadSection { section: "pos", .. }),
+            "{err}"
+        );
+
+        // Break section contiguity in the table.
+        let mut m = good.clone();
+        let off_field = 16 + 4; // first entry's offset field
+        m[off_field] ^= 0x01;
+        let err = decode(&repatch(m)).unwrap_err();
+        assert!(matches!(err, StoreError::BadSectionTable { .. }), "{err}");
+    }
+
+    #[test]
+    fn unicode_labels_survive_and_validate() {
+        let mut b = StoreBuilder::new();
+        b.add_triple("héllo", "práed", "wörld");
+        b.add_type("héllo", "Tüp").unwrap();
+        let s = b.build().unwrap();
+        let bytes = encode(&s);
+        let back = decode(&bytes).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(back.nodes().lookup("héllo"), s.nodes().lookup("héllo"));
+    }
+}

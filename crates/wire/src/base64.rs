@@ -1,0 +1,206 @@
+//! Standard base64 (RFC 4648 §4, with `=` padding), hand-rolled.
+//!
+//! Binary snapshots travel through the JSON wire format as base64
+//! strings (`POST /ontologies` with a `snapshot_b64` field), and JSON
+//! cannot carry raw bytes. The decoder is strict — no whitespace, no
+//! missing padding, no trailing garbage — because it sits on an
+//! untrusted input surface: anything malformed is a named error, never
+//! a best-effort guess.
+
+use std::fmt;
+
+const ALPHABET: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+/// A malformed base64 input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Base64Error {
+    /// The input length is not a multiple of 4.
+    BadLength {
+        /// The offending length.
+        len: usize,
+    },
+    /// A byte outside the alphabet (or misplaced padding).
+    BadChar {
+        /// The offending byte, lossily rendered.
+        ch: char,
+        /// Byte offset of the offending character.
+        at: usize,
+    },
+    /// Padding bits that must be zero are not (a non-canonical final
+    /// quantum, e.g. `QQ==` vs `QR==`).
+    BadPadding,
+}
+
+impl fmt::Display for Base64Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Base64Error::BadLength { len } => {
+                write!(f, "bad base64 length {len}: not a multiple of 4")
+            }
+            Base64Error::BadChar { ch, at } => {
+                write!(f, "bad base64 character {ch:?} at offset {at}")
+            }
+            Base64Error::BadPadding => write!(f, "bad base64 padding: trailing bits are not zero"),
+        }
+    }
+}
+
+impl std::error::Error for Base64Error {}
+
+/// Encodes bytes as standard padded base64.
+pub fn encode(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len().div_ceil(3) * 4);
+    let mut chunks = bytes.chunks_exact(3);
+    for c in &mut chunks {
+        let n = (u32::from(c[0]) << 16) | (u32::from(c[1]) << 8) | u32::from(c[2]);
+        out.push(ALPHABET[(n >> 18) as usize & 63] as char);
+        out.push(ALPHABET[(n >> 12) as usize & 63] as char);
+        out.push(ALPHABET[(n >> 6) as usize & 63] as char);
+        out.push(ALPHABET[n as usize & 63] as char);
+    }
+    match *chunks.remainder() {
+        [a] => {
+            let n = u32::from(a) << 16;
+            out.push(ALPHABET[(n >> 18) as usize & 63] as char);
+            out.push(ALPHABET[(n >> 12) as usize & 63] as char);
+            out.push_str("==");
+        }
+        [a, b] => {
+            let n = (u32::from(a) << 16) | (u32::from(b) << 8);
+            out.push(ALPHABET[(n >> 18) as usize & 63] as char);
+            out.push(ALPHABET[(n >> 12) as usize & 63] as char);
+            out.push(ALPHABET[(n >> 6) as usize & 63] as char);
+            out.push('=');
+        }
+        _ => {}
+    }
+    out
+}
+
+/// The 6-bit value of one alphabet byte, or `None` outside it.
+fn sextet(b: u8) -> Option<u32> {
+    match b {
+        b'A'..=b'Z' => Some(u32::from(b - b'A')),
+        b'a'..=b'z' => Some(u32::from(b - b'a') + 26),
+        b'0'..=b'9' => Some(u32::from(b - b'0') + 52),
+        b'+' => Some(62),
+        b'/' => Some(63),
+        _ => None,
+    }
+}
+
+/// Decodes strict standard base64 (padded, canonical, no whitespace).
+///
+/// # Errors
+/// Any deviation from the strict grammar yields a [`Base64Error`].
+pub fn decode(s: &str) -> Result<Vec<u8>, Base64Error> {
+    let bytes = s.as_bytes();
+    if bytes.len() % 4 != 0 {
+        return Err(Base64Error::BadLength { len: bytes.len() });
+    }
+    let mut out = Vec::with_capacity(bytes.len() / 4 * 3);
+    for (chunk_index, chunk) in bytes.chunks_exact(4).enumerate() {
+        let at = |i: usize| chunk_index * 4 + i;
+        let bad = |i: usize| Base64Error::BadChar {
+            ch: char::from(chunk[i]),
+            at: at(i),
+        };
+        // Padding may only appear in the final chunk, as `xx==` or `xxx=`.
+        let is_last = (chunk_index + 1) * 4 == bytes.len();
+        let pad = chunk.iter().rev().take_while(|&&b| b == b'=').count();
+        if pad > 0 && !is_last {
+            return Err(bad(4 - pad));
+        }
+        match pad {
+            0 => {
+                let mut n = 0u32;
+                for i in 0..4 {
+                    n = (n << 6) | sextet(chunk[i]).ok_or_else(|| bad(i))?;
+                }
+                out.extend_from_slice(&[(n >> 16) as u8, (n >> 8) as u8, n as u8]);
+            }
+            1 => {
+                let mut n = 0u32;
+                for i in 0..3 {
+                    n = (n << 6) | sextet(chunk[i]).ok_or_else(|| bad(i))?;
+                }
+                if n & 0b11 != 0 {
+                    return Err(Base64Error::BadPadding);
+                }
+                out.extend_from_slice(&[(n >> 10) as u8, (n >> 2) as u8]);
+            }
+            2 => {
+                let mut n = 0u32;
+                for i in 0..2 {
+                    n = (n << 6) | sextet(chunk[i]).ok_or_else(|| bad(i))?;
+                }
+                if n & 0b1111 != 0 {
+                    return Err(Base64Error::BadPadding);
+                }
+                out.push((n >> 4) as u8);
+            }
+            // `x===` and `====` have no valid decoding.
+            _ => return Err(bad(1)),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc4648_vectors() {
+        for (plain, b64) in [
+            ("", ""),
+            ("f", "Zg=="),
+            ("fo", "Zm8="),
+            ("foo", "Zm9v"),
+            ("foob", "Zm9vYg=="),
+            ("fooba", "Zm9vYmE="),
+            ("foobar", "Zm9vYmFy"),
+        ] {
+            assert_eq!(encode(plain.as_bytes()), b64);
+            assert_eq!(decode(b64).unwrap(), plain.as_bytes());
+        }
+    }
+
+    #[test]
+    fn round_trips_every_length_of_binary_data() {
+        let mut state = 0x243F_6A88_85A3_08D3u64;
+        for len in 0..200usize {
+            let bytes: Vec<u8> = (0..len)
+                .map(|_| {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    (state >> 56) as u8
+                })
+                .collect();
+            assert_eq!(decode(&encode(&bytes)).unwrap(), bytes, "len {len}");
+        }
+    }
+
+    #[test]
+    fn rejects_bad_length_characters_and_padding() {
+        assert_eq!(decode("Zg="), Err(Base64Error::BadLength { len: 3 }));
+        assert!(matches!(
+            decode("Zm9v Zg=="),
+            Err(Base64Error::BadLength { .. })
+        ));
+        assert_eq!(decode("Zm!v"), Err(Base64Error::BadChar { ch: '!', at: 2 }));
+        // Padding in a non-final chunk.
+        assert!(matches!(
+            decode("Zg==Zm9v"),
+            Err(Base64Error::BadChar { ch: '=', .. })
+        ));
+        // Non-canonical trailing bits: QR== decodes 'A' plus junk bits.
+        assert_eq!(decode("QR=="), Err(Base64Error::BadPadding));
+        assert_eq!(decode("QUJ="), Err(Base64Error::BadPadding));
+        // Over-padded quanta.
+        assert!(decode("Z===").is_err());
+        assert!(decode("====").is_err());
+        // Errors render with offsets.
+        let msg = decode("Zm!v").unwrap_err().to_string();
+        assert!(msg.contains("offset 2"), "{msg}");
+    }
+}

@@ -22,6 +22,8 @@
 
 use std::fmt;
 
+pub mod base64;
+
 /// A parsed JSON value.
 ///
 /// Objects preserve insertion order (serialization is deterministic),

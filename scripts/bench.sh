@@ -8,10 +8,13 @@
 # disabled-instrumentation overhead gate, < 5% of wall) and BENCH_6.json
 # (per-query walls with parallel-validity annotations, cold/warm
 # columnar index-build times per world, and the improvement factor over
-# the committed BENCH_1.json baseline when one exists).
+# the committed BENCH_1.json baseline when one exists), and BENCH_7.json
+# (snapshot cold-start vs text re-parse, matcher throughput at the
+# 10^6-triple scale, and the corruption-sweep tally).
 #
-# Usage: scripts/bench.sh [output.json] [trace-output.json] [b6-output.json]
-#   BENCH_TINY=1   smoke mode: 1 trial, heaviest query only (CI).
+# Usage: scripts/bench.sh [output.json] [trace-json] [b6-json] [b7-json]
+#   BENCH_TINY=1   smoke mode: 1 trial, heaviest query only, 10^5-triple
+#                  B7 world (CI).
 #   BENCH_THREADS  largest thread count in the sweep (default 8).
 set -euo pipefail
 caller_dir="$PWD"
@@ -21,9 +24,11 @@ cd "$(dirname "$0")/.."
 out="${1:-BENCH_1.json}"
 out3="${2:-BENCH_3.json}"
 out6="${3:-BENCH_6.json}"
+out7="${4:-BENCH_7.json}"
 [[ "$out" == /* ]] || out="$caller_dir/$out"
 [[ "$out3" == /* ]] || out3="$caller_dir/$out3"
 [[ "$out6" == /* ]] || out6="$caller_dir/$out6"
+[[ "$out7" == /* ]] || out7="$caller_dir/$out7"
 threads="${BENCH_THREADS:-8}"
 
 echo "== building exp_bench (release) =="
@@ -45,8 +50,40 @@ fi
 echo "== running hot-path bench (threads 1..$threads) =="
 ./target/release/exp_bench "${args[@]}"
 
+# B7 runs as its own invocation: it re-execs this binary as cold timing
+# children, so it must not share allocator state with the phases above.
+echo "== running snapshot cold-start bench (B7) =="
+b7args=(--bench7 "$out7")
+if [[ "${BENCH_TINY:-0}" == "1" ]]; then
+  b7args+=(--tiny)
+fi
+./target/release/exp_bench "${b7args[@]}"
+
 # Well-formedness gate: the reports must be parseable JSON.
 python3 -m json.tool "$out" > /dev/null
 python3 -m json.tool "$out3" > /dev/null
 python3 -m json.tool "$out6" > /dev/null
-echo "ok — $out, $out3 and $out6 are well-formed JSON"
+python3 -m json.tool "$out7" > /dev/null
+echo "ok — $out, $out3, $out6 and $out7 are well-formed JSON"
+
+# Rows measured with more worker threads than the host has CPUs are
+# scheduling artifacts, not parallel speedups (the runner still checks
+# their outputs, but the wall times mean nothing). Make any such row
+# impossible to miss.
+flagged=0
+for report in "$out" "$out3" "$out6" "$out7"; do
+  if grep -q '"valid_parallel": false' "$report"; then
+    flagged=1
+    echo
+    echo "!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!"
+    echo "!! WARNING: $report contains rows with \"valid_parallel\": false."
+    echo "!! Those rows ran more threads than this host has CPUs: their"
+    echo "!! wall times are scheduling artifacts and MUST NOT be quoted"
+    echo "!! as parallel speedups. Rerun on a machine with enough cores"
+    echo "!! (BENCH_THREADS caps the sweep) to get citable numbers."
+    echo "!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!"
+  fi
+done
+if [[ "$flagged" == 0 ]]; then
+  echo "ok — no report row was flagged valid_parallel: false"
+fi

@@ -146,6 +146,18 @@ fn triples_corpus_replays_to_recorded_verdicts() {
 }
 
 #[test]
+fn store_corpus_replays_to_recorded_verdicts() {
+    check("store", |bytes| {
+        let store = questpro_store::decode(bytes).map_err(|e| e.to_string())?;
+        let again = questpro_store::encode(&store);
+        if questpro_store::decode(&again).map_err(|e| e.to_string())? != store {
+            return Err("encode/decode round-trip changed the store".into());
+        }
+        Ok(())
+    });
+}
+
+#[test]
 fn http_corpus_replays_to_recorded_verdicts() {
     check("http", |bytes| {
         let mut reader = BufReader::new(bytes);

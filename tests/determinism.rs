@@ -166,6 +166,39 @@ fn parallel_pipeline_matches_sequential_on_all_worlds() {
     }
 }
 
+/// Snapshot-path contract: an ontology rebuilt from a dictionary-encoded
+/// store (encode → decode → to_ontology) answers every workload query
+/// with the same result *values* as the directly interned ontology, on
+/// every world family. Node ids may be renumbered (store ids are
+/// sorted-label ranks), so results compare as sorted value strings.
+#[test]
+fn store_backed_evaluation_matches_interned_on_all_worlds() {
+    for (name, ont, target) in small_worlds() {
+        let store = questpro_store::TripleStore::from_ontology(&ont)
+            .expect("generated worlds fit the u32 id space");
+        let bytes = questpro_store::encode(&store);
+        let restored = questpro_store::decode(&bytes)
+            .expect("own snapshot decodes")
+            .to_ontology()
+            .expect("validated store assembles");
+        let render = |o: &Ontology| {
+            let mut vals: Vec<String> = evaluate_union(o, &target)
+                .iter()
+                .map(|&r| o.value_str(r).to_string())
+                .collect();
+            vals.sort_unstable();
+            vals
+        };
+        let direct = render(&ont);
+        assert!(!direct.is_empty(), "{name}: workload query has results");
+        assert_eq!(
+            render(&restored),
+            direct,
+            "{name}: store-backed evaluation diverged from the interned path"
+        );
+    }
+}
+
 #[test]
 fn study_reports_are_seed_deterministic() {
     use questpro::feedback::{simulate_study, StudyConfig};

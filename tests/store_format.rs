@@ -1,0 +1,57 @@
+//! Golden-file pin of the version-1 snapshot byte layout.
+//!
+//! `tests/golden/store_v1.qps` holds the exact bytes `encode` produced
+//! for the fixture below when the format shipped. Any layout change —
+//! new sections, reordered fields, different sort contracts — fails
+//! this test until [`questpro_store::FORMAT_VERSION`] is bumped and a
+//! regenerated golden file is committed alongside the bump.
+
+use std::fs;
+use std::path::PathBuf;
+
+use questpro_store::{decode, encode, StoreBuilder, TripleStore, FORMAT_VERSION};
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/store_v1.qps")
+}
+
+/// The pinned fixture: triples, an isolated node, types, and a
+/// non-ASCII label so the arena layout is exercised.
+fn fixture() -> TripleStore {
+    let mut b = StoreBuilder::new();
+    b.add_triple("alice", "wb", "paper1");
+    b.add_triple("bob", "wb", "paper1");
+    b.add_triple("bob", "cites", "alice");
+    b.add_triple("na\u{EF}ve", "wb", "paper1");
+    b.add_node("lonely");
+    b.add_type("alice", "Author").unwrap();
+    b.add_type("paper1", "Paper").unwrap();
+    b.build().expect("fixture fits the u32 id space")
+}
+
+#[test]
+fn golden_snapshot_bytes_are_pinned() {
+    assert_eq!(
+        FORMAT_VERSION, 1,
+        "FORMAT_VERSION moved past 1: regenerate tests/golden/store_v{FORMAT_VERSION}.qps, \
+         point this test at it, and keep the old golden for the rejected-version check"
+    );
+    let golden = fs::read(golden_path()).expect("committed golden snapshot");
+    assert_eq!(
+        encode(&fixture()),
+        golden,
+        "snapshot byte layout drifted from the committed version-1 golden: if the \
+         change is intentional, bump FORMAT_VERSION in crates/store/src/snapshot.rs \
+         and commit a regenerated golden file with it"
+    );
+}
+
+#[test]
+fn golden_snapshot_still_decodes() {
+    let golden = fs::read(golden_path()).expect("committed golden snapshot");
+    let store = decode(&golden).expect("version-1 golden must stay readable");
+    assert_eq!(store, fixture());
+    let ont = store.to_ontology().expect("golden store assembles");
+    assert!(ont.validate().is_ok());
+    assert_eq!(ont.edge_count(), 4);
+}
