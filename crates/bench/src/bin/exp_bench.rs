@@ -684,7 +684,7 @@ fn baseline_walls(text: &str) -> Vec<(String, f64)> {
 
 /// Cold and warm columnar index-build times for one world, in ms.
 ///
-/// *Cold* re-inserts every triple into a fresh [`OntologyBuilder`] and
+/// *Cold* re-inserts every triple into a fresh `OntologyBuilder` and
 /// times `build()` alone — interning, row tables, adjacency, and the
 /// columnar SPO/POS/OSP block, exactly what a fresh ontology load pays.
 /// *Warm* times [`Ontology::rebuild_columnar`] — just the sorted index

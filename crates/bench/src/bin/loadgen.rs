@@ -1,12 +1,24 @@
-//! `loadgen` — concurrent load against an in-process questpro-server.
+//! `loadgen` — concurrent load against a questpro-server.
 //!
-//! Boots the HTTP service on an ephemeral loopback port, then drives it
-//! from `--clients` OS threads, each holding one keep-alive connection
-//! and issuing `--requests` `POST /infer` calls over the erdos world.
-//! Emits `BENCH_2.json` with throughput, latency quantiles, and a
-//! cross-client consistency check: every response body must be
-//! byte-identical to the library's one-shot `infer_top_k` answer, which
-//! is what the CLI `infer` path prints.
+//! Two drivers share this binary:
+//!
+//! * **Thread mode** (default) boots the HTTP service in-process on an
+//!   ephemeral loopback port, then drives it from `--clients` OS
+//!   threads, each holding one keep-alive connection and issuing
+//!   `--requests` `POST /infer` calls over the erdos world. Emits
+//!   `BENCH_2.json` with throughput, latency quantiles, and a
+//!   cross-client consistency check: every response body must be
+//!   byte-identical to the library's one-shot `infer_top_k` answer,
+//!   which is what the CLI `infer` path prints.
+//! * **Connection mode** (`--connections N`) multiplexes N keep-alive
+//!   connections on one thread over the server's own readiness facade
+//!   (`questpro_bench::drive`), scaling to 10k+ sockets. Closed loop
+//!   by default; `--open-loop --rate R --duration-secs D` schedules
+//!   arrivals on a fixed timetable with latencies measured from the
+//!   scheduled instant (coordinated-omission-aware). `--connect
+//!   HOST:PORT` targets an external server (required at 10k: two
+//!   processes split the fd budget); otherwise one is booted
+//!   in-process. Emits a B8 JSON report (`--bench8 PATH`).
 //!
 //! Env:
 //!   LOADGEN_TINY=1      smoke mode: 2 clients × 3 requests (CI).
@@ -16,11 +28,14 @@
 //!                       per-route p50/p95/p99 latency quantiles (read
 //!                       off the `questpro_route_duration_ns` log2
 //!                       histograms) as a B5 JSON report.
+//!   --connections N --open-loop --rate R --duration-secs D
+//!   --route eval|infer --connect HOST:PORT --bench8 PATH
 
 use std::io::{BufRead, BufReader, Write};
-use std::net::{SocketAddr, TcpStream};
-use std::time::Instant;
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
 
+use questpro_bench::drive;
 use questpro_server::{start, ServerConfig};
 
 fn main() {
@@ -29,9 +44,21 @@ fn main() {
     let mut workers = 8usize;
     let mut out_path = String::from("BENCH_2.json");
     let mut routes_out: Option<String> = None;
+    let mut connections = 0usize;
+    let mut open_loop = false;
+    let mut rate = 1_000f64;
+    let mut duration_secs = 10u64;
+    let mut route = String::from("eval");
+    let mut connect: Option<String> = None;
+    let mut bench8: Option<String> = None;
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
+        // `--open-loop` is a bare switch; everything else takes a value.
+        if flag == "--open-loop" {
+            open_loop = true;
+            continue;
+        }
         let value = it.next();
         let num = |v: Option<&String>| v.and_then(|s| s.parse::<usize>().ok());
         match flag.as_str() {
@@ -40,11 +67,33 @@ fn main() {
             "--workers" => workers = num(value).unwrap_or(workers).max(1),
             "--out" => out_path = value.cloned().unwrap_or(out_path),
             "--routes-out" => routes_out = value.cloned(),
+            "--connections" => connections = num(value).unwrap_or(0),
+            "--rate" => rate = value.and_then(|s| s.parse().ok()).unwrap_or(rate),
+            "--duration-secs" => {
+                duration_secs = value.and_then(|s| s.parse().ok()).unwrap_or(duration_secs);
+            }
+            "--route" => route = value.cloned().unwrap_or(route),
+            "--connect" => connect = value.cloned(),
+            "--bench8" => bench8 = value.cloned(),
             other => {
                 eprintln!("loadgen: unknown flag {other:?}");
                 std::process::exit(2);
             }
         }
+    }
+    if connections > 0 {
+        run_connection_mode(&ConnectionMode {
+            connections,
+            requests,
+            workers,
+            open_loop,
+            rate,
+            duration_secs,
+            route,
+            connect,
+            out: bench8.unwrap_or_else(|| "BENCH_8.json".into()),
+        });
+        return;
     }
     if std::env::var("LOADGEN_TINY").as_deref() == Ok("1") {
         clients = 2;
@@ -397,4 +446,199 @@ fn matches_reference(body: &str, reference: &[String]) -> bool {
             .iter()
             .zip(reference)
             .all(|(c, want)| c.get("query").and_then(|q| q.as_str()) == Some(want))
+}
+
+/// Everything `--connections` mode needs, parsed off the CLI.
+struct ConnectionMode {
+    connections: usize,
+    /// Closed-loop requests per connection.
+    requests: usize,
+    /// Workers for the in-process server (ignored with `--connect`).
+    workers: usize,
+    open_loop: bool,
+    rate: f64,
+    duration_secs: u64,
+    route: String,
+    connect: Option<String>,
+    out: String,
+}
+
+/// The B8 path: thousands of multiplexed keep-alive connections via
+/// `questpro_bench::drive`, against an external or in-process server.
+fn run_connection_mode(mode: &ConnectionMode) {
+    let (addr, handle) = match &mode.connect {
+        Some(spec) => {
+            let addr = spec
+                .to_socket_addrs()
+                .ok()
+                .and_then(|mut a| a.next())
+                .unwrap_or_else(|| panic!("loadgen: cannot resolve --connect {spec:?}"));
+            (addr, None)
+        }
+        None => {
+            let handle = start(&ServerConfig {
+                addr: "127.0.0.1:0".into(),
+                workers: mode.workers,
+                queue: (mode.connections * 2).max(64),
+                max_conns: mode.connections + 64,
+                ..ServerConfig::default()
+            })
+            .expect("binding an ephemeral loopback port");
+            (handle.addr(), Some(handle))
+        }
+    };
+
+    // Build the request once and capture the byte-exact reference
+    // answer on a plain blocking connection before any load flows.
+    let body = match mode.route.as_str() {
+        "eval" => {
+            // A tiny world with a known answer; 409 means an earlier
+            // loadgen run (or a shared server) already posted it.
+            let world = questpro_wire::Json::obj([
+                ("name", questpro_wire::Json::str("loadgen-tiny")),
+                (
+                    "triples",
+                    questpro_wire::Json::str("a knows b\nb knows c\n"),
+                ),
+            ])
+            .to_text();
+            match blocking_call(addr, "POST", "/ontologies", &world) {
+                Some((201 | 409, _)) => {}
+                other => panic!("loadgen: seeding the eval world failed: {other:?}"),
+            }
+            questpro_wire::Json::obj([
+                ("ontology", questpro_wire::Json::str("loadgen-tiny")),
+                (
+                    "query",
+                    questpro_wire::Json::str("SELECT ?x WHERE { ?x :knows ?y . }"),
+                ),
+            ])
+            .to_text()
+        }
+        "infer" => {
+            let ont = questpro_data::erdos_ontology();
+            let examples = questpro_data::erdos_example_set(&ont);
+            let examples_text = questpro_graph::exformat::serialize_examples(&ont, &examples);
+            questpro_wire::Json::obj([
+                ("ontology", questpro_wire::Json::str("erdos")),
+                ("examples", questpro_wire::Json::str(examples_text)),
+            ])
+            .to_text()
+        }
+        other => panic!("loadgen: --route must be eval or infer, got {other:?}"),
+    };
+    let path = format!("/{}", mode.route);
+    let (status, reference) = blocking_call(addr, "POST", &path, &body)
+        .unwrap_or_else(|| panic!("loadgen: reference {path} request got no response"));
+    assert_eq!(status, 200, "reference {path} failed: {reference}");
+    let request = format!(
+        "POST {path} HTTP/1.1\r\nHost: loadgen\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .into_bytes();
+
+    let total_requests = if mode.open_loop {
+        ((mode.rate * mode.duration_secs as f64).round() as usize).max(1)
+    } else {
+        mode.connections * mode.requests
+    };
+    eprintln!(
+        "loadgen: {} conns, {} total {} requests ({}) against {addr}",
+        mode.connections,
+        total_requests,
+        path,
+        if mode.open_loop {
+            format!("open loop @ {} rps", mode.rate)
+        } else {
+            "closed loop".into()
+        }
+    );
+    let report = drive::run(&drive::DriveConfig {
+        addr,
+        connections: mode.connections,
+        request,
+        total_requests,
+        rate: mode.open_loop.then_some(mode.rate),
+        expect_body: Some(reference.clone().into_bytes()),
+        timeout: Duration::from_secs(mode.duration_secs + 120).max(Duration::from_secs(300)),
+    })
+    .expect("the drive setup must succeed");
+    if let Some(handle) = handle {
+        handle.join();
+    }
+
+    let mut lat = report.latencies_us.clone();
+    lat.sort_unstable();
+    let q = |p: f64| -> u64 {
+        if lat.is_empty() {
+            return 0;
+        }
+        lat[((lat.len() as f64 - 1.0) * p).round() as usize]
+    };
+    let throughput = report.ok as f64 / report.wall.as_secs_f64();
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!(
+        "  \"bench\": \"B8 event-loop keep-alive load (POST {path})\",\n"
+    ));
+    json.push_str(&format!(
+        "  \"config\": {{\"connections\": {}, \"open_loop\": {}, \"rate_rps\": {:.1}, \"duration_secs\": {}, \"route\": \"{}\", \"server\": \"{}\", \"host_cpus\": {}}},\n",
+        mode.connections,
+        mode.open_loop,
+        if mode.open_loop { mode.rate } else { 0.0 },
+        if mode.open_loop { mode.duration_secs } else { 0 },
+        mode.route,
+        if mode.connect.is_some() { "external" } else { "in-process" },
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    ));
+    json.push_str(&format!(
+        "  \"totals\": {{\"requests\": {}, \"connected\": {}, \"ok\": {}, \"errors\": {}, \"mismatches\": {}, \"wall_ms\": {:.3}, \"throughput_rps\": {throughput:.1}}},\n",
+        total_requests,
+        report.connected,
+        report.ok,
+        report.errors,
+        report.mismatches,
+        report.wall.as_secs_f64() * 1e3
+    ));
+    json.push_str(&format!(
+        "  \"latency_us\": {{\"p50\": {}, \"p95\": {}, \"p99\": {}, \"max\": {}}},\n",
+        q(0.50),
+        q(0.95),
+        q(0.99),
+        lat.last().copied().unwrap_or(0)
+    ));
+    json.push_str(&format!(
+        "  \"identical_to_reference\": {}\n}}\n",
+        report.mismatches == 0
+    ));
+    std::fs::write(&mode.out, &json).expect("writing the B8 report");
+    eprintln!("loadgen: wrote {}", mode.out);
+    print!("{json}");
+    assert_eq!(
+        report.connected, mode.connections,
+        "every connection must establish"
+    );
+    assert_eq!(report.errors, 0, "every request must succeed");
+    assert_eq!(
+        report.mismatches, 0,
+        "every response must match the reference byte-for-byte"
+    );
+}
+
+/// One request on a fresh blocking connection; `(status, body)`.
+fn blocking_call(addr: SocketAddr, method: &str, path: &str, body: &str) -> Option<(u16, String)> {
+    let stream = TcpStream::connect(addr).ok()?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .ok()?;
+    let mut writer = stream.try_clone().ok()?;
+    let mut reader = BufReader::new(stream);
+    write!(
+        writer,
+        "{method} {path} HTTP/1.1\r\nHost: loadgen\r\nConnection: close\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .ok()?;
+    writer.flush().ok()?;
+    read_response(&mut reader)
 }

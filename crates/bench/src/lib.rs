@@ -6,6 +6,7 @@
 //! Section VI-B reconstruction loop, markdown table rendering, and a
 //! scoped-thread parallel map for per-query sweeps.
 
+pub mod drive;
 pub mod microbench;
 
 use std::fmt::Write as _;

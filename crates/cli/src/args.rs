@@ -25,9 +25,9 @@ USAGE:
                     (without --target the questions are asked on stdin)
   questpro diagnose --ontology FILE --examples FILE
   questpro serve    [--port N | --addr HOST:PORT] [--workers N] [--queue N]
-                    [--threads N|auto] [--max-sessions N] [--idle-secs N]
-                    [--log-file FILE] [--log-level LEVEL] [--slow-ms N]
-                    [--store FILE]
+                    [--event-loops N] [--max-conns N] [--threads N|auto]
+                    [--max-sessions N] [--idle-secs N] [--log-file FILE]
+                    [--log-level LEVEL] [--slow-ms N] [--store FILE]
                     (HTTP/JSON service; stops on POST /shutdown or terminal EOF;
                     --store preloads a binary snapshot into the registry)
   questpro store    build (--world <erdos|sp2b|bsbm|movies> [--scale N] [--seed N]
@@ -232,6 +232,10 @@ pub struct ServeArgs {
     pub workers: usize,
     /// Bounded backlog of accepted-but-unserved connections.
     pub queue: usize,
+    /// Event-loop (reactor) threads multiplexing connections.
+    pub event_loops: usize,
+    /// Maximum concurrently open connections across all loops.
+    pub max_conns: usize,
     /// Default inference threads per request.
     pub threads: usize,
     /// Maximum live interactive sessions.
@@ -385,6 +389,8 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
                     .unwrap_or_else(|| format!("127.0.0.1:{port}")),
                 workers: flags.num("workers", 8)?.max(1) as usize,
                 queue: flags.num("queue", 64)?.max(1) as usize,
+                event_loops: flags.num("event-loops", 1)?.max(1) as usize,
+                max_conns: flags.num("max-conns", 10_240)?.max(1) as usize,
                 threads: flags.threads("threads")?,
                 max_sessions: flags.num("max-sessions", 64)?.max(1) as usize,
                 idle_secs: flags.num("idle-secs", 1_800)?.max(1),
@@ -540,6 +546,8 @@ const KNOWN_FLAGS: &[(&str, &[&str])] = &[
             "addr",
             "workers",
             "queue",
+            "event-loops",
+            "max-conns",
             "threads",
             "max-sessions",
             "idle-secs",
@@ -828,12 +836,22 @@ mod tests {
                 assert_eq!(s.addr, "127.0.0.1:9000");
                 assert_eq!(s.workers, 4);
                 assert_eq!(s.queue, 64);
+                assert_eq!(s.event_loops, 1);
+                assert_eq!(s.max_conns, 10_240);
             }
             other => panic!("wrong command {other:?}"),
         }
         let cmd = parse(&argv("serve --addr 0.0.0.0:80 --port 9000")).unwrap();
         match cmd {
             Command::Serve(s) => assert_eq!(s.addr, "0.0.0.0:80", "--addr wins"),
+            other => panic!("wrong command {other:?}"),
+        }
+        let cmd = parse(&argv("serve --event-loops 4 --max-conns 20000")).unwrap();
+        match cmd {
+            Command::Serve(s) => {
+                assert_eq!(s.event_loops, 4);
+                assert_eq!(s.max_conns, 20_000);
+            }
             other => panic!("wrong command {other:?}"),
         }
     }

@@ -219,7 +219,7 @@ impl ScaleStream {
             ScaleWorld::Movies => 4,
         };
         let mut rng = SplitMix64::seed_from_u64(self.seed ^ (world_salt << 56) ^ i);
-        let anchored = i % 64 == 0;
+        let anchored = i.is_multiple_of(64);
         let edge = |buf: &mut std::collections::VecDeque<ScaleItem>,
                     count: &mut u64,
                     s: String,

@@ -17,18 +17,23 @@
 //! The HTTP surface additionally runs the differential oracle: a
 //! `POST /eval` through the in-process router must byte-agree with the
 //! library one-shot path, and mutated bodies must always come back as
-//! well-formed JSON envelopes.
+//! well-formed JSON envelopes. It also pins the *staged* parser the
+//! event loop uses (`parse_request`): on a well-formed request it must
+//! agree with the blocking reader, and it must be chunking-invariant —
+//! every prefix shorter than what it consumed parses as "incomplete",
+//! and every prefix at or past that point yields the identical request
+//! (the event loop may hand it any byte boundary the kernel produces).
 
 use std::io::Cursor;
 use std::sync::Arc;
 use std::time::Duration;
 
 use questpro_engine::evaluate_union_with;
-use questpro_graph::rng::StdRng;
+use questpro_graph::rng::{Rng, StdRng};
 use questpro_graph::{triples, Ontology};
 use questpro_query::iso::union_isomorphic;
 use questpro_query::sparql;
-use questpro_server::http::read_request;
+use questpro_server::http::{parse_request, read_request};
 use questpro_server::{route, AppState, Request};
 use questpro_wire::Json;
 
@@ -354,6 +359,13 @@ fn http_panics(b: &[u8]) -> bool {
     .is_err()
 }
 
+fn parse_panics(b: &[u8]) -> bool {
+    catching(|| {
+        let _ = parse_request(b, MAX_FUZZ_BODY);
+    })
+    .is_err()
+}
+
 fn http_iter(rng: &mut StdRng, http: &HttpState) -> Vec<Failure> {
     let mut out = Vec::new();
     // Head parsing: structure + mutation.
@@ -389,12 +401,96 @@ fn http_iter(rng: &mut StdRng, http: &HttpState) -> Vec<Failure> {
             }
         }
     }
+    // Staged parser (the event-loop path): must agree with the blocking
+    // reader on well-formed input, and must be chunking-invariant.
+    match catching(|| parse_request(&bytes, MAX_FUZZ_BODY)) {
+        Err(msg) => out.push(panic_failure(&bytes, msg, parse_panics)),
+        Ok(Ok(Some((req, consumed)))) => {
+            if let Some(exp) = &expected {
+                if req.method != exp.method || req.path != exp.path || req.body != exp.body {
+                    out.push(Failure::new(
+                        FailureKind::RoundTrip,
+                        &bytes[..],
+                        format!(
+                            "staged parser read {} {} ({}B body), expected {} {} ({}B)",
+                            req.method,
+                            req.path,
+                            req.body.len(),
+                            exp.method,
+                            exp.path,
+                            exp.body.len()
+                        ),
+                    ));
+                }
+            }
+            // Chunking invariance at random split points. A full-buffer
+            // success implies the head fits MAX_HEAD_BYTES, so no prefix
+            // can spuriously trip the head cap: every prefix must be
+            // either "incomplete" or the exact same parse.
+            for _ in 0..4 {
+                let split = rng.random_range(0..=bytes.len());
+                match catching(|| parse_request(&bytes[..split], MAX_FUZZ_BODY)) {
+                    Err(msg) => {
+                        out.push(panic_failure(&bytes[..split], msg, parse_panics));
+                    }
+                    Ok(Ok(None)) if split < consumed => {}
+                    Ok(Ok(Some((p, c))))
+                        if split >= consumed
+                            && c == consumed
+                            && p.method == req.method
+                            && p.path == req.path
+                            && p.body == req.body => {}
+                    Ok(verdict) => {
+                        let shape = match verdict {
+                            Ok(Some((_, c))) => format!("parsed (consumed {c})"),
+                            Ok(None) => "incomplete".to_string(),
+                            Err(e) => format!("rejected: {e:?}"),
+                        };
+                        out.push(Failure::new(
+                            FailureKind::RoundTrip,
+                            &bytes[..],
+                            format!(
+                                "staged parser is chunking-variant: full buffer consumed \
+                                 {consumed}B but the {split}B prefix came back {shape}"
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(Ok(None)) => {
+            if expected.is_some() {
+                out.push(Failure::new(
+                    FailureKind::RoundTrip,
+                    &bytes[..],
+                    "staged parser left a complete well-formed request as incomplete".to_string(),
+                ));
+            }
+        }
+        Ok(Err(e)) => {
+            if expected.is_some() {
+                out.push(Failure::new(
+                    FailureKind::RoundTrip,
+                    &bytes[..],
+                    format!("staged parser rejected a well-formed request: {e:?}"),
+                ));
+            }
+        }
+    }
     let mut mutated = bytes;
     mutate::mutate(rng, &mut mutated);
     if let Err(msg) = catching(|| {
         let _ = read_request(&mut Cursor::new(&mutated[..]), MAX_FUZZ_BODY);
     }) {
         out.push(panic_failure(&mutated, msg, http_panics));
+    }
+    // The staged parser sees mutants too — both whole and mid-buffer
+    // truncated, since the event loop feeds it arbitrary partial reads.
+    if let Err(msg) = catching(|| {
+        let _ = parse_request(&mutated, MAX_FUZZ_BODY);
+        let _ = parse_request(&mutated[..mutated.len() / 2], MAX_FUZZ_BODY);
+    }) {
+        out.push(panic_failure(&mutated, msg, parse_panics));
     }
     // Differential: the router's /eval answer must byte-agree with the
     // library path on the same textual query.

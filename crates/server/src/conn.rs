@@ -1,0 +1,343 @@
+//! Per-connection state for the event loop.
+//!
+//! A [`Conn`] owns one nonblocking [`TcpStream`] plus the byte buffers
+//! and flags that turn readiness events into HTTP/1.1 keep-alive
+//! exchanges:
+//!
+//! * bytes arrive into `rbuf` on readable events; the incremental
+//!   parser ([`crate::http::parse_request`]) carves complete requests
+//!   off its front, leaving pipelined followers in place;
+//! * while a request is **in flight** (dispatched to the worker pool)
+//!   the loop drops read interest — unread bytes stay in the kernel
+//!   socket buffer, which is TCP backpressure for free — and no
+//!   timeout runs, so a legitimately slow inference never kills its
+//!   connection;
+//! * responses serialize into `wbuf` and drain on writable events;
+//!   responses are queued strictly in request order, so pipelining
+//!   cannot reorder.
+//!
+//! Timeouts are classified rather than uniform (the adversarial battery
+//! pins each one):
+//!
+//! * **idle** — an empty connection between requests outlives the read
+//!   timeout: closed silently and counted as a keep-alive timeout,
+//!   exactly like the blocking server did;
+//! * **partial** — a request started but its bytes stalled (slow-loris):
+//!   a named `408` response, counted separately. The clock runs from
+//!   the *first* byte of the request, not the latest one, so trickling
+//!   one header byte per interval cannot hold a connection open;
+//! * **write-stall** — the peer stopped draining our response: closed
+//!   silently once the write timeout elapses.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use crate::http::{encode_response, parse_request, ReadError, Request, Response};
+use crate::sys::Interest;
+
+/// Bytes read from the socket per readable event, to bound the time one
+/// connection can monopolize the loop. Level-triggered polling re-reports
+/// any leftover immediately, so fairness costs no correctness.
+const READ_BURST: usize = 64 * 1024;
+
+/// Which timeout a [`Conn::deadline`] refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeadlineKind {
+    /// Idle keep-alive connection between requests → silent close.
+    Idle,
+    /// A request's bytes stalled mid-parse → named `408`.
+    Partial,
+    /// The peer stopped draining our response → silent close.
+    WriteStall,
+}
+
+/// What a readable event produced.
+#[derive(Debug, Clone, Copy)]
+pub struct ReadStatus {
+    /// Bytes appended to the read buffer.
+    pub bytes: usize,
+    /// The peer half-closed (or closed) its sending side.
+    pub eof: bool,
+}
+
+/// One live connection; see the module docs.
+pub struct Conn {
+    /// The nonblocking socket (owned: dropping the `Conn` closes it).
+    pub stream: TcpStream,
+    /// Received-but-unparsed bytes (partial request + pipelined tail).
+    rbuf: Vec<u8>,
+    /// Serialized-but-unsent response bytes.
+    wbuf: Vec<u8>,
+    /// How much of `wbuf` has already been written.
+    wpos: usize,
+    /// A request from this connection is dispatched to the worker pool.
+    pub in_flight: bool,
+    /// Close once `wbuf` fully drains.
+    pub close_after_write: bool,
+    /// The peer's sending side reported EOF.
+    pub peer_closed: bool,
+    /// When the connection last became idle (created, or finished an
+    /// exchange with nothing buffered).
+    idle_since: Instant,
+    /// When `rbuf` last went from empty to non-empty — the start of the
+    /// current request's arrival, never reset by later bytes.
+    request_started: Option<Instant>,
+    /// When the current `wbuf` backlog started draining.
+    write_started: Option<Instant>,
+}
+
+impl Conn {
+    /// Wraps a freshly accepted (already nonblocking) socket.
+    pub fn new(stream: TcpStream, now: Instant) -> Conn {
+        Conn {
+            stream,
+            rbuf: Vec::new(),
+            wbuf: Vec::new(),
+            wpos: 0,
+            in_flight: false,
+            close_after_write: false,
+            peer_closed: false,
+            idle_since: now,
+            request_started: None,
+            write_started: None,
+        }
+    }
+
+    /// Pulls available bytes into the read buffer (bounded by
+    /// `READ_BURST` per call).
+    ///
+    /// # Errors
+    /// A hard socket error; the caller closes the connection.
+    pub fn on_readable(&mut self, now: Instant) -> io::Result<ReadStatus> {
+        let mut total = 0;
+        let mut eof = false;
+        let mut chunk = [0u8; 8192];
+        while total < READ_BURST {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    eof = true;
+                    break;
+                }
+                Ok(n) => {
+                    if self.rbuf.is_empty() && self.request_started.is_none() {
+                        self.request_started = Some(now);
+                    }
+                    self.rbuf.extend_from_slice(&chunk[..n]);
+                    total += n;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        if eof {
+            self.peer_closed = true;
+        }
+        Ok(ReadStatus { bytes: total, eof })
+    }
+
+    /// Carves the next complete request off the front of the read
+    /// buffer, if one has fully arrived.
+    ///
+    /// # Errors
+    /// The request is malformed or over a limit; see
+    /// [`crate::http::parse_request`].
+    pub fn take_request(&mut self, max_body: usize) -> Result<Option<Request>, ReadError> {
+        match parse_request(&self.rbuf, max_body)? {
+            Some((req, consumed)) => {
+                self.rbuf.drain(..consumed);
+                // The partial-request clock restarts only when the next
+                // request's first byte arrives (or is already pipelined).
+                self.request_started = if self.rbuf.is_empty() {
+                    None
+                } else {
+                    Some(Instant::now())
+                };
+                Ok(Some(req))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// Appends a serialized response to the write buffer (in request
+    /// order) and records the close-after flag.
+    pub fn queue_response(&mut self, resp: &Response) {
+        if self.wbuf.is_empty() {
+            self.write_started = Some(Instant::now());
+        }
+        self.wbuf.extend_from_slice(&encode_response(resp));
+        if resp.close {
+            self.close_after_write = true;
+        }
+    }
+
+    /// Writes as much buffered response as the socket accepts.
+    ///
+    /// Returns `true` when the write buffer fully drained.
+    ///
+    /// # Errors
+    /// A hard socket error (e.g. `EPIPE`); the caller closes.
+    pub fn flush(&mut self) -> io::Result<bool> {
+        while self.wpos < self.wbuf.len() {
+            match self.stream.write(&self.wbuf[self.wpos..]) {
+                Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+                Ok(n) => self.wpos += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(false),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        self.wbuf.clear();
+        self.wpos = 0;
+        self.write_started = None;
+        if self.rbuf.is_empty() && !self.in_flight {
+            self.idle_since = Instant::now();
+        }
+        Ok(true)
+    }
+
+    /// Whether response bytes are waiting to be written.
+    pub fn has_pending_write(&self) -> bool {
+        self.wpos < self.wbuf.len()
+    }
+
+    /// Whether unparsed request bytes are buffered.
+    pub fn has_buffered_bytes(&self) -> bool {
+        !self.rbuf.is_empty()
+    }
+
+    /// Idle: nothing buffered either way and nothing in flight — the
+    /// connection is purely waiting for the peer's next request.
+    pub fn is_idle(&self) -> bool {
+        self.rbuf.is_empty() && !self.has_pending_write() && !self.in_flight
+    }
+
+    /// The readiness interest this state wants.
+    ///
+    /// Read interest is off while a request is in flight (backpressure);
+    /// write interest is on only while response bytes are pending.
+    /// Hang-up/error notifications are delivered regardless.
+    pub fn wants(&self) -> Interest {
+        Interest {
+            read: !self.in_flight && !self.peer_closed,
+            write: self.has_pending_write(),
+        }
+    }
+
+    /// The earliest timeout applicable to the current state, if any.
+    /// In-flight requests have none: a slow inference is bounded by the
+    /// worker pool, not by its connection.
+    pub fn deadline(
+        &self,
+        read_timeout: Duration,
+        write_timeout: Duration,
+    ) -> Option<(Instant, DeadlineKind)> {
+        if self.in_flight {
+            return None;
+        }
+        if let Some(started) = self.write_started {
+            return Some((started + write_timeout, DeadlineKind::WriteStall));
+        }
+        if let Some(started) = self.request_started {
+            if !self.rbuf.is_empty() {
+                return Some((started + read_timeout, DeadlineKind::Partial));
+            }
+        }
+        Some((self.idle_since + read_timeout, DeadlineKind::Idle))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+        (client, server)
+    }
+
+    #[test]
+    fn reads_parse_and_pipelined_requests_stay_buffered() {
+        let (mut client, server) = pair();
+        let now = Instant::now();
+        let mut conn = Conn::new(server, now);
+        client
+            .write_all(b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n")
+            .unwrap();
+        client.flush().unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+        let status = conn.on_readable(Instant::now()).unwrap();
+        assert!(status.bytes > 0);
+        let a = conn.take_request(1024).unwrap().expect("first request");
+        assert_eq!(a.path, "/a");
+        assert!(conn.has_buffered_bytes(), "pipelined /b stays buffered");
+        let b = conn.take_request(1024).unwrap().expect("second request");
+        assert_eq!(b.path, "/b");
+        assert!(!conn.has_buffered_bytes());
+    }
+
+    #[test]
+    fn deadline_classification_follows_state() {
+        let (mut client, server) = pair();
+        let t0 = Instant::now();
+        let mut conn = Conn::new(server, t0);
+        let rt = Duration::from_secs(5);
+        let wt = Duration::from_secs(7);
+
+        // Fresh connection: idle clock from creation.
+        let (_, kind) = conn.deadline(rt, wt).unwrap();
+        assert_eq!(kind, DeadlineKind::Idle);
+
+        // Partial bytes: the clock pins to the first byte's arrival.
+        client.write_all(b"GET /x HT").unwrap();
+        client.flush().unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+        let arrival = Instant::now();
+        conn.on_readable(arrival).unwrap();
+        assert!(conn.take_request(1024).unwrap().is_none());
+        let (dl, kind) = conn.deadline(rt, wt).unwrap();
+        assert_eq!(kind, DeadlineKind::Partial);
+        assert!(dl <= arrival + rt + Duration::from_millis(1));
+
+        // More trickled bytes do NOT push the deadline out.
+        client.write_all(b"TP/1.").unwrap();
+        client.flush().unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+        conn.on_readable(Instant::now()).unwrap();
+        let (dl2, kind2) = conn.deadline(rt, wt).unwrap();
+        assert_eq!(kind2, DeadlineKind::Partial);
+        assert_eq!(dl, dl2, "slow-loris cannot refresh its own deadline");
+
+        // In flight: no deadline at all.
+        conn.in_flight = true;
+        assert!(conn.deadline(rt, wt).is_none());
+        conn.in_flight = false;
+
+        // Pending write: write-stall clock.
+        conn.queue_response(&Response::text(200, "ok"));
+        let (_, kind) = conn.deadline(rt, wt).unwrap();
+        assert_eq!(kind, DeadlineKind::WriteStall);
+    }
+
+    #[test]
+    fn interest_tracks_backpressure_and_pending_writes() {
+        let (_client, server) = pair();
+        let mut conn = Conn::new(server, Instant::now());
+        assert_eq!(conn.wants(), Interest::READ);
+        conn.in_flight = true;
+        assert_eq!(conn.wants(), Interest::NONE);
+        conn.queue_response(&Response::text(200, "ok"));
+        assert_eq!(conn.wants(), Interest::WRITE);
+        conn.in_flight = false;
+        assert_eq!(conn.wants(), Interest::BOTH);
+        assert!(conn.flush().unwrap(), "a fresh socket drains immediately");
+        assert_eq!(conn.wants(), Interest::READ);
+        assert!(conn.is_idle());
+    }
+}

@@ -1,0 +1,629 @@
+//! The readiness event loop: nonblocking accept, staged parsing, and
+//! completion-driven writes.
+//!
+//! Each loop thread owns a [`Poller`] and a slab of [`Conn`] state
+//! machines. The division of labor is strict:
+//!
+//! * **the loop thread** accepts, reads, parses, writes, and serves the
+//!   handful of constant-time inline routes
+//!   ([`crate::router::is_inline`]);
+//! * **the worker pool** runs everything CPU-bound (inference, ontology
+//!   materialization, JSON bodies). While a connection's request is in
+//!   the pool the loop drops its read interest — kernel socket buffers
+//!   provide backpressure — and the finished [`Response`] comes back on
+//!   a completion queue, with a [`Waker`] ring pulling the loop out of
+//!   its wait.
+//!
+//! Tokens carry a slot **generation** so a completion (or a stale
+//! readiness event within one batch) for a connection that has since
+//! closed and had its slot reused can never be delivered to the new
+//! occupant — it is dropped on the floor by a generation mismatch.
+//!
+//! With more than one loop, loop 0 owns the listener and deals accepted
+//! sockets round-robin via per-loop inboxes (connection sharding: a
+//! connection lives its whole life on one loop, so no per-connection
+//! state is ever shared between loops).
+//!
+//! Overload policy is unchanged from the thread-per-connection server:
+//! a full worker queue sheds the *request* with a `503` and a
+//! connection-close; a full connection slab sheds the *connection* the
+//! same way at accept time. Graceful drain on shutdown: stop accepting,
+//! close idle connections immediately, let in-flight requests finish
+//! and flush, and force-close whatever remains at the drain deadline.
+
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::io::AsRawFd;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use questpro_log::Level;
+
+use crate::conn::{Conn, DeadlineKind};
+use crate::http::{encode_response, ReadError, Response};
+use crate::pool::ThreadPool;
+use crate::router::{is_inline, route_label, AppState};
+use crate::server::{serve_request, unreadable};
+use crate::sessions::lock;
+use crate::sys::{Event, Interest, Poller, Waker};
+
+/// Poller token of the listening socket (loop 0 only).
+const TOKEN_LISTENER: usize = 0;
+/// Poller token of the loop's waker eventfd/pipe.
+const TOKEN_WAKER: usize = 1;
+/// Low bits of a connection token hold the slot generation.
+const GEN_BITS: u32 = 14;
+const GEN_MASK: usize = (1 << GEN_BITS) - 1;
+/// Deadline-scan cadence and upper bound on the poll wait, so shutdown
+/// and timeouts are noticed within one tick even on a silent loop.
+const TICK: Duration = Duration::from_millis(50);
+/// Accepts per readable-listener event; level-triggered polling
+/// re-reports a still-nonempty backlog immediately.
+const ACCEPT_BURST: usize = 256;
+
+fn encode_token(idx: usize, gen: usize) -> usize {
+    ((idx + 1) << GEN_BITS) | (gen & GEN_MASK)
+}
+
+fn decode_token(token: usize) -> Option<(usize, usize)> {
+    let idx = token >> GEN_BITS;
+    if idx == 0 {
+        return None; // TOKEN_LISTENER / TOKEN_WAKER
+    }
+    Some((idx - 1, token & GEN_MASK))
+}
+
+/// Per-loop knobs, derived from [`crate::server::ServerConfig`].
+#[derive(Debug, Clone)]
+pub struct LoopConfig {
+    /// Cap on request bodies, bytes.
+    pub max_body: usize,
+    /// Idle keep-alive *and* partial-request (slow-loris) timeout.
+    pub read_timeout: Duration,
+    /// Write-stall timeout.
+    pub write_timeout: Duration,
+    /// How long shutdown waits for in-flight exchanges to finish.
+    pub drain: Duration,
+    /// Connection cap per loop; beyond it accepts shed with `503`.
+    pub max_conns: usize,
+    /// Worker-pool size (reported in overload logs).
+    pub workers: usize,
+    /// Worker-queue bound (reported in overload logs).
+    pub queue: usize,
+}
+
+/// A loop's cross-thread mailbox: handed-off sockets, finished
+/// responses, and the doorbell that announces both.
+#[derive(Clone)]
+pub struct Mailbox {
+    inbox: Arc<Mutex<Vec<TcpStream>>>,
+    completions: Arc<Mutex<Vec<(usize, Response)>>>,
+    waker: Waker,
+}
+
+impl Mailbox {
+    /// A fresh mailbox (allocates the waker fd).
+    ///
+    /// # Errors
+    /// Propagates waker fd creation failure.
+    pub fn new() -> std::io::Result<Mailbox> {
+        Ok(Mailbox {
+            inbox: Arc::new(Mutex::new(Vec::new())),
+            completions: Arc::new(Mutex::new(Vec::new())),
+            waker: Waker::new()?,
+        })
+    }
+
+    /// The doorbell; ring after pushing into either queue (the server
+    /// handle also rings it to broadcast shutdown).
+    pub fn waker(&self) -> &Waker {
+        &self.waker
+    }
+}
+
+/// Slot-reuse-safe connection storage.
+struct Slab {
+    slots: Vec<(usize, Option<Conn>)>, // (generation, occupant)
+    free: Vec<usize>,
+    live: usize,
+}
+
+impl Slab {
+    fn new() -> Slab {
+        Slab {
+            slots: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+        }
+    }
+
+    fn insert(&mut self, conn: Conn) -> usize {
+        let idx = self.free.pop().unwrap_or_else(|| {
+            self.slots.push((0, None));
+            self.slots.len() - 1
+        });
+        self.slots[idx].1 = Some(conn);
+        self.live += 1;
+        encode_token(idx, self.slots[idx].0)
+    }
+
+    fn get_mut(&mut self, idx: usize, gen: usize) -> Option<&mut Conn> {
+        let slot = self.slots.get_mut(idx)?;
+        if slot.0 & GEN_MASK != gen {
+            return None;
+        }
+        slot.1.as_mut()
+    }
+
+    fn remove(&mut self, idx: usize) -> Option<Conn> {
+        let slot = self.slots.get_mut(idx)?;
+        let conn = slot.1.take()?;
+        slot.0 = slot.0.wrapping_add(1);
+        self.free.push(idx);
+        self.live -= 1;
+        Some(conn)
+    }
+
+    fn live_indices(&self) -> Vec<usize> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|(_, (_, c))| c.is_some())
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// Everything a service step needs, bundled against parameter sprawl.
+struct Ctx<'a> {
+    state: &'a Arc<AppState>,
+    pool: &'a Arc<ThreadPool>,
+    cfg: &'a LoopConfig,
+    completions: &'a Arc<Mutex<Vec<(usize, Response)>>>,
+    waker: &'a Waker,
+}
+
+/// What to do with a connection after servicing it.
+enum Outcome {
+    Keep(Interest),
+    Close,
+}
+
+/// Runs one event loop until shutdown completes its drain. Loop 0
+/// passes the listener; the rest accept handed-off sockets via their
+/// [`Mailbox`]. Internal failures (poller breakage) are logged and end
+/// the loop rather than panicking.
+pub fn run(
+    poller: Poller,
+    listener: Option<TcpListener>,
+    state: &Arc<AppState>,
+    pool: &Arc<ThreadPool>,
+    cfg: &LoopConfig,
+    index: usize,
+    mailboxes: &[Mailbox],
+) {
+    if let Err(e) = run_inner(poller, listener, state, pool, cfg, index, mailboxes) {
+        if questpro_log::enabled(Level::Error) {
+            questpro_log::emit(
+                Level::Error,
+                "server.eventloop",
+                format!("event loop {index} failed: {e}"),
+                vec![("loop", index.into())],
+            );
+        }
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn run_inner(
+    mut poller: Poller,
+    mut listener: Option<TcpListener>,
+    state: &Arc<AppState>,
+    pool: &Arc<ThreadPool>,
+    cfg: &LoopConfig,
+    index: usize,
+    mailboxes: &[Mailbox],
+) -> std::io::Result<()> {
+    let mine = &mailboxes[index];
+    poller.add(mine.waker().raw_fd(), Interest::READ, TOKEN_WAKER)?;
+    if let Some(l) = &listener {
+        poller.add(l.as_raw_fd(), Interest::READ, TOKEN_LISTENER)?;
+    }
+    let ctx = Ctx {
+        state,
+        pool,
+        cfg,
+        completions: &mine.completions,
+        waker: &mine.waker,
+    };
+    let mut slab = Slab::new();
+    let mut events: Vec<Event> = Vec::with_capacity(1024);
+    let mut next_rr = index; // round-robin cursor over loops, self first
+    let mut next_tick = Instant::now();
+    let mut drain_deadline: Option<Instant> = None;
+
+    loop {
+        events.clear();
+        let timeout = i32::try_from(TICK.as_millis()).unwrap_or(50);
+        poller.wait(timeout, &mut events)?;
+        let now = Instant::now();
+
+        let mut accept_ready = false;
+        for ev in events.iter().copied() {
+            match ev.token {
+                TOKEN_LISTENER => accept_ready = true,
+                TOKEN_WAKER => mine.waker.drain(),
+                _ => handle_conn_event(&mut slab, &mut poller, &ctx, ev, now),
+            }
+        }
+
+        // Accepts run after socket events so a slot freed in this batch
+        // cannot be reused while stale events for it are still queued.
+        if accept_ready {
+            if let Some(l) = &listener {
+                accept_burst(
+                    l,
+                    &mut slab,
+                    &mut poller,
+                    &ctx,
+                    mailboxes,
+                    &mut next_rr,
+                    now,
+                );
+            }
+        }
+        drain_inbox(mine, &mut slab, &mut poller, &ctx, now);
+        drain_completions(&mut slab, &mut poller, &ctx);
+
+        if now >= next_tick {
+            next_tick = now + TICK;
+            expire_deadlines(&mut slab, &mut poller, &ctx, now);
+        }
+
+        if state.shutdown.load(Ordering::SeqCst) {
+            if drain_deadline.is_none() {
+                drain_deadline = Some(now + cfg.drain);
+                // Stop accepting: drop the listener so new connects are
+                // refused instead of parked in the backlog.
+                if let Some(l) = listener.take() {
+                    let _ = poller.remove(l.as_raw_fd());
+                }
+                for (i, m) in mailboxes.iter().enumerate() {
+                    if i != index {
+                        m.waker().wake(); // pull parked peers into their drain
+                    }
+                }
+            }
+            // Idle connections have nothing to finish; everything else
+            // completes its current exchange (responses queued during
+            // shutdown carry `Connection: close`).
+            for idx in slab.live_indices() {
+                let gen = slab.slots[idx].0 & GEN_MASK;
+                if slab.get_mut(idx, gen).is_some_and(|c| c.is_idle()) {
+                    close_conn(&mut slab, &mut poller, &ctx, idx);
+                }
+            }
+            if slab.live == 0 || drain_deadline.is_some_and(|d| now >= d) {
+                for idx in slab.live_indices() {
+                    close_conn(&mut slab, &mut poller, &ctx, idx);
+                }
+                return Ok(());
+            }
+        }
+    }
+}
+
+/// Accepts a burst from the listener, shedding over the connection cap
+/// and dealing sockets round-robin across loops.
+fn accept_burst(
+    listener: &TcpListener,
+    slab: &mut Slab,
+    poller: &mut Poller,
+    ctx: &Ctx<'_>,
+    mailboxes: &[Mailbox],
+    next_rr: &mut usize,
+    now: Instant,
+) {
+    for _ in 0..ACCEPT_BURST {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if stream.set_nonblocking(true).is_err() {
+                    continue; // a dropped socket degrades this connection only
+                }
+                let _ = stream.set_nodelay(true);
+                // Only loop 0 owns the listener, so "self" is index 0.
+                let target = *next_rr % mailboxes.len();
+                *next_rr = next_rr.wrapping_add(1);
+                if target == 0 {
+                    register_conn(stream, slab, poller, ctx, now);
+                } else {
+                    lock(&mailboxes[target].inbox).push(stream);
+                    mailboxes[target].waker().wake();
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(_) => break,
+        }
+    }
+}
+
+/// Registers an accepted/handed-off socket with this loop, or sheds it
+/// with a `503` when the slab is at capacity.
+fn register_conn(
+    stream: TcpStream,
+    slab: &mut Slab,
+    poller: &mut Poller,
+    ctx: &Ctx<'_>,
+    now: Instant,
+) {
+    if slab.live >= ctx.cfg.max_conns {
+        ctx.state.http.record_overload();
+        ctx.state.http.record_response(503);
+        if questpro_log::enabled(Level::Warn) {
+            questpro_log::emit(
+                Level::Warn,
+                "server.overload",
+                "connection shed with 503: connection limit reached",
+                vec![("max_conns", ctx.cfg.max_conns.into())],
+            );
+        }
+        let mut resp = Response::error(503, "server overloaded; retry later");
+        resp.close = true;
+        let mut s = stream;
+        let _ = std::io::Write::write_all(&mut s, &encode_response(&resp));
+        return; // drop closes
+    }
+    ctx.state.http.record_conn_opened();
+    let fd = stream.as_raw_fd();
+    let token = slab.insert(Conn::new(stream, now));
+    if poller.add(fd, Interest::READ, token).is_err() {
+        if let Some((idx, _)) = decode_token(token) {
+            if slab.remove(idx).is_some() {
+                ctx.state.http.record_conn_closed();
+            }
+        }
+    }
+}
+
+/// Adopts sockets other loops handed to this one.
+fn drain_inbox(mine: &Mailbox, slab: &mut Slab, poller: &mut Poller, ctx: &Ctx<'_>, now: Instant) {
+    let handed: Vec<TcpStream> = {
+        let mut inbox = lock(&mine.inbox);
+        std::mem::take(&mut *inbox)
+    };
+    for stream in handed {
+        register_conn(stream, slab, poller, ctx, now);
+    }
+}
+
+/// Applies finished pool responses to their (still-live) connections.
+fn drain_completions(slab: &mut Slab, poller: &mut Poller, ctx: &Ctx<'_>) {
+    let done: Vec<(usize, Response)> = {
+        let mut q = lock(ctx.completions);
+        std::mem::take(&mut *q)
+    };
+    for (token, resp) in done {
+        let Some((idx, gen)) = decode_token(token) else {
+            continue;
+        };
+        let Some(conn) = slab.get_mut(idx, gen) else {
+            continue; // connection closed while the request ran: drop
+        };
+        conn.in_flight = false;
+        finalize_response(conn, ctx, resp);
+        pump_requests(conn, token, ctx); // pipelined follow-ups
+        match settle(conn) {
+            Outcome::Close => close_conn(slab, poller, ctx, idx),
+            Outcome::Keep(interest) => rearm(slab, poller, idx, gen, interest, token),
+        }
+    }
+}
+
+/// Handles one readiness event for a connection.
+fn handle_conn_event(slab: &mut Slab, poller: &mut Poller, ctx: &Ctx<'_>, ev: Event, now: Instant) {
+    let Some((idx, gen)) = decode_token(ev.token) else {
+        return;
+    };
+    let Some(conn) = slab.get_mut(idx, gen) else {
+        return; // stale event for a reused slot
+    };
+    let mut hard_error = false;
+    if ev.readable && !conn.in_flight && !conn.peer_closed {
+        match conn.on_readable(now) {
+            Ok(_) => {
+                if !conn.in_flight {
+                    pump_requests(conn, ev.token, ctx);
+                }
+            }
+            Err(_) => hard_error = true,
+        }
+    }
+    if ev.error {
+        if conn.in_flight {
+            // The socket died while its request runs. HUP/ERR are
+            // level-triggered and cannot be masked off, so deregister
+            // the fd to silence them; the completion path discovers the
+            // dead peer on flush and closes (with a write-stall deadline
+            // as the bounded fallback).
+            conn.peer_closed = true;
+            let fd = conn.stream.as_raw_fd();
+            let _ = poller.remove(fd);
+        } else {
+            // EPOLLHUP/EPOLLERR with nothing running: the socket is gone.
+            hard_error = true;
+        }
+    }
+    if conn.peer_closed && !conn.in_flight && !conn.has_pending_write() {
+        // EOF with nothing left to send: a clean keep-alive end, or a
+        // mid-request disconnect (partial bytes, no one to answer).
+        hard_error = true;
+    }
+    let outcome = if hard_error {
+        Outcome::Close
+    } else {
+        settle(conn)
+    };
+    match outcome {
+        Outcome::Close => close_conn(slab, poller, ctx, idx),
+        Outcome::Keep(interest) => rearm(slab, poller, idx, gen, interest, ev.token),
+    }
+}
+
+/// Parses and dispatches every complete request currently buffered,
+/// stopping at the first in-flight dispatch or queued close.
+fn pump_requests(conn: &mut Conn, token: usize, ctx: &Ctx<'_>) {
+    while !conn.in_flight && !conn.close_after_write {
+        match conn.take_request(ctx.cfg.max_body) {
+            Ok(Some(req)) => {
+                let label = route_label(&req.method, &req.path);
+                if is_inline(label) {
+                    let resp = serve_request(ctx.state, &req);
+                    // Same publish-before-response ordering as the
+                    // blocking server: a follow-up /debug/logs scrape
+                    // must find this request's access event.
+                    questpro_log::flush();
+                    finalize_response(conn, ctx, resp);
+                } else {
+                    conn.in_flight = true;
+                    let state = Arc::clone(ctx.state);
+                    let completions = Arc::clone(ctx.completions);
+                    let waker = ctx.waker.clone();
+                    let submitted = ctx.pool.submit(move || {
+                        let resp = serve_request(&state, &req);
+                        questpro_log::flush();
+                        lock(&completions).push((token, resp));
+                        waker.wake();
+                    });
+                    if submitted.is_err() {
+                        conn.in_flight = false;
+                        shed_request(conn, ctx);
+                    }
+                }
+            }
+            Ok(None) => break,
+            Err(e) => {
+                let resp = match e {
+                    ReadError::BadRequest(msg) => unreadable(ctx.state, 400, &msg),
+                    ReadError::HeadTooLarge => unreadable(ctx.state, 431, "request head too large"),
+                    ReadError::BodyTooLarge => unreadable(ctx.state, 413, "request body too large"),
+                    // parse_request never reports connection-level
+                    // outcomes; stay defensive anyway.
+                    ReadError::Closed | ReadError::IdleTimeout | ReadError::Disconnected(_) => {
+                        unreadable(ctx.state, 400, "unreadable request")
+                    }
+                };
+                finalize_response(conn, ctx, resp); // close=true: stop here
+                break;
+            }
+        }
+    }
+}
+
+/// Queues a `503` for a request the worker pool could not take.
+fn shed_request(conn: &mut Conn, ctx: &Ctx<'_>) {
+    ctx.state.http.record_overload();
+    if questpro_log::enabled(Level::Warn) {
+        questpro_log::emit(
+            Level::Warn,
+            "server.overload",
+            "request shed with 503: worker queue full",
+            vec![
+                ("workers", ctx.cfg.workers.into()),
+                ("queue", ctx.cfg.queue.into()),
+            ],
+        );
+    }
+    let mut resp = Response::error(503, "server overloaded; retry later");
+    resp.close = true;
+    finalize_response(conn, ctx, resp);
+}
+
+/// Counts and queues a response; during shutdown every response becomes
+/// the connection's last (`Connection: close`), which is how drain
+/// converges.
+fn finalize_response(conn: &mut Conn, ctx: &Ctx<'_>, mut resp: Response) {
+    if ctx.state.shutdown.load(Ordering::SeqCst) {
+        resp.close = true;
+    }
+    ctx.state.http.record_response(resp.status);
+    conn.queue_response(&resp);
+}
+
+/// Flushes what the socket will take and decides keep-vs-close.
+fn settle(conn: &mut Conn) -> Outcome {
+    if conn.has_pending_write() {
+        match conn.flush() {
+            Err(_) => return Outcome::Close,
+            Ok(true) if conn.close_after_write => return Outcome::Close,
+            Ok(_) => {}
+        }
+    } else if conn.close_after_write && !conn.in_flight {
+        return Outcome::Close;
+    }
+    if conn.peer_closed && !conn.in_flight && !conn.has_pending_write() {
+        return Outcome::Close;
+    }
+    Outcome::Keep(conn.wants())
+}
+
+/// Updates poller interest for a live connection.
+fn rearm(
+    slab: &mut Slab,
+    poller: &mut Poller,
+    idx: usize,
+    gen: usize,
+    interest: Interest,
+    token: usize,
+) {
+    if let Some(conn) = slab.get_mut(idx, gen) {
+        let fd = conn.stream.as_raw_fd();
+        let _ = poller.rearm(fd, interest, token);
+    }
+}
+
+/// Scans every connection's deadline, closing expired ones with the
+/// classified behavior (silent idle close, named `408`, write-stall
+/// close).
+fn expire_deadlines(slab: &mut Slab, poller: &mut Poller, ctx: &Ctx<'_>, now: Instant) {
+    let mut expired: Vec<(usize, DeadlineKind)> = Vec::new();
+    for idx in slab.live_indices() {
+        let gen = slab.slots[idx].0 & GEN_MASK;
+        if let Some(conn) = slab.get_mut(idx, gen) {
+            if let Some((deadline, kind)) =
+                conn.deadline(ctx.cfg.read_timeout, ctx.cfg.write_timeout)
+            {
+                if now >= deadline {
+                    expired.push((idx, kind));
+                }
+            }
+        }
+    }
+    for (idx, kind) in expired {
+        match kind {
+            DeadlineKind::Idle => {
+                ctx.state.http.record_keepalive_timeout();
+                close_conn(slab, poller, ctx, idx);
+            }
+            DeadlineKind::WriteStall => close_conn(slab, poller, ctx, idx),
+            DeadlineKind::Partial => {
+                ctx.state.http.record_request_timeout();
+                let gen = slab.slots[idx].0 & GEN_MASK;
+                if let Some(conn) = slab.get_mut(idx, gen) {
+                    let resp = unreadable(ctx.state, 408, "timed out reading request");
+                    ctx.state.http.record_response(resp.status);
+                    conn.queue_response(&resp);
+                    let _ = conn.flush(); // best effort: the peer stalled
+                }
+                close_conn(slab, poller, ctx, idx);
+            }
+        }
+    }
+}
+
+/// Unregisters, removes, and drops one connection (closing its fd).
+fn close_conn(slab: &mut Slab, poller: &mut Poller, ctx: &Ctx<'_>, idx: usize) {
+    if let Some(conn) = slab.remove(idx) {
+        let _ = poller.remove(conn.stream.as_raw_fd());
+        ctx.state.http.record_conn_closed();
+    }
+}

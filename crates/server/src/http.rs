@@ -111,6 +111,128 @@ pub enum ReadError {
     BodyTooLarge,
 }
 
+/// Incremental parse of one request from an in-memory byte buffer —
+/// the event-loop counterpart of [`read_request`].
+///
+/// Returns `Ok(None)` while the buffer holds only a prefix of a
+/// request (the caller keeps accumulating bytes), and
+/// `Ok(Some((request, consumed)))` once a full request is present;
+/// `consumed` is how many leading bytes the caller must drop. Calling
+/// again with more bytes appended is always safe: the parse is a pure
+/// function of the buffer prefix, so the result is independent of how
+/// the bytes were chunked on the wire (the fuzzer asserts this).
+///
+/// Framing and limits match [`read_request`] exactly — same request
+/// line / header / `Content-Length` rules, same [`MAX_HEAD_BYTES`] cap,
+/// same `max_body` cap — with one structural difference: errors about
+/// the head (malformed line, bad `Content-Length`) are reported only
+/// once the head terminator has arrived, because until then the bytes
+/// are still a prefix. A head that never terminates within
+/// [`MAX_HEAD_BYTES`] is [`ReadError::HeadTooLarge`].
+///
+/// # Errors
+/// [`ReadError::BadRequest`], [`ReadError::HeadTooLarge`], or
+/// [`ReadError::BodyTooLarge`]; never `Closed`/`IdleTimeout`/
+/// `Disconnected` (those are connection-level outcomes the event loop
+/// derives from socket reads, not from bytes).
+pub fn parse_request(buf: &[u8], max_body: usize) -> Result<Option<(Request, usize)>, ReadError> {
+    // Find the head terminator: an empty line, i.e. `\n` followed by an
+    // optionally-CR-prefixed `\n` (accepts CRLFCRLF, LFLF, and mixes,
+    // like the line-oriented reader).
+    let mut head_end = None;
+    for (i, pair) in buf.windows(2).enumerate() {
+        if pair == b"\n\n" {
+            head_end = Some((i + 1, i + 2)); // (head len incl. first \n, body start)
+            break;
+        }
+        if pair == b"\n\r" && buf.get(i + 2) == Some(&b'\n') {
+            head_end = Some((i + 1, i + 3));
+            break;
+        }
+        if i + 2 > MAX_HEAD_BYTES {
+            return Err(ReadError::HeadTooLarge);
+        }
+    }
+    let Some((head_len, body_start)) = head_end else {
+        // `windows(2)` sees up to buf.len()-1 positions; re-check the
+        // cap against the whole unterminated prefix.
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(ReadError::HeadTooLarge);
+        }
+        return Ok(None);
+    };
+    if head_len > MAX_HEAD_BYTES {
+        return Err(ReadError::HeadTooLarge);
+    }
+    let head = String::from_utf8_lossy(&buf[..head_len]);
+    let mut lines = head.split('\n').map(|l| l.strip_suffix('\r').unwrap_or(l));
+    let request_line = lines.next().unwrap_or("");
+    if request_line.is_empty() {
+        // A bare leading blank line is not a request; reject rather
+        // than resynchronize (the blocking reader treats the same shape
+        // as a clean close, but an event-loop peer that sent bytes at
+        // all is malformed, not closing).
+        return Err(ReadError::BadRequest("malformed request line".into()));
+    }
+    let mut parts = request_line.split_whitespace();
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) => (m, t, v),
+        _ => return Err(ReadError::BadRequest("malformed request line".into())),
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(ReadError::BadRequest("unsupported HTTP version".into()));
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target.to_string(), String::new()),
+    };
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue; // the terminator itself
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(ReadError::BadRequest("malformed header".into()));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+    let mut req = Request {
+        method: method.to_ascii_uppercase(),
+        path,
+        query,
+        headers,
+        body: Vec::new(),
+    };
+    if req
+        .header("transfer-encoding")
+        .is_some_and(|v| !v.eq_ignore_ascii_case("identity"))
+    {
+        return Err(ReadError::BadRequest(
+            "chunked transfer encoding is not supported; send Content-Length".into(),
+        ));
+    }
+    let len = content_length(&req)?;
+    if len > max_body {
+        return Err(ReadError::BodyTooLarge);
+    }
+    let available = buf.len() - body_start;
+    if available < len {
+        return Ok(None);
+    }
+    if len > 0 {
+        req.body = buf[body_start..body_start + len].to_vec();
+    }
+    Ok(Some((req, body_start + len)))
+}
+
+/// Serializes `resp` into owned bytes (the event loop's write buffer).
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    let mut out = Vec::with_capacity(resp.body.len() + 128);
+    // Writing into a Vec cannot fail.
+    let _ = write_response(&mut out, resp);
+    out
+}
+
 /// Reads one request. `max_body` bounds the accepted `Content-Length`.
 ///
 /// # Errors

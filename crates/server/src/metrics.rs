@@ -27,6 +27,9 @@ pub struct HttpCounters {
     responses_5xx: AtomicU64,
     rejected_overload: AtomicU64,
     keepalive_timeouts: AtomicU64,
+    request_timeouts: AtomicU64,
+    connections_accepted: AtomicU64,
+    connections_open: AtomicU64,
 }
 
 impl HttpCounters {
@@ -54,6 +57,28 @@ impl HttpCounters {
     /// Records one keep-alive connection closed by the read timeout.
     pub fn record_keepalive_timeout(&self) {
         self.keepalive_timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one partial request that stalled past the read timeout
+    /// (answered with a named `408`, unlike the silent idle close).
+    pub fn record_request_timeout(&self) {
+        self.request_timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one connection registered with an event loop.
+    pub fn record_conn_opened(&self) {
+        self.connections_accepted.fetch_add(1, Ordering::Relaxed);
+        self.connections_open.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one connection closed (any reason).
+    pub fn record_conn_closed(&self) {
+        self.connections_open.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Connections currently registered (the live gauge).
+    pub fn connections_open(&self) -> u64 {
+        self.connections_open.load(Ordering::Relaxed)
     }
 
     /// Total requests received so far.
@@ -135,6 +160,16 @@ pub fn render(http: &HttpCounters, live_sessions: usize) -> String {
         "Keep-alive connections closed by the idle read timeout.",
         http.keepalive_timeouts.load(Ordering::Relaxed),
     );
+    counter(
+        "questpro_http_request_timeouts_total",
+        "Partial requests that stalled past the read timeout (408).",
+        http.request_timeouts.load(Ordering::Relaxed),
+    );
+    counter(
+        "questpro_http_connections_accepted_total",
+        "Connections registered with the event loop.",
+        http.connections_accepted.load(Ordering::Relaxed),
+    );
 
     let inference = questpro_core::global_stats();
     counter(
@@ -207,6 +242,13 @@ pub fn render(http: &HttpCounters, live_sessions: usize) -> String {
 
     let _ = writeln!(
         out,
+        "# HELP questpro_http_connections_open Connections currently registered.\n\
+         # TYPE questpro_http_connections_open gauge\n\
+         questpro_http_connections_open {}",
+        http.connections_open.load(Ordering::Relaxed)
+    );
+    let _ = writeln!(
+        out,
         "# HELP questpro_sessions_live Interactive sessions currently held.\n\
          # TYPE questpro_sessions_live gauge\n\
          questpro_sessions_live {live_sessions}"
@@ -246,6 +288,10 @@ mod tests {
         http.record_response(500);
         http.record_overload();
         http.record_keepalive_timeout();
+        http.record_request_timeout();
+        http.record_conn_opened();
+        http.record_conn_opened();
+        http.record_conn_closed();
         let text = render(&http, 3);
         assert!(text.contains("questpro_http_requests_total 1"));
         assert!(text.contains("questpro_http_responses_2xx_total 1"));
@@ -253,6 +299,9 @@ mod tests {
         assert!(text.contains("questpro_http_responses_5xx_total 1"));
         assert!(text.contains("questpro_http_overload_rejections_total 1"));
         assert!(text.contains("questpro_http_keepalive_timeouts_total 1"));
+        assert!(text.contains("questpro_http_request_timeouts_total 1"));
+        assert!(text.contains("questpro_http_connections_accepted_total 2"));
+        assert!(text.contains("questpro_http_connections_open 1"));
         assert!(text.contains("questpro_sessions_live 3"));
         assert!(text.contains("questpro_engine_searches_total"));
         assert!(text.contains("questpro_inference_runs_total"));

@@ -114,6 +114,25 @@ pub const ROUTES: &[&str] = &[
     "other",
 ];
 
+/// Whether a route is cheap enough to serve directly on the event-loop
+/// thread instead of a worker: constant-time probes, metric/debug
+/// scrapes, and the shutdown flag flip. Everything that can run
+/// inference, materialize an ontology, or parse a client body goes to
+/// the worker pool so the loop never blocks on CPU-bound work.
+/// Unmatched requests (`"other"`, i.e. 404/405) are inline too — their
+/// cost is one small error envelope.
+pub fn is_inline(label: &str) -> bool {
+    matches!(
+        label,
+        "GET /healthz"
+            | "GET /metrics"
+            | "GET /debug/traces"
+            | "GET /debug/logs"
+            | "POST /shutdown"
+            | "other"
+    )
+}
+
 /// Maps a request to its [`ROUTES`] label: the dispatch arms of
 /// [`route`] with path parameters collapsed, or `"other"`.
 pub fn route_label(method: &str, path: &str) -> &'static str {

@@ -1,20 +1,18 @@
-//! The accept loop: sockets in, [`crate::router::route`] out.
+//! Server lifecycle: configuration, startup, graceful shutdown.
 //!
-//! One dedicated acceptor thread owns the (nonblocking) listener and a
-//! fixed [`ThreadPool`]; each accepted connection becomes one pool job
-//! that serves HTTP/1.1 keep-alive requests until the peer closes, a
-//! timeout fires, or shutdown begins. Load is shed at the front door:
-//! when the pool's bounded queue is full the acceptor itself writes a
-//! `503` and closes, so memory stays flat under overload.
+//! The serving machinery itself lives in [`crate::eventloop`]: one or
+//! more readiness-driven loop threads own every socket, and a fixed
+//! [`ThreadPool`] runs the CPU-bound handlers. This module binds the
+//! listener, builds the shared state, spawns the loops, and exposes the
+//! [`ServerHandle`] that joins them back.
 //!
 //! Shutdown is cooperative — there is no signal handling in a
 //! zero-dependency workspace — via [`ServerHandle::shutdown`] or
-//! `POST /shutdown`: the flag flips, the acceptor stops accepting,
-//! the pool drains queued connections, and in-flight keep-alive
-//! handlers close after their current response.
+//! `POST /shutdown`: the flag flips, loop 0 stops accepting, idle
+//! connections close immediately, in-flight requests finish and flush
+//! under a drain deadline, and the worker pool drains last.
 
-use std::io::Write;
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
@@ -23,10 +21,12 @@ use std::time::{Duration, Instant};
 
 use questpro_log::Level;
 
-use crate::http::{read_request, write_response, ReadError, Request, Response};
+use crate::eventloop::{self, LoopConfig, Mailbox};
+use crate::http::{Request, Response};
 use crate::metrics::record_route;
 use crate::pool::ThreadPool;
 use crate::router::{route, route_label, AppState};
+use crate::sys::Poller;
 
 /// Everything tunable about a server instance.
 #[derive(Debug, Clone)]
@@ -76,6 +76,16 @@ pub struct ServerConfig {
     /// registered under its file stem. A snapshot cold-load is
     /// milliseconds even at 10⁶–10⁷ triples, so startup stays fast.
     pub stores: Vec<String>,
+    /// Event-loop threads. Loop 0 owns the listener and deals accepted
+    /// sockets round-robin; each connection lives on one loop for its
+    /// whole life. One loop drives 10k+ mostly-idle connections; add
+    /// loops when parse/serialize itself saturates a core.
+    pub event_loops: usize,
+    /// Connection cap per loop; accepts beyond it shed with `503`.
+    pub max_conns: usize,
+    /// How long shutdown waits for in-flight exchanges before
+    /// force-closing, ms.
+    pub drain_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -98,16 +108,21 @@ impl Default for ServerConfig {
             log_file: None,
             slow_query_ms: 500,
             stores: Vec::new(),
+            event_loops: 1,
+            max_conns: 10_240,
+            drain_ms: 5_000,
         }
     }
 }
 
 /// A running server; dropping it without [`ServerHandle::join`] leaves
-/// the acceptor thread running detached until shutdown is requested.
+/// the loop threads running detached until shutdown is requested.
 pub struct ServerHandle {
     addr: SocketAddr,
     state: Arc<AppState>,
-    acceptor: Option<thread::JoinHandle<()>>,
+    loops: Vec<thread::JoinHandle<()>>,
+    mailboxes: Vec<Mailbox>,
+    pool: Option<Arc<ThreadPool>>,
 }
 
 impl ServerHandle {
@@ -127,17 +142,28 @@ impl ServerHandle {
         self.state.shutdown.load(Ordering::SeqCst)
     }
 
-    /// Requests graceful shutdown without waiting for it.
+    /// Requests graceful shutdown without waiting for it, ringing every
+    /// loop's waker so parked loops start their drain immediately.
     pub fn shutdown(&self) {
         self.state.shutdown.store(true, Ordering::SeqCst);
+        for m in &self.mailboxes {
+            m.waker().wake();
+        }
     }
 
-    /// Requests shutdown and waits for the acceptor (and through it the
-    /// worker pool) to drain.
+    /// Requests shutdown and waits for the loops (and then the worker
+    /// pool) to drain.
     pub fn join(mut self) {
         self.shutdown();
-        if let Some(h) = self.acceptor.take() {
+        for h in self.loops.drain(..) {
             let _ = h.join();
+        }
+        // Every loop has exited, so this handle owns the last Arc; fall
+        // back to Drop's join if a race says otherwise.
+        if let Some(pool) = self.pool.take() {
+            if let Ok(pool) = Arc::try_unwrap(pool) {
+                pool.join();
+            }
         }
     }
 }
@@ -186,112 +212,52 @@ pub fn start(cfg: &ServerConfig) -> std::io::Result<ServerHandle> {
             std::io::Error::new(std::io::ErrorKind::InvalidData, format!("{path}: {e}"))
         })?;
     }
-    let acceptor = {
-        let state = Arc::clone(&state);
-        let cfg = cfg.clone();
-        thread::Builder::new()
-            .name("questpro-acceptor".into())
-            .spawn(move || accept_loop(&listener, &state, &cfg))?
+    let loops = cfg.event_loops.max(1);
+    let pool = Arc::new(ThreadPool::new(cfg.workers, cfg.queue));
+    let loop_cfg = LoopConfig {
+        max_body: cfg.max_body,
+        read_timeout: Duration::from_millis(cfg.read_timeout_ms.max(1)),
+        write_timeout: Duration::from_millis(cfg.write_timeout_ms.max(1)),
+        drain: Duration::from_millis(cfg.drain_ms),
+        max_conns: cfg.max_conns.max(1),
+        workers: cfg.workers,
+        queue: cfg.queue,
     };
+    let mailboxes: Vec<Mailbox> = (0..loops)
+        .map(|_| Mailbox::new())
+        .collect::<std::io::Result<_>>()?;
+    let mut handles = Vec::with_capacity(loops);
+    let mut listener = Some(listener);
+    for i in 0..loops {
+        // Creating the poller here (not inside the thread) surfaces fd
+        // exhaustion as a start() error instead of a dead loop.
+        let poller = Poller::new(loop_cfg.max_conns)?;
+        let listener = if i == 0 { listener.take() } else { None };
+        let state = Arc::clone(&state);
+        let pool = Arc::clone(&pool);
+        let loop_cfg = loop_cfg.clone();
+        let mailboxes = mailboxes.clone();
+        handles.push(
+            thread::Builder::new()
+                .name(format!("questpro-loop-{i}"))
+                .spawn(move || {
+                    eventloop::run(poller, listener, &state, &pool, &loop_cfg, i, &mailboxes);
+                })?,
+        );
+    }
     Ok(ServerHandle {
         addr,
         state,
-        acceptor: Some(acceptor),
+        loops: handles,
+        mailboxes,
+        pool: Some(pool),
     })
 }
 
-fn accept_loop(listener: &TcpListener, state: &Arc<AppState>, cfg: &ServerConfig) {
-    let pool = ThreadPool::new(cfg.workers, cfg.queue);
-    while !state.shutdown.load(Ordering::SeqCst) {
-        match listener.accept() {
-            Ok((stream, _)) => {
-                if configure(&stream, cfg).is_err() {
-                    continue; // a dropped socket degrades this connection only
-                }
-                // A dup of the fd survives the job being rejected (the
-                // boxed closure, and the original stream inside it, are
-                // dropped by the failed try_send) — it is how the
-                // acceptor still answers 503 under overload.
-                let reject_half = stream.try_clone();
-                let job_state = Arc::clone(state);
-                let max_body = cfg.max_body;
-                if pool
-                    .submit(move || serve_connection(stream, &job_state, max_body))
-                    .is_err()
-                {
-                    state.http.record_overload();
-                    state.http.record_response(503);
-                    if questpro_log::enabled(Level::Warn) {
-                        questpro_log::emit(
-                            Level::Warn,
-                            "server.overload",
-                            "connection shed with 503: worker queue full",
-                            vec![("workers", cfg.workers.into()), ("queue", cfg.queue.into())],
-                        );
-                    }
-                    if let Ok(mut s) = reject_half {
-                        let mut resp = Response::error(503, "server overloaded; retry later");
-                        resp.close = true;
-                        let _ = write_response(&mut s, &resp);
-                    }
-                }
-            }
-            // Nonblocking accept: poll the shutdown flag between peers.
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                thread::sleep(Duration::from_millis(10));
-            }
-            Err(_) => thread::sleep(Duration::from_millis(10)),
-        }
-    }
-    pool.join(); // drain accepted-but-unserved connections
-}
-
-/// Accepted sockets must block (with timeouts): the listener is
-/// nonblocking, and inheritance is platform-dependent.
-fn configure(stream: &TcpStream, cfg: &ServerConfig) -> std::io::Result<()> {
-    stream.set_nonblocking(false)?;
-    stream.set_read_timeout(Some(Duration::from_millis(cfg.read_timeout_ms.max(1))))?;
-    stream.set_write_timeout(Some(Duration::from_millis(cfg.write_timeout_ms.max(1))))?;
-    stream.set_nodelay(true)
-}
-
-/// Serves one keep-alive connection until close, error, or shutdown.
-fn serve_connection(stream: TcpStream, state: &Arc<AppState>, max_body: usize) {
-    let Ok(read_half) = stream.try_clone() else {
-        return;
-    };
-    let mut reader = std::io::BufReader::new(read_half);
-    let mut writer = stream;
-    loop {
-        let mut resp = match read_request(&mut reader, max_body) {
-            Ok(req) => serve_request(state, &req),
-            Err(ReadError::Closed | ReadError::Disconnected(_)) => return,
-            Err(ReadError::IdleTimeout) => {
-                state.http.record_keepalive_timeout();
-                return;
-            }
-            Err(ReadError::BadRequest(msg)) => unreadable(state, 400, &msg),
-            Err(ReadError::HeadTooLarge) => unreadable(state, 431, "request head too large"),
-            Err(ReadError::BodyTooLarge) => unreadable(state, 413, "request body too large"),
-        };
-        if state.shutdown.load(Ordering::SeqCst) {
-            resp.close = true; // finish this response, then drain
-        }
-        state.http.record_response(resp.status);
-        // Publish this request's buffered log events before the peer
-        // can see the response, mirroring the trace-publish ordering:
-        // a follow-up /debug/logs scrape must find the access event.
-        questpro_log::flush();
-        if write_response(&mut writer, &resp).is_err() || resp.close {
-            let _ = writer.flush();
-            return;
-        }
-    }
-}
-
 /// Routes one parsed request with tracing, per-route latency metrics,
-/// and the access/slow-query logs.
-fn serve_request(state: &Arc<AppState>, req: &Request) -> Response {
+/// and the access/slow-query logs. Runs on a worker thread for
+/// CPU-bound routes, on the loop thread for inline ones.
+pub(crate) fn serve_request(state: &Arc<AppState>, req: &Request) -> Response {
     state.http.record_request();
     let started = Instant::now();
     let label = route_label(&req.method, &req.path);
@@ -380,8 +346,9 @@ fn slow_query_log(state: &AppState, label: &'static str, rec: &questpro_trace::T
     );
 }
 
-/// Counts and logs a request that could not be parsed off the wire.
-fn unreadable(state: &Arc<AppState>, status: u16, msg: &str) -> Response {
+/// Counts and logs a request that could not be parsed off the wire
+/// (or, for `408`, one whose bytes stalled past the read timeout).
+pub(crate) fn unreadable(state: &Arc<AppState>, status: u16, msg: &str) -> Response {
     state.http.record_request();
     if questpro_log::enabled(Level::Warn) {
         questpro_log::emit(
@@ -400,6 +367,7 @@ fn unreadable(state: &Arc<AppState>, status: u16, msg: &str) -> Response {
 mod tests {
     use super::*;
     use std::io::{BufRead, BufReader, Read, Write};
+    use std::net::TcpStream;
 
     fn get(addr: SocketAddr, path: &str) -> (u16, String) {
         let mut s = TcpStream::connect(addr).unwrap();

@@ -3,18 +3,22 @@
 //! Each HTTP client drives one [`InteractiveSession`] over many
 //! requests. The manager owns them behind two lock levels:
 //!
-//! * one manager-wide mutex over the id map, held only for lookups,
-//!   inserts, and eviction sweeps — never while inference runs;
+//! * the id map is **sharded** by `id % SHARDS`: a lookup, insert, or
+//!   removal locks only its own shard, so the per-request hot path
+//!   (`get`) of unrelated sessions never serializes on one map mutex
+//!   even with thousands of concurrent connections. Shard mutexes are
+//!   held only for map operations — never while inference runs;
 //! * one mutex per session, held for the duration of a single
 //!   inference step (answering a question can trigger query
 //!   evaluations), so concurrent requests against *different* sessions
 //!   never serialize on each other, while concurrent requests against
 //!   the *same* session are applied one at a time.
 //!
-//! Sessions that have not been touched for the configured idle window
-//! are evicted by the sweep that runs on every create/list — a server
-//! abandoned by its clients converges back to an empty map without a
-//! background reaper thread.
+//! `create` and `list` are the cold paths: they sweep every shard for
+//! idle eviction (and, for `create`, the global capacity check), so a
+//! server abandoned by its clients converges back to empty without a
+//! background reaper thread — same semantics as the unsharded manager,
+//! just with the contention moved off the hot path.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -35,9 +39,14 @@ pub struct SessionEntry {
     pub last_used: Instant,
 }
 
+/// Shard count; a power of two so `id % SHARDS` is a mask. Sixteen is
+/// far beyond the worker-pool width, so two workers touching different
+/// sessions almost never contend on a shard mutex.
+const SHARDS: usize = 16;
+
 /// Concurrent owner of all live sessions; see the module docs.
 pub struct SessionManager {
-    inner: Mutex<HashMap<u64, Arc<Mutex<SessionEntry>>>>,
+    shards: Vec<Mutex<HashMap<u64, Arc<Mutex<SessionEntry>>>>>,
     next_id: AtomicU64,
     idle: Duration,
     max_sessions: usize,
@@ -48,11 +57,15 @@ impl SessionManager {
     /// `max_sessions` at once.
     pub fn new(idle: Duration, max_sessions: usize) -> SessionManager {
         SessionManager {
-            inner: Mutex::new(HashMap::new()),
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
             next_id: AtomicU64::new(1),
             idle,
             max_sessions: max_sessions.max(1),
         }
+    }
+
+    fn shard(&self, id: u64) -> &Mutex<HashMap<u64, Arc<Mutex<SessionEntry>>>> {
+        &self.shards[(id as usize) % self.shards.len()]
     }
 
     /// Registers a new session and returns its id.
@@ -73,43 +86,58 @@ impl SessionManager {
             seed,
             last_used: Instant::now(),
         }));
-        let mut map = lock(&self.inner);
-        Self::evict_locked(&mut map, self.idle);
-        if map.len() >= self.max_sessions {
+        // The cold path sweeps everything: the capacity bound is global,
+        // so the check must see the post-eviction total. Shards are
+        // locked one at a time — the count can be momentarily stale
+        // against a racing create, which the old single-mutex manager
+        // prevented; the bound is a soft resource cap, not an invariant
+        // handlers rely on, so an off-by-one under a create race is an
+        // accepted trade for an uncontended hot path.
+        let mut live = 0;
+        for shard in &self.shards {
+            let mut map = lock(shard);
+            Self::evict_locked(&mut map, self.idle);
+            live += map.len();
+        }
+        if live >= self.max_sessions {
             return Err(format!(
                 "session capacity reached ({} live)",
                 self.max_sessions
             ));
         }
-        map.insert(id, entry);
+        lock(self.shard(id)).insert(id, entry);
         Ok(id)
     }
 
-    /// The session with this id, with its idle clock reset.
+    /// The session with this id, with its idle clock reset. The hot
+    /// path: locks exactly one shard, briefly.
     pub fn get(&self, id: u64) -> Option<Arc<Mutex<SessionEntry>>> {
-        let entry = lock(&self.inner).get(&id).cloned()?;
+        let entry = lock(self.shard(id)).get(&id).cloned()?;
         lock(&entry).last_used = Instant::now();
         Some(entry)
     }
 
     /// Deletes a session; `false` when the id is unknown.
     pub fn remove(&self, id: u64) -> bool {
-        lock(&self.inner).remove(&id).is_some()
+        lock(self.shard(id)).remove(&id).is_some()
     }
 
     /// Live `(id, entry)` pairs, oldest id first, after an eviction
     /// sweep.
     pub fn list(&self) -> Vec<(u64, Arc<Mutex<SessionEntry>>)> {
-        let mut map = lock(&self.inner);
-        Self::evict_locked(&mut map, self.idle);
-        let mut items: Vec<_> = map.iter().map(|(&id, e)| (id, Arc::clone(e))).collect();
+        let mut items = Vec::new();
+        for shard in &self.shards {
+            let mut map = lock(shard);
+            Self::evict_locked(&mut map, self.idle);
+            items.extend(map.iter().map(|(&id, e)| (id, Arc::clone(e))));
+        }
         items.sort_by_key(|(id, _)| *id);
         items
     }
 
     /// Number of live sessions (without sweeping).
     pub fn count(&self) -> usize {
-        lock(&self.inner).len()
+        self.shards.iter().map(|s| lock(s).len()).sum()
     }
 
     fn evict_locked(map: &mut HashMap<u64, Arc<Mutex<SessionEntry>>>, idle: Duration) {
@@ -161,5 +189,28 @@ mod tests {
         let mgr = SessionManager::new(Duration::from_secs(60), 1);
         mgr.create(a_session(), "erdos".into(), 1).unwrap();
         assert!(mgr.create(a_session(), "erdos".into(), 2).is_err());
+    }
+
+    #[test]
+    fn sessions_spread_across_shards_and_stay_reachable() {
+        // More sessions than shards: every one must remain reachable by
+        // id through the sharded lookup, and list() must see them all
+        // in id order.
+        let mgr = SessionManager::new(Duration::from_secs(60), 64);
+        let ids: Vec<u64> = (0..(SHARDS as u64 * 2))
+            .map(|i| mgr.create(a_session(), "erdos".into(), i).unwrap())
+            .collect();
+        assert_eq!(mgr.count(), ids.len());
+        for &id in &ids {
+            assert!(mgr.get(id).is_some(), "session {id} lost by sharding");
+        }
+        let listed: Vec<u64> = mgr.list().iter().map(|(id, _)| *id).collect();
+        assert_eq!(listed, ids, "list() must be complete and id-ordered");
+        let populated = mgr.shards.iter().filter(|s| !lock(s).is_empty()).count();
+        assert!(populated > 1, "consecutive ids must hit multiple shards");
+        for &id in &ids {
+            assert!(mgr.remove(id));
+        }
+        assert_eq!(mgr.count(), 0);
     }
 }

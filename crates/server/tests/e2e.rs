@@ -600,9 +600,12 @@ fn malformed_debug_logs_params_are_rejected_without_panic() {
 
 #[test]
 fn overload_sheds_and_keepalive_timeouts_hit_their_counters() {
-    // One worker, a queue of one: the worker blocks on the first idle
-    // connection until its read timeout, the queue holds the second,
-    // and every further connection is shed with 503 by the acceptor.
+    // One worker, a queue of one: of a simultaneous burst of CPU-bound
+    // /infer requests, one runs, one queues, and the event loop sheds
+    // the rest with 503 (the pool refused them). Idle connections are a
+    // separate fate entirely — the loop closes them silently at the
+    // read timeout without ever involving the pool, which is the point
+    // of the readiness architecture: idle sockets cost no worker.
     let server = start(&ServerConfig {
         addr: "127.0.0.1:0".into(),
         workers: 1,
@@ -613,25 +616,48 @@ fn overload_sheds_and_keepalive_timeouts_hit_their_counters() {
     .expect("binding an ephemeral port");
     let addr = server.addr();
 
-    let conns: Vec<TcpStream> = (0..10)
-        .map(|_| TcpStream::connect(addr).expect("connecting"))
+    // Phase 1: overload. A barrier lines the clients up so their
+    // requests land while the single worker is still busy.
+    let body = Json::obj([
+        ("ontology", Json::str("erdos")),
+        ("examples", Json::str(erdos_examples_text())),
+    ])
+    .to_text();
+    let barrier = std::sync::Arc::new(std::sync::Barrier::new(12));
+    let clients: Vec<_> = (0..12)
+        .map(|_| {
+            let body = body.clone();
+            let barrier = std::sync::Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                call(addr, "POST", "/infer", Some(&body))
+            })
+        })
         .collect();
     let mut shed = 0u64;
+    for c in clients {
+        let (status, resp) = c.join().expect("client thread");
+        match status {
+            200 => {}
+            503 => shed += 1,
+            other => panic!("unexpected status under overload: {other} {resp}"),
+        }
+    }
+    assert!(shed >= 1, "at least one request must be shed with 503");
+
+    // Phase 2: idle keep-alive connections are reclaimed silently at
+    // the read timeout (no 4xx, no response bytes at all).
+    let conns: Vec<TcpStream> = (0..5)
+        .map(|_| TcpStream::connect(addr).expect("connecting"))
+        .collect();
     let mut closed_idle = 0u64;
     for mut c in conns {
         c.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
         let mut buf = String::new();
-        if c.read_to_string(&mut buf).is_ok() {
-            if buf.starts_with("HTTP/1.1 503") {
-                shed += 1;
-            } else if buf.is_empty() {
-                // Closed without a response: the server reclaimed an
-                // idle keep-alive connection.
-                closed_idle += 1;
-            }
+        if c.read_to_string(&mut buf).is_ok() && buf.is_empty() {
+            closed_idle += 1;
         }
     }
-    assert!(shed >= 1, "at least one connection must be shed with 503");
     assert!(
         closed_idle >= 1,
         "at least one idle connection must be timed out"
@@ -769,7 +795,13 @@ fn serves_from_a_preloaded_snapshot_and_accepts_snapshot_uploads() {
         ),
     );
     assert_eq!(status, 409, "{body}");
-    assert!(body.contains("checksum mismatch"), "{body}");
+    // A last-byte flip lands in the osp permutation, validated
+    // structurally (the snapshot checksum deliberately stops at the
+    // pos section); either named rejection is a correct refusal.
+    assert!(
+        body.contains("checksum mismatch") || body.contains("bad osp section"),
+        "{body}"
+    );
     let (status, body) = call(
         addr,
         "POST",
@@ -806,4 +838,81 @@ fn startup_fails_loudly_on_a_bad_snapshot_preload() {
     };
     assert!(err.to_string().contains("bad-preload"), "{err}");
     let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn eval_is_byte_identical_under_keepalive_concurrency() {
+    // The equivalence claim at scale: with 100+ keep-alive connections
+    // hammering `/eval` concurrently through the event loop and worker
+    // pool, every response body is byte-for-byte the reference answer.
+    // The queue is sized above the connection count so nothing sheds —
+    // shedding is exercised elsewhere; this test isolates equivalence.
+    let server = start(&ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 4,
+        queue: 1024,
+        max_body: 64 * 1024,
+        ..ServerConfig::default()
+    })
+    .expect("binding an ephemeral port");
+    let addr = server.addr();
+
+    let world = Json::obj([
+        ("name", Json::str("diffworld")),
+        ("triples", Json::str("a knows b\nb knows c\nc knows a\n")),
+    ])
+    .to_text();
+    assert_eq!(call(addr, "POST", "/ontologies", Some(&world)).0, 201);
+    let eval = Json::obj([
+        ("ontology", Json::str("diffworld")),
+        ("query", Json::str("SELECT ?x WHERE { ?x :knows ?y . }")),
+    ])
+    .to_text();
+    let (status, reference) = call(addr, "POST", "/eval", Some(&eval));
+    assert_eq!(status, 200, "reference eval failed: {reference}");
+
+    const CONNS: usize = 104;
+    const REQS_PER_CONN: usize = 3;
+    let barrier = std::sync::Arc::new(std::sync::Barrier::new(CONNS));
+    let workers: Vec<_> = (0..CONNS)
+        .map(|_| {
+            let eval = eval.clone();
+            let reference = reference.clone();
+            let barrier = std::sync::Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let mut stream = TcpStream::connect(addr).expect("connecting");
+                stream
+                    .set_read_timeout(Some(Duration::from_secs(60)))
+                    .unwrap();
+                // All connections are open before any request flows:
+                // the server genuinely holds CONNS sockets at once.
+                barrier.wait();
+                let mut reader = BufReader::new(stream.try_clone().unwrap());
+                for i in 0..REQS_PER_CONN {
+                    write!(
+                        stream,
+                        "POST /eval HTTP/1.1\r\nHost: diff\r\nContent-Length: {}\r\n\r\n{eval}",
+                        eval.len()
+                    )
+                    .expect("writing a keep-alive request");
+                    let (status, body) = read_response(&mut reader);
+                    assert_eq!(status, 200, "request {i}: {body}");
+                    assert_eq!(body, reference, "request {i} diverged from reference");
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("no client thread may panic");
+    }
+
+    // The scrape proves the load was real: every connection accepted,
+    // every request answered.
+    let (status, scrape) = call(addr, "GET", "/metrics", None);
+    assert_eq!(status, 200);
+    assert!(
+        json_metric(&scrape, "questpro_http_connections_accepted_total") >= CONNS as u64,
+        "all keep-alive connections must be accepted"
+    );
+    server.join();
 }

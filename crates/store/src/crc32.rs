@@ -22,7 +22,7 @@
 
 const POLY: u32 = 0xEDB8_8320;
 
-const TABLES: [[u32; 256]; 32] = build_tables();
+static TABLES: [[u32; 256]; 32] = build_tables();
 
 const fn build_tables() -> [[u32; 256]; 32] {
     let mut t = [[0u32; 256]; 32];

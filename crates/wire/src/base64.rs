@@ -95,7 +95,7 @@ fn sextet(b: u8) -> Option<u32> {
 /// Any deviation from the strict grammar yields a [`Base64Error`].
 pub fn decode(s: &str) -> Result<Vec<u8>, Base64Error> {
     let bytes = s.as_bytes();
-    if bytes.len() % 4 != 0 {
+    if !bytes.len().is_multiple_of(4) {
         return Err(Base64Error::BadLength { len: bytes.len() });
     }
     let mut out = Vec::with_capacity(bytes.len() / 4 * 3);
@@ -114,15 +114,15 @@ pub fn decode(s: &str) -> Result<Vec<u8>, Base64Error> {
         match pad {
             0 => {
                 let mut n = 0u32;
-                for i in 0..4 {
-                    n = (n << 6) | sextet(chunk[i]).ok_or_else(|| bad(i))?;
+                for (i, &b) in chunk.iter().enumerate() {
+                    n = (n << 6) | sextet(b).ok_or_else(|| bad(i))?;
                 }
                 out.extend_from_slice(&[(n >> 16) as u8, (n >> 8) as u8, n as u8]);
             }
             1 => {
                 let mut n = 0u32;
-                for i in 0..3 {
-                    n = (n << 6) | sextet(chunk[i]).ok_or_else(|| bad(i))?;
+                for (i, &b) in chunk.iter().take(3).enumerate() {
+                    n = (n << 6) | sextet(b).ok_or_else(|| bad(i))?;
                 }
                 if n & 0b11 != 0 {
                     return Err(Base64Error::BadPadding);
@@ -131,8 +131,8 @@ pub fn decode(s: &str) -> Result<Vec<u8>, Base64Error> {
             }
             2 => {
                 let mut n = 0u32;
-                for i in 0..2 {
-                    n = (n << 6) | sextet(chunk[i]).ok_or_else(|| bad(i))?;
+                for (i, &b) in chunk.iter().take(2).enumerate() {
+                    n = (n << 6) | sextet(b).ok_or_else(|| bad(i))?;
                 }
                 if n & 0b1111 != 0 {
                     return Err(Base64Error::BadPadding);

@@ -87,3 +87,39 @@ done
 if [[ "$flagged" == 0 ]]; then
   echo "ok — no report row was flagged valid_parallel: false"
 fi
+
+# Multi-core speedup gate: on a host with real parallelism, adding
+# threads (up to the core count) must not make the hot path slower —
+# a regression in the work-stealing pool would show up exactly here.
+# On a single-CPU host the sweep has one meaningful row and the gate
+# is vacuous, so it reports itself skipped rather than pretending the
+# 1-thread wall proves anything about scaling.
+python3 - "$out" <<'PY'
+import json, sys
+report = json.load(open(sys.argv[1]))
+cpus = report["config"]["host_cpus"]
+if cpus < 2:
+    print(f"skip — monotone thread-speedup gate needs >1 CPU (host has {cpus});")
+    print("       rerun scripts/bench.sh on a multi-core host for citable scaling")
+    sys.exit(0)
+TOLERANCE = 1.15  # 15% noise allowance between adjacent thread counts
+bad = []
+by_query = {}
+for row in report["runs"]:
+    if row["threads"] <= cpus:
+        by_query.setdefault(row["query"], []).append((row["threads"], row["wall_ms"]))
+for query, rows in sorted(by_query.items()):
+    rows.sort()
+    for (t_prev, wall_prev), (t_next, wall_next) in zip(rows, rows[1:]):
+        if wall_next > wall_prev * TOLERANCE:
+            bad.append(
+                f"{query}: {t_next} threads ({wall_next:.1f} ms) slower than "
+                f"{t_prev} threads ({wall_prev:.1f} ms)"
+            )
+if bad:
+    print("monotone thread-speedup gate FAILED:")
+    for line in bad:
+        print("  " + line)
+    sys.exit(1)
+print(f"ok — thread speedup monotone (within {(TOLERANCE-1)*100:.0f}%) up to {cpus} threads")
+PY

@@ -1,0 +1,109 @@
+#!/usr/bin/env bash
+# Benchmarks the event-loop server core at 10k concurrent keep-alive
+# connections and writes BENCH_8.json.
+#
+# Unlike scripts/loadgen.sh (in-process server, thread-per-client),
+# this runs `questpro serve` and the multiplexed loadgen driver as TWO
+# processes: at 10k connections each side holds 10k sockets, and the
+# host's 20k fd limit only fits that when server and client split the
+# budget. The driver is closed-loop (one request in flight per
+# connection) so every connection is continuously active — idle
+# keep-alive expiry stays out of the measurement by construction, and
+# the throughput number is the server's sustained capacity.
+#
+#   scripts/bench8.sh [OUT.json]
+#
+# Env:
+#   BENCH8_CONNECTIONS  concurrent connections (default 10000).
+#   BENCH8_REQUESTS     requests per connection (default 5).
+#   BENCH8_TINY=1       smoke mode: 1000 connections x 2 requests (CI).
+#
+# Gates (the script fails on any):
+#   - every connection establishes, zero errors, zero body mismatches
+#     (checked inside loadgen);
+#   - POST /shutdown drains the server process cleanly;
+#   - throughput >= 5x the committed BENCH_2 baseline on this host.
+set -euo pipefail
+caller_dir="$PWD"
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_8.json}"
+[[ "$out" == /* ]] || out="$caller_dir/$out"
+
+conns="${BENCH8_CONNECTIONS:-10000}"
+reqs="${BENCH8_REQUESTS:-5}"
+if [[ "${BENCH8_TINY:-0}" == "1" ]]; then
+  conns=1000
+  reqs=2
+fi
+
+# Both processes need headroom beyond their socket count.
+ulimit -n "$(ulimit -Hn)" 2>/dev/null || true
+need=$((conns + 512))
+have="$(ulimit -n)"
+if [[ "$have" != "unlimited" && "$have" -lt "$need" ]]; then
+  echo "bench8: fd limit $have < $need; raise ulimit -n or lower BENCH8_CONNECTIONS" >&2
+  exit 1
+fi
+
+echo "== building questpro + loadgen (release) =="
+cargo build --release --offline -p questpro-cli -p questpro-bench --bin questpro --bin loadgen
+
+srvlog="$(mktemp "${TMPDIR:-/tmp}/bench8-serve.XXXXXX")"
+./target/release/questpro serve --addr 127.0.0.1:0 --workers 2 \
+  --queue "$((conns * 2))" --max-conns "$((conns + 200))" 2> "$srvlog" &
+srv=$!
+trap 'kill "$srv" 2>/dev/null || true; rm -f "$srvlog"' EXIT
+
+addr=""
+for _ in $(seq 100); do
+  addr="$(sed -n 's#.*listening on http://##p' "$srvlog" | head -n 1)"
+  [[ -n "$addr" ]] && break
+  sleep 0.1
+done
+if [[ -z "$addr" ]]; then
+  echo "bench8: server never reported its address:" >&2
+  cat "$srvlog" >&2
+  exit 1
+fi
+echo "== server up on $addr; driving $conns connections x $reqs requests =="
+
+./target/release/loadgen --connections "$conns" --requests "$reqs" \
+  --route eval --connect "$addr" --bench8 "$out"
+
+# Drain gate: the server must shut down cleanly while we watch.
+host="${addr%:*}"
+port="${addr##*:}"
+exec 3<>"/dev/tcp/$host/$port"
+printf 'POST /shutdown HTTP/1.1\r\nHost: bench8\r\nConnection: close\r\nContent-Length: 0\r\n\r\n' >&3
+cat <&3 > /dev/null || true
+exec 3<&- 3>&-
+if ! wait "$srv"; then
+  echo "bench8: server exited uncleanly after drain" >&2
+  exit 1
+fi
+trap 'rm -f "$srvlog"' EXIT
+echo "ok — server drained cleanly on POST /shutdown"
+
+python3 -m json.tool "$out" > /dev/null
+echo "ok — $out is well-formed JSON"
+
+# Throughput gate against the committed thread-mode baseline: the
+# event-loop core must beat 5x BENCH_2's rps on the same host. (The
+# routes differ — /eval here vs /infer there — because the point of
+# B8 is connection scalability, not inference speed; BENCH_8.json
+# records both configs so the comparison is auditable.)
+python3 - "$out" <<'PY'
+import json, sys
+b8 = json.load(open(sys.argv[1]))
+rps = b8["totals"]["throughput_rps"]
+try:
+    base = json.load(open("BENCH_2.json"))["totals"]["throughput_rps"]
+except FileNotFoundError:
+    print(f"no BENCH_2.json baseline; measured {rps:.1f} rps (gate skipped)")
+    sys.exit(0)
+need = 5.0 * base
+assert rps >= need, f"throughput {rps:.1f} rps < 5x BENCH_2 baseline ({need:.1f})"
+assert b8["totals"]["errors"] == 0, "errors in the B8 run"
+assert b8["identical_to_reference"], "response bodies diverged"
+print(f"ok — {rps:.1f} rps >= 5x BENCH_2 baseline ({need:.1f})")
+PY
