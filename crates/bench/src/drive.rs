@@ -204,7 +204,7 @@ pub fn run(cfg: &DriveConfig) -> io::Result<DriveReport> {
                 continue;
             }
             if ev.error {
-                kill(conn, &mut poller, &mut report, &mut resolved);
+                kill(conn, i, &mut idle, &mut poller, &mut report, &mut resolved);
                 continue;
             }
             if ev.writable && conn.wpos.is_some() {
@@ -215,12 +215,12 @@ pub fn run(cfg: &DriveConfig) -> io::Result<DriveReport> {
                     Ok(eof) => {
                         settle_responses(conn, i, cfg, &mut report, &mut resolved, &mut idle);
                         if eof {
-                            kill(conn, &mut poller, &mut report, &mut resolved);
+                            kill(conn, i, &mut idle, &mut poller, &mut report, &mut resolved);
                             continue;
                         }
                     }
                     Err(_) => {
-                        kill(conn, &mut poller, &mut report, &mut resolved);
+                        kill(conn, i, &mut idle, &mut poller, &mut report, &mut resolved);
                         continue;
                     }
                 }
@@ -364,14 +364,29 @@ fn rearm(conn: &mut Conn, token: usize, want: Interest, poller: &mut Poller) {
     }
 }
 
-/// Retires a connection: deregisters it and charges any in-flight
-/// request as an error.
-fn kill(conn: &mut Conn, poller: &mut Poller, report: &mut DriveReport, resolved: &mut usize) {
+/// Retires a connection: deregisters it, purges it from the idle pool,
+/// and charges any in-flight request as an error.
+fn kill(
+    conn: &mut Conn,
+    token: usize,
+    idle: &mut Vec<usize>,
+    poller: &mut Poller,
+    report: &mut DriveReport,
+    resolved: &mut usize,
+) {
     if conn.dead {
         return;
     }
     conn.dead = true;
     poller.remove(conn.stream.as_raw_fd()).ok();
+    // When a response and the peer's FIN arrive in one event batch,
+    // settle_responses has already returned this token to the idle
+    // pool; left there, a dispatcher would arm a request on the dead
+    // socket — a request that can never resolve — and stall the run
+    // to its wall-clock deadline.
+    if let Some(pos) = idle.iter().position(|&x| x == token) {
+        idle.swap_remove(pos);
+    }
     if conn.t0.take().is_some() {
         report.errors += 1;
         *resolved += 1;
@@ -386,9 +401,58 @@ mod tests {
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Arc;
 
-    /// A keep-alive stub server: every request gets `body`, except
-    /// each connection's `die_after`-th request, after which the stub
-    /// hangs up without answering.
+    /// Serves one stub connection: every request gets `body`, except
+    /// the `die_after`-th request, after which the stub hangs up
+    /// without answering.
+    fn serve_stub_conn(
+        stream: TcpStream,
+        body: &'static str,
+        die_after: Option<usize>,
+        counter: &AtomicUsize,
+    ) {
+        let mut writer = stream.try_clone().expect("cloning the stub socket");
+        let mut reader = BufReader::new(stream);
+        let mut answered = 0usize;
+        loop {
+            // Read one request head + declared body.
+            let mut line = String::new();
+            if reader.read_line(&mut line).map_or(true, |n| n == 0) {
+                return;
+            }
+            let mut content_length = 0usize;
+            loop {
+                let mut header = String::new();
+                if reader.read_line(&mut header).map_or(true, |n| n == 0) {
+                    return;
+                }
+                let header = header.trim_end();
+                if header.is_empty() {
+                    break;
+                }
+                if let Some(v) = header.to_ascii_lowercase().strip_prefix("content-length:") {
+                    content_length = v.trim().parse().unwrap_or(0);
+                }
+            }
+            let mut body_buf = vec![0u8; content_length];
+            if reader.read_exact(&mut body_buf).is_err() {
+                return;
+            }
+            if die_after.is_some_and(|n| answered >= n) {
+                return; // hang up with the request unanswered
+            }
+            let resp = format!(
+                "HTTP/1.1 200 OK\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len()
+            );
+            if writer.write_all(resp.as_bytes()).is_err() {
+                return;
+            }
+            answered += 1;
+            counter.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    /// A keep-alive stub server; `die_after` applies per connection.
     fn stub(body: &'static str, die_after: Option<usize>) -> (SocketAddr, Arc<AtomicUsize>) {
         let listener = TcpListener::bind("127.0.0.1:0").expect("binding the stub");
         let addr = listener.local_addr().unwrap();
@@ -398,50 +462,7 @@ mod tests {
             for stream in listener.incoming() {
                 let Ok(stream) = stream else { break };
                 let counter = Arc::clone(&counter);
-                std::thread::spawn(move || {
-                    let mut writer = stream.try_clone().expect("cloning the stub socket");
-                    let mut reader = BufReader::new(stream);
-                    let mut answered = 0usize;
-                    loop {
-                        // Read one request head + declared body.
-                        let mut line = String::new();
-                        if reader.read_line(&mut line).map_or(true, |n| n == 0) {
-                            return;
-                        }
-                        let mut content_length = 0usize;
-                        loop {
-                            let mut header = String::new();
-                            if reader.read_line(&mut header).map_or(true, |n| n == 0) {
-                                return;
-                            }
-                            let header = header.trim_end();
-                            if header.is_empty() {
-                                break;
-                            }
-                            if let Some(v) =
-                                header.to_ascii_lowercase().strip_prefix("content-length:")
-                            {
-                                content_length = v.trim().parse().unwrap_or(0);
-                            }
-                        }
-                        let mut body_buf = vec![0u8; content_length];
-                        if reader.read_exact(&mut body_buf).is_err() {
-                            return;
-                        }
-                        if die_after.is_some_and(|n| answered >= n) {
-                            return; // hang up with the request unanswered
-                        }
-                        let resp = format!(
-                            "HTTP/1.1 200 OK\r\nContent-Length: {}\r\n\r\n{body}",
-                            body.len()
-                        );
-                        if writer.write_all(resp.as_bytes()).is_err() {
-                            return;
-                        }
-                        answered += 1;
-                        counter.fetch_add(1, Ordering::SeqCst);
-                    }
-                });
+                std::thread::spawn(move || serve_stub_conn(stream, body, die_after, &counter));
             }
         });
         (addr, served)
@@ -510,6 +531,72 @@ mod tests {
         assert!(
             started.elapsed() >= Duration::from_millis(80),
             "open loop finished implausibly fast: {:?}",
+            started.elapsed()
+        );
+    }
+
+    #[test]
+    fn open_loop_purges_dead_connections_from_the_idle_pool() {
+        // The first accepted connection answers one request and closes
+        // immediately, so its response and FIN reach the driver in one
+        // event batch: settle_responses returns the token to the idle
+        // pool, then the EOF kills the connection. The second
+        // connection serves forever. If the kill leaves the stale
+        // token in the pool, the next open-loop arrival is armed on
+        // the dead socket and can never resolve, and — with a live
+        // peer still around — the run rides the full wall-clock
+        // deadline instead of finishing in milliseconds.
+        let listener = TcpListener::bind("127.0.0.1:0").expect("binding the stub");
+        let addr = listener.local_addr().unwrap();
+        std::thread::spawn(move || {
+            let mut first = true;
+            for stream in listener.incoming() {
+                let Ok(mut stream) = stream else { break };
+                if first {
+                    first = false;
+                    std::thread::spawn(move || {
+                        let mut seen = Vec::new();
+                        let mut buf = [0u8; 1024];
+                        while !seen.windows(4).any(|w| w == b"\r\n\r\n") {
+                            match stream.read(&mut buf) {
+                                Ok(0) | Err(_) => return,
+                                Ok(n) => seen.extend_from_slice(&buf[..n]),
+                            }
+                        }
+                        let _ = stream.write_all(b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nok");
+                        // drop closes: the FIN rides right behind the
+                        // response bytes
+                    });
+                } else {
+                    std::thread::spawn(move || {
+                        serve_stub_conn(stream, "ok", None, &AtomicUsize::new(0));
+                    });
+                }
+            }
+        });
+        let started = Instant::now();
+        let report = run(&DriveConfig {
+            addr,
+            connections: 2,
+            request: a_request(),
+            total_requests: 8,
+            rate: Some(100.0),
+            expect_body: None,
+            timeout: Duration::from_secs(10),
+        })
+        .expect("driving the stub");
+        assert_eq!(
+            report.ok + report.errors,
+            8,
+            "every request must resolve: {report:?}"
+        );
+        assert!(
+            report.ok >= 7,
+            "the surviving connection carries the load: {report:?}"
+        );
+        assert!(
+            started.elapsed() < Duration::from_secs(6),
+            "a dead idle-pool entry must not stall the run: {:?}",
             started.elapsed()
         );
     }

@@ -25,9 +25,10 @@ USAGE:
                     (without --target the questions are asked on stdin)
   questpro diagnose --ontology FILE --examples FILE
   questpro serve    [--port N | --addr HOST:PORT] [--workers N] [--queue N]
-                    [--event-loops N] [--max-conns N] [--threads N|auto]
-                    [--max-sessions N] [--idle-secs N] [--log-file FILE]
-                    [--log-level LEVEL] [--slow-ms N] [--store FILE]
+                    [--event-loops N] [--max-conns N] [--read-timeout-ms N]
+                    [--threads N|auto] [--max-sessions N] [--idle-secs N]
+                    [--log-file FILE] [--log-level LEVEL] [--slow-ms N]
+                    [--store FILE]
                     (HTTP/JSON service; stops on POST /shutdown or terminal EOF;
                     --store preloads a binary snapshot into the registry)
   questpro store    build (--world <erdos|sp2b|bsbm|movies> [--scale N] [--seed N]
@@ -236,6 +237,8 @@ pub struct ServeArgs {
     pub event_loops: usize,
     /// Maximum concurrently open connections across all loops.
     pub max_conns: usize,
+    /// Socket read timeout, ms; also caps keep-alive idle time.
+    pub read_timeout_ms: u64,
     /// Default inference threads per request.
     pub threads: usize,
     /// Maximum live interactive sessions.
@@ -391,6 +394,7 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
                 queue: flags.num("queue", 64)?.max(1) as usize,
                 event_loops: flags.num("event-loops", 1)?.max(1) as usize,
                 max_conns: flags.num("max-conns", 10_240)?.max(1) as usize,
+                read_timeout_ms: flags.num("read-timeout-ms", 5_000)?.max(1),
                 threads: flags.threads("threads")?,
                 max_sessions: flags.num("max-sessions", 64)?.max(1) as usize,
                 idle_secs: flags.num("idle-secs", 1_800)?.max(1),
@@ -548,6 +552,7 @@ const KNOWN_FLAGS: &[(&str, &[&str])] = &[
             "queue",
             "event-loops",
             "max-conns",
+            "read-timeout-ms",
             "threads",
             "max-sessions",
             "idle-secs",
@@ -838,6 +843,7 @@ mod tests {
                 assert_eq!(s.queue, 64);
                 assert_eq!(s.event_loops, 1);
                 assert_eq!(s.max_conns, 10_240);
+                assert_eq!(s.read_timeout_ms, 5_000);
             }
             other => panic!("wrong command {other:?}"),
         }
@@ -846,11 +852,15 @@ mod tests {
             Command::Serve(s) => assert_eq!(s.addr, "0.0.0.0:80", "--addr wins"),
             other => panic!("wrong command {other:?}"),
         }
-        let cmd = parse(&argv("serve --event-loops 4 --max-conns 20000")).unwrap();
+        let cmd = parse(&argv(
+            "serve --event-loops 4 --max-conns 20000 --read-timeout-ms 60000",
+        ))
+        .unwrap();
         match cmd {
             Command::Serve(s) => {
                 assert_eq!(s.event_loops, 4);
                 assert_eq!(s.max_conns, 20_000);
+                assert_eq!(s.read_timeout_ms, 60_000);
             }
             other => panic!("wrong command {other:?}"),
         }

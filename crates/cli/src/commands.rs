@@ -938,6 +938,7 @@ pub mod serve {
             queue: args.queue,
             event_loops: args.event_loops,
             max_conns: args.max_conns,
+            read_timeout_ms: args.read_timeout_ms,
             threads: args.threads,
             max_sessions: args.max_sessions,
             session_idle_secs: args.idle_secs,
@@ -1003,6 +1004,7 @@ pub mod serve {
                 queue: 8,
                 event_loops: 1,
                 max_conns: 64,
+                read_timeout_ms: 5_000,
                 threads: 1,
                 max_sessions: 4,
                 idle_secs: 60,

@@ -25,7 +25,10 @@
 //! * **partial** — a request started but its bytes stalled (slow-loris):
 //!   a named `408` response, counted separately. The clock runs from
 //!   the *first* byte of the request, not the latest one, so trickling
-//!   one header byte per interval cannot hold a connection open;
+//!   one header byte per interval cannot hold a connection open. For a
+//!   pipelined tail buffered behind an in-flight request the clock
+//!   re-bases when that request completes — time spent waiting on our
+//!   own worker pool is never charged to the peer;
 //! * **write-stall** — the peer stopped draining our response: closed
 //!   silently once the write timeout elapses.
 
@@ -157,6 +160,21 @@ impl Conn {
                 Ok(Some(req))
             }
             None => Ok(None),
+        }
+    }
+
+    /// Marks the in-flight request complete and re-bases the
+    /// partial-request clock for any buffered follow-up bytes: reads
+    /// are masked off while a request runs, so a pipelined tail could
+    /// not make parse progress no matter how fast the peer sent it.
+    /// Counting that span against the peer would 408 a connection
+    /// whose only sin was waiting on a slow inference; the slow-loris
+    /// guarantee still holds because the re-based clock never refreshes
+    /// on later trickled bytes.
+    pub fn complete_in_flight(&mut self, now: Instant) {
+        self.in_flight = false;
+        if !self.rbuf.is_empty() {
+            self.request_started = Some(now);
         }
     }
 
@@ -323,6 +341,53 @@ mod tests {
         conn.queue_response(&Response::text(200, "ok"));
         let (_, kind) = conn.deadline(rt, wt).unwrap();
         assert_eq!(kind, DeadlineKind::WriteStall);
+    }
+
+    #[test]
+    fn completing_in_flight_rebases_the_pipelined_tail_clock() {
+        let (mut client, server) = pair();
+        let mut conn = Conn::new(server, Instant::now());
+        let rt = Duration::from_secs(5);
+        let wt = Duration::from_secs(7);
+
+        // A full request plus a pipelined partial tail arrive together.
+        client
+            .write_all(b"GET /a HTTP/1.1\r\n\r\nGET /b HT")
+            .unwrap();
+        client.flush().unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+        conn.on_readable(Instant::now()).unwrap();
+        let dispatch = Instant::now();
+        let req = conn.take_request(1024).unwrap().expect("first request");
+        assert_eq!(req.path, "/a");
+        conn.in_flight = true;
+
+        // The request runs a while (a slow inference is explicitly
+        // supported), then completes: the tail's partial clock must
+        // start at completion, not at dispatch, or the follow-up would
+        // be 408'd instantly at the next deadline scan.
+        std::thread::sleep(Duration::from_millis(30));
+        let completion = Instant::now();
+        conn.complete_in_flight(completion);
+        let (dl, kind) = conn.deadline(rt, wt).unwrap();
+        assert_eq!(kind, DeadlineKind::Partial);
+        assert!(
+            dl >= completion + rt,
+            "partial deadline must be measured from completion"
+        );
+        assert!(dl >= dispatch + rt);
+
+        // With nothing buffered, completion leaves no partial clock.
+        client.write_all(b"TP/1.1\r\n\r\n").unwrap();
+        client.flush().unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+        conn.on_readable(Instant::now()).unwrap();
+        let req = conn.take_request(1024).unwrap().expect("second request");
+        assert_eq!(req.path, "/b");
+        conn.in_flight = true;
+        conn.complete_in_flight(Instant::now());
+        let (_, kind) = conn.deadline(rt, wt).unwrap();
+        assert_eq!(kind, DeadlineKind::Idle, "empty buffer means idle");
     }
 
     #[test]

@@ -84,7 +84,8 @@ pub struct LoopConfig {
     pub write_timeout: Duration,
     /// How long shutdown waits for in-flight exchanges to finish.
     pub drain: Duration,
-    /// Connection cap per loop; beyond it accepts shed with `503`.
+    /// Connection cap per loop (the server deals the global cap out
+    /// evenly); beyond it accepts shed with `503`.
     pub max_conns: usize,
     /// Worker-pool size (reported in overload logs).
     pub workers: usize,
@@ -409,7 +410,7 @@ fn drain_completions(slab: &mut Slab, poller: &mut Poller, ctx: &Ctx<'_>) {
         let Some(conn) = slab.get_mut(idx, gen) else {
             continue; // connection closed while the request ran: drop
         };
-        conn.in_flight = false;
+        conn.complete_in_flight(Instant::now());
         finalize_response(conn, ctx, resp);
         pump_requests(conn, token, ctx); // pipelined follow-ups
         match settle(conn) {

@@ -26,7 +26,7 @@ use crate::http::{Request, Response};
 use crate::metrics::record_route;
 use crate::pool::ThreadPool;
 use crate::router::{route, route_label, AppState};
-use crate::sys::Poller;
+use crate::sys::{self, Poller};
 
 /// Everything tunable about a server instance.
 #[derive(Debug, Clone)]
@@ -81,7 +81,10 @@ pub struct ServerConfig {
     /// whole life. One loop drives 10k+ mostly-idle connections; add
     /// loops when parse/serialize itself saturates a core.
     pub event_loops: usize,
-    /// Connection cap per loop; accepts beyond it shed with `503`.
+    /// Maximum concurrently open connections across all loops; accepts
+    /// beyond it shed with `503`. Each loop enforces an even share
+    /// (`ceil(max_conns / event_loops)`), which round-robin dealing
+    /// keeps balanced.
     pub max_conns: usize,
     /// How long shutdown waits for in-flight exchanges before
     /// force-closing, ms.
@@ -191,6 +194,17 @@ pub fn start(cfg: &ServerConfig) -> std::io::Result<ServerHandle> {
     }
     let listener = TcpListener::bind(&cfg.addr)?;
     listener.set_nonblocking(true)?;
+    // std listens with a backlog of 128; a fleet connecting in one
+    // burst overflows that, drops SYNs, and stalls each dropped client
+    // ~1s on retransmit — long enough for the first accepted
+    // connections to hit the idle read timeout before the fleet is up.
+    // Widen to the connection cap (kernel-clamped to somaxconn) so
+    // handshake bursts queue instead of stalling; best-effort, since a
+    // narrow backlog only degrades connect latency, not correctness.
+    {
+        use std::os::unix::io::AsRawFd;
+        let _ = sys::widen_listen_backlog(listener.as_raw_fd(), cfg.max_conns.max(128));
+    }
     let addr = listener.local_addr()?;
     let mut state = AppState::new(
         cfg.threads,
@@ -219,7 +233,9 @@ pub fn start(cfg: &ServerConfig) -> std::io::Result<ServerHandle> {
         read_timeout: Duration::from_millis(cfg.read_timeout_ms.max(1)),
         write_timeout: Duration::from_millis(cfg.write_timeout_ms.max(1)),
         drain: Duration::from_millis(cfg.drain_ms),
-        max_conns: cfg.max_conns.max(1),
+        // The configured cap is global; each loop enforces its even
+        // share so `--event-loops N` does not multiply the limit.
+        max_conns: cfg.max_conns.max(1).div_ceil(loops),
         workers: cfg.workers,
         queue: cfg.queue,
     };

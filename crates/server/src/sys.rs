@@ -88,16 +88,26 @@ mod backend {
     const EPOLLRDHUP: u32 = 0x2000;
     const EPOLL_CLOEXEC: i32 = 0o2000000;
 
-    /// Mirrors `struct epoll_event` with the packed layout the x86-64
-    /// ABI uses. On other architectures the kernel struct is aligned,
-    /// but the packed form is accepted there too via the syscall ABI —
-    /// glibc uses the same definition everywhere.
-    #[repr(C, packed)]
+    /// Mirrors `struct epoll_event`, whose layout is per-architecture:
+    /// the kernel (and glibc, via `__EPOLL_PACKED`) packs it **only on
+    /// x86-64** (12 bytes, `data` at offset 4); everywhere else it has
+    /// natural alignment (16 bytes, `data` at offset 8). Matching the
+    /// ABI exactly matters: `epoll_wait` writes `n` kernel-sized
+    /// entries into our buffer, so a mismatched size would overflow it,
+    /// and `epoll_ctl` would read the token from the wrong offset.
+    #[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+    #[cfg_attr(not(target_arch = "x86_64"), repr(C))]
     #[derive(Clone, Copy)]
     struct EpollEvent {
         events: u32,
         data: u64,
     }
+
+    // Pin the ABI-dependent size so a layout regression fails to
+    // compile instead of corrupting memory at runtime.
+    const _: () = assert!(
+        std::mem::size_of::<EpollEvent>() == if cfg!(target_arch = "x86_64") { 12 } else { 16 }
+    );
 
     extern "C" {
         fn epoll_create1(flags: i32) -> i32;
@@ -476,6 +486,32 @@ impl Poller {
     }
 }
 
+/// Widens the kernel accept backlog of an already-listening socket.
+///
+/// `std::net::TcpListener::bind` listens with a fixed backlog of 128.
+/// When a client fleet connects in one burst, the overflow SYNs are
+/// dropped and each affected client stalls for its ~1s retransmit
+/// timeout — long enough at a few hundred simultaneous connects for
+/// the earliest accepted connections to sit idle past the keep-alive
+/// read timeout before the fleet is even established. POSIX allows
+/// `listen(2)` on an already-listening socket to simply update the
+/// backlog, so this widens it in place; the kernel still clamps the
+/// value to `net.core.somaxconn`.
+///
+/// # Errors
+/// Propagates the `listen` failure (e.g. the fd is not listening).
+pub fn widen_listen_backlog(fd: RawFd, backlog: usize) -> io::Result<()> {
+    extern "C" {
+        fn listen(fd: i32, backlog: i32) -> i32;
+    }
+    // SAFETY: plain-integer syscall on a caller-owned fd; no pointers.
+    let rc = unsafe { listen(fd, i32::try_from(backlog).unwrap_or(i32::MAX)) };
+    if rc < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(())
+}
+
 /// A cloneable doorbell: ring it from any thread to wake a poller that
 /// registered [`Waker::raw_fd`] for read interest.
 #[derive(Clone)]
@@ -589,6 +625,20 @@ mod tests {
         let mut events = Vec::new();
         poller.wait(0, &mut events).unwrap();
         assert!(events.is_empty(), "drained waker must go quiet");
+    }
+
+    #[test]
+    fn widen_listen_backlog_accepts_listeners_and_rejects_streams() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        widen_listen_backlog(listener.as_raw_fd(), 4096).expect("relisten widens the backlog");
+
+        // A connected stream is not listening; listen(2) must refuse.
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server_side, _) = listener.accept().unwrap();
+        widen_listen_backlog(client.as_raw_fd(), 4096)
+            .expect_err("a connected socket cannot listen");
+        drop(server_side);
     }
 
     #[test]

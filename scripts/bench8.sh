@@ -49,8 +49,13 @@ echo "== building questpro + loadgen (release) =="
 cargo build --release --offline -p questpro-cli -p questpro-bench --bin questpro --bin loadgen
 
 srvlog="$(mktemp "${TMPDIR:-/tmp}/bench8-serve.XXXXXX")"
+# --read-timeout-ms 60000: establishing the fleet takes a while at
+# 10k connections, and the default 5s keep-alive idle timeout must not
+# reap early-connected sockets before the drive starts — idle expiry
+# stays out of the measurement by construction, as promised above.
 ./target/release/questpro serve --addr 127.0.0.1:0 --workers 2 \
-  --queue "$((conns * 2))" --max-conns "$((conns + 200))" 2> "$srvlog" &
+  --queue "$((conns * 2))" --max-conns "$((conns + 200))" \
+  --read-timeout-ms 60000 2> "$srvlog" &
 srv=$!
 trap 'kill "$srv" 2>/dev/null || true; rm -f "$srvlog"' EXIT
 
