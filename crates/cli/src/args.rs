@@ -37,6 +37,10 @@ USAGE:
                     --scale streams triples straight into the encoder)
   questpro store    inspect --file FILE
                     (print snapshot version, section table, and store counts)
+  questpro update   --store IN.qps --batch FILE.json --out OUT.qps
+                    (apply a batched triple update — JSON {\"insert\": [[s,p,o]...],
+                    \"delete\": [...]} — to a binary snapshot, copy-on-write;
+                    the result is byte-identical to a from-scratch build)
   questpro trace    (--world <sp2b|bsbm|movies> [--query-id ID]
                     | --ontology FILE --query FILE)
                     [--examples N] [--k N] [--seed N] [--threads N|auto] [--refine]
@@ -48,7 +52,7 @@ USAGE:
                     [--limit N]
                     (tail/filter a JSON-lines event log written by
                     `serve --log-file`; LEVEL is trace|debug|info|warn|error)
-  questpro fuzz     (--surface <wire|sparql|triples|http|store> | --all)
+  questpro fuzz     (--surface <wire|sparql|triples|http|store|update> | --all)
                     [--seed N] [--iters N]
                     (deterministic fuzzing of the input parsers; exits
                     non-zero on any panic or oracle violation)
@@ -87,6 +91,22 @@ pub enum Command {
     Fuzz(FuzzArgs),
     /// `questpro store` (build or inspect a binary snapshot).
     Store(StoreCommand),
+    /// `questpro update` (apply a triple batch to a snapshot).
+    Update(UpdateArgs),
+}
+
+/// Arguments of `questpro update`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UpdateArgs {
+    /// Input binary snapshot path.
+    pub store: String,
+    /// JSON batch file (`{"insert": [[s,p,o]...], "delete": [...]}` —
+    /// the same shape `POST /ontologies/:name/update` accepts).
+    pub batch: String,
+    /// Output snapshot path (may equal `store`; the input is fully
+    /// validated and the new snapshot fully encoded before anything is
+    /// written).
+    pub out: String,
 }
 
 /// The verb of `questpro store`.
@@ -299,8 +319,8 @@ pub struct LogsArgs {
 /// Arguments of `questpro fuzz`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FuzzArgs {
-    /// Surface to fuzz (`wire`, `sparql`, `triples`, `http`, `store`);
-    /// `None` with `all` set means every surface.
+    /// Surface to fuzz (`wire`, `sparql`, `triples`, `http`, `store`,
+    /// `update`); `None` with `all` set means every surface.
     pub surface: Option<String>,
     /// Fuzz all surfaces.
     pub all: bool,
@@ -441,11 +461,17 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
             };
             if args.surface.is_none() && !args.all {
                 return Err(CliError::Usage(
-                    "fuzz needs --surface <wire|sparql|triples|http|store> or --all".to_string(),
+                    "fuzz needs --surface <wire|sparql|triples|http|store|update> or --all"
+                        .to_string(),
                 ));
             }
             Ok(Command::Fuzz(args))
         }
+        "update" => Ok(Command::Update(UpdateArgs {
+            store: flags.require("store")?,
+            batch: flags.require("batch")?,
+            out: flags.require("out")?,
+        })),
         "help" | "--help" | "-h" => Err(CliError::Usage(USAGE.to_string())),
         other => Err(CliError::Usage(format!(
             "unknown subcommand {other:?}\n\n{USAGE}"
@@ -572,6 +598,7 @@ const KNOWN_FLAGS: &[(&str, &[&str])] = &[
     ),
     ("logs", &["file", "level", "target", "trace-id", "limit"]),
     ("fuzz", &["surface", "all", "seed", "iters"]),
+    ("update", &["store", "batch", "out"]),
 ];
 
 impl Flags {
@@ -772,6 +799,27 @@ mod tests {
     fn missing_required_flag_is_reported() {
         let err = parse(&argv("eval --ontology o")).unwrap_err();
         assert!(err.to_string().contains("--query"));
+    }
+
+    #[test]
+    fn update_requires_all_three_paths() {
+        match parse(&argv("update --store in.qps --batch b.json --out out.qps")).unwrap() {
+            Command::Update(u) => {
+                assert_eq!(u.store, "in.qps");
+                assert_eq!(u.batch, "b.json");
+                assert_eq!(u.out, "out.qps");
+            }
+            other => panic!("parsed {other:?}"),
+        }
+        for missing in [
+            "update --batch b.json --out o.qps",
+            "update --store i.qps --out o.qps",
+            "update --store i.qps --batch b.json",
+        ] {
+            assert!(parse(&argv(missing)).is_err(), "{missing}");
+        }
+        // Unknown flags are rejected, not ignored.
+        assert!(parse(&argv("update --store i --batch b --out o --k 3")).is_err());
     }
 
     #[test]

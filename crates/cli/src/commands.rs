@@ -1324,7 +1324,7 @@ pub mod fuzz {
         #[test]
         fn all_surfaces_run_clean() {
             let out = run(&args(None, true)).unwrap();
-            for name in ["wire", "sparql", "triples", "http", "store"] {
+            for name in ["wire", "sparql", "triples", "http", "store", "update"] {
                 assert!(out.contains(&format!("surface {name}:")), "{out}");
             }
         }
@@ -1333,6 +1333,143 @@ pub mod fuzz {
         fn unknown_surface_is_a_usage_error() {
             let err = run(&args(Some("nope"), false)).unwrap_err();
             assert!(matches!(err, CliError::Usage(_)));
+        }
+    }
+}
+
+pub mod update {
+    //! `questpro update` — apply a batched triple update to a binary
+    //! snapshot, copy-on-write.
+    //!
+    //! The batch file is the same JSON shape the server's
+    //! `POST /ontologies/:name/update` endpoint accepts
+    //! (`{"insert": [[s,p,o]...], "delete": [...]}`), so a batch can be
+    //! rehearsed offline against a snapshot and then replayed against a
+    //! live server — or vice versa. The incremental apply is guaranteed
+    //! byte-identical to rebuilding the snapshot from scratch, and the
+    //! input file is never touched until the new snapshot is fully
+    //! encoded, so `--out` may safely equal `--store`.
+
+    use questpro_store::{decode, encode};
+
+    use crate::args::UpdateArgs;
+    use crate::error::CliError;
+
+    /// Runs the command.
+    pub fn run(args: &UpdateArgs) -> Result<String, CliError> {
+        let bytes = std::fs::read(&args.store).map_err(|e| CliError::io(&args.store, e))?;
+        let store = decode(&bytes).map_err(CliError::input)?;
+        let text =
+            std::fs::read_to_string(&args.batch).map_err(|e| CliError::io(&args.batch, e))?;
+        let body = questpro_wire::parse(&text)
+            .map_err(|e| CliError::Input(format!("{}: invalid JSON: {e}", args.batch)))?;
+        let delta = questpro_wire::update::parse_update(&body)
+            .map_err(|e| CliError::Input(format!("{}: {e}", args.batch)))?;
+        let updated = store.apply_update(&delta).map_err(CliError::input)?;
+        let out_bytes = encode(&updated);
+        std::fs::write(&args.out, &out_bytes).map_err(|e| CliError::io(&args.out, e))?;
+        let s = updated.stats();
+        Ok(format!(
+            "applied {} insert(s), {} delete(s); wrote {} ({} bytes): \
+             {} triple(s), {} node(s), {} pred(s)\n",
+            delta.inserts.len(),
+            delta.deletes.len(),
+            args.out,
+            out_bytes.len(),
+            s.triples,
+            s.nodes,
+            s.preds
+        ))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use questpro_store::{decode, encode, TripleStore};
+
+        use super::*;
+
+        fn tmp(name: &str) -> String {
+            let dir = std::env::temp_dir().join(format!("questpro-update-{}", std::process::id()));
+            std::fs::create_dir_all(&dir).expect("mkdir");
+            dir.join(name).to_string_lossy().into_owned()
+        }
+
+        fn seed_snapshot(path: &str) {
+            let ont = questpro_graph::triples::parse("a knows b\nb knows c\n").unwrap();
+            let store = TripleStore::from_ontology(&ont).unwrap();
+            std::fs::write(path, encode(&store)).unwrap();
+        }
+
+        #[test]
+        fn updates_a_snapshot_in_place_and_matches_a_scratch_build() {
+            let store_path = tmp("world.qps");
+            let batch_path = tmp("batch.json");
+            seed_snapshot(&store_path);
+            std::fs::write(
+                &batch_path,
+                r#"{"insert": [["c", "knows", "a"]], "delete": [["a", "knows", "b"]]}"#,
+            )
+            .unwrap();
+            let out = run(&UpdateArgs {
+                store: store_path.clone(),
+                batch: batch_path,
+                out: store_path.clone(),
+            })
+            .unwrap();
+            assert!(out.contains("applied 1 insert(s), 1 delete(s)"), "{out}");
+
+            // The in-place result is byte-identical to building the
+            // post-update world from scratch.
+            let want = encode(
+                &TripleStore::from_ontology(
+                    &questpro_graph::triples::parse("b knows c\nc knows a\n").unwrap(),
+                )
+                .unwrap(),
+            );
+            let got = std::fs::read(&store_path).unwrap();
+            assert_eq!(got, want, "incremental and scratch snapshots diverge");
+            assert_eq!(decode(&got).unwrap().stats().triples, 2);
+        }
+
+        #[test]
+        fn rejected_batches_leave_the_input_untouched() {
+            let store_path = tmp("keep.qps");
+            let batch_path = tmp("bad.json");
+            seed_snapshot(&store_path);
+            let before = std::fs::read(&store_path).unwrap();
+            for (bad, needle) in [
+                (r#"{"delete": [["x", "y", "z"]]}"#, "no such triple"),
+                (r#"{}"#, "update batch is empty"),
+                (r#"{"insert": [["a", "b"]]}"#, "exactly 3"),
+                ("not json", "invalid JSON"),
+            ] {
+                std::fs::write(&batch_path, bad).unwrap();
+                let err = run(&UpdateArgs {
+                    store: store_path.clone(),
+                    batch: batch_path.clone(),
+                    out: store_path.clone(),
+                })
+                .unwrap_err()
+                .to_string();
+                assert!(err.contains(needle), "{bad}: {err}");
+                assert_eq!(
+                    std::fs::read(&store_path).unwrap(),
+                    before,
+                    "a rejected batch must not touch the snapshot"
+                );
+            }
+        }
+
+        #[test]
+        fn missing_files_carry_their_paths() {
+            let err = run(&UpdateArgs {
+                store: "/no/such/file.qps".into(),
+                batch: "/no/such/batch.json".into(),
+                out: "/no/such/out.qps".into(),
+            })
+            .unwrap_err()
+            .to_string();
+            assert!(err.contains("/no/such/file.qps"), "{err}");
         }
     }
 }

@@ -40,5 +40,6 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
         Command::Logs(l) => commands::logs::run(&l),
         Command::Fuzz(f) => commands::fuzz::run(&f),
         Command::Store(s) => commands::store::run(&s),
+        Command::Update(u) => commands::update::run(&u),
     }
 }

@@ -90,6 +90,12 @@ impl Branch {
 /// hits still count as "intermediate queries considered" in the stats,
 /// preserving the Figure 6 metric.
 /// Cache key: the canonical keys of the two branches, ordered.
+///
+/// Live-update note: unlike `ConsistencyCache`, these entries survive
+/// any ontology delta. `merge_pair` is a pure function of the two
+/// pattern graphs and the greedy config — it never reads the ontology —
+/// so a cached merge (query, gain, vars) is identical on every ontology
+/// version and needs no predicate-signature invalidation.
 type BranchPairKey = (std::sync::Arc<str>, std::sync::Arc<str>);
 /// Cached outcome: the merged query, its gain, and its memoized
 /// generalization-variable count, or `None` for unmergeable pairs.

@@ -19,7 +19,7 @@
 //! is solved once per inference run.
 
 use questpro_graph::fxhash::{fx_hash_one, FxHashMap};
-use questpro_graph::{ExampleSet, Explanation, Ontology};
+use questpro_graph::{DeltaSummary, ExampleSet, Explanation, Ontology};
 use questpro_query::{sparql, SimpleQuery, UnionQuery};
 
 use crate::matcher::{Match, Matcher};
@@ -66,15 +66,44 @@ pub fn explanation_key(ex: &Explanation) -> u64 {
     fx_hash_one(&(ex.distinguished(), ex.subgraph().edges()))
 }
 
+/// Predicate signature of a `(query, explanation)` pair: the OR of
+/// [`Ontology::pred_bit`] over the query's predicates and the
+/// explanation subgraph's predicates. A cached consistency result can
+/// only change when a live update touches one of those predicates (the
+/// match image is exactly the explanation subgraph, and the matcher's
+/// candidate ordering reads only the pair's own predicate statistics),
+/// so this signature is what [`ConsistencyCache::invalidate_delta`]
+/// intersects against [`DeltaSummary::pred_sig`]. A query predicate
+/// absent from the ontology yields the all-ones signature: a later
+/// update could introduce it, and the 64-bit fold cannot name a bit for
+/// a predicate that has no id yet.
+fn pair_sig(ont: &Ontology, q: &SimpleQuery, ex: &Explanation) -> u64 {
+    let mut sig = 0u64;
+    for e in q.edges() {
+        match ont.pred_by_name(&e.pred) {
+            Some(p) => sig |= ont.pred_bit(p),
+            None => return u64::MAX,
+        }
+    }
+    for &e in ex.subgraph().edges() {
+        sig |= ont.pred_bit(ont.edge(e).pred);
+    }
+    sig
+}
+
 /// Memoizes [`find_onto_match`] under `(query_key, explanation_key)`.
 ///
 /// Scope contract: one cache per ontology/world — keys do not include
 /// the ontology, so reusing a cache across worlds returns stale
-/// results. Counters feed `InferenceStats` (consistency calls and cache
-/// hit rate) in `questpro-core`.
+/// results. Across *versions* of the same world the cache stays usable:
+/// call [`ConsistencyCache::invalidate_delta`] with the update's
+/// [`DeltaSummary`] and only the entries whose predicate signature
+/// intersects the delta are dropped. Counters feed `InferenceStats`
+/// (consistency calls and cache hit rate) in `questpro-core`.
 #[derive(Debug, Default)]
 pub struct ConsistencyCache {
-    map: FxHashMap<(u64, u64), Option<Match>>,
+    /// `(query key, explanation key)` → (predicate signature, result).
+    map: FxHashMap<(u64, u64), (u64, Option<Match>)>,
     lookups: u64,
     hits: u64,
 }
@@ -106,15 +135,41 @@ impl ConsistencyCache {
     ) -> Option<Match> {
         let key = (qkey, explanation_key(ex));
         self.lookups += 1;
-        if let Some(cached) = self.map.get(&key) {
+        if let Some((_, cached)) = self.map.get(&key) {
             self.hits += 1;
             crate::metrics::add_consistency_lookup(true);
             return cached.clone();
         }
         crate::metrics::add_consistency_lookup(false);
         let m = find_onto_match(ont, q, ex);
-        self.map.insert(key, m.clone());
+        self.map.insert(key, (pair_sig(ont, q, ex), m.clone()));
         m
+    }
+
+    /// Drops exactly the entries a live ontology update can have
+    /// changed, keeping the rest warm.
+    ///
+    /// * When the update kept edge ids stable (insert-only), an entry
+    ///   survives iff its predicate signature is disjoint from
+    ///   [`DeltaSummary::pred_sig`]: its explanation subgraph is
+    ///   untouched and the matcher's candidate ordering reads only the
+    ///   statistics of its own predicates, so the memoized search is
+    ///   bit-identical on the new version.
+    /// * When the update deleted triples, edge ids were compacted and
+    ///   the `explanation_key` side of every key — a hash over
+    ///   [`questpro_graph::EdgeId`]s — may alias a different subgraph
+    ///   on the new version, so the whole cache is dropped.
+    ///
+    /// Returns the number of entries evicted.
+    pub fn invalidate_delta(&mut self, summary: &DeltaSummary) -> usize {
+        let before = self.map.len();
+        if summary.edge_ids_stable {
+            let sig = summary.pred_sig;
+            self.map.retain(|_, (s, _)| *s & sig == 0);
+        } else {
+            self.map.clear();
+        }
+        before - self.map.len()
     }
 
     /// Cached [`consistent_with_explanation`].
@@ -330,6 +385,108 @@ mod tests {
         assert_eq!(cache.lookups(), 8);
         assert_eq!(cache.hits(), 4);
         assert!((cache.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalidate_delta_keeps_disjoint_predicates_warm() {
+        use questpro_graph::TripleDelta;
+        let mut b = Ontology::builder();
+        b.edge("paper1", "wb", "Alice").unwrap();
+        b.edge("paper1", "cites", "paper2").unwrap();
+        b.edge("paper2", "wb", "Bob").unwrap();
+        let o = b.build();
+        let ex_wb = Explanation::from_triples(&o, &[("paper1", "wb", "Alice")], "Alice").unwrap();
+        let ex_cites =
+            Explanation::from_triples(&o, &[("paper1", "cites", "paper2")], "paper2").unwrap();
+        let mut qb = SimpleQuery::builder();
+        let (p, a) = (qb.var("p"), qb.var("a"));
+        qb.edge(p, "wb", a).project(a);
+        let q_wb = qb.build().unwrap();
+        let mut qb = SimpleQuery::builder();
+        let (p, c) = (qb.var("p"), qb.var("c"));
+        qb.edge(p, "cites", c).project(c);
+        let q_cites = qb.build().unwrap();
+
+        let mut cache = ConsistencyCache::new();
+        assert!(cache.consistent(&o, &q_wb, &ex_wb));
+        assert!(cache.consistent(&o, &q_cites, &ex_cites));
+        assert_eq!(cache.len(), 2);
+
+        // Insert-only delta touching only `cites`: the wb entry must
+        // stay warm, the cites entry must go.
+        let delta = TripleDelta {
+            inserts: vec![[
+                "paper2".to_string(),
+                "cites".to_string(),
+                "paper3".to_string(),
+            ]],
+            deletes: vec![],
+        };
+        let (next, summary) = o.apply_delta(&delta).unwrap();
+        assert!(summary.edge_ids_stable);
+        assert_eq!(cache.invalidate_delta(&summary), 1);
+        assert_eq!(cache.len(), 1);
+
+        // The surviving entry answers from cache and agrees with a
+        // fresh search on the updated version.
+        let hits_before = cache.hits();
+        assert_eq!(
+            cache.find_onto_match(&next, &q_wb, &ex_wb),
+            find_onto_match(&next, &q_wb, &ex_wb)
+        );
+        assert_eq!(cache.hits(), hits_before + 1, "wb entry must stay warm");
+        // The evicted pair recomputes against the new version.
+        assert!(cache.consistent(&next, &q_cites, &ex_cites));
+    }
+
+    #[test]
+    fn deletes_clear_the_whole_cache() {
+        use questpro_graph::TripleDelta;
+        let (o, e1, e2) = world();
+        let mut cache = ConsistencyCache::new();
+        cache.consistent(&o, &erdos_q1(), &e1);
+        cache.consistent(&o, &erdos_q2(), &e2);
+        assert_eq!(cache.len(), 2);
+        // Deleting any triple compacts edge ids, so explanation keys
+        // (hashes over edge ids) may alias: everything must go, even
+        // though the deleted predicate is the only one in the world.
+        let delta = TripleDelta {
+            inserts: vec![],
+            deletes: vec![["paper5".to_string(), "wb".to_string(), "Eve".to_string()]],
+        };
+        let (_, summary) = o.apply_delta(&delta).unwrap();
+        assert!(!summary.edge_ids_stable);
+        assert_eq!(cache.invalidate_delta(&summary), 2);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn unknown_query_predicates_invalidate_on_any_delta() {
+        use questpro_graph::TripleDelta;
+        let (o, e1, _) = world();
+        // A query using a predicate the ontology has never seen: its
+        // signature cannot name a bit, so it must pin to every delta —
+        // a later update could introduce the predicate.
+        let mut b = SimpleQuery::builder();
+        let (p, a) = (b.var("p"), b.var("a"));
+        b.edge(p, "reviewedBy", a).project(a);
+        let q = b.build().unwrap();
+        let mut cache = ConsistencyCache::new();
+        assert!(!cache.consistent(&o, &q, &e1));
+        let delta = TripleDelta {
+            inserts: vec![[
+                "paper9".to_string(),
+                "reviewedBy".to_string(),
+                "Eve".to_string(),
+            ]],
+            deletes: vec![],
+        };
+        let (next, summary) = o.apply_delta(&delta).unwrap();
+        assert_eq!(cache.invalidate_delta(&summary), 1, "pinned entry goes");
+        // And the recomputed answer reflects the new predicate.
+        let ex =
+            Explanation::from_triples(&next, &[("paper9", "reviewedBy", "Eve")], "Eve").unwrap();
+        assert!(cache.consistent(&next, &q, &ex));
     }
 
     #[test]

@@ -316,6 +316,57 @@ pub fn store(rng: &mut impl Rng) -> questpro_store::TripleStore {
     b.build().expect("generated stores satisfy the invariants")
 }
 
+/// A random triple-update batch against `store`.
+///
+/// Deletes are mostly drawn from the store's own rows (so chains of
+/// valid updates make progress), occasionally a fabricated missing
+/// triple; inserts are mostly fresh rows, occasionally a deliberate
+/// collision with an existing one. Invalid batches are the point: the
+/// update differential oracle requires the incremental and the
+/// from-scratch paths to *agree* on acceptance, and on the result when
+/// accepted. Never empty (the wire layer rejects empty batches by
+/// design, which would make the round-trip stage vacuous).
+pub fn update_batch(
+    rng: &mut impl Rng,
+    store: &questpro_store::TripleStore,
+) -> questpro_graph::TripleDelta {
+    let mut delta = questpro_graph::TripleDelta {
+        inserts: Vec::new(),
+        deletes: Vec::new(),
+    };
+    let row_labels = |store: &questpro_store::TripleStore, row: usize| {
+        let t = store.triples()[row];
+        [
+            store.nodes().label(t[0]).to_string(),
+            store.preds().label(t[1]).to_string(),
+            store.nodes().label(t[2]).to_string(),
+        ]
+    };
+    let rows = store.triple_count();
+    for _ in 0..rng.random_range(0..3usize) {
+        if rows > 0 && !rng.random_bool(0.15) {
+            delta
+                .deletes
+                .push(row_labels(store, rng.random_range(0..rows)));
+        } else {
+            delta.deletes.push([label(rng), label(rng), label(rng)]);
+        }
+    }
+    for _ in 0..rng.random_range(0..4usize) {
+        if rows > 0 && rng.random_bool(0.15) {
+            delta
+                .inserts
+                .push(row_labels(store, rng.random_range(0..rows)));
+        } else {
+            delta.inserts.push([label(rng), label(rng), label(rng)]);
+        }
+    }
+    if delta.inserts.is_empty() && delta.deletes.is_empty() {
+        delta.inserts.push([label(rng), label(rng), label(rng)]);
+    }
+    delta
+}
+
 /// The fixed six-edge world the `/eval` differential oracle queries.
 pub fn tiny_ontology_text() -> &'static str {
     "alice wb paper1\n\

@@ -1,10 +1,12 @@
 //! Deterministic fuzzing and differential oracles for every input
 //! surface of the workspace.
 //!
-//! QuestPro's front door is five hand-rolled parsers — `questpro-wire`
-//! JSON, the SPARQL dialect in `questpro-query`, the triple text format
-//! in `questpro-graph`, HTTP/1.1 head parsing in `questpro-server`, and
-//! the binary snapshot decoder in `questpro-store`.
+//! QuestPro's front door is six hand-rolled input surfaces —
+//! `questpro-wire` JSON, the SPARQL dialect in `questpro-query`, the
+//! triple text format in `questpro-graph`, HTTP/1.1 head parsing in
+//! `questpro-server`, the binary snapshot decoder in `questpro-store`,
+//! and the live-update batch layer (wire parse → incremental
+//! store/ontology apply).
 //! This crate drives each of them with seeded, structure-aware
 //! generators plus byte-level mutators (see [`gen`] and [`mutate`]),
 //! and checks three oracle classes on every iteration:
@@ -16,8 +18,10 @@
 //!    queries (up to isomorphism), and ontologies (up to node-id
 //!    renumbering, compared as sorted serialized lines);
 //! 3. **differential** — `POST /eval` responses from the in-process
-//!    router byte-agree with the library one-shot path, and responses
-//!    to arbitrarily mutated bodies are still well-formed JSON.
+//!    router byte-agree with the library one-shot path, responses to
+//!    arbitrarily mutated bodies are still well-formed JSON, and every
+//!    incremental triple update produces a store byte-identical to a
+//!    from-scratch rebuild of the updated world.
 //!
 //! Everything is seeded by the workspace's own xoshiro RNG, so a run is
 //! reproduced exactly by `questpro fuzz --surface S --seed N --iters I`
@@ -48,16 +52,20 @@ pub enum Surface {
     Http,
     /// The binary snapshot decoder in `questpro-store`.
     Store,
+    /// Batched triple updates: wire parsing plus the incremental-vs-
+    /// scratch differential across store and ontology.
+    Update,
 }
 
 impl Surface {
     /// All surfaces, in the order `--all` runs them.
-    pub const ALL: [Surface; 5] = [
+    pub const ALL: [Surface; 6] = [
         Surface::Wire,
         Surface::Sparql,
         Surface::Triples,
         Surface::Http,
         Surface::Store,
+        Surface::Update,
     ];
 
     /// The surface's CLI / corpus-directory name.
@@ -68,6 +76,7 @@ impl Surface {
             Surface::Triples => "triples",
             Surface::Http => "http",
             Surface::Store => "store",
+            Surface::Update => "update",
         }
     }
 
@@ -251,6 +260,7 @@ pub fn run_surface(surface: Surface, cfg: &FuzzConfig) -> SurfaceReport {
             Surface::Triples => 0x54525049,
             Surface::Http => 0x48545450,
             Surface::Store => 0x53544F52,
+            Surface::Update => 0x55504454,
         };
         let mut seeds = SplitMix64::seed_from_u64(cfg.seed ^ salt);
         let mut ctx = surfaces::Ctx::new(surface);
@@ -289,7 +299,7 @@ pub fn run_surface(surface: Surface, cfg: &FuzzConfig) -> SurfaceReport {
     })
 }
 
-/// Fuzzes all five surfaces with the same configuration.
+/// Fuzzes all six surfaces with the same configuration.
 pub fn run_all(cfg: &FuzzConfig) -> Vec<SurfaceReport> {
     Surface::ALL
         .into_iter()

@@ -81,6 +81,7 @@ impl Ctx {
                 http_iter(rng, http)
             }
             Surface::Store => store_iter(rng),
+            Surface::Update => update_iter(rng),
         }
     }
 }
@@ -344,6 +345,146 @@ fn store_iter(rng: &mut StdRng) -> Vec<Failure> {
             }
         }
         Ok(Err(_)) => {}
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// update — batched triple updates, incremental vs from-scratch
+// ---------------------------------------------------------------------
+
+fn update_panics(b: &[u8]) -> bool {
+    let text = String::from_utf8_lossy(b);
+    catching(|| {
+        if let Ok(v) = questpro_wire::parse(&text) {
+            let _ = questpro_wire::update::parse_update(&v);
+        }
+    })
+    .is_err()
+}
+
+/// One update iteration: a chain of random batches against a random
+/// store. After every *accepted* batch the incremental store must be
+/// byte-identical to a from-scratch rebuild of the updated ontology,
+/// and both apply paths (columnar store overlay, graph delta) must
+/// agree on acceptance. The wire encoding round-trips each batch, and
+/// the mutation stage throws damaged batch JSON at the whole pipeline.
+fn update_iter(rng: &mut StdRng) -> Vec<Failure> {
+    let mut out = Vec::new();
+    let mut store = gen::store(rng);
+    let mut last_body = None;
+    for _ in 0..rng.random_range(1..4usize) {
+        let delta = gen::update_batch(rng, &store);
+        // Wire round-trip: render -> parse must be the identity (the
+        // server and the CLI both speak this encoding).
+        let body = questpro_wire::update::render_update(&delta);
+        match questpro_wire::update::parse_update(&body) {
+            Ok(back) if back == delta => {}
+            Ok(_) => out.push(Failure::new(
+                FailureKind::RoundTrip,
+                body.to_text().into_bytes(),
+                "parse(render(delta)) != delta",
+            )),
+            Err(e) => out.push(Failure::new(
+                FailureKind::RoundTrip,
+                body.to_text().into_bytes(),
+                format!("rendered batch rejected by parse_update: {e}"),
+            )),
+        }
+        last_body = Some(body.to_text());
+        // Differential: the incremental columnar overlay vs rebuilding
+        // the updated ontology from scratch.
+        let inc = match catching(|| store.apply_update(&delta)) {
+            Ok(r) => r,
+            Err(msg) => {
+                out.push(panic_failure(body.to_text().as_bytes(), msg, update_panics));
+                return out;
+            }
+        };
+        let ont = store
+            .to_ontology()
+            .expect("a generated store always materializes");
+        let scratch = match catching(|| ont.apply_delta(&delta)) {
+            Ok(r) => r,
+            Err(msg) => {
+                out.push(panic_failure(body.to_text().as_bytes(), msg, update_panics));
+                return out;
+            }
+        };
+        match (inc, scratch) {
+            (Ok(inc), Ok((new_ont, _))) => {
+                let scratch_store = questpro_store::TripleStore::from_ontology(&new_ont)
+                    .expect("an updated ontology always re-encodes");
+                if questpro_store::encode(&inc) != questpro_store::encode(&scratch_store) {
+                    out.push(Failure::new(
+                        FailureKind::Differential,
+                        body.to_text().into_bytes(),
+                        "incremental store != from-scratch rebuild after update",
+                    ));
+                    return out;
+                }
+                if inc.to_ontology().is_err() {
+                    out.push(Failure::new(
+                        FailureKind::Differential,
+                        body.to_text().into_bytes(),
+                        "incrementally updated store no longer materializes",
+                    ));
+                    return out;
+                }
+                store = inc;
+            }
+            (Err(_), Err(_)) => {}
+            (Ok(_), Err(e)) => {
+                out.push(Failure::new(
+                    FailureKind::Differential,
+                    body.to_text().into_bytes(),
+                    format!("store accepted a batch the graph rejects: {e}"),
+                ));
+                return out;
+            }
+            (Err(e), Ok(_)) => {
+                out.push(Failure::new(
+                    FailureKind::Differential,
+                    body.to_text().into_bytes(),
+                    format!("graph accepted a batch the store rejects: {e}"),
+                ));
+                return out;
+            }
+        }
+    }
+    // Mutation stage: damaged batch JSON must parse to Ok or a named
+    // error — and an *accepted* mutant must apply without panicking on
+    // either path.
+    let mut bytes = last_body.expect("at least one round ran").into_bytes();
+    mutate::mutate(rng, &mut bytes);
+    let mutated = String::from_utf8_lossy(&bytes).into_owned();
+    match catching(|| {
+        if let Ok(v) = questpro_wire::parse(&mutated) {
+            if let Ok(delta) = questpro_wire::update::parse_update(&v) {
+                let inc_ok = store.apply_update(&delta).is_ok();
+                let graph_ok = store
+                    .to_ontology()
+                    .expect("the chained store materializes")
+                    .apply_delta(&delta)
+                    .is_ok();
+                return Some((inc_ok, graph_ok));
+            }
+        }
+        None
+    }) {
+        Err(msg) => out.push(panic_failure(&bytes, msg, update_panics)),
+        Ok(Some((inc_ok, graph_ok))) if inc_ok != graph_ok => {
+            out.push(Failure::new(
+                FailureKind::Differential,
+                &bytes[..],
+                format!(
+                    "mutant batch splits the paths: store {}, graph {}",
+                    if inc_ok { "accepts" } else { "rejects" },
+                    if graph_ok { "accepts" } else { "rejects" }
+                ),
+            ));
+        }
+        Ok(_) => {}
     }
     out
 }

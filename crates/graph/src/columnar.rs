@@ -23,7 +23,7 @@
 //! every downstream sample and provenance set, is unchanged.
 
 use crate::ids::{EdgeId, NodeId, PredId};
-use crate::ontology::EdgeData;
+use crate::ontology::{EdgeCsr, EdgeData};
 
 /// Per-predicate statistics for cost estimation.
 ///
@@ -66,7 +66,7 @@ impl PredStats {
 /// Built once in [`OntologyBuilder::build`](crate::OntologyBuilder::build)
 /// and owned by the [`Ontology`](crate::Ontology); the POS orientation is
 /// the ontology's existing `by_pred` edge list.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ColumnarIndexes {
     // SPO orientation: out-adjacency grouped by source node, each span
     // sorted by (pred, edge id). `out_preds` mirrors `out_sorted` so the
@@ -84,13 +84,14 @@ pub struct ColumnarIndexes {
 impl ColumnarIndexes {
     /// Builds the columnar indexes from the edge table.
     ///
-    /// `by_pred[p]` must list the `p`-edges in ascending edge-id order
-    /// (as `OntologyBuilder::build` produces). Iterating predicates in id
-    /// order and appending each bucket yields every node span already
-    /// sorted by (pred, edge id) — a two-pass counting sort, no
-    /// comparison sort needed.
-    pub fn build(node_count: usize, edges: &[EdgeData], by_pred: &[Vec<EdgeId>]) -> Self {
+    /// `by_pred` groups the edge table by predicate with ids ascending
+    /// within each group (as the ontology's CSR indexer produces).
+    /// Iterating predicates in id order and appending each bucket yields
+    /// every node span already sorted by (pred, edge id) — a two-pass
+    /// counting sort, no comparison sort needed.
+    pub(crate) fn build(node_count: usize, edges: &[EdgeData], by_pred: &EdgeCsr) -> Self {
         let m = edges.len();
+        let pred_count = by_pred.off.len() - 1;
         let mut out_off = vec![0u32; node_count + 1];
         let mut in_off = vec![0u32; node_count + 1];
         for d in edges {
@@ -108,14 +109,14 @@ impl ColumnarIndexes {
         // Write cursors, consumed as spans fill left to right.
         let mut out_cur: Vec<u32> = out_off[..node_count].to_vec();
         let mut in_cur: Vec<u32> = in_off[..node_count].to_vec();
-        let mut stats = vec![PredStats::default(); by_pred.len()];
+        let mut stats = vec![PredStats::default(); pred_count];
         // Stamp arrays for distinct counts: stamp[n] == p+1 iff node n was
         // already seen for predicate p. O(E) overall, no hashing.
         let mut src_stamp = vec![0u32; node_count];
         let mut dst_stamp = vec![0u32; node_count];
-        for (pi, bucket) in by_pred.iter().enumerate() {
+        for (pi, st) in stats.iter_mut().enumerate() {
+            let bucket = by_pred.span(pi);
             let p = PredId::from_usize(pi);
-            let st = &mut stats[pi];
             st.cardinality = bucket.len() as u32;
             for &e in bucket {
                 let d = edges[e.index()];
@@ -162,7 +163,7 @@ impl ColumnarIndexes {
     /// * `out_off` / `in_off` are monotone CSR offsets of length
     ///   `node_count + 1` ending at `edge_count`;
     /// * each node span of `out_*` / `in_*` is sorted by (pred, edge id),
-    ///   matching what [`ColumnarIndexes::build`] produces;
+    ///   matching what the counting-sort builder produces;
     /// * `stats[p]` holds the per-predicate aggregates for predicate `p`.
     pub fn from_sorted_parts(
         out_sorted: Vec<EdgeId>,
@@ -190,6 +191,199 @@ impl ColumnarIndexes {
             in_off,
             stats,
         }
+    }
+
+    /// Incrementally maintains the columnar block across a triple delta
+    /// instead of rebuilding it from scratch.
+    ///
+    /// Inputs describe the already-applied delta: `new_edges` is the new
+    /// edge table (survivors first, in old relative order, then inserted
+    /// edges), `deleted[e]` marks old edge ids that were dropped,
+    /// `remap[e]` carries each survivor's new id (monotone, so spans
+    /// sorted by `(pred, old id)` stay sorted by `(pred, new id)`), and
+    /// ids `>= first_insert` are the inserted edges. Each node span is
+    /// produced by a two-pointer merge of its remapped survivors with its
+    /// sorted inserts; per-predicate statistics are adjusted from the
+    /// affected `(node, pred)` pairs only — `cardinality` by signed
+    /// counts, the distinct counts by comparing old-span/new-span
+    /// emptiness. The result is bit-identical to a from-scratch
+    /// [`ColumnarIndexes`] build over `new_edges` (pinned by the delta
+    /// differential tests).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn apply_delta(
+        &self,
+        old_edges: &[EdgeData],
+        new_edges: &[EdgeData],
+        deleted: &[bool],
+        remap: &[u32],
+        old_node_count: usize,
+        new_node_count: usize,
+        new_pred_count: usize,
+        first_insert: u32,
+    ) -> Self {
+        let m_new = new_edges.len();
+        // Per-node survivor-loss and insert-gain counts for both
+        // orientations.
+        let mut out_off = vec![0u32; new_node_count + 1];
+        let mut in_off = vec![0u32; new_node_count + 1];
+        for n in 0..old_node_count {
+            out_off[n + 1] = self.out_off[n + 1] - self.out_off[n];
+            in_off[n + 1] = self.in_off[n + 1] - self.in_off[n];
+        }
+        for (e, d) in old_edges.iter().enumerate() {
+            if deleted[e] {
+                out_off[d.src.index() + 1] -= 1;
+                in_off[d.dst.index() + 1] -= 1;
+            }
+        }
+        // Inserted edges, sorted per node by (pred, id) for the merge.
+        let mut ins_out: Vec<(u32, PredId, EdgeId)> = Vec::new();
+        let mut ins_in: Vec<(u32, PredId, EdgeId)> = Vec::new();
+        for (i, &d) in new_edges.iter().enumerate().skip(first_insert as usize) {
+            let e = EdgeId::from_usize(i);
+            ins_out.push((d.src.raw(), d.pred, e));
+            ins_in.push((d.dst.raw(), d.pred, e));
+            out_off[d.src.index() + 1] += 1;
+            in_off[d.dst.index() + 1] += 1;
+        }
+        ins_out.sort_unstable_by_key(|&(n, p, e)| (n, p.raw(), e.raw()));
+        ins_in.sort_unstable_by_key(|&(n, p, e)| (n, p.raw(), e.raw()));
+        for i in 0..new_node_count {
+            out_off[i + 1] += out_off[i];
+            in_off[i + 1] += in_off[i];
+        }
+        let merge = |old_off: &[u32],
+                     old_sorted: &[EdgeId],
+                     old_preds: &[PredId],
+                     new_off: &[u32],
+                     inserts: &[(u32, PredId, EdgeId)]|
+         -> (Vec<EdgeId>, Vec<PredId>) {
+            let mut sorted = vec![EdgeId::new(0); m_new];
+            let mut preds = vec![PredId::new(0); m_new];
+            let mut k = 0usize; // cursor into the per-node sorted inserts
+            for n in 0..new_node_count {
+                let mut w = new_off[n] as usize;
+                let (mut a, a_hi) = if n < old_node_count {
+                    (old_off[n] as usize, old_off[n + 1] as usize)
+                } else {
+                    (0, 0)
+                };
+                let k_hi = {
+                    let mut j = k;
+                    while j < inserts.len() && inserts[j].0 == n as u32 {
+                        j += 1;
+                    }
+                    j
+                };
+                // Two-pointer merge by (pred, new edge id). Survivor ids
+                // remap below first_insert, insert ids at or above it, so
+                // the id comparison needs no special casing.
+                while a < a_hi || k < k_hi {
+                    let surv = loop {
+                        if a >= a_hi {
+                            break None;
+                        }
+                        let e_old = old_sorted[a];
+                        if deleted[e_old.index()] {
+                            a += 1;
+                            continue;
+                        }
+                        break Some((old_preds[a], EdgeId::new(remap[e_old.index()])));
+                    };
+                    let take_insert = match (surv, k < k_hi) {
+                        (None, true) => true,
+                        (None, false) => break,
+                        (Some(_), false) => false,
+                        (Some((sp, se)), true) => {
+                            let (_, ip, ie) = inserts[k];
+                            (ip.raw(), ie.raw()) < (sp.raw(), se.raw())
+                        }
+                    };
+                    if take_insert {
+                        let (_, p, e) = inserts[k];
+                        sorted[w] = e;
+                        preds[w] = p;
+                        k += 1;
+                    } else {
+                        let (p, e) = surv.expect("survivor present");
+                        sorted[w] = e;
+                        preds[w] = p;
+                        a += 1;
+                    }
+                    w += 1;
+                }
+            }
+            (sorted, preds)
+        };
+        let (out_sorted, out_preds) = merge(
+            &self.out_off,
+            &self.out_sorted,
+            &self.out_preds,
+            &out_off,
+            &ins_out,
+        );
+        let (in_sorted, in_preds) = merge(
+            &self.in_off,
+            &self.in_sorted,
+            &self.in_preds,
+            &in_off,
+            &ins_in,
+        );
+        // Statistics: cardinality by signed per-pred counts; distinct
+        // subject/object counts by re-testing span emptiness for the
+        // touched (node, pred) pairs only.
+        let mut stats = self.stats.clone();
+        stats.resize(new_pred_count, PredStats::default());
+        let mut touched_out: Vec<(u32, PredId)> = Vec::new();
+        let mut touched_in: Vec<(u32, PredId)> = Vec::new();
+        for (e, d) in old_edges.iter().enumerate() {
+            if deleted[e] {
+                stats[d.pred.index()].cardinality -= 1;
+                touched_out.push((d.src.raw(), d.pred));
+                touched_in.push((d.dst.raw(), d.pred));
+            }
+        }
+        for &(n, p, _) in &ins_out {
+            stats[p.index()].cardinality += 1;
+            touched_out.push((n, p));
+        }
+        for &(n, p, _) in &ins_in {
+            touched_in.push((n, p));
+        }
+        touched_out.sort_unstable();
+        touched_out.dedup();
+        touched_in.sort_unstable();
+        touched_in.dedup();
+        let fresh = Self {
+            out_sorted,
+            out_preds,
+            out_off,
+            in_sorted,
+            in_preds,
+            in_off,
+            stats: Vec::new(),
+        };
+        for &(n, p) in &touched_out {
+            let node = NodeId::new(n);
+            let was = (n as usize) < old_node_count && !self.out_with_pred(node, p).is_empty();
+            let now = !fresh.out_with_pred(node, p).is_empty();
+            match (was, now) {
+                (false, true) => stats[p.index()].distinct_subjects += 1,
+                (true, false) => stats[p.index()].distinct_subjects -= 1,
+                _ => {}
+            }
+        }
+        for &(n, p) in &touched_in {
+            let node = NodeId::new(n);
+            let was = (n as usize) < old_node_count && !self.in_with_pred(node, p).is_empty();
+            let now = !fresh.in_with_pred(node, p).is_empty();
+            match (was, now) {
+                (false, true) => stats[p.index()].distinct_objects += 1,
+                (true, false) => stats[p.index()].distinct_objects -= 1,
+                _ => {}
+            }
+        }
+        Self { stats, ..fresh }
     }
 
     /// Outgoing edges of `n` labeled `p`, in ascending edge-id order.

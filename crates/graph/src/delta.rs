@@ -1,0 +1,482 @@
+//! Batched triple inserts/deletes over an immutable [`Ontology`].
+//!
+//! The ontology stays immutable: [`Ontology::apply_delta`] produces a
+//! **new** point-in-time copy, which is what lets in-flight inference
+//! sessions keep reading the version they pinned while new sessions see
+//! the head (copy-on-write versioning in `questpro-server`).
+//!
+//! What "incremental" means here, versus rebuilding from text:
+//!
+//! * the three label interners are reused append-only — no label is
+//!   re-hashed or re-copied (for arena-backed interners a clone is a
+//!   handful of memcpys);
+//! * node ids are stable: nodes are never deleted (a triple delete can
+//!   leave an isolated node, which keeps its id), inserts append;
+//! * edge ids are **stable for insert-only deltas**; deletes compact the
+//!   edge table with a monotone old→new remap (relative order kept), so
+//!   sorted columnar spans remain sorted after remapping;
+//! * the columnar SPO/OPS block is delta-maintained (survivor remap +
+//!   per-node merge of inserts + statistics adjustment) instead of being
+//!   recounted from scratch; the row CSRs and signature words are
+//!   re-derived by linear counting passes over the u32 edge table.
+//!
+//! The correctness oracle for all of this is differential: after any
+//! update sequence the incremental ontology must behave identically to
+//! one rebuilt from scratch from the post-update triple set (pinned by
+//! unit tests here and fuzzed end-to-end by the `update` surface in
+//! `questpro-fuzz`).
+
+use crate::error::GraphError;
+use crate::fxhash::{FxHashMap, FxHashSet};
+use crate::ids::{NodeId, PredId, ValueId};
+use crate::interner::Interner;
+use crate::ontology::{index_edges, EdgeData, NodeData, Ontology, ValueLookup};
+
+/// A batch of triple updates: deletes are applied first, then inserts.
+///
+/// Validation is strict — deleting an absent triple, deleting the same
+/// triple twice, inserting an edge that already exists (and survives the
+/// batch's deletes), or inserting the same edge twice are all named
+/// errors, so a rejected batch never half-applies.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TripleDelta {
+    /// Triples to add, as `[src, pred, dst]` value/label strings.
+    pub inserts: Vec<[String; 3]>,
+    /// Triples to remove, same shape.
+    pub deletes: Vec<[String; 3]>,
+}
+
+impl TripleDelta {
+    /// Whether the batch carries no work.
+    pub fn is_empty(&self) -> bool {
+        self.inserts.is_empty() && self.deletes.is_empty()
+    }
+
+    /// Total number of triples touched.
+    pub fn len(&self) -> usize {
+        self.inserts.len() + self.deletes.len()
+    }
+}
+
+/// What an applied delta did, for cache invalidation and metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeltaSummary {
+    /// Edges inserted.
+    pub inserted: usize,
+    /// Edges deleted.
+    pub deleted: usize,
+    /// Nodes created by inserts referencing new values.
+    pub nodes_added: usize,
+    /// OR of [`Ontology::pred_bit`] over every touched predicate: an
+    /// entry whose own predicate signature is disjoint from this word
+    /// provably saw no relevant change (modulo the 64-bit fold, which
+    /// only ever over-approximates — safe direction).
+    pub pred_sig: u64,
+    /// True iff the delta had no deletes, in which case every
+    /// pre-existing [`EdgeId`] is still valid in the new version.
+    /// Deletes compact edge ids, so anything holding old edge ids
+    /// (explanations, cached matches) must be dropped or remapped.
+    pub edge_ids_stable: bool,
+}
+
+/// Resolves `label` to a node in the new tables, appending a fresh
+/// untyped node if the value is new.
+fn node_of(
+    values: &mut Interner,
+    nodes: &mut Vec<NodeData>,
+    map: &mut Option<FxHashMap<ValueId, NodeId>>,
+    label: &str,
+) -> NodeId {
+    let v = ValueId::new(values.intern(label));
+    let existing = match map {
+        None => {
+            if v.index() < nodes.len() {
+                Some(NodeId::new(v.raw()))
+            } else {
+                None
+            }
+        }
+        Some(m) => m.get(&v).copied(),
+    };
+    if let Some(n) = existing {
+        return n;
+    }
+    let n = NodeId::from_usize(nodes.len());
+    nodes.push(NodeData { value: v, ty: None });
+    match map {
+        Some(m) => {
+            m.insert(v, n);
+        }
+        None if v.index() == n.index() => {} // identity preserved
+        None => {
+            // Identity broke (values interner held labels with no node);
+            // materialize the map once and carry on.
+            let mut m: FxHashMap<ValueId, NodeId> = nodes[..n.index()]
+                .iter()
+                .enumerate()
+                .map(|(i, d)| (d.value, NodeId::from_usize(i)))
+                .collect();
+            m.insert(v, n);
+            *map = Some(m);
+        }
+    }
+    n
+}
+
+impl Ontology {
+    /// Applies a batch of triple deletes-then-inserts, returning the new
+    /// ontology version and a summary of what changed.
+    ///
+    /// The receiver is untouched (copy-on-write). See the module docs
+    /// for the id-stability contract and what is maintained
+    /// incrementally.
+    ///
+    /// # Errors
+    /// [`GraphError::MissingTriple`] when a delete names an absent
+    /// triple (unknown value/predicate included) or repeats within the
+    /// batch; [`GraphError::DuplicateEdge`] when an insert duplicates a
+    /// surviving edge or another insert in the batch. On error, nothing
+    /// is applied.
+    pub fn apply_delta(&self, delta: &TripleDelta) -> Result<(Ontology, DeltaSummary), GraphError> {
+        let m_old = self.edges.len();
+        let old_node_count = self.nodes.len();
+        let mut deleted = vec![false; m_old];
+        let mut deleted_count = 0usize;
+        let mut pred_sig = 0u64;
+        for [s, p, o] in &delta.deletes {
+            let missing = || GraphError::MissingTriple {
+                src: s.clone(),
+                pred: p.clone(),
+                dst: o.clone(),
+            };
+            let sn = self.node_by_value(s).ok_or_else(missing)?;
+            let pid = self.pred_by_name(p).ok_or_else(missing)?;
+            let on = self.node_by_value(o).ok_or_else(missing)?;
+            let e = self.find_edge(sn, pid, on).ok_or_else(missing)?;
+            if deleted[e.index()] {
+                return Err(missing());
+            }
+            deleted[e.index()] = true;
+            deleted_count += 1;
+            pred_sig |= self.pred_bit(pid);
+        }
+        // Append-only reuse of the interners and node table.
+        let mut values = self.values.clone();
+        let mut preds = self.preds.clone();
+        let types = self.types.clone();
+        let mut nodes = self.nodes.clone();
+        let mut value_map: Option<FxHashMap<ValueId, NodeId>> = match &self.value_to_node {
+            ValueLookup::Identity => None,
+            ValueLookup::Map(m) => Some(m.clone()),
+        };
+        let mut batch_set: FxHashSet<(NodeId, PredId, NodeId)> = FxHashSet::default();
+        let mut inserted: Vec<EdgeData> = Vec::with_capacity(delta.inserts.len());
+        for [s, p, o] in &delta.inserts {
+            let sn = node_of(&mut values, &mut nodes, &mut value_map, s);
+            let on = node_of(&mut values, &mut nodes, &mut value_map, o);
+            let pid = PredId::new(preds.intern(p));
+            let duplicate = || GraphError::DuplicateEdge {
+                src: s.clone(),
+                pred: p.clone(),
+                dst: o.clone(),
+            };
+            // Against surviving old edges (only old ids can collide).
+            if sn.index() < old_node_count
+                && on.index() < old_node_count
+                && pid.index() < self.preds.len()
+            {
+                if let Some(e) = self.find_edge(sn, pid, on) {
+                    if !deleted[e.index()] {
+                        return Err(duplicate());
+                    }
+                }
+            }
+            // Against the batch itself.
+            if !batch_set.insert((sn, pid, on)) {
+                return Err(duplicate());
+            }
+            inserted.push(EdgeData {
+                src: sn,
+                dst: on,
+                pred: pid,
+            });
+            pred_sig |= 1u64 << (pid.raw() & 63);
+        }
+        // Compact survivors (monotone remap), append inserts.
+        let mut edges: Vec<EdgeData> = Vec::with_capacity(m_old - deleted_count + inserted.len());
+        let mut remap = vec![u32::MAX; m_old];
+        for (i, d) in self.edges.iter().enumerate() {
+            if !deleted[i] {
+                remap[i] = edges.len() as u32;
+                edges.push(*d);
+            }
+        }
+        let first_insert = edges.len() as u32;
+        edges.extend(inserted.iter().copied());
+        let columnar = self.columnar.apply_delta(
+            &self.edges,
+            &edges,
+            &deleted,
+            &remap,
+            old_node_count,
+            nodes.len(),
+            preds.len(),
+            first_insert,
+        );
+        let (out_csr, in_csr, by_pred_csr, out_sig, in_sig) =
+            index_edges(nodes.len(), preds.len(), &edges);
+        let summary = DeltaSummary {
+            inserted: inserted.len(),
+            deleted: deleted_count,
+            nodes_added: nodes.len() - old_node_count,
+            pred_sig,
+            edge_ids_stable: deleted_count == 0,
+        };
+        let next = Ontology {
+            values,
+            preds,
+            types,
+            nodes,
+            edges,
+            out_csr,
+            in_csr,
+            by_pred_csr,
+            value_to_node: match value_map {
+                None => ValueLookup::Identity,
+                Some(m) => ValueLookup::Map(m),
+            },
+            out_sig,
+            in_sig,
+            columnar,
+        };
+        debug_assert_eq!(next.columnar, next.rebuild_columnar());
+        Ok((next, summary))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::EdgeId;
+    use crate::rng::{Rng, SplitMix64};
+    use crate::triples;
+
+    fn base() -> Ontology {
+        let mut b = Ontology::builder();
+        b.edge("paper1", "wb", "Alice").unwrap();
+        b.edge("paper1", "wb", "Bob").unwrap();
+        b.edge("paper2", "wb", "Bob").unwrap();
+        b.edge("paper2", "cites", "paper1").unwrap();
+        b.typed_node("Alice", "Author").unwrap();
+        b.build()
+    }
+
+    fn delta(inserts: &[[&str; 3]], deletes: &[[&str; 3]]) -> TripleDelta {
+        let own = |t: &[&str; 3]| [t[0].to_string(), t[1].to_string(), t[2].to_string()];
+        TripleDelta {
+            inserts: inserts.iter().map(own).collect(),
+            deletes: deletes.iter().map(own).collect(),
+        }
+    }
+
+    /// From-scratch oracle: serialize the incremental result and re-parse
+    /// it; every index and statistic must agree with the rebuilt graph.
+    fn assert_matches_scratch(inc: &Ontology) {
+        inc.validate().expect("incremental result validates");
+        assert_eq!(
+            inc.columnar,
+            inc.rebuild_columnar(),
+            "columnar delta drifted"
+        );
+        let scratch = triples::parse(&triples::serialize(inc)).expect("reparse");
+        // The text format cannot carry isolated untyped nodes (a delete
+        // may strand one); everything else must agree.
+        let isolated = |o: &Ontology| {
+            o.node_ids()
+                .filter(|&n| o.degree(n) == 0 && o.node_type(n).is_none())
+                .count()
+        };
+        assert_eq!(inc.node_count() - isolated(inc), scratch.node_count());
+        assert_eq!(inc.edge_count(), scratch.edge_count());
+        // Compare as rendered triple sets (ids may differ between the
+        // incremental and scratch paths).
+        let render = |o: &Ontology| {
+            let mut v: Vec<String> = o.edge_ids().map(|e| o.describe_edge(e)).collect();
+            v.sort();
+            v
+        };
+        assert_eq!(render(inc), render(&scratch));
+    }
+
+    #[test]
+    fn insert_only_delta_keeps_edge_ids_stable() {
+        let o = base();
+        let (next, sum) = o
+            .apply_delta(&delta(
+                &[["paper3", "wb", "Alice"], ["paper3", "cites", "paper1"]],
+                &[],
+            ))
+            .unwrap();
+        assert!(sum.edge_ids_stable);
+        assert_eq!(sum.inserted, 2);
+        assert_eq!(sum.nodes_added, 1);
+        assert_eq!(next.edge_count(), 6);
+        // Old edge ids resolve to the same triples.
+        for e in o.edge_ids() {
+            assert_eq!(o.describe_edge(e), next.describe_edge(e));
+        }
+        // Old ontology untouched (copy-on-write).
+        assert_eq!(o.edge_count(), 4);
+        assert!(o.node_by_value("paper3").is_none());
+        assert_matches_scratch(&next);
+    }
+
+    #[test]
+    fn delete_delta_compacts_ids_and_reports_instability() {
+        let o = base();
+        let (next, sum) = o
+            .apply_delta(&delta(&[], &[["paper1", "wb", "Bob"]]))
+            .unwrap();
+        assert!(!sum.edge_ids_stable);
+        assert_eq!(sum.deleted, 1);
+        assert_eq!(next.edge_count(), 3);
+        // Node survives deletion of its only edge context.
+        assert!(next.node_by_value("Bob").is_some());
+        assert_matches_scratch(&next);
+    }
+
+    #[test]
+    fn mixed_delta_delete_then_reinsert_same_triple() {
+        let o = base();
+        let (next, _) = o
+            .apply_delta(&delta(
+                &[["paper1", "wb", "Bob"], ["Bob", "knows", "Alice"]],
+                &[["paper1", "wb", "Bob"], ["paper2", "cites", "paper1"]],
+            ))
+            .unwrap();
+        assert_eq!(next.edge_count(), 4);
+        let bob = next.node_by_value("Bob").unwrap();
+        let knows = next.pred_by_name("knows").unwrap();
+        let alice = next.node_by_value("Alice").unwrap();
+        assert!(next.find_edge(bob, knows, alice).is_some());
+        assert_matches_scratch(&next);
+    }
+
+    #[test]
+    fn types_survive_deltas() {
+        let o = base();
+        let (next, _) = o
+            .apply_delta(&delta(&[["Alice", "knows", "Bob"]], &[]))
+            .unwrap();
+        let alice = next.node_by_value("Alice").unwrap();
+        assert_eq!(next.type_str(next.node_type(alice).unwrap()), "Author");
+    }
+
+    #[test]
+    fn missing_deletes_are_named_errors() {
+        let o = base();
+        for bad in [
+            ["nobody", "wb", "Alice"],   // unknown src
+            ["paper1", "nope", "Alice"], // unknown pred
+            ["paper1", "wb", "nobody"],  // unknown dst
+            ["paper2", "wb", "Alice"],   // absent triple
+        ] {
+            let err = o.apply_delta(&delta(&[], &[bad])).unwrap_err();
+            assert!(matches!(err, GraphError::MissingTriple { .. }), "{err}");
+        }
+        // Same triple twice in one batch.
+        let err = o
+            .apply_delta(&delta(
+                &[],
+                &[["paper1", "wb", "Bob"], ["paper1", "wb", "Bob"]],
+            ))
+            .unwrap_err();
+        assert!(matches!(err, GraphError::MissingTriple { .. }));
+    }
+
+    #[test]
+    fn duplicate_inserts_are_named_errors() {
+        let o = base();
+        let err = o
+            .apply_delta(&delta(&[["paper1", "wb", "Alice"]], &[]))
+            .unwrap_err();
+        assert!(matches!(err, GraphError::DuplicateEdge { .. }));
+        let err = o
+            .apply_delta(&delta(&[["x", "p", "y"], ["x", "p", "y"]], &[]))
+            .unwrap_err();
+        assert!(matches!(err, GraphError::DuplicateEdge { .. }));
+        // Failed batches apply nothing.
+        assert!(o.node_by_value("x").is_none());
+    }
+
+    #[test]
+    fn empty_delta_is_a_noop_version() {
+        let o = base();
+        let (next, sum) = o.apply_delta(&TripleDelta::default()).unwrap();
+        assert_eq!(sum.pred_sig, 0);
+        assert!(sum.edge_ids_stable);
+        assert_eq!(next.edge_count(), o.edge_count());
+        assert_matches_scratch(&next);
+    }
+
+    #[test]
+    fn pred_sig_covers_touched_predicates_only() {
+        let o = base();
+        let wb = o.pred_by_name("wb").unwrap();
+        let cites = o.pred_by_name("cites").unwrap();
+        let (_, sum) = o
+            .apply_delta(&delta(&[], &[["paper1", "wb", "Bob"]]))
+            .unwrap();
+        assert_ne!(sum.pred_sig & o.pred_bit(wb), 0);
+        assert_eq!(sum.pred_sig & !o.pred_bit(wb), 0);
+        let _ = cites;
+    }
+
+    #[test]
+    fn randomized_update_sequences_match_scratch() {
+        // A miniature version of the fuzz oracle: drive a few hundred
+        // random deltas over a growing world and check every version
+        // against the from-scratch rebuild.
+        let mut rng = SplitMix64::seed_from_u64(0x9_e37);
+        let mut o = {
+            let mut b = Ontology::builder();
+            b.edge("n0", "p0", "n1").unwrap();
+            b.build()
+        };
+        for round in 0..60 {
+            let mut d = TripleDelta::default();
+            // A couple of random inserts over a small id universe so
+            // collisions and new nodes both happen.
+            for _ in 0..(1 + rng.next_u64() % 3) {
+                let s = format!("n{}", rng.next_u64() % 24);
+                let p = format!("p{}", rng.next_u64() % 4);
+                let t = format!("n{}", rng.next_u64() % 24);
+                let triple = [s, p, t];
+                let have = {
+                    let [s, p, t] = &triple;
+                    match (o.node_by_value(s), o.pred_by_name(p), o.node_by_value(t)) {
+                        (Some(a), Some(pp), Some(b)) => o.find_edge(a, pp, b).is_some(),
+                        _ => false,
+                    }
+                };
+                if !have && !d.inserts.contains(&triple) {
+                    d.inserts.push(triple);
+                }
+            }
+            // Sometimes delete a random existing edge.
+            if round % 3 == 0 && o.edge_count() > 0 {
+                let e = EdgeId::from_usize((rng.next_u64() % o.edge_count() as u64) as usize);
+                let ed = o.edge(e);
+                d.deletes.push([
+                    o.value_str(ed.src).to_string(),
+                    o.pred_str(ed.pred).to_string(),
+                    o.value_str(ed.dst).to_string(),
+                ]);
+            }
+            let (next, _) = o.apply_delta(&d).expect("valid generated delta");
+            assert_matches_scratch(&next);
+            o = next;
+        }
+        assert!(o.edge_count() > 10);
+    }
+}

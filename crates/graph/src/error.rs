@@ -30,6 +30,16 @@ pub enum GraphError {
         /// The conflicting new type.
         requested: String,
     },
+    /// A delta tried to delete a triple that is not present (or deleted
+    /// it twice in the same batch).
+    MissingTriple {
+        /// Source node value.
+        src: String,
+        /// Predicate label.
+        pred: String,
+        /// Target node value.
+        dst: String,
+    },
     /// A referenced node id/value does not exist in the ontology.
     UnknownNode {
         /// Human-readable description of the missing node.
@@ -61,6 +71,10 @@ impl fmt::Display for GraphError {
             } => write!(
                 f,
                 "node {value:?} already typed {existing:?}, cannot retype as {requested:?}"
+            ),
+            GraphError::MissingTriple { src, pred, dst } => write!(
+                f,
+                "cannot delete ({src:?} -{pred:?}-> {dst:?}): no such triple"
             ),
             GraphError::UnknownNode { what } => write!(f, "unknown node: {what}"),
             GraphError::Parse { line, message } => {

@@ -3,16 +3,66 @@
 //! The ontology stores each distinct string once and refers to it by a
 //! dense `u32` index. Interning keeps the hot matching loops of the query
 //! engine free of string comparisons: label equality is integer equality.
+//!
+//! Two storage modes share one type:
+//!
+//! * **Dynamic** — one `Box<str>` per label plus a hash index; what the
+//!   incremental [`intern`](Interner::intern) path produces.
+//! * **Sorted arena** — all labels concatenated in one allocation with an
+//!   offset table, built by [`Interner::from_sorted_labels`] from an
+//!   already-sorted unique label set (the persistent store's dictionary
+//!   order). Lookup is a binary search over the arena — no hash map is
+//!   ever built, which is what makes snapshot cold-start O(bytes copied)
+//!   instead of O(labels hashed). Labels interned *after* arena
+//!   construction (live ontology updates) go to a dynamic overflow
+//!   section with ids continuing past the arena, so an arena-backed
+//!   interner still supports `intern`.
 
 use std::collections::HashMap;
+
+/// Sorted label arena: `text[offs[i]..offs[i+1]]` is label `i`, labels
+/// strictly ascending.
+#[derive(Debug, Clone)]
+struct SortedArena {
+    text: Box<str>,
+    offs: Vec<u32>,
+}
+
+impl SortedArena {
+    fn len(&self) -> usize {
+        self.offs.len() - 1
+    }
+
+    #[inline]
+    fn label(&self, i: usize) -> &str {
+        &self.text[self.offs[i] as usize..self.offs[i + 1] as usize]
+    }
+
+    fn lookup(&self, s: &str) -> Option<u32> {
+        let n = self.len();
+        let (mut lo, mut hi) = (0usize, n);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            match self.label(mid).cmp(s) {
+                std::cmp::Ordering::Less => lo = mid + 1,
+                std::cmp::Ordering::Greater => hi = mid,
+                std::cmp::Ordering::Equal => return Some(mid as u32),
+            }
+        }
+        None
+    }
+}
 
 /// A dense string interner.
 ///
 /// Strings are assigned consecutive `u32` indexes in insertion order.
-/// Lookup by string is `O(1)` average (hash map), lookup by index is a
-/// direct array access.
+/// Lookup by string is `O(1)` average (hash map) or `O(log n)` (sorted
+/// arena mode); lookup by index is a direct array access either way.
 #[derive(Debug, Default, Clone)]
 pub struct Interner {
+    /// Arena-backed prefix: ids `0..arena.len()` resolve here.
+    arena: Option<SortedArena>,
+    /// Dynamic labels; ids continue after the arena prefix.
     strings: Vec<Box<str>>,
     index: HashMap<Box<str>, u32>,
 }
@@ -26,6 +76,7 @@ impl Interner {
     /// Creates an empty interner with capacity for `cap` strings.
     pub fn with_capacity(cap: usize) -> Self {
         Self {
+            arena: None,
             strings: Vec::with_capacity(cap),
             index: HashMap::with_capacity(cap),
         }
@@ -53,16 +104,63 @@ impl Interner {
             }
             strings.push(s);
         }
-        Some(Self { strings, index })
+        Some(Self {
+            arena: None,
+            strings,
+            index,
+        })
+    }
+
+    /// Builds an arena-backed interner from labels in **strictly
+    /// ascending** order (label `i` gets index `i`).
+    ///
+    /// One allocation for all label bytes, one for the offset table, no
+    /// hash map: this is the snapshot cold-start fast path — the store's
+    /// dictionaries are sorted on disk, so handing them over costs a
+    /// memcpy instead of a per-label hash build. `byte_hint` sizes the
+    /// arena up front. Returns `None` if the labels are not strictly
+    /// ascending (which also guarantees uniqueness) or overflow `u32`
+    /// ids/offsets.
+    pub fn from_sorted_labels<'a, I>(labels: I, byte_hint: usize) -> Option<Self>
+    where
+        I: IntoIterator<Item = &'a str>,
+    {
+        let mut text = String::with_capacity(byte_hint);
+        let mut offs: Vec<u32> = vec![0];
+        let mut prev_start = 0usize;
+        let mut first = true;
+        for s in labels {
+            if !first && &text[prev_start..] >= s {
+                return None;
+            }
+            first = false;
+            prev_start = text.len();
+            text.push_str(s);
+            offs.push(u32::try_from(text.len()).ok()?);
+            u32::try_from(offs.len() - 1).ok()?;
+        }
+        Some(Self {
+            arena: Some(SortedArena {
+                text: text.into_boxed_str(),
+                offs,
+            }),
+            strings: Vec::new(),
+            index: HashMap::new(),
+        })
+    }
+
+    #[inline]
+    fn arena_len(&self) -> usize {
+        self.arena.as_ref().map_or(0, SortedArena::len)
     }
 
     /// Interns `s`, returning its index; re-interning returns the same
     /// index without allocating.
     pub fn intern(&mut self, s: &str) -> u32 {
-        if let Some(&i) = self.index.get(s) {
+        if let Some(i) = self.get(s) {
             return i;
         }
-        let i = u32::try_from(self.strings.len()).expect("interner overflow");
+        let i = u32::try_from(self.arena_len() + self.strings.len()).expect("interner overflow");
         let boxed: Box<str> = s.into();
         self.strings.push(boxed.clone());
         self.index.insert(boxed, i);
@@ -71,6 +169,11 @@ impl Interner {
 
     /// Returns the index of `s` if it was interned before.
     pub fn get(&self, s: &str) -> Option<u32> {
+        if let Some(arena) = &self.arena {
+            if let Some(i) = arena.lookup(s) {
+                return Some(i);
+            }
+        }
         self.index.get(s).copied()
     }
 
@@ -79,30 +182,47 @@ impl Interner {
     /// # Panics
     /// Panics if `i` was not produced by this interner.
     pub fn resolve(&self, i: u32) -> &str {
-        &self.strings[i as usize]
+        let base = self.arena_len();
+        if (i as usize) < base {
+            self.arena.as_ref().expect("arena prefix").label(i as usize)
+        } else {
+            &self.strings[i as usize - base]
+        }
     }
 
     /// Resolves an index if it is in range.
     pub fn try_resolve(&self, i: u32) -> Option<&str> {
-        self.strings.get(i as usize).map(|s| &**s)
+        let base = self.arena_len();
+        if (i as usize) < base {
+            return Some(self.arena.as_ref()?.label(i as usize));
+        }
+        self.strings.get(i as usize - base).map(|s| &**s)
     }
 
     /// Number of distinct interned strings.
     pub fn len(&self) -> usize {
-        self.strings.len()
+        self.arena_len() + self.strings.len()
     }
 
     /// Whether the interner holds no strings.
     pub fn is_empty(&self) -> bool {
-        self.strings.is_empty()
+        self.len() == 0
     }
 
     /// Iterates over `(index, string)` pairs in insertion order.
     pub fn iter(&self) -> impl Iterator<Item = (u32, &str)> {
-        self.strings
-            .iter()
-            .enumerate()
-            .map(|(i, s)| (i as u32, &**s))
+        let base = self.arena_len();
+        let arena = self
+            .arena
+            .as_ref()
+            .into_iter()
+            .flat_map(|a| (0..a.len()).map(move |i| (i as u32, a.label(i))));
+        arena.chain(
+            self.strings
+                .iter()
+                .enumerate()
+                .map(move |(i, s)| ((base + i) as u32, &**s)),
+        )
     }
 }
 
@@ -157,5 +277,51 @@ mod tests {
         let it = Interner::new();
         assert!(it.is_empty());
         assert_eq!(it.len(), 0);
+    }
+
+    #[test]
+    fn sorted_arena_matches_dynamic_behaviour() {
+        let labels = ["Alice", "Bob", "paper1", "paper2", "zeta"];
+        let arena = Interner::from_sorted_labels(labels.iter().copied(), 32).expect("sorted");
+        let mut dynamic = Interner::new();
+        for s in labels {
+            dynamic.intern(s);
+        }
+        assert_eq!(arena.len(), dynamic.len());
+        for (i, s) in labels.iter().enumerate() {
+            assert_eq!(arena.get(s), Some(i as u32));
+            assert_eq!(arena.resolve(i as u32), *s);
+            assert_eq!(arena.try_resolve(i as u32), Some(*s));
+        }
+        assert_eq!(arena.get("nope"), None);
+        assert_eq!(arena.try_resolve(labels.len() as u32), None);
+        let collected: Vec<_> = arena.iter().map(|(i, s)| (i, s.to_string())).collect();
+        let expect: Vec<_> = labels
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i as u32, s.to_string()))
+            .collect();
+        assert_eq!(collected, expect);
+    }
+
+    #[test]
+    fn sorted_arena_rejects_unsorted_and_duplicate_labels() {
+        assert!(Interner::from_sorted_labels(["b", "a"], 8).is_none());
+        assert!(Interner::from_sorted_labels(["a", "a"], 8).is_none());
+        assert!(Interner::from_sorted_labels(std::iter::empty(), 0).is_some());
+    }
+
+    #[test]
+    fn arena_overflow_section_keeps_interning() {
+        let mut it = Interner::from_sorted_labels(["a", "c"], 4).expect("sorted");
+        assert_eq!(it.intern("a"), 0);
+        let b = it.intern("b"); // unsorted append lands in the overflow
+        assert_eq!(b, 2);
+        assert_eq!(it.intern("b"), 2);
+        assert_eq!(it.resolve(2), "b");
+        assert_eq!(it.get("b"), Some(2));
+        assert_eq!(it.len(), 3);
+        let collected: Vec<_> = it.iter().map(|(_, s)| s.to_string()).collect();
+        assert_eq!(collected, vec!["a", "c", "b"]);
     }
 }

@@ -29,6 +29,7 @@
 //! hashing strings.
 
 pub mod columnar;
+pub mod delta;
 pub mod error;
 pub mod exformat;
 pub mod explanation;
@@ -41,6 +42,7 @@ pub mod subgraph;
 pub mod triples;
 
 pub use columnar::{ColumnarIndexes, PredStats};
+pub use delta::{DeltaSummary, TripleDelta};
 pub use error::GraphError;
 pub use explanation::{ExampleSet, Explanation};
 pub use fxhash::{FxHashMap, FxHashSet};

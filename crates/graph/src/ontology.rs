@@ -9,7 +9,12 @@
 //!
 //! Once built, an [`Ontology`] is immutable and exposes the indexes the
 //! query engine needs: per-node in/out adjacency, a per-predicate edge
-//! list, and value→node lookup.
+//! list, and value→node lookup. All three row indexes are flat CSR
+//! arrays (offsets + one edge-id column) built by linear counting
+//! passes — no per-node allocations, which is what keeps snapshot
+//! cold-start at memcpy speed (see `questpro-store`). Point-in-time
+//! copies with batched triple inserts/deletes are produced by
+//! [`Ontology::apply_delta`](crate::delta) without re-interning.
 
 use std::collections::HashMap;
 
@@ -39,6 +44,81 @@ pub struct EdgeData {
     pub pred: PredId,
 }
 
+/// Flat CSR edge grouping: group `i` owns `ids[off[i]..off[i+1]]`, with
+/// edge ids ascending within each group (insertion order).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct EdgeCsr {
+    pub(crate) off: Vec<u32>,
+    pub(crate) ids: Vec<EdgeId>,
+}
+
+impl EdgeCsr {
+    #[inline]
+    pub(crate) fn span(&self, i: usize) -> &[EdgeId] {
+        &self.ids[self.off[i] as usize..self.off[i + 1] as usize]
+    }
+
+    #[inline]
+    pub(crate) fn span_len(&self, i: usize) -> usize {
+        (self.off[i + 1] - self.off[i]) as usize
+    }
+}
+
+/// Builds one CSR grouping of the edge table by `key` in two linear
+/// passes (count, place); edge ids stay ascending within each group.
+pub(crate) fn group_edges(
+    groups: usize,
+    edges: &[EdgeData],
+    key: impl Fn(&EdgeData) -> usize,
+) -> EdgeCsr {
+    let mut off = vec![0u32; groups + 1];
+    for d in edges {
+        off[key(d) + 1] += 1;
+    }
+    for i in 0..groups {
+        off[i + 1] += off[i];
+    }
+    let mut ids = vec![EdgeId::new(0); edges.len()];
+    let mut cur: Vec<u32> = off[..groups].to_vec();
+    for (i, d) in edges.iter().enumerate() {
+        let c = &mut cur[key(d)];
+        ids[*c as usize] = EdgeId::from_usize(i);
+        *c += 1;
+    }
+    EdgeCsr { off, ids }
+}
+
+/// Value → node lookup.
+///
+/// The builder and snapshot paths both assign node `i` the value id `i`
+/// (values and nodes are appended in lockstep), so the common case needs
+/// no map at all: the lookup *is* the id. The `Map` arm covers
+/// hand-assembled tables where the correspondence was permuted.
+#[derive(Debug, Clone)]
+pub(crate) enum ValueLookup {
+    /// `value id v ↔ node id v` for every node; requires
+    /// `values.len() == nodes.len()`.
+    Identity,
+    /// Explicit mapping for permuted tables.
+    Map(FxHashMap<ValueId, NodeId>),
+}
+
+impl ValueLookup {
+    #[inline]
+    fn node_of(&self, v: ValueId, node_count: usize) -> Option<NodeId> {
+        match self {
+            ValueLookup::Identity => {
+                if (v.raw() as usize) < node_count {
+                    Some(NodeId::new(v.raw()))
+                } else {
+                    None
+                }
+            }
+            ValueLookup::Map(m) => m.get(&v).copied(),
+        }
+    }
+}
+
 /// An immutable ontology graph with lookup indexes.
 ///
 /// ```
@@ -57,21 +137,41 @@ pub struct EdgeData {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Ontology {
-    values: Interner,
-    preds: Interner,
-    types: Interner,
-    nodes: Vec<NodeData>,
-    edges: Vec<EdgeData>,
-    out: Vec<Vec<EdgeId>>,
-    inc: Vec<Vec<EdgeId>>,
-    by_pred: Vec<Vec<EdgeId>>,
-    value_to_node: FxHashMap<ValueId, NodeId>,
+    pub(crate) values: Interner,
+    pub(crate) preds: Interner,
+    pub(crate) types: Interner,
+    pub(crate) nodes: Vec<NodeData>,
+    pub(crate) edges: Vec<EdgeData>,
+    pub(crate) out_csr: EdgeCsr,
+    pub(crate) in_csr: EdgeCsr,
+    pub(crate) by_pred_csr: EdgeCsr,
+    pub(crate) value_to_node: ValueLookup,
     // Per-node predicate signatures: bit `pred_bit(p)` is set iff the
     // node has an incident out/in edge labeled `p` (modulo the 64-bit
     // fold, so the test is a sound necessary condition only).
-    out_sig: Vec<u64>,
-    in_sig: Vec<u64>,
-    columnar: ColumnarIndexes,
+    pub(crate) out_sig: Vec<u64>,
+    pub(crate) in_sig: Vec<u64>,
+    pub(crate) columnar: ColumnarIndexes,
+}
+
+/// Builds the three row CSRs plus the per-node signature words in two
+/// linear counting passes over the edge table.
+pub(crate) fn index_edges(
+    node_count: usize,
+    pred_count: usize,
+    edges: &[EdgeData],
+) -> (EdgeCsr, EdgeCsr, EdgeCsr, Vec<u64>, Vec<u64>) {
+    let out_csr = group_edges(node_count, edges, |d| d.src.index());
+    let in_csr = group_edges(node_count, edges, |d| d.dst.index());
+    let by_pred_csr = group_edges(pred_count, edges, |d| d.pred.index());
+    let mut out_sig = vec![0u64; node_count];
+    let mut in_sig = vec![0u64; node_count];
+    for d in edges {
+        let bit = 1u64 << (d.pred.raw() & 63);
+        out_sig[d.src.index()] |= bit;
+        in_sig[d.dst.index()] |= bit;
+    }
+    (out_csr, in_csr, by_pred_csr, out_sig, in_sig)
 }
 
 impl Ontology {
@@ -89,7 +189,9 @@ impl Ontology {
     /// re-check invariants the store format enforces on disk. The caller
     /// must guarantee edge uniqueness (no two edges with the same
     /// `(src, pred, dst)`); everything else — id ranges and value
-    /// uniqueness — is validated here.
+    /// uniqueness — is validated here. When node `i` holds value id `i`
+    /// for every node (true for all snapshot and builder tables), no
+    /// value→node map is materialized at all.
     ///
     /// `columnar` may carry indexes mapped straight from the store's
     /// SPO/OSP arrays (see [`ColumnarIndexes::from_sorted_parts`]); when
@@ -108,8 +210,6 @@ impl Ontology {
         columnar: Option<ColumnarIndexes>,
     ) -> Result<Self, GraphError> {
         let n = nodes.len();
-        let mut value_to_node: FxHashMap<ValueId, NodeId> = FxHashMap::default();
-        value_to_node.reserve(n);
         for (i, d) in nodes.iter().enumerate() {
             if d.value.index() >= values.len() {
                 return Err(GraphError::UnknownNode {
@@ -126,20 +226,25 @@ impl Ontology {
                     });
                 }
             }
-            if value_to_node
-                .insert(d.value, NodeId::from_usize(i))
-                .is_some()
-            {
-                return Err(GraphError::DuplicateValue {
-                    value: values.resolve(d.value.raw()).to_string(),
-                });
-            }
         }
-        let mut out: Vec<Vec<EdgeId>> = vec![Vec::new(); n];
-        let mut inc: Vec<Vec<EdgeId>> = vec![Vec::new(); n];
-        let mut by_pred: Vec<Vec<EdgeId>> = vec![Vec::new(); preds.len()];
-        let mut out_sig = vec![0u64; n];
-        let mut in_sig = vec![0u64; n];
+        let identity =
+            values.len() == n && nodes.iter().enumerate().all(|(i, d)| d.value.index() == i);
+        let value_to_node = if identity {
+            // Distinct indices imply distinct values: uniqueness holds
+            // without a map.
+            ValueLookup::Identity
+        } else {
+            let mut map: FxHashMap<ValueId, NodeId> = FxHashMap::default();
+            map.reserve(n);
+            for (i, d) in nodes.iter().enumerate() {
+                if map.insert(d.value, NodeId::from_usize(i)).is_some() {
+                    return Err(GraphError::DuplicateValue {
+                        value: values.resolve(d.value.raw()).to_string(),
+                    });
+                }
+            }
+            ValueLookup::Map(map)
+        };
         for (i, d) in edges.iter().enumerate() {
             if d.src.index() >= n || d.dst.index() >= n {
                 return Err(GraphError::UnknownNode {
@@ -151,24 +256,18 @@ impl Ontology {
                     what: format!("edge {i} references pred id {} out of range", d.pred.raw()),
                 });
             }
-            let e = EdgeId::from_usize(i);
-            out[d.src.index()].push(e);
-            inc[d.dst.index()].push(e);
-            by_pred[d.pred.index()].push(e);
-            let bit = 1u64 << (d.pred.raw() & 63);
-            out_sig[d.src.index()] |= bit;
-            in_sig[d.dst.index()] |= bit;
         }
-        let columnar = columnar.unwrap_or_else(|| ColumnarIndexes::build(n, &edges, &by_pred));
+        let (out_csr, in_csr, by_pred_csr, out_sig, in_sig) = index_edges(n, preds.len(), &edges);
+        let columnar = columnar.unwrap_or_else(|| ColumnarIndexes::build(n, &edges, &by_pred_csr));
         Ok(Self {
             values,
             preds,
             types,
             nodes,
             edges,
-            out,
-            inc,
-            by_pred,
+            out_csr,
+            in_csr,
+            by_pred_csr,
             value_to_node,
             out_sig,
             in_sig,
@@ -246,7 +345,8 @@ impl Ontology {
     /// Finds the node holding `value`, if any (values are unique).
     pub fn node_by_value(&self, value: &str) -> Option<NodeId> {
         let v = self.values.get(value)?;
-        self.value_to_node.get(&ValueId::new(v)).copied()
+        self.value_to_node
+            .node_of(ValueId::new(v), self.nodes.len())
     }
 
     /// Finds the predicate id of `pred`, if any edge uses it.
@@ -262,27 +362,28 @@ impl Ontology {
     /// Outgoing edges of node `n`.
     #[inline]
     pub fn out_edges(&self, n: NodeId) -> &[EdgeId] {
-        &self.out[n.index()]
+        self.out_csr.span(n.index())
     }
 
     /// Incoming edges of node `n`.
     #[inline]
     pub fn in_edges(&self, n: NodeId) -> &[EdgeId] {
-        &self.inc[n.index()]
+        self.in_csr.span(n.index())
     }
 
     /// All edges labeled with predicate `p`.
     #[inline]
     pub fn edges_with_pred(&self, p: PredId) -> &[EdgeId] {
-        self.by_pred
-            .get(p.index())
-            .map(|v| v.as_slice())
-            .unwrap_or(&[])
+        if p.index() < self.preds.len() {
+            self.by_pred_csr.span(p.index())
+        } else {
+            &[]
+        }
     }
 
     /// Degree (in + out) of node `n`.
     pub fn degree(&self, n: NodeId) -> usize {
-        self.out[n.index()].len() + self.inc[n.index()].len()
+        self.out_csr.span_len(n.index()) + self.in_csr.span_len(n.index())
     }
 
     /// Finds the unique edge `src -pred-> dst`, if present.
@@ -324,10 +425,12 @@ impl Ontology {
 
     /// Rebuilds the columnar indexes from the row-oriented tables.
     ///
-    /// Only used by benchmarks to time a warm index build; the result is
-    /// identical to the block built in [`OntologyBuilder::build`].
+    /// Used by benchmarks to time a warm index build and by the delta
+    /// tests as the from-scratch oracle for the incremental maintenance
+    /// path; the result is identical to the block built in
+    /// [`OntologyBuilder::build`].
     pub fn rebuild_columnar(&self) -> ColumnarIndexes {
-        ColumnarIndexes::build(self.nodes.len(), &self.edges, &self.by_pred)
+        ColumnarIndexes::build(self.nodes.len(), &self.edges, &self.by_pred_csr)
     }
 
     /// The signature bit predicate `p` folds to (predicates are hashed
@@ -568,31 +671,32 @@ impl OntologyBuilder {
     /// Finalizes the ontology, computing all indexes.
     pub fn build(self) -> Ontology {
         let n = self.nodes.len();
-        let mut out: Vec<Vec<EdgeId>> = vec![Vec::new(); n];
-        let mut inc: Vec<Vec<EdgeId>> = vec![Vec::new(); n];
-        let mut by_pred: Vec<Vec<EdgeId>> = vec![Vec::new(); self.preds.len()];
-        let mut out_sig = vec![0u64; n];
-        let mut in_sig = vec![0u64; n];
-        for (i, d) in self.edges.iter().enumerate() {
-            let e = EdgeId::from_usize(i);
-            out[d.src.index()].push(e);
-            inc[d.dst.index()].push(e);
-            by_pred[d.pred.index()].push(e);
-            let bit = 1u64 << (d.pred.raw() & 63);
-            out_sig[d.src.index()] |= bit;
-            in_sig[d.dst.index()] |= bit;
-        }
-        let columnar = ColumnarIndexes::build(n, &self.edges, &by_pred);
+        let (out_csr, in_csr, by_pred_csr, out_sig, in_sig) =
+            index_edges(n, self.preds.len(), &self.edges);
+        let columnar = ColumnarIndexes::build(n, &self.edges, &by_pred_csr);
+        // The builder appends values and nodes in lockstep, so identity
+        // normally holds; keep the map only for the degenerate case.
+        let identity = self.values.len() == n
+            && self
+                .nodes
+                .iter()
+                .enumerate()
+                .all(|(i, d)| d.value.index() == i);
+        let value_to_node = if identity {
+            ValueLookup::Identity
+        } else {
+            ValueLookup::Map(self.value_to_node)
+        };
         Ontology {
             values: self.values,
             preds: self.preds,
             types: self.types,
             nodes: self.nodes,
             edges: self.edges,
-            out,
-            inc,
-            by_pred,
-            value_to_node: self.value_to_node,
+            out_csr,
+            in_csr,
+            by_pred_csr,
+            value_to_node,
             out_sig,
             in_sig,
             columnar,
@@ -802,5 +906,29 @@ mod tests {
         assert!(o.node_by_value("nobody").is_none());
         assert!(o.pred_by_name("nope").is_none());
         assert!(o.type_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn permuted_assemble_tables_fall_back_to_the_value_map() {
+        // Swap the value ids of two nodes: identity no longer holds, so
+        // the Map arm must carry the lookup.
+        let o = tiny();
+        let mut nodes: Vec<NodeData> = o.node_ids().map(|n| o.node(n)).collect();
+        let edges: Vec<EdgeData> = o.edge_ids().map(|e| o.edge(e)).collect();
+        nodes.swap(0, 1);
+        let v0 = o.value_of(nodes[0].value).to_string();
+        let v1 = o.value_of(nodes[1].value).to_string();
+        let p = Ontology::assemble(
+            o.values().clone(),
+            o.preds().clone(),
+            o.types().clone(),
+            nodes,
+            edges,
+            None,
+        )
+        .unwrap();
+        assert_eq!(p.node_by_value(&v0), Some(NodeId::new(0)));
+        assert_eq!(p.node_by_value(&v1), Some(NodeId::new(1)));
+        assert!(p.node_by_value("nobody").is_none());
     }
 }

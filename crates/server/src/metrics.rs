@@ -87,6 +87,36 @@ impl HttpCounters {
     }
 }
 
+/// Monotonic counters for the live-ontology update path.
+#[derive(Default)]
+pub struct OntologyCounters {
+    updates: AtomicU64,
+    rejections: AtomicU64,
+}
+
+impl OntologyCounters {
+    /// Records one update batch applied (a new head version installed).
+    pub fn record_update(&self) {
+        self.updates.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one update batch rejected (malformed body, unknown
+    /// world, missing delete, duplicate insert — any 4xx outcome).
+    pub fn record_rejection(&self) {
+        self.rejections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total update batches applied.
+    pub fn updates(&self) -> u64 {
+        self.updates.load(Ordering::Relaxed)
+    }
+
+    /// Total update batches rejected.
+    pub fn rejections(&self) -> u64 {
+        self.rejections.load(Ordering::Relaxed)
+    }
+}
+
 /// Per-route latency histograms (the route label list is fixed in
 /// [`ROUTES`], so the exposition format is traffic-independent).
 fn route_hists() -> &'static HistogramSet {
@@ -123,7 +153,12 @@ fn write_hist(out: &mut String, name: &str, help: &str, label: &str, snaps: &[Hi
 }
 
 /// Renders the full scrape document.
-pub fn render(http: &HttpCounters, live_sessions: usize) -> String {
+pub fn render(
+    http: &HttpCounters,
+    live_sessions: usize,
+    ontology: &OntologyCounters,
+    versions_open: usize,
+) -> String {
     let mut out = String::new();
     let mut counter = |name: &str, help: &str, value: u64| {
         let _ = writeln!(out, "# HELP {name} {help}");
@@ -169,6 +204,17 @@ pub fn render(http: &HttpCounters, live_sessions: usize) -> String {
         "questpro_http_connections_accepted_total",
         "Connections registered with the event loop.",
         http.connections_accepted.load(Ordering::Relaxed),
+    );
+
+    counter(
+        "questpro_ontology_updates_total",
+        "Live ontology update batches applied (new head versions).",
+        ontology.updates(),
+    );
+    counter(
+        "questpro_ontology_update_rejections_total",
+        "Live ontology update batches rejected with a 4xx.",
+        ontology.rejections(),
     );
 
     let inference = questpro_core::global_stats();
@@ -253,6 +299,12 @@ pub fn render(http: &HttpCounters, live_sessions: usize) -> String {
          # TYPE questpro_sessions_live gauge\n\
          questpro_sessions_live {live_sessions}"
     );
+    let _ = writeln!(
+        out,
+        "# HELP questpro_ontology_versions_open Ontology versions retained for pinned readers.\n\
+         # TYPE questpro_ontology_versions_open gauge\n\
+         questpro_ontology_versions_open {versions_open}"
+    );
 
     // Dimensional latency histograms. Both label lists (traced stages,
     // normalized routes) and the log2 bucket layout are fixed at
@@ -292,7 +344,11 @@ mod tests {
         http.record_conn_opened();
         http.record_conn_opened();
         http.record_conn_closed();
-        let text = render(&http, 3);
+        let onto = OntologyCounters::default();
+        onto.record_update();
+        onto.record_rejection();
+        onto.record_rejection();
+        let text = render(&http, 3, &onto, 5);
         assert!(text.contains("questpro_http_requests_total 1"));
         assert!(text.contains("questpro_http_responses_2xx_total 1"));
         assert!(text.contains("questpro_http_responses_4xx_total 1"));
@@ -303,6 +359,9 @@ mod tests {
         assert!(text.contains("questpro_http_connections_accepted_total 2"));
         assert!(text.contains("questpro_http_connections_open 1"));
         assert!(text.contains("questpro_sessions_live 3"));
+        assert!(text.contains("questpro_ontology_updates_total 1"));
+        assert!(text.contains("questpro_ontology_update_rejections_total 2"));
+        assert!(text.contains("questpro_ontology_versions_open 5"));
         assert!(text.contains("questpro_engine_searches_total"));
         assert!(text.contains("questpro_inference_runs_total"));
         assert!(text.contains("questpro_log_events_total"));

@@ -19,6 +19,7 @@
 //! | `POST /ontologies`             | register a world (triple text, or a |
 //! |                                | base64 binary snapshot)             |
 //! | `GET  /ontologies/:name`       | materialize + describe one world    |
+//! | `POST /ontologies/:name/update`| batched triple inserts/deletes      |
 //! | `POST /eval`                   | evaluate a SPARQL union             |
 //! | `POST /infer`                  | one-shot top-k inference            |
 //! | `POST /sessions`               | start an interactive session        |
@@ -29,7 +30,16 @@
 //! | `POST /sessions/:id/feedback`  | answer the pending question         |
 //! | `GET  /sessions/:id/candidates`| the ranked candidate queries        |
 //! | `GET  /sessions/:id/snapshot`  | serialized session state            |
+//! | `POST /sessions/restore`       | resume a session from a snapshot    |
 //! | `POST /shutdown`               | begin graceful shutdown             |
+//!
+//! Live updates and sessions: every session is pinned to the ontology
+//! *version* it started on (its candidates and provenance reference
+//! that version's ids). `POST /ontologies/:name/update` installs a new
+//! head version without touching pinned ones; once a pinned version
+//! falls off the registry's bounded history, requests against that
+//! session — and restores of its snapshots — fail with a named `410`
+//! instead of silently answering from the wrong graph.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -45,8 +55,8 @@ use questpro_query::{sparql, GeneralizationWeights, UnionQuery};
 use questpro_wire::{Json, Limits};
 
 use crate::http::{Request, Response};
-use crate::metrics::{render, HttpCounters};
-use crate::registry::Registry;
+use crate::metrics::{render, HttpCounters, OntologyCounters};
+use crate::registry::{Registry, VersionLookup};
 use crate::sessions::{lock, SessionEntry, SessionManager};
 
 /// Everything the handlers share; one per server, behind an `Arc`.
@@ -57,6 +67,8 @@ pub struct AppState {
     pub sessions: SessionManager,
     /// Monotonic HTTP counters for `/metrics`.
     pub http: HttpCounters,
+    /// Monotonic live-update counters for `/metrics`.
+    pub ontology_updates: OntologyCounters,
     /// Set by `POST /shutdown`; the accept loop polls it.
     pub shutdown: Arc<AtomicBool>,
     /// Default `--threads` for inference when a request omits it.
@@ -80,6 +92,7 @@ impl AppState {
             registry: Registry::with_builtins(),
             sessions: SessionManager::new(session_idle, max_sessions),
             http: HttpCounters::default(),
+            ontology_updates: OntologyCounters::default(),
             shutdown: Arc::new(AtomicBool::new(false)),
             default_threads: default_threads.max(1),
             max_body,
@@ -100,6 +113,7 @@ pub const ROUTES: &[&str] = &[
     "GET /ontologies",
     "POST /ontologies",
     "GET /ontologies/:name",
+    "POST /ontologies/:name/update",
     "POST /eval",
     "POST /infer",
     "POST /sessions",
@@ -110,6 +124,7 @@ pub const ROUTES: &[&str] = &[
     "POST /sessions/:id/feedback",
     "GET /sessions/:id/candidates",
     "GET /sessions/:id/snapshot",
+    "POST /sessions/restore",
     "POST /shutdown",
     "other",
 ];
@@ -145,9 +160,11 @@ pub fn route_label(method: &str, path: &str) -> &'static str {
         ("GET", ["ontologies"]) => "GET /ontologies",
         ("POST", ["ontologies"]) => "POST /ontologies",
         ("GET", ["ontologies", _]) => "GET /ontologies/:name",
+        ("POST", ["ontologies", _, "update"]) => "POST /ontologies/:name/update",
         ("POST", ["eval"]) => "POST /eval",
         ("POST", ["infer"]) => "POST /infer",
         ("POST", ["sessions"]) => "POST /sessions",
+        ("POST", ["sessions", "restore"]) => "POST /sessions/restore",
         ("GET", ["sessions"]) => "GET /sessions",
         ("GET", ["sessions", _]) => "GET /sessions/:id",
         ("DELETE", ["sessions", _]) => "DELETE /sessions/:id",
@@ -165,15 +182,25 @@ pub fn route(state: &AppState, req: &Request) -> Response {
     let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
     match (req.method.as_str(), segments.as_slice()) {
         ("GET", ["healthz"]) => Response::text(200, "ok\n"),
-        ("GET", ["metrics"]) => Response::text(200, render(&state.http, state.sessions.count())),
+        ("GET", ["metrics"]) => Response::text(
+            200,
+            render(
+                &state.http,
+                state.sessions.count(),
+                &state.ontology_updates,
+                state.registry.versions_open(),
+            ),
+        ),
         ("GET", ["debug", "traces"]) => debug_traces(req),
         ("GET", ["debug", "logs"]) => debug_logs(req),
         ("GET", ["ontologies"]) => list_ontologies(state),
         ("POST", ["ontologies"]) => create_ontology(state, req),
         ("GET", ["ontologies", name]) => describe_ontology(state, name),
+        ("POST", ["ontologies", name, "update"]) => update_ontology(state, name, req),
         ("POST", ["eval"]) => eval_query(state, req),
         ("POST", ["infer"]) => one_shot_infer(state, req),
         ("POST", ["sessions"]) => create_session(state, req),
+        ("POST", ["sessions", "restore"]) => restore_session(state, req),
         ("GET", ["sessions"]) => list_sessions(state),
         ("GET", ["sessions", id]) => with_session(state, id, session_state_json),
         ("DELETE", ["sessions", id]) => delete_session(state, id),
@@ -197,7 +224,14 @@ pub fn route(state: &AppState, req: &Request) -> Response {
             )
         }),
         ("GET", ["sessions", id, "snapshot"]) => with_session(state, id, |ont, entry| {
-            Response::json(200, entry.session.snapshot(ont).to_text())
+            // Embed the ontology pin so the snapshot is self-contained:
+            // `POST /sessions/restore` refuses version mismatches by name.
+            let mut snap = entry.session.snapshot(ont);
+            if let Json::Obj(pairs) = &mut snap {
+                pairs.push(("ontology".to_string(), Json::str(entry.ontology.clone())));
+                pairs.push(("ontology_version".to_string(), Json::from(entry.version)));
+            }
+            Response::json(200, snap.to_text())
         }),
         ("POST", ["shutdown"]) => {
             state.shutdown.store(true, Ordering::SeqCst);
@@ -391,17 +425,59 @@ fn create_ontology(state: &AppState, req: &Request) -> Response {
 }
 
 fn describe_ontology(state: &AppState, name: &str) -> Response {
-    match ontology_of(state, name) {
-        Ok(ont) => Response::json(
+    match state.registry.get_versioned(name) {
+        Some((version, ont)) => Response::json(
             200,
             Json::obj([
                 ("name", Json::str(name)),
+                ("version", Json::from(version)),
                 ("nodes", Json::from(ont.node_count())),
                 ("edges", Json::from(ont.edge_count())),
             ])
             .to_text(),
         ),
-        Err(resp) => resp,
+        None => Response::error(404, &format!("no ontology named {name:?}")),
+    }
+}
+
+/// `POST /ontologies/:name/update` — applies a batched insert/delete
+/// to the named world's head and installs the result as a new version.
+/// Sessions pinned to older versions are untouched until their version
+/// falls off the bounded history. Every rejection is a 4xx with a
+/// named reason and bumps the rejection counter; the head is never
+/// left half-updated (the registry validates the whole batch before
+/// installing anything).
+fn update_ontology(state: &AppState, name: &str, req: &Request) -> Response {
+    let reject = |resp: Response| {
+        state.ontology_updates.record_rejection();
+        resp
+    };
+    let body = match body_json(state, req) {
+        Ok(b) => b,
+        Err(resp) => return reject(resp),
+    };
+    let delta = match questpro_wire::update::parse_update(&body) {
+        Ok(d) => d,
+        Err(e) => return reject(Response::error(422, &format!("bad update: {e}"))),
+    };
+    match state.registry.update(name, &delta) {
+        Ok((version, ont, summary)) => {
+            state.ontology_updates.record_update();
+            Response::json(
+                200,
+                Json::obj([
+                    ("name", Json::str(name)),
+                    ("version", Json::from(version)),
+                    ("inserted", Json::from(summary.inserted)),
+                    ("deleted", Json::from(summary.deleted)),
+                    ("nodes", Json::from(ont.node_count())),
+                    ("edges", Json::from(ont.edge_count())),
+                    ("edge_ids_stable", Json::Bool(summary.edge_ids_stable)),
+                ])
+                .to_text(),
+            )
+        }
+        Err((status, msg)) => reject(Response::error(status, &msg)),
     }
 }
 
@@ -538,11 +614,16 @@ fn create_session(state: &AppState, req: &Request) -> Response {
         Err(resp) => return resp,
     };
     let parsed = (|| {
-        let ont = ontology_of(state, &ont_name)?;
+        // Pin the session to the head version it starts on: its
+        // candidates and provenance will reference this exact graph.
+        let (version, ont) = state
+            .registry
+            .get_versioned(&ont_name)
+            .ok_or_else(|| Response::error(404, &format!("no ontology named {ont_name:?}")))?;
         let examples = examples_of(&ont, str_field(&body, "examples")?)?;
-        Ok::<_, Response>((ont, examples))
+        Ok::<_, Response>((version, ont, examples))
     })();
-    let (ont, examples) = match parsed {
+    let (version, ont, examples) = match parsed {
         Ok(p) => p,
         Err(resp) => return resp,
     };
@@ -573,7 +654,52 @@ fn create_session(state: &AppState, req: &Request) -> Response {
         }
         Err(e) => return Response::error(500, &e.to_string()),
     };
-    match state.sessions.create(session, ont_name, seed) {
+    match state.sessions.create(session, ont_name, version, seed) {
+        Ok(id) => match state.sessions.get(id) {
+            Some(entry) => {
+                let entry = lock(&entry);
+                let mut resp = entry_json(&ont, id, &entry);
+                resp.status = 201;
+                resp
+            }
+            None => Response::error(500, "session vanished during creation"),
+        },
+        Err(e) => Response::error(429, &e),
+    }
+}
+
+/// `POST /sessions/restore` — resumes a session from a snapshot taken
+/// by `GET /sessions/:id/snapshot`. The snapshot carries its ontology
+/// pin (`ontology` + `ontology_version`); restoring against an evicted
+/// version is a named `410`, and a snapshot whose internal state fails
+/// validation is a `422` — never a silent answer from the wrong graph.
+fn restore_session(state: &AppState, req: &Request) -> Response {
+    let body = match body_json(state, req) {
+        Ok(b) => b,
+        Err(resp) => return resp,
+    };
+    let name = match str_field(&body, "ontology") {
+        Ok(n) => n.to_string(),
+        Err(resp) => return resp,
+    };
+    let Some(version) = body.get("ontology_version").and_then(Json::as_u64) else {
+        return Response::error(422, "missing integer field \"ontology_version\"");
+    };
+    let ont = match pinned_ontology(state, &name, version, "snapshot") {
+        Ok(o) => o,
+        Err(resp) => return resp,
+    };
+    let session = match InteractiveSession::restore(&ont, &body) {
+        Ok(s) => s,
+        Err(e @ SessionError::BadSnapshot(_)) => return Response::error(422, &e.to_string()),
+        Err(e) => return Response::error(500, &e.to_string()),
+    };
+    let seed = body
+        .get("seed")
+        .and_then(Json::as_str)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    match state.sessions.create(session, name, version, seed) {
         Ok(id) => match state.sessions.get(id) {
             Some(entry) => {
                 let entry = lock(&entry);
@@ -733,8 +859,42 @@ fn delete_session(state: &AppState, id: &str) -> Response {
     }
 }
 
-/// Looks a session up and runs `f` under its lock (the ontology resolved
-/// alongside).
+/// Resolves a `(name, version)` ontology pin, materializing a built-in
+/// world's head first so a snapshot restored against a fresh server
+/// still finds version 1. `what` names the pin holder in error
+/// messages (`"session"` / `"snapshot"`). An evicted pin is a `410`
+/// naming the stale version — the one outcome live updates must never
+/// produce is a silent answer from the wrong graph.
+fn pinned_ontology(
+    state: &AppState,
+    name: &str,
+    version: u64,
+    what: &str,
+) -> Result<Arc<Ontology>, Response> {
+    if state.registry.get_versioned(name).is_none() {
+        return Err(Response::error(404, &format!("no ontology named {name:?}")));
+    }
+    match state.registry.get_version(name, version) {
+        VersionLookup::Found(o) => Ok(o),
+        VersionLookup::Evicted { head } => Err(Response::error(
+            410,
+            &format!(
+                "{what} is pinned to {name:?} version {version}, which live updates have \
+                 evicted (head is now {head}); its cached state cannot be answered safely"
+            ),
+        )),
+        VersionLookup::Unknown => Err(Response::error(
+            404,
+            &format!(
+                "{what} is pinned to {name:?} version {version}, which this server has never held"
+            ),
+        )),
+    }
+}
+
+/// Looks a session up and runs `f` under its lock, with the session's
+/// *pinned* ontology version resolved alongside (never the head — the
+/// session's cached state references the pinned version's ids).
 fn with_session(
     state: &AppState,
     id: &str,
@@ -747,7 +907,8 @@ fn with_session(
         return Response::error(404, "no such session");
     };
     let mut entry = lock(&entry);
-    let ont = match ontology_of(state, &entry.ontology.clone()) {
+    let (name, version) = (entry.ontology.clone(), entry.version);
+    let ont = match pinned_ontology(state, &name, version, "session") {
         Ok(o) => o,
         Err(resp) => return resp,
     };
@@ -825,6 +986,7 @@ fn entry_pairs(ont: &Ontology, entry: &SessionEntry) -> Vec<(&'static str, Json)
     vec![
         ("id", Json::Null),
         ("ontology", Json::str(entry.ontology.clone())),
+        ("ontology_version", Json::from(entry.version)),
         ("seed", Json::from(entry.seed)),
         ("phase", Json::str(phase_str(s.phase()))),
         (
@@ -934,6 +1096,11 @@ mod tests {
             ("GET", "/ontologies", "GET /ontologies"),
             ("POST", "/ontologies", "POST /ontologies"),
             ("GET", "/ontologies/movies", "GET /ontologies/:name"),
+            (
+                "POST",
+                "/ontologies/movies/update",
+                "POST /ontologies/:name/update",
+            ),
             ("POST", "/eval", "POST /eval"),
             ("POST", "/infer", "POST /infer"),
             ("POST", "/sessions", "POST /sessions"),
@@ -952,6 +1119,7 @@ mod tests {
                 "GET /sessions/:id/candidates",
             ),
             ("GET", "/sessions/7/snapshot", "GET /sessions/:id/snapshot"),
+            ("POST", "/sessions/restore", "POST /sessions/restore"),
             ("POST", "/shutdown", "POST /shutdown"),
             ("GET", "/no-such", "other"),
             ("PATCH", "/eval", "other"),

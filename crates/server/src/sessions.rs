@@ -33,6 +33,14 @@ pub struct SessionEntry {
     pub session: InteractiveSession,
     /// Name of the registry ontology the session runs against.
     pub ontology: String,
+    /// Registry **version** of that ontology the session is pinned to.
+    /// All of the session's cached state — candidate queries, pending
+    /// provenance, transcript — references node/edge ids of this exact
+    /// version; answering against any other version would silently
+    /// misattribute ids. Requests resolve the pin through
+    /// `Registry::get_version` and fail with a named error when live
+    /// updates have evicted it.
+    pub version: u64,
     /// Seed the session was started with (reported back to clients).
     pub seed: u64,
     /// Last time a request touched this session.
@@ -77,12 +85,14 @@ impl SessionManager {
         &self,
         session: InteractiveSession,
         ontology: String,
+        version: u64,
         seed: u64,
     ) -> Result<u64, String> {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let entry = Arc::new(Mutex::new(SessionEntry {
             session,
             ontology,
+            version,
             seed,
             last_used: Instant::now(),
         }));
@@ -166,7 +176,7 @@ mod tests {
     #[test]
     fn create_get_remove_lifecycle() {
         let mgr = SessionManager::new(Duration::from_secs(60), 8);
-        let id = mgr.create(a_session(), "erdos".into(), 7).unwrap();
+        let id = mgr.create(a_session(), "erdos".into(), 1, 7).unwrap();
         assert!(mgr.get(id).is_some());
         assert_eq!(mgr.list().len(), 1);
         assert!(mgr.remove(id));
@@ -178,7 +188,7 @@ mod tests {
     #[test]
     fn idle_sessions_are_evicted() {
         let mgr = SessionManager::new(Duration::from_millis(1), 8);
-        let id = mgr.create(a_session(), "erdos".into(), 7).unwrap();
+        let id = mgr.create(a_session(), "erdos".into(), 1, 7).unwrap();
         std::thread::sleep(Duration::from_millis(10));
         assert!(mgr.list().is_empty(), "idle session must be swept");
         assert!(mgr.get(id).is_none());
@@ -187,8 +197,8 @@ mod tests {
     #[test]
     fn capacity_is_enforced_after_sweeping() {
         let mgr = SessionManager::new(Duration::from_secs(60), 1);
-        mgr.create(a_session(), "erdos".into(), 1).unwrap();
-        assert!(mgr.create(a_session(), "erdos".into(), 2).is_err());
+        mgr.create(a_session(), "erdos".into(), 1, 1).unwrap();
+        assert!(mgr.create(a_session(), "erdos".into(), 1, 2).is_err());
     }
 
     #[test]
@@ -198,7 +208,7 @@ mod tests {
         // in id order.
         let mgr = SessionManager::new(Duration::from_secs(60), 64);
         let ids: Vec<u64> = (0..(SHARDS as u64 * 2))
-            .map(|i| mgr.create(a_session(), "erdos".into(), i).unwrap())
+            .map(|i| mgr.create(a_session(), "erdos".into(), 1, i).unwrap())
             .collect();
         assert_eq!(mgr.count(), ids.len());
         for &id in &ids {

@@ -916,3 +916,208 @@ fn eval_is_byte_identical_under_keepalive_concurrency() {
     );
     server.join();
 }
+
+#[test]
+fn live_updates_version_worlds_and_count_rejections() {
+    let server = boot();
+    let addr = server.addr();
+    let body = Json::obj([
+        ("name", Json::str("live")),
+        ("triples", Json::str("a knows b\nb knows c\n")),
+    ])
+    .to_text();
+    assert_eq!(call(addr, "POST", "/ontologies", Some(&body)).0, 201);
+    let (_, desc) = call(addr, "GET", "/ontologies/live", None);
+    assert_eq!(json(&desc).get("version").and_then(Json::as_u64), Some(1));
+
+    // A batched insert installs a new head version; eval sees it.
+    let batch = r#"{"insert": [["c", "knows", "a"]]}"#;
+    let (status, updated) = call(addr, "POST", "/ontologies/live/update", Some(batch));
+    assert_eq!(status, 200, "update failed: {updated}");
+    let updated = json(&updated);
+    assert_eq!(updated.get("version").and_then(Json::as_u64), Some(2));
+    assert_eq!(updated.get("inserted").and_then(Json::as_u64), Some(1));
+    assert_eq!(
+        updated.get("edge_ids_stable").and_then(Json::as_bool),
+        Some(true)
+    );
+    let eval = Json::obj([
+        ("ontology", Json::str("live")),
+        ("query", Json::str("SELECT ?x WHERE { ?x :knows ?y . }")),
+    ])
+    .to_text();
+    let (_, resp) = call(addr, "POST", "/eval", Some(&eval));
+    let results: Vec<String> = json(&resp)
+        .get("results")
+        .and_then(Json::as_arr)
+        .expect("results")
+        .iter()
+        .filter_map(Json::as_str)
+        .map(str::to_string)
+        .collect();
+    assert_eq!(results, ["a", "b", "c"], "eval must see the new head");
+
+    // Every malformed or impossible batch is a named 4xx, never a 500,
+    // and the head stays where the last good update put it.
+    for (path, bad, want) in [
+        (
+            "/ontologies/live/update",
+            r#"{"delete": [["x", "y", "z"]]}"#,
+            409,
+        ),
+        (
+            "/ontologies/live/update",
+            r#"{"insert": [["c", "knows", "a"]]}"#,
+            409,
+        ),
+        ("/ontologies/live/update", r#"{}"#, 422),
+        (
+            "/ontologies/live/update",
+            r#"{"insert": [["a", "b"]]}"#,
+            422,
+        ),
+        ("/ontologies/live/update", "not json", 400),
+        (
+            "/ontologies/ghost/update",
+            r#"{"insert": [["a", "b", "c"]]}"#,
+            404,
+        ),
+    ] {
+        let (status, resp) = call(addr, "POST", path, Some(bad));
+        assert_eq!(status, want, "{bad} -> {resp}");
+    }
+    let (_, desc) = call(addr, "GET", "/ontologies/live", None);
+    assert_eq!(json(&desc).get("version").and_then(Json::as_u64), Some(2));
+
+    // The scrape reflects exactly what happened above.
+    let (_, scrape) = call(addr, "GET", "/metrics", None);
+    assert_eq!(json_metric(&scrape, "questpro_ontology_updates_total"), 1);
+    assert_eq!(
+        json_metric(&scrape, "questpro_ontology_update_rejections_total"),
+        6
+    );
+    assert!(json_metric(&scrape, "questpro_ontology_versions_open") >= 2);
+    server.join();
+}
+
+#[test]
+fn sessions_stay_pinned_across_updates_and_evicted_pins_fail_named() {
+    let server = boot();
+    let addr = server.addr();
+    let create = Json::obj([
+        ("ontology", Json::str("erdos")),
+        ("examples", Json::str(erdos_examples_text())),
+        ("seed", Json::from(7u64)),
+    ])
+    .to_text();
+    let (status, created) = call(addr, "POST", "/sessions", Some(&create));
+    assert_eq!(status, 201, "create failed: {created}");
+    let created = json(&created);
+    let id = created.get("id").and_then(Json::as_u64).expect("an id");
+    assert_eq!(
+        created.get("ontology_version").and_then(Json::as_u64),
+        Some(1),
+        "sessions pin the version they start on"
+    );
+    let (status, snap_v1) = call(addr, "GET", &format!("/sessions/{id}/snapshot"), None);
+    assert_eq!(status, 200);
+    assert_eq!(
+        json(&snap_v1)
+            .get("ontology_version")
+            .and_then(Json::as_u64),
+        Some(1),
+        "snapshots carry the pin"
+    );
+
+    // One update: the pinned session keeps answering from version 1.
+    let batch = |i: usize| format!(r#"{{"insert": [["zz_{i}", "zz_knows", "zz_other_{i}"]]}}"#);
+    assert_eq!(
+        call(addr, "POST", "/ontologies/erdos/update", Some(&batch(0))).0,
+        200
+    );
+    let (status, state) = call(addr, "GET", &format!("/sessions/{id}"), None);
+    assert_eq!(status, 200, "pinned session must survive a head update");
+    assert_eq!(
+        json(&state).get("ontology_version").and_then(Json::as_u64),
+        Some(1)
+    );
+
+    // Enough further updates to push version 1 off the bounded history:
+    // now every request against the session is a named 410, and so is
+    // restoring its snapshot — never a silent answer from version 5.
+    for i in 1..questpro_server::registry::HISTORY {
+        assert_eq!(
+            call(addr, "POST", "/ontologies/erdos/update", Some(&batch(i))).0,
+            200
+        );
+    }
+    for path in [
+        format!("/sessions/{id}"),
+        format!("/sessions/{id}/candidates"),
+        format!("/sessions/{id}/snapshot"),
+    ] {
+        let (status, resp) = call(addr, "GET", &path, None);
+        assert_eq!(status, 410, "{path}: {resp}");
+        assert!(
+            resp.contains("version 1") && resp.contains("evicted"),
+            "the failure must name the stale pin: {resp}"
+        );
+    }
+    let (status, resp) = call(addr, "POST", "/sessions/restore", Some(&snap_v1));
+    assert_eq!(status, 410, "restore of an evicted pin: {resp}");
+    assert!(
+        resp.contains("snapshot") && resp.contains("evicted"),
+        "{resp}"
+    );
+
+    // A fresh session pins the current head, and its snapshot restores
+    // into a *new* session that picks up exactly where it left off.
+    let (status, created) = call(addr, "POST", "/sessions", Some(&create));
+    assert_eq!(status, 201, "create at head failed: {created}");
+    let created = json(&created);
+    let head_id = created.get("id").and_then(Json::as_u64).expect("an id");
+    let head_version = created
+        .get("ontology_version")
+        .and_then(Json::as_u64)
+        .expect("a version");
+    assert_eq!(head_version, 1 + questpro_server::registry::HISTORY as u64);
+    let (_, head_snap) = call(addr, "GET", &format!("/sessions/{head_id}/snapshot"), None);
+    let (status, restored) = call(addr, "POST", "/sessions/restore", Some(&head_snap));
+    assert_eq!(status, 201, "restore failed: {restored}");
+    let restored = json(&restored);
+    assert_ne!(
+        restored.get("id").and_then(Json::as_u64),
+        Some(head_id),
+        "restore creates a new session"
+    );
+    assert_eq!(
+        restored.get("ontology_version").and_then(Json::as_u64),
+        Some(head_version)
+    );
+    assert_eq!(
+        restored.get("phase").and_then(Json::as_str),
+        json(&head_snap).get("phase").and_then(Json::as_str)
+    );
+
+    // Malformed restores are named 4xx, never a panic.
+    for (bad, want) in [
+        (r#"{"ontology_version": 1}"#.to_string(), 422),
+        (r#"{"ontology": "erdos"}"#.to_string(), 422),
+        (
+            r#"{"ontology": "erdos", "ontology_version": 99}"#.to_string(),
+            404,
+        ),
+        (
+            r#"{"ontology": "ghost", "ontology_version": 1}"#.to_string(),
+            404,
+        ),
+        (
+            format!(r#"{{"ontology": "erdos", "ontology_version": {head_version}}}"#),
+            422,
+        ),
+    ] {
+        let (status, resp) = call(addr, "POST", "/sessions/restore", Some(&bad));
+        assert_eq!(status, want, "{bad} -> {resp}");
+    }
+    server.join();
+}

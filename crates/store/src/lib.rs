@@ -31,6 +31,7 @@ pub mod dict;
 pub mod error;
 pub mod snapshot;
 pub mod store;
+pub mod update;
 
 pub use dict::Dict;
 pub use error::StoreError;

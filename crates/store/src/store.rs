@@ -177,30 +177,28 @@ impl TripleStore {
     /// (edge id = SPO rank), so the columnar out-columns are an identity
     /// mapping and the in-columns are the OSP permutation; per-predicate
     /// statistics fall out of two linear run-length scans. Nothing is
-    /// re-sorted and no label is re-hashed beyond the one interner build.
+    /// re-sorted and no label is hashed: the sorted dictionaries hand
+    /// their arenas to [`Interner::from_sorted_labels`] in one copy.
     ///
     /// # Errors
     /// Fails only on invariant violations, which validated stores
     /// (builder- or snapshot-produced) cannot exhibit.
     pub fn to_ontology(&self) -> Result<Ontology, StoreError> {
-        let values = Interner::from_unique_labels(self.nodes.iter().map(Box::from)).ok_or(
-            StoreError::BadSection {
+        let values = Interner::from_sorted_labels(self.nodes.iter(), self.nodes.arena_bytes())
+            .ok_or(StoreError::BadSection {
                 section: "nodes",
-                reason: "duplicate label".into(),
-            },
-        )?;
-        let preds = Interner::from_unique_labels(self.preds.iter().map(Box::from)).ok_or(
-            StoreError::BadSection {
+                reason: "labels not strictly ascending".into(),
+            })?;
+        let preds = Interner::from_sorted_labels(self.preds.iter(), self.preds.arena_bytes())
+            .ok_or(StoreError::BadSection {
                 section: "preds",
-                reason: "duplicate label".into(),
-            },
-        )?;
-        let types = Interner::from_unique_labels(self.types.iter().map(Box::from)).ok_or(
-            StoreError::BadSection {
+                reason: "labels not strictly ascending".into(),
+            })?;
+        let types = Interner::from_sorted_labels(self.types.iter(), self.types.arena_bytes())
+            .ok_or(StoreError::BadSection {
                 section: "types",
-                reason: "duplicate label".into(),
-            },
-        )?;
+                reason: "labels not strictly ascending".into(),
+            })?;
         let n = self.nodes.len();
         let m = self.triples.len();
 

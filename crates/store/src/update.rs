@@ -1,0 +1,462 @@
+//! Copy-on-write batched updates for the persistent store.
+//!
+//! [`TripleStore::apply_update`] applies a [`TripleDelta`] (deletes
+//! first, then inserts — the same semantics as
+//! `questpro_graph::Ontology::apply_delta`) and returns a **new** store;
+//! the original is untouched, so concurrent readers of the old version
+//! keep a consistent image. The result is canonical: it is byte-identical
+//! (snapshot-encodes equal) to a [`StoreBuilder`] fed the post-update
+//! triple set from scratch, because ids are sorted-label ranks and the
+//! merge below preserves exactly that order:
+//!
+//! * new labels are merged into the sorted dictionaries, producing a
+//!   **monotone** old-id → new-id remap (componentwise monotone maps
+//!   preserve lexicographic row order, so the surviving SPO rows stay
+//!   sorted without re-sorting);
+//! * deletes resolve by binary search over the SPO table; a miss (or a
+//!   second delete of the same row in one batch) fails the whole batch
+//!   with a named [`GraphError::MissingTriple`] and the store is not
+//!   modified;
+//! * inserts are validated against the surviving rows and against each
+//!   other ([`GraphError::DuplicateEdge`]), then merged into the
+//!   remapped survivor rows in one linear pass;
+//! * the POS/OSP permutations are re-derived by sorting the new table's
+//!   indexes — `O(m log m)` on the triple count, which keeps this the
+//!   simple, obviously-correct path (the store update backs the CLI and
+//!   persistence; the latency-critical in-memory path is the ontology
+//!   delta in `questpro-graph`).
+//!
+//! Node labels are never removed: deleting the last triple touching a
+//! node leaves its label in the dictionary (mirroring the graph layer,
+//! where nodes are never deleted and ids stay stable). Predicate labels
+//! *are* dropped when their last triple goes away — a canonical rebuild
+//! interns predicates only through triples, so keeping a stranded pred
+//! would make the incremental and scratch stores diverge byte-wise.
+
+use questpro_graph::{GraphError, TripleDelta};
+
+use crate::dict::Dict;
+use crate::error::StoreError;
+use crate::store::TripleStore;
+
+/// A sorted dictionary merged with a sorted batch of new labels.
+struct MergedDict {
+    /// The merged dictionary.
+    dict: Dict,
+    /// Monotone map from old id to new id (`len == old.len()`).
+    remap: Vec<u32>,
+    /// New ids of the freshly inserted labels, aligned with the sorted
+    /// `extra` slice passed to [`merge_dict`].
+    new_ids: Vec<u32>,
+}
+
+/// Merges `extra` (strictly ascending, disjoint from `old`) into `old`,
+/// returning the merged dictionary plus both id mappings.
+fn merge_dict(old: &Dict, extra: &[&str], section: &'static str) -> Result<MergedDict, StoreError> {
+    let mut remap = Vec::with_capacity(old.len());
+    let mut new_ids = Vec::with_capacity(extra.len());
+    let mut labels: Vec<&str> = Vec::with_capacity(old.len() + extra.len());
+    let mut ei = 0usize;
+    for oi in 0..old.len() {
+        let label = old.label(oi as u32);
+        while ei < extra.len() && extra[ei] < label {
+            new_ids.push(labels.len() as u32);
+            labels.push(extra[ei]);
+            ei += 1;
+        }
+        remap.push(labels.len() as u32);
+        labels.push(label);
+    }
+    while ei < extra.len() {
+        new_ids.push(labels.len() as u32);
+        labels.push(extra[ei]);
+        ei += 1;
+    }
+    let dict = Dict::from_sorted(labels).ok_or(StoreError::BadSection {
+        section,
+        reason: "merged labels not strictly ascending".into(),
+    })?;
+    Ok(MergedDict {
+        dict,
+        remap,
+        new_ids,
+    })
+}
+
+impl TripleStore {
+    /// Applies a batched update (deletes, then inserts) and returns the
+    /// updated store. `self` is unchanged; on any validation error
+    /// nothing at all is applied.
+    ///
+    /// The returned store is canonical — identical to rebuilding from
+    /// the post-update triple set with [`crate::StoreBuilder`] — so its
+    /// snapshot encoding is byte-stable across the incremental and
+    /// from-scratch paths.
+    ///
+    /// # Errors
+    /// * [`GraphError::MissingTriple`] (via [`StoreError::Graph`]) when
+    ///   a delete names a triple that is not present, or the batch
+    ///   deletes the same triple twice;
+    /// * [`GraphError::DuplicateEdge`] when an insert duplicates a
+    ///   surviving triple or another insert in the same batch.
+    pub fn apply_update(&self, delta: &TripleDelta) -> Result<TripleStore, StoreError> {
+        // --- resolve deletes against the old id space -----------------
+        let mut deleted = vec![false; self.triples.len()];
+        for [s, p, o] in &delta.deletes {
+            let missing = || {
+                StoreError::Graph(GraphError::MissingTriple {
+                    src: s.clone(),
+                    pred: p.clone(),
+                    dst: o.clone(),
+                })
+            };
+            let si = self.nodes.lookup(s).ok_or_else(missing)?;
+            let pi = self.preds.lookup(p).ok_or_else(missing)?;
+            let oi = self.nodes.lookup(o).ok_or_else(missing)?;
+            let row = self
+                .triples
+                .binary_search(&[si, pi, oi])
+                .map_err(|_| missing())?;
+            if deleted[row] {
+                return Err(missing());
+            }
+            deleted[row] = true;
+        }
+
+        // --- collect labels the inserts introduce ---------------------
+        let mut extra_nodes: Vec<&str> = Vec::new();
+        let mut extra_preds: Vec<&str> = Vec::new();
+        for [s, p, o] in &delta.inserts {
+            if self.nodes.lookup(s).is_none() {
+                extra_nodes.push(s);
+            }
+            if self.preds.lookup(p).is_none() {
+                extra_preds.push(p);
+            }
+            if self.nodes.lookup(o).is_none() {
+                extra_nodes.push(o);
+            }
+        }
+        extra_nodes.sort_unstable();
+        extra_nodes.dedup();
+        extra_preds.sort_unstable();
+        extra_preds.dedup();
+
+        let nodes = merge_dict(&self.nodes, &extra_nodes, "nodes")?;
+        let preds = merge_dict(&self.preds, &extra_preds, "preds")?;
+        let node_id = |label: &str| -> u32 {
+            match self.nodes.lookup(label) {
+                Some(old) => nodes.remap[old as usize],
+                None => {
+                    let i = extra_nodes
+                        .binary_search(&label)
+                        .expect("collected just above");
+                    nodes.new_ids[i]
+                }
+            }
+        };
+        let pred_id = |label: &str| -> u32 {
+            match self.preds.lookup(label) {
+                Some(old) => preds.remap[old as usize],
+                None => {
+                    let i = extra_preds
+                        .binary_search(&label)
+                        .expect("collected just above");
+                    preds.new_ids[i]
+                }
+            }
+        };
+
+        // --- validate inserts, resolve them in the new id space -------
+        let mut ins_rows: Vec<[u32; 3]> = Vec::with_capacity(delta.inserts.len());
+        for [s, p, o] in &delta.inserts {
+            let dup = || {
+                StoreError::Graph(GraphError::DuplicateEdge {
+                    src: s.clone(),
+                    pred: p.clone(),
+                    dst: o.clone(),
+                })
+            };
+            // Duplicate of a *surviving* old row? (A deleted-then-
+            // reinserted triple is fine.)
+            if let (Some(si), Some(pi), Some(oi)) = (
+                self.nodes.lookup(s),
+                self.preds.lookup(p),
+                self.nodes.lookup(o),
+            ) {
+                if let Ok(row) = self.triples.binary_search(&[si, pi, oi]) {
+                    if !deleted[row] {
+                        return Err(dup());
+                    }
+                }
+            }
+            let row = [node_id(s), pred_id(p), node_id(o)];
+            ins_rows.push(row);
+        }
+        // Duplicate inside the batch? Sort a copy with back-pointers so
+        // the error can name the offending labels.
+        let mut order: Vec<u32> = (0..ins_rows.len() as u32).collect();
+        order.sort_unstable_by_key(|&i| ins_rows[i as usize]);
+        for w in order.windows(2) {
+            if ins_rows[w[0] as usize] == ins_rows[w[1] as usize] {
+                let [s, p, o] = &delta.inserts[w[1] as usize];
+                return Err(StoreError::Graph(GraphError::DuplicateEdge {
+                    src: s.clone(),
+                    pred: p.clone(),
+                    dst: o.clone(),
+                }));
+            }
+        }
+
+        // --- merge surviving rows (remapped) with the sorted inserts --
+        let survivors = self.triples.len() - delta.deletes.len();
+        let mut triples: Vec<[u32; 3]> = Vec::with_capacity(survivors + ins_rows.len());
+        let mut next_ins = 0usize;
+        for (i, t) in self.triples.iter().enumerate() {
+            if deleted[i] {
+                continue;
+            }
+            let row = [
+                nodes.remap[t[0] as usize],
+                preds.remap[t[1] as usize],
+                nodes.remap[t[2] as usize],
+            ];
+            while next_ins < order.len() && ins_rows[order[next_ins] as usize] < row {
+                triples.push(ins_rows[order[next_ins] as usize]);
+                next_ins += 1;
+            }
+            triples.push(row);
+        }
+        while next_ins < order.len() {
+            triples.push(ins_rows[order[next_ins] as usize]);
+            next_ins += 1;
+        }
+        debug_assert!(triples.windows(2).all(|w| w[0] < w[1]));
+
+        // --- compact predicates stranded by the deletes ---------------
+        // A pred label exists only through its triples (canonical scratch
+        // builds intern preds via `add_triple`), so deleting the last
+        // `p`-triple must drop `p` from the dictionary or the incremental
+        // and from-scratch stores would diverge byte-wise. The compaction
+        // remap is monotone, so SPO row order is preserved.
+        let mut used = vec![false; preds.dict.len()];
+        for t in &triples {
+            used[t[1] as usize] = true;
+        }
+        let preds_dict = if used.iter().all(|&u| u) {
+            preds.dict
+        } else {
+            let mut compact = vec![0u32; used.len()];
+            let mut kept: Vec<&str> = Vec::new();
+            for (p, u) in used.iter().enumerate() {
+                if *u {
+                    compact[p] = kept.len() as u32;
+                    kept.push(preds.dict.label(p as u32));
+                }
+            }
+            for t in &mut triples {
+                t[1] = compact[t[1] as usize];
+            }
+            Dict::from_sorted(kept).ok_or(StoreError::BadSection {
+                section: "preds",
+                reason: "compacted labels not strictly ascending".into(),
+            })?
+        };
+        debug_assert!(triples.windows(2).all(|w| w[0] < w[1]));
+
+        // --- carry types and re-derive the permutations ---------------
+        let node_types: Vec<[u32; 2]> = self
+            .node_types
+            .iter()
+            .map(|r| [nodes.remap[r[0] as usize], r[1]])
+            .collect();
+        debug_assert!(node_types.windows(2).all(|w| w[0][0] < w[1][0]));
+
+        let mut pos: Vec<u32> = (0..triples.len() as u32).collect();
+        pos.sort_unstable_by_key(|&e| {
+            let t = triples[e as usize];
+            [t[1], t[2], t[0]]
+        });
+        let mut osp: Vec<u32> = (0..triples.len() as u32).collect();
+        osp.sort_unstable_by_key(|&e| {
+            let t = triples[e as usize];
+            [t[2], t[1], t[0]]
+        });
+
+        Ok(TripleStore {
+            nodes: nodes.dict,
+            preds: preds_dict,
+            types: self.types.clone(),
+            triples,
+            node_types,
+            pos,
+            osp,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use questpro_graph::TripleDelta;
+
+    use crate::error::StoreError;
+    use crate::store::{StoreBuilder, TripleStore};
+    use questpro_graph::GraphError;
+
+    fn seed() -> TripleStore {
+        let mut b = StoreBuilder::new();
+        b.add_triple("paper1", "writtenBy", "alice");
+        b.add_triple("paper1", "cites", "paper2");
+        b.add_triple("paper2", "writtenBy", "bob");
+        b.add_type("paper1", "Paper").unwrap();
+        b.add_type("alice", "Author").unwrap();
+        b.build().unwrap()
+    }
+
+    fn t(s: &str, p: &str, o: &str) -> [String; 3] {
+        [s.into(), p.into(), o.into()]
+    }
+
+    /// Renders triple row `row` back to its labels.
+    fn labels_of(store: &TripleStore, row: usize) -> [String; 3] {
+        let t = store.triples()[row];
+        [
+            store.nodes().label(t[0]).to_string(),
+            store.preds().label(t[1]).to_string(),
+            store.nodes().label(t[2]).to_string(),
+        ]
+    }
+
+    /// Rebuilds the expected post-update store from scratch.
+    fn scratch_after(store: &TripleStore, delta: &TripleDelta) -> TripleStore {
+        let next = store.to_ontology().unwrap().apply_delta(delta).unwrap().0;
+        TripleStore::from_ontology(&next).unwrap()
+    }
+
+    #[test]
+    fn insert_only_update_matches_scratch_rebuild_byte_for_byte() {
+        let s = seed();
+        let delta = TripleDelta {
+            inserts: vec![
+                t("paper3", "cites", "paper1"),
+                t("paper1", "cites", "paper3"),
+            ],
+            deletes: vec![],
+        };
+        let inc = s.apply_update(&delta).unwrap();
+        let scratch = scratch_after(&s, &delta);
+        assert_eq!(inc, scratch);
+        assert_eq!(
+            crate::snapshot::encode(&inc),
+            crate::snapshot::encode(&scratch)
+        );
+        // The original is untouched (copy-on-write).
+        assert_eq!(s.stats().triples, 3);
+    }
+
+    #[test]
+    fn delete_and_reinsert_keeps_the_table_canonical() {
+        let s = seed();
+        let delta = TripleDelta {
+            inserts: vec![t("paper1", "cites", "paper2")],
+            deletes: vec![
+                t("paper1", "cites", "paper2"),
+                t("paper2", "writtenBy", "bob"),
+            ],
+        };
+        let inc = s.apply_update(&delta).unwrap();
+        let scratch = scratch_after(&s, &delta);
+        assert_eq!(inc, scratch);
+        // bob's label survives even though his last triple is gone.
+        assert!(inc.nodes().lookup("bob").is_some());
+    }
+
+    #[test]
+    fn missing_and_double_deletes_fail_without_mutating() {
+        let s = seed();
+        let miss = TripleDelta {
+            inserts: vec![],
+            deletes: vec![t("paper1", "cites", "nowhere")],
+        };
+        match s.apply_update(&miss) {
+            Err(StoreError::Graph(GraphError::MissingTriple { dst, .. })) => {
+                assert_eq!(dst, "nowhere");
+            }
+            other => panic!("expected MissingTriple, got {other:?}"),
+        }
+        let double = TripleDelta {
+            inserts: vec![],
+            deletes: vec![
+                t("paper1", "cites", "paper2"),
+                t("paper1", "cites", "paper2"),
+            ],
+        };
+        assert!(matches!(
+            s.apply_update(&double),
+            Err(StoreError::Graph(GraphError::MissingTriple { .. }))
+        ));
+    }
+
+    #[test]
+    fn duplicate_inserts_fail_against_survivors_and_within_the_batch() {
+        let s = seed();
+        let existing = TripleDelta {
+            inserts: vec![t("paper1", "cites", "paper2")],
+            deletes: vec![],
+        };
+        assert!(matches!(
+            s.apply_update(&existing),
+            Err(StoreError::Graph(GraphError::DuplicateEdge { .. }))
+        ));
+        let batch = TripleDelta {
+            inserts: vec![t("x", "p", "y"), t("x", "p", "y")],
+            deletes: vec![],
+        };
+        assert!(matches!(
+            s.apply_update(&batch),
+            Err(StoreError::Graph(GraphError::DuplicateEdge { .. }))
+        ));
+    }
+
+    #[test]
+    fn randomized_update_sequences_match_scratch_builds() {
+        use questpro_graph::rng::{Rng, SplitMix64};
+        let mut rng = SplitMix64::seed_from_u64(0xfeed_5eed);
+        let mut store = seed();
+        for round in 0..40 {
+            let mut inserts = Vec::new();
+            let mut deletes = Vec::new();
+            // Delete up to two random existing triples (distinct rows).
+            let mut picked = Vec::new();
+            for _ in 0..(rng.next_u64() % 3) {
+                if store.triple_count() == 0 {
+                    break;
+                }
+                let row = (rng.next_u64() % store.triple_count() as u64) as usize;
+                if picked.contains(&row) {
+                    continue;
+                }
+                picked.push(row);
+                deletes.push(labels_of(&store, row));
+            }
+            // Insert a few fresh triples (new labels guarantee no dups).
+            for k in 0..(rng.next_u64() % 3 + 1) {
+                inserts.push([
+                    format!("n{round}_{k}"),
+                    format!("p{}", rng.next_u64() % 4),
+                    format!("m{round}_{k}"),
+                ]);
+            }
+            let delta = TripleDelta { inserts, deletes };
+            let inc = store.apply_update(&delta).unwrap();
+            let scratch = scratch_after(&store, &delta);
+            assert_eq!(inc, scratch, "divergence at round {round}");
+            assert_eq!(
+                crate::snapshot::encode(&inc),
+                crate::snapshot::encode(&scratch),
+                "snapshot bytes diverged at round {round}"
+            );
+            store = inc;
+        }
+    }
+}

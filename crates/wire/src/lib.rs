@@ -23,6 +23,7 @@
 use std::fmt;
 
 pub mod base64;
+pub mod update;
 
 /// A parsed JSON value.
 ///

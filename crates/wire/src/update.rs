@@ -1,0 +1,162 @@
+//! Wire form of a batched ontology update.
+//!
+//! `POST /ontologies/:name/update` carries a JSON object with two
+//! optional triple lists:
+//!
+//! ```json
+//! {
+//!   "insert": [["paper9", "writtenBy", "Eve"], ...],
+//!   "delete": [["paper1", "cites", "paper2"], ...]
+//! }
+//! ```
+//!
+//! [`parse_update`] converts that into a
+//! [`questpro_graph::TripleDelta`] under **strict** validation: every
+//! triple must be a 3-element array of non-empty strings, at least one
+//! of the two lists must be present and non-empty, and anything else —
+//! wrong types, wrong arity, empty labels, an entirely empty batch —
+//! is a descriptive `Err` the server maps to a 4xx. Untrusted bodies
+//! can never panic here; the Json value model is already depth- and
+//! size-limited by the parser.
+
+use questpro_graph::TripleDelta;
+
+use crate::Json;
+
+/// Reads one `[s, p, o]` wire triple.
+fn triple_of(v: &Json, list: &str, i: usize) -> Result<[String; 3], String> {
+    let arr = v
+        .as_arr()
+        .ok_or_else(|| format!("{list}[{i}] must be an array"))?;
+    if arr.len() != 3 {
+        return Err(format!(
+            "{list}[{i}] must have exactly 3 elements, got {}",
+            arr.len()
+        ));
+    }
+    let mut out = [String::new(), String::new(), String::new()];
+    for (j, slot) in out.iter_mut().enumerate() {
+        let s = arr[j]
+            .as_str()
+            .ok_or_else(|| format!("{list}[{i}][{j}] must be a string"))?;
+        if s.is_empty() {
+            return Err(format!("{list}[{i}][{j}] must be a non-empty label"));
+        }
+        *slot = s.to_string();
+    }
+    Ok(out)
+}
+
+/// Reads an optional triple list field (`"insert"` / `"delete"`).
+fn list_of(body: &Json, list: &str) -> Result<Vec<[String; 3]>, String> {
+    match body.get(list) {
+        None | Some(Json::Null) => Ok(Vec::new()),
+        Some(v) => {
+            let arr = v
+                .as_arr()
+                .ok_or_else(|| format!("{list} must be an array of [s, p, o] triples"))?;
+            arr.iter()
+                .enumerate()
+                .map(|(i, t)| triple_of(t, list, i))
+                .collect()
+        }
+    }
+}
+
+/// Parses a strict update batch from a request body.
+///
+/// # Errors
+/// A displayable message naming the first offending field; the caller
+/// maps it to a 422.
+pub fn parse_update(body: &Json) -> Result<TripleDelta, String> {
+    if body.as_obj().is_none() {
+        return Err("update body must be a JSON object".to_string());
+    }
+    let delta = TripleDelta {
+        inserts: list_of(body, "insert")?,
+        deletes: list_of(body, "delete")?,
+    };
+    if delta.is_empty() {
+        return Err("update batch is empty: provide \"insert\" and/or \"delete\"".to_string());
+    }
+    Ok(delta)
+}
+
+/// Renders a delta back to its wire form (used by `questpro update`
+/// round-trip tests and client tooling).
+pub fn render_update(delta: &TripleDelta) -> Json {
+    let list = |ts: &[[String; 3]]| {
+        Json::Arr(
+            ts.iter()
+                .map(|t| Json::Arr(t.iter().map(Json::str).collect()))
+                .collect(),
+        )
+    };
+    Json::obj([
+        ("insert", list(&delta.inserts)),
+        ("delete", list(&delta.deletes)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_text(text: &str) -> Result<TripleDelta, String> {
+        parse_update(&crate::parse(text).expect("test JSON parses"))
+    }
+
+    #[test]
+    fn well_formed_batches_round_trip() {
+        let d = parse_text(
+            r#"{"insert": [["a", "p", "b"], ["b", "q", "c"]], "delete": [["c", "p", "d"]]}"#,
+        )
+        .unwrap();
+        assert_eq!(d.inserts.len(), 2);
+        assert_eq!(d.deletes.len(), 1);
+        assert_eq!(d.inserts[1], ["b".to_string(), "q".into(), "c".into()]);
+        let rendered = render_update(&d);
+        let back = parse_update(&rendered).unwrap();
+        assert_eq!(back.inserts, d.inserts);
+        assert_eq!(back.deletes, d.deletes);
+    }
+
+    #[test]
+    fn one_sided_batches_are_fine() {
+        assert_eq!(
+            parse_text(r#"{"insert": [["a", "p", "b"]]}"#)
+                .unwrap()
+                .deletes
+                .len(),
+            0
+        );
+        assert_eq!(
+            parse_text(r#"{"delete": [["a", "p", "b"]], "insert": null}"#)
+                .unwrap()
+                .inserts
+                .len(),
+            0
+        );
+    }
+
+    #[test]
+    fn malformed_batches_name_the_offending_field() {
+        for (body, needle) in [
+            (r#"[]"#, "must be a JSON object"),
+            (r#"{}"#, "batch is empty"),
+            (r#"{"insert": [], "delete": []}"#, "batch is empty"),
+            (r#"{"insert": "abc"}"#, "insert must be an array"),
+            (r#"{"insert": [["a", "p"]]}"#, "exactly 3"),
+            (r#"{"insert": [["a", "p", "b", "c"]]}"#, "exactly 3"),
+            (
+                r#"{"insert": [["a", 7, "b"]]}"#,
+                "insert[0][1] must be a string",
+            ),
+            (r#"{"delete": [["a", "", "b"]]}"#, "non-empty label"),
+            (r#"{"delete": [{"s": "a"}]}"#, "delete[0] must be an array"),
+        ] {
+            let err = parse_text(body).unwrap_err();
+            assert!(err.contains(needle), "{body}: {err}");
+        }
+    }
+}

@@ -10,11 +10,13 @@
 # columnar index-build times per world, and the improvement factor over
 # the committed BENCH_1.json baseline when one exists), and BENCH_7.json
 # (snapshot cold-start vs text re-parse, matcher throughput at the
-# 10^6-triple scale, and the corruption-sweep tally).
+# 10^6-triple scale, and the corruption-sweep tally), and BENCH_9.json
+# (the cold-start assembly step: legacy label re-hash vs the
+# sorted-arena interner handover, with the speedup factor gated).
 #
-# Usage: scripts/bench.sh [output.json] [trace-json] [b6-json] [b7-json]
+# Usage: scripts/bench.sh [output.json] [trace-json] [b6-json] [b7-json] [b9-json]
 #   BENCH_TINY=1   smoke mode: 1 trial, heaviest query only, 10^5-triple
-#                  B7 world (CI).
+#                  B7/B9 worlds (CI).
 #   BENCH_THREADS  largest thread count in the sweep (default 8).
 set -euo pipefail
 caller_dir="$PWD"
@@ -25,10 +27,12 @@ out="${1:-BENCH_1.json}"
 out3="${2:-BENCH_3.json}"
 out6="${3:-BENCH_6.json}"
 out7="${4:-BENCH_7.json}"
+out9="${5:-BENCH_9.json}"
 [[ "$out" == /* ]] || out="$caller_dir/$out"
 [[ "$out3" == /* ]] || out3="$caller_dir/$out3"
 [[ "$out6" == /* ]] || out6="$caller_dir/$out6"
 [[ "$out7" == /* ]] || out7="$caller_dir/$out7"
+[[ "$out9" == /* ]] || out9="$caller_dir/$out9"
 threads="${BENCH_THREADS:-8}"
 
 echo "== building exp_bench (release) =="
@@ -59,19 +63,29 @@ if [[ "${BENCH_TINY:-0}" == "1" ]]; then
 fi
 ./target/release/exp_bench "${b7args[@]}"
 
+# B9 likewise runs cold: the before/after interner measurement must not
+# inherit a warmed allocator from the B7 world build.
+echo "== running cold-start assembly bench (B9) =="
+b9args=(--bench9 "$out9")
+if [[ "${BENCH_TINY:-0}" == "1" ]]; then
+  b9args+=(--tiny)
+fi
+./target/release/exp_bench "${b9args[@]}"
+
 # Well-formedness gate: the reports must be parseable JSON.
 python3 -m json.tool "$out" > /dev/null
 python3 -m json.tool "$out3" > /dev/null
 python3 -m json.tool "$out6" > /dev/null
 python3 -m json.tool "$out7" > /dev/null
-echo "ok — $out, $out3, $out6 and $out7 are well-formed JSON"
+python3 -m json.tool "$out9" > /dev/null
+echo "ok — $out, $out3, $out6, $out7 and $out9 are well-formed JSON"
 
 # Rows measured with more worker threads than the host has CPUs are
 # scheduling artifacts, not parallel speedups (the runner still checks
 # their outputs, but the wall times mean nothing). Make any such row
 # impossible to miss.
 flagged=0
-for report in "$out" "$out3" "$out6" "$out7"; do
+for report in "$out" "$out3" "$out6" "$out7" "$out9"; do
   if grep -q '"valid_parallel": false' "$report"; then
     flagged=1
     echo

@@ -158,6 +158,32 @@ fn store_corpus_replays_to_recorded_verdicts() {
 }
 
 #[test]
+fn update_corpus_replays_to_recorded_verdicts() {
+    // Every batch replays against the same small seed world, so the
+    // recorded verdicts (e.g. "no such triple") are deterministic.
+    let seed =
+        triples::parse("alice writes paper1\npaper1 cites paper2").expect("seed world parses");
+    let store = questpro_store::TripleStore::from_ontology(&seed).expect("seed store builds");
+    check("update", |bytes| {
+        let text = std::str::from_utf8(bytes).map_err(|e| e.to_string())?;
+        let body = questpro_wire::parse(text).map_err(|e| e.to_string())?;
+        let delta = questpro_wire::update::parse_update(&body).map_err(|e| e.to_string())?;
+        let incremental = store.apply_update(&delta).map_err(|e| e.to_string())?;
+        // Accepted batches must also satisfy the differential oracle:
+        // the incremental store is byte-identical to a scratch rebuild.
+        let (scratch_ont, _) = seed
+            .apply_delta(&delta)
+            .map_err(|e| format!("store accepted but graph rejected: {e}"))?;
+        let scratch =
+            questpro_store::TripleStore::from_ontology(&scratch_ont).map_err(|e| e.to_string())?;
+        if questpro_store::encode(&incremental) != questpro_store::encode(&scratch) {
+            return Err("incremental update diverged from the scratch rebuild".into());
+        }
+        Ok(())
+    });
+}
+
+#[test]
 fn http_corpus_replays_to_recorded_verdicts() {
     check("http", |bytes| {
         let mut reader = BufReader::new(bytes);

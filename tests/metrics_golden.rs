@@ -8,7 +8,7 @@
 //! To intentionally change the format, update the golden with:
 //! `UPDATE_GOLDEN=1 cargo test --test metrics_golden`.
 
-use questpro_server::metrics::{render, HttpCounters};
+use questpro_server::metrics::{render, HttpCounters, OntologyCounters};
 
 fn golden_path() -> std::path::PathBuf {
     std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/metrics.golden")
@@ -40,15 +40,32 @@ fn metrics_exposition_format_is_frozen() {
     http.record_response(200);
     http.record_response(404);
     http.record_overload();
-    let got = normalize(&render(&http, 2));
+    let onto = OntologyCounters::default();
+    onto.record_update();
+    onto.record_rejection();
+    let got = normalize(&render(&http, 2, &onto, 3));
 
     // The format is also traffic-independent: a cold scrape has the
     // exact same lines.
     assert_eq!(
         got,
-        normalize(&render(&HttpCounters::default(), 0)),
+        normalize(&render(
+            &HttpCounters::default(),
+            0,
+            &OntologyCounters::default(),
+            0
+        )),
         "exposition shape must not depend on traffic"
     );
+
+    // The live-update counters are part of the frozen surface.
+    for name in [
+        "questpro_ontology_updates_total",
+        "questpro_ontology_update_rejections_total",
+        "questpro_ontology_versions_open",
+    ] {
+        assert!(got.contains(name), "{name} missing from the exposition");
+    }
 
     let path = golden_path();
     if std::env::var_os("UPDATE_GOLDEN").is_some() {
@@ -71,7 +88,7 @@ fn metrics_exposition_format_is_frozen() {
 
 #[test]
 fn every_trace_stage_appears_in_the_exposition() {
-    let text = render(&HttpCounters::default(), 0);
+    let text = render(&HttpCounters::default(), 0, &OntologyCounters::default(), 0);
     for stage in questpro_trace::STAGES {
         assert!(
             text.contains(&format!("stage=\"{stage}\",le=\"+Inf\"")),
@@ -84,7 +101,7 @@ fn every_trace_stage_appears_in_the_exposition() {
 fn route_labels_and_the_exposition_cannot_drift_apart() {
     use questpro_server::router::ROUTES;
 
-    let text = render(&HttpCounters::default(), 0);
+    let text = render(&HttpCounters::default(), 0, &OntologyCounters::default(), 0);
     // Forward: every dispatchable route renders its full histogram even
     // with zero traffic.
     for route in ROUTES {

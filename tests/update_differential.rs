@@ -1,0 +1,252 @@
+//! Differential oracle for live ontology updates.
+//!
+//! The incremental paths ([`questpro_store::TripleStore::apply_update`]
+//! and [`Ontology::apply_delta`](questpro::graph::Ontology::apply_delta))
+//! must be indistinguishable from throwing the world away and
+//! rebuilding it from scratch — after *every* step of a fuzzed update
+//! sequence, at every thread count, and while interactive sessions
+//! pinned to an older version keep answering questions in between
+//! updates. This is the tier-1 counterpart of
+//! `questpro fuzz --surface update`: small enough to run on every CI
+//! push, but exercising the same three oracles (accept/reject
+//! agreement, byte-identical snapshots, identical query answers).
+
+use std::collections::BTreeSet;
+
+use questpro::data::{erdos_example_set, erdos_ontology};
+use questpro::engine::evaluate_union_with;
+use questpro::feedback::{InteractiveSession, SessionConfig};
+use questpro::graph::{triples, Ontology, TripleDelta};
+use questpro::prelude::*;
+use questpro::rng::{Rng, StdRng};
+use questpro_store::TripleStore;
+
+/// The projection `?x --pred--> ?y` over one predicate label: the
+/// smallest query whose answer set is sensitive to every triple carrying
+/// that predicate.
+fn one_edge_query(pred: &str) -> UnionQuery {
+    let mut b = QueryBuilder::new();
+    let x = b.var("x");
+    let y = b.var("y");
+    b.edge(x, pred, y).project(x);
+    UnionQuery::single(b.build().expect("one-edge query is well-formed"))
+}
+
+/// Evaluates `q` on `ont` and renders the answers as sorted label
+/// strings, so ontologies with different internal node numbering (the
+/// direct incremental graph vs. the store-rebuilt one) compare equal.
+fn answers(ont: &Ontology, q: &UnionQuery, threads: usize) -> Vec<String> {
+    let mut vals: Vec<String> = evaluate_union_with(ont, q, threads)
+        .iter()
+        .map(|&r| ont.value_str(r).to_string())
+        .collect();
+    vals.sort_unstable();
+    vals
+}
+
+/// Draws a small random batch against the current store: deletes are
+/// mostly real rows (sometimes fabricated misses), inserts are mostly
+/// fresh labels (sometimes deliberate duplicates), so both the accept
+/// and the reject paths get traffic.
+fn random_delta(rng: &mut StdRng, store: &TripleStore, round: usize) -> TripleDelta {
+    let row_labels = |row: usize| {
+        let [s, p, o] = store.triples()[row];
+        [
+            store.nodes().label(s).to_string(),
+            store.preds().label(p).to_string(),
+            store.nodes().label(o).to_string(),
+        ]
+    };
+    let mut delta = TripleDelta::default();
+    for _ in 0..rng.random_range(0..3u32) {
+        if !store.triples().is_empty() && rng.random_bool(0.8) {
+            delta
+                .deletes
+                .push(row_labels(rng.random_range(0..store.triples().len())));
+        } else {
+            delta
+                .deletes
+                .push(["ghost".into(), "haunts".into(), "nobody".into()]);
+        }
+    }
+    for i in 0..rng.random_range(0..4u32) {
+        if !store.triples().is_empty() && rng.random_bool(0.15) {
+            // Deliberate collision with a surviving row.
+            delta
+                .inserts
+                .push(row_labels(rng.random_range(0..store.triples().len())));
+        } else {
+            let preds = ["knows", "cites", "likes"];
+            delta.inserts.push([
+                format!("n{round}_{i}"),
+                preds[rng.random_range(0..preds.len())].to_string(),
+                format!("m{round}_{i}"),
+            ]);
+        }
+    }
+    if delta.inserts.is_empty() && delta.deletes.is_empty() {
+        delta.inserts.push([
+            format!("lone{round}"),
+            "knows".into(),
+            format!("lone{round}_dst"),
+        ]);
+    }
+    delta
+}
+
+/// The tentpole oracle: fuzzed update sequences where, at every step,
+/// the incremental store is byte-identical to a scratch rebuild, both
+/// layers agree on accept/reject, and every predicate's one-edge query
+/// answers identically on the incremental and scratch worlds at
+/// threads 1, 2, and 8.
+#[test]
+fn fuzzed_update_sequences_match_scratch_rebuilds_at_all_thread_counts() {
+    let base = triples::parse("a knows b\nb knows c\nc cites d\nd cites a\na likes d")
+        .expect("base world parses");
+    for seed in 0..6u64 {
+        let mut rng = StdRng::seed_from_u64(0x5EED_0000 + seed);
+        let mut ont = base.clone();
+        let mut store = TripleStore::from_ontology(&ont).expect("base store builds");
+        let mut accepted = 0usize;
+        for round in 0..10 {
+            let delta = random_delta(&mut rng, &store, round);
+            let inc_store = store.apply_update(&delta);
+            let inc_graph = ont.apply_delta(&delta);
+            match (inc_store, inc_graph) {
+                (Ok(new_store), Ok((new_ont, summary))) => {
+                    accepted += 1;
+                    assert_eq!(summary.inserted, delta.inserts.len());
+                    assert_eq!(summary.deleted, delta.deletes.len());
+                    // Snapshot-byte oracle: incremental == from scratch.
+                    let scratch =
+                        TripleStore::from_ontology(&new_ont).expect("scratch rebuild fits");
+                    assert_eq!(
+                        questpro_store::encode(&new_store),
+                        questpro_store::encode(&scratch),
+                        "seed {seed} round {round}: incremental snapshot diverged from scratch"
+                    );
+                    // Query oracle: identical answers on both worlds, at
+                    // every thread count, for every live predicate.
+                    let rebuilt = new_store
+                        .to_ontology()
+                        .expect("incremental store assembles");
+                    let preds: BTreeSet<String> = (0..new_store.preds().len())
+                        .map(|i| new_store.preds().label(i as u32).to_string())
+                        .collect();
+                    for pred in &preds {
+                        let q = one_edge_query(pred);
+                        let seq = answers(&new_ont, &q, 1);
+                        for threads in [1usize, 2, 8] {
+                            assert_eq!(
+                                answers(&new_ont, &q, threads),
+                                seq,
+                                "seed {seed} round {round} pred {pred:?}: threaded eval diverged"
+                            );
+                            assert_eq!(
+                                answers(&rebuilt, &q, threads),
+                                seq,
+                                "seed {seed} round {round} pred {pred:?}: store-backed eval \
+                                 diverged from the incremental graph"
+                            );
+                        }
+                    }
+                    store = new_store;
+                    ont = new_ont;
+                }
+                (Err(_), Err(_)) => {} // both layers reject: fine
+                (s, g) => panic!(
+                    "seed {seed} round {round}: store and graph disagree on the batch \
+                     (store={:?}, graph={:?})",
+                    s.is_ok(),
+                    g.err(),
+                ),
+            }
+        }
+        assert!(
+            accepted >= 3,
+            "seed {seed}: the generator should accept most rounds (got {accepted})"
+        );
+    }
+}
+
+/// Sessions pinned to a version are completely unaffected by later
+/// updates: an [`InteractiveSession`] answering questions interleaved
+/// with head mutations stays bit-identical (full snapshot JSON) to a
+/// control session that ran with the world frozen.
+#[test]
+fn interleaved_sessions_on_pinned_versions_are_unaffected_by_updates() {
+    let pinned = erdos_ontology();
+    let examples = erdos_example_set(&pinned);
+    let cfg = SessionConfig::default();
+
+    let mut live = InteractiveSession::start(&pinned, &examples, &cfg, 42).expect("session starts");
+    let mut control =
+        InteractiveSession::start(&pinned, &examples, &cfg, 42).expect("control starts");
+
+    // Head evolves while the pinned session keeps answering.
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut head = pinned.clone();
+    let mut head_store = TripleStore::from_ontology(&head).expect("head store builds");
+    let mut round = 0usize;
+    while !live.is_done() {
+        // One head mutation between every pair of questions.
+        let delta = random_delta(&mut rng, &head_store, round);
+        if let (Ok(s), Ok((o, _))) = (head_store.apply_update(&delta), head.apply_delta(&delta)) {
+            head_store = s;
+            head = o;
+        }
+        round += 1;
+        live.answer(&pinned, true).expect("a question was pending");
+        control
+            .answer(&pinned, true)
+            .expect("control has the same question");
+        assert_eq!(
+            live.snapshot(&pinned).to_text(),
+            control.snapshot(&pinned).to_text(),
+            "round {round}: the pinned session drifted from the frozen-world control"
+        );
+        assert!(round < 1000, "session failed to converge");
+    }
+    assert!(control.is_done());
+    assert_eq!(
+        live.final_query()
+            .expect("done session has a query")
+            .to_string(),
+        control
+            .final_query()
+            .expect("control finished too")
+            .to_string(),
+    );
+    // Make sure the head really diverged (random rounds may cancel out):
+    // one guaranteed insert, then the pinned world must differ.
+    let bump = TripleDelta {
+        inserts: vec![["paperX".into(), "wb".into(), "Newcomer".into()]],
+        deletes: vec![],
+    };
+    head_store = head_store
+        .apply_update(&bump)
+        .expect("fresh insert applies");
+    head = head.apply_delta(&bump).expect("fresh insert applies").0;
+    assert_ne!(
+        questpro_store::encode(&head_store),
+        questpro_store::encode(&TripleStore::from_ontology(&pinned).expect("pinned store builds")),
+        "the interleaved updates should actually have changed the head"
+    );
+
+    // And a fresh session against the mutated head still works end to
+    // end — new sessions see the new world, old sessions never do.
+    let target = one_edge_query("wb");
+    let mut srng = StdRng::seed_from_u64(9);
+    let head_examples = questpro::engine::sample_example_set(&head, &target, 3, &mut srng, 6);
+    if head_examples.len() >= 2 {
+        let mut s =
+            InteractiveSession::start(&head, &head_examples, &cfg, 1).expect("head session starts");
+        let mut guard = 0;
+        while !s.is_done() {
+            s.answer(&head, true).expect("pending question");
+            guard += 1;
+            assert!(guard < 1000, "head session failed to converge");
+        }
+        assert!(s.final_query().is_some());
+    }
+}
