@@ -52,6 +52,19 @@
 //!   beating the legacy re-hash (this is what `scripts/bench.sh` uses
 //!   to produce `BENCH_9.json`; `--tiny` drops the scale to 10⁵
 //!   triples and relaxes the factor).
+//! * `--telemetry-overhead` — drive one real interactive session per
+//!   heavy query with telemetry disabled, measure the cost of building
+//!   and offering its `SessionRecord` on the disabled path, and assert
+//!   the one record a session lifecycle pays adds < 1% to the 1-thread
+//!   inference wall (the CI `telemetry-overhead` smoke gate).
+//! * `--bench10 PATH` — write the B10 report and exit: interactive
+//!   sessions driven to convergence on three seeded worlds twice with
+//!   identical seeds — telemetry disabled, then enabled — with median
+//!   session walls per mode, the per-world convergence-round
+//!   distribution plus the aggregator's marginal histogram, and the
+//!   disabled-path record cost gated < 1% of the median session wall
+//!   (this is what `scripts/bench.sh` uses to produce `BENCH_10.json`;
+//!   `--tiny` drops to 2 sessions per world).
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -143,6 +156,10 @@ fn main() {
     }
     if let Some(path) = cli_value("--bench9") {
         bench9_section(&path, tiny);
+        return;
+    }
+    if let Some(path) = cli_value("--bench10") {
+        bench10_section(&path, tiny);
         return;
     }
     let max_threads = if cli_value("--threads").is_some() {
@@ -331,6 +348,323 @@ fn main() {
     if cli_switch("--log-overhead") {
         log_section(&picked, &worlds, &cells, trials);
     }
+    if cli_switch("--telemetry-overhead") {
+        telemetry_section(&picked, &worlds, &cells);
+    }
+}
+
+/// Drives one interactive session to `Done` against the target oracle
+/// (1 inference thread, refinement on) and returns the finished session
+/// with its wall time in milliseconds. `None` when the seed samples too
+/// few explanations to start a session.
+fn drive_session(
+    ont: &Ontology,
+    target: &questpro_query::UnionQuery,
+    seed: u64,
+) -> Option<(questpro_feedback::InteractiveSession, f64)> {
+    use questpro_feedback::{InteractiveSession, Oracle, SessionConfig, TargetOracle};
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let examples = sample_example_set(ont, target, 5, &mut rng, 6);
+    if examples.len() < 2 {
+        return None;
+    }
+    let cfg = SessionConfig {
+        topk: TopKConfig {
+            threads: 1,
+            ..Default::default()
+        },
+        refine: true,
+        ..Default::default()
+    };
+    let t0 = Instant::now();
+    let mut session = InteractiveSession::start(ont, &examples, &cfg, seed).expect("a session");
+    let mut oracle = TargetOracle::new(target.clone());
+    let mut rounds = 0u32;
+    while !session.is_done() {
+        let q = session.pending().expect("an undone session has a question");
+        let verdict = oracle.accept(ont, q.result(), q.provenance());
+        session.answer(ont, verdict).expect("answering");
+        rounds += 1;
+        assert!(rounds < 500, "a driven session must converge");
+    }
+    Some((session, t0.elapsed().as_secs_f64() * 1e3))
+}
+
+/// Disabled-telemetry overhead gate: a session lifecycle pays exactly
+/// one `SessionRecord` build + one `questpro_telemetry::record` offer,
+/// and when telemetry is off the offer drops the record after one
+/// relaxed atomic load. Measure that whole disabled path on a *real*
+/// finished session (so the record carries representative pool-size and
+/// round-wall vectors) and assert it stays under 1% of the 1-thread
+/// inference wall — tighter than the log budget's per-site math because
+/// the site count here is one.
+fn telemetry_section(picked: &[&WorkloadQuery], worlds: &questpro_bench::Worlds, cells: &[Cell]) {
+    use questpro_telemetry::Outcome;
+
+    questpro_telemetry::set_enabled(false);
+    const ITERS: u32 = 100_000;
+    let mut worst_pct = 0.0f64;
+    let mut worst_ns = 0.0f64;
+    let mut measured = 0u32;
+    for w in picked {
+        let ont = worlds.for_kind(w.kind);
+        let Some((session, _)) = drive_session(ont, &w.query, 0xd15) else {
+            eprintln!("skipping {}: too few explanations sampled", w.id);
+            continue;
+        };
+        let t0 = Instant::now();
+        for _ in 0..ITERS {
+            questpro_telemetry::record(std::hint::black_box(&session).telemetry_record(
+                w.id,
+                1,
+                Outcome::Converged,
+                0,
+            ));
+        }
+        let ns_per_record = t0.elapsed().as_nanos() as f64 / f64::from(ITERS);
+        let Some(wall_ms) = cells
+            .iter()
+            .find(|c| c.query == w.id && c.threads == 1)
+            .map(|c| c.wall_ms)
+        else {
+            continue;
+        };
+        measured += 1;
+        let pct = 100.0 * (ns_per_record / 1e6) / wall_ms.max(0.001);
+        if pct > worst_pct {
+            worst_pct = pct;
+            worst_ns = ns_per_record;
+        }
+    }
+    assert!(measured > 0, "at least one query must yield a session");
+    println!(
+        "Disabled-telemetry overhead: worst {worst_ns:.0} ns per session record \
+         (build + dropped offer) = {worst_pct:.4}% of the 1-thread wall."
+    );
+    assert!(
+        worst_pct < 1.0,
+        "disabled-telemetry overhead {worst_pct:.4}% breaches the 1% budget \
+         ({worst_ns:.0} ns per record)"
+    );
+    println!("Telemetry-overhead gate passed (< 1%).");
+}
+
+/// The B10 report: session telemetry overhead and convergence analytics.
+///
+/// Drives interactive sessions to convergence on three seeded worlds
+/// twice with identical seeds — first with telemetry disabled, then
+/// enabled with every finished session offered to the global aggregator.
+/// The enabled pass must converge in exactly the same number of rounds
+/// per seed (telemetry must not perturb inference), and the report
+/// records median walls for both modes side by side. The asserted gate
+/// is the *disabled* path (the default-on server pays the enabled path
+/// by choice; the contract is that opting out is free): one
+/// record-build + dropped offer per session, < 1% of the median session
+/// wall. The enabled-vs-disabled wall delta is reported but not gated —
+/// at millisecond session walls it is scheduler noise, not signal.
+fn bench10_section(path: &str, tiny: bool) {
+    use questpro_data::{
+        bsbm_workload, generate_bsbm, generate_movies, generate_sp2b, movie_workload,
+        sp2b_workload, BsbmConfig, MoviesConfig, Sp2bConfig,
+    };
+    use questpro_telemetry::Outcome;
+
+    let sessions_per_world: u64 = if tiny { 2 } else { 8 };
+    let seed = 0xd15u64;
+
+    let sp2b = generate_sp2b(&Sp2bConfig {
+        authors: 80,
+        articles: 120,
+        inproceedings: 60,
+        ..Default::default()
+    });
+    let bsbm = generate_bsbm(&BsbmConfig::default());
+    let movies = generate_movies(&MoviesConfig::default());
+    let pick = |mut ws: Vec<WorkloadQuery>, id: &str| {
+        ws.iter()
+            .position(|w| w.id == id)
+            .map(|i| ws.swap_remove(i).query)
+            .expect("workload query in catalog")
+    };
+    let worlds = vec![
+        ("sp2b", "q8a", sp2b, pick(sp2b_workload(), "q8a")),
+        ("bsbm", "q2v0", bsbm, pick(bsbm_workload(), "q2v0")),
+        ("movies", "m1", movies, pick(movie_workload(), "m1")),
+    ];
+
+    struct WorldRow {
+        world: &'static str,
+        query: &'static str,
+        sessions: u64,
+        rounds: Vec<u64>,
+        disabled_median_ms: f64,
+        enabled_median_ms: f64,
+    }
+
+    questpro_telemetry::set_enabled(false);
+    let mut rows = Vec::new();
+    for (world, query_id, ont, target) in &worlds {
+        // Pass 1: telemetry disabled. Skipped seeds (too few sampled
+        // explanations) are skipped identically in pass 2, so the
+        // walls compare session-for-session.
+        let mut disabled_walls = Vec::new();
+        let mut rounds = Vec::new();
+        for i in 0..sessions_per_world {
+            let Some((session, wall_ms)) = drive_session(ont, target, seed + i) else {
+                continue;
+            };
+            let rec = session.telemetry_record(world, 1, Outcome::Converged, 0);
+            rounds.push(rec.rounds);
+            disabled_walls.push(wall_ms);
+        }
+        // Pass 2: telemetry enabled, same seeds, records offered to the
+        // global aggregator — the exact server lifecycle path.
+        questpro_telemetry::set_enabled(true);
+        let mut enabled_walls = Vec::new();
+        let mut enabled_rounds = Vec::new();
+        for i in 0..sessions_per_world {
+            let Some((session, wall_ms)) = drive_session(ont, target, seed + i) else {
+                continue;
+            };
+            let rec = session.telemetry_record(world, 1, Outcome::Converged, 0);
+            enabled_rounds.push(rec.rounds);
+            questpro_telemetry::record(rec);
+            enabled_walls.push(wall_ms);
+        }
+        questpro_telemetry::set_enabled(false);
+        assert_eq!(
+            rounds, enabled_rounds,
+            "{world}: enabling telemetry changed convergence rounds"
+        );
+        if disabled_walls.is_empty() {
+            eprintln!("skipping {world}: too few explanations sampled");
+            continue;
+        }
+        rows.push(WorldRow {
+            world,
+            query: query_id,
+            sessions: disabled_walls.len() as u64,
+            rounds,
+            disabled_median_ms: median(disabled_walls),
+            enabled_median_ms: median(enabled_walls),
+        });
+    }
+    assert!(!rows.is_empty(), "at least one world must drive sessions");
+
+    // The disabled path, measured on a real finished session from the
+    // first world: record build + dropped offer.
+    let (world, _, ont, target) = &worlds[0];
+    let (session, _) = drive_session(ont, target, seed).expect("the first world drives");
+    const ITERS: u32 = 100_000;
+    let t0 = Instant::now();
+    for _ in 0..ITERS {
+        questpro_telemetry::record(std::hint::black_box(&session).telemetry_record(
+            world,
+            1,
+            Outcome::Converged,
+            0,
+        ));
+    }
+    let ns_per_record = t0.elapsed().as_nanos() as f64 / f64::from(ITERS);
+    let worst_pct = rows
+        .iter()
+        .map(|r| 100.0 * (ns_per_record / 1e6) / r.disabled_median_ms.max(0.001))
+        .fold(0.0f64, f64::max);
+    println!(
+        "B10 disabled-telemetry cost: {ns_per_record:.0} ns per session record = \
+         {worst_pct:.4}% of the smallest median session wall."
+    );
+    assert!(
+        worst_pct < 1.0,
+        "disabled-telemetry overhead {worst_pct:.4}% breaches the 1% budget \
+         ({ns_per_record:.0} ns per record)"
+    );
+
+    // Aggregator accounting over the enabled pass: every offered record
+    // is either bucketed or counted dropped.
+    let (recorded, dropped, keys) = questpro_telemetry::counters();
+    let offered: u64 = rows.iter().map(|r| r.sessions).sum();
+    assert_eq!(recorded, offered, "every enabled session was offered");
+    assert_eq!(dropped, 0, "three worlds fit the key budget");
+    let marginals = questpro_telemetry::marginals();
+    let converged = marginals
+        .iter()
+        .find(|m| m.outcome == Outcome::Converged)
+        .expect("a converged marginal");
+    assert_eq!(converged.rounds.count, offered, "every session bucketed");
+
+    for r in &rows {
+        println!(
+            "B10 {}/{}: {} session(s), rounds {:?}, median wall disabled \
+             {:.2} ms / enabled {:.2} ms",
+            r.world, r.query, r.sessions, r.rounds, r.disabled_median_ms, r.enabled_median_ms
+        );
+    }
+
+    let mut out =
+        String::from("{\n  \"bench\": \"B10 session telemetry overhead and convergence\",\n");
+    let _ = writeln!(
+        out,
+        "  \"config\": {{\"sessions_per_world\": {sessions_per_world}, \"seed\": {seed}, \
+         \"threads\": 1, \"tiny\": {tiny}}},"
+    );
+    out.push_str("  \"worlds\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let delta_pct =
+            100.0 * (r.enabled_median_ms - r.disabled_median_ms) / r.disabled_median_ms.max(0.001);
+        let _ = write!(
+            out,
+            "    {{\"world\": \"{}\", \"query\": \"{}\", \"sessions\": {}, \
+             \"rounds\": [{}], \"median_wall_ms_disabled\": {:.3}, \
+             \"median_wall_ms_enabled\": {:.3}, \"enabled_delta_pct_unguarded\": {delta_pct:.2}}}",
+            r.world,
+            json_escape(r.query),
+            r.sessions,
+            r.rounds
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join(", "),
+            r.disabled_median_ms,
+            r.enabled_median_ms,
+        );
+        out.push_str(if i + 1 == rows.len() { "\n" } else { ",\n" });
+    }
+    out.push_str("  ],\n");
+    let _ = writeln!(
+        out,
+        "  \"convergence\": {{\"outcome\": \"converged\", \"sessions\": {}, \
+         \"questions\": {}, \"yes\": {}, \"no\": {}, \"rounds_hist\": {{\"le\": [{}], \
+         \"cumulative\": [{}], \"count\": {}, \"sum\": {}}}, \"keys_live\": {keys}}},",
+        converged.sessions,
+        converged.questions,
+        converged.yes,
+        converged.no,
+        (0..converged.rounds.buckets.len())
+            .map(|i| (1u64 << i).to_string())
+            .collect::<Vec<_>>()
+            .join(", "),
+        converged
+            .rounds
+            .buckets
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join(", "),
+        converged.rounds.count,
+        converged.rounds.sum,
+    );
+    let _ = writeln!(
+        out,
+        "  \"overhead\": {{\"ns_per_disabled_record\": {ns_per_record:.0}, \
+         \"records_per_session\": 1, \"worst_pct_of_session_wall\": {worst_pct:.4}, \
+         \"budget_pct\": 1.0, \"within_budget\": {}}}",
+        worst_pct < 1.0
+    );
+    out.push_str("}\n");
+    std::fs::write(path, out).expect("write bench10 json report");
+    eprintln!("wrote {path}");
 }
 
 /// The B7 report: the persistent-store cold-start story at scale.

@@ -56,6 +56,11 @@ USAGE:
                     [--seed N] [--iters N]
                     (deterministic fuzzing of the input parsers; exits
                     non-zero on any panic or oracle violation)
+  questpro top      [--addr HOST:PORT | --port N] [--interval-ms N] [--once]
+                    (live terminal dashboard over a running server's
+                    /metrics: rps, open connections, per-route latency
+                    quantiles, session outcomes and convergence rounds,
+                    cache hit rates; --once prints one snapshot and exits)
 
 FILES:
   ontology  — triple text format (`src pred dst`, `@type value Type`), or a
@@ -93,6 +98,19 @@ pub enum Command {
     Store(StoreCommand),
     /// `questpro update` (apply a triple batch to a snapshot).
     Update(UpdateArgs),
+    /// `questpro top` (live dashboard over a server's `/metrics`).
+    Top(TopArgs),
+}
+
+/// Arguments of `questpro top`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopArgs {
+    /// Scrape address (`HOST:PORT`) of the running server.
+    pub addr: String,
+    /// Milliseconds between scrapes in live mode.
+    pub interval_ms: u64,
+    /// Print one snapshot and exit instead of looping.
+    pub once: bool,
 }
 
 /// Arguments of `questpro update`.
@@ -472,6 +490,16 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
             batch: flags.require("batch")?,
             out: flags.require("out")?,
         })),
+        "top" => {
+            let port = flags.num("port", 7474)?;
+            Ok(Command::Top(TopArgs {
+                addr: flags
+                    .get("addr")
+                    .unwrap_or_else(|| format!("127.0.0.1:{port}")),
+                interval_ms: flags.num("interval-ms", 2_000)?.max(100),
+                once: flags.switch("once"),
+            }))
+        }
         "help" | "--help" | "-h" => Err(CliError::Usage(USAGE.to_string())),
         other => Err(CliError::Usage(format!(
             "unknown subcommand {other:?}\n\n{USAGE}"
@@ -537,6 +565,7 @@ const SWITCHES: &[&str] = &[
     "minimize",
     "polynomial",
     "all",
+    "once",
 ];
 
 /// Per-subcommand flag allowlists. A flag outside its subcommand's list
@@ -599,6 +628,7 @@ const KNOWN_FLAGS: &[(&str, &[&str])] = &[
     ("logs", &["file", "level", "target", "trace-id", "limit"]),
     ("fuzz", &["surface", "all", "seed", "iters"]),
     ("update", &["store", "batch", "out"]),
+    ("top", &["addr", "port", "interval-ms", "once"]),
 ];
 
 impl Flags {
@@ -820,6 +850,35 @@ mod tests {
         }
         // Unknown flags are rejected, not ignored.
         assert!(parse(&argv("update --store i --batch b --out o --k 3")).is_err());
+    }
+
+    #[test]
+    fn parses_top_with_defaults_and_overrides() {
+        let cmd = parse(&argv("top")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Top(TopArgs {
+                addr: "127.0.0.1:7474".into(),
+                interval_ms: 2_000,
+                once: false,
+            })
+        );
+        let cmd = parse(&argv("top --addr 10.0.0.1:9999 --interval-ms 50 --once")).unwrap();
+        match cmd {
+            Command::Top(t) => {
+                assert_eq!(t.addr, "10.0.0.1:9999");
+                assert_eq!(t.interval_ms, 100, "interval clamps to 100ms");
+                assert!(t.once);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        let cmd = parse(&argv("top --port 8080 --once")).unwrap();
+        match cmd {
+            Command::Top(t) => assert_eq!(t.addr, "127.0.0.1:8080"),
+            other => panic!("wrong command {other:?}"),
+        }
+        let err = parse(&argv("top --bogus x")).unwrap_err();
+        assert!(err.to_string().contains("unknown flag --bogus"), "{err}");
     }
 
     #[test]

@@ -1337,6 +1337,475 @@ pub mod fuzz {
     }
 }
 
+pub mod top {
+    //! `questpro top` — a live terminal dashboard over a running
+    //! server's `/metrics` scrape.
+    //!
+    //! The dashboard is a pure function of two consecutive scrapes
+    //! (rates come from counter diffs, latency quantiles from the
+    //! cumulative log2 histogram buckets), so everything below the
+    //! polling loop is unit-testable on canned scrape text. Live mode
+    //! redraws with plain ANSI (clear + home) every `--interval-ms` and
+    //! exits cleanly when the server goes away; `--once` prints a
+    //! single snapshot without touching the terminal state.
+
+    use std::collections::HashMap;
+    use std::fmt::Write as _;
+    use std::io::{BufRead, BufReader, Read, Write};
+    use std::net::TcpStream;
+    use std::time::Duration;
+
+    use crate::args::TopArgs;
+    use crate::error::CliError;
+
+    /// One parsed `/metrics` scrape: every sample keyed by its full
+    /// series name (family plus rendered label set).
+    struct Scrape {
+        series: HashMap<String, f64>,
+    }
+
+    impl Scrape {
+        /// Parses Prometheus text exposition: `name{labels} value`
+        /// lines, comments skipped. Unparsable values are dropped
+        /// rather than failing the whole scrape.
+        fn parse(text: &str) -> Self {
+            let mut series = HashMap::new();
+            for line in text.lines() {
+                if line.starts_with('#') || line.trim().is_empty() {
+                    continue;
+                }
+                if let Some((key, value)) = line.rsplit_once(' ') {
+                    if let Ok(v) = value.parse::<f64>() {
+                        series.insert(key.to_string(), v);
+                    }
+                }
+            }
+            Self { series }
+        }
+
+        /// Value of one exact series, 0 when absent.
+        fn get(&self, key: &str) -> f64 {
+            self.series.get(key).copied().unwrap_or(0.0)
+        }
+
+        /// Sums every series of `family` (all label combinations).
+        fn sum(&self, family: &str) -> f64 {
+            let braced = format!("{family}{{");
+            self.series
+                .iter()
+                .filter(|(k, _)| *k == family || k.starts_with(&braced))
+                .map(|(_, v)| v)
+                .sum()
+        }
+
+        /// Cumulative histogram points `(le, count)` for one labeled
+        /// family, sorted by bound; `+Inf` maps to `f64::INFINITY`.
+        fn buckets(&self, family: &str, selector: &str) -> Vec<(f64, f64)> {
+            let prefix = format!("{family}_bucket{{");
+            let mut points: Vec<(f64, f64)> = self
+                .series
+                .iter()
+                .filter(|(k, _)| k.starts_with(&prefix) && k.contains(selector))
+                .filter_map(|(k, &v)| {
+                    let le = k.split("le=\"").nth(1)?.split('"').next()?;
+                    let le = if le == "+Inf" {
+                        f64::INFINITY
+                    } else {
+                        le.parse().ok()?
+                    };
+                    Some((le, v))
+                })
+                .collect();
+            points.sort_by(|a, b| a.0.total_cmp(&b.0));
+            points
+        }
+
+        /// Every distinct value of `label` across one family's
+        /// `_count` series (used to enumerate routes from the scrape
+        /// itself, so the dashboard needs no route table of its own).
+        fn label_values(&self, family: &str, label: &str) -> Vec<String> {
+            let prefix = format!("{family}_count{{{label}=\"");
+            let mut values: Vec<String> = self
+                .series
+                .keys()
+                .filter_map(|k| k.strip_prefix(&prefix))
+                .filter_map(|rest| rest.split('"').next())
+                .map(String::from)
+                .collect();
+            values.sort();
+            values
+        }
+    }
+
+    /// Quantile of a cumulative histogram by linear interpolation
+    /// within the owning bucket (the `histogram_quantile` rule). An
+    /// empty histogram yields `None`; a quantile landing in the `+Inf`
+    /// bucket reports the last finite bound.
+    fn quantile(points: &[(f64, f64)], q: f64) -> Option<f64> {
+        let count = points.last().map(|&(_, c)| c)?;
+        if count <= 0.0 {
+            return None;
+        }
+        let target = q * count;
+        let mut lower_bound = 0.0;
+        let mut lower_count = 0.0;
+        for &(le, cum) in points {
+            if cum >= target {
+                if le.is_infinite() {
+                    return Some(lower_bound);
+                }
+                let span = cum - lower_count;
+                let frac = if span > 0.0 {
+                    (target - lower_count) / span
+                } else {
+                    1.0
+                };
+                return Some(lower_bound + frac * (le - lower_bound));
+            }
+            lower_bound = le;
+            lower_count = cum;
+        }
+        points.iter().rev().find(|p| p.0.is_finite()).map(|p| p.0)
+    }
+
+    /// Formats nanoseconds at human scale (`870ns`, `13.1µs`, `2.4ms`,
+    /// `1.7s`).
+    fn fmt_ns(ns: f64) -> String {
+        if ns < 1_000.0 {
+            format!("{ns:.0}ns")
+        } else if ns < 1_000_000.0 {
+            format!("{:.1}µs", ns / 1_000.0)
+        } else if ns < 1_000_000_000.0 {
+            format!("{:.1}ms", ns / 1_000_000.0)
+        } else {
+            format!("{:.2}s", ns / 1_000_000_000.0)
+        }
+    }
+
+    /// `hits/lookups` as a percentage, `-` when nothing was looked up.
+    fn hit_rate(hits: f64, lookups: f64) -> String {
+        if lookups <= 0.0 {
+            "-".to_string()
+        } else {
+            format!("{:.1}%", 100.0 * hits / lookups)
+        }
+    }
+
+    /// The three quantiles of one labeled histogram as one cell each.
+    fn quantile_cells(scrape: &Scrape, family: &str, selector: &str) -> [String; 3] {
+        let points = scrape.buckets(family, selector);
+        [0.50, 0.95, 0.99].map(|q| quantile(&points, q).map_or_else(|| "-".to_string(), fmt_ns))
+    }
+
+    /// Renders one dashboard frame. `prev` (with the elapsed seconds
+    /// since it) turns monotonic counters into rates; without it the
+    /// rate column shows `-`.
+    fn render(addr: &str, prev: Option<(&Scrape, f64)>, cur: &Scrape) -> String {
+        let mut out = String::new();
+        let rate = |family: &str| -> String {
+            match prev {
+                Some((p, secs)) if secs > 0.0 => {
+                    format!("{:.1}/s", (cur.sum(family) - p.sum(family)).max(0.0) / secs)
+                }
+                _ => "-".to_string(),
+            }
+        };
+        let _ = writeln!(out, "questpro top — {addr}");
+        let _ = writeln!(
+            out,
+            "\ntraffic   requests {:>10}   rps {:>9}   open conns {:>5}   sessions live {:>4}",
+            cur.get("questpro_http_requests_total"),
+            rate("questpro_http_requests_total"),
+            cur.get("questpro_http_connections_open"),
+            cur.get("questpro_sessions_live"),
+        );
+        let _ = writeln!(
+            out,
+            "status    2xx {:>10}   4xx {:>8}   5xx {:>8}   overload {:>6}   timeouts {:>6}",
+            cur.get("questpro_http_responses_2xx_total"),
+            cur.get("questpro_http_responses_4xx_total"),
+            cur.get("questpro_http_responses_5xx_total"),
+            cur.get("questpro_http_overload_rejections_total"),
+            cur.get("questpro_http_request_timeouts_total"),
+        );
+
+        let _ = writeln!(
+            out,
+            "\nroutes                          count        p50        p95        p99"
+        );
+        let mut routes: Vec<(String, f64)> = cur
+            .label_values("questpro_route_duration_ns", "route")
+            .into_iter()
+            .map(|r| {
+                let count = cur.get(&format!(
+                    "questpro_route_duration_ns_count{{route=\"{r}\"}}"
+                ));
+                (r, count)
+            })
+            .filter(|(_, c)| *c > 0.0)
+            .collect();
+        routes.sort_by(|a, b| b.1.total_cmp(&a.1));
+        if routes.is_empty() {
+            let _ = writeln!(out, "  (no requests served yet)");
+        }
+        for (route, count) in routes.iter().take(10) {
+            let [p50, p95, p99] = quantile_cells(
+                cur,
+                "questpro_route_duration_ns",
+                &format!("route=\"{route}\""),
+            );
+            let _ = writeln!(
+                out,
+                "  {route:<28} {count:>7} {p50:>10} {p95:>10} {p99:>10}"
+            );
+        }
+
+        let _ = writeln!(
+            out,
+            "\nsessions  outcome     finished  questions   rounds p50/p95/p99      wall p95"
+        );
+        for outcome in ["converged", "abandoned", "evicted"] {
+            let selector = format!("outcome=\"{outcome}\"");
+            let finished = cur.get(&format!("questpro_session_outcomes_total{{{selector}}}"));
+            let questions = cur.get(&format!("questpro_session_questions_total{{{selector}}}"));
+            let rounds = cur.buckets("questpro_session_rounds", &selector);
+            let rq = [0.50, 0.95, 0.99].map(|q| {
+                quantile(&rounds, q).map_or_else(|| "-".to_string(), |v| format!("{v:.1}"))
+            });
+            let wall = quantile(
+                &cur.buckets("questpro_session_duration_ns", &selector),
+                0.95,
+            )
+            .map_or_else(|| "-".to_string(), fmt_ns);
+            let _ = writeln!(
+                out,
+                "          {outcome:<10} {finished:>8} {questions:>10}   {:>17} {wall:>13}",
+                rq.join("/")
+            );
+        }
+
+        let session_merge_hits = cur.sum("questpro_session_merge_hits_total");
+        let session_merge_lookups = cur.sum("questpro_session_merge_lookups_total");
+        let _ = writeln!(
+            out,
+            "\ncaches    consistency hit {:>7}   session merge hit {:>7}",
+            hit_rate(
+                cur.get("questpro_consistency_hits_total"),
+                cur.get("questpro_consistency_lookups_total"),
+            ),
+            hit_rate(session_merge_hits, session_merge_lookups),
+        );
+        let _ = writeln!(
+            out,
+            "telemetry records {:>8} (dropped {})   keys {:>3}   traces {:>5} held/{} dropped\n\
+             log       emitted {:>8}   drained {:>8}   dropped {:>6}   retained {:>6}",
+            cur.get("questpro_session_records_total"),
+            cur.get("questpro_session_records_dropped_total"),
+            cur.get("questpro_session_keys_live"),
+            cur.get("questpro_traces_retained"),
+            cur.get("questpro_traces_dropped_total"),
+            cur.get("questpro_log_events_total"),
+            cur.get("questpro_log_drained_total"),
+            cur.get("questpro_log_dropped_total"),
+            cur.get("questpro_log_retained"),
+        );
+        out
+    }
+
+    /// Fetches `/metrics` from `addr` over a fresh connection.
+    fn fetch(addr: &str) -> Result<Scrape, CliError> {
+        let mut stream = TcpStream::connect(addr).map_err(|e| CliError::io(addr, e))?;
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .map_err(|e| CliError::io(addr, e))?;
+        write!(
+            stream,
+            "GET /metrics HTTP/1.1\r\nHost: top\r\nConnection: close\r\n\r\n"
+        )
+        .map_err(|e| CliError::io(addr, e))?;
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        reader
+            .read_line(&mut line)
+            .map_err(|e| CliError::io(addr, e))?;
+        let status = line.split_whitespace().nth(1).unwrap_or("");
+        if status != "200" {
+            return Err(CliError::Input(format!(
+                "{addr} answered {} to GET /metrics",
+                status.trim()
+            )));
+        }
+        let mut content_length = 0usize;
+        loop {
+            line.clear();
+            reader
+                .read_line(&mut line)
+                .map_err(|e| CliError::io(addr, e))?;
+            let trimmed = line.trim_end();
+            if trimmed.is_empty() {
+                break;
+            }
+            if let Some(v) = trimmed
+                .to_ascii_lowercase()
+                .strip_prefix("content-length:")
+                .map(str::trim)
+            {
+                content_length = v
+                    .parse()
+                    .map_err(|_| CliError::Input(format!("{addr}: bad content-length")))?;
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        reader
+            .read_exact(&mut body)
+            .map_err(|e| CliError::io(addr, e))?;
+        let text = String::from_utf8(body)
+            .map_err(|_| CliError::Input(format!("{addr}: non-UTF-8 scrape")))?;
+        Ok(Scrape::parse(&text))
+    }
+
+    /// Runs the command. `--once` returns a single frame; live mode
+    /// redraws until the server becomes unreachable (the first scrape
+    /// must succeed so a wrong address still fails loudly).
+    pub fn run(args: &TopArgs) -> Result<String, CliError> {
+        let first = fetch(&args.addr)?;
+        if args.once {
+            return Ok(render(&args.addr, None, &first));
+        }
+        let interval = Duration::from_millis(args.interval_ms);
+        let mut prev = first;
+        let mut stdout = std::io::stdout();
+        let _ = write!(stdout, "\x1b[2J\x1b[H{}", render(&args.addr, None, &prev));
+        let _ = stdout.flush();
+        loop {
+            std::thread::sleep(interval);
+            let Ok(cur) = fetch(&args.addr) else {
+                return Ok(format!("\nserver at {} is gone; exiting\n", args.addr));
+            };
+            let elapsed = interval.as_secs_f64();
+            let frame = render(&args.addr, Some((&prev, elapsed)), &cur);
+            let _ = write!(stdout, "\x1b[2J\x1b[H{frame}");
+            let _ = stdout.flush();
+            prev = cur;
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        fn hist(family: &str, label: &str, counts: &[(u64, u64)], total: u64) -> String {
+            let mut out = String::new();
+            for (le, cum) in counts {
+                let _ = writeln!(out, "{family}_bucket{{{label},le=\"{le}\"}} {cum}");
+            }
+            let _ = writeln!(out, "{family}_bucket{{{label},le=\"+Inf\"}} {total}");
+            let _ = writeln!(out, "{family}_sum{{{label}}} 0");
+            let _ = writeln!(out, "{family}_count{{{label}}} {total}");
+            out
+        }
+
+        #[test]
+        fn quantiles_interpolate_within_the_owning_bucket() {
+            // 10 samples: 5 at ≤1024, all 10 at ≤2048.
+            let points = vec![(1024.0, 5.0), (2048.0, 10.0), (f64::INFINITY, 10.0)];
+            assert_eq!(quantile(&points, 0.5), Some(1024.0));
+            let p99 = quantile(&points, 0.99).unwrap();
+            assert!((2027.0..=2048.0).contains(&p99), "{p99}");
+            // Everything in the overflow bucket reports the last
+            // finite bound rather than infinity.
+            let overflow = vec![(1024.0, 0.0), (f64::INFINITY, 3.0)];
+            assert_eq!(quantile(&overflow, 0.95), Some(1024.0));
+            assert_eq!(quantile(&[], 0.5), None);
+            assert_eq!(quantile(&[(1024.0, 0.0), (f64::INFINITY, 0.0)], 0.5), None);
+        }
+
+        #[test]
+        fn renders_a_frame_from_canned_scrape_text() {
+            let mut scrape = String::from(
+                "# HELP questpro_http_requests_total Requests.\n\
+                 # TYPE questpro_http_requests_total counter\n\
+                 questpro_http_requests_total 120\n\
+                 questpro_http_responses_2xx_total 100\n\
+                 questpro_http_connections_open 3\n\
+                 questpro_sessions_live 2\n\
+                 questpro_session_outcomes_total{outcome=\"converged\"} 4\n\
+                 questpro_session_outcomes_total{outcome=\"abandoned\"} 1\n\
+                 questpro_session_outcomes_total{outcome=\"evicted\"} 0\n\
+                 questpro_session_questions_total{outcome=\"converged\"} 12\n\
+                 questpro_consistency_lookups_total 200\n\
+                 questpro_consistency_hits_total 150\n\
+                 questpro_session_merge_lookups_total{outcome=\"converged\"} 40\n\
+                 questpro_session_merge_hits_total{outcome=\"converged\"} 10\n\
+                 questpro_session_records_total 5\n",
+            );
+            scrape.push_str(&hist(
+                "questpro_route_duration_ns",
+                "route=\"GET /healthz\"",
+                &[(1024, 90), (2048, 100)],
+                100,
+            ));
+            scrape.push_str(&hist(
+                "questpro_session_rounds",
+                "outcome=\"converged\"",
+                &[(1, 0), (2, 1), (4, 4)],
+                4,
+            ));
+            let cur = Scrape::parse(&scrape);
+
+            let frame = render("127.0.0.1:7474", None, &cur);
+            assert!(frame.contains("questpro top — 127.0.0.1:7474"), "{frame}");
+            assert!(frame.contains("GET /healthz"), "{frame}");
+            assert!(frame.contains("converged"), "{frame}");
+            assert!(frame.contains("75.0%"), "consistency hit rate: {frame}");
+            assert!(frame.contains("25.0%"), "merge hit rate: {frame}");
+            // No previous sample: the rate column is a placeholder.
+            assert!(frame.contains("rps         -"), "{frame}");
+
+            // With a 2s-older scrape at 100 requests, rps = 10.0.
+            let old = Scrape::parse("questpro_http_requests_total 100\n");
+            let frame = render("127.0.0.1:7474", Some((&old, 2.0)), &cur);
+            assert!(frame.contains("10.0/s"), "{frame}");
+        }
+
+        #[test]
+        fn once_mode_snapshots_a_live_server() {
+            let server = questpro_server::start(&questpro_server::ServerConfig {
+                addr: "127.0.0.1:0".into(),
+                workers: 2,
+                queue: 8,
+                ..questpro_server::ServerConfig::default()
+            })
+            .expect("an ephemeral server");
+            let addr = server.addr().to_string();
+            // One request so the route table is non-empty.
+            let _ = fetch(&addr).unwrap();
+            let out = run(&TopArgs {
+                addr: addr.clone(),
+                interval_ms: 1_000,
+                once: true,
+            })
+            .unwrap();
+            assert!(out.contains(&format!("questpro top — {addr}")), "{out}");
+            assert!(out.contains("GET /metrics"), "{out}");
+            assert!(out.contains("telemetry records"), "{out}");
+            server.join();
+        }
+
+        #[test]
+        fn unreachable_server_is_a_named_error() {
+            // A port from the ephemeral range with nothing bound.
+            let err = run(&TopArgs {
+                addr: "127.0.0.1:1".into(),
+                interval_ms: 1_000,
+                once: true,
+            })
+            .unwrap_err();
+            assert!(err.to_string().contains("127.0.0.1:1"), "{err}");
+        }
+    }
+}
+
 pub mod update {
     //! `questpro update` — apply a batched triple update to a binary
     //! snapshot, copy-on-write.

@@ -41,5 +41,6 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
         Command::Fuzz(f) => commands::fuzz::run(&f),
         Command::Store(s) => commands::store::run(&s),
         Command::Update(u) => commands::update::run(&u),
+        Command::Top(t) => commands::top::run(&t),
     }
 }

@@ -100,6 +100,17 @@ impl InferenceStats {
         }
     }
 
+    /// Total pairwise merge-cache lookups: hits plus both miss kinds.
+    pub fn merge_cache_lookups(&self) -> usize {
+        self.merge_cache_hits + self.merge_cache_true_misses + self.merge_cache_capacity_misses
+    }
+
+    /// Consistency-cache lookups that had to run the matcher.
+    pub fn consistency_cache_misses(&self) -> usize {
+        self.consistency_checks
+            .saturating_sub(self.consistency_cache_hits)
+    }
+
     /// `merge_cache_hits / algorithm1_calls`, or 0 when no call ran.
     pub fn merge_hit_rate(&self) -> f64 {
         if self.algorithm1_calls == 0 {

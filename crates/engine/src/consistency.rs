@@ -187,6 +187,11 @@ impl ConsistencyCache {
         self.hits
     }
 
+    /// Lookups that had to run the matcher.
+    pub fn misses(&self) -> u64 {
+        self.lookups - self.hits
+    }
+
     /// `hits / lookups`, or 0 when never used.
     pub fn hit_rate(&self) -> f64 {
         if self.lookups == 0 {

@@ -32,7 +32,7 @@ pub use algorithm3::{choose_query, FeedbackConfig, FeedbackOutcome, QuestionReco
 pub use oracle::{NoisyOracle, Oracle, ScriptedOracle, TargetOracle};
 pub use refine::refine_diseqs;
 pub use session::{
-    run_session, InteractiveSession, PendingQuestion, Phase, SessionConfig, SessionError,
+    run_session, InteractiveSession, PendingQuestion, Phase, RoundLog, SessionConfig, SessionError,
     SessionResult,
 };
 pub use study::{simulate_study, StudyConfig, StudyOutcome, StudyReport};

@@ -187,6 +187,24 @@ impl PendingQuestion {
     }
 }
 
+/// One answered question, as telemetry sees it.
+///
+/// Everything here except `wall_ns` is deterministic for a fixed seed
+/// and answer sequence; wall clocks are telemetry only and never enter
+/// a determinism oracle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoundLog {
+    /// True for a refinement question, false for a selection one.
+    pub refine: bool,
+    /// The user's verdict.
+    pub answer: bool,
+    /// Live candidate-pool size after the answer was applied.
+    pub pool: usize,
+    /// Wall nanoseconds spent applying the answer (including advancing
+    /// to the next question).
+    pub wall_ns: u64,
+}
+
 /// The paper's feedback loop as a resumable state machine.
 ///
 /// [`run_session`] drives the whole pipeline against an [`Oracle`] in
@@ -228,6 +246,11 @@ pub struct InteractiveSession {
     approved: Vec<(usize, (QueryNodeId, QueryNodeId))>,
     refine_questions: usize,
     final_query: Option<UnionQuery>,
+    /// Telemetry: one entry per answered question.
+    rounds_log: Vec<RoundLog>,
+    /// Telemetry: cumulative wall nanoseconds across `start` and every
+    /// `answer` (survives snapshot/restore; restore itself is unpaid).
+    wall_ns: u64,
 }
 
 impl InteractiveSession {
@@ -244,6 +267,7 @@ impl InteractiveSession {
         seed: u64,
     ) -> Result<Self, SessionError> {
         let _t = questpro_trace::span("feedback.session.start");
+        let t0 = std::time::Instant::now();
         if examples.is_empty() {
             return Err(SessionError::EmptyExamples);
         }
@@ -289,8 +313,14 @@ impl InteractiveSession {
             approved: Vec::new(),
             refine_questions: 0,
             final_query: None,
+            rounds_log: Vec::new(),
+            wall_ns: 0,
         };
         s.advance(ont);
+        s.wall_ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        if s.is_done() {
+            s.log_session_summary();
+        }
         if questpro_log::enabled(questpro_log::Level::Info) {
             questpro_log::emit(
                 questpro_log::Level::Info,
@@ -314,6 +344,7 @@ impl InteractiveSession {
     /// [`SessionError::NothingPending`] when no question is pending.
     pub fn answer(&mut self, ont: &Ontology, answer: bool) -> Result<(), SessionError> {
         let _t = questpro_trace::span("feedback.session.answer");
+        let t0 = std::time::Instant::now();
         let Some(pending) = self.pending.take() else {
             return Err(SessionError::NothingPending);
         };
@@ -348,6 +379,17 @@ impl InteractiveSession {
             }
         }
         self.advance(ont);
+        let round_ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.wall_ns = self.wall_ns.saturating_add(round_ns);
+        self.rounds_log.push(RoundLog {
+            refine: kind == "refine",
+            answer,
+            pool: self.live.len(),
+            wall_ns: round_ns,
+        });
+        if self.is_done() {
+            self.log_session_summary();
+        }
         if questpro_log::enabled(questpro_log::Level::Info) {
             questpro_log::emit(
                 questpro_log::Level::Info,
@@ -530,6 +572,72 @@ impl InteractiveSession {
         &self.suspect
     }
 
+    /// Telemetry round log: one entry per answered question.
+    pub fn rounds_log(&self) -> &[RoundLog] {
+        &self.rounds_log
+    }
+
+    /// Cumulative wall nanoseconds spent in `start` and `answer`.
+    pub fn wall_ns(&self) -> u64 {
+        self.wall_ns
+    }
+
+    /// The info-level session summary, emitted exactly once: on the
+    /// transition to [`Phase::Done`].
+    fn log_session_summary(&self) {
+        if !questpro_log::enabled(questpro_log::Level::Info) {
+            return;
+        }
+        let yes = self.rounds_log.iter().filter(|r| r.answer).count();
+        questpro_log::emit(
+            questpro_log::Level::Info,
+            "feedback.session",
+            "session converged",
+            vec![
+                ("rounds", self.rounds_log.len().into()),
+                (
+                    "questions",
+                    (self.transcript.len() + self.refine_questions).into(),
+                ),
+                ("yes", yes.into()),
+                ("no", (self.rounds_log.len() - yes).into()),
+                ("candidates", self.candidates.len().into()),
+                ("wall_us", (self.wall_ns / 1_000).into()),
+            ],
+        );
+    }
+
+    /// Packages this session as a [`questpro_telemetry::SessionRecord`]
+    /// for the aggregator. The session does not know its own pin or
+    /// trace — the caller (server, CLI, bench) supplies the ontology
+    /// name, pinned version, terminal outcome, and trace ID.
+    pub fn telemetry_record(
+        &self,
+        ontology: &str,
+        version: u64,
+        outcome: questpro_telemetry::Outcome,
+        trace_id: u64,
+    ) -> questpro_telemetry::SessionRecord {
+        let yes = self.rounds_log.iter().filter(|r| r.answer).count() as u64;
+        questpro_telemetry::SessionRecord {
+            trace_id,
+            ontology: ontology.to_string(),
+            version,
+            outcome,
+            rounds: self.rounds_log.len() as u64,
+            questions: (self.transcript.len() + self.refine_questions) as u64,
+            yes,
+            no: self.rounds_log.len() as u64 - yes,
+            pool_sizes: self.rounds_log.iter().map(|r| r.pool as u64).collect(),
+            round_wall_ns: self.rounds_log.iter().map(|r| r.wall_ns).collect(),
+            wall_ns: self.wall_ns,
+            consistency_checks: self.stats.consistency_checks as u64,
+            consistency_hits: self.stats.consistency_cache_hits as u64,
+            merge_lookups: self.stats.merge_cache_lookups() as u64,
+            merge_hits: self.stats.merge_cache_hits as u64,
+        }
+    }
+
     /// The final query, once [`InteractiveSession::is_done`].
     pub fn final_query(&self) -> Option<&UnionQuery> {
         self.final_query.as_ref()
@@ -697,6 +805,26 @@ impl InteractiveSession {
                 ),
             ),
             ("refine_questions", Json::from(self.refine_questions)),
+            // Telemetry round log: additive under snapshot version 1
+            // (restore ignores unknown keys, so old readers skip it and
+            // old snapshots restore with an empty log).
+            (
+                "rounds_log",
+                Json::Arr(
+                    self.rounds_log
+                        .iter()
+                        .map(|r| {
+                            Json::obj([
+                                ("refine", Json::Bool(r.refine)),
+                                ("answer", Json::Bool(r.answer)),
+                                ("pool", Json::from(r.pool)),
+                                ("wall_ns", Json::str(r.wall_ns.to_string())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("wall_ns", Json::str(self.wall_ns.to_string())),
             (
                 "final",
                 self.final_query
@@ -1002,6 +1130,32 @@ impl InteractiveSession {
                 .and_then(Json::as_usize)
                 .unwrap_or(0),
             final_query,
+            // Telemetry-only fields: lenient (absent in pre-PR-10
+            // snapshots; a malformed entry degrades to zeros rather
+            // than rejecting an otherwise valid session).
+            rounds_log: snap
+                .get("rounds_log")
+                .and_then(Json::as_arr)
+                .map(|arr| {
+                    arr.iter()
+                        .map(|r| RoundLog {
+                            refine: r.get("refine").and_then(Json::as_bool).unwrap_or(false),
+                            answer: r.get("answer").and_then(Json::as_bool).unwrap_or(false),
+                            pool: r.get("pool").and_then(Json::as_usize).unwrap_or(0),
+                            wall_ns: r
+                                .get("wall_ns")
+                                .and_then(Json::as_str)
+                                .and_then(|s| s.parse().ok())
+                                .unwrap_or(0),
+                        })
+                        .collect()
+                })
+                .unwrap_or_default(),
+            wall_ns: snap
+                .get("wall_ns")
+                .and_then(Json::as_str)
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(0),
         })
     }
 }

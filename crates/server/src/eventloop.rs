@@ -369,6 +369,7 @@ fn register_conn(
             );
         }
         let mut resp = Response::error(503, "server overloaded; retry later");
+        resp.trace_id = questpro_trace::enabled().then(questpro_trace::mint_id);
         resp.close = true;
         let mut s = stream;
         let _ = std::io::Write::write_all(&mut s, &encode_response(&resp));
@@ -535,6 +536,7 @@ fn shed_request(conn: &mut Conn, ctx: &Ctx<'_>) {
         );
     }
     let mut resp = Response::error(503, "server overloaded; retry later");
+    resp.trace_id = questpro_trace::enabled().then(questpro_trace::mint_id);
     resp.close = true;
     finalize_response(conn, ctx, resp);
 }

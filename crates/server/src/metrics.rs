@@ -14,6 +14,7 @@ use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
 
+use questpro_telemetry::OutcomeMarginal;
 use questpro_trace::hist::{HistSnapshot, HistogramSet, FIRST_BUCKET_LOG2};
 
 use crate::router::ROUTES;
@@ -285,6 +286,88 @@ pub fn render(
         "Structured log events evicted from the bounded log ring.",
         questpro_log::dropped_total(),
     );
+    counter(
+        "questpro_log_drained_total",
+        "Structured log events no longer in the ring for any reason other \
+         than eviction (accepted minus retained minus dropped).",
+        questpro_log::emitted_total()
+            .saturating_sub(questpro_log::dropped_total())
+            .saturating_sub(questpro_log::retained() as u64),
+    );
+
+    let (session_records, session_records_dropped, session_keys) = questpro_telemetry::counters();
+    counter(
+        "questpro_session_records_total",
+        "Finished-session telemetry records offered to the aggregator.",
+        session_records,
+    );
+    counter(
+        "questpro_session_records_dropped_total",
+        "Session records dropped by the dimensional-key cardinality cap.",
+        session_records_dropped,
+    );
+
+    // Session telemetry marginals: the full dimensional breakdown by
+    // (ontology, version, outcome) lives at GET /debug/sessions; the
+    // scrape exposes only the outcome marginals so the label set (and
+    // with it the exposition shape) never depends on traffic.
+    let marginals = questpro_telemetry::marginals();
+    let mut outcome_counter = |name: &str, help: &str, pick: &dyn Fn(&OutcomeMarginal) -> u64| {
+        let _ = writeln!(out, "# HELP {name} {help}");
+        let _ = writeln!(out, "# TYPE {name} counter");
+        for m in &marginals {
+            let _ = writeln!(
+                out,
+                "{name}{{outcome=\"{}\"}} {}",
+                m.outcome.as_str(),
+                pick(m)
+            );
+        }
+    };
+    outcome_counter(
+        "questpro_session_outcomes_total",
+        "Finished interactive sessions by terminal outcome.",
+        &|m| m.sessions,
+    );
+    outcome_counter(
+        "questpro_session_questions_total",
+        "Feedback questions asked across finished sessions.",
+        &|m| m.questions,
+    );
+    outcome_counter(
+        "questpro_session_consistency_lookups_total",
+        "Consistency-cache lookups during finished sessions' inference.",
+        &|m| m.consistency_checks,
+    );
+    outcome_counter(
+        "questpro_session_consistency_hits_total",
+        "Consistency-cache hits during finished sessions' inference.",
+        &|m| m.consistency_hits,
+    );
+    outcome_counter(
+        "questpro_session_merge_lookups_total",
+        "Pairwise merge-cache lookups during finished sessions' inference.",
+        &|m| m.merge_lookups,
+    );
+    outcome_counter(
+        "questpro_session_merge_hits_total",
+        "Pairwise merge-cache hits during finished sessions' inference.",
+        &|m| m.merge_hits,
+    );
+    let _ = writeln!(
+        out,
+        "# HELP questpro_session_verdicts_total User verdicts given across finished sessions.\n\
+         # TYPE questpro_session_verdicts_total counter"
+    );
+    for m in &marginals {
+        for (verdict, n) in [("yes", m.yes), ("no", m.no)] {
+            let _ = writeln!(
+                out,
+                "questpro_session_verdicts_total{{outcome=\"{}\",verdict=\"{verdict}\"}} {n}",
+                m.outcome.as_str()
+            );
+        }
+    }
 
     let _ = writeln!(
         out,
@@ -305,6 +388,26 @@ pub fn render(
          # TYPE questpro_ontology_versions_open gauge\n\
          questpro_ontology_versions_open {versions_open}"
     );
+    let _ = writeln!(
+        out,
+        "# HELP questpro_session_keys_live Live (ontology, version, outcome) telemetry keys.\n\
+         # TYPE questpro_session_keys_live gauge\n\
+         questpro_session_keys_live {session_keys}"
+    );
+    let _ = writeln!(
+        out,
+        "# HELP questpro_traces_retained Finished traces currently held by the trace registry.\n\
+         # TYPE questpro_traces_retained gauge\n\
+         questpro_traces_retained {}",
+        questpro_trace::registry::retained()
+    );
+    let _ = writeln!(
+        out,
+        "# HELP questpro_log_retained Structured log events currently held by the log ring.\n\
+         # TYPE questpro_log_retained gauge\n\
+         questpro_log_retained {}",
+        questpro_log::retained()
+    );
 
     // Dimensional latency histograms. Both label lists (traced stages,
     // normalized routes) and the log2 bucket layout are fixed at
@@ -324,7 +427,74 @@ pub fn render(
         "route",
         &route_hists().snapshot(),
     );
+    // Session telemetry histograms, labeled by the fixed outcome set.
+    // The ns-valued pair shares the trace bucket layout, so the common
+    // writer renders them; the rounds histogram has its own (smaller,
+    // 2^0-based) layout.
+    write_round_hist(
+        &mut out,
+        "questpro_session_rounds",
+        "Feedback rounds per finished session (log2 buckets).",
+        &marginals,
+    );
+    let ns_snaps = |pick: &dyn Fn(&OutcomeMarginal) -> &questpro_telemetry::Hist| {
+        marginals
+            .iter()
+            .map(|m| {
+                let h = pick(m);
+                HistSnapshot {
+                    stage: m.outcome.as_str(),
+                    buckets: h.buckets.clone(),
+                    count: h.count,
+                    sum_ns: h.sum,
+                }
+            })
+            .collect::<Vec<_>>()
+    };
+    write_hist(
+        &mut out,
+        "questpro_session_duration_ns",
+        "Total wall-clock nanoseconds per finished session (log2 buckets).",
+        "outcome",
+        &ns_snaps(&|m| &m.wall_ns),
+    );
+    write_hist(
+        &mut out,
+        "questpro_session_round_duration_ns",
+        "Wall-clock nanoseconds per answered feedback round (log2 buckets).",
+        "outcome",
+        &ns_snaps(&|m| &m.round_wall_ns),
+    );
     out
+}
+
+/// Renders the rounds histogram family: same shape as [`write_hist`]
+/// but with upper bounds starting at `2^0` (a session takes ones of
+/// rounds, not thousands of nanoseconds).
+fn write_round_hist(out: &mut String, name: &str, help: &str, marginals: &[OutcomeMarginal]) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} histogram");
+    for m in marginals {
+        let outcome = m.outcome.as_str();
+        for (i, cum) in m.rounds.buckets.iter().enumerate() {
+            let le = 1u64 << i;
+            let _ = writeln!(
+                out,
+                "{name}_bucket{{outcome=\"{outcome}\",le=\"{le}\"}} {cum}"
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{name}_bucket{{outcome=\"{outcome}\",le=\"+Inf\"}} {}",
+            m.rounds.count
+        );
+        let _ = writeln!(out, "{name}_sum{{outcome=\"{outcome}\"}} {}", m.rounds.sum);
+        let _ = writeln!(
+            out,
+            "{name}_count{{outcome=\"{outcome}\"}} {}",
+            m.rounds.count
+        );
+    }
 }
 
 #[cfg(test)]
@@ -366,32 +536,81 @@ mod tests {
         assert!(text.contains("questpro_inference_runs_total"));
         assert!(text.contains("questpro_log_events_total"));
         assert!(text.contains("questpro_log_dropped_total"));
-        // Prometheus text format: every non-histogram sample line has
-        // its own HELP/TYPE pair; the two histogram families share one
-        // each.
-        let stage_samples = text
-            .lines()
-            .filter(|l| l.starts_with("questpro_stage_duration_ns"))
-            .count();
-        let route_samples = text
-            .lines()
-            .filter(|l| l.starts_with("questpro_route_duration_ns"))
-            .count();
+        // Prometheus text format: every unlabeled counter/gauge sample
+        // has its own HELP/TYPE pair; the five histogram families and
+        // the seven outcome-labeled counter families share one each.
+        let sample_lines = |prefix: &str| {
+            text.lines()
+                .filter(|l| !l.starts_with('#') && l.starts_with(prefix))
+                .count()
+        };
+        let hist_prefixes = [
+            "questpro_stage_duration_ns",
+            "questpro_route_duration_ns",
+            "questpro_session_rounds",
+            "questpro_session_duration_ns",
+            "questpro_session_round_duration_ns",
+        ];
+        let labeled_prefixes = [
+            "questpro_session_outcomes_total",
+            "questpro_session_questions_total",
+            "questpro_session_verdicts_total",
+            "questpro_session_consistency_lookups_total",
+            "questpro_session_consistency_hits_total",
+            "questpro_session_merge_lookups_total",
+            "questpro_session_merge_hits_total",
+        ];
+        let hist_samples: usize = hist_prefixes.iter().map(|p| sample_lines(p)).sum();
+        let labeled_samples: usize = labeled_prefixes.iter().map(|p| sample_lines(p)).sum();
         let samples = text
             .lines()
             .filter(|l| !l.starts_with('#') && !l.is_empty())
             .count();
         let types = text.lines().filter(|l| l.starts_with("# TYPE")).count();
-        assert_eq!(samples - stage_samples - route_samples, types - 2);
+        assert_eq!(
+            samples - hist_samples - labeled_samples,
+            types - hist_prefixes.len() - labeled_prefixes.len()
+        );
         // Fixed exposition: every label always renders every bucket
-        // plus +Inf, _sum and _count.
+        // plus +Inf, _sum and _count, and the outcome label set is the
+        // fixed three regardless of traffic.
         let per_label = questpro_trace::hist::BUCKETS + 3;
-        assert_eq!(stage_samples, questpro_trace::STAGES.len() * per_label);
-        assert_eq!(route_samples, ROUTES.len() * per_label);
+        assert_eq!(
+            sample_lines("questpro_stage_duration_ns"),
+            questpro_trace::STAGES.len() * per_label
+        );
+        assert_eq!(
+            sample_lines("questpro_route_duration_ns"),
+            ROUTES.len() * per_label
+        );
+        assert_eq!(sample_lines("questpro_session_duration_ns"), 3 * per_label);
+        assert_eq!(
+            sample_lines("questpro_session_round_duration_ns"),
+            3 * per_label
+        );
+        assert_eq!(
+            sample_lines("questpro_session_rounds"),
+            3 * (questpro_telemetry::ROUND_BUCKETS + 3)
+        );
+        // 6 single-label families x 3 outcomes + verdicts x 3 x 2.
+        assert_eq!(labeled_samples, 6 * 3 + 6);
         assert!(text.contains("questpro_traces_dropped_total"));
+        assert!(text.contains("questpro_traces_retained"));
+        assert!(text.contains("questpro_log_retained"));
+        assert!(text.contains("questpro_log_drained_total"));
+        assert!(text.contains("questpro_session_records_total"));
+        assert!(text.contains("questpro_session_records_dropped_total"));
+        assert!(text.contains("questpro_session_keys_live"));
         assert!(text.contains("stage=\"infer.topk\",le=\"+Inf\""));
         assert!(text.contains("route=\"POST /eval\",le=\"+Inf\""));
         assert!(text.contains("route=\"other\""));
+        assert!(text.contains("questpro_session_rounds_bucket{outcome=\"converged\",le=\"1\"}"));
+        assert!(text.contains("outcome=\"abandoned\",verdict=\"no\""));
+        assert!(text.contains("outcome=\"evicted\",le=\"+Inf\""));
+        // Dimensional (ontology, version) labels belong to
+        // /debug/sessions only; the scrape shape must never leak them.
+        assert!(!text.contains("ontology=\""));
+        assert!(!text.contains("version=\""));
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //! | `GET  /metrics`                | Prometheus-style counters           |
 //! | `GET  /debug/traces`           | recent request traces (JSON)        |
 //! | `GET  /debug/logs`             | recent structured log events (JSON) |
+//! | `GET  /debug/sessions`         | recent session telemetry (JSON)     |
 //! | `GET  /ontologies`             | list registered worlds              |
 //! | `POST /ontologies`             | register a world (triple text, or a |
 //! |                                | base64 binary snapshot)             |
@@ -110,6 +111,7 @@ pub const ROUTES: &[&str] = &[
     "GET /metrics",
     "GET /debug/traces",
     "GET /debug/logs",
+    "GET /debug/sessions",
     "GET /ontologies",
     "POST /ontologies",
     "GET /ontologies/:name",
@@ -143,6 +145,7 @@ pub fn is_inline(label: &str) -> bool {
             | "GET /metrics"
             | "GET /debug/traces"
             | "GET /debug/logs"
+            | "GET /debug/sessions"
             | "POST /shutdown"
             | "other"
     )
@@ -157,6 +160,7 @@ pub fn route_label(method: &str, path: &str) -> &'static str {
         ("GET", ["metrics"]) => "GET /metrics",
         ("GET", ["debug", "traces"]) => "GET /debug/traces",
         ("GET", ["debug", "logs"]) => "GET /debug/logs",
+        ("GET", ["debug", "sessions"]) => "GET /debug/sessions",
         ("GET", ["ontologies"]) => "GET /ontologies",
         ("POST", ["ontologies"]) => "POST /ontologies",
         ("GET", ["ontologies", _]) => "GET /ontologies/:name",
@@ -193,6 +197,7 @@ pub fn route(state: &AppState, req: &Request) -> Response {
         ),
         ("GET", ["debug", "traces"]) => debug_traces(req),
         ("GET", ["debug", "logs"]) => debug_logs(req),
+        ("GET", ["debug", "sessions"]) => debug_sessions(req),
         ("GET", ["ontologies"]) => list_ontologies(state),
         ("POST", ["ontologies"]) => create_ontology(state, req),
         ("GET", ["ontologies", name]) => describe_ontology(state, name),
@@ -657,7 +662,12 @@ fn create_session(state: &AppState, req: &Request) -> Response {
     match state.sessions.create(session, ont_name, version, seed) {
         Ok(id) => match state.sessions.get(id) {
             Some(entry) => {
-                let entry = lock(&entry);
+                let mut entry = lock(&entry);
+                // Cold-start convergence: a session whose candidate set
+                // collapses to one during start never sees feedback.
+                if entry.session.is_done() {
+                    entry.finish(questpro_telemetry::Outcome::Converged);
+                }
                 let mut resp = entry_json(&ont, id, &entry);
                 resp.status = 201;
                 resp
@@ -702,7 +712,10 @@ fn restore_session(state: &AppState, req: &Request) -> Response {
     match state.sessions.create(session, name, version, seed) {
         Ok(id) => match state.sessions.get(id) {
             Some(entry) => {
-                let entry = lock(&entry);
+                let mut entry = lock(&entry);
+                if entry.session.is_done() {
+                    entry.finish(questpro_telemetry::Outcome::Converged);
+                }
                 let mut resp = entry_json(&ont, id, &entry);
                 resp.status = 201;
                 resp
@@ -812,6 +825,79 @@ fn debug_logs(req: &Request) -> Response {
     )
 }
 
+/// `GET /debug/sessions?limit=N&outcome=O` — the most recent finished
+/// sessions' telemetry records, newest first, plus the aggregator's
+/// exact drop accounting. `limit` is validated like `/debug/traces`
+/// (1..=1024 → 400 otherwise); `outcome` filters to one terminal
+/// outcome and unknown names are a 400. Unknown query keys are
+/// ignored, matching the other debug endpoints.
+fn debug_sessions(req: &Request) -> Response {
+    let mut limit = 32usize;
+    let mut outcome = None;
+    for pair in req.query.split('&').filter(|s| !s.is_empty()) {
+        let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+        match k {
+            "limit" => match strict_decimal(v) {
+                Some(n) if (1..=1024).contains(&n) => limit = n as usize,
+                _ => return Response::error(400, "limit must be an integer in 1..=1024"),
+            },
+            "outcome" => match questpro_telemetry::Outcome::parse(v) {
+                Some(o) => outcome = Some(o),
+                None => {
+                    return Response::error(
+                        400,
+                        "outcome must be one of converged, abandoned, evicted",
+                    )
+                }
+            },
+            _ => {}
+        }
+    }
+    let (records_total, records_dropped, keys_live) = questpro_telemetry::counters();
+    let sessions = questpro_telemetry::recent(limit, outcome);
+    Response::json(
+        200,
+        Json::obj([
+            ("enabled", Json::Bool(questpro_telemetry::enabled())),
+            ("records_total", Json::num(records_total as f64)),
+            ("records_dropped", Json::num(records_dropped as f64)),
+            ("keys_live", Json::from(keys_live)),
+            (
+                "sessions",
+                Json::Arr(sessions.iter().map(session_record_json).collect()),
+            ),
+        ])
+        .to_text(),
+    )
+}
+
+/// Serializes one telemetry record for `GET /debug/sessions`.
+fn session_record_json(r: &questpro_telemetry::SessionRecord) -> Json {
+    Json::obj([
+        ("trace_id", Json::from(r.trace_id)),
+        ("ontology", Json::str(r.ontology.clone())),
+        ("version", Json::from(r.version)),
+        ("outcome", Json::str(r.outcome.as_str())),
+        ("rounds", Json::from(r.rounds)),
+        ("questions", Json::from(r.questions)),
+        ("yes", Json::from(r.yes)),
+        ("no", Json::from(r.no)),
+        (
+            "pool_sizes",
+            Json::Arr(r.pool_sizes.iter().map(|&p| Json::from(p)).collect()),
+        ),
+        (
+            "round_wall_ns",
+            Json::Arr(r.round_wall_ns.iter().map(|&n| Json::from(n)).collect()),
+        ),
+        ("wall_ns", Json::from(r.wall_ns)),
+        ("consistency_checks", Json::from(r.consistency_checks)),
+        ("consistency_hits", Json::from(r.consistency_hits)),
+        ("merge_lookups", Json::from(r.merge_lookups)),
+        ("merge_hits", Json::from(r.merge_hits)),
+    ])
+}
+
 /// Serializes one finished trace: spans come flat in pre-order with
 /// their depth, so clients can rebuild the tree without recursion.
 fn trace_json(t: &questpro_trace::TraceRecord) -> Json {
@@ -847,15 +933,20 @@ fn trace_json(t: &questpro_trace::TraceRecord) -> Json {
 }
 
 fn delete_session(state: &AppState, id: &str) -> Response {
-    match strict_decimal(id) {
-        Some(id) if state.sessions.remove(id) => Response {
-            status: 204,
-            content_type: "application/json",
-            body: Vec::new(),
-            close: false,
-            trace_id: None,
-        },
-        _ => Response::error(404, "no such session"),
+    match strict_decimal(id).and_then(|id| state.sessions.remove(id)) {
+        Some(entry) => {
+            // An already-converged session latched its outcome when it
+            // finished; deleting an unfinished one abandons it.
+            lock(&entry).finish(questpro_telemetry::Outcome::Abandoned);
+            Response {
+                status: 204,
+                content_type: "application/json",
+                body: Vec::new(),
+                close: false,
+                trace_id: None,
+            }
+        }
+        None => Response::error(404, "no such session"),
     }
 }
 
@@ -910,7 +1001,14 @@ fn with_session(
     let (name, version) = (entry.ontology.clone(), entry.version);
     let ont = match pinned_ontology(state, &name, version, "session") {
         Ok(o) => o,
-        Err(resp) => return resp,
+        Err(resp) => {
+            if resp.status == 410 {
+                // The pin fell off the bounded history: the session is
+                // terminally unanswerable. First 410 latches it.
+                entry.finish(questpro_telemetry::Outcome::Evicted);
+            }
+            return resp;
+        }
     };
     f(&ont, &mut entry)
 }
@@ -929,6 +1027,9 @@ fn session_feedback(state: &AppState, id: &str, req: &Request) -> Response {
     with_session(state, id, |ont, entry| {
         match entry.session.answer(ont, answer) {
             Ok(()) => {
+                if entry.session.is_done() {
+                    entry.finish(questpro_telemetry::Outcome::Converged);
+                }
                 let mut resp = entry_json(ont, id_num, entry);
                 resp.status = 200;
                 resp
@@ -1085,6 +1186,35 @@ mod tests {
     }
 
     #[test]
+    fn malformed_session_telemetry_queries_are_400() {
+        let st = state();
+        for q in [
+            "limit=+5",
+            "limit=0",
+            "limit=1025",
+            "limit=",
+            "outcome=done",
+            "outcome=",
+            "outcome=Converged",
+        ] {
+            let resp = route(&st, &get("/debug/sessions", q));
+            assert_eq!(resp.status, 400, "{q}");
+        }
+        for q in [
+            "",
+            "limit=5",
+            "outcome=converged",
+            "outcome=abandoned",
+            "outcome=evicted",
+            "limit=1&outcome=evicted",
+            "unknown=ignored",
+        ] {
+            let resp = route(&st, &get("/debug/sessions", q));
+            assert_eq!(resp.status, 200, "{q}");
+        }
+    }
+
+    #[test]
     fn route_labels_cover_the_dispatch_table() {
         // Every label produced is in ROUTES (the histogram ignores
         // anything else), and every concrete path maps as documented.
@@ -1093,6 +1223,7 @@ mod tests {
             ("GET", "/metrics", "GET /metrics"),
             ("GET", "/debug/traces", "GET /debug/traces"),
             ("GET", "/debug/logs", "GET /debug/logs"),
+            ("GET", "/debug/sessions", "GET /debug/sessions"),
             ("GET", "/ontologies", "GET /ontologies"),
             ("POST", "/ontologies", "POST /ontologies"),
             ("GET", "/ontologies/movies", "GET /ontologies/:name"),

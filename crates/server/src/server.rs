@@ -60,6 +60,11 @@ pub struct ServerConfig {
     /// event per request, slow-query events, and the panic flight
     /// recorder. Served at `GET /debug/logs`.
     pub logging: bool,
+    /// Record one `questpro-telemetry` session record per finished
+    /// interactive session (convergence rounds, verdicts, cache hit
+    /// rates, outcome), aggregated for `/metrics` and served raw at
+    /// `GET /debug/sessions`.
+    pub telemetry: bool,
     /// Minimum level retained when logging is on.
     pub log_level: questpro_log::Level,
     /// How many log events the global ring retains (oldest dropped
@@ -106,6 +111,7 @@ impl Default for ServerConfig {
             tracing: true,
             trace_capacity: questpro_trace::registry::DEFAULT_CAPACITY,
             logging: true,
+            telemetry: true,
             log_level: questpro_log::Level::Info,
             log_capacity: questpro_log::DEFAULT_CAPACITY,
             log_file: None,
@@ -180,6 +186,7 @@ pub fn start(cfg: &ServerConfig) -> std::io::Result<ServerHandle> {
         questpro_trace::registry::set_capacity(cfg.trace_capacity);
         questpro_trace::set_enabled(true);
     }
+    questpro_telemetry::set_enabled(cfg.telemetry);
     if cfg.logging {
         questpro_log::set_capacity(cfg.log_capacity);
         questpro_log::set_level(Some(cfg.log_level));
@@ -366,8 +373,13 @@ fn slow_query_log(state: &AppState, label: &'static str, rec: &questpro_trace::T
 /// (or, for `408`, one whose bytes stalled past the read timeout).
 pub(crate) fn unreadable(state: &Arc<AppState>, status: u16, msg: &str) -> Response {
     state.http.record_request();
+    // No parsed request means no recorded trace, but the rejection must
+    // still be correlatable: mint an ID from the same sequence, echo it
+    // on the response, and stamp the log event with it.
+    let trace_id = questpro_trace::enabled().then(questpro_trace::mint_id);
     if questpro_log::enabled(Level::Warn) {
-        questpro_log::emit(
+        questpro_log::emit_traced(
+            trace_id,
             Level::Warn,
             "server.http",
             format!("unreadable request: {msg}"),
@@ -375,6 +387,7 @@ pub(crate) fn unreadable(state: &Arc<AppState>, status: u16, msg: &str) -> Respo
         );
     }
     let mut resp = Response::error(status, msg);
+    resp.trace_id = trace_id;
     resp.close = true;
     resp
 }

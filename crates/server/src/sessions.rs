@@ -26,6 +26,7 @@ use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
 use questpro_feedback::InteractiveSession;
+use questpro_telemetry::Outcome;
 
 /// One live session plus its bookkeeping.
 pub struct SessionEntry {
@@ -45,6 +46,30 @@ pub struct SessionEntry {
     pub seed: u64,
     /// Last time a request touched this session.
     pub last_used: Instant,
+    /// Trace ID minted at creation, joining this session's telemetry
+    /// record and summary log back to `/debug/traces` entries.
+    pub trace_id: u64,
+    /// One-shot telemetry latch: set by the first [`SessionEntry::finish`].
+    recorded: bool,
+}
+
+impl SessionEntry {
+    /// Records this session's terminal outcome into the process-wide
+    /// telemetry aggregator, exactly once per entry: convergence,
+    /// explicit delete, idle eviction, and the pinned-version `410` all
+    /// race to this latch, and only the first one counts.
+    pub fn finish(&mut self, outcome: Outcome) {
+        if self.recorded {
+            return;
+        }
+        self.recorded = true;
+        questpro_telemetry::record(self.session.telemetry_record(
+            &self.ontology,
+            self.version,
+            outcome,
+            self.trace_id,
+        ));
+    }
 }
 
 /// Shard count; a power of two so `id % SHARDS` is a mask. Sixteen is
@@ -95,6 +120,10 @@ impl SessionManager {
             version,
             seed,
             last_used: Instant::now(),
+            // Minted from the same monotonic source as request traces,
+            // so it never collides with a registry entry's ID.
+            trace_id: questpro_trace::mint_id(),
+            recorded: false,
         }));
         // The cold path sweeps everything: the capacity bound is global,
         // so the check must see the post-eviction total. Shards are
@@ -127,9 +156,10 @@ impl SessionManager {
         Some(entry)
     }
 
-    /// Deletes a session; `false` when the id is unknown.
-    pub fn remove(&self, id: u64) -> bool {
-        lock(self.shard(id)).remove(&id).is_some()
+    /// Deletes a session, returning the removed entry (so the caller
+    /// can record its terminal outcome); `None` when the id is unknown.
+    pub fn remove(&self, id: u64) -> Option<Arc<Mutex<SessionEntry>>> {
+        lock(self.shard(id)).remove(&id)
     }
 
     /// Live `(id, entry)` pairs, oldest id first, after an eviction
@@ -151,7 +181,16 @@ impl SessionManager {
     }
 
     fn evict_locked(map: &mut HashMap<u64, Arc<Mutex<SessionEntry>>>, idle: Duration) {
-        map.retain(|_, entry| lock(entry).last_used.elapsed() < idle);
+        map.retain(|_, entry| {
+            let mut e = lock(entry);
+            if e.last_used.elapsed() < idle {
+                return true;
+            }
+            // A converged session already latched its outcome; anything
+            // else swept here was walked away from.
+            e.finish(Outcome::Abandoned);
+            false
+        });
     }
 }
 
@@ -179,8 +218,8 @@ mod tests {
         let id = mgr.create(a_session(), "erdos".into(), 1, 7).unwrap();
         assert!(mgr.get(id).is_some());
         assert_eq!(mgr.list().len(), 1);
-        assert!(mgr.remove(id));
-        assert!(!mgr.remove(id));
+        assert!(mgr.remove(id).is_some());
+        assert!(mgr.remove(id).is_none());
         assert!(mgr.get(id).is_none());
         assert_eq!(mgr.count(), 0);
     }
@@ -192,6 +231,34 @@ mod tests {
         std::thread::sleep(Duration::from_millis(10));
         assert!(mgr.list().is_empty(), "idle session must be swept");
         assert!(mgr.get(id).is_none());
+    }
+
+    #[test]
+    fn eviction_records_one_abandoned_outcome_per_session() {
+        questpro_telemetry::set_enabled(true);
+        // A name unique to this test keeps the assertion immune to
+        // other tests recording into the shared global aggregator.
+        let world = "sessions-latch-test";
+        let mgr = SessionManager::new(Duration::from_millis(1), 8);
+        let id = mgr.create(a_session(), world.into(), 1, 7).unwrap();
+        let entry = mgr.get(id).unwrap();
+        std::thread::sleep(Duration::from_millis(10));
+        assert!(mgr.list().is_empty(), "idle session must be swept");
+        // The sweep latched the outcome; a later explicit finish on the
+        // same (still-referenced) entry must not double-count.
+        lock(&entry).finish(Outcome::Converged);
+        let snap = questpro_telemetry::snapshot();
+        let per_outcome: Vec<(Outcome, u64)> = snap
+            .keys
+            .iter()
+            .filter(|k| k.ontology == world)
+            .map(|k| (k.outcome, k.sessions))
+            .collect();
+        assert_eq!(
+            per_outcome,
+            vec![(Outcome::Abandoned, 1)],
+            "exactly one record, under the first outcome to latch"
+        );
     }
 
     #[test]
@@ -219,7 +286,7 @@ mod tests {
         let populated = mgr.shards.iter().filter(|s| !lock(s).is_empty()).count();
         assert!(populated > 1, "consecutive ids must hit multiple shards");
         for &id in &ids {
-            assert!(mgr.remove(id));
+            assert!(mgr.remove(id).is_some());
         }
         assert_eq!(mgr.count(), 0);
     }

@@ -386,7 +386,23 @@ fn call_with_headers(
         body.len()
     )
     .expect("writing the request");
-    let mut reader = BufReader::new(stream);
+    parse_response_with_headers(BufReader::new(stream))
+}
+
+/// Writes `raw` verbatim on a fresh connection — for requests that are
+/// deliberately not valid HTTP — and parses whatever comes back.
+fn raw_call_with_headers(addr: SocketAddr, raw: &str) -> (u16, Vec<(String, String)>, String) {
+    let mut stream = TcpStream::connect(addr).expect("connecting to the server");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    stream.write_all(raw.as_bytes()).expect("writing raw bytes");
+    parse_response_with_headers(BufReader::new(stream))
+}
+
+fn parse_response_with_headers(
+    mut reader: BufReader<TcpStream>,
+) -> (u16, Vec<(String, String)>, String) {
     let mut line = String::new();
     reader
         .read_line(&mut line)
@@ -1119,5 +1135,228 @@ fn sessions_stay_pinned_across_updates_and_evicted_pins_fail_named() {
         let (status, resp) = call(addr, "POST", "/sessions/restore", Some(&bad));
         assert_eq!(status, want, "{bad} -> {resp}");
     }
+    server.join();
+}
+
+#[test]
+fn error_responses_echo_a_trace_id_on_every_reject_path() {
+    let server = boot();
+    let addr = server.addr();
+    let trace_id = |headers: &[(String, String)], what: &str| -> u64 {
+        header_value(headers, "x-questpro-trace-id")
+            .unwrap_or_else(|| panic!("{what} must echo X-Questpro-Trace-Id"))
+            .parse()
+            .expect("a numeric trace ID")
+    };
+    let mut seen = Vec::new();
+
+    // 400: bytes that never parse into a request.
+    let (status, headers, _) = raw_call_with_headers(addr, "NOT-HTTP\r\n\r\n");
+    assert_eq!(status, 400);
+    seen.push(trace_id(&headers, "400"));
+
+    // 404: a routed miss.
+    let (status, headers, _) = call_with_headers(addr, "GET", "/no/such/route", None);
+    assert_eq!(status, 404);
+    seen.push(trace_id(&headers, "404"));
+
+    // 413: an oversized body, rejected before routing.
+    let huge = format!(
+        "{{\"ontology\": \"erdos\", \"examples\": \"{}\"}}",
+        "x".repeat(80 * 1024)
+    );
+    let (status, headers, _) = call_with_headers(addr, "POST", "/infer", Some(&huge));
+    assert_eq!(status, 413);
+    seen.push(trace_id(&headers, "413"));
+
+    // 410: a session whose pinned version fell off the history.
+    let create = Json::obj([
+        ("ontology", Json::str("erdos")),
+        ("examples", Json::str(erdos_examples_text())),
+    ])
+    .to_text();
+    let (status, created) = call(addr, "POST", "/sessions", Some(&create));
+    assert_eq!(status, 201, "create failed: {created}");
+    let id = json(&created)
+        .get("id")
+        .and_then(Json::as_u64)
+        .expect("an id");
+    for i in 0..questpro_server::registry::HISTORY {
+        let batch = format!(r#"{{"insert": [["zz_{i}", "zz_knows", "zz_other_{i}"]]}}"#);
+        assert_eq!(
+            call(addr, "POST", "/ontologies/erdos/update", Some(&batch)).0,
+            200
+        );
+    }
+    let (status, headers, _) = call_with_headers(addr, "GET", &format!("/sessions/{id}"), None);
+    assert_eq!(status, 410);
+    seen.push(trace_id(&headers, "410"));
+
+    // 503: a dedicated single-loop server with a cap of one connection
+    // sheds the second concurrent connection at accept time, before any
+    // request parses.
+    let tiny = start(&ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        queue: 8,
+        event_loops: 1,
+        max_conns: 1,
+        ..ServerConfig::default()
+    })
+    .expect("binding the capped server");
+    let held = TcpStream::connect(tiny.addr()).expect("holding a connection open");
+    // The held connection counts only once the loop sees the accept;
+    // poll until the overflow connection is refused.
+    let mut shed = None;
+    for _ in 0..100 {
+        let (status, headers, _) = call_with_headers(tiny.addr(), "GET", "/healthz", None);
+        if status == 503 {
+            shed = Some(headers);
+            break;
+        }
+        assert_eq!(status, 200);
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let headers = shed.expect("the connection cap must shed with 503");
+    seen.push(trace_id(&headers, "503"));
+    drop(held);
+    tiny.join();
+
+    seen.sort_unstable();
+    seen.dedup();
+    assert_eq!(seen.len(), 5, "every rejection gets its own trace ID");
+    server.join();
+}
+
+#[test]
+fn debug_sessions_exposes_lifecycle_telemetry_and_metrics_marginals() {
+    let server = boot();
+    let addr = server.addr();
+    let create = Json::obj([
+        ("ontology", Json::str("erdos")),
+        ("examples", Json::str(erdos_examples_text())),
+        ("seed", Json::from(7u64)),
+    ])
+    .to_text();
+
+    // One session driven to convergence...
+    let (status, created) = call(addr, "POST", "/sessions", Some(&create));
+    assert_eq!(status, 201, "create failed: {created}");
+    let id = json(&created)
+        .get("id")
+        .and_then(Json::as_u64)
+        .expect("an id");
+    let mut rounds = 0u64;
+    loop {
+        let (status, state) = call(addr, "GET", &format!("/sessions/{id}"), None);
+        assert_eq!(status, 200, "state failed: {state}");
+        if json(&state).get("phase").and_then(Json::as_str) == Some("done") {
+            break;
+        }
+        let (status, after) = call(
+            addr,
+            "POST",
+            &format!("/sessions/{id}/feedback"),
+            Some("{\"answer\": true}"),
+        );
+        assert_eq!(status, 200, "feedback failed: {after}");
+        rounds += 1;
+        assert!(rounds < 200, "session must converge");
+    }
+    // ...and one deleted mid-flight.
+    let (status, created) = call(addr, "POST", "/sessions", Some(&create));
+    assert_eq!(status, 201);
+    let doomed = json(&created)
+        .get("id")
+        .and_then(Json::as_u64)
+        .expect("an id");
+    assert_eq!(
+        call(addr, "DELETE", &format!("/sessions/{doomed}"), None).0,
+        204
+    );
+
+    let (status, body) = call(addr, "GET", "/debug/sessions?limit=16", None);
+    assert_eq!(status, 200, "{body}");
+    let doc = json(&body);
+    assert_eq!(doc.get("enabled").and_then(Json::as_bool), Some(true));
+    assert!(
+        doc.get("records_total").and_then(Json::as_u64) >= Some(2),
+        "both sessions recorded: {body}"
+    );
+    let sessions = doc
+        .get("sessions")
+        .and_then(Json::as_arr)
+        .expect("a sessions array");
+    let by_outcome = |want: &str| {
+        sessions
+            .iter()
+            .find(|s| s.get("outcome").and_then(Json::as_str) == Some(want))
+            .unwrap_or_else(|| panic!("no {want} record in {body}"))
+    };
+    let converged = by_outcome("converged");
+    assert_eq!(
+        converged.get("ontology").and_then(Json::as_str),
+        Some("erdos")
+    );
+    assert_eq!(converged.get("rounds").and_then(Json::as_u64), Some(rounds));
+    assert_eq!(converged.get("yes").and_then(Json::as_u64), Some(rounds));
+    assert_eq!(converged.get("no").and_then(Json::as_u64), Some(0));
+    assert_eq!(
+        converged
+            .get("pool_sizes")
+            .and_then(Json::as_arr)
+            .map(<[Json]>::len),
+        Some(rounds as usize),
+        "one pool size per answered round"
+    );
+    assert!(
+        converged.get("trace_id").and_then(Json::as_u64) > Some(0),
+        "session telemetry joins back to traces"
+    );
+    let abandoned = by_outcome("abandoned");
+    assert!(abandoned.get("wall_ns").and_then(Json::as_u64).is_some());
+
+    // The outcome filter narrows; the marginals reach /metrics.
+    let (status, body) = call(addr, "GET", "/debug/sessions?outcome=abandoned", None);
+    assert_eq!(status, 200);
+    let only = json(&body);
+    let only = only
+        .get("sessions")
+        .and_then(Json::as_arr)
+        .expect("sessions");
+    assert!(!only.is_empty());
+    assert!(only
+        .iter()
+        .all(|s| s.get("outcome").and_then(Json::as_str) == Some("abandoned")));
+    assert_eq!(call(addr, "GET", "/debug/sessions?limit=0", None).0, 400);
+    assert_eq!(
+        call(addr, "GET", "/debug/sessions?outcome=bogus", None).0,
+        400
+    );
+
+    let (_, scrape) = call(addr, "GET", "/metrics", None);
+    assert!(
+        labeled_metric(
+            &scrape,
+            "questpro_session_outcomes_total{outcome=\"converged\"}"
+        ) >= 1
+    );
+    assert!(
+        labeled_metric(
+            &scrape,
+            "questpro_session_outcomes_total{outcome=\"abandoned\"}"
+        ) >= 1
+    );
+    assert!(
+        labeled_metric(&scrape, "questpro_session_records_total") >= 2,
+        "record counters reach the scrape"
+    );
+    assert!(
+        labeled_metric(
+            &scrape,
+            "questpro_session_rounds_bucket{outcome=\"converged\",le=\"+Inf\"}"
+        ) >= 1,
+        "convergence rounds land in the histogram"
+    );
     server.join();
 }

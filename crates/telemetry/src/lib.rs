@@ -1,0 +1,735 @@
+//! Session-level analytics over the feedback loop.
+//!
+//! `questpro-trace` sees individual requests and `questpro-log` sees
+//! individual events; neither can answer "how many rounds does a
+//! session take to converge?" or "how effective is the consistency
+//! cache across sessions on one ontology version?". This crate closes
+//! that gap: the feedback layer builds one compact [`SessionRecord`]
+//! per finished session, and an [`Aggregator`] folds records into
+//! dimensional log2 histograms and counters keyed by
+//! `(ontology, version, outcome)`.
+//!
+//! Design constraints, in order:
+//!
+//! * **Bounded cardinality with exact drop accounting.** The key space
+//!   is capped at [`MAX_KEYS`]; a record whose key is new once the map
+//!   is full increments `records_dropped` and lands in **no** bucket.
+//!   The invariant `records_in == Σ key sessions + records_dropped`
+//!   holds exactly at every instant (property-tested).
+//! * **Lock-cheap.** Recording takes one mutex once per *session end*
+//!   — never per question or per request — and a disabled recorder is
+//!   one relaxed atomic load.
+//! * **Traffic-independent exposition.** `/metrics` renders only the
+//!   outcome *marginals* (a fixed three-label set, zero-filled), so the
+//!   scrape format never varies with which ontologies saw traffic; the
+//!   full dimensional breakdown is served by `GET /debug/sessions`.
+//! * **Exemplars.** Each key retains the trace IDs of its
+//!   [`EXEMPLARS`] slowest sessions, so a histogram bucket can be
+//!   joined back to concrete `/debug/traces` entries.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+use questpro_trace::hist::{FIRST_BUCKET_LOG2, LAST_BUCKET_LOG2};
+use questpro_trace::ring::Ring;
+
+/// Maximum number of live `(ontology, version, outcome)` keys; records
+/// for new keys beyond this are counted in `records_dropped`.
+pub const MAX_KEYS: usize = 64;
+/// Slowest-session exemplars retained per key.
+pub const EXEMPLARS: usize = 4;
+/// Recent full [`SessionRecord`]s retained for `GET /debug/sessions`.
+pub const RECENT: usize = 256;
+/// Finite buckets of the wall-time histograms (the `questpro-trace`
+/// log2 layout: upper bounds 2^10 ns … 2^33 ns).
+pub const NS_BUCKETS: usize = (LAST_BUCKET_LOG2 - FIRST_BUCKET_LOG2 + 1) as usize;
+/// Finite buckets of the rounds histogram (upper bounds 2^0 … 2^8).
+pub const ROUND_BUCKETS: usize = 9;
+
+/// How a session ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Outcome {
+    /// The feedback loop reached a final query.
+    Converged,
+    /// The session was deleted or idle-evicted before converging.
+    Abandoned,
+    /// The session's pinned ontology version fell off the bounded
+    /// registry history (the named 410 path).
+    Evicted,
+}
+
+impl Outcome {
+    /// Every outcome, in the order `/metrics` renders labels.
+    pub const ALL: [Outcome; 3] = [Outcome::Converged, Outcome::Abandoned, Outcome::Evicted];
+
+    /// The stable label value (`converged` / `abandoned` / `evicted`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Outcome::Converged => "converged",
+            Outcome::Abandoned => "abandoned",
+            Outcome::Evicted => "evicted",
+        }
+    }
+
+    /// Parses a label produced by [`Outcome::as_str`].
+    pub fn parse(s: &str) -> Option<Outcome> {
+        Outcome::ALL.into_iter().find(|o| o.as_str() == s)
+    }
+}
+
+/// One finished session, as the feedback layer saw it.
+///
+/// Wall-clock fields (`wall_ns`, `round_wall_ns`) are telemetry only
+/// and vary run to run; every other field is deterministic for a fixed
+/// seed and answer sequence (asserted across thread counts by the
+/// telemetry differential test).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionRecord {
+    /// Trace ID to join against `/debug/traces` (0 when untraced).
+    pub trace_id: u64,
+    /// Ontology the session ran against.
+    pub ontology: String,
+    /// Ontology version the session was pinned to.
+    pub version: u64,
+    /// Terminal outcome.
+    pub outcome: Outcome,
+    /// Question rounds answered (selection + refinement).
+    pub rounds: u64,
+    /// Questions asked (equals `rounds` for a driven session).
+    pub questions: u64,
+    /// Yes verdicts given.
+    pub yes: u64,
+    /// No verdicts given.
+    pub no: u64,
+    /// Live candidate-pool size after each answered round.
+    pub pool_sizes: Vec<u64>,
+    /// Wall nanoseconds spent applying each answered round.
+    pub round_wall_ns: Vec<u64>,
+    /// Total wall nanoseconds across start and every answer.
+    pub wall_ns: u64,
+    /// Consistency-cache lookups during the session's inference.
+    pub consistency_checks: u64,
+    /// Consistency-cache lookups answered without a matcher run.
+    pub consistency_hits: u64,
+    /// Pairwise merge-cache lookups (hits + true + capacity misses).
+    pub merge_lookups: u64,
+    /// Pairwise merge-cache hits.
+    pub merge_hits: u64,
+}
+
+impl SessionRecord {
+    /// The deterministic projection of this record: everything except
+    /// wall clocks and the trace ID. Differential tests compare this
+    /// across thread counts.
+    pub fn deterministic_key(&self) -> impl PartialEq + std::fmt::Debug + '_ {
+        (
+            &self.ontology,
+            self.version,
+            self.outcome,
+            self.rounds,
+            self.questions,
+            self.yes,
+            self.no,
+            &self.pool_sizes,
+            self.consistency_checks,
+            self.consistency_hits,
+            self.merge_lookups,
+            self.merge_hits,
+        )
+    }
+}
+
+/// A plain cumulative log2 histogram snapshot (no atomics — aggregation
+/// happens under the one per-session-end lock).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Hist {
+    /// Cumulative counts per finite bucket.
+    pub buckets: Vec<u64>,
+    /// Total observations (the `+Inf` cumulative count).
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+}
+
+/// Raw (non-cumulative) fixed-size histogram.
+#[derive(Debug, Clone)]
+struct RawHist {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+    /// log2 of the first finite bucket's upper bound.
+    first_log2: u32,
+}
+
+impl RawHist {
+    fn new(buckets: usize, first_log2: u32) -> RawHist {
+        RawHist {
+            counts: vec![0; buckets],
+            count: 0,
+            sum: 0,
+            first_log2,
+        }
+    }
+
+    /// Same bucketing as `questpro_trace::hist`: smallest bucket whose
+    /// upper bound `2^b` satisfies `v <= 2^b`; values above the last
+    /// bound count only toward `+Inf`.
+    fn record(&mut self, v: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        let floor_log2 = 63 - u64::from(v.max(1).leading_zeros());
+        let ceil_log2 = floor_log2 + u64::from(!v.max(1).is_power_of_two());
+        let le_idx = ceil_log2.saturating_sub(u64::from(self.first_log2));
+        if let Some(slot) = self.counts.get_mut(le_idx as usize) {
+            *slot += 1;
+        }
+    }
+
+    fn absorb(&mut self, other: &RawHist) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+
+    fn snapshot(&self) -> Hist {
+        let mut cum = 0;
+        Hist {
+            buckets: self
+                .counts
+                .iter()
+                .map(|&c| {
+                    cum += c;
+                    cum
+                })
+                .collect(),
+            count: self.count,
+            sum: self.sum,
+        }
+    }
+}
+
+/// One exemplar: a slow session joinable against `/debug/traces`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Exemplar {
+    /// The session's trace ID (0 when untraced).
+    pub trace_id: u64,
+    /// Total session wall nanoseconds.
+    pub wall_ns: u64,
+    /// Question rounds the session took.
+    pub rounds: u64,
+}
+
+#[derive(Debug, Clone)]
+struct KeyStats {
+    ontology: String,
+    version: u64,
+    outcome: Outcome,
+    sessions: u64,
+    questions: u64,
+    yes: u64,
+    no: u64,
+    consistency_checks: u64,
+    consistency_hits: u64,
+    merge_lookups: u64,
+    merge_hits: u64,
+    rounds: RawHist,
+    wall_ns: RawHist,
+    round_wall_ns: RawHist,
+    /// Slowest sessions, descending by `wall_ns`, at most [`EXEMPLARS`].
+    exemplars: Vec<Exemplar>,
+}
+
+impl KeyStats {
+    fn new(ontology: String, version: u64, outcome: Outcome) -> KeyStats {
+        KeyStats {
+            ontology,
+            version,
+            outcome,
+            sessions: 0,
+            questions: 0,
+            yes: 0,
+            no: 0,
+            consistency_checks: 0,
+            consistency_hits: 0,
+            merge_lookups: 0,
+            merge_hits: 0,
+            rounds: RawHist::new(ROUND_BUCKETS, 0),
+            wall_ns: RawHist::new(NS_BUCKETS, FIRST_BUCKET_LOG2),
+            round_wall_ns: RawHist::new(NS_BUCKETS, FIRST_BUCKET_LOG2),
+            exemplars: Vec::new(),
+        }
+    }
+
+    fn fold(&mut self, rec: &SessionRecord) {
+        self.sessions += 1;
+        self.questions += rec.questions;
+        self.yes += rec.yes;
+        self.no += rec.no;
+        self.consistency_checks += rec.consistency_checks;
+        self.consistency_hits += rec.consistency_hits;
+        self.merge_lookups += rec.merge_lookups;
+        self.merge_hits += rec.merge_hits;
+        self.rounds.record(rec.rounds);
+        self.wall_ns.record(rec.wall_ns);
+        for &ns in &rec.round_wall_ns {
+            self.round_wall_ns.record(ns);
+        }
+        let ex = Exemplar {
+            trace_id: rec.trace_id,
+            wall_ns: rec.wall_ns,
+            rounds: rec.rounds,
+        };
+        let at = self
+            .exemplars
+            .iter()
+            .position(|e| e.wall_ns < ex.wall_ns)
+            .unwrap_or(self.exemplars.len());
+        if at < EXEMPLARS {
+            self.exemplars.insert(at, ex);
+            self.exemplars.truncate(EXEMPLARS);
+        }
+    }
+}
+
+/// Full dimensional view of one key, as served by `/debug/sessions`.
+#[derive(Debug, Clone)]
+pub struct KeySnapshot {
+    /// Ontology name.
+    pub ontology: String,
+    /// Pinned ontology version.
+    pub version: u64,
+    /// Terminal outcome.
+    pub outcome: Outcome,
+    /// Sessions folded into this key.
+    pub sessions: u64,
+    /// Questions asked across those sessions.
+    pub questions: u64,
+    /// Yes verdicts.
+    pub yes: u64,
+    /// No verdicts.
+    pub no: u64,
+    /// Consistency-cache lookups.
+    pub consistency_checks: u64,
+    /// Consistency-cache hits.
+    pub consistency_hits: u64,
+    /// Merge-cache lookups.
+    pub merge_lookups: u64,
+    /// Merge-cache hits.
+    pub merge_hits: u64,
+    /// Convergence-round histogram (upper bounds 2^0 … 2^8, +Inf).
+    pub rounds: Hist,
+    /// Session wall-time histogram (ns, trace layout).
+    pub wall_ns: Hist,
+    /// Per-round wall-time histogram (ns, trace layout).
+    pub round_wall_ns: Hist,
+    /// Slowest sessions under this key, descending by wall time.
+    pub exemplars: Vec<Exemplar>,
+}
+
+/// Outcome marginal: every key with this outcome summed together. The
+/// label set is fixed ([`Outcome::ALL`]), so `/metrics` exposition is
+/// traffic-independent.
+#[derive(Debug, Clone)]
+pub struct OutcomeMarginal {
+    /// The outcome this marginal sums over.
+    pub outcome: Outcome,
+    /// Sessions recorded with this outcome (and not dropped).
+    pub sessions: u64,
+    /// Questions asked.
+    pub questions: u64,
+    /// Yes verdicts.
+    pub yes: u64,
+    /// No verdicts.
+    pub no: u64,
+    /// Consistency-cache lookups.
+    pub consistency_checks: u64,
+    /// Consistency-cache hits.
+    pub consistency_hits: u64,
+    /// Merge-cache lookups.
+    pub merge_lookups: u64,
+    /// Merge-cache hits.
+    pub merge_hits: u64,
+    /// Convergence-round histogram.
+    pub rounds: Hist,
+    /// Session wall-time histogram (ns).
+    pub wall_ns: Hist,
+    /// Per-round wall-time histogram (ns).
+    pub round_wall_ns: Hist,
+}
+
+/// Everything the aggregator knows, in one consistent view.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// Records offered (accepted + dropped).
+    pub records_total: u64,
+    /// Records dropped by the key-cardinality cap.
+    pub records_dropped: u64,
+    /// Live dimensional keys, sorted by (ontology, version, outcome).
+    pub keys: Vec<KeySnapshot>,
+}
+
+/// Bounded dimensional aggregation of [`SessionRecord`]s.
+///
+/// Standalone (no global state) so differential tests can aggregate
+/// into private instances; the process-wide singleton behind
+/// [`record`] / [`snapshot`] is one instance of this type.
+#[derive(Debug)]
+pub struct Aggregator {
+    keys: Vec<KeyStats>,
+    records_total: u64,
+    records_dropped: u64,
+    recent: Ring<SessionRecord>,
+}
+
+impl Default for Aggregator {
+    fn default() -> Self {
+        Aggregator::new()
+    }
+}
+
+impl Aggregator {
+    /// An empty aggregator with the standard bounds.
+    pub fn new() -> Aggregator {
+        Aggregator {
+            keys: Vec::new(),
+            records_total: 0,
+            records_dropped: 0,
+            recent: Ring::new(RECENT),
+        }
+    }
+
+    /// Folds one finished session in. Records whose
+    /// `(ontology, version, outcome)` key is new while [`MAX_KEYS`]
+    /// keys are live are dropped (counted, never bucketed).
+    pub fn record(&mut self, rec: SessionRecord) {
+        self.records_total += 1;
+        let found = self.keys.iter().position(|k| {
+            k.ontology == rec.ontology && k.version == rec.version && k.outcome == rec.outcome
+        });
+        let key_idx = match found {
+            Some(i) => i,
+            None if self.keys.len() >= MAX_KEYS => {
+                self.records_dropped += 1;
+                return;
+            }
+            None => {
+                self.keys.push(KeyStats::new(
+                    rec.ontology.clone(),
+                    rec.version,
+                    rec.outcome,
+                ));
+                self.keys.len() - 1
+            }
+        };
+        self.keys[key_idx].fold(&rec);
+        self.recent.push(rec);
+    }
+
+    /// Records offered so far (accepted + dropped).
+    pub fn records_total(&self) -> u64 {
+        self.records_total
+    }
+
+    /// Records dropped by the cardinality cap.
+    pub fn records_dropped(&self) -> u64 {
+        self.records_dropped
+    }
+
+    /// Live key count.
+    pub fn keys_live(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Full dimensional snapshot, keys sorted for stable output.
+    pub fn snapshot(&self) -> Snapshot {
+        let mut keys: Vec<KeySnapshot> = self
+            .keys
+            .iter()
+            .map(|k| KeySnapshot {
+                ontology: k.ontology.clone(),
+                version: k.version,
+                outcome: k.outcome,
+                sessions: k.sessions,
+                questions: k.questions,
+                yes: k.yes,
+                no: k.no,
+                consistency_checks: k.consistency_checks,
+                consistency_hits: k.consistency_hits,
+                merge_lookups: k.merge_lookups,
+                merge_hits: k.merge_hits,
+                rounds: k.rounds.snapshot(),
+                wall_ns: k.wall_ns.snapshot(),
+                round_wall_ns: k.round_wall_ns.snapshot(),
+                exemplars: k.exemplars.clone(),
+            })
+            .collect();
+        keys.sort_by(|a, b| {
+            (&a.ontology, a.version, a.outcome).cmp(&(&b.ontology, b.version, b.outcome))
+        });
+        Snapshot {
+            records_total: self.records_total,
+            records_dropped: self.records_dropped,
+            keys,
+        }
+    }
+
+    /// The three outcome marginals, always in [`Outcome::ALL`] order
+    /// and zero-filled, independent of traffic.
+    pub fn marginals(&self) -> Vec<OutcomeMarginal> {
+        Outcome::ALL
+            .into_iter()
+            .map(|outcome| {
+                let mut m = OutcomeMarginal {
+                    outcome,
+                    sessions: 0,
+                    questions: 0,
+                    yes: 0,
+                    no: 0,
+                    consistency_checks: 0,
+                    consistency_hits: 0,
+                    merge_lookups: 0,
+                    merge_hits: 0,
+                    rounds: RawHist::new(ROUND_BUCKETS, 0).snapshot(),
+                    wall_ns: RawHist::new(NS_BUCKETS, FIRST_BUCKET_LOG2).snapshot(),
+                    round_wall_ns: RawHist::new(NS_BUCKETS, FIRST_BUCKET_LOG2).snapshot(),
+                };
+                let mut rounds = RawHist::new(ROUND_BUCKETS, 0);
+                let mut wall = RawHist::new(NS_BUCKETS, FIRST_BUCKET_LOG2);
+                let mut round_wall = RawHist::new(NS_BUCKETS, FIRST_BUCKET_LOG2);
+                for k in self.keys.iter().filter(|k| k.outcome == outcome) {
+                    m.sessions += k.sessions;
+                    m.questions += k.questions;
+                    m.yes += k.yes;
+                    m.no += k.no;
+                    m.consistency_checks += k.consistency_checks;
+                    m.consistency_hits += k.consistency_hits;
+                    m.merge_lookups += k.merge_lookups;
+                    m.merge_hits += k.merge_hits;
+                    rounds.absorb(&k.rounds);
+                    wall.absorb(&k.wall_ns);
+                    round_wall.absorb(&k.round_wall_ns);
+                }
+                m.rounds = rounds.snapshot();
+                m.wall_ns = wall.snapshot();
+                m.round_wall_ns = round_wall.snapshot();
+                m
+            })
+            .collect()
+    }
+
+    /// The newest retained records, newest first, optionally filtered
+    /// by outcome, at most `limit`.
+    pub fn recent(&self, limit: usize, outcome: Option<Outcome>) -> Vec<SessionRecord> {
+        self.recent
+            .latest(self.recent.len())
+            .into_iter()
+            .filter(|r| outcome.is_none_or(|o| r.outcome == o))
+            .take(limit)
+            .cloned()
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Process-wide recorder
+// ---------------------------------------------------------------------
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+fn global() -> &'static Mutex<Aggregator> {
+    static AGG: OnceLock<Mutex<Aggregator>> = OnceLock::new();
+    AGG.get_or_init(|| Mutex::new(Aggregator::new()))
+}
+
+fn lock() -> std::sync::MutexGuard<'static, Aggregator> {
+    // Telemetry must never take a process down: a panic while holding
+    // the lock leaves valid (if partially updated) counters behind.
+    match global().lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Turns session telemetry on or off (off by default; the server and
+/// the CLI `session`/`serve` paths enable it).
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether session telemetry is currently enabled.
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Records one finished session into the process-wide aggregator.
+/// One relaxed load and an immediate return when disabled.
+pub fn record(rec: SessionRecord) {
+    if !enabled() {
+        return;
+    }
+    lock().record(rec);
+}
+
+/// Snapshot of the process-wide aggregator.
+pub fn snapshot() -> Snapshot {
+    lock().snapshot()
+}
+
+/// Outcome marginals of the process-wide aggregator (fixed label set).
+pub fn marginals() -> Vec<OutcomeMarginal> {
+    lock().marginals()
+}
+
+/// Recent records from the process-wide aggregator, newest first.
+pub fn recent(limit: usize, outcome: Option<Outcome>) -> Vec<SessionRecord> {
+    lock().recent(limit, outcome)
+}
+
+/// Counters of the process-wide aggregator:
+/// `(records_total, records_dropped, keys_live)`.
+pub fn counters() -> (u64, u64, usize) {
+    let g = lock();
+    (g.records_total(), g.records_dropped(), g.keys_live())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(ontology: &str, version: u64, outcome: Outcome, rounds: u64) -> SessionRecord {
+        SessionRecord {
+            trace_id: rounds,
+            ontology: ontology.to_string(),
+            version,
+            outcome,
+            rounds,
+            questions: rounds,
+            yes: rounds / 2,
+            no: rounds - rounds / 2,
+            pool_sizes: (0..rounds).map(|i| rounds - i).collect(),
+            round_wall_ns: vec![1000; rounds as usize],
+            wall_ns: 1000 * rounds,
+            consistency_checks: 10 * rounds,
+            consistency_hits: 5 * rounds,
+            merge_lookups: 4 * rounds,
+            merge_hits: rounds,
+        }
+    }
+
+    #[test]
+    fn outcome_labels_round_trip() {
+        for o in Outcome::ALL {
+            assert_eq!(Outcome::parse(o.as_str()), Some(o));
+        }
+        assert_eq!(Outcome::parse("nope"), None);
+    }
+
+    #[test]
+    fn records_fold_into_keys_and_marginals() {
+        let mut agg = Aggregator::new();
+        agg.record(rec("erdos", 1, Outcome::Converged, 3));
+        agg.record(rec("erdos", 1, Outcome::Converged, 5));
+        agg.record(rec("sp2b", 2, Outcome::Abandoned, 1));
+        let snap = agg.snapshot();
+        assert_eq!(snap.records_total, 3);
+        assert_eq!(snap.records_dropped, 0);
+        assert_eq!(snap.keys.len(), 2);
+        let erdos = &snap.keys[0];
+        assert_eq!(erdos.ontology, "erdos");
+        assert_eq!(erdos.sessions, 2);
+        assert_eq!(erdos.questions, 8);
+        assert_eq!(erdos.rounds.count, 2);
+        // rounds 3 -> le=4 (idx 2), rounds 5 -> le=8 (idx 3).
+        assert_eq!(erdos.rounds.buckets[1], 0);
+        assert_eq!(erdos.rounds.buckets[2], 1);
+        assert_eq!(erdos.rounds.buckets[3], 2);
+        let m = agg.marginals();
+        assert_eq!(m.len(), 3);
+        assert_eq!(m[0].outcome, Outcome::Converged);
+        assert_eq!(m[0].sessions, 2);
+        assert_eq!(m[1].sessions, 1);
+        assert_eq!(m[2].sessions, 0, "evicted marginal renders zero-filled");
+    }
+
+    #[test]
+    fn cardinality_cap_drops_exactly_and_accounts() {
+        let mut agg = Aggregator::new();
+        for v in 0..(MAX_KEYS as u64 + 10) {
+            agg.record(rec("w", v, Outcome::Converged, 1));
+        }
+        // Existing keys still accept records after the cap is hit.
+        agg.record(rec("w", 0, Outcome::Converged, 2));
+        let snap = agg.snapshot();
+        assert_eq!(snap.keys.len(), MAX_KEYS);
+        assert_eq!(snap.records_dropped, 10);
+        let bucketed: u64 = snap.keys.iter().map(|k| k.sessions).sum();
+        assert_eq!(
+            bucketed + snap.records_dropped,
+            snap.records_total,
+            "every record is either bucketed or counted as dropped"
+        );
+    }
+
+    #[test]
+    fn exemplars_keep_the_slowest_sessions() {
+        let mut agg = Aggregator::new();
+        for (id, wall) in [(1u64, 50u64), (2, 500), (3, 5), (4, 900), (5, 100), (6, 70)] {
+            let mut r = rec("w", 1, Outcome::Converged, 1);
+            r.trace_id = id;
+            r.wall_ns = wall;
+            agg.record(r);
+        }
+        let snap = agg.snapshot();
+        let ex = &snap.keys[0].exemplars;
+        assert_eq!(ex.len(), EXEMPLARS);
+        let ids: Vec<u64> = ex.iter().map(|e| e.trace_id).collect();
+        assert_eq!(ids, vec![4, 2, 5, 6], "descending by wall time");
+    }
+
+    #[test]
+    fn recent_filters_by_outcome_and_caps_at_limit() {
+        let mut agg = Aggregator::new();
+        for i in 0..10u64 {
+            let outcome = if i % 2 == 0 {
+                Outcome::Converged
+            } else {
+                Outcome::Abandoned
+            };
+            let mut r = rec("w", 1, outcome, 1);
+            r.trace_id = i;
+            agg.record(r);
+        }
+        let all = agg.recent(4, None);
+        assert_eq!(all.len(), 4);
+        assert_eq!(all[0].trace_id, 9, "newest first");
+        let conv = agg.recent(100, Some(Outcome::Converged));
+        assert_eq!(conv.len(), 5);
+        assert!(conv.iter().all(|r| r.outcome == Outcome::Converged));
+    }
+
+    #[test]
+    fn ns_histogram_matches_the_trace_layout() {
+        let mut agg = Aggregator::new();
+        let mut r = rec("w", 1, Outcome::Converged, 1);
+        r.wall_ns = 1; // <= 2^10: first bucket
+        agg.record(r.clone());
+        r.wall_ns = 1 << 40; // above 2^33: +Inf only
+        agg.record(r);
+        let wall = &agg.snapshot().keys[0].wall_ns;
+        assert_eq!(wall.buckets.len(), NS_BUCKETS);
+        assert_eq!(wall.buckets[0], 1);
+        assert_eq!(wall.buckets[NS_BUCKETS - 1], 1, "2^40 only in +Inf");
+        assert_eq!(wall.count, 2);
+    }
+
+    #[test]
+    fn disabled_global_recorder_is_inert() {
+        set_enabled(false);
+        let (before, _, _) = counters();
+        record(rec("inert", 1, Outcome::Converged, 1));
+        let (after, _, _) = counters();
+        assert_eq!(before, after);
+    }
+}

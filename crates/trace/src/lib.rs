@@ -81,6 +81,18 @@ pub fn enabled() -> bool {
     ENABLED.load(Ordering::Relaxed)
 }
 
+/// Allocates a fresh trace ID without opening a trace.
+///
+/// Early-reject server paths (malformed request lines, over-capacity
+/// 503s) never run a handler, so no [`begin`]/[`ActiveTrace`] exists —
+/// yet their responses still need a correlatable `X-Questpro-Trace-Id`.
+/// IDs minted here come from the same monotonic source as traced
+/// requests, so they never collide with a registry entry; 0 is never
+/// issued.
+pub fn mint_id() -> u64 {
+    NEXT_ID.fetch_add(1, Ordering::Relaxed)
+}
+
 /// One finished span inside a [`TraceRecord`], in pre-order.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SpanRecord {

@@ -12,11 +12,14 @@
 # (snapshot cold-start vs text re-parse, matcher throughput at the
 # 10^6-triple scale, and the corruption-sweep tally), and BENCH_9.json
 # (the cold-start assembly step: legacy label re-hash vs the
-# sorted-arena interner handover, with the speedup factor gated).
+# sorted-arena interner handover, with the speedup factor gated), and
+# BENCH_10.json (session telemetry: disabled-path record cost gated
+# < 1% of the median session wall, enabled-vs-disabled walls side by
+# side, and the convergence-round distribution on three worlds).
 #
-# Usage: scripts/bench.sh [output.json] [trace-json] [b6-json] [b7-json] [b9-json]
+# Usage: scripts/bench.sh [output.json] [trace-json] [b6-json] [b7-json] [b9-json] [b10-json]
 #   BENCH_TINY=1   smoke mode: 1 trial, heaviest query only, 10^5-triple
-#                  B7/B9 worlds (CI).
+#                  B7/B9 worlds, 2 sessions per B10 world (CI).
 #   BENCH_THREADS  largest thread count in the sweep (default 8).
 set -euo pipefail
 caller_dir="$PWD"
@@ -28,11 +31,13 @@ out3="${2:-BENCH_3.json}"
 out6="${3:-BENCH_6.json}"
 out7="${4:-BENCH_7.json}"
 out9="${5:-BENCH_9.json}"
+out10="${6:-BENCH_10.json}"
 [[ "$out" == /* ]] || out="$caller_dir/$out"
 [[ "$out3" == /* ]] || out3="$caller_dir/$out3"
 [[ "$out6" == /* ]] || out6="$caller_dir/$out6"
 [[ "$out7" == /* ]] || out7="$caller_dir/$out7"
 [[ "$out9" == /* ]] || out9="$caller_dir/$out9"
+[[ "$out10" == /* ]] || out10="$caller_dir/$out10"
 threads="${BENCH_THREADS:-8}"
 
 echo "== building exp_bench (release) =="
@@ -72,20 +77,30 @@ if [[ "${BENCH_TINY:-0}" == "1" ]]; then
 fi
 ./target/release/exp_bench "${b9args[@]}"
 
+# B10 also runs standalone: its session walls feed the < 1% telemetry
+# gate and must not inherit allocator warmth from the sweep above.
+echo "== running session telemetry bench (B10) =="
+b10args=(--bench10 "$out10")
+if [[ "${BENCH_TINY:-0}" == "1" ]]; then
+  b10args+=(--tiny)
+fi
+./target/release/exp_bench "${b10args[@]}"
+
 # Well-formedness gate: the reports must be parseable JSON.
 python3 -m json.tool "$out" > /dev/null
 python3 -m json.tool "$out3" > /dev/null
 python3 -m json.tool "$out6" > /dev/null
 python3 -m json.tool "$out7" > /dev/null
 python3 -m json.tool "$out9" > /dev/null
-echo "ok — $out, $out3, $out6, $out7 and $out9 are well-formed JSON"
+python3 -m json.tool "$out10" > /dev/null
+echo "ok — $out, $out3, $out6, $out7, $out9 and $out10 are well-formed JSON"
 
 # Rows measured with more worker threads than the host has CPUs are
 # scheduling artifacts, not parallel speedups (the runner still checks
 # their outputs, but the wall times mean nothing). Make any such row
 # impossible to miss.
 flagged=0
-for report in "$out" "$out3" "$out6" "$out7" "$out9"; do
+for report in "$out" "$out3" "$out6" "$out7" "$out9" "$out10"; do
   if grep -q '"valid_parallel": false' "$report"; then
     flagged=1
     echo

@@ -42,6 +42,7 @@
 //! | [`core`] | the inference algorithms of Sections III–IV |
 //! | [`feedback`] | Algorithm 3, oracles, refinement, sessions, study simulation |
 //! | [`data`] | synthetic SP2B / BSBM / DBpedia-movie worlds and workloads |
+//! | [`telemetry`] | per-session lifecycle records and dimensional aggregation |
 
 pub use questpro_core as core;
 pub use questpro_data as data;
@@ -50,6 +51,7 @@ pub use questpro_feedback as feedback;
 pub use questpro_graph as graph;
 pub use questpro_graph::rng;
 pub use questpro_query as query;
+pub use questpro_telemetry as telemetry;
 pub use questpro_trace as trace;
 
 /// One-stop imports for typical use of the library.

@@ -466,3 +466,62 @@ fn ring_buffer_drops_oldest_first_with_exact_accounting() {
         assert_eq!(latest, expect, "case {case}");
     }
 }
+
+/// Telemetry aggregation conserves records: for any random stream of
+/// finished-session records — including streams whose ontology/version
+/// spread overflows the `MAX_KEYS` dimensional cap — every record is
+/// either bucketed under a live key or counted dropped, with nothing
+/// lost and nothing double-counted.
+#[test]
+fn telemetry_aggregation_conserves_records() {
+    use questpro::telemetry::{Aggregator, Outcome, SessionRecord, MAX_KEYS};
+    let mut rng = StdRng::seed_from_u64(0xbadc0de);
+    for case in 0..CASES {
+        let mut agg = Aggregator::new();
+        let n = rng.random_range(1..200usize);
+        for i in 0..n {
+            let rounds = u64::from(rng.random_range(0..12u32));
+            let rec = SessionRecord {
+                trace_id: i as u64,
+                // Twice MAX_KEYS distinct worlds, times versions and
+                // outcomes: most cases overflow the cardinality cap.
+                ontology: format!("world-{}", rng.random_range(0..2 * MAX_KEYS as u32)),
+                version: u64::from(rng.random_range(0..4u32)),
+                outcome: Outcome::ALL[rng.random_range(0..3u32) as usize],
+                rounds,
+                questions: rounds,
+                yes: rounds / 2,
+                no: rounds - rounds / 2,
+                pool_sizes: (0..rounds).map(|r| r + 1).collect(),
+                round_wall_ns: (0..rounds)
+                    .map(|_| u64::from(rng.random_range(0..u32::MAX)))
+                    .collect(),
+                wall_ns: u64::from(rng.random_range(0..u32::MAX)),
+                consistency_checks: u64::from(rng.random_range(0..1_000u32)),
+                consistency_hits: 0,
+                merge_lookups: u64::from(rng.random_range(0..1_000u32)),
+                merge_hits: 0,
+            };
+            agg.record(rec);
+        }
+        let snap = agg.snapshot();
+        assert_eq!(snap.records_total, n as u64, "case {case}");
+        assert!(snap.keys.len() <= MAX_KEYS, "case {case}: cap breached");
+
+        // The conservation law: bucket counts == records-in − dropped.
+        let bucketed: u64 = snap.keys.iter().map(|k| k.rounds.count).sum();
+        assert_eq!(
+            bucketed + snap.records_dropped,
+            snap.records_total,
+            "case {case}: records leaked between intake and histograms"
+        );
+        // Every per-key histogram agrees on how many sessions it saw.
+        for k in &snap.keys {
+            assert_eq!(k.rounds.count, k.sessions, "case {case}: {}", k.ontology);
+            assert_eq!(k.wall_ns.count, k.sessions, "case {case}: {}", k.ontology);
+        }
+        // The outcome marginals cover exactly the bucketed sessions.
+        let marginal: u64 = agg.marginals().iter().map(|m| m.sessions).sum();
+        assert_eq!(marginal, bucketed, "case {case}");
+    }
+}

@@ -1,0 +1,120 @@
+//! Differential battery for session telemetry: the deterministic
+//! projection of a finished session's [`SessionRecord`] — outcome,
+//! rounds, verdicts, pool sizes, cache counters — must be identical at
+//! every thread count, on every world family. Wall-clock fields and
+//! trace IDs are explicitly excluded (that is what
+//! `SessionRecord::deterministic_key` encodes), so this battery is what
+//! makes `/debug/sessions` output comparable across hosts and
+//! `--threads` settings.
+
+use questpro::data::*;
+use questpro::prelude::*;
+use questpro::rng::StdRng;
+use questpro::telemetry::{Aggregator, Outcome, SessionRecord};
+use questpro_feedback::InteractiveSession;
+
+/// One seeded world per generator family, kept small so the whole
+/// sweep stays fast (mirrors the determinism battery).
+fn small_worlds() -> Vec<(&'static str, Ontology, UnionQuery)> {
+    let sp2b = generate_sp2b(&Sp2bConfig {
+        authors: 80,
+        articles: 120,
+        inproceedings: 60,
+        ..Default::default()
+    });
+    let bsbm = generate_bsbm(&BsbmConfig::default());
+    let movies = generate_movies(&MoviesConfig::default());
+    let pick = |mut ws: Vec<WorkloadQuery>, id: &str| {
+        ws.iter()
+            .position(|w| w.id == id)
+            .map(|i| ws.swap_remove(i).query)
+            .expect("workload query in catalog")
+    };
+    vec![
+        ("sp2b", sp2b, pick(sp2b_workload(), "q8a")),
+        ("bsbm", bsbm, pick(bsbm_workload(), "q2v0")),
+        ("movies", movies, pick(movie_workload(), "m1")),
+    ]
+}
+
+/// Drives one interactive session to `Done` against the target oracle
+/// and returns its telemetry record.
+fn drive(name: &str, ont: &Ontology, target: &UnionQuery, threads: usize) -> Option<SessionRecord> {
+    let mut rng = StdRng::seed_from_u64(0xd15);
+    let examples = sample_example_set(ont, target, 5, &mut rng, 6);
+    if examples.len() < 2 {
+        return None;
+    }
+    let cfg = SessionConfig {
+        topk: TopKConfig {
+            threads,
+            ..Default::default()
+        },
+        refine: true,
+        ..Default::default()
+    };
+    let mut session = InteractiveSession::start(ont, &examples, &cfg, 0xd15).expect("a session");
+    let mut oracle = TargetOracle::new(target.clone());
+    let mut rounds = 0u32;
+    while !session.is_done() {
+        let q = session.pending().expect("an undone session has a question");
+        let verdict = oracle.accept(ont, q.result(), q.provenance());
+        session.answer(ont, verdict).expect("answering");
+        rounds += 1;
+        assert!(rounds < 500, "{name}: session must converge");
+    }
+    Some(session.telemetry_record(name, 1, Outcome::Converged, 0))
+}
+
+/// The satellite contract: records agree across `--threads {1,2,8}` on
+/// every world, and aggregating them lands every session in a rounds
+/// bucket (nothing vanishes between record and histogram).
+#[test]
+fn session_records_are_thread_invariant_on_all_worlds() {
+    let mut agg = Aggregator::new();
+    let mut recorded = 0u64;
+    let mut rounds_seen = 0u64;
+    for (name, ont, target) in small_worlds() {
+        let Some(seq) = drive(name, &ont, &target, 1) else {
+            continue;
+        };
+        assert_eq!(seq.outcome, Outcome::Converged, "{name}");
+        // A session may converge cold (one candidate wins outright,
+        // zero rounds); at least one world must actually ask questions
+        // for the battery to mean anything — asserted after the loop.
+        rounds_seen += seq.rounds;
+        assert_eq!(
+            seq.pool_sizes.len(),
+            seq.rounds as usize,
+            "{name}: one pool size per answered round"
+        );
+        assert_eq!(
+            seq.yes + seq.no,
+            seq.rounds,
+            "{name}: every round has a verdict"
+        );
+        for threads in [2usize, 8] {
+            let par = drive(name, &ont, &target, threads).expect("the world stays drivable");
+            assert_eq!(
+                par.deterministic_key(),
+                seq.deterministic_key(),
+                "{name}: {threads}-thread session telemetry diverged"
+            );
+        }
+        agg.record(seq);
+        recorded += 1;
+    }
+    assert!(recorded > 0, "at least one world produced a session");
+    assert!(
+        rounds_seen > 0,
+        "at least one world asked feedback questions"
+    );
+
+    // Aggregation conserves sessions: bucketed rounds counts equal the
+    // records accepted, per key and in total.
+    let snap = agg.snapshot();
+    assert_eq!(snap.records_total, recorded);
+    assert_eq!(snap.records_dropped, 0);
+    let bucketed: u64 = snap.keys.iter().map(|k| k.rounds.count).sum();
+    assert_eq!(bucketed, recorded, "every record lands in a rounds bucket");
+}
